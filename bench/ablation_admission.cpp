@@ -1,0 +1,46 @@
+// Ablation: admission control (section 5.1).
+//
+// "Performance per each client under multi-client situation cannot be
+//  guaranteed ... it is possible to restrict the number of remote
+//  clients."  Sixteen clients hammer the 1-PE J90 Linpack service; the
+// server caps the number of calls in service.  A small cap keeps each
+// admitted call's in-service time (and hence its guaranteed compute
+// rate) near the solo value, at the cost of queueing delay — the exact
+// trade the paper describes.
+#include <cstdio>
+
+#include "common/table.h"
+#include "simworld/scenario.h"
+
+using namespace ninf;
+using namespace ninf::simworld;
+
+int main() {
+  std::printf(
+      "Ablation: admission control, 16 clients, n=1000, 1-PE J90\n\n");
+  TextTable table({"max in service", "Perf[Mflops] mean",
+                   "in-service time[s] max/min/mean", "wait[s] mean",
+                   "CPU[%]"});
+  for (const std::size_t cap : {0u, 2u, 4u, 8u}) {
+    MultiClientConfig cfg;
+    cfg.mode = ExecMode::TaskParallel;
+    cfg.n = 1000;
+    cfg.clients = 16;
+    cfg.duration = 400.0;
+    cfg.max_concurrent_calls = cap;
+    const auto r = runMultiClient(cfg);
+    table.row()
+        .cell(cap == 0 ? std::string("unlimited") : std::to_string(cap))
+        .cell(r.row.perf_mflops.mean(), 2)
+        .cell(r.row.service_s.triple(2))
+        .cell(r.row.wait_s.mean(), 2)
+        .cell(r.cpu_util_percent, 1);
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Expected shape (section 5.1): tighter caps shrink the in-service\n"
+      "time spread toward the solo value (guaranteed per-call rate) while\n"
+      "queueing delay absorbs the contention; unlimited admission gives\n"
+      "the paper's observed free-for-all.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation: multi-job scheduling for MPP servers (section 5.3).
+//
+// A 16-PE server receives Ninf_call jobs of mixed PE widths; FCFS leaves
+// processors idle behind wide jobs, while FPFS (first fit) and FPMPFS
+// (widest fit first) backfill them — the improvement the paper proposes
+// investigating for larger machines.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "machine/pe_scheduler.h"
+#include "simcore/simulation.h"
+
+using namespace ninf;
+using namespace ninf::machine;
+
+namespace {
+
+struct WorkloadResult {
+  double makespan = 0.0;
+  double mean_wait = 0.0;
+  double utilization = 0.0;
+};
+
+simcore::Process jobProcess(simcore::Simulation& sim, PeScheduler& sched,
+                            double arrival, std::int64_t width,
+                            double seconds, RunningStats& waits,
+                            double& last_done) {
+  co_await sim.delay(arrival);
+  const double queued_at = sim.now();
+  co_await sched.run(width, seconds);
+  waits.add(sim.now() - queued_at - seconds);
+  last_done = std::max(last_done, sim.now());
+}
+
+WorkloadResult runWorkload(AdmissionPolicy policy, std::uint64_t seed) {
+  simcore::Simulation sim;
+  PeScheduler sched(sim, 16, policy);
+  SplitMix64 rng(seed);
+  RunningStats waits;
+  double last_done = 0.0;
+  constexpr int kJobs = 400;
+  double arrival = 0.0;
+  for (int i = 0; i < kJobs; ++i) {
+    arrival += rng.nextDouble() * 0.8;  // bursty arrivals
+    // Width mix: mostly narrow tasks with occasional near-full jobs,
+    // the "large SPMD tasks" of section 5.3.
+    const std::int64_t width =
+        rng.nextBool(0.2) ? 12 + static_cast<std::int64_t>(rng.nextBelow(5))
+                          : 1 + static_cast<std::int64_t>(rng.nextBelow(4));
+    const double seconds = 1.0 + rng.nextDouble() * 6.0;
+    jobProcess(sim, sched, arrival, width, seconds, waits, last_done);
+  }
+  sim.run();
+  return {last_done, waits.mean(), sched.utilizationPercent()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: 16-PE server, 400 mixed-width jobs, admission policy\n\n");
+  TextTable table({"policy", "makespan[s]", "mean wait[s]",
+                   "PE utilization[%]"});
+  for (const auto policy : {AdmissionPolicy::Fcfs, AdmissionPolicy::Fpfs,
+                            AdmissionPolicy::Fpmpfs}) {
+    RunningStats makespan, wait, util;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto r = runWorkload(policy, seed);
+      makespan.add(r.makespan);
+      wait.add(r.mean_wait);
+      util.add(r.utilization);
+    }
+    table.row()
+        .cell(admissionPolicyName(policy))
+        .cell(makespan.mean(), 1)
+        .cell(wait.mean(), 2)
+        .cell(util.mean(), 1);
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Expected shape (section 5.3): FCFS idles PEs behind wide jobs;\n"
+      "FPFS/FPMPFS backfill, cutting makespan and mean wait while raising\n"
+      "utilization.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: metaserver scheduling policy (sections 4.2.2, 5.1, 6).
+//
+// Clients on a campus LAN can reach a slow-but-near workstation or the
+// fast-but-far J90 (0.17 MB/s WAN).  For communication-heavy Linpack the
+// paper argues bandwidth-aware scheduling must replace NetSolve-style
+// load balancing; this bench quantifies the gap.
+#include <cstdio>
+
+#include "common/table.h"
+#include "simworld/scheduler_ablation.h"
+
+using namespace ninf;
+using namespace ninf::simworld;
+
+int main() {
+  std::printf(
+      "Ablation: call routing policy, local Alpha (LAN) vs J90 (WAN)\n\n");
+  TextTable table({"policy", "n", "clients", "Perf[Mflops] mean",
+                   "-> local", "-> remote"});
+  for (const std::size_t n : {400u, 800u, 1200u}) {
+    for (const SimPolicy policy :
+         {SimPolicy::RoundRobin, SimPolicy::LeastLoad,
+          SimPolicy::BandwidthAware}) {
+      SchedulerAblationConfig cfg;
+      cfg.policy = policy;
+      cfg.n = n;
+      cfg.clients = 8;
+      cfg.duration = 600.0;
+      const auto r = runSchedulerAblation(cfg);
+      table.row()
+          .cell(simPolicyName(policy))
+          .cell(n)
+          .cell(cfg.clients)
+          .cell(r.row.times() > 0 ? r.row.perf_mflops.mean() : 0.0, 2)
+          .cell(r.calls_per_server[0])
+          .cell(r.calls_per_server[1]);
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Expected shape (paper, sections 4.2.2/5.1): bandwidth-oblivious\n"
+      "round-robin pushes half the calls over the 0.17 MB/s WAN and loses\n"
+      "badly at communication-heavy sizes (n=400), where bandwidth-aware\n"
+      "routing keeps every call on the fast local path.  At large n the\n"
+      "job turns compute-heavy and offloading to the big parallel machine\n"
+      "starts to pay — exactly the paper's point that the scheduler must\n"
+      "weigh communication AND computation, 'assigning communication- and\n"
+      "computation-intensive tasks to appropriate servers'.\n");
+  return 0;
+}

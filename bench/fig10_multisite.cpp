@@ -1,0 +1,76 @@
+// Figure 10: multi-client, multi-site WAN Linpack.  Four university
+// sites (Ocha-U, U-Tokyo, NITech, TITech) each run c clients against the
+// ETL J90 (4-PE library).  Reports per-site mean throughput, aggregate
+// bandwidth, server utilization, and the Ocha-U degradation vs. running
+// alone — the paper's headline multi-site numbers.
+//
+// Flags: --sharing=equal     equal-split ablation of max-min fairness
+//        --scheduler=load    note on metaserver policy implications
+#include <cstdio>
+#include <cstring>
+
+#include "common/table.h"
+#include "simworld/scenario.h"
+
+using namespace ninf;
+using namespace ninf::simworld;
+
+int main(int argc, char** argv) {
+  simnet::Sharing sharing = simnet::Sharing::MaxMin;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sharing=equal") == 0) {
+      sharing = simnet::Sharing::EqualShare;
+      std::printf("(ablation: equal-share link scheduling)\n");
+    }
+  }
+  std::printf("Figure 10: multi-client multi-site WAN Linpack (4-PE J90)\n\n");
+
+  TextTable table({"n", "c/site", "clients", "Perf[Mflops] mean",
+                   "Ocha tp[MB/s]", "solo tp[MB/s]", "degrade[%]",
+                   "aggregate[MB/s]", "CPU[%]", "Load"});
+  for (const std::size_t n : {600u, 1000u, 1400u}) {
+    for (const std::size_t c : {1u, 4u}) {
+      // Baseline: the same c clients at Ocha-U only.
+      MultiClientConfig solo;
+      solo.topology = Topology::SingleSiteWan;
+      solo.mode = ExecMode::DataParallel;
+      solo.n = n;
+      solo.clients = c;
+      solo.duration = 600.0;
+      solo.sharing = sharing;
+      const double solo_tp =
+          runMultiClient(solo).row.throughput_mbps.mean();
+
+      MultiClientConfig multi = solo;
+      multi.topology = Topology::MultiSiteWan;
+      const auto m = runMultiClient(multi);
+      double ocha_tp = 0.0;
+      for (const auto& site : m.sites) {
+        if (site.name == "Ocha-U" && site.row.times() > 0) {
+          ocha_tp = site.row.throughput_mbps.mean();
+        }
+      }
+      const double degrade =
+          solo_tp > 0 ? (1.0 - ocha_tp / solo_tp) * 100.0 : 0.0;
+      table.row()
+          .cell(n)
+          .cell(c)
+          .cell(c * 4)
+          .cell(m.row.perf_mflops.mean(), 2)
+          .cell(ocha_tp, 3)
+          .cell(solo_tp, 3)
+          .cell(degrade, 1)
+          .cell(m.aggregate_mbps, 3)
+          .cell(m.cpu_util_percent, 1)
+          .cell(m.load_average, 2);
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Expected shape (paper): aggregate multi-site bandwidth far above a\n"
+      "single site's; Ocha-U degradation only ~9-18%% at c=1 and ~18-44%%\n"
+      "at c=4; CPU utilization substantially higher than single-site WAN\n"
+      "yet far from saturated (~27-34%% at c=4) — bandwidth, not server\n"
+      "load, still rules.\n");
+  return 0;
+}

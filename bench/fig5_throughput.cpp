@@ -1,0 +1,47 @@
+// Figure 5: communication throughput of Ninf_call (including XDR
+// marshalling) as a function of transferred data size, for the paper's
+// five client/server pairs; saturation levels should approach the raw
+// FTP rates of Table 2.
+#include <cstdio>
+
+#include "common/table.h"
+#include "simworld/scenario.h"
+
+using namespace ninf;
+using namespace ninf::simworld;
+
+int main() {
+  std::printf(
+      "Figure 5: Ninf_call communication throughput [MB/s] vs data size\n\n");
+  struct Pair {
+    ClientKind client;
+    ServerKind server;
+    const char* label;
+  };
+  const Pair pairs[] = {
+      {ClientKind::SuperSparc, ServerKind::J90, "Super->J90"},
+      {ClientKind::UltraSparc, ServerKind::J90, "Ultra->J90"},
+      {ClientKind::Alpha, ServerKind::J90, "Alpha->J90"},
+      {ClientKind::SuperSparc, ServerKind::Alpha, "Super->Alpha"},
+      {ClientKind::UltraSparc, ServerKind::Alpha, "Ultra->Alpha"},
+      {ClientKind::Alpha, ServerKind::Alpha, "Alpha->Alpha"},
+  };
+  std::vector<std::string> header = {"bytes"};
+  for (const auto& p : pairs) header.push_back(p.label);
+  TextTable table(header);
+  for (double bytes = 1e4; bytes <= 64e6; bytes *= 4) {
+    auto& row = table.row();
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0fK", bytes / 1e3);
+    row.cell(std::string(label));
+    for (const auto& p : pairs) {
+      row.cell(runThroughputProbe(p.client, p.server, bytes), 2);
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Expected shape (paper): J90 pairs saturate lowest, mixed-arch pairs\n"
+      "middle, same-arch pairs highest; all near their FTP baselines\n"
+      "(Table 2), confirming XDR marshalling is not a bottleneck.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 7: average client-observed performance of multi-client LAN
+// Ninf_call as a surface over (n, c), 1-PE vs 4-PE — printed as two
+// matrices of mean Mflops.
+#include <cstdio>
+
+#include "common/table.h"
+#include "simworld/scenario.h"
+
+using namespace ninf;
+using namespace ninf::simworld;
+
+namespace {
+
+void surface(const char* label, ExecMode mode, Topology topology) {
+  std::printf("--- %s ---\n", label);
+  const std::size_t sizes[] = {600, 1000, 1400};
+  const std::size_t clients[] = {1, 2, 4, 8, 16};
+  TextTable table({"n \\ c", "1", "2", "4", "8", "16"});
+  for (const std::size_t n : sizes) {
+    auto& row = table.row();
+    row.cell(n);
+    for (const std::size_t c : clients) {
+      MultiClientConfig cfg;
+      cfg.mode = mode;
+      cfg.topology = topology;
+      cfg.n = n;
+      cfg.clients = c;
+      cfg.duration = topology == Topology::Lan ? 360.0 : 600.0;
+      const auto r = runMultiClient(cfg);
+      row.cell(r.row.times() > 0 ? r.row.perf_mflops.mean() : 0.0, 2);
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 7: average multi-client LAN Ninf_call performance [Mflops]\n\n");
+  surface("1-PE (task-parallel)", ExecMode::TaskParallel, Topology::Lan);
+  surface("4-PE (data-parallel)", ExecMode::DataParallel, Topology::Lan);
+  std::printf(
+      "Expected shape (paper): 4-PE surface clearly higher at small c,\n"
+      "the two surfaces merging as c -> 16.\n");
+  return 0;
+}

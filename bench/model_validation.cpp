@@ -1,0 +1,48 @@
+// Section 3.1 model self-check: the simulator's single-call times must
+// match the closed-form cost model
+//   T = T_comm0 + (8n^2 + 20n)/B + T_comp0 + (2/3 n^3 + 2n^2)/P_calc(n)
+// to within a small tolerance (the simulator adds only the XDR
+// marshalling term on top).
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.h"
+#include "machine/calibration.h"
+#include "numlib/matrix.h"
+#include "simworld/scenario.h"
+
+using namespace ninf;
+using namespace ninf::simworld;
+namespace cal = machine::calibration;
+
+int main() {
+  std::printf("Model validation: simulator vs closed-form (section 3.1)\n\n");
+  TextTable table({"n", "T_sim[s]", "T_model[s]", "error[%]"});
+  double worst = 0.0;
+  for (std::size_t n = 200; n <= 1600; n += 200) {
+    const auto r = runSingleCall(ClientKind::Alpha, ServerKind::J90,
+                                 ExecMode::DataParallel, n);
+    const double dn = static_cast<double>(n);
+    const double in_bytes = 8 * dn * dn + 10 * dn;
+    const double out_bytes = 10 * dn;
+    const double b = clientServerFtp(ClientKind::Alpha, ServerKind::J90);
+    const double pcalc =
+        serverLinpackRate(ServerKind::J90, ExecMode::DataParallel, n);
+    // XDR marshalling is pipelined with the wire transfer: each leg takes
+    // max(transfer, marshal) — the paper's B is then the effective
+    // min(link, XDR) rate.
+    const double xdr_rate = cal::j90().xdr_bytes_per_sec;
+    const double comm =
+        std::max(in_bytes / b, in_bytes / xdr_rate) + cal::kLanLatency +
+        std::max(out_bytes / b, out_bytes / xdr_rate) + cal::kLanLatency;
+    const double model = cal::kTComm0Lan + comm + cal::kTComp0 +
+                         numlib::linpackFlops(n) / pcalc;
+    const double err = std::abs(r.elapsed - model) / model * 100.0;
+    worst = std::max(worst, err);
+    table.row().cell(n).cell(r.elapsed, 4).cell(model, 4).cell(err, 2);
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Worst-case deviation: %.2f%% %s\n", worst,
+              worst < 2.0 ? "(PASS: < 2%)" : "(FAIL: >= 2%)");
+  return worst < 2.0 ? 0 : 1;
+}

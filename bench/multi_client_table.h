@@ -1,0 +1,51 @@
+// Shared harness for the paper's multi-client tables (3, 4, 5, 6, 7):
+// one row per (n, c) with Performance / response / wait / Throughput
+// max/min/mean triples plus CPU utilization, load average, and call count
+// — the exact column layout of the paper.
+// Set NINF_BENCH_CSV=1 in the environment to also emit the rows as CSV
+// (for plotting scripts).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "simworld/scenario.h"
+
+namespace ninf::bench {
+
+inline void printMultiClientTable(const char* title,
+                                  simworld::MultiClientConfig base,
+                                  const std::vector<std::size_t>& sizes,
+                                  const std::vector<std::size_t>& clients) {
+  std::printf("%s\n\n", title);
+  TextTable table({"n", "c", "Performance[Mflops]", "response[sec]",
+                   "wait[sec]", "Throughput[MB/s]", "CPU Util[%]",
+                   "Load Avg", "times"});
+  for (const std::size_t n : sizes) {
+    for (const std::size_t c : clients) {
+      simworld::MultiClientConfig cfg = base;
+      cfg.n = n;
+      cfg.clients = c;
+      const auto r = simworld::runMultiClient(cfg);
+      table.row()
+          .cell(n)
+          .cell(c)
+          .cell(r.row.perf_mflops.triple(2))
+          .cell(r.row.response_s.triple(2))
+          .cell(r.row.wait_s.triple(2))
+          .cell(r.row.throughput_mbps.triple(2))
+          .cell(r.cpu_util_percent, 2)
+          .cell(r.load_average, 2)
+          .cell(r.row.times());
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  if (std::getenv("NINF_BENCH_CSV") != nullptr) {
+    table.printCsv(std::cout);
+  }
+}
+
+}  // namespace ninf::bench

@@ -1,0 +1,59 @@
+// Table 2: client-server FTP (raw) communication throughput baseline.
+// Prints the calibrated link rates and verifies them by timing an actual
+// bulk transfer through the fluid network model.
+#include <cstdio>
+
+#include "common/table.h"
+#include "simcore/simulation.h"
+#include "simnet/network.h"
+#include "simworld/scenario.h"
+
+using namespace ninf;
+using namespace ninf::simworld;
+
+namespace {
+
+double measuredFtp(ClientKind client, ServerKind server) {
+  simcore::Simulation sim;
+  simnet::Network net(sim);
+  const auto c = net.addNode("client");
+  const auto s = net.addNode("server");
+  const double ftp = clientServerFtp(client, server);
+  net.addLink(c, s, ftp, machine::calibration::kLanLatency);
+  const double bytes = 64e6;
+  double done = -1;
+  [](simcore::Simulation& sm, simnet::Network& n, simnet::NodeId a,
+     simnet::NodeId b, double by, double& out) -> simcore::Process {
+    co_await n.transfer(a, b, by);
+    out = sm.now();
+  }(sim, net, c, s, bytes, done);
+  sim.run();
+  return bytes / done / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 2: client-server FTP throughput [MB/s]\n\n");
+  TextTable table({"Client", "UltraSPARC", "Alpha", "J90"});
+  const ClientKind clients[] = {ClientKind::SuperSparc,
+                                ClientKind::UltraSparc, ClientKind::Alpha};
+  for (const auto c : clients) {
+    auto& row = table.row();
+    row.cell(clientKindName(c));
+    for (const auto s :
+         {ServerKind::UltraSparc, ServerKind::Alpha, ServerKind::J90}) {
+      // The paper leaves same-or-faster combinations unmeasured ("-").
+      if ((c == ClientKind::UltraSparc && s == ServerKind::UltraSparc) ||
+          (c == ClientKind::Alpha && s != ServerKind::J90)) {
+        row.cell("-");
+      } else {
+        row.cell(measuredFtp(c, s), 1);
+      }
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Paper's values: Super 4/4/2.8, Ultra -/7.4/2.7, Alpha -/-/2.9.\n");
+  return 0;
+}

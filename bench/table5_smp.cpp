@@ -1,0 +1,23 @@
+// Table 5: SMP multi-client LAN Linpack results — the 16-node SuperSPARC
+// SMP server, n = 600, c in {4, 8, 16}.
+#include <cstdio>
+
+#include "multi_client_table.h"
+
+using namespace ninf;
+
+int main() {
+  simworld::MultiClientConfig cfg;
+  cfg.server = simworld::ServerKind::SparcSmp;
+  cfg.mode = simworld::ExecMode::TaskParallel;
+  cfg.topology = simworld::Topology::Lan;
+  cfg.duration = 360.0;
+  bench::printMultiClientTable(
+      "Table 5: SMP multi-client LAN Linpack (16-PE SuperSPARC SMP)", cfg,
+      {600}, {4, 8, 16});
+  std::printf(
+      "Expected shape (paper): low absolute Mflops (slow PEs + slow LAN)\n"
+      "but resilient to growing c — 16 PEs mean no compute contention up\n"
+      "to c=16; CPU utilization stays unsaturated.\n");
+  return 0;
+}

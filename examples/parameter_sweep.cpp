@@ -1,0 +1,111 @@
+// Parameter sweep: the "parameter sensitivity analysis" application class
+// the paper calls out as ideal for global computing (sections 1 and 4.3).
+//
+// Question: how fast does the spectral density of random Hamiltonians
+// approach the Wigner semicircle as the matrix dimension grows?  Each
+// sweep point is a batch of DOS samples executed remotely via
+// Ninf_call_async on a farm of servers; per-point batches are split
+// across the farm and merged exactly.
+//
+// Usage: parameter_sweep [servers]   (default 3)
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "client/async.h"
+#include "client/dispatcher.h"
+#include "common/table.h"
+#include "metaserver/metaserver.h"
+#include "numlib/dos.h"
+#include "server/registry.h"
+#include "server/server.h"
+#include "transport/tcp_transport.h"
+
+using namespace ninf;
+
+int main(int argc, char** argv) {
+  const std::size_t num_servers =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3;
+
+  // ---- Server farm behind a metaserver.
+  std::vector<std::unique_ptr<server::Registry>> registries;
+  std::vector<std::unique_ptr<server::NinfServer>> servers;
+  metaserver::Metaserver meta(metaserver::SchedulingPolicy::RoundRobin);
+  for (std::size_t i = 0; i < num_servers; ++i) {
+    registries.push_back(std::make_unique<server::Registry>());
+    server::registerStandardExecutables(*registries.back());
+    servers.push_back(std::make_unique<server::NinfServer>(
+        *registries.back(), server::ServerOptions{.workers = 2}));
+    auto listener = std::make_shared<transport::TcpListener>(0);
+    const auto port = listener->port();
+    servers.back()->start(listener);
+    meta.addServer({.name = "node-" + std::to_string(i),
+                    .factory = [port] {
+                      return client::NinfClient::connectTcp("127.0.0.1",
+                                                            port);
+                    }});
+  }
+
+  // ---- The sweep: dimension n vs distance to the semicircle.
+  constexpr std::int64_t kBins = 40;
+  constexpr std::int64_t kSamplesPerPoint = 24;
+  const std::size_t dims[] = {4, 8, 16, 32};
+
+  client::AsyncCaller async(meta);
+  // One histogram buffer per (sweep point, farm slice).
+  std::vector<std::vector<std::vector<double>>> hists(
+      std::size(dims),
+      std::vector<std::vector<double>>(num_servers,
+                                       std::vector<double>(kBins)));
+  std::vector<std::future<client::CallResult>> futures;
+  for (std::size_t d = 0; d < std::size(dims); ++d) {
+    const std::int64_t per = kSamplesPerPoint / num_servers;
+    for (std::size_t s = 0; s < num_servers; ++s) {
+      const std::int64_t first = static_cast<std::int64_t>(s) * per;
+      const std::int64_t count =
+          (s + 1 == num_servers) ? kSamplesPerPoint - first : per;
+      futures.push_back(async.callAsync(
+          "dos",
+          {protocol::ArgValue::inInt(static_cast<std::int64_t>(dims[d])),
+           protocol::ArgValue::inInt(first), protocol::ArgValue::inInt(count),
+           protocol::ArgValue::inInt(kBins),
+           protocol::ArgValue::outArray(hists[d][s])}));
+    }
+  }
+  std::printf("launched %zu async Ninf_calls across %zu servers...\n",
+              futures.size(), num_servers);
+  for (auto& f : futures) f.get();
+
+  // ---- Merge slices and compare against the closed form.
+  TextTable table({"n", "eigenvalues", "max |rho - semicircle|"});
+  const double e_min = -2.5, e_max = 2.5;
+  const double width = (e_max - e_min) / kBins;
+  for (std::size_t d = 0; d < std::size(dims); ++d) {
+    std::vector<double> merged(kBins, 0.0);
+    double total = 0.0;
+    for (const auto& slice : hists[d]) {
+      for (std::int64_t b = 0; b < kBins; ++b) {
+        merged[b] += slice[b];
+        total += slice[b];
+      }
+    }
+    double worst = 0.0;
+    for (std::int64_t b = 0; b < kBins; ++b) {
+      const double center = e_min + (b + 0.5) * width;
+      const double density = merged[b] / (total * width);
+      worst = std::max(worst,
+                       std::abs(density - numlib::wignerSemicircle(center)));
+    }
+    table.row()
+        .cell(dims[d])
+        .cell(static_cast<long long>(total))
+        .cell(worst, 4);
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "The deviation should shrink as n grows (finite-size effects die\n"
+      "off) — a parameter study computed entirely through Ninf RPC.\n");
+
+  for (auto& s : servers) s->stop();
+  return 0;
+}

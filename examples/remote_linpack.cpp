@@ -1,0 +1,80 @@
+// Remote Linpack: the paper's communication-heavy workload on a real
+// server, comparing local vs remote solve times and the three library
+// variants (reference / blocked / data-parallel), plus the two-phase
+// protocol of section 5.1.
+//
+// Usage: remote_linpack [n]   (default n = 300)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "client/client.h"
+#include "client/ninf_api.h"
+#include "numlib/linpack_driver.h"
+#include "numlib/matrix.h"
+#include "server/registry.h"
+#include "server/server.h"
+#include "transport/tcp_transport.h"
+
+using namespace ninf;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 300;
+
+  server::Registry registry;
+  server::registerStandardExecutables(registry, /*workers=*/4);
+  server::NinfServer srv(registry, {.workers = 2});
+  auto listener = std::make_shared<transport::TcpListener>(0);
+  srv.start(listener);
+  auto client = client::NinfClient::connectTcp("127.0.0.1",
+                                               listener->port());
+
+  // Problem: A x = b with known all-ones solution.
+  numlib::Matrix a = numlib::randomMatrix(n, 42);
+  std::vector<double> b = numlib::onesRhs(a);
+  std::vector<double> x(n);
+
+  // Local baseline (the "Local" curves of Figures 3-4).
+  const auto local = numlib::runLinpack(n, numlib::LuVariant::Blocked);
+  std::printf("local  blocked       : %7.1f ms  %7.1f Mflops  resid %.2f\n",
+              local.seconds * 1e3, local.mflops, local.residual);
+
+  const char* names[] = {"reference dgefa", "blocked glub4-style",
+                         "parallel libsci-style"};
+  for (std::int64_t opt = 0; opt <= 2; ++opt) {
+    std::fill(x.begin(), x.end(), 0.0);
+    const auto r = client::ninfCall(*client, "linpack",
+                                    static_cast<std::int64_t>(n), opt,
+                                    a.flat(), b, std::span<double>(x));
+    double max_err = 0;
+    for (double xi : x) max_err = std::max(max_err, std::abs(xi - 1.0));
+    std::printf(
+        "remote %-21s: %7.1f ms  wait %5.1f ms  |x-1|max %.1e  %s\n",
+        names[opt], r.elapsed * 1e3, r.waitTime() * 1e3, max_err,
+        max_err < 1e-4 ? "OK" : "MISMATCH");
+  }
+
+  // Two-phase call (section 5.1): ship arguments, detach, fetch later.
+  std::fill(x.begin(), x.end(), 0.0);
+  std::vector<protocol::ArgValue> args = {
+      protocol::ArgValue::inInt(static_cast<std::int64_t>(n)),
+      protocol::ArgValue::inInt(1), protocol::ArgValue::inArray(a.flat()),
+      protocol::ArgValue::inArray(b), protocol::ArgValue::outArray(x)};
+  const auto handle = client->submit("linpack", args);
+  std::printf("two-phase: submitted job %llu, polling...\n",
+              static_cast<unsigned long long>(handle.id));
+  std::optional<client::CallResult> result;
+  while (!result) {
+    result = client->fetch(handle, args);
+    if (!result) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  double max_err = 0;
+  for (double xi : x) max_err = std::max(max_err, std::abs(xi - 1.0));
+  std::printf("two-phase: complete, |x-1|max = %.1e %s\n", max_err,
+              max_err < 1e-4 ? "(OK)" : "(MISMATCH)");
+
+  client->close();
+  srv.stop();
+  return 0;
+}

@@ -1,0 +1,81 @@
+/* Ninf client API — C binding.
+ *
+ * "Ninf Client API is defined for major programming languages such as
+ *  Fortran, C, C++, and Java."  (paper, section 2.2)
+ *
+ * This is the C89-callable surface over the C++ client: opaque handles,
+ * integer status codes, and an argument-push calling sequence that
+ * mirrors the original Ninf_call's positional arguments:
+ *
+ *     ninf_client_t* cl = ninf_connect("127.0.0.1", port);
+ *     ninf_call_t* call = ninf_call_begin(cl, "dmmul");
+ *     ninf_arg_long(call, n);
+ *     ninf_arg_array_in(call, A, n * n);
+ *     ninf_arg_array_in(call, B, n * n);
+ *     ninf_arg_array_out(call, C, n * n);
+ *     if (ninf_call_end(call) != NINF_OK) { ... ninf_last_error(cl) ... }
+ *     ninf_disconnect(cl);
+ *
+ * All functions are thread-compatible (one thread per client handle).
+ */
+#ifndef NINF_CAPI_H_
+#define NINF_CAPI_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct ninf_client_t ninf_client_t;
+typedef struct ninf_call_t ninf_call_t;
+
+enum {
+  NINF_OK = 0,
+  NINF_ERR_CONNECT = 1,   /* transport failure                     */
+  NINF_ERR_NOT_FOUND = 2, /* unknown executable                    */
+  NINF_ERR_PROTOCOL = 3,  /* marshalling / arity / size mismatch   */
+  NINF_ERR_REMOTE = 4,    /* the executable reported a failure     */
+  NINF_ERR_USAGE = 5      /* API misuse (null handle, bad order)   */
+};
+
+/* Connect to a Ninf computational server; NULL on failure (consult
+ * errno-free: call again or check the address). */
+ninf_client_t* ninf_connect(const char* host, uint16_t port);
+
+/* Close and free the handle (NULL tolerated). */
+void ninf_disconnect(ninf_client_t* client);
+
+/* Last error message recorded on this client ("" when none). The
+ * returned storage lives until the next failing call on the handle. */
+const char* ninf_last_error(const ninf_client_t* client);
+
+/* Number of executables exported by the server; < 0 on failure. */
+int ninf_num_executables(ninf_client_t* client);
+
+/* Begin building a call; NULL if client is NULL. The call object must
+ * be finished with ninf_call_end (which frees it) or ninf_call_abort. */
+ninf_call_t* ninf_call_begin(ninf_client_t* client, const char* entry);
+
+/* Positional arguments, matching the IDL declaration order. */
+void ninf_arg_long(ninf_call_t* call, int64_t value);
+void ninf_arg_double(ninf_call_t* call, double value);
+void ninf_arg_long_out(ninf_call_t* call, int64_t* out);
+void ninf_arg_double_out(ninf_call_t* call, double* out);
+void ninf_arg_array_in(ninf_call_t* call, const double* data, size_t count);
+void ninf_arg_array_out(ninf_call_t* call, double* data, size_t count);
+void ninf_arg_array_inout(ninf_call_t* call, double* data, size_t count);
+
+/* Execute; returns a NINF_* status and frees the call object.  Output
+ * arrays/scalars are filled on NINF_OK. */
+int ninf_call_end(ninf_call_t* call);
+
+/* Discard a call without executing it. */
+void ninf_call_abort(ninf_call_t* call);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* NINF_CAPI_H_ */

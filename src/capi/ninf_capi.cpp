@@ -1,0 +1,126 @@
+#include "capi/ninf.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "common/error.h"
+
+struct ninf_client_t {
+  std::unique_ptr<ninf::client::NinfClient> impl;
+  std::string last_error;
+};
+
+struct ninf_call_t {
+  ninf_client_t* client = nullptr;
+  std::string entry;
+  std::vector<ninf::protocol::ArgValue> args;
+};
+
+namespace {
+
+int classify(const std::exception& e, ninf_client_t* client) {
+  if (client) client->last_error = e.what();
+  if (dynamic_cast<const ninf::NotFoundError*>(&e)) return NINF_ERR_NOT_FOUND;
+  if (dynamic_cast<const ninf::RemoteError*>(&e)) return NINF_ERR_REMOTE;
+  if (dynamic_cast<const ninf::TransportError*>(&e)) return NINF_ERR_CONNECT;
+  return NINF_ERR_PROTOCOL;
+}
+
+}  // namespace
+
+extern "C" {
+
+ninf_client_t* ninf_connect(const char* host, uint16_t port) {
+  if (host == nullptr) return nullptr;
+  try {
+    auto handle = std::make_unique<ninf_client_t>();
+    handle->impl = ninf::client::NinfClient::connectTcp(host, port);
+    return handle.release();
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+}
+
+void ninf_disconnect(ninf_client_t* client) {
+  if (client == nullptr) return;
+  try {
+    client->impl->close();
+  } catch (const std::exception&) {
+  }
+  delete client;
+}
+
+const char* ninf_last_error(const ninf_client_t* client) {
+  return client ? client->last_error.c_str() : "null client";
+}
+
+int ninf_num_executables(ninf_client_t* client) {
+  if (client == nullptr) return -NINF_ERR_USAGE;
+  try {
+    return static_cast<int>(client->impl->listExecutables().size());
+  } catch (const std::exception& e) {
+    return -classify(e, client);
+  }
+}
+
+ninf_call_t* ninf_call_begin(ninf_client_t* client, const char* entry) {
+  if (client == nullptr || entry == nullptr) return nullptr;
+  auto call = std::make_unique<ninf_call_t>();
+  call->client = client;
+  call->entry = entry;
+  return call.release();
+}
+
+void ninf_arg_long(ninf_call_t* call, int64_t value) {
+  if (call) call->args.push_back(ninf::protocol::ArgValue::inInt(value));
+}
+
+void ninf_arg_double(ninf_call_t* call, double value) {
+  if (call) call->args.push_back(ninf::protocol::ArgValue::inDouble(value));
+}
+
+void ninf_arg_long_out(ninf_call_t* call, int64_t* out) {
+  if (call) call->args.push_back(ninf::protocol::ArgValue::outInt(out));
+}
+
+void ninf_arg_double_out(ninf_call_t* call, double* out) {
+  if (call) call->args.push_back(ninf::protocol::ArgValue::outDouble(out));
+}
+
+void ninf_arg_array_in(ninf_call_t* call, const double* data, size_t count) {
+  if (call) {
+    call->args.push_back(
+        ninf::protocol::ArgValue::inArray({data, count}));
+  }
+}
+
+void ninf_arg_array_out(ninf_call_t* call, double* data, size_t count) {
+  if (call) {
+    call->args.push_back(
+        ninf::protocol::ArgValue::outArray({data, count}));
+  }
+}
+
+void ninf_arg_array_inout(ninf_call_t* call, double* data, size_t count) {
+  if (call) {
+    call->args.push_back(
+        ninf::protocol::ArgValue::inoutArray({data, count}));
+  }
+}
+
+int ninf_call_end(ninf_call_t* call) {
+  if (call == nullptr) return NINF_ERR_USAGE;
+  const std::unique_ptr<ninf_call_t> owned(call);
+  try {
+    owned->client->impl->call(owned->entry, owned->args);
+    return NINF_OK;
+  } catch (const std::exception& e) {
+    return classify(e, owned->client);
+  }
+}
+
+void ninf_call_abort(ninf_call_t* call) { delete call; }
+
+}  // extern "C"

@@ -1,0 +1,31 @@
+#include "client/async.h"
+
+namespace ninf::client {
+
+std::future<CallResult> AsyncCaller::callAsync(
+    std::string name, std::vector<protocol::ArgValue> args) {
+  auto task = std::make_shared<std::packaged_task<CallResult()>>(
+      [this, name = std::move(name), args = std::move(args)] {
+        return dispatcher_.dispatch(name, args);
+      });
+  std::future<CallResult> result = task->get_future();
+  // Track completion (ignoring the value) so waitAll can block on it.
+  std::shared_future<void> done =
+      std::async(std::launch::async, [task] { (*task)(); }).share();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.push_back(done);
+  }
+  return result;
+}
+
+void AsyncCaller::waitAll() {
+  std::vector<std::shared_future<void>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending.swap(inflight_);
+  }
+  for (auto& f : pending) f.wait();
+}
+
+}  // namespace ninf::client

@@ -1,0 +1,37 @@
+// Ninf_call_async (paper, section 2.2): fire a call and collect the
+// result later through a std::future.  Each in-flight call occupies its
+// own connection, mirroring the TCP-based Ninf RPC where a connection is
+// busy for a call's duration (section 5.1).
+#pragma once
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "client/dispatcher.h"
+
+namespace ninf::client {
+
+class AsyncCaller {
+ public:
+  /// The dispatcher must outlive the AsyncCaller and all futures.
+  explicit AsyncCaller(CallDispatcher& dispatcher)
+      : dispatcher_(dispatcher) {}
+
+  ~AsyncCaller() { waitAll(); }
+
+  /// Launch a call; the caller must keep all argument memory (including
+  /// output arrays) alive until the future resolves.
+  std::future<CallResult> callAsync(std::string name,
+                                    std::vector<protocol::ArgValue> args);
+
+  /// Block until every call launched so far has finished (Ninf_wait_all).
+  void waitAll();
+
+ private:
+  CallDispatcher& dispatcher_;
+  std::mutex mutex_;
+  std::vector<std::shared_future<void>> inflight_;
+};
+
+}  // namespace ninf::client

@@ -1,0 +1,140 @@
+#include "client/client.h"
+
+#include <chrono>
+
+#include "common/error.h"
+#include "transport/tcp_transport.h"
+#include "xdr/xdr.h"
+
+namespace ninf::client {
+
+using protocol::ArgValue;
+using protocol::Message;
+using protocol::MessageType;
+
+namespace {
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+NinfClient::NinfClient(std::unique_ptr<transport::Stream> stream)
+    : stream_(std::move(stream)) {
+  NINF_REQUIRE(stream_ != nullptr, "null stream");
+}
+
+std::unique_ptr<NinfClient> NinfClient::connectTcp(const std::string& host,
+                                                   std::uint16_t port) {
+  return std::make_unique<NinfClient>(transport::tcpConnect(host, port));
+}
+
+Message NinfClient::roundTrip(MessageType type,
+                              std::span<const std::uint8_t> payload,
+                              MessageType expected) {
+  protocol::sendMessage(*stream_, type, payload);
+  Message reply = protocol::recvMessage(*stream_);
+  if (reply.type != expected) {
+    throw ProtocolError("expected message type " +
+                        std::to_string(static_cast<unsigned>(expected)) +
+                        ", got " +
+                        std::to_string(static_cast<unsigned>(reply.type)));
+  }
+  return reply;
+}
+
+const idl::InterfaceInfo& NinfClient::queryInterface(const std::string& name) {
+  auto it = interface_cache_.find(name);
+  if (it != interface_cache_.end()) return it->second;
+
+  xdr::Encoder enc;
+  enc.putString(name);
+  const Message reply =
+      roundTrip(MessageType::QueryInterface, enc.bytes(),
+                MessageType::InterfaceReply);
+  xdr::Decoder dec(reply.payload);
+  if (!dec.getBool()) {
+    throw NotFoundError("executable '" + name + "' on " +
+                        stream_->peerName());
+  }
+  auto info = idl::InterfaceInfo::decode(dec);
+  return interface_cache_.emplace(name, std::move(info)).first->second;
+}
+
+CallResult NinfClient::call(const std::string& name,
+                            std::span<const ArgValue> args) {
+  const idl::InterfaceInfo& info = queryInterface(name);
+  const auto request = protocol::encodeCallRequest(info, args);
+
+  CallResult result;
+  result.bytes_sent = static_cast<std::int64_t>(request.size());
+  const double start = nowSeconds();
+  const Message reply =
+      roundTrip(MessageType::CallRequest, request, MessageType::CallReply);
+  result.elapsed = nowSeconds() - start;
+  result.bytes_received = static_cast<std::int64_t>(reply.payload.size());
+  result.server = protocol::decodeCallReply(info, reply.payload, args);
+  return result;
+}
+
+JobHandle NinfClient::submit(const std::string& name,
+                             std::span<const ArgValue> args) {
+  const idl::InterfaceInfo& info = queryInterface(name);
+  const auto request = protocol::encodeCallRequest(info, args);
+  const Message ack =
+      roundTrip(MessageType::SubmitRequest, request, MessageType::SubmitAck);
+  xdr::Decoder dec(ack.payload);
+  return JobHandle{dec.getU64(), name};
+}
+
+std::optional<CallResult> NinfClient::fetch(const JobHandle& handle,
+                                            std::span<const ArgValue> args) {
+  const idl::InterfaceInfo& info = queryInterface(handle.name);
+  xdr::Encoder enc;
+  enc.putU64(handle.id);
+  const double start = nowSeconds();
+  protocol::sendMessage(*stream_, MessageType::FetchResult, enc.bytes());
+  const Message reply = protocol::recvMessage(*stream_);
+  if (reply.type == MessageType::ResultPending) return std::nullopt;
+  if (reply.type != MessageType::CallReply) {
+    throw ProtocolError("unexpected reply to FetchResult");
+  }
+  CallResult result;
+  result.elapsed = nowSeconds() - start;
+  result.bytes_received = static_cast<std::int64_t>(reply.payload.size());
+  result.server = protocol::decodeCallReply(info, reply.payload, args);
+  return result;
+}
+
+std::vector<std::string> NinfClient::listExecutables() {
+  const Message reply = roundTrip(MessageType::ListExecutables, {},
+                                  MessageType::ExecutableList);
+  xdr::Decoder dec(reply.payload);
+  const std::uint32_t count = dec.getU32();
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) names.push_back(dec.getString());
+  return names;
+}
+
+protocol::ServerStatusInfo NinfClient::serverStatus() {
+  const Message reply =
+      roundTrip(MessageType::ServerStatus, {}, MessageType::StatusReply);
+  return protocol::ServerStatusInfo::fromBytes(reply.payload);
+}
+
+double NinfClient::ping(std::size_t payload_bytes) {
+  std::vector<std::uint8_t> payload(payload_bytes, 0xA5);
+  const double start = nowSeconds();
+  const Message reply =
+      roundTrip(MessageType::Ping, payload, MessageType::Pong);
+  if (reply.payload != payload) throw ProtocolError("ping echo mismatch");
+  return nowSeconds() - start;
+}
+
+void NinfClient::close() {
+  if (stream_) stream_->close();
+}
+
+}  // namespace ninf::client

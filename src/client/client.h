@@ -1,0 +1,100 @@
+// Ninf client API (paper, section 2.2).
+//
+// One NinfClient owns one connection to a computational server.  The
+// first call to any entry performs the two-stage RPC: the compiled
+// interface information is fetched and cached, then arguments are
+// marshalled from it — no client-side stubs, header files, or linking.
+//
+//   auto client = NinfClient::connectTcp("127.0.0.1", port);
+//   ninfCall(*client, "dmmul", n, A, B, C);       // like Ninf_call(...)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "idl/interface_info.h"
+#include "protocol/call_marshal.h"
+#include "protocol/message.h"
+#include "transport/transport.h"
+
+namespace ninf::client {
+
+/// Outcome of one Ninf_call.
+struct CallResult {
+  /// Client-observed wall time of the whole call, seconds.
+  double elapsed = 0.0;
+  /// Server-relative timings (enqueue/dequeue/complete).
+  protocol::CallTimings server;
+  /// Argument bytes shipped client->server and server->client.
+  std::int64_t bytes_sent = 0;
+  std::int64_t bytes_received = 0;
+
+  /// T_wait = T_dequeue - T_enqueue (paper, section 4.1).
+  double waitTime() const { return server.waitTime(); }
+  /// Client-observed throughput over payload bytes, MB/s.
+  double throughputMBps() const {
+    return elapsed > 0
+               ? static_cast<double>(bytes_sent + bytes_received) / elapsed /
+                     1e6
+               : 0.0;
+  }
+};
+
+/// Handle of a two-phase (submit/fetch) call, section 5.1.
+struct JobHandle {
+  std::uint64_t id = 0;
+  std::string name;  // entry name, needed to decode the eventual reply
+};
+
+class NinfClient {
+ public:
+  /// Adopt an established stream (TCP or inproc).
+  explicit NinfClient(std::unique_ptr<transport::Stream> stream);
+
+  /// Connect over TCP.
+  static std::unique_ptr<NinfClient> connectTcp(const std::string& host,
+                                                std::uint16_t port);
+
+  /// Stage one of the two-stage RPC; cached per entry name.
+  /// Throws NotFoundError if the server does not export `name`.
+  const idl::InterfaceInfo& queryInterface(const std::string& name);
+
+  /// Synchronous Ninf_call with explicit argument values.
+  CallResult call(const std::string& name,
+                  std::span<const protocol::ArgValue> args);
+
+  /// Two-phase: ship arguments now, compute detached from the connection.
+  JobHandle submit(const std::string& name,
+                   std::span<const protocol::ArgValue> args);
+
+  /// Two-phase: try to collect a result; nullopt while still computing.
+  /// On success the OUT arguments of `args` are filled.
+  std::optional<CallResult> fetch(const JobHandle& handle,
+                                  std::span<const protocol::ArgValue> args);
+
+  /// Names of the executables registered on the server.
+  std::vector<std::string> listExecutables();
+
+  /// Server status snapshot (metaserver food).
+  protocol::ServerStatusInfo serverStatus();
+
+  /// Round-trip an opaque payload; returns elapsed seconds.
+  double ping(std::size_t payload_bytes = 0);
+
+  void close();
+
+ private:
+  protocol::Message roundTrip(protocol::MessageType type,
+                              std::span<const std::uint8_t> payload,
+                              protocol::MessageType expected);
+
+  std::unique_ptr<transport::Stream> stream_;
+  std::map<std::string, idl::InterfaceInfo> interface_cache_;
+};
+
+}  // namespace ninf::client

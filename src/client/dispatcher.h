@@ -1,0 +1,49 @@
+// Dispatch abstraction: where does a Ninf_call actually go?
+//
+// DirectDispatcher sends every call to one server; the metaserver module
+// provides a load-balancing implementation of the same interface
+// (section 2.4).  Transactions and async calls are written against the
+// interface so they work identically in both worlds.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "client/client.h"
+
+namespace ninf::client {
+
+/// Creates a fresh connection to some server.  Must be thread-safe: async
+/// calls and transaction branches connect concurrently.
+using ConnectionFactory = std::function<std::unique_ptr<NinfClient>()>;
+
+class CallDispatcher {
+ public:
+  virtual ~CallDispatcher() = default;
+
+  /// Perform one synchronous call somewhere.  Thread-safe.
+  virtual CallResult dispatch(const std::string& name,
+                              std::span<const protocol::ArgValue> args) = 0;
+};
+
+/// Sends every call to the single server produced by the factory, one
+/// fresh connection per call (a TCP RPC connection is occupied for the
+/// duration of a call, so concurrent calls need their own).
+class DirectDispatcher : public CallDispatcher {
+ public:
+  explicit DirectDispatcher(ConnectionFactory factory)
+      : factory_(std::move(factory)) {}
+
+  CallResult dispatch(const std::string& name,
+                      std::span<const protocol::ArgValue> args) override {
+    auto client = factory_();
+    return client->call(name, args);
+  }
+
+ private:
+  ConnectionFactory factory_;
+};
+
+}  // namespace ninf::client

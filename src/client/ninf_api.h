@@ -1,0 +1,106 @@
+// Ninf_call-style variadic sugar over NinfClient.
+//
+// Mirrors the paper's client binding:
+//
+//     double A[n][n], B[n][n], C[n][n];
+//     Ninf_call("dmmul", n, A, B, C);
+//
+// becomes
+//
+//     ninfCall(client, "dmmul", n, A, B, C);
+//
+// Direction is decided by the *server's* IDL (fetched via the two-stage
+// RPC), not by the C++ type: a mutable span binds as OutArray, InOutArray
+// or InArray according to the declared parameter mode — just as a plain
+// C array does in the original API.
+#pragma once
+
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "client/client.h"
+#include "common/error.h"
+
+namespace ninf::client {
+
+namespace api_detail {
+
+/// Bind one C++ argument to an ArgValue given its formal parameter.
+inline protocol::ArgValue bindArray(const idl::Param& p,
+                                    std::span<double> data) {
+  using protocol::ArgValue;
+  switch (p.mode) {
+    case idl::Mode::In: return ArgValue::inArray(data);
+    case idl::Mode::Out: return ArgValue::outArray(data);
+    case idl::Mode::InOut: return ArgValue::inoutArray(data);
+  }
+  throw ProtocolError("bad mode");
+}
+
+template <typename T>
+protocol::ArgValue bind(const idl::Param& p, T&& value) {
+  using protocol::ArgValue;
+  using Decayed = std::remove_cvref_t<T>;
+  // A scalar can receive an output only when bound to a mutable lvalue of
+  // the exact sink type.
+  constexpr bool kMutableLvalue =
+      std::is_lvalue_reference_v<T> &&
+      !std::is_const_v<std::remove_reference_t<T>>;
+  if constexpr (std::is_integral_v<Decayed>) {
+    if (p.mode == idl::Mode::Out) {
+      if constexpr (kMutableLvalue && std::is_same_v<Decayed, std::int64_t>) {
+        return ArgValue::outInt(&value);
+      }
+      throw ProtocolError("output integer parameter '" + p.name +
+                          "' requires a non-const int64_t lvalue");
+    }
+    return ArgValue::inInt(static_cast<std::int64_t>(value));
+  } else if constexpr (std::is_floating_point_v<Decayed>) {
+    if (p.mode == idl::Mode::Out) {
+      if constexpr (kMutableLvalue && std::is_same_v<Decayed, double>) {
+        return ArgValue::outDouble(&value);
+      }
+      throw ProtocolError("output floating parameter '" + p.name +
+                          "' requires a non-const double lvalue");
+    }
+    return ArgValue::inDouble(static_cast<double>(value));
+  } else if constexpr (std::is_same_v<Decayed, std::vector<double>>) {
+    if constexpr (kMutableLvalue) {
+      return bindArray(p, std::span<double>(value));
+    } else {
+      return ArgValue::inArray(std::span<const double>(value));
+    }
+  } else if constexpr (std::is_convertible_v<Decayed, std::span<double>>) {
+    return bindArray(p, std::span<double>(value));
+  } else if constexpr (std::is_convertible_v<Decayed,
+                                             std::span<const double>>) {
+    return ArgValue::inArray(std::span<const double>(value));
+  } else {
+    static_assert(!sizeof(T*), "unsupported ninfCall argument type");
+  }
+}
+
+}  // namespace api_detail
+
+/// The Ninf_call analogue.  Fetches the interface (stage one, cached),
+/// binds the arguments by declared mode, performs the call (stage two),
+/// and fills output arrays/scalars in place.
+template <typename... Args>
+CallResult ninfCall(NinfClient& cl, const std::string& name, Args&&... args) {
+  const idl::InterfaceInfo& info = cl.queryInterface(name);
+  if (sizeof...(Args) != info.params.size()) {
+    throw ProtocolError(name + " expects " +
+                        std::to_string(info.params.size()) +
+                        " arguments, got " + std::to_string(sizeof...(Args)));
+  }
+  std::vector<protocol::ArgValue> values;
+  values.reserve(sizeof...(Args));
+  std::size_t i = 0;
+  (values.push_back(
+       api_detail::bind(info.params[i++], std::forward<Args>(args))),
+   ...);
+  return cl.call(name, values);
+}
+
+}  // namespace ninf::client

@@ -1,0 +1,146 @@
+#include "client/transaction.h"
+
+#include <future>
+
+#include "common/error.h"
+
+namespace ninf::client {
+
+using protocol::ArgValue;
+
+void Transaction::add(std::string name, std::vector<ArgValue> args) {
+  calls_.push_back({std::move(name), std::move(args)});
+}
+
+Transaction::Footprint Transaction::footprintOf(const QueuedCall& call) {
+  Footprint fp;
+  for (const auto& a : call.args) {
+    switch (a.kind()) {
+      case ArgValue::Kind::InArray: {
+        const auto s = a.constSpan();
+        fp.reads.emplace_back(s.data(), s.data() + s.size());
+        break;
+      }
+      case ArgValue::Kind::OutArray: {
+        const auto s = a.mutSpan();
+        fp.writes.emplace_back(s.data(), s.data() + s.size());
+        break;
+      }
+      case ArgValue::Kind::InOutArray: {
+        const auto s = a.mutSpan();
+        fp.reads.emplace_back(s.data(), s.data() + s.size());
+        fp.writes.emplace_back(s.data(), s.data() + s.size());
+        break;
+      }
+      case ArgValue::Kind::OutInt:
+        fp.writes.emplace_back(a.intSink(), a.intSink() + 1);
+        break;
+      case ArgValue::Kind::OutDouble:
+        fp.writes.emplace_back(a.doubleSink(), a.doubleSink() + 1);
+        break;
+      default:
+        break;  // by-value scalars carry no dependencies
+    }
+  }
+  return fp;
+}
+
+namespace {
+bool overlaps(const std::pair<const void*, const void*>& a,
+              const std::pair<const void*, const void*>& b) {
+  return a.first < b.second && b.first < a.second;
+}
+
+bool anyOverlap(
+    const std::vector<std::pair<const void*, const void*>>& xs,
+    const std::vector<std::pair<const void*, const void*>>& ys) {
+  for (const auto& x : xs) {
+    for (const auto& y : ys) {
+      if (overlaps(x, y)) return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+std::vector<std::pair<std::size_t, std::size_t>>
+Transaction::dependencyEdges() const {
+  std::vector<Footprint> fps;
+  fps.reserve(calls_.size());
+  for (const auto& c : calls_) fps.push_back(footprintOf(c));
+
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t j = 0; j < calls_.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const bool raw = anyOverlap(fps[i].writes, fps[j].reads);
+      const bool war = anyOverlap(fps[i].reads, fps[j].writes);
+      const bool waw = anyOverlap(fps[i].writes, fps[j].writes);
+      if (raw || war || waw) edges.emplace_back(i, j);
+    }
+  }
+  return edges;
+}
+
+std::vector<CallResult> Transaction::run(CallDispatcher& dispatcher,
+                                         std::size_t max_parallel) {
+  const std::size_t n = calls_.size();
+  std::vector<CallResult> results(n);
+  if (n == 0) return results;
+
+  const auto edges = dependencyEdges();
+  std::vector<std::vector<std::size_t>> successors(n);
+  std::vector<std::size_t> pending_deps(n, 0);
+  for (const auto& [from, to] : edges) {
+    successors[from].push_back(to);
+    ++pending_deps[to];
+  }
+
+  // Wave-parallel execution: run every currently-ready call concurrently,
+  // then release their successors.  Within a wave, honour max_parallel.
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pending_deps[i] == 0) ready.push_back(i);
+  }
+  std::exception_ptr first_error;
+  std::size_t completed = 0;
+  while (!ready.empty()) {
+    std::vector<std::size_t> wave;
+    wave.swap(ready);
+    std::size_t offset = 0;
+    while (offset < wave.size()) {
+      const std::size_t batch =
+          max_parallel == 0 ? wave.size() - offset
+                            : std::min(max_parallel, wave.size() - offset);
+      std::vector<std::future<void>> futures;
+      futures.reserve(batch);
+      for (std::size_t k = 0; k < batch; ++k) {
+        const std::size_t idx = wave[offset + k];
+        futures.push_back(std::async(std::launch::async, [&, idx] {
+          results[idx] = dispatcher.dispatch(calls_[idx].name,
+                                             calls_[idx].args);
+        }));
+      }
+      for (auto& f : futures) {
+        try {
+          f.get();
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      offset += batch;
+    }
+    completed += wave.size();
+    if (first_error) break;
+    for (const std::size_t idx : wave) {
+      for (const std::size_t succ : successors[idx]) {
+        if (--pending_deps[succ] == 0) ready.push_back(succ);
+      }
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  NINF_REQUIRE(completed == n, "transaction dependency graph has a cycle");
+  calls_.clear();
+  return results;
+}
+
+}  // namespace ninf::client

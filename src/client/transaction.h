@@ -1,0 +1,60 @@
+// Ninf transactions (paper, sections 2.2 and 2.4).
+//
+// "The block of code surrounded by Ninf_transaction_begin and
+//  Ninf_transaction_end are not executed immediately; rather, a
+//  data-dependency graph of the Ninf_call arguments is dynamically
+//  created, and at the end of the code block the metaserver schedules the
+//  computation to multiple computational servers accordingly."
+//
+// Dependencies are inferred from argument memory: a call that reads an
+// array another call writes must run after it (RAW); writers also order
+// against earlier readers (WAR) and writers (WAW) of overlapping memory.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "client/dispatcher.h"
+
+namespace ninf::client {
+
+class Transaction {
+ public:
+  /// Queue a call (the Ninf_call inside a transaction block).  Argument
+  /// memory must stay alive until run() returns.
+  void add(std::string name, std::vector<protocol::ArgValue> args);
+
+  std::size_t size() const { return calls_.size(); }
+
+  /// Dependency edges (from-index -> to-index) of the current graph;
+  /// exposed for tests and for the metaserver's scheduler.
+  std::vector<std::pair<std::size_t, std::size_t>> dependencyEdges() const;
+
+  /// Ninf_transaction_end: run everything with maximum parallelism
+  /// consistent with the dependency graph, dispatching each call through
+  /// `dispatcher` (at most max_parallel concurrent calls; 0 = unlimited).
+  /// Returns per-call results in add() order.  If any call throws, the
+  /// first exception is rethrown after in-flight calls drain.
+  std::vector<CallResult> run(CallDispatcher& dispatcher,
+                              std::size_t max_parallel = 0);
+
+ private:
+  struct QueuedCall {
+    std::string name;
+    std::vector<protocol::ArgValue> args;
+  };
+
+  /// [begin, end) byte intervals a call reads / writes.
+  struct Footprint {
+    std::vector<std::pair<const void*, const void*>> reads;
+    std::vector<std::pair<const void*, const void*>> writes;
+  };
+
+  static Footprint footprintOf(const QueuedCall& call);
+
+  std::vector<QueuedCall> calls_;
+};
+
+}  // namespace ninf::client

@@ -1,0 +1,58 @@
+// Error types shared across the Ninf reproduction.
+//
+// The library throws exceptions derived from ninf::Error for conditions a
+// caller can reasonably handle (protocol violations, lookup failures,
+// transport loss).  Programming errors are guarded with NINF_REQUIRE, which
+// throws std::logic_error so tests can assert on misuse.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ninf {
+
+/// Base class for all recoverable errors raised by the Ninf libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or unexpected bytes on the wire (XDR underflow, bad magic, ...).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error("protocol: " + what) {}
+};
+
+/// Transport-level failure: peer closed, connect refused, short read.
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error("transport: " + what) {}
+};
+
+/// A named entity (executable, server, argument) was not found.
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error("not found: " + what) {}
+};
+
+/// The remote side reported a failure executing the request.
+class RemoteError : public Error {
+ public:
+  explicit RemoteError(const std::string& what) : Error("remote: " + what) {}
+};
+
+/// IDL text could not be parsed.
+class IdlError : public Error {
+ public:
+  explicit IdlError(const std::string& what) : Error("idl: " + what) {}
+};
+
+#define NINF_REQUIRE(cond, msg)                                      \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      throw std::logic_error(std::string("precondition failed: ") + \
+                             (msg) + " [" #cond "]");                \
+    }                                                                \
+  } while (0)
+
+}  // namespace ninf

@@ -1,0 +1,35 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace ninf {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_sink_mutex;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel logLevel() { return g_level.load(); }
+
+namespace log_detail {
+void emit(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[ninf %s] %s\n", levelName(level), message.c_str());
+}
+}  // namespace log_detail
+
+}  // namespace ninf

@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// Server and transport code logs through here; benchmarks default to Warn so
+// table output stays clean.  Thread-safe (one mutex around the sink).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ninf {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+namespace log_detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Global threshold; messages below it are discarded.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Build-and-emit helper: NINF_LOG(Info) << "connected to " << host;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_detail::emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define NINF_LOG(level)                                 \
+  if (::ninf::LogLevel::level < ::ninf::logLevel()) {   \
+  } else                                                \
+    ::ninf::LogLine(::ninf::LogLevel::level)
+
+}  // namespace ninf

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation.
+//
+// The benchmark harness must be reproducible run-to-run (the paper laments
+// that Internet-scale benchmarks are irreproducible, section 7); every
+// stochastic decision in the simulator draws from a seeded SplitMix64 so
+// identical configurations produce identical tables.
+#pragma once
+
+#include <cstdint>
+
+namespace ninf {
+
+/// SplitMix64: tiny, fast, passes BigCrush when used as a 64-bit stream.
+/// Used for workload arrival coin flips and matrix fill; NOT for the NAS EP
+/// kernel, which mandates its own linear congruential generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool nextBool(double p) { return nextDouble() < p; }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  std::uint64_t nextBelow(std::uint64_t bound) {
+    // 128-bit multiply keeps the distribution unbiased enough for workloads.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Derive an independent stream (for per-client generators).
+  SplitMix64 split() { return SplitMix64(next() ^ 0xa5a5a5a5deadbeefULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ninf

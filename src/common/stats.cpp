@@ -1,0 +1,84 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace ninf {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::min() const {
+  NINF_REQUIRE(n_ > 0, "min of empty stats");
+  return min_;
+}
+
+double RunningStats::max() const {
+  NINF_REQUIRE(n_ > 0, "max of empty stats");
+  return max_;
+}
+
+double RunningStats::mean() const {
+  NINF_REQUIRE(n_ > 0, "mean of empty stats");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStats::triple(int precision) const {
+  if (n_ == 0) return "-/-/-";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f/%.*f/%.*f", precision, max_, precision,
+                min_, precision, mean_);
+  return buf;
+}
+
+void TimeWeightedStats::update(double now, double value) {
+  if (started_ && now > last_time_) {
+    weighted_sum_ += current_ * (now - last_time_);
+    total_time_ += now - last_time_;
+  }
+  started_ = true;
+  last_time_ = now;
+  current_ = value;
+  max_ = std::max(max_, value);
+}
+
+double TimeWeightedStats::average(double now) {
+  update(now, current_);
+  if (total_time_ <= 0.0) return current_;
+  return weighted_sum_ / total_time_;
+}
+
+}  // namespace ninf

@@ -1,0 +1,64 @@
+// Streaming statistics used throughout the benchmark harness.
+//
+// The paper reports every measured quantity as max/min/mean triples
+// (Tables 3-8); RunningStats accumulates exactly those plus variance using
+// Welford's numerically stable update.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+namespace ninf {
+
+/// Single-pass accumulator for max/min/mean/variance of a stream of doubles.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+  /// "max/min/mean" with the given precision, matching the paper's tables.
+  std::string triple(int precision = 2) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted average of a step function, e.g. CPU utilization or the
+/// number of runnable tasks (load average) over a simulation run.
+class TimeWeightedStats {
+ public:
+  /// Record that `value` held from the previous update time until `now`.
+  void update(double now, double value);
+
+  /// Close the window at `now` and return the time-weighted mean.
+  double average(double now);
+
+  double maxValue() const { return max_; }
+
+ private:
+  bool started_ = false;
+  double last_time_ = 0.0;
+  double current_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double total_time_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ninf

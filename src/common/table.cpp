@@ -1,0 +1,103 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ninf {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  NINF_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(const std::string& s) {
+  NINF_REQUIRE(!rows_.empty(), "call row() before cell()");
+  NINF_REQUIRE(rows_.back().size() < header_.size(), "too many cells in row");
+  rows_.back().push_back(s);
+  return *this;
+}
+
+TextTable& TextTable::cell(const char* s) { return cell(std::string(s)); }
+
+TextTable& TextTable::cell(long long v) { return cell(std::to_string(v)); }
+TextTable& TextTable::cell(int v) { return cell(std::to_string(v)); }
+TextTable& TextTable::cell(std::size_t v) { return cell(std::to_string(v)); }
+
+TextTable& TextTable::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return cell(std::string(buf));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      width[i] = std::max(width[i], r[i].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      const std::string& s = i < cells.size() ? cells[i] : std::string();
+      os << s << std::string(width[i] - s.size(), ' ');
+      if (i + 1 < header_.size()) os << " | ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w;
+  os << std::string(total + 3 * (header_.size() - 1), '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string TextTable::str() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+namespace {
+void emitCsvCell(std::ostream& os, const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+}  // namespace
+
+void TextTable::printCsv(std::ostream& os) const {
+  auto emitRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      if (i) os << ',';
+      emitCsvCell(os, i < cells.size() ? cells[i] : std::string());
+    }
+    os << '\n';
+  };
+  emitRow(header_);
+  for (const auto& r : rows_) emitRow(r);
+}
+
+std::string TextTable::csv() const {
+  std::ostringstream oss;
+  printCsv(oss);
+  return oss.str();
+}
+
+}  // namespace ninf

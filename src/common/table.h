@@ -1,0 +1,43 @@
+// Plain-text table formatter used by the benchmark harness to emit rows in
+// the same layout as the paper's Tables 2-8.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ninf {
+
+/// Column-aligned text table.  Cells are strings; numeric helpers format
+/// with fixed precision.  Rendering pads each column to its widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Begin a new row; subsequent cell() calls append to it.
+  TextTable& row();
+  TextTable& cell(const std::string& s);
+  TextTable& cell(const char* s);
+  TextTable& cell(long long v);
+  TextTable& cell(int v);
+  TextTable& cell(std::size_t v);
+  TextTable& cell(double v, int precision = 2);
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+  /// Render with ' | ' separators and a rule under the header.
+  void print(std::ostream& os) const;
+  std::string str() const;
+
+  /// RFC-4180-ish CSV rendering (quotes cells containing , " or \n) so
+  /// bench output can feed plotting scripts directly.
+  void printCsv(std::ostream& os) const;
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ninf

@@ -1,0 +1,53 @@
+// Fixed-size worker pool.
+//
+// Used by the real (non-simulated) Ninf server for task-parallel execution
+// of Ninf executables, and by the threaded LU factorization in numlib.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ninf {
+
+/// Fixed pool of worker threads draining a FIFO of tasks.
+/// Exceptions thrown by a task propagate through the returned future.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return threads_.size(); }
+
+  /// Enqueue a task; returns a future for its completion/exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished.
+  void drain();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run `body(i)` for i in [0, n) across at most `workers` threads and wait.
+/// Convenience used by the data-parallel LU kernels.
+void parallelFor(std::size_t n, std::size_t workers,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace ninf

@@ -1,0 +1,150 @@
+#include "idl/expr.h"
+
+#include "common/error.h"
+
+namespace ninf::idl {
+
+ExprProgram ExprProgram::constant(std::int64_t v) {
+  return ExprProgram({{Op::PushConst, v}});
+}
+
+ExprProgram ExprProgram::argument(std::int64_t index) {
+  return ExprProgram({{Op::PushArg, index}});
+}
+
+std::int64_t ExprProgram::evaluate(std::span<const std::int64_t> args) const {
+  std::vector<std::int64_t> stack;
+  stack.reserve(8);
+  auto pop = [&]() {
+    if (stack.empty()) throw ProtocolError("expr stack underflow");
+    const std::int64_t v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+  for (const auto& ins : code_) {
+    switch (ins.op) {
+      case Op::PushConst:
+        stack.push_back(ins.operand);
+        break;
+      case Op::PushArg:
+        if (ins.operand < 0 ||
+            static_cast<std::size_t>(ins.operand) >= args.size()) {
+          throw ProtocolError("expr argument index out of range");
+        }
+        stack.push_back(args[static_cast<std::size_t>(ins.operand)]);
+        break;
+      case Op::Add: {
+        const auto b = pop(), a = pop();
+        stack.push_back(a + b);
+        break;
+      }
+      case Op::Sub: {
+        const auto b = pop(), a = pop();
+        stack.push_back(a - b);
+        break;
+      }
+      case Op::Mul: {
+        const auto b = pop(), a = pop();
+        stack.push_back(a * b);
+        break;
+      }
+      case Op::Div: {
+        const auto b = pop(), a = pop();
+        if (b == 0) throw ProtocolError("expr division by zero");
+        stack.push_back(a / b);
+        break;
+      }
+      case Op::Pow: {
+        const auto b = pop(), a = pop();
+        if (b < 0) throw ProtocolError("expr negative exponent");
+        std::int64_t result = 1;
+        for (std::int64_t i = 0; i < b; ++i) result *= a;
+        stack.push_back(result);
+        break;
+      }
+    }
+  }
+  if (stack.size() != 1) throw ProtocolError("expr must yield one value");
+  return stack.back();
+}
+
+bool ExprProgram::validate(std::size_t arg_count) const {
+  std::size_t depth = 0;
+  for (const auto& ins : code_) {
+    switch (ins.op) {
+      case Op::PushConst:
+        ++depth;
+        break;
+      case Op::PushArg:
+        if (ins.operand < 0 ||
+            static_cast<std::size_t>(ins.operand) >= arg_count) {
+          return false;
+        }
+        ++depth;
+        break;
+      default:
+        if (depth < 2) return false;
+        --depth;
+        break;
+    }
+  }
+  return depth == 1;
+}
+
+void ExprProgram::encode(xdr::Encoder& enc) const {
+  enc.putU32(static_cast<std::uint32_t>(code_.size()));
+  for (const auto& ins : code_) {
+    enc.putU32(static_cast<std::uint32_t>(ins.op));
+    enc.putI64(ins.operand);
+  }
+}
+
+ExprProgram ExprProgram::decode(xdr::Decoder& dec) {
+  const std::uint32_t n = dec.getU32();
+  if (n > 4096) throw ProtocolError("expr program unreasonably large");
+  std::vector<Instruction> code;
+  code.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t op = dec.getU32();
+    if (op > static_cast<std::uint32_t>(Op::Pow)) {
+      throw ProtocolError("unknown expr opcode");
+    }
+    code.push_back({static_cast<Op>(op), dec.getI64()});
+  }
+  return ExprProgram(std::move(code));
+}
+
+std::string ExprProgram::toString(std::span<const std::string> arg_names) const {
+  std::vector<std::string> stack;
+  auto pop = [&]() {
+    if (stack.empty()) return std::string("?");
+    std::string v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+  auto binop = [&](const char* sym) {
+    const std::string b = pop(), a = pop();
+    stack.push_back("(" + a + sym + b + ")");
+  };
+  for (const auto& ins : code_) {
+    switch (ins.op) {
+      case Op::PushConst:
+        stack.push_back(std::to_string(ins.operand));
+        break;
+      case Op::PushArg: {
+        const auto idx = static_cast<std::size_t>(ins.operand);
+        stack.push_back(idx < arg_names.size() ? arg_names[idx]
+                                               : "arg" + std::to_string(idx));
+        break;
+      }
+      case Op::Add: binop("+"); break;
+      case Op::Sub: binop("-"); break;
+      case Op::Mul: binop("*"); break;
+      case Op::Div: binop("/"); break;
+      case Op::Pow: binop("^"); break;
+    }
+  }
+  return stack.empty() ? std::string() : stack.back();
+}
+
+}  // namespace ninf::idl

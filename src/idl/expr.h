@@ -1,0 +1,71 @@
+// Compiled size/complexity expressions.
+//
+// Ninf IDL array dimensions (and the optional CalcOrder complexity hint)
+// are arithmetic expressions over the scalar input arguments, e.g.
+// `double A[n][n]`.  The server compiles each expression into a tiny RPN
+// program; the program is part of the "interpretable code" shipped to the
+// client in the first phase of the two-stage RPC (paper, section 2.3), so
+// the client can size buffers without ever seeing IDL text.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "xdr/xdr.h"
+
+namespace ninf::idl {
+
+enum class Op : std::uint8_t {
+  PushConst,  // push immediate int64
+  PushArg,    // push scalar argument by parameter index
+  Add,
+  Sub,
+  Mul,
+  Div,  // integer division; divisor 0 -> ProtocolError
+  Pow,  // exponentiation by non-negative integer exponent
+};
+
+struct Instruction {
+  Op op;
+  std::int64_t operand = 0;  // constant value or argument index
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// A post-order (RPN) expression program over int64 scalars.
+class ExprProgram {
+ public:
+  ExprProgram() = default;
+  explicit ExprProgram(std::vector<Instruction> code) : code_(std::move(code)) {}
+
+  /// Convenience for a constant expression.
+  static ExprProgram constant(std::int64_t v);
+  /// Convenience for a single argument reference.
+  static ExprProgram argument(std::int64_t index);
+
+  bool empty() const { return code_.empty(); }
+  const std::vector<Instruction>& code() const { return code_; }
+
+  /// Evaluate against the scalar arguments of a call.
+  /// Argument indices out of range or stack errors raise ProtocolError.
+  std::int64_t evaluate(std::span<const std::int64_t> args) const;
+
+  /// Structural validation: every PushArg index < argCount and the stack
+  /// discipline balances to exactly one result.
+  bool validate(std::size_t arg_count) const;
+
+  void encode(xdr::Encoder& enc) const;
+  static ExprProgram decode(xdr::Decoder& dec);
+
+  /// Human-readable infix-ish rendering for diagnostics, e.g. "(n*n)".
+  std::string toString(std::span<const std::string> arg_names) const;
+
+  bool operator==(const ExprProgram&) const = default;
+
+ private:
+  std::vector<Instruction> code_;
+};
+
+}  // namespace ninf::idl

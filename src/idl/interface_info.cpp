@@ -1,0 +1,187 @@
+#include "idl/interface_info.h"
+
+#include "common/error.h"
+
+namespace ninf::idl {
+
+std::size_t scalarTypeSize(ScalarType t) {
+  switch (t) {
+    case ScalarType::Int: return 4;
+    case ScalarType::Long: return 8;
+    case ScalarType::Float: return 4;
+    case ScalarType::Double: return 8;
+  }
+  return 0;
+}
+
+const char* modeName(Mode m) {
+  switch (m) {
+    case Mode::In: return "mode_in";
+    case Mode::Out: return "mode_out";
+    case Mode::InOut: return "mode_inout";
+  }
+  return "?";
+}
+
+const char* scalarTypeName(ScalarType t) {
+  switch (t) {
+    case ScalarType::Int: return "int";
+    case ScalarType::Long: return "long";
+    case ScalarType::Float: return "float";
+    case ScalarType::Double: return "double";
+  }
+  return "?";
+}
+
+std::int64_t Param::elementCount(
+    std::span<const std::int64_t> scalar_args) const {
+  std::int64_t count = 1;
+  for (const auto& dim : dims) {
+    const std::int64_t d = dim.evaluate(scalar_args);
+    if (d < 0) throw ProtocolError("negative array dimension for " + name);
+    count *= d;
+  }
+  return count;
+}
+
+std::size_t InterfaceInfo::paramIndex(const std::string& pname) const {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name == pname) return i;
+  }
+  throw NotFoundError("parameter '" + pname + "' of " + name);
+}
+
+namespace {
+std::int64_t shippedBytes(const InterfaceInfo& info,
+                          std::span<const std::int64_t> scalar_args,
+                          bool inbound) {
+  std::int64_t total = 0;
+  for (const auto& p : info.params) {
+    const bool shipped = inbound ? p.shippedIn() : p.shippedOut();
+    if (!shipped) continue;
+    if (p.isScalar()) {
+      // XDR scalars occupy at least 4 bytes.
+      total += static_cast<std::int64_t>(
+          std::max<std::size_t>(scalarTypeSize(p.type), 4));
+    } else {
+      total += 4 +  // array count prefix
+               p.elementCount(scalar_args) *
+                   static_cast<std::int64_t>(scalarTypeSize(p.type));
+    }
+  }
+  return total;
+}
+}  // namespace
+
+std::int64_t InterfaceInfo::bytesIn(
+    std::span<const std::int64_t> scalar_args) const {
+  return shippedBytes(*this, scalar_args, /*inbound=*/true);
+}
+
+std::int64_t InterfaceInfo::bytesOut(
+    std::span<const std::int64_t> scalar_args) const {
+  return shippedBytes(*this, scalar_args, /*inbound=*/false);
+}
+
+std::int64_t InterfaceInfo::bytesTotal(
+    std::span<const std::int64_t> scalar_args) const {
+  return bytesIn(scalar_args) + bytesOut(scalar_args);
+}
+
+std::int64_t InterfaceInfo::flopsEstimate(
+    std::span<const std::int64_t> scalar_args) const {
+  if (calc_order.empty()) return 0;
+  return calc_order.evaluate(scalar_args);
+}
+
+bool InterfaceInfo::validate() const {
+  const std::size_t n = params.size();
+  for (const auto& p : params) {
+    for (const auto& dim : p.dims) {
+      if (!dim.validate(n)) return false;
+    }
+  }
+  if (!calc_order.empty() && !calc_order.validate(n)) return false;
+  for (auto idx : call_arg_order) {
+    if (idx >= n) return false;
+  }
+  return true;
+}
+
+void InterfaceInfo::encode(xdr::Encoder& enc) const {
+  enc.putString(name);
+  enc.putString(description);
+  enc.putU32(static_cast<std::uint32_t>(required.size()));
+  for (const auto& r : required) enc.putString(r);
+  enc.putU32(static_cast<std::uint32_t>(params.size()));
+  for (const auto& p : params) {
+    enc.putString(p.name);
+    enc.putU32(static_cast<std::uint32_t>(p.mode));
+    enc.putU32(static_cast<std::uint32_t>(p.type));
+    enc.putU32(static_cast<std::uint32_t>(p.dims.size()));
+    for (const auto& d : p.dims) d.encode(enc);
+  }
+  calc_order.encode(enc);
+  enc.putString(call_language);
+  enc.putString(call_target);
+  enc.putU32(static_cast<std::uint32_t>(call_arg_order.size()));
+  for (auto idx : call_arg_order) enc.putU32(idx);
+}
+
+InterfaceInfo InterfaceInfo::decode(xdr::Decoder& dec) {
+  InterfaceInfo info;
+  info.name = dec.getString();
+  info.description = dec.getString();
+  const std::uint32_t nreq = dec.getU32();
+  if (nreq > 1024) throw ProtocolError("too many Required clauses");
+  for (std::uint32_t i = 0; i < nreq; ++i) {
+    info.required.push_back(dec.getString());
+  }
+  const std::uint32_t nparams = dec.getU32();
+  if (nparams > 4096) throw ProtocolError("too many parameters");
+  for (std::uint32_t i = 0; i < nparams; ++i) {
+    Param p;
+    p.name = dec.getString();
+    const std::uint32_t mode = dec.getU32();
+    if (mode > static_cast<std::uint32_t>(Mode::InOut)) {
+      throw ProtocolError("bad parameter mode");
+    }
+    p.mode = static_cast<Mode>(mode);
+    const std::uint32_t type = dec.getU32();
+    if (type > static_cast<std::uint32_t>(ScalarType::Double)) {
+      throw ProtocolError("bad parameter type");
+    }
+    p.type = static_cast<ScalarType>(type);
+    const std::uint32_t ndims = dec.getU32();
+    if (ndims > 16) throw ProtocolError("too many array dimensions");
+    for (std::uint32_t d = 0; d < ndims; ++d) {
+      p.dims.push_back(ExprProgram::decode(dec));
+    }
+    info.params.push_back(std::move(p));
+  }
+  info.calc_order = ExprProgram::decode(dec);
+  info.call_language = dec.getString();
+  info.call_target = dec.getString();
+  const std::uint32_t norder = dec.getU32();
+  if (norder > 4096) throw ProtocolError("bad call order length");
+  for (std::uint32_t i = 0; i < norder; ++i) {
+    info.call_arg_order.push_back(dec.getU32());
+  }
+  if (!info.validate()) throw ProtocolError("interface info fails validation");
+  return info;
+}
+
+std::vector<std::uint8_t> InterfaceInfo::toBytes() const {
+  xdr::Encoder enc;
+  encode(enc);
+  return enc.take();
+}
+
+InterfaceInfo InterfaceInfo::fromBytes(std::span<const std::uint8_t> bytes) {
+  xdr::Decoder dec(bytes);
+  InterfaceInfo info = decode(dec);
+  if (!dec.atEnd()) throw ProtocolError("trailing bytes after interface info");
+  return info;
+}
+
+}  // namespace ninf::idl

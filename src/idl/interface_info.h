@@ -1,0 +1,87 @@
+// Compiled interface description of a Ninf executable.
+//
+// This is what the Ninf stub generator produces from IDL text on the server
+// side, and what is shipped to the client as "interpretable code" during the
+// first phase of the two-stage RPC (paper, section 2.3): the client never
+// sees IDL text, only this compiled, XDR-serializable form, from which it
+// marshals arguments and sizes result buffers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "idl/expr.h"
+#include "xdr/xdr.h"
+
+namespace ninf::idl {
+
+/// Argument access mode (paper: mode_in / mode_out; inout for completeness).
+enum class Mode : std::uint8_t { In, Out, InOut };
+
+/// Element type of a parameter.
+enum class ScalarType : std::uint8_t { Int, Long, Float, Double };
+
+std::size_t scalarTypeSize(ScalarType t);
+const char* modeName(Mode m);
+const char* scalarTypeName(ScalarType t);
+
+/// One formal parameter: a scalar or a dense array whose dimensions are
+/// expressions over the scalar input parameters.
+struct Param {
+  std::string name;
+  Mode mode = Mode::In;
+  ScalarType type = ScalarType::Double;
+  std::vector<ExprProgram> dims;  // empty => scalar
+
+  bool isScalar() const { return dims.empty(); }
+  bool shippedIn() const { return mode != Mode::Out; }
+  bool shippedOut() const { return mode != Mode::In; }
+
+  /// Number of elements given the call's scalar arguments (1 for scalars).
+  std::int64_t elementCount(std::span<const std::int64_t> scalar_args) const;
+
+  bool operator==(const Param&) const = default;
+};
+
+/// Complete compiled description of one registered Ninf executable.
+struct InterfaceInfo {
+  std::string name;               // RPC entry name, e.g. "dmmul"
+  std::string description;        // human-readable comment from the IDL
+  std::vector<std::string> required;  // 'Required "libxxx.o"' clauses
+  std::vector<Param> params;
+  /// Optional complexity hint ('CalcOrder 2*n^3/3;'): floating-point
+  /// operation count as a function of the scalar inputs.  Used by the
+  /// Shortest-Job-First server policy and the metaserver (section 5.1-5.2).
+  ExprProgram calc_order;
+  std::string call_language;      // Calls "C" ...
+  std::string call_target;        // local routine name
+  std::vector<std::uint32_t> call_arg_order;  // call position -> param index
+
+  std::size_t paramIndex(const std::string& pname) const;  // throws NotFound
+
+  /// Bytes of argument data shipped client->server for a call, including
+  /// the 4-byte per-array count prefixes (scalars count their XDR size).
+  std::int64_t bytesIn(std::span<const std::int64_t> scalar_args) const;
+  /// Bytes shipped server->client in the result message.
+  std::int64_t bytesOut(std::span<const std::int64_t> scalar_args) const;
+  std::int64_t bytesTotal(std::span<const std::int64_t> scalar_args) const;
+
+  /// Estimated flop count from calc_order (0 when no hint was given).
+  std::int64_t flopsEstimate(std::span<const std::int64_t> scalar_args) const;
+
+  /// Structural validation of every embedded expression program.
+  bool validate() const;
+
+  void encode(xdr::Encoder& enc) const;
+  static InterfaceInfo decode(xdr::Decoder& dec);
+
+  /// Round-trip convenience: serialize to a standalone XDR blob.
+  std::vector<std::uint8_t> toBytes() const;
+  static InterfaceInfo fromBytes(std::span<const std::uint8_t> bytes);
+
+  bool operator==(const InterfaceInfo&) const = default;
+};
+
+}  // namespace ninf::idl

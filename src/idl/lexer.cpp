@@ -1,0 +1,126 @@
+#include "idl/lexer.h"
+
+#include <cctype>
+
+#include "common/error.h"
+
+namespace ninf::idl {
+
+const char* tokenKindName(TokenKind k) {
+  switch (k) {
+    case TokenKind::Ident: return "identifier";
+    case TokenKind::Number: return "number";
+    case TokenKind::String: return "string";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Caret: return "'^'";
+    case TokenKind::End: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = source.size();
+
+  auto push = [&](TokenKind k, std::string text = {}, std::int64_t num = 0) {
+    tokens.push_back({k, std::move(text), num, line});
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // line comment
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {  // block comment
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) {
+        throw IdlError("unterminated block comment at line " +
+                       std::to_string(line));
+      }
+      i += 2;
+      continue;
+    }
+    if (c == '"') {
+      std::string text;
+      ++i;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\n') ++line;
+        if (source[i] == '\\' && i + 1 < n) ++i;  // simple escape: take next
+        text.push_back(source[i]);
+        ++i;
+      }
+      if (i >= n) {
+        throw IdlError("unterminated string literal at line " +
+                       std::to_string(line));
+      }
+      ++i;  // closing quote
+      push(TokenKind::String, std::move(text));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t value = 0;
+      std::size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        value = value * 10 + (source[i] - '0');
+        ++i;
+      }
+      push(TokenKind::Number, source.substr(start, i - start), value);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      push(TokenKind::Ident, source.substr(start, i - start));
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenKind::LParen); break;
+      case ')': push(TokenKind::RParen); break;
+      case '[': push(TokenKind::LBracket); break;
+      case ']': push(TokenKind::RBracket); break;
+      case ',': push(TokenKind::Comma); break;
+      case ';': push(TokenKind::Semicolon); break;
+      case '*': push(TokenKind::Star); break;
+      case '+': push(TokenKind::Plus); break;
+      case '-': push(TokenKind::Minus); break;
+      case '/': push(TokenKind::Slash); break;
+      case '^': push(TokenKind::Caret); break;
+      default:
+        throw IdlError(std::string("illegal character '") + c + "' at line " +
+                       std::to_string(line));
+    }
+    ++i;
+  }
+  push(TokenKind::End);
+  return tokens;
+}
+
+}  // namespace ninf::idl

@@ -1,0 +1,43 @@
+// Tokenizer for the Ninf IDL (paper, section 2.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ninf::idl {
+
+enum class TokenKind {
+  Ident,    // Define, dmmul, mode_in, double, n, ...
+  Number,   // integer literal
+  String,   // "double-quoted"
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Star,
+  Plus,
+  Minus,
+  Slash,
+  Caret,
+  End,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;       // identifier name or string contents
+  std::int64_t number = 0;
+  int line = 0;
+
+  bool is(TokenKind k) const { return kind == k; }
+};
+
+/// Tokenize IDL source.  Supports '#' line comments and '/* */' blocks.
+/// Throws ninf::IdlError on illegal characters or unterminated literals.
+std::vector<Token> tokenize(const std::string& source);
+
+const char* tokenKindName(TokenKind k);
+
+}  // namespace ninf::idl

@@ -1,0 +1,355 @@
+#include "idl/parser.h"
+
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "common/error.h"
+#include "idl/lexer.h"
+
+namespace ninf::idl {
+
+namespace {
+
+// Expression AST with unresolved identifier references; compiled to an
+// ExprProgram once the full parameter list (and thus name->index map) is
+// known, so dimensions may reference parameters declared later.
+struct ExprNode {
+  enum class Kind { Const, Ref, Binary } kind;
+  std::int64_t value = 0;       // Const
+  std::string ref;              // Ref
+  int ref_line = 0;
+  Op op = Op::Add;              // Binary
+  std::unique_ptr<ExprNode> lhs, rhs;
+};
+
+using ExprPtr = std::unique_ptr<ExprNode>;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : tokens_(tokenize(source)) {}
+
+  std::vector<InterfaceInfo> module() {
+    std::vector<InterfaceInfo> result;
+    while (!peek().is(TokenKind::End)) {
+      result.push_back(define());
+    }
+    return result;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw IdlError(msg + " at line " + std::to_string(peek().line));
+  }
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+
+  Token consume() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  Token expect(TokenKind k, const char* context) {
+    if (!peek().is(k)) {
+      fail(std::string("expected ") + tokenKindName(k) + " " + context +
+           ", found " + tokenKindName(peek().kind) +
+           (peek().is(TokenKind::Ident) ? " '" + peek().text + "'" : ""));
+    }
+    return consume();
+  }
+
+  bool accept(TokenKind k) {
+    if (peek().is(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool acceptIdent(const char* word) {
+    if (peek().is(TokenKind::Ident) && peek().text == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // ------------------------------------------------------------- grammar
+
+  InterfaceInfo define() {
+    if (!acceptIdent("Define")) fail("expected 'Define'");
+    InterfaceInfo info;
+    info.name = expect(TokenKind::Ident, "after Define").text;
+
+    std::vector<std::vector<ExprPtr>> dim_asts;  // per param
+    expect(TokenKind::LParen, "after executable name");
+    if (!peek().is(TokenKind::RParen)) {
+      do {
+        param(info, dim_asts);
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "closing parameter list");
+
+    if (peek().is(TokenKind::String)) {
+      info.description = consume().text;
+      accept(TokenKind::Comma);
+    }
+
+    ExprPtr calc_ast;
+    for (;;) {
+      if (acceptIdent("Required")) {
+        info.required.push_back(
+            expect(TokenKind::String, "after Required").text);
+        accept(TokenKind::Comma);
+      } else if (acceptIdent("CalcOrder")) {
+        calc_ast = expr();
+        accept(TokenKind::Comma);
+      } else {
+        break;
+      }
+    }
+
+    if (!acceptIdent("Calls")) fail("expected 'Calls'");
+    info.call_language = expect(TokenKind::String, "after Calls").text;
+    info.call_target = expect(TokenKind::Ident, "call target name").text;
+    expect(TokenKind::LParen, "opening call argument list");
+    std::vector<std::pair<std::string, int>> call_args;
+    if (!peek().is(TokenKind::RParen)) {
+      do {
+        const Token t = expect(TokenKind::Ident, "call argument");
+        call_args.emplace_back(t.text, t.line);
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "closing call argument list");
+    expect(TokenKind::Semicolon, "terminating Define");
+
+    // Resolve names now that all parameters are known.
+    std::map<std::string, std::size_t> index;
+    for (std::size_t i = 0; i < info.params.size(); ++i) {
+      if (!index.emplace(info.params[i].name, i).second) {
+        throw IdlError("duplicate parameter '" + info.params[i].name +
+                       "' in " + info.name);
+      }
+    }
+    for (std::size_t i = 0; i < info.params.size(); ++i) {
+      for (auto& ast : dim_asts[i]) {
+        std::vector<Instruction> code;
+        compile(*ast, index, info, code);
+        info.params[i].dims.emplace_back(std::move(code));
+      }
+    }
+    if (calc_ast) {
+      std::vector<Instruction> code;
+      compile(*calc_ast, index, info, code);
+      info.calc_order = ExprProgram(std::move(code));
+    }
+    for (const auto& [arg_name, line] : call_args) {
+      auto it = index.find(arg_name);
+      if (it == index.end()) {
+        throw IdlError("Calls argument '" + arg_name +
+                       "' is not a parameter of " + info.name + " (line " +
+                       std::to_string(line) + ")");
+      }
+      info.call_arg_order.push_back(static_cast<std::uint32_t>(it->second));
+    }
+    return info;
+  }
+
+  void param(InterfaceInfo& info, std::vector<std::vector<ExprPtr>>& dim_asts) {
+    Param p;
+    bool saw_long = false;
+    bool saw_type = false;
+    std::string pending;  // last identifier seen; becomes the name
+
+    // Collect modifier/type identifiers; the final identifier before dims
+    // (or the separator) is the parameter name.  This tolerates the paper's
+    // "long mode_in int n" ordering quirk.
+    for (;;) {
+      if (!peek().is(TokenKind::Ident)) break;
+      const std::string& w = peek().text;
+      if (w == "mode_in" || w == "IN") {
+        p.mode = Mode::In;
+      } else if (w == "mode_out" || w == "OUT") {
+        p.mode = Mode::Out;
+      } else if (w == "mode_inout" || w == "INOUT") {
+        p.mode = Mode::InOut;
+      } else if (w == "int") {
+        p.type = ScalarType::Int;
+        saw_type = true;
+      } else if (w == "long") {
+        saw_long = true;
+        saw_type = true;
+      } else if (w == "float") {
+        p.type = ScalarType::Float;
+        saw_type = true;
+      } else if (w == "double") {
+        p.type = ScalarType::Double;
+        saw_type = true;
+      } else {
+        if (!pending.empty()) {
+          fail("unexpected identifier '" + w + "' in parameter declaration");
+        }
+        pending = w;
+        consume();
+        continue;
+      }
+      consume();
+    }
+    if (pending.empty()) fail("missing parameter name");
+    if (saw_long) p.type = ScalarType::Long;
+    if (!saw_type) fail("parameter '" + pending + "' has no type");
+    p.name = pending;
+
+    std::vector<ExprPtr> dims;
+    while (accept(TokenKind::LBracket)) {
+      dims.push_back(expr());
+      expect(TokenKind::RBracket, "closing array dimension");
+    }
+    info.params.push_back(std::move(p));
+    dim_asts.push_back(std::move(dims));
+  }
+
+  ExprPtr expr() {
+    ExprPtr lhs = term();
+    while (peek().is(TokenKind::Plus) || peek().is(TokenKind::Minus)) {
+      const Op op = consume().kind == TokenKind::Plus ? Op::Add : Op::Sub;
+      lhs = binary(op, std::move(lhs), term());
+    }
+    return lhs;
+  }
+
+  ExprPtr term() {
+    ExprPtr lhs = factor();
+    while (peek().is(TokenKind::Star) || peek().is(TokenKind::Slash)) {
+      const Op op = consume().kind == TokenKind::Star ? Op::Mul : Op::Div;
+      lhs = binary(op, std::move(lhs), factor());
+    }
+    return lhs;
+  }
+
+  ExprPtr factor() {
+    ExprPtr base = primary();
+    if (accept(TokenKind::Caret)) {
+      return binary(Op::Pow, std::move(base), primary());
+    }
+    return base;
+  }
+
+  ExprPtr primary() {
+    if (peek().is(TokenKind::Number)) {
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNode::Kind::Const;
+      node->value = consume().number;
+      return node;
+    }
+    if (peek().is(TokenKind::Ident)) {
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNode::Kind::Ref;
+      node->ref_line = peek().line;
+      node->ref = consume().text;
+      return node;
+    }
+    if (accept(TokenKind::LParen)) {
+      ExprPtr inner = expr();
+      expect(TokenKind::RParen, "closing expression");
+      return inner;
+    }
+    fail("expected number, identifier, or '(' in expression");
+  }
+
+  static ExprPtr binary(Op op, ExprPtr lhs, ExprPtr rhs) {
+    auto node = std::make_unique<ExprNode>();
+    node->kind = ExprNode::Kind::Binary;
+    node->op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+
+  static void compile(const ExprNode& node,
+                      const std::map<std::string, std::size_t>& index,
+                      const InterfaceInfo& info,
+                      std::vector<Instruction>& out) {
+    switch (node.kind) {
+      case ExprNode::Kind::Const:
+        out.push_back({Op::PushConst, node.value});
+        break;
+      case ExprNode::Kind::Ref: {
+        auto it = index.find(node.ref);
+        if (it == index.end()) {
+          throw IdlError("expression references unknown parameter '" +
+                         node.ref + "' (line " + std::to_string(node.ref_line) +
+                         ")");
+        }
+        const Param& p = info.params[it->second];
+        if (!p.isScalar() ||
+            (p.type != ScalarType::Int && p.type != ScalarType::Long)) {
+          throw IdlError("dimension expression parameter '" + node.ref +
+                         "' must be a scalar integer (line " +
+                         std::to_string(node.ref_line) + ")");
+        }
+        if (!p.shippedIn()) {
+          throw IdlError("dimension expression parameter '" + node.ref +
+                         "' must be an input (line " +
+                         std::to_string(node.ref_line) + ")");
+        }
+        out.push_back(
+            {Op::PushArg, static_cast<std::int64_t>(it->second)});
+        break;
+      }
+      case ExprNode::Kind::Binary:
+        compile(*node.lhs, index, info, out);
+        compile(*node.rhs, index, info, out);
+        out.push_back({node.op, 0});
+        break;
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<InterfaceInfo> parseModule(const std::string& source) {
+  return Parser(source).module();
+}
+
+InterfaceInfo parseSingle(const std::string& source) {
+  auto all = parseModule(source);
+  if (all.size() != 1) {
+    throw IdlError("expected exactly one Define, found " +
+                   std::to_string(all.size()));
+  }
+  return std::move(all.front());
+}
+
+std::string formatInterface(const InterfaceInfo& info) {
+  std::vector<std::string> names;
+  names.reserve(info.params.size());
+  for (const auto& p : info.params) names.push_back(p.name);
+
+  std::ostringstream os;
+  os << "Define " << info.name << "(";
+  for (std::size_t i = 0; i < info.params.size(); ++i) {
+    const Param& p = info.params[i];
+    if (i) os << ", ";
+    os << modeName(p.mode) << " " << scalarTypeName(p.type) << " " << p.name;
+    for (const auto& d : p.dims) os << "[" << d.toString(names) << "]";
+  }
+  os << ")";
+  if (!info.description.empty()) os << "\n\"" << info.description << "\",";
+  for (const auto& r : info.required) os << "\nRequired \"" << r << "\"";
+  if (!info.calc_order.empty()) {
+    os << "\nCalcOrder " << info.calc_order.toString(names) << ",";
+  }
+  os << "\nCalls \"" << info.call_language << "\" " << info.call_target << "(";
+  for (std::size_t i = 0; i < info.call_arg_order.size(); ++i) {
+    if (i) os << ",";
+    os << info.params[info.call_arg_order[i]].name;
+  }
+  os << ");\n";
+  return os.str();
+}
+
+}  // namespace ninf::idl

@@ -1,0 +1,42 @@
+// Recursive-descent parser for the Ninf IDL (paper, section 2.3).
+//
+// Grammar (paper example plus the CalcOrder extension from section 5.2):
+//
+//   module     := define*
+//   define     := 'Define' IDENT '(' [param {',' param}] ')'
+//                 [STRING [',']]                      -- description
+//                 { 'Required' STRING [',']
+//                 | 'CalcOrder' expr [','] }
+//                 'Calls' STRING IDENT '(' [IDENT {',' IDENT}] ')' ';'
+//   param      := {modifier} IDENT {'[' expr ']'}
+//   modifier   := 'mode_in' | 'mode_out' | 'mode_inout' | 'IN' | 'OUT'
+//               | 'INOUT' | 'int' | 'long' | 'float' | 'double'
+//   expr       := term  {('+'|'-') term}
+//   term       := factor {('*'|'/') factor}
+//   factor     := primary ['^' primary]
+//   primary    := NUMBER | IDENT | '(' expr ')'
+//
+// Identifiers inside dimension / CalcOrder expressions must name scalar
+// parameters of the same Define (forward references are allowed, matching
+// the paper's "array size ... dependent on scalar input arguments").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "idl/interface_info.h"
+
+namespace ninf::idl {
+
+/// Parse a whole IDL module (any number of Define blocks).
+/// Throws ninf::IdlError with a line number on syntax or semantic errors.
+std::vector<InterfaceInfo> parseModule(const std::string& source);
+
+/// Parse a module expected to contain exactly one Define.
+InterfaceInfo parseSingle(const std::string& source);
+
+/// Re-render an InterfaceInfo as canonical IDL text (for diagnostics and
+/// round-trip testing of the stub generator).
+std::string formatInterface(const InterfaceInfo& info);
+
+}  // namespace ninf::idl

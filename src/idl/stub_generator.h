@@ -1,0 +1,36 @@
+// Ninf stub generator (paper, section 2.1):
+//
+// "Binaries of computing libraries and applications are registered on the
+//  server process as Ninf executables, which can be semi-automatically
+//  generated with IDL descriptions using the Ninf stub generator."
+//
+// Given a compiled InterfaceInfo, emits C++ source for a server-side
+// stub: a function that unpacks a CallContext into plain C arguments and
+// invokes the Calls-clause target, plus a registration helper.  The
+// output is self-contained (depends only on the public headers) and is
+// what a `ninf_gen` command-line tool would write next to the library
+// being registered.
+#pragma once
+
+#include <string>
+
+#include "idl/interface_info.h"
+
+namespace ninf::idl {
+
+/// C++ type of the stub-local variable bound to a parameter
+/// ("std::int64_t", "std::span<const double>", ...).
+std::string stubParamType(const Param& param);
+
+/// Generate the stub source for one interface.  `header_name` is emitted
+/// as an #include for the declaration of the call target.
+std::string generateServerStub(const InterfaceInfo& info,
+                               const std::string& header_name);
+
+/// Generate a translation unit registering several interfaces
+/// (`registerGeneratedExecutables(Registry&)`).
+std::string generateRegistrationUnit(
+    const std::vector<InterfaceInfo>& interfaces,
+    const std::string& header_name);
+
+}  // namespace ninf::idl

@@ -1,0 +1,93 @@
+// Calibration constants for the paper's machines and networks.
+//
+// Every number here is *derived from the paper itself* (see DESIGN.md
+// section 6): P_calc curves are solved from the reported client-observed
+// Mflops and throughputs using the section 3.1 cost model
+//     T = T_comm0 + bytes/B  +  T_comp0 + W(n)/P_calc(n),
+// link bandwidths come from the measured FTP throughputs (Table 2 and
+// section 4.1), and EP rates from Table 8.
+#pragma once
+
+#include "machine/machine.h"
+
+namespace ninf::machine::calibration {
+
+// ------------------------------------------------------------- networks
+
+inline constexpr double kMBps = 1e6;  // the paper's MB/s (decimal)
+
+// Table 2: client-server FTP throughputs in the LAN.
+inline constexpr double kFtpSuperToUltra = 4.0 * kMBps;
+inline constexpr double kFtpSuperToAlpha = 4.0 * kMBps;
+inline constexpr double kFtpSuperToJ90 = 2.8 * kMBps;
+inline constexpr double kFtpUltraToAlpha = 7.4 * kMBps;
+inline constexpr double kFtpUltraToJ90 = 2.7 * kMBps;
+inline constexpr double kFtpAlphaToJ90 = 2.9 * kMBps;
+
+// Section 4.1: Ocha-U <-> ETL WAN path, "approximately 0.17 MB/s".
+inline constexpr double kWanOchaToEtl = 0.17 * kMBps;
+
+// LAN propagation latency (campus Ethernet/FDDI, sub-millisecond) and the
+// 60 km WAN path of section 4.1 (milliseconds once routers are counted).
+inline constexpr double kLanLatency = 0.5e-3;
+inline constexpr double kWanLatency = 15e-3;
+
+// The J90's LAN attachment carries more aggregate traffic than one TCP
+// stream achieves: per-flow rates are window-limited (FTP measures
+// 2.7-2.9 MB/s/stream) while the medium sustains more.  5 MB/s solved
+// from the Table 3 c=16 rows (mean per-call throughput 0.86 MB/s with
+// ~5.8 concurrent transfers).
+inline constexpr double kJ90LanCapacity = 4.0 * kMBps;
+/// SPARC SMP LAN attachment (Table 5's throughputs top out ~1.4 MB/s).
+inline constexpr double kSmpLanCapacity = 1.5 * kMBps;
+
+/// Multi-site WAN (Figure 9/10): per-site uplinks toward different
+/// backbones and the server side's aggregate attachment at ETL.  The
+/// attachment is < the sum of uplinks, producing the observed 9-18%
+/// (c=1) / 18-44% (c=4) degradation vs. single-site-solo throughput.
+inline constexpr double kSiteUplinkOcha = 0.17 * kMBps;
+inline constexpr double kSiteUplinkUTokyo = 0.30 * kMBps;
+inline constexpr double kSiteUplinkNITech = 0.22 * kMBps;
+inline constexpr double kSiteUplinkTITech = 0.26 * kMBps;
+inline constexpr double kEtlWanAttachment = 0.55 * kMBps;
+
+// ----------------------------------------------------------- cost model
+
+/// Per-call fixed communication setup (connection + protocol handshake).
+inline constexpr double kTComm0Lan = 0.01;
+inline constexpr double kTComm0Wan = 0.06;
+/// Per-call fixed computation setup (the server's fork & exec).
+inline constexpr double kTComp0 = 0.02;
+
+// ------------------------------------------------------------- machines
+
+/// Cray J90 at ETL, 4 PEs.
+/// 1-PE curve solved from Table 3 (c=1 rows): ~165 Mflops at n=600,
+/// ~184 at n=1400.  4-PE libsci curve solved from Table 4 plus the
+/// section 3.2 statement that local Linpack reaches 600 Mflops at n=1600.
+MachineSpec j90();
+
+/// SuperSPARC SMP server, 16 PEs (Table 5); per-PE rate solved from the
+/// c=4 row (~4.7 Mflops per in-flight call).
+MachineSpec sparcSmp();
+
+/// UltraSPARC workstation server (Figure 3).
+MachineSpec ultraServer();
+
+/// DEC Alpha workstation server (Figures 3-4).
+MachineSpec alphaServer();
+
+/// One node of the 32-node Alpha cluster used for Figure 11.
+MachineSpec alphaClusterNode();
+
+// Client Local Linpack curves (the horizontal baselines of Figures 3-4).
+PerfModel superSparcLocal();
+PerfModel ultraSparcLocal();
+PerfModel alphaLocalOptimized();  // blocked glub4/gslv4
+PerfModel alphaLocalStandard();   // unblocked reference routine
+
+/// Metaserver per-Ninf_call scheduling overhead (Figure 11: the Java
+/// prototype's dispatch cost, visible at small problem sizes).
+inline constexpr double kMetaserverOverheadPerCall = 0.08;
+
+}  // namespace ninf::machine::calibration

@@ -1,0 +1,163 @@
+#include "machine/machine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace ninf::machine {
+
+namespace {
+constexpr double kEpsilonFlops = 1e-3;
+}
+
+SimMachine::SimMachine(simcore::Simulation& sim, MachineSpec spec)
+    : sim_(sim), spec_(std::move(spec)) {
+  NINF_REQUIRE(spec_.pes >= 1, "machine needs at least one PE");
+}
+
+void SimMachine::sampleMetrics() {
+  const double now = sim_.now();
+  const double p = static_cast<double>(spec_.pes);
+  double busy = static_cast<double>(shared_.size()) +
+                static_cast<double>(busy_tasks_);
+  if (exclusive_running_) busy += p;
+  utilization_.update(now, std::min(busy, p) / p);
+
+  load_.update(now, instantaneousLoad());
+}
+
+void SimMachine::startShared(double flops, double rate_full, bool in_load,
+                             std::coroutine_handle<> h) {
+  NINF_REQUIRE(rate_full > 0, "shared job needs a positive rate");
+  auto task = std::make_unique<SharedTask>();
+  task->remaining = flops;
+  task->rate_full = rate_full;
+  task->in_load = in_load;
+  task->waiter = h;
+  shared_.push_back(std::move(task));
+  updateShared();
+}
+
+void SimMachine::updateShared() {
+  const double now = sim_.now();
+  const double dt = now - last_advance_;
+  if (dt > 0) {
+    for (auto& t : shared_) {
+      t->remaining -= std::min(t->remaining, t->rate * dt);
+    }
+  }
+  last_advance_ = now;
+
+  std::vector<std::coroutine_handle<>> finished;
+  for (auto it = shared_.begin(); it != shared_.end();) {
+    if ((*it)->remaining <= kEpsilonFlops) {
+      finished.push_back((*it)->waiter);
+      it = shared_.erase(it);
+      ++completed_;
+    } else {
+      ++it;
+    }
+  }
+  for (auto h : finished) {
+    sim_.schedule(0.0, [h] { h.resume(); });
+  }
+
+  // Processor sharing: k jobs over P PEs run at min(1, P/k) of full speed.
+  // An exclusive job squeezes shared work out entirely while it runs
+  // (it owns every PE), which matches serialized fork&exec behaviour.
+  const std::size_t k = shared_.size();
+  if (k > 0) {
+    double share =
+        exclusive_running_
+            ? 0.0
+            : std::min(1.0, static_cast<double>(spec_.pes) /
+                                static_cast<double>(k));
+    // Avoid absolute starvation under an exclusive job: the OS still
+    // trickles cycles to runnable processes (1% floor).
+    share = std::max(share, 0.01);
+    for (auto& t : shared_) t->rate = t->rate_full * share;
+  }
+
+  sampleMetrics();
+
+  if (shared_.empty()) {
+    next_shared_completion_.cancel();
+    return;
+  }
+  double horizon = std::numeric_limits<double>::infinity();
+  for (const auto& t : shared_) {
+    horizon = std::min(horizon, t->remaining / t->rate);
+  }
+  next_shared_completion_.cancel();
+  next_shared_completion_ = sim_.schedule(horizon, [this] { updateShared(); });
+}
+
+void SimMachine::startExclusive(double flops, double rate, bool in_load,
+                                std::coroutine_handle<> h) {
+  NINF_REQUIRE(rate > 0, "exclusive job needs a positive rate");
+  exclusive_queue_.push_back({flops, rate, in_load, h});
+  sampleMetrics();
+  pumpExclusive();
+}
+
+void SimMachine::pumpExclusive() {
+  if (exclusive_running_ || exclusive_queue_.empty()) return;
+  const ExclusiveJob job = exclusive_queue_.front();
+  exclusive_queue_.erase(exclusive_queue_.begin());
+  exclusive_running_ = true;
+  // A data-parallel job spawns P runnable threads; when it comes from an
+  // attached executable one of them is the process already counted.
+  exclusive_load_contribution_ =
+      static_cast<double>(spec_.pes) - (job.in_load ? 0.0 : 1.0);
+  updateShared();  // shared jobs slow down while we own the machine
+  const double duration = job.flops / job.rate;
+  sim_.schedule(duration, [this, h = job.waiter] {
+    exclusive_running_ = false;
+    ++completed_;
+    updateShared();  // shared jobs speed back up
+    pumpExclusive();
+    sim_.schedule(0.0, [h] { h.resume(); });
+  });
+}
+
+void SimMachine::execAttached() {
+  ++attached_execs_;
+  sampleMetrics();
+}
+
+void SimMachine::execDetached() {
+  NINF_REQUIRE(attached_execs_ > 0, "detach without attach");
+  --attached_execs_;
+  sampleMetrics();
+}
+
+void SimMachine::startBusy(double seconds, std::coroutine_handle<> h) {
+  ++busy_tasks_;
+  sampleMetrics();
+  sim_.schedule(seconds, [this, h] {
+    --busy_tasks_;
+    sampleMetrics();
+    sim_.schedule(0.0, [h] { h.resume(); });
+  });
+}
+
+double SimMachine::cpuUtilizationPercent() {
+  return utilization_.average(sim_.now()) * 100.0;
+}
+
+double SimMachine::loadAverage() { return load_.average(sim_.now()); }
+
+double SimMachine::instantaneousLoad() const {
+  double load = static_cast<double>(attached_execs_);
+  for (const auto& t : shared_) {
+    if (t->in_load) load += 1.0;
+  }
+  for (const auto& j : exclusive_queue_) {
+    if (j.in_load) load += 1.0;
+  }
+  if (exclusive_running_) load += exclusive_load_contribution_;
+  return load;
+}
+
+}  // namespace ninf::machine

@@ -1,0 +1,172 @@
+// Simulated computational server machine: P processing elements with
+// task-parallel (processor-sharing) and data-parallel (whole-machine
+// FCFS) execution, plus the utilization / load-average accounting the
+// paper reports in every multi-client table.
+//
+// Execution styles (paper, sections 1 and 4.1):
+//  * computeShared    — "distribute the computing resources amongst
+//    different client requests in a task parallel manner": each job takes
+//    one PE; when more jobs than PEs are runnable the pool degrades
+//    gracefully into processor sharing (Unix timesharing of fork&exec'd
+//    executables).
+//  * computeExclusive — "allocate all the processors to each client task
+//    in a data parallel manner in sequence": FIFO, one job at a time,
+//    running at the machine's full parallel rate.
+//  * busyWork         — auxiliary CPU time (XDR marshalling of arguments)
+//    that contributes to utilization but models no PE contention.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "machine/perf_model.h"
+#include "simcore/simulation.h"
+
+namespace ninf::machine {
+
+/// Static description of a server or client machine.
+struct MachineSpec {
+  std::string name;
+  std::size_t pes = 1;          // processing elements
+  PerfModel per_pe;             // Linpack rate of one PE
+  PerfModel full_machine;       // Linpack rate with all PEs (optimized lib)
+  double ep_ops_per_sec = 1e6;  // EP kernel rate of one PE
+  /// CPU cost of XDR marshalling, bytes/second (0 = free).
+  double xdr_bytes_per_sec = 0.0;
+};
+
+class SimMachine {
+ public:
+  SimMachine(simcore::Simulation& sim, MachineSpec spec);
+
+  const MachineSpec& spec() const { return spec_; }
+
+  /// Task-parallel job: `flops` of work at up to `rate_full` flops/s on
+  /// one PE; actual rate shrinks to rate_full * P/k when k > P jobs run.
+  /// `in_load` is false when the caller is an attached executable (its
+  /// residency already counts toward the load average).
+  auto computeShared(double flops, double rate_full, bool in_load = true) {
+    struct Awaiter {
+      SimMachine& m;
+      double flops, rate;
+      bool in_load;
+      bool await_ready() const noexcept { return flops <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        m.startShared(flops, rate, in_load, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, flops, rate_full, in_load};
+  }
+
+  /// Data-parallel job: whole machine, FIFO, at `rate_full` flops/s.
+  auto computeExclusive(double flops, double rate_full,
+                        bool in_load = true) {
+    struct Awaiter {
+      SimMachine& m;
+      double flops, rate;
+      bool in_load;
+      bool await_ready() const noexcept { return flops <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        m.startExclusive(flops, rate, in_load, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, flops, rate_full, in_load};
+  }
+
+  /// One PE-second per second of auxiliary CPU work (marshalling);
+  /// contributes to utilization, does not contend.
+  auto busyWork(double seconds) {
+    struct Awaiter {
+      SimMachine& m;
+      double seconds;
+      bool await_ready() const noexcept { return seconds <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        m.startBusy(seconds, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, seconds};
+  }
+
+  /// A Ninf executable process became resident (fork&exec through result
+  /// return).  Resident processes count toward the load average — Unix
+  /// load includes processes waiting on I/O — but not CPU utilization.
+  void execAttached();
+  void execDetached();
+
+  /// Marshalling time for `bytes` of argument data (0 when cost not set).
+  double xdrSeconds(double bytes) const {
+    return spec_.xdr_bytes_per_sec > 0 ? bytes / spec_.xdr_bytes_per_sec
+                                       : 0.0;
+  }
+
+  // ------------------------------------------------------------ metrics
+
+  /// Time-averaged fraction of PEs busy, in percent (paper's "CPU
+  /// Utilization" column).
+  double cpuUtilizationPercent();
+  /// Time-averaged runnable/resident task count (paper's "Load Average"
+  /// column): resident executables count 1 each; an exclusive job adds
+  /// P-1 extra while running (its parallel threads); queued exclusive
+  /// jobs count 1 each.  Compute tasks not wrapped in an attached
+  /// executable (bare computeShared) count 1 each.
+  double loadAverage();
+  double maxLoad() const { return load_.maxValue(); }
+  std::uint64_t jobsCompleted() const { return completed_; }
+
+  /// Instantaneous runnable/resident count (what a NetSolve-style agent
+  /// would see when polling right now).
+  double instantaneousLoad() const;
+
+ private:
+  struct SharedTask {
+    double remaining;   // flops
+    double rate_full;   // flops/s at full allocation
+    double rate = 0.0;  // current allocated rate
+    bool in_load = true;
+    std::coroutine_handle<> waiter;
+  };
+
+  struct ExclusiveJob {
+    double flops;
+    double rate;
+    bool in_load = true;
+    std::coroutine_handle<> waiter;
+  };
+
+  void startShared(double flops, double rate_full, bool in_load,
+                   std::coroutine_handle<> h);
+  void startExclusive(double flops, double rate, bool in_load,
+                      std::coroutine_handle<> h);
+  void startBusy(double seconds, std::coroutine_handle<> h);
+  /// Advance fluid shared tasks, settle completions, reschedule.
+  void updateShared();
+  void pumpExclusive();
+  void sampleMetrics();
+
+  simcore::Simulation& sim_;
+  MachineSpec spec_;
+
+  std::vector<std::unique_ptr<SharedTask>> shared_;
+  double last_advance_ = 0.0;
+  simcore::EventHandle next_shared_completion_;
+
+  std::vector<ExclusiveJob> exclusive_queue_;
+  bool exclusive_running_ = false;
+  double exclusive_load_contribution_ = 0.0;  // P or P-1 while running
+
+  std::size_t busy_tasks_ = 0;
+  std::size_t attached_execs_ = 0;
+  std::uint64_t completed_ = 0;
+
+  ninf::TimeWeightedStats utilization_;  // busy PEs / P
+  ninf::TimeWeightedStats load_;
+};
+
+}  // namespace ninf::machine

@@ -1,0 +1,90 @@
+#include "machine/pe_scheduler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ninf::machine {
+
+const char* admissionPolicyName(AdmissionPolicy p) {
+  switch (p) {
+    case AdmissionPolicy::Fcfs: return "FCFS";
+    case AdmissionPolicy::Fpfs: return "FPFS";
+    case AdmissionPolicy::Fpmpfs: return "FPMPFS";
+  }
+  return "?";
+}
+
+PeScheduler::PeScheduler(simcore::Simulation& sim, std::int64_t pes,
+                         AdmissionPolicy policy)
+    : sim_(sim), pes_(pes), free_(pes), policy_(policy) {
+  NINF_REQUIRE(pes > 0, "scheduler needs at least one PE");
+}
+
+void PeScheduler::sample() {
+  utilization_.update(sim_.now(),
+                      static_cast<double>(busyPes()) /
+                          static_cast<double>(pes_));
+}
+
+void PeScheduler::enqueue(std::int64_t width, double seconds,
+                          std::coroutine_handle<> h) {
+  NINF_REQUIRE(width >= 1 && width <= pes_, "job width exceeds machine");
+  NINF_REQUIRE(seconds >= 0, "negative job duration");
+  queue_.push_back({width, seconds, next_seq_++, h});
+  pump();
+}
+
+void PeScheduler::admit(const Waiting& job) {
+  free_ -= job.width;
+  sample();
+  sim_.schedule(job.seconds, [this, width = job.width, h = job.handle] {
+    free_ += width;
+    ++completed_;
+    sample();
+    pump();
+    sim_.schedule(0.0, [h] { h.resume(); });
+  });
+}
+
+void PeScheduler::pump() {
+  for (;;) {
+    if (queue_.empty() || free_ == 0) break;
+    std::size_t pick = queue_.size();
+    switch (policy_) {
+      case AdmissionPolicy::Fcfs:
+        // Strict order: only the head may start.
+        if (queue_.front().width <= free_) pick = 0;
+        break;
+      case AdmissionPolicy::Fpfs:
+        // First (oldest) job that fits the free PEs.
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+          if (queue_[i].width <= free_) {
+            pick = i;
+            break;
+          }
+        }
+        break;
+      case AdmissionPolicy::Fpmpfs:
+        // Widest fitting job; arrival order breaks ties.
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+          if (queue_[i].width > free_) continue;
+          if (pick == queue_.size() ||
+              queue_[i].width > queue_[pick].width) {
+            pick = i;
+          }
+        }
+        break;
+    }
+    if (pick == queue_.size()) break;  // nothing fits
+    const Waiting job = queue_[pick];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    admit(job);
+  }
+}
+
+double PeScheduler::utilizationPercent() {
+  return utilization_.average(sim_.now()) * 100.0;
+}
+
+}  // namespace ninf::machine

@@ -1,0 +1,86 @@
+// Variable-width PE scheduling for MPP servers (paper, section 5.3).
+//
+// "As processor numbers increase ... simple FCFS scheduling may not be
+//  the most effective scheduling policy, causing many processors to
+//  become idle.  To overcome this drawback, we could employ more
+//  suitable algorithms such as Fit Processors First Served (FPFS) or
+//  Fit Processors Most Processors First Served (FPMPFS)."
+//
+// A PeScheduler owns P processing elements; jobs request a width (PE
+// count) and a duration.  The admission policy decides which queued job
+// starts when PEs free up:
+//   * Fcfs    — strict order; a wide job at the head blocks everything.
+//   * Fpfs    — scan the queue in arrival order, admit every job that
+//               fits the currently free PEs (first fit, skips blockers).
+//   * Fpmpfs  — among the fitting jobs admit the widest first, packing
+//               the machine tighter at the cost of narrow-job latency.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "simcore/simulation.h"
+
+namespace ninf::machine {
+
+enum class AdmissionPolicy { Fcfs, Fpfs, Fpmpfs };
+
+const char* admissionPolicyName(AdmissionPolicy p);
+
+class PeScheduler {
+ public:
+  PeScheduler(simcore::Simulation& sim, std::int64_t pes,
+              AdmissionPolicy policy);
+
+  std::int64_t pes() const { return pes_; }
+  AdmissionPolicy policy() const { return policy_; }
+
+  /// Awaitable: occupy `width` PEs for `seconds`, queueing per policy.
+  auto run(std::int64_t width, double seconds) {
+    struct Awaiter {
+      PeScheduler& sched;
+      std::int64_t width;
+      double seconds;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sched.enqueue(width, seconds, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, width, seconds};
+  }
+
+  std::int64_t busyPes() const { return pes_ - free_; }
+  std::size_t queueLength() const { return queue_.size(); }
+  std::uint64_t completed() const { return completed_; }
+
+  /// Time-averaged fraction of PEs busy, percent.
+  double utilizationPercent();
+
+ private:
+  struct Waiting {
+    std::int64_t width;
+    double seconds;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+  };
+
+  void enqueue(std::int64_t width, double seconds,
+               std::coroutine_handle<> h);
+  void pump();
+  void admit(const Waiting& job);
+  void sample();
+
+  simcore::Simulation& sim_;
+  std::int64_t pes_;
+  std::int64_t free_;
+  AdmissionPolicy policy_;
+  std::vector<Waiting> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t completed_ = 0;
+  ninf::TimeWeightedStats utilization_;
+};
+
+}  // namespace ninf::machine

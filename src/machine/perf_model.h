@@ -1,0 +1,39 @@
+// Machine performance models.
+//
+// The paper expresses compute time as T_comp = T_comp0 + W(n)/P_calc(n)
+// (section 3.1) where P_calc(n) is the machine's Linpack rate at problem
+// size n.  We model P_calc with the classic pipeline-fill curve
+//
+//     P(n) = P_inf * n / (n + n_half)
+//
+// (Hockney's n-1/2 parameterization): vector machines like the J90 have a
+// large n_half (long vectors needed to approach peak), cache-based
+// workstations a small one (their curves look flat, as the paper observes
+// for the SPARC Locals in Figure 3).
+#pragma once
+
+namespace ninf::machine {
+
+/// Hockney-style rate curve, flops/second as a function of problem size.
+class PerfModel {
+ public:
+  constexpr PerfModel() = default;
+  constexpr PerfModel(double p_inf_flops, double n_half)
+      : p_inf_(p_inf_flops), n_half_(n_half) {}
+
+  /// Asymptotic rate (flops/s).
+  constexpr double peak() const { return p_inf_; }
+  /// Problem size achieving half of peak.
+  constexpr double nHalf() const { return n_half_; }
+
+  /// Rate at problem size n (flops/s); n <= 0 returns a vanishing rate.
+  constexpr double rateAt(double n) const {
+    return n > 0 ? p_inf_ * n / (n + n_half_) : p_inf_ / (1.0 + n_half_);
+  }
+
+ private:
+  double p_inf_ = 1e6;
+  double n_half_ = 1.0;
+};
+
+}  // namespace ninf::machine

@@ -1,0 +1,239 @@
+#include "metaserver/metaserver.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace ninf::metaserver {
+
+const char* schedulingPolicyName(SchedulingPolicy p) {
+  switch (p) {
+    case SchedulingPolicy::RoundRobin: return "round-robin";
+    case SchedulingPolicy::LeastLoad: return "least-load";
+    case SchedulingPolicy::BandwidthAware: return "bandwidth-aware";
+  }
+  return "?";
+}
+
+double estimateCompletion(double bytes, double flops, double bandwidth_bps,
+                          double perf_flops, double queue_depth) {
+  NINF_REQUIRE(bandwidth_bps > 0 && perf_flops > 0,
+               "server capacities must be positive");
+  const double comm = bytes / bandwidth_bps;
+  const double comp = flops / perf_flops;
+  // Jobs already queued or running delay ours by roughly one compute time
+  // each (they contend for the PEs, not for our network path).
+  return comm + comp * (1.0 + queue_depth);
+}
+
+void Metaserver::addServer(ServerEntry entry) {
+  NINF_REQUIRE(entry.factory != nullptr, "server entry needs a factory");
+  NINF_REQUIRE(!entry.name.empty(), "server entry needs a name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& s : servers_) {
+    NINF_REQUIRE(s.entry.name != entry.name, "duplicate server name");
+  }
+  ServerState state;
+  state.entry = std::move(entry);
+  servers_.push_back(std::move(state));
+}
+
+std::size_t Metaserver::serverCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return servers_.size();
+}
+
+client::NinfClient& Metaserver::monitorOf(ServerState& state) {
+  if (!state.monitor) state.monitor = state.entry.factory();
+  return *state.monitor;
+}
+
+protocol::ServerStatusInfo Metaserver::poll(const std::string& server_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& s : servers_) {
+    if (s.entry.name == server_name) {
+      try {
+        s.last_status = monitorOf(s).serverStatus();
+      } catch (const Error&) {
+        s.monitor.reset();  // reconnect on the next poll
+        throw;
+      }
+      return s.last_status;
+    }
+  }
+  throw NotFoundError("server '" + server_name + "'");
+}
+
+std::size_t Metaserver::pickIndex(const std::string& entry_name,
+                                  std::span<const protocol::ArgValue> args,
+                                  const std::vector<std::size_t>& excluded) {
+  NINF_REQUIRE(!servers_.empty(), "metaserver has no servers");
+  auto isExcluded = [&](std::size_t i) {
+    return std::find(excluded.begin(), excluded.end(), i) != excluded.end();
+  };
+  switch (policy_) {
+    case SchedulingPolicy::RoundRobin: {
+      for (std::size_t step = 0; step < servers_.size(); ++step) {
+        const std::size_t idx = rr_next_ % servers_.size();
+        rr_next_ = (rr_next_ + 1) % servers_.size();
+        if (!isExcluded(idx)) return idx;
+      }
+      throw NotFoundError("every server excluded for '" + entry_name + "'");
+    }
+    case SchedulingPolicy::LeastLoad: {
+      std::size_t best = servers_.size();
+      double best_load = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < servers_.size(); ++i) {
+        if (isExcluded(i)) continue;
+        auto& s = servers_[i];
+        try {
+          s.last_status = monitorOf(s).serverStatus();
+        } catch (const Error&) {
+          s.monitor.reset();  // status channel died; skip this server
+          continue;
+        }
+        // Include calls we have routed but whose status poll may not yet
+        // reflect, so bursts spread instead of piling on one server.
+        const double load = s.last_status.load_average +
+                            s.last_status.running + s.last_status.queued;
+        if (load < best_load) {
+          best_load = load;
+          best = i;
+        }
+      }
+      if (best == servers_.size()) {
+        throw NotFoundError("no reachable server for '" + entry_name + "'");
+      }
+      return best;
+    }
+    case SchedulingPolicy::BandwidthAware: {
+      std::size_t best = servers_.size();
+      double best_eta = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < servers_.size(); ++i) {
+        if (isExcluded(i)) continue;
+        auto& s = servers_[i];
+        double bytes = 0.0;
+        double flops = 0.0;
+        try {
+          s.last_status = monitorOf(s).serverStatus();
+          const auto& info = monitorOf(s).queryInterface(entry_name);
+          const auto scalars = protocol::scalarArgs(info, args);
+          bytes = static_cast<double>(info.bytesTotal(scalars));
+          flops = static_cast<double>(info.flopsEstimate(scalars));
+        } catch (const NotFoundError&) {
+          continue;  // server does not export this entry
+        } catch (const Error&) {
+          s.monitor.reset();
+          continue;  // unreachable
+        }
+        const double eta = estimateCompletion(
+            bytes, flops, s.entry.bandwidth_bps, s.entry.perf_flops,
+            static_cast<double>(s.last_status.running +
+                                s.last_status.queued));
+        if (eta < best_eta) {
+          best_eta = eta;
+          best = i;
+        }
+      }
+      if (best == servers_.size()) {
+        throw NotFoundError("no server exports '" + entry_name + "'");
+      }
+      return best;
+    }
+  }
+  throw Error("unreachable policy");
+}
+
+std::string Metaserver::chooseServer(
+    const std::string& entry_name,
+    std::span<const protocol::ArgValue> args) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return servers_[pickIndex(entry_name, args, {})].entry.name;
+}
+
+client::CallResult Metaserver::dispatch(
+    const std::string& name, std::span<const protocol::ArgValue> args) {
+  std::vector<std::size_t> failed;
+  for (std::size_t attempt = 0;; ++attempt) {
+    client::ConnectionFactory factory;
+    std::string chosen;
+    std::size_t idx;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      idx = pickIndex(name, args, failed);
+      ++servers_[idx].dispatched;
+      factory = servers_[idx].entry.factory;
+      chosen = servers_[idx].entry.name;
+    }
+    NINF_LOG(Debug) << "dispatching " << name << " to " << chosen;
+    // Execute outside the lock: a call occupies its connection for its
+    // whole duration and other dispatches must proceed concurrently.
+    try {
+      auto connection = factory();
+      return connection->call(name, args);
+    } catch (const TransportError& e) {
+      // Server crashed or unreachable: fail over (paper, section 2.4).
+      if (attempt >= max_failovers_) throw;
+      NINF_LOG(Warn) << "failover from " << chosen << ": " << e.what();
+      failed.push_back(idx);
+    }
+  }
+}
+
+void Metaserver::startMonitoring(std::chrono::milliseconds interval) {
+  NINF_REQUIRE(interval.count() > 0, "monitoring interval must be positive");
+  stopMonitoring();
+  {
+    std::lock_guard<std::mutex> lock(monitor_mutex_);
+    monitor_stop_ = false;
+  }
+  monitor_thread_ = std::thread([this, interval] {
+    for (;;) {
+      // Poll every known server, tolerating failures.
+      std::vector<std::string> names;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& s : servers_) names.push_back(s.entry.name);
+      }
+      for (const auto& name : names) {
+        try {
+          poll(name);
+        } catch (const Error& e) {
+          NINF_LOG(Debug) << "monitor: " << name << ": " << e.what();
+        }
+      }
+      std::unique_lock<std::mutex> lock(monitor_mutex_);
+      if (monitor_cv_.wait_for(lock, interval,
+                               [this] { return monitor_stop_; })) {
+        return;
+      }
+    }
+  });
+}
+
+void Metaserver::stopMonitoring() {
+  {
+    std::lock_guard<std::mutex> lock(monitor_mutex_);
+    monitor_stop_ = true;
+  }
+  monitor_cv_.notify_all();
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+}
+
+protocol::ServerStatusInfo Metaserver::lastStatus(
+    const std::string& server_name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& s : servers_) {
+    if (s.entry.name == server_name) return s.last_status;
+  }
+  throw NotFoundError("server '" + server_name + "'");
+}
+
+std::vector<client::CallResult> Metaserver::runTransaction(
+    client::Transaction& transaction, std::size_t max_parallel) {
+  return transaction.run(*this, max_parallel);
+}
+
+}  // namespace ninf::metaserver

@@ -1,0 +1,126 @@
+// The Ninf metaserver (paper, section 2.4).
+//
+// "The Ninf metaserver monitors multiple Ninf computing servers on the
+//  network, and performs scheduling and load balancing of client
+//  requests."
+//
+// Three policies are provided:
+//  * RoundRobin      — oblivious rotation (baseline).
+//  * LeastLoad       — NetSolve-style: lowest polled load average.  The
+//                      paper shows this "might partially work for LAN ...
+//                      but would not scale to WAN settings" (section 6).
+//  * BandwidthAware  — the paper's recommendation (sections 4.2.2, 5.1):
+//                      estimate per-server completion time from the IDL
+//                      byte/flop counts, the declared client-server
+//                      bandwidth, and the polled load, then pick the
+//                      minimum.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "client/dispatcher.h"
+#include "client/transaction.h"
+#include "protocol/message.h"
+
+namespace ninf::metaserver {
+
+enum class SchedulingPolicy { RoundRobin, LeastLoad, BandwidthAware };
+
+const char* schedulingPolicyName(SchedulingPolicy p);
+
+/// Static description of one computing server known to the metaserver.
+struct ServerEntry {
+  std::string name;
+  client::ConnectionFactory factory;
+  /// Declared client->server throughput, bytes/second (from Table 2-style
+  /// measurements or the registry).
+  double bandwidth_bps = 1e6;
+  /// Declared peak compute rate, flops (P_calc in section 3.1).
+  double perf_flops = 1e8;
+};
+
+/// Pure scoring helper, exposed for unit tests: expected completion time
+/// of a job of `bytes` transfer and `flops` compute on a server with
+/// `queue_depth` jobs ahead of it.
+double estimateCompletion(double bytes, double flops, double bandwidth_bps,
+                          double perf_flops, double queue_depth);
+
+class Metaserver : public client::CallDispatcher {
+ public:
+  explicit Metaserver(SchedulingPolicy policy = SchedulingPolicy::LeastLoad)
+      : policy_(policy) {}
+
+  ~Metaserver() override { stopMonitoring(); }
+
+  /// Fault tolerance (paper, section 2.4: the metaserver "controls the
+  /// parallel, fault-tolerant execution" of Ninf_calls): when a dispatch
+  /// fails with a transport error, retry on a different server, up to
+  /// `retries` failovers.  Servers that failed are skipped while any
+  /// healthy alternative remains.
+  void setMaxFailovers(std::size_t retries) { max_failovers_ = retries; }
+  std::size_t maxFailovers() const { return max_failovers_; }
+
+  void addServer(ServerEntry entry);
+  std::size_t serverCount() const;
+  SchedulingPolicy policy() const { return policy_; }
+
+  /// Poll a server's status (monitoring loop body).
+  protocol::ServerStatusInfo poll(const std::string& server_name);
+
+  /// Background monitoring (section 2.4: the metaserver "monitors
+  /// multiple Ninf computing servers"): poll every server's status each
+  /// `interval`.  Unreachable servers are skipped (and retried next
+  /// round).  Idempotent; stopMonitoring() joins the thread.
+  void startMonitoring(std::chrono::milliseconds interval);
+  void stopMonitoring();
+  /// Last polled status of a server (all-zero before the first poll).
+  protocol::ServerStatusInfo lastStatus(const std::string& server_name) const;
+
+  /// Pick a server for the given call per the active policy and execute.
+  client::CallResult dispatch(
+      const std::string& name,
+      std::span<const protocol::ArgValue> args) override;
+
+  /// Name of the server the policy would pick right now (for tests and
+  /// for logging which server served which call).
+  std::string chooseServer(const std::string& entry_name,
+                           std::span<const protocol::ArgValue> args);
+
+  /// Execute a whole transaction block with this metaserver as the
+  /// dispatcher (Ninf_transaction_end).
+  std::vector<client::CallResult> runTransaction(
+      client::Transaction& transaction, std::size_t max_parallel = 0);
+
+ private:
+  struct ServerState {
+    ServerEntry entry;
+    std::unique_ptr<client::NinfClient> monitor;  // lazy status channel
+    protocol::ServerStatusInfo last_status;
+    std::uint64_t dispatched = 0;  // calls routed here by the metaserver
+  };
+
+  std::size_t pickIndex(const std::string& entry_name,
+                        std::span<const protocol::ArgValue> args,
+                        const std::vector<std::size_t>& excluded);
+  client::NinfClient& monitorOf(ServerState& state);
+
+  SchedulingPolicy policy_;
+  std::size_t max_failovers_ = 2;
+  mutable std::mutex mutex_;
+  std::vector<ServerState> servers_;
+  std::size_t rr_next_ = 0;
+
+  std::thread monitor_thread_;
+  std::condition_variable monitor_cv_;
+  std::mutex monitor_mutex_;
+  bool monitor_stop_ = false;
+};
+
+}  // namespace ninf::metaserver

@@ -1,0 +1,69 @@
+#include "numlib/blas.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ninf::numlib {
+
+void daxpy(double alpha, std::span<const double> x, std::span<double> y) {
+  NINF_REQUIRE(x.size() == y.size(), "daxpy length mismatch");
+  if (alpha == 0.0) return;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double ddot(std::span<const double> x, std::span<const double> y) {
+  NINF_REQUIRE(x.size() == y.size(), "ddot length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void dscal(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+std::size_t idamax(std::span<const double> x) {
+  std::size_t best = 0;
+  double best_abs = -1.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double a = std::abs(x[i]);
+    if (a > best_abs) {
+      best_abs = a;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void dgemmAcc(std::size_t m, std::size_t n, std::size_t k, const double* a,
+              std::size_t lda, const double* b, std::size_t ldb, double* c,
+              std::size_t ldc, double alpha) {
+  // jki ordering: stream down columns of C and A (both column-major).
+  for (std::size_t j = 0; j < n; ++j) {
+    double* cj = c + j * ldc;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double bpj = alpha * b[p + j * ldb];
+      if (bpj == 0.0) continue;
+      const double* ap = a + p * lda;
+      for (std::size_t i = 0; i < m; ++i) cj[i] += bpj * ap[i];
+    }
+  }
+}
+
+void dtrsmLowerUnit(std::size_t m, std::size_t n, const double* l,
+                    std::size_t lda, double* b, std::size_t ldb) {
+  // Forward substitution, column by column of B.
+  for (std::size_t j = 0; j < n; ++j) {
+    double* bj = b + j * ldb;
+    for (std::size_t p = 0; p < m; ++p) {
+      const double bp = bj[p];
+      if (bp == 0.0) continue;
+      const double* lp = l + p * lda;
+      for (std::size_t i = p + 1; i < m; ++i) bj[i] -= bp * lp[i];
+    }
+  }
+}
+
+}  // namespace ninf::numlib

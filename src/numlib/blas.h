@@ -1,0 +1,36 @@
+// Level-1/3 BLAS kernels used by the LU factorizations.
+// Signatures follow the reference BLAS but take spans; strides are always 1
+// because our matrices are column-contiguous.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ninf::numlib {
+
+/// y += alpha * x.
+void daxpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// dot(x, y).
+double ddot(std::span<const double> x, std::span<const double> y);
+
+/// x *= alpha.
+void dscal(double alpha, std::span<double> x);
+
+/// Index of the element of largest magnitude; 0 for empty input.
+std::size_t idamax(std::span<const double> x);
+
+/// C(mxn) += A(mxk) * B(kxn), all column-major with leading dimensions
+/// lda/ldb/ldc.  Straightforward register-blocked triple loop; this is the
+/// workhorse of the blocked ("optimized library") LU path.
+void dgemmAcc(std::size_t m, std::size_t n, std::size_t k, const double* a,
+              std::size_t lda, const double* b, std::size_t ldb, double* c,
+              std::size_t ldc, double alpha = 1.0);
+
+/// Solve L * X = B for X in place, where L is unit lower triangular
+/// (m x m, column-major, lda) and B is m x n (ldb).  Used for the U-panel
+/// update in blocked LU.
+void dtrsmLowerUnit(std::size_t m, std::size_t n, const double* l,
+                    std::size_t lda, double* b, std::size_t ldb);
+
+}  // namespace ninf::numlib

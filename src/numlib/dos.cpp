@@ -1,0 +1,70 @@
+#include "numlib/dos.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "numlib/eigen.h"
+
+namespace ninf::numlib {
+
+DosResult& DosResult::merge(const DosResult& other) {
+  NINF_REQUIRE(e_min == other.e_min && e_max == other.e_max &&
+                   counts.size() == other.counts.size(),
+               "DOS grids differ");
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] += other.counts[i];
+  }
+  samples += other.samples;
+  eigenvalues += other.eigenvalues;
+  return *this;
+}
+
+double DosResult::binWidth() const {
+  return (e_max - e_min) / static_cast<double>(counts.size());
+}
+
+double DosResult::binCenter(std::size_t bin) const {
+  return e_min + (static_cast<double>(bin) + 0.5) * binWidth();
+}
+
+double DosResult::density(std::size_t bin) const {
+  NINF_REQUIRE(bin < counts.size(), "bin out of range");
+  if (eigenvalues == 0) return 0.0;
+  return static_cast<double>(counts[bin]) /
+         (static_cast<double>(eigenvalues) * binWidth());
+}
+
+DosResult runDos(std::size_t n, std::int64_t first_sample,
+                 std::int64_t num_samples, std::size_t bins, double e_min,
+                 double e_max, std::uint64_t base_seed) {
+  NINF_REQUIRE(n > 0, "DOS needs a positive matrix size");
+  NINF_REQUIRE(bins > 0 && e_max > e_min, "bad DOS histogram grid");
+  NINF_REQUIRE(first_sample >= 0 && num_samples >= 0, "bad DOS range");
+  DosResult result;
+  result.e_min = e_min;
+  result.e_max = e_max;
+  result.counts.assign(bins, 0);
+  result.samples = num_samples;
+  const double width = (e_max - e_min) / static_cast<double>(bins);
+  for (std::int64_t s = 0; s < num_samples; ++s) {
+    // Seed per global sample index so partitions are disjoint and merges
+    // reproduce a monolithic run exactly.
+    const std::uint64_t seed =
+        base_seed + static_cast<std::uint64_t>(first_sample + s) * 1315423911u;
+    const Matrix h = gaussianOrthogonalEnsemble(n, seed);
+    for (const double e : symmetricEigenvalues(h, 1e-10)) {
+      ++result.eigenvalues;
+      if (e < e_min || e >= e_max) continue;
+      const auto bin = static_cast<std::size_t>((e - e_min) / width);
+      ++result.counts[std::min(bin, bins - 1)];
+    }
+  }
+  return result;
+}
+
+double wignerSemicircle(double e) {
+  if (e <= -2.0 || e >= 2.0) return 0.0;
+  return std::sqrt(4.0 - e * e) / (2.0 * 3.141592653589793);
+}
+
+}  // namespace ninf::numlib

@@ -1,0 +1,50 @@
+// DOS (Density-Of-States) Monte-Carlo estimation.
+//
+// "We also conducted benchmarks with DOS (Density-Of-States) calculation,
+//  which is an EP-style practical application in computational chemistry,
+//  and came up with similar results."  (paper, section 4.3.1)
+//
+// We estimate the spectral density of random Hamiltonians: sample
+// matrices from the Gaussian Orthogonal Ensemble, diagonalize, and
+// histogram the eigenvalues.  For large n the density converges to the
+// Wigner semicircle rho(E) = sqrt(4 - E^2) / (2 pi) on [-2, 2] — a known
+// closed form the tests verify against.  Like EP, the workload is
+// trivially partitionable by sample index and ships O(#bins) bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ninf::numlib {
+
+struct DosResult {
+  double e_min = 0.0;
+  double e_max = 0.0;
+  std::vector<std::int64_t> counts;  // histogram of eigenvalues
+  std::int64_t samples = 0;          // matrices diagonalized
+  std::int64_t eigenvalues = 0;      // total eigenvalues tallied
+
+  /// Merge a disjoint partial result (same grid required).
+  DosResult& merge(const DosResult& other);
+
+  /// Normalized density at bin center i (integrates to ~1 over the grid).
+  double density(std::size_t bin) const;
+  double binCenter(std::size_t bin) const;
+  double binWidth() const;
+
+  bool operator==(const DosResult&) const = default;
+};
+
+/// Diagonalize GOE samples [first_sample, first_sample + num_samples) of
+/// dimension n and histogram all eigenvalues into `bins` cells over
+/// [e_min, e_max].  Deterministic per (n, sample index, base seed):
+/// partitions merge exactly, the property the metaserver relies on.
+DosResult runDos(std::size_t n, std::int64_t first_sample,
+                 std::int64_t num_samples, std::size_t bins = 40,
+                 double e_min = -2.5, double e_max = 2.5,
+                 std::uint64_t base_seed = 4242);
+
+/// Wigner semicircle density sqrt(4-E^2)/(2 pi) (0 outside [-2, 2]).
+double wignerSemicircle(double e);
+
+}  // namespace ninf::numlib

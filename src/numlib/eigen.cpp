@@ -1,0 +1,114 @@
+#include "numlib/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ninf::numlib {
+
+namespace {
+
+/// Sum of squares of off-diagonal elements.
+double offDiagonalNorm2(const Matrix& a) {
+  const std::size_t n = a.rows();
+  double sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != j) sum += a(i, j) * a(i, j);
+    }
+  }
+  return sum;
+}
+
+double frobeniusNorm2(const Matrix& a) {
+  double sum = 0.0;
+  for (double v : a.flat()) sum += v * v;
+  return sum;
+}
+
+}  // namespace
+
+std::vector<double> symmetricEigenvalues(Matrix a, double tol,
+                                         int max_sweeps) {
+  NINF_REQUIRE(a.rows() == a.cols(), "eigensolver requires a square matrix");
+  const std::size_t n = a.rows();
+  if (n == 0) return {};
+  // Verify symmetry (the Jacobi rotations assume it).
+  const double scale = std::sqrt(frobeniusNorm2(a)) + 1e-300;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j + 1; i < n; ++i) {
+      if (std::abs(a(i, j) - a(j, i)) > 1e-9 * scale) {
+        throw Error("matrix is not symmetric");
+      }
+    }
+  }
+
+  const double threshold2 = tol * tol * frobeniusNorm2(a);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (offDiagonalNorm2(a) <= threshold2) {
+      std::vector<double> eig(n);
+      for (std::size_t i = 0; i < n; ++i) eig[i] = a(i, i);
+      std::sort(eig.begin(), eig.end());
+      return eig;
+    }
+    // One cyclic sweep of Jacobi rotations.
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (apq == 0.0) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        // Stable rotation computation (Golub & Van Loan 8.4).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to rows/columns p and q.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  throw Error("Jacobi eigensolver failed to converge in " +
+              std::to_string(max_sweeps) + " sweeps");
+}
+
+Matrix gaussianOrthogonalEnsemble(std::size_t n, std::uint64_t seed) {
+  NINF_REQUIRE(n > 0, "GOE matrix needs positive size");
+  SplitMix64 rng(seed);
+  // Box-Muller pairs of standard normals.
+  auto gaussian = [&rng]() {
+    const double u1 = std::max(rng.nextDouble(), 1e-300);
+    const double u2 = rng.nextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.141592653589793 * u2);
+  };
+  Matrix a(n, n);
+  const double off_sigma = 1.0 / std::sqrt(static_cast<double>(n));
+  const double diag_sigma = std::sqrt(2.0 / static_cast<double>(n));
+  for (std::size_t j = 0; j < n; ++j) {
+    a(j, j) = gaussian() * diag_sigma;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      const double v = gaussian() * off_sigma;
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+}  // namespace ninf::numlib

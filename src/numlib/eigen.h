@@ -1,0 +1,27 @@
+// Symmetric eigenvalue solver (cyclic Jacobi).
+//
+// Substrate for the DOS (Density-Of-States) application the paper lists
+// among its EP-style benchmarks (section 4.3): DOS estimation samples
+// random Hamiltonians and histograms their eigenvalues, so the server
+// needs a real dense symmetric eigensolver.
+#pragma once
+
+#include <vector>
+
+#include "numlib/matrix.h"
+
+namespace ninf::numlib {
+
+/// Eigenvalues of a symmetric matrix by the cyclic Jacobi method,
+/// returned in ascending order.  The input must be symmetric (checked up
+/// to a tolerance); convergence is to off(A) < tol * ||A||_F.
+/// Throws ninf::Error on non-symmetric input or non-convergence.
+std::vector<double> symmetricEigenvalues(Matrix a, double tol = 1e-12,
+                                         int max_sweeps = 64);
+
+/// Random matrix from the Gaussian Orthogonal Ensemble (scaled so the
+/// spectrum converges to the Wigner semicircle on [-2, 2]): symmetric,
+/// off-diagonal variance 1/n, diagonal variance 2/n.
+Matrix gaussianOrthogonalEnsemble(std::size_t n, std::uint64_t seed);
+
+}  // namespace ninf::numlib

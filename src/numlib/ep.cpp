@@ -1,0 +1,99 @@
+#include "numlib/ep.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ninf::numlib {
+
+namespace {
+// Powers of two used by the 23/23-bit split arithmetic of randlc.
+constexpr double kR23 = 0x1.0p-23;
+constexpr double kT23 = 0x1.0p+23;
+constexpr double kR46 = 0x1.0p-46;
+constexpr double kT46 = 0x1.0p+46;
+}  // namespace
+
+double NpbRandom::mulmod46(double a, double x) {
+  // Split a = 2^23 * a1 + a2, x = 2^23 * x1 + x2; compute
+  // z = a1*x2 + a2*x1 mod 2^23, then t = 2^23*z + a2*x2 mod 2^46.
+  const double t1 = kR23 * a;
+  const double a1 = static_cast<double>(static_cast<std::int64_t>(t1));
+  const double a2 = a - kT23 * a1;
+  const double t2 = kR23 * x;
+  const double x1 = static_cast<double>(static_cast<std::int64_t>(t2));
+  const double x2 = x - kT23 * x1;
+  const double t3 = a1 * x2 + a2 * x1;
+  const double t4 = static_cast<double>(static_cast<std::int64_t>(kR23 * t3));
+  const double z = t3 - kT23 * t4;
+  const double t5 = kT23 * z + a2 * x2;
+  const double t6 = static_cast<double>(static_cast<std::int64_t>(kR46 * t5));
+  return t5 - kT46 * t6;
+}
+
+double NpbRandom::next() {
+  x_ = mulmod46(kA, x_);
+  return kR46 * x_;
+}
+
+double NpbRandom::power(double a, std::uint64_t k) {
+  // Binary exponentiation in the mod-2^46 multiplicative structure.
+  double result = 1.0;
+  double base = a;
+  while (k != 0) {
+    if (k & 1) result = mulmod46(base, result);
+    base = mulmod46(base, base);
+    k >>= 1;
+  }
+  return result;
+}
+
+void NpbRandom::skip(std::uint64_t count) {
+  x_ = mulmod46(power(kA, count), x_);
+}
+
+EpResult& EpResult::merge(const EpResult& other) {
+  sx += other.sx;
+  sy += other.sy;
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] += other.q[i];
+  pairs += other.pairs;
+  accepted += other.accepted;
+  return *this;
+}
+
+EpResult runEp(std::int64_t first_pair, std::int64_t num_pairs, double seed) {
+  NINF_REQUIRE(first_pair >= 0 && num_pairs >= 0, "EP range must be positive");
+  NpbRandom rng(seed);
+  rng.skip(static_cast<std::uint64_t>(first_pair) * 2);
+
+  EpResult r;
+  r.pairs = num_pairs;
+  for (std::int64_t i = 0; i < num_pairs; ++i) {
+    const double x = 2.0 * rng.next() - 1.0;
+    const double y = 2.0 * rng.next() - 1.0;
+    const double t = x * x + y * y;
+    if (t > 1.0) continue;
+    // Marsaglia polar transform: t <= 1 yields two Gaussian deviates.
+    const double factor = std::sqrt(-2.0 * std::log(t) / t);
+    const double gx = x * factor;
+    const double gy = y * factor;
+    const auto bin = static_cast<std::size_t>(
+        std::max(std::abs(gx), std::abs(gy)));
+    if (bin < r.q.size()) ++r.q[bin];
+    r.sx += gx;
+    r.sy += gy;
+    ++r.accepted;
+  }
+  return r;
+}
+
+EpResult runEpClass(int log2_pairs) {
+  NINF_REQUIRE(log2_pairs >= 0 && log2_pairs < 40, "EP class out of range");
+  return runEp(0, std::int64_t{1} << log2_pairs);
+}
+
+double epOps(int log2_pairs) {
+  return std::ldexp(1.0, log2_pairs + 1);
+}
+
+}  // namespace ninf::numlib

@@ -1,0 +1,75 @@
+// NAS Parallel Benchmarks "EP" (Embarrassingly Parallel) kernel.
+//
+// The paper uses EP as its computation-dominant workload (section 4.3):
+// generate pairs of uniform deviates with the NPB linear congruential
+// generator, transform accepted pairs to Gaussian deviates by the
+// Marsaglia polar method, and tally them into ten concentric annuli.
+// Communication is O(1) regardless of problem size, so Ninf_call
+// performance reflects pure server compute.
+//
+// The generator is the NPB randlc: x_{k+1} = a * x_k mod 2^46 with
+// a = 5^13, default seed 271828183.  Skip-ahead (a^k mod 2^46 computed by
+// binary exponentiation) lets independent workers generate disjoint
+// subsequences — exactly how the metaserver fans an EP job across servers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ninf::numlib {
+
+/// NPB linear congruential generator on 46-bit integers implemented with
+/// exact double-double arithmetic (the classic randlc formulation).
+class NpbRandom {
+ public:
+  static constexpr double kDefaultSeed = 271828183.0;
+  static constexpr double kA = 1220703125.0;  // 5^13
+
+  explicit NpbRandom(double seed = kDefaultSeed) : x_(seed) {}
+
+  /// Next uniform deviate in (0, 1); advances the state by one.
+  double next();
+
+  /// Current raw state.
+  double state() const { return x_; }
+
+  /// Advance the state by `count` steps in O(log count).
+  void skip(std::uint64_t count);
+
+  /// a^k mod 2^46 as the multiplier for a k-step jump (NPB ipow46).
+  static double power(double a, std::uint64_t k);
+
+  /// One multiplication step: returns a*x mod 2^46 (NPB randlc core).
+  static double mulmod46(double a, double x);
+
+ private:
+  double x_;
+};
+
+/// Accumulated EP results; merging partials must equal a single run over
+/// the union of the trial ranges (the key property the metaserver relies
+/// on when distributing EP across servers).
+struct EpResult {
+  double sx = 0.0;                  // sum of accepted X deviates
+  double sy = 0.0;                  // sum of accepted Y deviates
+  std::array<std::int64_t, 10> q{}; // annulus counts
+  std::int64_t pairs = 0;           // pairs examined
+  std::int64_t accepted = 0;        // pairs inside the unit circle
+
+  EpResult& merge(const EpResult& other);
+  bool operator==(const EpResult&) const = default;
+};
+
+/// Run EP over pairs [first_pair, first_pair + num_pairs) of the global
+/// deviate sequence.  Each pair consumes two deviates.
+EpResult runEp(std::int64_t first_pair, std::int64_t num_pairs,
+               double seed = NpbRandom::kDefaultSeed);
+
+/// Whole-problem convenience: 2^log2_pairs pairs starting at zero.
+EpResult runEpClass(int log2_pairs);
+
+/// Operation count the paper uses for EP performance: 2^(n+1) for 2^n
+/// trials (section 4.3).
+double epOps(int log2_pairs);
+
+}  // namespace ninf::numlib

@@ -1,0 +1,31 @@
+#include "numlib/linpack_driver.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "numlib/matrix.h"
+
+namespace ninf::numlib {
+
+LinpackReport runLinpack(std::size_t n, LuVariant variant, std::size_t workers,
+                         std::uint64_t seed) {
+  LinpackReport report;
+  report.n = n;
+  Matrix a = randomMatrix(n, seed);
+  const Matrix original = a;
+  std::vector<double> b = onesRhs(a);
+  const std::vector<double> rhs = b;
+
+  const auto start = std::chrono::steady_clock::now();
+  luSolve(a, b, variant, workers);
+  const auto stop = std::chrono::steady_clock::now();
+
+  report.seconds = std::chrono::duration<double>(stop - start).count();
+  report.mflops =
+      report.seconds > 0 ? linpackFlops(n) / report.seconds / 1e6 : 0.0;
+  report.residual = linpackResidual(original, b, rhs);
+  report.passed = report.residual < kResidualThreshold;
+  return report;
+}
+
+}  // namespace ninf::numlib

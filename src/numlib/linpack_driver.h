@@ -1,0 +1,30 @@
+// End-to-end Linpack driver: generate, solve, verify, time.
+//
+// This is the routine registered on real Ninf servers as "linpack" and the
+// routine a client runs locally for the Local baseline of Figures 3-4.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "numlib/lu.h"
+
+namespace ninf::numlib {
+
+struct LinpackReport {
+  std::size_t n = 0;
+  double seconds = 0.0;      // factor + solve wall time
+  double mflops = 0.0;       // (2/3 n^3 + 2 n^2) / seconds / 1e6
+  double residual = 0.0;     // normalized LINPACK residual
+  bool passed = false;       // residual below the acceptance threshold
+};
+
+/// LINPACK acceptance threshold on the normalized residual.
+inline constexpr double kResidualThreshold = 16.0;
+
+/// Generate a random n x n system, solve with the selected variant, verify
+/// against the all-ones solution, and report timing.
+LinpackReport runLinpack(std::size_t n, LuVariant variant,
+                         std::size_t workers = 1, std::uint64_t seed = 1997);
+
+}  // namespace ninf::numlib

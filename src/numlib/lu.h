@@ -1,0 +1,57 @@
+// LU factorization and triangular solve, the Linpack core of the paper.
+//
+// Three variants mirror the paper's library choices (section 3.1):
+//  * dgefa/dgesl      — reference LINPACK column-oriented factorization,
+//                       the "standard, non-optimized routine" of Figure 4.
+//  * blocked LU       — right-looking panel factorization with a dgemm
+//                       trailing update, standing in for the blocked
+//                       glub4/gslv4 routines.
+//  * threaded blocked — the trailing update fanned across worker threads,
+//                       standing in for the 4-PE libsci sgetrf/sgetrs used
+//                       on the Cray J90 (the "data-parallel" library).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "numlib/matrix.h"
+
+namespace ninf::numlib {
+
+/// Pivot vector produced by the factorizations: ipvt[k] is the row swapped
+/// with row k at step k (LINPACK convention).
+using PivotVector = std::vector<std::size_t>;
+
+/// Reference LINPACK dgefa: in-place LU with partial pivoting.
+/// Returns the pivot vector.  Throws ninf::Error on exact singularity.
+PivotVector dgefa(Matrix& a);
+
+/// Reference LINPACK dgesl: solve A x = b given the dgefa output.
+/// b is overwritten with the solution.
+void dgesl(const Matrix& a, const PivotVector& ipvt, std::span<double> b);
+
+/// Blocked right-looking LU with partial pivoting, block size nb.
+PivotVector luBlocked(Matrix& a, std::size_t nb = 32);
+
+/// Blocked LU with the trailing-matrix update parallelized across
+/// `workers` threads (the data-parallel "optimized library" path).
+PivotVector luParallel(Matrix& a, std::size_t workers, std::size_t nb = 32);
+
+/// LINPACK dgeco: factor A (like dgefa) and estimate its reciprocal
+/// condition number rcond = 1 / (||A||_1 * ||A^-1||_1), the classic
+/// Cline-Moler-Stewart-Wilkinson estimator.  rcond near 1 means well
+/// conditioned; rcond + 1.0 == 1.0 means singular to working precision.
+/// On return `a` holds the factors and `ipvt` the pivots (reusable with
+/// dgesl).
+double dgeco(Matrix& a, PivotVector& ipvt);
+
+/// Which factorization a solver driver should use.
+enum class LuVariant { Reference, Blocked, Parallel };
+
+/// Factor + solve convenience used by the Ninf executable registrations:
+/// solves A x = b in place (b becomes x); A is destroyed.
+void luSolve(Matrix& a, std::span<double> b, LuVariant variant,
+             std::size_t workers = 1);
+
+}  // namespace ninf::numlib

@@ -1,0 +1,35 @@
+#include "numlib/mmul.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "numlib/blas.h"
+
+namespace ninf::numlib {
+
+void dmmul(std::size_t n, std::span<const double> a, std::span<const double> b,
+           std::span<double> c) {
+  NINF_REQUIRE(a.size() == n * n && b.size() == n * n && c.size() == n * n,
+               "dmmul operand size mismatch");
+  std::fill(c.begin(), c.end(), 0.0);
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t jj = 0; jj < n; jj += kBlock) {
+    const std::size_t jn = std::min(n - jj, kBlock);
+    for (std::size_t kk = 0; kk < n; kk += kBlock) {
+      const std::size_t kn = std::min(n - kk, kBlock);
+      dgemmAcc(n, jn, kn, a.data() + kk * n, n, b.data() + kk + jj * n, n,
+               c.data() + jj * n, n);
+    }
+  }
+}
+
+Matrix dmmul(const Matrix& a, const Matrix& b) {
+  NINF_REQUIRE(a.cols() == b.rows() && a.rows() == a.cols() &&
+                   b.rows() == b.cols(),
+               "dmmul expects square matrices of equal size");
+  Matrix c(a.rows(), b.cols());
+  dmmul(a.rows(), a.flat(), b.flat(), c.flat());
+  return c;
+}
+
+}  // namespace ninf::numlib

@@ -1,0 +1,20 @@
+// Dense matrix multiply, the paper's running API example:
+//   Ninf_call("dmmul", n, A, B, C);
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "numlib/matrix.h"
+
+namespace ninf::numlib {
+
+/// C = A * B for n x n column-major matrices given as flat spans
+/// (the layout Ninf RPC ships).  Cache-blocked.
+void dmmul(std::size_t n, std::span<const double> a, std::span<const double> b,
+           std::span<double> c);
+
+/// Convenience overload on Matrix.
+Matrix dmmul(const Matrix& a, const Matrix& b);
+
+}  // namespace ninf::numlib

@@ -1,0 +1,114 @@
+// Argument marshalling for Ninf_call, shared by client and server.
+//
+// The client holds an ArgValue per formal parameter (scalars by value,
+// arrays as spans over caller-owned memory, exactly like the paper's
+//   Ninf_call("dmmul", n, A, B, C);
+// where A and B ship to the server and C ships back).  Marshalling is
+// driven entirely by the compiled InterfaceInfo received in the first
+// phase of the two-stage RPC — the client never links stubs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "idl/interface_info.h"
+#include "xdr/xdr.h"
+
+namespace ninf::protocol {
+
+/// One actual argument supplied by the caller.
+class ArgValue {
+ public:
+  enum class Kind : std::uint8_t {
+    InInt,      // int/long scalar by value
+    InDouble,   // float/double scalar by value
+    OutInt,     // pointer to receive an integer scalar
+    OutDouble,  // pointer to receive a floating scalar
+    InArray,    // const span of doubles shipped to the server
+    OutArray,   // mutable span filled from the reply
+    InOutArray, // shipped both ways
+  };
+
+  static ArgValue inInt(std::int64_t v);
+  static ArgValue inDouble(double v);
+  static ArgValue outInt(std::int64_t* p);
+  static ArgValue outDouble(double* p);
+  static ArgValue inArray(std::span<const double> data);
+  static ArgValue outArray(std::span<double> data);
+  static ArgValue inoutArray(std::span<double> data);
+
+  Kind kind() const { return kind_; }
+  std::int64_t intValue() const { return int_; }
+  double doubleValue() const { return double_; }
+  std::span<const double> constSpan() const { return const_span_; }
+  std::span<double> mutSpan() const { return mut_span_; }
+  std::int64_t* intSink() const { return int_sink_; }
+  double* doubleSink() const { return double_sink_; }
+
+ private:
+  Kind kind_ = Kind::InInt;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::span<const double> const_span_;
+  std::span<double> mut_span_;
+  std::int64_t* int_sink_ = nullptr;
+  double* double_sink_ = nullptr;
+};
+
+/// Scalar integer argument values indexed by parameter position (zero for
+/// non-integer parameters), as consumed by the IDL size expressions.
+std::vector<std::int64_t> scalarArgs(const idl::InterfaceInfo& info,
+                                     std::span<const ArgValue> args);
+
+/// Client side: validate args against the interface and produce the
+/// CallRequest payload (entry name + IN data).  Throws ProtocolError on
+/// arity/kind/size mismatches.
+std::vector<std::uint8_t> encodeCallRequest(const idl::InterfaceInfo& info,
+                                            std::span<const ArgValue> args);
+
+/// Server side: the decoded/working argument set of one call.
+struct ServerCallData {
+  /// Integer value per parameter (arrays and floats hold 0).
+  std::vector<std::int64_t> scalar_ints;
+  /// Floating value per parameter.
+  std::vector<double> scalar_doubles;
+  /// Array storage per parameter (empty for scalars); IN arrays are
+  /// decoded from the wire, OUT arrays are allocated to the size implied
+  /// by the IDL dimension expressions.
+  std::vector<std::vector<double>> arrays;
+};
+
+/// Decode the argument section of a CallRequest (after the entry name has
+/// been read from `dec`), allocate OUT arrays, and validate sizes.
+ServerCallData decodeCallArgs(const idl::InterfaceInfo& info,
+                              xdr::Decoder& dec);
+
+/// Server-relative timestamps of a completed call (seconds since server
+/// start); carried in the reply so the client can compute the paper's
+/// T_response and T_wait without clock synchronization.
+struct CallTimings {
+  double enqueue = 0.0;   // T_enqueue: accepted at the server
+  double dequeue = 0.0;   // T_dequeue: executable invoked
+  double complete = 0.0;  // T_complete: computation finished
+
+  /// T_wait = T_dequeue - T_enqueue (paper, section 4.1).
+  double waitTime() const { return dequeue - enqueue; }
+};
+
+/// Server side: successful reply payload (timings + OUT data).
+std::vector<std::uint8_t> encodeCallReply(const idl::InterfaceInfo& info,
+                                          const ServerCallData& data,
+                                          const CallTimings& timings);
+
+/// Server side: error reply payload.
+std::vector<std::uint8_t> encodeErrorReply(const std::string& message);
+
+/// Client side: decode a CallReply into the caller's OUT arguments.
+/// Throws RemoteError if the reply carries an error status.
+CallTimings decodeCallReply(const idl::InterfaceInfo& info,
+                            std::span<const std::uint8_t> payload,
+                            std::span<const ArgValue> args);
+
+}  // namespace ninf::protocol

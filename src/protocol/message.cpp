@@ -1,0 +1,69 @@
+#include "protocol/message.h"
+
+#include "common/error.h"
+#include "xdr/xdr.h"
+
+namespace ninf::protocol {
+
+void sendMessage(transport::Stream& stream, MessageType type,
+                 std::span<const std::uint8_t> payload) {
+  NINF_REQUIRE(payload.size() <= kMaxPayload, "payload too large");
+  xdr::Encoder header;
+  header.putU32(kMagic);
+  header.putU32(kVersion);
+  header.putU32(static_cast<std::uint32_t>(type));
+  header.putU32(static_cast<std::uint32_t>(payload.size()));
+  stream.sendAll(header.bytes());
+  if (!payload.empty()) stream.sendAll(payload);
+}
+
+Message recvMessage(transport::Stream& stream) {
+  std::uint8_t header_bytes[16];
+  stream.recvAll(header_bytes);
+  xdr::Decoder header(header_bytes);
+  if (header.getU32() != kMagic) {
+    throw ProtocolError("bad magic from " + stream.peerName());
+  }
+  const std::uint32_t version = header.getU32();
+  if (version != kVersion) {
+    throw ProtocolError("unsupported protocol version " +
+                        std::to_string(version));
+  }
+  const std::uint32_t type = header.getU32();
+  if (type < static_cast<std::uint32_t>(MessageType::QueryInterface) ||
+      type > static_cast<std::uint32_t>(MessageType::Pong)) {
+    throw ProtocolError("unknown message type " + std::to_string(type));
+  }
+  const std::uint32_t length = header.getU32();
+  if (length > kMaxPayload) {
+    throw ProtocolError("payload length " + std::to_string(length) +
+                        " exceeds limit");
+  }
+  Message msg;
+  msg.type = static_cast<MessageType>(type);
+  msg.payload.resize(length);
+  if (length > 0) stream.recvAll(msg.payload);
+  return msg;
+}
+
+std::vector<std::uint8_t> ServerStatusInfo::toBytes() const {
+  xdr::Encoder enc;
+  enc.putU32(running);
+  enc.putU32(queued);
+  enc.putU64(completed);
+  enc.putDouble(load_average);
+  return enc.take();
+}
+
+ServerStatusInfo ServerStatusInfo::fromBytes(
+    std::span<const std::uint8_t> bytes) {
+  xdr::Decoder dec(bytes);
+  ServerStatusInfo info;
+  info.running = dec.getU32();
+  info.queued = dec.getU32();
+  info.completed = dec.getU64();
+  info.load_average = dec.getDouble();
+  return info;
+}
+
+}  // namespace ninf::protocol

@@ -1,0 +1,77 @@
+// Ninf RPC message framing.
+//
+// Every message is a fixed 16-byte header (magic, version, type, payload
+// length) followed by an XDR payload.  The call sequence implements the
+// paper's two-stage RPC (section 2.3): the client first queries the
+// interface, receives the compiled IDL information as interpretable code,
+// then marshals arguments accordingly.
+//
+//   client                       server
+//     | -- QueryInterface -------> |
+//     | <------- InterfaceReply -- |   (compiled InterfaceInfo)
+//     | -- CallRequest ----------> |   (entry name + IN arguments)
+//     | <---------- CallReply ---- |   (OUT arguments + server timings)
+//
+// The optional two-phase mode of section 5.1 splits the call:
+//
+//     | -- SubmitRequest --------> |
+//     | <---------- SubmitAck ---- |   (job id; connection may drop)
+//     | -- FetchResult(job) -----> |   (later, new connection)
+//     | <- CallReply / ResultPending |
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace ninf::protocol {
+
+inline constexpr std::uint32_t kMagic = 0x4E494E46;  // "NINF"
+inline constexpr std::uint32_t kVersion = 1;
+/// Guard against hostile/corrupt length fields (256 MiB).
+inline constexpr std::uint32_t kMaxPayload = 256u << 20;
+
+enum class MessageType : std::uint32_t {
+  QueryInterface = 1,   // payload: string name
+  InterfaceReply = 2,   // payload: bool found, [InterfaceInfo]
+  CallRequest = 3,      // payload: string name, IN args
+  CallReply = 4,        // payload: status, timings, OUT args | error string
+  SubmitRequest = 5,    // payload: string name, IN args (two-phase)
+  SubmitAck = 6,        // payload: u64 job id
+  FetchResult = 7,      // payload: u64 job id
+  ResultPending = 8,    // payload: empty
+  ListExecutables = 9,  // payload: empty
+  ExecutableList = 10,  // payload: u32 count, names
+  ServerStatus = 11,    // payload: empty
+  StatusReply = 12,     // payload: running, queued, completed, load
+  Ping = 13,            // payload: opaque echo data
+  Pong = 14,            // payload: opaque echo data
+};
+
+struct Message {
+  MessageType type;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize and send one message.
+void sendMessage(transport::Stream& stream, MessageType type,
+                 std::span<const std::uint8_t> payload);
+
+/// Receive one message; throws ProtocolError on bad magic/version/length
+/// and TransportError on connection loss.
+Message recvMessage(transport::Stream& stream);
+
+/// Server-side status snapshot carried by StatusReply (metaserver food).
+struct ServerStatusInfo {
+  std::uint32_t running = 0;    // executables currently executing
+  std::uint32_t queued = 0;     // jobs waiting in the queue
+  std::uint64_t completed = 0;  // jobs finished since start
+  double load_average = 0.0;    // smoothed runnable-task count
+
+  std::vector<std::uint8_t> toBytes() const;
+  static ServerStatusInfo fromBytes(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace ninf::protocol

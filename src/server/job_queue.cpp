@@ -1,0 +1,70 @@
+#include "server/job_queue.h"
+
+#include <limits>
+
+#include "common/error.h"
+
+namespace ninf::server {
+
+const char* queuePolicyName(QueuePolicy p) {
+  switch (p) {
+    case QueuePolicy::Fcfs: return "FCFS";
+    case QueuePolicy::Sjf: return "SJF";
+  }
+  return "?";
+}
+
+void JobQueue::push(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    NINF_REQUIRE(!closed_, "push to closed job queue");
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+std::size_t JobQueue::pickIndex() const {
+  if (policy_ == QueuePolicy::Fcfs) return 0;
+  // SJF: smallest CalcOrder estimate first; unknown (0) estimates are
+  // treated as longest so hinted short jobs overtake them, with FCFS
+  // order as the tie-break (stable because we scan front to back).
+  std::size_t best = 0;
+  auto keyOf = [](const Job& j) {
+    return j.estimated_flops > 0 ? j.estimated_flops
+                                 : std::numeric_limits<double>::infinity();
+  };
+  double best_key = keyOf(jobs_[0]);
+  for (std::size_t i = 1; i < jobs_.size(); ++i) {
+    const double key = keyOf(jobs_[i]);
+    if (key < best_key) {
+      best_key = key;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::optional<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return std::nullopt;
+  const std::size_t idx = pickIndex();
+  Job job = std::move(jobs_[idx]);
+  jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return job;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace ninf::server

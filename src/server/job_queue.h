@@ -1,0 +1,61 @@
+// Job queue of a Ninf computational server.
+//
+// The paper's server "merely fork & execs a Ninf executable in a
+// First-Come-First-Served (FCFS) manner" (section 5.2) and proposes
+// Shortest-Job-First using the IDL CalcOrder complexity hint; both
+// policies are implemented here and compared in the ablation bench.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+namespace ninf::server {
+
+enum class QueuePolicy { Fcfs, Sjf };
+
+const char* queuePolicyName(QueuePolicy p);
+
+/// One queued call awaiting a worker.
+struct Job {
+  std::uint64_t id = 0;
+  std::function<void()> run;      // executes the call and publishes results
+  double estimated_flops = 0.0;   // CalcOrder hint; 0 when absent
+  double enqueue_time = 0.0;      // server-clock seconds
+};
+
+/// Thread-safe job queue with pluggable dispatch order.
+class JobQueue {
+ public:
+  explicit JobQueue(QueuePolicy policy = QueuePolicy::Fcfs)
+      : policy_(policy) {}
+
+  QueuePolicy policy() const { return policy_; }
+
+  /// Enqueue; wakes one waiting worker.
+  void push(Job job);
+
+  /// Block until a job is available or the queue is closed.
+  /// Returns nullopt when closed and drained.
+  std::optional<Job> pop();
+
+  /// Jobs currently waiting.
+  std::size_t depth() const;
+
+  /// Close: pending pops drain remaining jobs, then return nullopt.
+  void close();
+
+ private:
+  std::size_t pickIndex() const;  // requires lock held, queue non-empty
+
+  QueuePolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> jobs_;
+  bool closed_ = false;
+};
+
+}  // namespace ninf::server

@@ -1,0 +1,87 @@
+#include "server/metrics.h"
+
+#include <cmath>
+
+namespace ninf::server {
+
+namespace {
+/// Load-average time constant; classic Unix uses 60s for the 1-minute
+/// figure.  We use a shorter constant so benchmark-length runs settle.
+constexpr double kLoadTau = 15.0;
+}  // namespace
+
+ServerMetrics::ServerMetrics() : start_(std::chrono::steady_clock::now()) {}
+
+double ServerMetrics::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void ServerMetrics::decayLocked(double t) const {
+  // Fold the elapsed interval into the exponential moving average toward
+  // the instantaneous runnable count.
+  const double dt = t - load_time_;
+  if (dt <= 0) return;
+  const double instant = static_cast<double>(running_ + queued_);
+  const double alpha = std::exp(-dt / kLoadTau);
+  load_ = load_ * alpha + instant * (1.0 - alpha);
+  load_time_ = t;
+}
+
+void ServerMetrics::jobQueued() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  decayLocked(now());
+  ++queued_;
+}
+
+void ServerMetrics::jobStarted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double t = now();
+  decayLocked(t);
+  if (queued_ > 0) --queued_;
+  if (running_ == 0) busy_since_ = t;
+  ++running_;
+}
+
+void ServerMetrics::jobFinished() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double t = now();
+  decayLocked(t);
+  if (running_ > 0) {
+    --running_;
+    if (running_ == 0) busy_accum_ += t - busy_since_;
+  }
+  ++completed_;
+}
+
+std::uint32_t ServerMetrics::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+std::uint32_t ServerMetrics::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+std::uint64_t ServerMetrics::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+double ServerMetrics::loadAverage() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  decayLocked(now());
+  return load_;
+}
+
+double ServerMetrics::busyFraction() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double t = now();
+  double busy = busy_accum_;
+  if (running_ > 0) busy += t - busy_since_;
+  return t > 0 ? busy / t : 0.0;
+}
+
+}  // namespace ninf::server

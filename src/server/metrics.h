@@ -1,0 +1,51 @@
+// Server-side metrics: running/queued counts, completions, and a
+// Unix-style exponentially-smoothed load average — the quantities the
+// paper reports per benchmark row (CPU utilization, load average) and the
+// metaserver polls for scheduling.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace ninf::server {
+
+class ServerMetrics {
+ public:
+  ServerMetrics();
+
+  /// Seconds since server start (the server-relative clock carried in
+  /// reply timings).
+  double now() const;
+
+  void jobQueued();
+  void jobStarted();    // queued -> running
+  void jobFinished();   // running -> done
+
+  std::uint32_t running() const;
+  std::uint32_t queued() const;
+  std::uint64_t completed() const;
+
+  /// One-minute-style exponentially decayed average of the runnable task
+  /// count (running + queued), re-evaluated lazily on read.
+  double loadAverage() const;
+
+  /// Fraction of wall time with at least one job running since start
+  /// (an aggregate busy ratio; per-PE utilization lives in the simulator).
+  double busyFraction() const;
+
+ private:
+  void decayLocked(double t) const;
+
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mutex_;
+  std::uint32_t running_ = 0;
+  std::uint32_t queued_ = 0;
+  std::uint64_t completed_ = 0;
+  mutable double load_ = 0.0;
+  mutable double load_time_ = 0.0;
+  double busy_accum_ = 0.0;
+  double busy_since_ = 0.0;  // time running_ last became nonzero
+};
+
+}  // namespace ninf::server

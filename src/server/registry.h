@@ -1,0 +1,87 @@
+// Registry of Ninf executables on a computational server.
+//
+// "Binaries of computing libraries and applications are registered on the
+//  server process as Ninf executables, which can be semi-automatically
+//  generated with IDL descriptions using the Ninf stub generator."  (2.1)
+//
+// Here an executable is a compiled InterfaceInfo plus a C++ handler; the
+// handler receives a CallContext with typed access to the decoded
+// arguments and writes its results into the OUT arrays in place.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "idl/interface_info.h"
+#include "protocol/call_marshal.h"
+
+namespace ninf::server {
+
+/// Typed view over one decoded call, handed to executable handlers.
+class CallContext {
+ public:
+  CallContext(const idl::InterfaceInfo& info,
+              protocol::ServerCallData& data)
+      : info_(info), data_(data) {}
+
+  const idl::InterfaceInfo& interface() const { return info_; }
+
+  /// Scalar integer argument by parameter name.
+  std::int64_t intArg(const std::string& name) const;
+  /// Scalar floating argument by parameter name.
+  double doubleArg(const std::string& name) const;
+  /// Input array by parameter name.
+  std::span<const double> arrayIn(const std::string& name) const;
+  /// Output (or inout) array by parameter name, writable in place.
+  std::span<double> arrayOut(const std::string& name);
+  /// Set an output scalar.
+  void setInt(const std::string& name, std::int64_t v);
+  void setDouble(const std::string& name, double v);
+
+ private:
+  const idl::InterfaceInfo& info_;
+  protocol::ServerCallData& data_;
+};
+
+/// Handler body of an executable; throw ninf::Error (or any std::exception)
+/// to report failure to the remote caller.
+using Handler = std::function<void(CallContext&)>;
+
+/// One registered executable.
+struct NinfExecutable {
+  idl::InterfaceInfo info;
+  Handler handler;
+};
+
+/// Thread-safe name -> executable map.  The plain-text IDL overload runs
+/// the stub generator (parser) at registration time, exactly as the Ninf
+/// server-side toolchain did.
+class Registry {
+ public:
+  /// Register from IDL text; returns the compiled interface.
+  const idl::InterfaceInfo& add(const std::string& idl_text, Handler handler);
+  /// Register a pre-compiled interface.
+  const idl::InterfaceInfo& add(idl::InterfaceInfo info, Handler handler);
+
+  /// Look up by name; throws ninf::NotFoundError.
+  const NinfExecutable& find(const std::string& name) const;
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const NinfExecutable>> map_;
+};
+
+/// Register the benchmark executables the paper uses on its servers:
+/// "dmmul", "linpack" (dgefa+dgesl, variant-selectable), and "ep".
+/// `workers` is the PE count used by the data-parallel linpack variant.
+void registerStandardExecutables(Registry& registry, std::size_t workers = 1);
+
+}  // namespace ninf::server

@@ -1,0 +1,282 @@
+#include "server/server.h"
+
+#include <future>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "xdr/xdr.h"
+
+namespace ninf::server {
+
+using protocol::CallTimings;
+using protocol::Message;
+using protocol::MessageType;
+
+NinfServer::NinfServer(Registry& registry, ServerOptions options)
+    : registry_(registry), options_(options), queue_(options.policy) {
+  NINF_REQUIRE(options_.workers >= 1, "server needs at least one worker");
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+NinfServer::~NinfServer() { stop(); }
+
+void NinfServer::start(std::shared_ptr<transport::Listener> listener) {
+  NINF_REQUIRE(listener != nullptr, "null listener");
+  NINF_REQUIRE(!listener_, "server already started");
+  listener_ = std::move(listener);
+  accept_thread_ = std::thread([this] {
+    while (!stopping_.load()) {
+      std::unique_ptr<transport::Stream> stream;
+      try {
+        stream = listener_->accept();
+      } catch (const Error& e) {
+        if (!stopping_.load()) {
+          NINF_LOG(Warn) << "accept failed: " << e.what();
+        }
+        break;
+      }
+      if (!stream) break;  // listener closed
+      auto shared = std::shared_ptr<transport::Stream>(std::move(stream));
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      conn_streams_.push_back(shared);
+      conn_threads_.emplace_back(
+          [this, s = std::move(shared)] { serveStream(*s); });
+    }
+  });
+}
+
+void NinfServer::serveStream(transport::Stream& stream) {
+  NINF_LOG(Debug) << "serving connection from " << stream.peerName();
+  try {
+    for (;;) {
+      const Message msg = protocol::recvMessage(stream);
+      handleMessage(stream, msg);
+    }
+  } catch (const TransportError&) {
+    // Normal disconnect path.
+  } catch (const Error& e) {
+    NINF_LOG(Warn) << "connection from " << stream.peerName()
+                   << " aborted: " << e.what();
+  }
+}
+
+void NinfServer::stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  if (listener_) listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    // Unblock connection threads parked in recvMessage.
+    for (auto& weak : conn_streams_) {
+      if (auto s = weak.lock()) s->close();
+    }
+    for (auto& t : conn_threads_) {
+      if (t.joinable()) t.join();
+    }
+    conn_threads_.clear();
+    conn_streams_.clear();
+  }
+  queue_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void NinfServer::workerLoop() {
+  while (auto job = queue_.pop()) {
+    job->run();
+  }
+}
+
+void NinfServer::handleMessage(transport::Stream& stream, const Message& msg) {
+  switch (msg.type) {
+    case MessageType::QueryInterface: {
+      xdr::Decoder dec(msg.payload);
+      const std::string name = dec.getString();
+      xdr::Encoder enc;
+      if (registry_.contains(name)) {
+        enc.putBool(true);
+        registry_.find(name).info.encode(enc);
+      } else {
+        enc.putBool(false);
+      }
+      protocol::sendMessage(stream, MessageType::InterfaceReply, enc.bytes());
+      return;
+    }
+    case MessageType::CallRequest: {
+      const auto reply = executeCall(msg.payload);
+      protocol::sendMessage(stream, MessageType::CallReply, reply);
+      return;
+    }
+    case MessageType::SubmitRequest: {
+      const std::uint64_t id = submitCall(msg.payload);
+      xdr::Encoder enc;
+      enc.putU64(id);
+      protocol::sendMessage(stream, MessageType::SubmitAck, enc.bytes());
+      return;
+    }
+    case MessageType::FetchResult: {
+      xdr::Decoder dec(msg.payload);
+      const std::uint64_t id = dec.getU64();
+      std::unique_lock<std::mutex> lock(pending_mutex_);
+      auto it = pending_.find(id);
+      if (it == pending_.end()) {
+        lock.unlock();
+        protocol::sendMessage(
+            stream, MessageType::CallReply,
+            protocol::encodeErrorReply("unknown job id " +
+                                       std::to_string(id)));
+        return;
+      }
+      if (!it->second.ready) {
+        lock.unlock();
+        protocol::sendMessage(stream, MessageType::ResultPending, {});
+        return;
+      }
+      const auto reply = std::move(it->second.reply);
+      pending_.erase(it);
+      lock.unlock();
+      protocol::sendMessage(stream, MessageType::CallReply, reply);
+      return;
+    }
+    case MessageType::ListExecutables: {
+      xdr::Encoder enc;
+      const auto names = registry_.names();
+      enc.putU32(static_cast<std::uint32_t>(names.size()));
+      for (const auto& n : names) enc.putString(n);
+      protocol::sendMessage(stream, MessageType::ExecutableList, enc.bytes());
+      return;
+    }
+    case MessageType::ServerStatus: {
+      protocol::ServerStatusInfo info;
+      info.running = metrics_.running();
+      info.queued = metrics_.queued();
+      info.completed = metrics_.completed();
+      info.load_average = metrics_.loadAverage();
+      protocol::sendMessage(stream, MessageType::StatusReply, info.toBytes());
+      return;
+    }
+    case MessageType::Ping:
+      protocol::sendMessage(stream, MessageType::Pong, msg.payload);
+      return;
+    default:
+      throw ProtocolError("unexpected message type " +
+                          std::to_string(static_cast<unsigned>(msg.type)));
+  }
+}
+
+namespace {
+
+/// Decoded call bound to its executable, ready for queueing.
+struct PreparedCall {
+  const NinfExecutable* exec = nullptr;
+  protocol::ServerCallData data;
+  double estimated_flops = 0.0;
+};
+
+PreparedCall prepare(Registry& registry,
+                     std::span<const std::uint8_t> payload) {
+  xdr::Decoder dec(payload);
+  const std::string name = dec.getString();
+  PreparedCall call;
+  call.exec = &registry.find(name);
+  call.data = protocol::decodeCallArgs(call.exec->info, dec);
+  call.estimated_flops = static_cast<double>(
+      call.exec->info.flopsEstimate(call.data.scalar_ints));
+  return call;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> NinfServer::executeCall(
+    std::span<const std::uint8_t> payload) {
+  PreparedCall call;
+  try {
+    call = prepare(registry_, payload);
+  } catch (const std::exception& e) {
+    return protocol::encodeErrorReply(e.what());
+  }
+
+  std::promise<std::vector<std::uint8_t>> done;
+  auto fut = done.get_future();
+  metrics_.jobQueued();
+  Job job;
+  job.id = next_job_id_.fetch_add(1);
+  job.estimated_flops = call.estimated_flops;
+  job.enqueue_time = metrics_.now();
+  job.run = [this, call = std::make_shared<PreparedCall>(std::move(call)),
+             enqueue = job.enqueue_time, &done]() mutable {
+    CallTimings timings;
+    timings.enqueue = enqueue;
+    timings.dequeue = metrics_.now();
+    metrics_.jobStarted();
+    std::vector<std::uint8_t> reply;
+    try {
+      CallContext ctx(call->exec->info, call->data);
+      call->exec->handler(ctx);
+      timings.complete = metrics_.now();
+      reply = protocol::encodeCallReply(call->exec->info, call->data, timings);
+    } catch (const std::exception& e) {
+      reply = protocol::encodeErrorReply(e.what());
+    }
+    metrics_.jobFinished();
+    done.set_value(std::move(reply));
+  };
+  queue_.push(std::move(job));
+  return fut.get();
+}
+
+std::uint64_t NinfServer::submitCall(std::span<const std::uint8_t> payload) {
+  const std::uint64_t id = next_job_id_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.emplace(id, PendingResult{});
+  }
+
+  PreparedCall prepared;
+  try {
+    prepared = prepare(registry_, payload);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_[id] = {true, protocol::encodeErrorReply(e.what())};
+    return id;
+  }
+
+  metrics_.jobQueued();
+  Job job;
+  job.id = id;
+  job.estimated_flops = prepared.estimated_flops;
+  job.enqueue_time = metrics_.now();
+  job.run = [this, id,
+             call = std::make_shared<PreparedCall>(std::move(prepared)),
+             enqueue = job.enqueue_time]() mutable {
+    CallTimings timings;
+    timings.enqueue = enqueue;
+    timings.dequeue = metrics_.now();
+    metrics_.jobStarted();
+    std::vector<std::uint8_t> reply;
+    try {
+      CallContext ctx(call->exec->info, call->data);
+      call->exec->handler(ctx);
+      timings.complete = metrics_.now();
+      reply = protocol::encodeCallReply(call->exec->info, call->data, timings);
+    } catch (const std::exception& e) {
+      reply = protocol::encodeErrorReply(e.what());
+    }
+    metrics_.jobFinished();
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_[id] = {true, std::move(reply)};
+    }
+    pending_cv_.notify_all();
+  };
+  queue_.push(std::move(job));
+  return id;
+}
+
+}  // namespace ninf::server

@@ -1,0 +1,95 @@
+// The Ninf computational server.
+//
+// "The Ninf computational server is a process which services remote
+//  computing requests of remote clients by managing the communication and
+//  activation of the services requested via Ninf RPC." (section 2.1)
+//
+// Threading model: one connection-handler thread per client connection
+// (started by start()/serveStream()), plus a fixed pool of `workers`
+// execution threads draining the job queue.  workers == 1 is the paper's
+// data-parallel configuration (calls run one at a time, each free to use
+// every PE internally); workers == P is the task-parallel configuration
+// (up to P calls run concurrently, one PE each).
+//
+// The two-phase protocol of section 5.1 is supported: SubmitRequest
+// detaches the job from the connection, SubmitAck returns a job id, and
+// the client fetches the result later (possibly over a new connection).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "protocol/call_marshal.h"
+#include "protocol/message.h"
+#include "server/job_queue.h"
+#include "server/metrics.h"
+#include "server/registry.h"
+#include "transport/transport.h"
+
+namespace ninf::server {
+
+struct ServerOptions {
+  /// Execution threads draining the job queue (see header comment).
+  std::size_t workers = 1;
+  QueuePolicy policy = QueuePolicy::Fcfs;
+};
+
+class NinfServer {
+ public:
+  NinfServer(Registry& registry, ServerOptions options = {});
+  ~NinfServer();
+
+  NinfServer(const NinfServer&) = delete;
+  NinfServer& operator=(const NinfServer&) = delete;
+
+  /// Serve connections accepted from `listener` on background threads
+  /// until stop() (listener ownership is shared with the caller so tests
+  /// can read the bound port).
+  void start(std::shared_ptr<transport::Listener> listener);
+
+  /// Handle one already-established connection until the peer disconnects.
+  /// Usable directly (e.g. with inprocPair) without start().
+  void serveStream(transport::Stream& stream);
+
+  /// Stop accepting, drain workers, join all threads.  Idempotent.
+  void stop();
+
+  const ServerMetrics& metrics() const { return metrics_; }
+
+ private:
+  void workerLoop();
+  void handleMessage(transport::Stream& stream,
+                     const protocol::Message& msg);
+  /// Parse + enqueue a call; returns the reply payload (blocking mode) or
+  /// records it in the two-phase job table.
+  std::vector<std::uint8_t> executeCall(
+      std::span<const std::uint8_t> payload);
+  std::uint64_t submitCall(std::span<const std::uint8_t> payload);
+
+  struct PendingResult {
+    bool ready = false;
+    std::vector<std::uint8_t> reply;
+  };
+
+  Registry& registry_;
+  ServerOptions options_;
+  ServerMetrics metrics_;
+  JobQueue queue_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<transport::Listener> listener_;
+  std::thread accept_thread_;
+  std::mutex conn_mutex_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<std::weak_ptr<transport::Stream>> conn_streams_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> next_job_id_{1};
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::map<std::uint64_t, PendingResult> pending_;
+};
+
+}  // namespace ninf::server

@@ -1,0 +1,90 @@
+#include "simcore/simulation.h"
+
+#include <limits>
+
+namespace ninf::simcore {
+
+namespace {
+// Exceptions escaping a detached process are parked here (single-threaded
+// simulation) and rethrown by the next Simulation::run() step.
+thread_local std::exception_ptr g_process_error;
+}  // namespace
+
+void Process::promise_type::unhandled_exception() {
+  if (!g_process_error) g_process_error = std::current_exception();
+}
+
+EventHandle Simulation::schedule(double delay, std::function<void()> fn) {
+  NINF_REQUIRE(delay >= 0.0, "cannot schedule into the past");
+  return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulation::scheduleAt(double time, std::function<void()> fn) {
+  NINF_REQUIRE(time >= now_, "cannot schedule into the past");
+  NINF_REQUIRE(fn != nullptr, "null event callback");
+  auto ev = std::make_shared<detail::Event>();
+  ev->time = time;
+  ev->seq = next_seq_++;
+  ev->fn = std::move(fn);
+  queue_.push(ev);
+  return EventHandle(ev);
+}
+
+void Simulation::run() {
+  runUntil(std::numeric_limits<double>::infinity());
+}
+
+void Simulation::runUntil(double t_end) {
+  auto rethrowPending = [this] {
+    if (g_process_error) {
+      error_ = g_process_error;
+      g_process_error = nullptr;
+    }
+    if (error_) {
+      auto e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  };
+  rethrowPending();  // a process may have failed before run()
+  while (!queue_.empty()) {
+    auto ev = queue_.top();
+    if (ev->time > t_end) break;
+    queue_.pop();
+    if (ev->cancelled) continue;
+    now_ = ev->time;
+    ++executed_;
+    ev->fn();
+    rethrowPending();
+  }
+}
+
+void SimEvent::trigger() {
+  if (triggered_) return;
+  triggered_ = true;
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto h : waiters) {
+    sim_.schedule(0.0, [h] { h.resume(); });
+  }
+}
+
+void SimResource::release(std::int64_t units) {
+  NINF_REQUIRE(units >= 1, "release needs positive units");
+  free_ += units;
+  NINF_REQUIRE(free_ <= capacity_, "release exceeds capacity");
+  pump();
+}
+
+void SimResource::pump() {
+  // Strict FIFO: only admit from the head; a wide request at the head
+  // blocks narrower ones behind it (no starvation of data-parallel jobs).
+  while (!waiters_.empty() && free_ >= waiters_.front().units) {
+    const Waiter w = waiters_.front();
+    waiters_.erase(waiters_.begin());
+    free_ -= w.units;
+    sim_.schedule(0.0, [h = w.handle] { h.resume(); });
+  }
+}
+
+}  // namespace ninf::simcore

@@ -1,0 +1,139 @@
+// Joinable coroutine task for the simulator.
+//
+// Unlike simcore::Process (detached, fire-and-forget), a Task<T> can be
+// co_awaited by another coroutine: the awaiter suspends until the task's
+// body finishes and receives its return value (or rethrown exception).
+// Tasks start eagerly — creating one begins executing immediately up to
+// the first suspension point, which is the natural semantics for
+// simulation activities ("the transfer starts now").
+//
+// Lifetime: the coroutine frame is destroyed by ~Task.  A `co_await
+// someTask()` full-expression keeps the temporary alive across the
+// suspension, so the idiom `T r = co_await obj.activity();` is safe.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace ninf::simcore {
+
+template <typename T>
+class Task;
+
+namespace task_detail {
+
+template <typename Promise>
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto continuation = h.promise().continuation;
+    return continuation ? continuation : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_never initial_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+}  // namespace task_detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : task_detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    task_detail::FinalAwaiter<promise_type> final_suspend() noexcept {
+      return {};
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool done() const { return handle_.done(); }
+
+  auto operator co_await() {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return handle.done(); }
+      void await_suspend(std::coroutine_handle<> h) noexcept {
+        handle.promise().continuation = h;
+      }
+      T await_resume() {
+        auto& p = handle.promise();
+        if (p.error) std::rethrow_exception(p.error);
+        return std::move(*p.value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : task_detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    task_detail::FinalAwaiter<promise_type> final_suspend() noexcept {
+      return {};
+    }
+    void return_void() noexcept {}
+  };
+
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool done() const { return handle_.done(); }
+
+  auto operator co_await() {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return handle.done(); }
+      void await_suspend(std::coroutine_handle<> h) noexcept {
+        handle.promise().continuation = h;
+      }
+      void await_resume() {
+        auto& p = handle.promise();
+        if (p.error) std::rethrow_exception(p.error);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace ninf::simcore

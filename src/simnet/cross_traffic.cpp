@@ -1,0 +1,44 @@
+#include "simnet/cross_traffic.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+
+namespace ninf::simnet {
+
+namespace {
+
+/// Exponential deviate with the given mean.
+double exponential(SplitMix64& rng, double mean) {
+  return -mean * std::log(std::max(rng.nextDouble(), 1e-12));
+}
+
+/// One background flow; detached.
+simcore::Process backgroundFlow(Network& net, NodeId src, NodeId dst,
+                                double bytes) {
+  co_await net.transfer(src, dst, bytes);
+}
+
+simcore::Process generator(simcore::Simulation& sim, Network& net,
+                           CrossTrafficConfig config,
+                           std::shared_ptr<SplitMix64> rng) {
+  while (sim.now() < config.end_time) {
+    co_await sim.delay(exponential(*rng, config.mean_interarrival));
+    if (sim.now() >= config.end_time) break;
+    backgroundFlow(net, config.src, config.dst,
+                   std::max(1.0, exponential(*rng, config.mean_bytes)));
+  }
+}
+
+}  // namespace
+
+void startCrossTraffic(simcore::Simulation& sim, Network& net,
+                       const CrossTrafficConfig& config) {
+  NINF_REQUIRE(config.mean_interarrival > 0 && config.mean_bytes > 0,
+               "cross-traffic parameters must be positive");
+  NINF_REQUIRE(config.end_time > 0, "cross-traffic needs an end time");
+  generator(sim, net, config, std::make_shared<SplitMix64>(config.seed));
+}
+
+}  // namespace ninf::simnet

@@ -1,0 +1,36 @@
+// Background cross-traffic generator.
+//
+// The paper closes on why it wants a simulator: "on the Internet it is
+// quite difficult to perform large-scale benchmarks with reproducible
+// results" (section 7) — other people's traffic shares your links.
+// CrossTraffic injects random background flows between two nodes so WAN
+// scenarios can be studied under contention, deterministically per seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "simcore/simulation.h"
+#include "simnet/network.h"
+
+namespace ninf::simnet {
+
+struct CrossTrafficConfig {
+  NodeId src = 0;
+  NodeId dst = 0;
+  /// Mean inter-arrival time of background flows, seconds (exponential).
+  double mean_interarrival = 5.0;
+  /// Mean flow size, bytes (exponential).
+  double mean_bytes = 1e6;
+  /// Stop injecting at this virtual time.
+  double end_time = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Start the generator; it runs as a detached process until end_time.
+/// Returns nothing — the injected flows simply contend with foreground
+/// transfers in the fluid model.
+void startCrossTraffic(simcore::Simulation& sim, Network& net,
+                       const CrossTrafficConfig& config);
+
+}  // namespace ninf::simnet

@@ -1,0 +1,242 @@
+#include "simnet/network.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/error.h"
+
+namespace ninf::simnet {
+
+namespace {
+/// Bytes below which a flow counts as finished (guards float drift).
+constexpr double kEpsilonBytes = 1e-6;
+}  // namespace
+
+NodeId Network::addNode(std::string name) {
+  nodes_.push_back({std::move(name), {}});
+  return nodes_.size() - 1;
+}
+
+LinkId Network::addLink(NodeId a, NodeId b, double bandwidth_bps,
+                        double latency_s) {
+  NINF_REQUIRE(a < nodes_.size() && b < nodes_.size(), "bad node id");
+  NINF_REQUIRE(a != b, "self-link");
+  NINF_REQUIRE(bandwidth_bps > 0, "bandwidth must be positive");
+  NINF_REQUIRE(latency_s >= 0, "latency must be non-negative");
+  links_.push_back({a, b, bandwidth_bps, latency_s});
+  const LinkId id = links_.size() - 1;
+  nodes_[a].links.push_back(id);
+  nodes_[b].links.push_back(id);
+  return id;
+}
+
+std::vector<Network::DirLink> Network::route(NodeId src, NodeId dst) const {
+  NINF_REQUIRE(src < nodes_.size() && dst < nodes_.size(), "bad node id");
+  if (src == dst) return {};
+  // BFS by hop count; ties broken by link insertion order (deterministic).
+  std::vector<std::int64_t> prev_link(nodes_.size(), -1);
+  std::vector<bool> seen(nodes_.size(), false);
+  std::deque<NodeId> frontier{src};
+  seen[src] = true;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    if (u == dst) break;
+    for (const LinkId lid : nodes_[u].links) {
+      const Link& l = links_[lid];
+      const NodeId v = l.a == u ? l.b : l.a;
+      if (seen[v]) continue;
+      seen[v] = true;
+      prev_link[v] = static_cast<std::int64_t>(lid);
+      frontier.push_back(v);
+    }
+  }
+  if (!seen[dst]) {
+    throw NotFoundError("no route from " + nodes_[src].name + " to " +
+                        nodes_[dst].name);
+  }
+  std::vector<DirLink> path;
+  NodeId cur = dst;
+  while (cur != src) {
+    const auto lid = static_cast<LinkId>(prev_link[cur]);
+    const Link& l = links_[lid];
+    const bool forward = l.b == cur;  // traversed a -> b
+    path.push_back(lid * 2 + (forward ? 0 : 1));
+    cur = forward ? l.a : l.b;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double Network::pathLatency(NodeId src, NodeId dst) const {
+  double total = 0.0;
+  for (const DirLink dl : route(src, dst)) total += links_[dl / 2].latency_s;
+  return total;
+}
+
+double Network::pathCapacity(NodeId src, NodeId dst) const {
+  double cap = std::numeric_limits<double>::infinity();
+  for (const DirLink dl : route(src, dst)) {
+    cap = std::min(cap, links_[dl / 2].bandwidth_bps);
+  }
+  return cap;
+}
+
+double Network::linkBytesCarried(LinkId id) const {
+  NINF_REQUIRE(id < links_.size(), "bad link id");
+  return links_[id].bytes_carried;
+}
+
+void Network::startFlow(NodeId src, NodeId dst, double bytes, double cap,
+                        std::coroutine_handle<> h) {
+  NINF_REQUIRE(cap > 0, "flow rate cap must be positive");
+  auto path = route(src, dst);
+  double latency = 0.0;
+  for (const DirLink dl : path) latency += links_[dl / 2].latency_s;
+  // The flow joins the fluid model after the propagation delay.
+  sim_.schedule(latency,
+                [this, path = std::move(path), bytes, cap, h]() mutable {
+    if (path.empty()) {  // same-node transfer: instantaneous
+      sim_.schedule(0.0, [h] { h.resume(); });
+      return;
+    }
+    auto flow = std::make_unique<Flow>();
+    flow->path = std::move(path);
+    flow->remaining = bytes;
+    flow->cap = cap;
+    flow->waiter = h;
+    flows_.push_back(std::move(flow));
+    update();
+  });
+}
+
+void Network::update() {
+  const double now = sim_.now();
+  // 1. Advance every flow at its previous rate.
+  const double dt = now - last_advance_;
+  if (dt > 0) {
+    for (auto& f : flows_) {
+      const double moved = std::min(f->remaining, f->rate * dt);
+      f->remaining -= moved;
+      for (const DirLink dl : f->path) {
+        links_[dl / 2].bytes_carried += moved;
+      }
+    }
+  }
+  last_advance_ = now;
+
+  // 2. Settle completed flows.
+  std::vector<std::coroutine_handle<>> finished;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if ((*it)->remaining <= kEpsilonBytes) {
+      finished.push_back((*it)->waiter);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto h : finished) {
+    sim_.schedule(0.0, [h] { h.resume(); });
+  }
+
+  // 3. Recompute rates for the survivors.
+  if (flows_.empty()) {
+    next_completion_.cancel();
+    return;
+  }
+  if (sharing_ == Sharing::MaxMin) {
+    assignRatesMaxMin();
+  } else {
+    assignRatesEqualShare();
+  }
+
+  // 4. Schedule the next completion.
+  double horizon = std::numeric_limits<double>::infinity();
+  for (const auto& f : flows_) {
+    NINF_REQUIRE(f->rate > 0, "flow starved of bandwidth");
+    horizon = std::min(horizon, f->remaining / f->rate);
+  }
+  next_completion_.cancel();
+  next_completion_ = sim_.schedule(horizon, [this] { update(); });
+}
+
+void Network::assignRatesMaxMin() {
+  // Water-filling over constraints.  Constraints are the directed links
+  // plus one virtual single-flow constraint per flow carrying its rate
+  // cap, so TCP-window ceilings participate in the same max-min
+  // computation: repeatedly find the most constrained one, freeze its
+  // flows at the fair share, remove their demand, and iterate.
+  const std::size_t ndir = links_.size() * 2;
+  const std::size_t ncon = ndir + flows_.size();
+  std::vector<double> cap_left(ncon);
+  std::vector<std::size_t> active_count(ncon, 0);
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    cap_left[i * 2] = links_[i].bandwidth_bps;
+    cap_left[i * 2 + 1] = links_[i].bandwidth_bps;
+  }
+  // Per-flow constraint lists: physical path + the flow's own cap.
+  std::vector<std::vector<std::size_t>> constraints_of(flows_.size());
+  for (std::size_t fi = 0; fi < flows_.size(); ++fi) {
+    auto& cons = constraints_of[fi];
+    cons.assign(flows_[fi]->path.begin(), flows_[fi]->path.end());
+    cons.push_back(ndir + fi);
+    cap_left[ndir + fi] = flows_[fi]->cap;
+    for (const std::size_t c : cons) ++active_count[c];
+  }
+
+  std::vector<std::size_t> unfrozen(flows_.size());
+  for (std::size_t i = 0; i < flows_.size(); ++i) unfrozen[i] = i;
+
+  while (!unfrozen.empty()) {
+    // Bottleneck: constraint with the smallest per-flow fair share.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_con = 0;
+    for (std::size_t c = 0; c < ncon; ++c) {
+      if (active_count[c] == 0) continue;
+      const double share = cap_left[c] / static_cast<double>(active_count[c]);
+      if (share < best_share) {
+        best_share = share;
+        best_con = c;
+      }
+    }
+    NINF_REQUIRE(best_share < std::numeric_limits<double>::infinity(),
+                 "unconstrained flow in max-min computation");
+    // Freeze every unfrozen flow crossing the bottleneck.
+    for (auto it = unfrozen.begin(); it != unfrozen.end();) {
+      const std::size_t fi = *it;
+      const auto& cons = constraints_of[fi];
+      if (std::find(cons.begin(), cons.end(), best_con) == cons.end()) {
+        ++it;
+        continue;
+      }
+      flows_[fi]->rate = best_share;
+      for (const std::size_t c : cons) {
+        cap_left[c] -= best_share;
+        if (cap_left[c] < 0) cap_left[c] = 0;  // float guard
+        --active_count[c];
+      }
+      it = unfrozen.erase(it);
+    }
+  }
+}
+
+void Network::assignRatesEqualShare() {
+  // Ablation: every flow gets capacity/n of its most contended link, with
+  // no redistribution of leftovers.
+  const std::size_t ndir = links_.size() * 2;
+  std::vector<std::size_t> count(ndir, 0);
+  for (const auto& f : flows_) {
+    for (const DirLink dl : f->path) ++count[dl];
+  }
+  for (auto& f : flows_) {
+    double rate = f->cap;
+    for (const DirLink dl : f->path) {
+      rate = std::min(rate, links_[dl / 2].bandwidth_bps /
+                                static_cast<double>(count[dl]));
+    }
+    f->rate = rate;
+  }
+}
+
+}  // namespace ninf::simnet

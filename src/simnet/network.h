@@ -1,0 +1,119 @@
+// Fluid-flow network simulator.
+//
+// Models the paper's LAN/WAN environments: nodes joined by full-duplex
+// links with finite bandwidth and latency.  Concurrent transfers sharing a
+// link split its capacity max-min fairly (TCP's idealized steady state),
+// recomputed whenever a flow starts or finishes.  This is exactly the
+// mechanism behind the paper's WAN findings: clients at one site share
+// their site's uplink (single-site saturation, Tables 6-7), while clients
+// at different sites achieve near-aggregate bandwidth (Figure 10).
+//
+// An equal-share policy (each flow gets capacity/n on its most contended
+// link, no water-filling) is included as an ablation.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simcore/simulation.h"
+
+namespace ninf::simnet {
+
+using NodeId = std::size_t;
+using LinkId = std::size_t;
+
+enum class Sharing { MaxMin, EqualShare };
+
+class Network {
+ public:
+  explicit Network(simcore::Simulation& sim, Sharing sharing = Sharing::MaxMin)
+      : sim_(sim), sharing_(sharing) {}
+
+  NodeId addNode(std::string name);
+  /// Full-duplex link: `bandwidth_bps` bytes/second each direction,
+  /// `latency_s` one-way propagation delay.
+  LinkId addLink(NodeId a, NodeId b, double bandwidth_bps, double latency_s);
+
+  std::size_t nodeCount() const { return nodes_.size(); }
+  const std::string& nodeName(NodeId id) const { return nodes_.at(id).name; }
+
+  /// Awaitable: complete when `bytes` have been delivered src -> dst
+  /// (propagation latency along the path plus fluid transfer time).
+  /// `rate_cap` bounds the flow's own rate regardless of link capacity —
+  /// the window-limited ceiling of a single 1997 TCP connection, which is
+  /// why aggregate multi-client throughput can exceed a single FTP stream
+  /// in the paper's LAN tables.  Throws NotFoundError if no route exists.
+  auto transfer(NodeId src, NodeId dst, double bytes,
+                double rate_cap = kUncapped) {
+    struct Awaiter {
+      Network& net;
+      NodeId src, dst;
+      double bytes, cap;
+      bool await_ready() const noexcept { return bytes <= 0.0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        net.startFlow(src, dst, bytes, cap, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, src, dst, bytes, rate_cap};
+  }
+
+  static constexpr double kUncapped = 1e30;
+
+  /// Instantaneous rate a *new* flow would get on the path src -> dst
+  /// (diagnostics; the paper's "FTP throughput" baseline measurement).
+  double pathCapacity(NodeId src, NodeId dst) const;
+  /// Sum of one-way link latencies along the route.
+  double pathLatency(NodeId src, NodeId dst) const;
+
+  std::size_t activeFlows() const { return flows_.size(); }
+  /// Total bytes carried by a link (both directions) so far.
+  double linkBytesCarried(LinkId id) const;
+
+ private:
+  struct Link {
+    NodeId a, b;
+    double bandwidth_bps;
+    double latency_s;
+    double bytes_carried = 0.0;
+  };
+
+  /// Directed use of a link: index*2 + (0 fwd a->b, 1 rev b->a).
+  using DirLink = std::size_t;
+
+  struct Flow {
+    std::vector<DirLink> path;
+    double remaining = 0.0;
+    double rate = 0.0;
+    double cap = kUncapped;  // per-flow ceiling (TCP window limit)
+    std::coroutine_handle<> waiter;
+  };
+
+  void startFlow(NodeId src, NodeId dst, double bytes, double cap,
+                 std::coroutine_handle<> h);
+  std::vector<DirLink> route(NodeId src, NodeId dst) const;
+  /// Advance all flows to now, settle completions, recompute rates, and
+  /// schedule the next completion event.
+  void update();
+  void assignRatesMaxMin();
+  void assignRatesEqualShare();
+
+  simcore::Simulation& sim_;
+  Sharing sharing_;
+
+  struct Node {
+    std::string name;
+    std::vector<LinkId> links;
+  };
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+
+  std::vector<std::unique_ptr<Flow>> flows_;
+  double last_advance_ = 0.0;
+  simcore::EventHandle next_completion_;
+};
+
+}  // namespace ninf::simnet

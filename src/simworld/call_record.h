@@ -1,0 +1,60 @@
+// Per-call measurements of a simulated Ninf_call, matching the paper's
+// instrumentation (section 4.1): T_submit, T_enqueue, T_dequeue,
+// T_complete, plus byte counts and the time actually spent communicating.
+#pragma once
+
+#include <cstddef>
+
+#include "common/stats.h"
+
+namespace ninf::simworld {
+
+struct CallRecord {
+  double submit = 0.0;    // client issues the Ninf_call
+  double enqueue = 0.0;   // accepted at the server
+  double dequeue = 0.0;   // Ninf executable invoked
+  double complete = 0.0;  // computation finished
+  double end = 0.0;       // results fully received by the client
+  double work = 0.0;      // nominal operation count (flops or EP ops)
+  double bytes_total = 0.0;
+  double comm_seconds = 0.0;  // argument + result transfer (incl. XDR)
+
+  /// T_response = T_enqueue - T_submit (section 4.1).
+  double responseTime() const { return enqueue - submit; }
+  /// T_wait = T_dequeue - T_enqueue.
+  double waitTime() const { return dequeue - enqueue; }
+  /// Whole-call duration T_Ninf_call.
+  double elapsed() const { return end - submit; }
+  /// Client-observed performance, operations/second.
+  double performance() const {
+    return elapsed() > 0 ? work / elapsed() : 0.0;
+  }
+  /// Per-call communication throughput, bytes/second (the paper's
+  /// "Throughput" column: data moved over the time spent moving it).
+  double throughput() const {
+    return comm_seconds > 0 ? bytes_total / comm_seconds : 0.0;
+  }
+};
+
+/// max/min/mean aggregation of one benchmark row (one (n, c) cell).
+struct RowStats {
+  RunningStats perf_mflops;
+  RunningStats response_s;
+  RunningStats wait_s;
+  RunningStats throughput_mbps;
+  RunningStats transmission_s;  // result-transfer time (EP tables)
+  RunningStats service_s;       // in-service time (dequeue to complete)
+
+  void add(const CallRecord& rec) {
+    perf_mflops.add(rec.performance() / 1e6);
+    response_s.add(rec.responseTime());
+    wait_s.add(rec.waitTime());
+    throughput_mbps.add(rec.throughput() / 1e6);
+    transmission_s.add(rec.end - rec.complete);
+    service_s.add(rec.complete - rec.dequeue);
+  }
+
+  std::size_t times() const { return perf_mflops.count(); }
+};
+
+}  // namespace ninf::simworld

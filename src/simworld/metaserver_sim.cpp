@@ -1,0 +1,91 @@
+#include "simworld/metaserver_sim.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "machine/calibration.h"
+#include "simcore/simulation.h"
+#include "simcore/task.h"
+#include "simworld/scenario.h"
+#include "simworld/sim_server.h"
+
+namespace ninf::simworld {
+
+namespace cal = machine::calibration;
+
+namespace {
+
+/// The transaction body: serialized dispatch of p EP calls, then join.
+simcore::Process transactionProcess(
+    simcore::Simulation& sim, std::vector<std::unique_ptr<SimNinfServer>>& servers,
+    simnet::NodeId client, SimJob per_node_job, double overhead,
+    SplitMix64& rng, double& elapsed_out) {
+  const double start = sim.now();
+  // Ninf_transaction_begin ... end: all calls are independent, so the
+  // metaserver schedules them task-parallel (section 4.3), but each
+  // dispatch costs `overhead` seconds of serialized metaserver work.
+  std::vector<simcore::Task<CallRecord>> calls;
+  calls.reserve(servers.size());
+  for (auto& srv : servers) {
+    co_await sim.delay(overhead);
+    calls.push_back(srv->call(client, per_node_job, rng));
+  }
+  for (auto& c : calls) {
+    co_await c;
+  }
+  elapsed_out = sim.now() - start;
+}
+
+}  // namespace
+
+MetaserverEpResult runMetaserverEp(const MetaserverEpConfig& config) {
+  NINF_REQUIRE(config.procs >= 1, "need at least one processor");
+  simcore::Simulation sim;
+  simnet::Network net(sim);
+
+  const auto client_node = net.addNode("client");
+  const auto lan_switch = net.addNode("switch");
+  net.addLink(client_node, lan_switch, 10.0 * cal::kMBps, cal::kLanLatency);
+
+  const machine::MachineSpec node_spec = cal::alphaClusterNode();
+  std::vector<std::unique_ptr<machine::SimMachine>> machines;
+  std::vector<std::unique_ptr<SimNinfServer>> servers;
+  for (std::size_t i = 0; i < config.procs; ++i) {
+    const auto node = net.addNode("alpha-node-" + std::to_string(i));
+    net.addLink(node, lan_switch, 10.0 * cal::kMBps, cal::kLanLatency);
+    machines.push_back(
+        std::make_unique<machine::SimMachine>(sim, node_spec));
+    SimServerConfig cfg;
+    cfg.mode = ExecMode::TaskParallel;
+    cfg.t_comm0 = cal::kTComm0Lan;
+    cfg.t_comp0 = cal::kTComp0;
+    cfg.syn_retry_prob = 0.0;
+    servers.push_back(std::make_unique<SimNinfServer>(
+        sim, net, node, *machines.back(), cfg));
+  }
+
+  // Each node draws 2^log2_pairs / p pairs of the global EP sequence.
+  SimJob job;
+  job.work = std::ldexp(1.0, config.log2_pairs + 1) /
+             static_cast<double>(config.procs);
+  job.rate_full = node_spec.ep_ops_per_sec;
+  job.in_bytes = 64.0;
+  job.out_bytes = 160.0;
+
+  SplitMix64 rng(config.seed);
+  double elapsed = 0.0;
+  transactionProcess(sim, servers, client_node, job, config.overhead, rng,
+                     elapsed);
+  sim.run();
+
+  MetaserverEpResult result;
+  result.elapsed = elapsed;
+  result.total_mops =
+      std::ldexp(1.0, config.log2_pairs + 1) / elapsed / 1e6;
+  return result;
+}
+
+}  // namespace ninf::simworld

@@ -1,0 +1,28 @@
+// Simulated metaserver EP fan-out (Figure 11).
+//
+// A client wraps p Ninf_calls in a transaction; the metaserver (a Java
+// prototype in the paper) dispatches them task-parallel onto p Alpha
+// cluster nodes.  Dispatch is serialized and costs `overhead` seconds per
+// call, which is why the small "sample" class (2^24 pairs) slows down at
+// large p while classes A (2^28) and B (2^30) speed up almost linearly.
+#pragma once
+
+#include <cstdint>
+
+namespace ninf::simworld {
+
+struct MetaserverEpConfig {
+  std::size_t procs = 1;     // cluster nodes used (1..32)
+  int log2_pairs = 24;       // sample = 24, class A = 28, class B = 30
+  double overhead = 0.08;    // metaserver per-call dispatch cost, seconds
+  std::uint64_t seed = 11;
+};
+
+struct MetaserverEpResult {
+  double elapsed = 0.0;     // transaction wall time, virtual seconds
+  double total_mops = 0.0;  // 2^(n+1) ops / elapsed / 1e6
+};
+
+MetaserverEpResult runMetaserverEp(const MetaserverEpConfig& config);
+
+}  // namespace ninf::simworld

@@ -1,0 +1,337 @@
+#include "simworld/scenario.h"
+
+#include <memory>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "simcore/simulation.h"
+
+namespace ninf::simworld {
+
+namespace cal = machine::calibration;
+
+const char* serverKindName(ServerKind k) {
+  switch (k) {
+    case ServerKind::J90: return "J90";
+    case ServerKind::SparcSmp: return "SPARC SMP";
+    case ServerKind::UltraSparc: return "UltraSPARC";
+    case ServerKind::Alpha: return "Alpha";
+  }
+  return "?";
+}
+
+const char* clientKindName(ClientKind k) {
+  switch (k) {
+    case ClientKind::SuperSparc: return "SuperSPARC";
+    case ClientKind::UltraSparc: return "UltraSPARC";
+    case ClientKind::Alpha: return "Alpha";
+  }
+  return "?";
+}
+
+const char* topologyName(Topology t) {
+  switch (t) {
+    case Topology::Lan: return "LAN";
+    case Topology::SingleSiteWan: return "single-site WAN";
+    case Topology::MultiSiteWan: return "multi-site WAN";
+  }
+  return "?";
+}
+
+machine::MachineSpec serverSpec(ServerKind kind) {
+  switch (kind) {
+    case ServerKind::J90: return cal::j90();
+    case ServerKind::SparcSmp: return cal::sparcSmp();
+    case ServerKind::UltraSparc: return cal::ultraServer();
+    case ServerKind::Alpha: return cal::alphaServer();
+  }
+  throw Error("bad server kind");
+}
+
+double serverLinpackRate(ServerKind kind, ExecMode mode, std::size_t n) {
+  const machine::MachineSpec spec = serverSpec(kind);
+  const double dn = static_cast<double>(n);
+  return mode == ExecMode::DataParallel ? spec.full_machine.rateAt(dn)
+                                        : spec.per_pe.rateAt(dn);
+}
+
+double clientServerFtp(ClientKind client, ServerKind server) {
+  switch (client) {
+    case ClientKind::SuperSparc:
+      switch (server) {
+        case ServerKind::UltraSparc: return cal::kFtpSuperToUltra;
+        case ServerKind::Alpha: return cal::kFtpSuperToAlpha;
+        case ServerKind::J90: return cal::kFtpSuperToJ90;
+        case ServerKind::SparcSmp: return cal::kSmpLanCapacity;
+      }
+      break;
+    case ClientKind::UltraSparc:
+      switch (server) {
+        case ServerKind::UltraSparc: return 6.0 * cal::kMBps;  // same arch
+        case ServerKind::Alpha: return cal::kFtpUltraToAlpha;
+        case ServerKind::J90: return cal::kFtpUltraToJ90;
+        case ServerKind::SparcSmp: return cal::kSmpLanCapacity;
+      }
+      break;
+    case ClientKind::Alpha:
+      switch (server) {
+        case ServerKind::UltraSparc: return cal::kFtpUltraToAlpha;
+        case ServerKind::Alpha: return 6.2 * cal::kMBps;  // same arch
+        case ServerKind::J90: return cal::kFtpAlphaToJ90;
+        case ServerKind::SparcSmp: return cal::kSmpLanCapacity;
+      }
+      break;
+  }
+  throw Error("bad client/server pair");
+}
+
+machine::PerfModel clientLocalModel(ClientKind client, bool optimized) {
+  switch (client) {
+    case ClientKind::SuperSparc: return cal::superSparcLocal();
+    case ClientKind::UltraSparc: return cal::ultraSparcLocal();
+    case ClientKind::Alpha:
+      return optimized ? cal::alphaLocalOptimized()
+                       : cal::alphaLocalStandard();
+  }
+  throw Error("bad client kind");
+}
+
+double localMflops(ClientKind client, bool optimized, std::size_t n) {
+  return clientLocalModel(client, optimized).rateAt(static_cast<double>(n)) /
+         1e6;
+}
+
+// ------------------------------------------------------- single client
+
+namespace {
+
+/// Drive one call to completion and capture its record.
+simcore::Process singleCallProcess(SimNinfServer& srv, simnet::NodeId client,
+                                   SimJob job, SplitMix64& rng,
+                                   CallRecord& out) {
+  out = co_await srv.call(client, job, rng);
+}
+
+}  // namespace
+
+SingleCallResult runSingleCall(ClientKind client, ServerKind server,
+                               ExecMode mode, std::size_t n,
+                               std::uint64_t seed) {
+  simcore::Simulation sim;
+  simnet::Network net(sim);
+  const auto client_node = net.addNode(clientKindName(client));
+  const auto server_node = net.addNode(serverKindName(server));
+  const double ftp = clientServerFtp(client, server);
+  net.addLink(client_node, server_node, ftp, cal::kLanLatency);
+
+  machine::SimMachine mach(sim, serverSpec(server));
+  SimServerConfig cfg;
+  cfg.mode = mode;
+  cfg.t_comm0 = cal::kTComm0Lan;
+  cfg.t_comp0 = cal::kTComp0;
+  cfg.syn_retry_prob = 0.0;  // deterministic single-shot measurements
+  cfg.flow_cap = ftp;
+  SimNinfServer srv(sim, net, server_node, mach, cfg);
+
+  SplitMix64 rng(seed);
+  CallRecord rec;
+  const SimJob job = linpackJob(n, serverLinpackRate(server, mode, n));
+  singleCallProcess(srv, client_node, job, rng, rec);
+  sim.run();
+
+  SingleCallResult result;
+  result.elapsed = rec.elapsed();
+  result.mflops = rec.performance() / 1e6;
+  result.throughput_mbps = rec.throughput() / 1e6;
+  return result;
+}
+
+double runThroughputProbe(ClientKind client, ServerKind server,
+                          double bytes) {
+  simcore::Simulation sim;
+  simnet::Network net(sim);
+  const auto client_node = net.addNode("client");
+  const auto server_node = net.addNode("server");
+  const double ftp = clientServerFtp(client, server);
+  net.addLink(client_node, server_node, ftp, cal::kLanLatency);
+
+  machine::SimMachine mach(sim, serverSpec(server));
+  SimServerConfig cfg;
+  cfg.t_comm0 = cal::kTComm0Lan;
+  cfg.t_comp0 = cal::kTComp0;
+  cfg.syn_retry_prob = 0.0;
+  cfg.flow_cap = ftp;
+  SimNinfServer srv(sim, net, server_node, mach, cfg);
+
+  SplitMix64 rng(7);
+  CallRecord rec;
+  SimJob job;
+  job.work = 1.0;  // negligible compute: measure marshalling + transfer
+  job.rate_full = 1e9;
+  job.in_bytes = bytes / 2;
+  job.out_bytes = bytes / 2;
+  singleCallProcess(srv, client_node, job, rng, rec);
+  sim.run();
+  // Figure 5 plots whole-call throughput: payload over the complete
+  // Ninf_call (setup, marshalling, and transfer all included), which is
+  // why small payloads sit far below the wire rate.
+  return rec.bytes_total / rec.elapsed() / 1e6;
+}
+
+// ------------------------------------------------------- multi client
+
+namespace {
+
+struct ClientSlot {
+  simnet::NodeId node = 0;
+  std::size_t site = 0;
+  SplitMix64 rng{0};
+};
+
+/// The section 4.1 client loop: every `interval` seconds flip a coin with
+/// probability p; heads issues a blocking Ninf_call.
+simcore::Process clientLoop(simcore::Simulation& sim, SimNinfServer& srv,
+                            ClientSlot& slot, SimJob job, double interval,
+                            double probability, double end_time,
+                            RowStats& all, RowStats& site_row) {
+  for (;;) {
+    co_await sim.delay(interval);
+    if (sim.now() >= end_time) break;
+    if (!slot.rng.nextBool(probability)) continue;
+    CallRecord rec = co_await srv.call(slot.node, job, slot.rng);
+    all.add(rec);
+    site_row.add(rec);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> multiSiteNames() {
+  return {"Ocha-U", "U-Tokyo", "NITech", "TITech"};
+}
+
+MultiClientResult runMultiClient(const MultiClientConfig& config) {
+  NINF_REQUIRE(config.clients >= 1, "need at least one client");
+  simcore::Simulation sim;
+  simnet::Network net(sim, config.sharing);
+
+  const machine::MachineSpec spec = serverSpec(config.server);
+  machine::SimMachine mach(sim, spec);
+  const auto server_node = net.addNode(spec.name);
+
+  SimServerConfig srv_cfg;
+  srv_cfg.mode = config.mode;
+  srv_cfg.t_comp0 = cal::kTComp0;
+  srv_cfg.max_concurrent_calls = config.max_concurrent_calls;
+
+  std::vector<ClientSlot> slots;
+  std::vector<std::string> site_names;
+  SplitMix64 master(config.seed);
+
+  switch (config.topology) {
+    case Topology::Lan: {
+      // Alpha WS cluster clients behind a LAN switch (Figure 2).
+      site_names = {"LAN"};
+      const auto lan_switch = net.addNode("lan-switch");
+      const double attachment = config.server == ServerKind::SparcSmp
+                                    ? cal::kSmpLanCapacity
+                                    : cal::kJ90LanCapacity;
+      net.addLink(lan_switch, server_node, attachment, cal::kLanLatency);
+      for (std::size_t i = 0; i < config.clients; ++i) {
+        ClientSlot slot;
+        slot.node = net.addNode("alpha-" + std::to_string(i));
+        slot.site = 0;
+        slot.rng = master.split();
+        net.addLink(slot.node, lan_switch, 10.0 * cal::kMBps,
+                    cal::kLanLatency);
+        slots.push_back(slot);
+      }
+      srv_cfg.t_comm0 = cal::kTComm0Lan;
+      srv_cfg.syn_retry_prob = 0.01;
+      srv_cfg.flow_cap =
+          clientServerFtp(ClientKind::Alpha, config.server);
+      break;
+    }
+    case Topology::SingleSiteWan: {
+      // SuperSPARC clients at Ocha-U, 60 km from the ETL J90
+      // (section 4.1); they share the site's 0.17 MB/s path.
+      site_names = {"Ocha-U"};
+      const auto site_router = net.addNode("ochanomizu-router");
+      net.addLink(site_router, server_node, cal::kWanOchaToEtl,
+                  cal::kWanLatency);
+      for (std::size_t i = 0; i < config.clients; ++i) {
+        ClientSlot slot;
+        slot.node = net.addNode("ocha-" + std::to_string(i));
+        slot.site = 0;
+        slot.rng = master.split();
+        net.addLink(slot.node, site_router, 4.0 * cal::kMBps,
+                    cal::kLanLatency);
+        slots.push_back(slot);
+      }
+      srv_cfg.t_comm0 = cal::kTComm0Wan;
+      srv_cfg.syn_retry_prob = 0.03;  // lossier path
+      break;
+    }
+    case Topology::MultiSiteWan: {
+      // Four university sites on different backbones (Figure 9).
+      site_names = multiSiteNames();
+      const double uplinks[] = {cal::kSiteUplinkOcha, cal::kSiteUplinkUTokyo,
+                                cal::kSiteUplinkNITech,
+                                cal::kSiteUplinkTITech};
+      const auto etl_router = net.addNode("etl-router");
+      net.addLink(etl_router, server_node, cal::kEtlWanAttachment,
+                  cal::kLanLatency);
+      for (std::size_t s = 0; s < site_names.size(); ++s) {
+        const auto site_router = net.addNode(site_names[s] + "-router");
+        net.addLink(site_router, etl_router, uplinks[s], cal::kWanLatency);
+        for (std::size_t i = 0; i < config.clients; ++i) {
+          ClientSlot slot;
+          slot.node =
+              net.addNode(site_names[s] + "-" + std::to_string(i));
+          slot.site = s;
+          slot.rng = master.split();
+          net.addLink(slot.node, site_router, 4.0 * cal::kMBps,
+                      cal::kLanLatency);
+          slots.push_back(slot);
+        }
+      }
+      srv_cfg.t_comm0 = cal::kTComm0Wan;
+      srv_cfg.syn_retry_prob = 0.03;
+      break;
+    }
+  }
+
+  SimNinfServer srv(sim, net, server_node, mach, srv_cfg);
+
+  SimJob job;
+  if (config.ep) {
+    job = epJob(config.ep_log2_pairs, spec.ep_ops_per_sec);
+  } else {
+    job = linpackJob(config.n,
+                     serverLinpackRate(config.server, config.mode, config.n));
+  }
+
+  MultiClientResult result;
+  result.sites.resize(site_names.size());
+  for (std::size_t s = 0; s < site_names.size(); ++s) {
+    result.sites[s].name = site_names[s];
+  }
+
+  for (auto& slot : slots) {
+    clientLoop(sim, srv, slot, job, config.interval, config.probability,
+               config.duration, result.row, result.sites[slot.site].row);
+  }
+  sim.run();
+
+  result.duration = sim.now();
+  result.cpu_util_percent = mach.cpuUtilizationPercent();
+  result.load_average = mach.loadAverage();
+  result.max_load = mach.maxLoad();
+  const double total_bytes =
+      result.row.times() * (job.in_bytes + job.out_bytes);
+  result.aggregate_mbps =
+      result.duration > 0 ? total_bytes / result.duration / 1e6 : 0.0;
+  return result;
+}
+
+}  // namespace ninf::simworld

@@ -1,0 +1,103 @@
+// Benchmark scenarios: the paper's LAN, single-site-WAN, and multi-site-WAN
+// environments assembled from the simulator substrates, plus the workload
+// of section 4.1 (every s = 3 seconds each client issues a Ninf_call with
+// probability p = 1/2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/calibration.h"
+#include "machine/machine.h"
+#include "simnet/network.h"
+#include "simworld/call_record.h"
+#include "simworld/sim_server.h"
+
+namespace ninf::simworld {
+
+// ------------------------------------------------------ machine catalog
+
+enum class ServerKind { J90, SparcSmp, UltraSparc, Alpha };
+enum class ClientKind { SuperSparc, UltraSparc, Alpha };
+
+const char* serverKindName(ServerKind k);
+const char* clientKindName(ClientKind k);
+
+machine::MachineSpec serverSpec(ServerKind kind);
+
+/// Linpack rate (flops/s) the server sustains for one call of size n in
+/// the given execution mode (P_calc(n) of section 3.1).
+double serverLinpackRate(ServerKind kind, ExecMode mode, std::size_t n);
+
+/// Table 2: measured client->server FTP throughput, bytes/second.  Also
+/// the per-flow TCP ceiling used in the fluid model.
+double clientServerFtp(ClientKind client, ServerKind server);
+
+/// Client Local Linpack curve (Figures 3-4 baselines).
+machine::PerfModel clientLocalModel(ClientKind client, bool optimized);
+
+/// Local Linpack performance in Mflops at size n.
+double localMflops(ClientKind client, bool optimized, std::size_t n);
+
+// ------------------------------------------- single client (Figs 3-5)
+
+struct SingleCallResult {
+  double mflops = 0.0;
+  double throughput_mbps = 0.0;
+  double elapsed = 0.0;
+};
+
+/// One client, one Ninf_call of size n over the LAN (Figures 3-4).
+SingleCallResult runSingleCall(ClientKind client, ServerKind server,
+                               ExecMode mode, std::size_t n,
+                               std::uint64_t seed = 1);
+
+/// Ninf_call communication throughput for a given payload (Figure 5):
+/// a call shipping `bytes` with negligible compute.
+double runThroughputProbe(ClientKind client, ServerKind server, double bytes);
+
+// ---------------------------------------- multi-client (Tables 3-8)
+
+enum class Topology { Lan, SingleSiteWan, MultiSiteWan };
+
+const char* topologyName(Topology t);
+
+struct MultiClientConfig {
+  ServerKind server = ServerKind::J90;
+  ExecMode mode = ExecMode::TaskParallel;
+  Topology topology = Topology::Lan;
+  std::size_t clients = 1;  // per site when topology == MultiSiteWan
+  std::size_t n = 600;      // Linpack matrix size
+  bool ep = false;          // run the EP workload instead of Linpack
+  int ep_log2_pairs = 24;   // 2^24 trial samples per call (section 4.3)
+  double interval = 3.0;    // s: client wake-up period
+  double probability = 0.5; // p: P(issue a call at a wake-up)
+  double duration = 360.0;  // virtual seconds of call issuing
+  std::uint64_t seed = 1997;
+  simnet::Sharing sharing = simnet::Sharing::MaxMin;
+  /// Section 5.1 admission control: max calls in service (0 = unlimited).
+  std::size_t max_concurrent_calls = 0;
+};
+
+struct SiteStats {
+  std::string name;
+  RowStats row;
+};
+
+struct MultiClientResult {
+  RowStats row;                  // aggregated over every client
+  std::vector<SiteStats> sites;  // per-site breakdown (multi-site runs)
+  double cpu_util_percent = 0.0;
+  double load_average = 0.0;
+  double max_load = 0.0;
+  double aggregate_mbps = 0.0;   // total payload bytes / duration
+  double duration = 0.0;
+};
+
+MultiClientResult runMultiClient(const MultiClientConfig& config);
+
+/// The four client sites of the multi-site WAN benchmark (Figure 9).
+std::vector<std::string> multiSiteNames();
+
+}  // namespace ninf::simworld

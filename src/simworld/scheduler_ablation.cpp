@@ -1,0 +1,165 @@
+#include "simworld/scheduler_ablation.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "machine/calibration.h"
+#include "simcore/simulation.h"
+#include "simnet/network.h"
+#include "simworld/scenario.h"
+#include "simworld/sim_server.h"
+
+namespace ninf::simworld {
+
+namespace cal = machine::calibration;
+
+const char* simPolicyName(SimPolicy p) {
+  switch (p) {
+    case SimPolicy::RoundRobin: return "round-robin";
+    case SimPolicy::LeastLoad: return "least-load (NetSolve-style)";
+    case SimPolicy::BandwidthAware: return "bandwidth-aware (paper 5.1)";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Candidate {
+  SimNinfServer* server = nullptr;
+  machine::SimMachine* machine = nullptr;
+  double bandwidth_bps = 0.0;  // client-observed path capacity
+  SimJob job;                  // per-server rate (P_calc differs)
+  std::size_t calls = 0;
+};
+
+std::size_t pick(SimPolicy policy, const std::vector<Candidate>& candidates,
+                 std::size_t& rr_state) {
+  switch (policy) {
+    case SimPolicy::RoundRobin:
+      return rr_state++ % candidates.size();
+    case SimPolicy::LeastLoad: {
+      // The NetSolve-style agent: lowest instantaneous load wins,
+      // bandwidth ignored.
+      std::size_t best = 0;
+      double best_load = candidates[0].machine->instantaneousLoad();
+      for (std::size_t i = 1; i < candidates.size(); ++i) {
+        const double load = candidates[i].machine->instantaneousLoad();
+        if (load < best_load) {
+          best_load = load;
+          best = i;
+        }
+      }
+      return best;
+    }
+    case SimPolicy::BandwidthAware: {
+      // The paper's recommendation: estimate T_comm + T_comp from the
+      // IDL-derived byte/flop counts, the achievable bandwidth, and the
+      // polled load.
+      std::size_t best = 0;
+      double best_eta = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const Candidate& c = candidates[i];
+        const double comm =
+            (c.job.in_bytes + c.job.out_bytes) / c.bandwidth_bps;
+        const double queue = c.machine->instantaneousLoad();
+        const double comp = c.job.work / c.job.rate_full * (1.0 + queue);
+        if (comm + comp < best_eta) {
+          best_eta = comm + comp;
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+simcore::Process ablationClient(simcore::Simulation& sim,
+                                std::vector<Candidate>& candidates,
+                                SimPolicy policy, std::size_t& rr_state,
+                                simnet::NodeId me, double interval,
+                                double probability, double end_time,
+                                SplitMix64& rng,
+                                SchedulerAblationResult& result) {
+  for (;;) {
+    co_await sim.delay(interval);
+    if (sim.now() >= end_time) break;
+    if (!rng.nextBool(probability)) continue;
+    const std::size_t idx = pick(policy, candidates, rr_state);
+    Candidate& c = candidates[idx];
+    ++c.calls;
+    CallRecord rec = co_await c.server->call(me, c.job, rng);
+    result.row.add(rec);
+  }
+}
+
+}  // namespace
+
+SchedulerAblationResult runSchedulerAblation(
+    const SchedulerAblationConfig& config) {
+  NINF_REQUIRE(config.clients >= 1, "need clients");
+  simcore::Simulation sim;
+  simnet::Network net(sim);
+
+  // Campus LAN with the local Alpha workstation server...
+  const auto lan_switch = net.addNode("campus-switch");
+  const auto alpha_node = net.addNode("alpha-server");
+  net.addLink(lan_switch, alpha_node, cal::kFtpAlphaToJ90, cal::kLanLatency);
+  // ...and the remote J90 behind the 0.17 MB/s WAN path.
+  const auto wan_router = net.addNode("wan-router");
+  const auto j90_node = net.addNode("etl-j90");
+  net.addLink(lan_switch, wan_router, 4.0 * cal::kMBps, cal::kLanLatency);
+  net.addLink(wan_router, j90_node, cal::kWanOchaToEtl, cal::kWanLatency);
+
+  machine::SimMachine alpha_machine(sim, cal::alphaServer());
+  machine::SimMachine j90_machine(sim, cal::j90());
+
+  SimServerConfig lan_cfg;
+  lan_cfg.mode = ExecMode::TaskParallel;
+  lan_cfg.t_comm0 = cal::kTComm0Lan;
+  lan_cfg.t_comp0 = cal::kTComp0;
+  lan_cfg.syn_retry_prob = 0.0;
+  SimNinfServer alpha_server(sim, net, alpha_node, alpha_machine, lan_cfg);
+
+  SimServerConfig wan_cfg = lan_cfg;
+  wan_cfg.mode = ExecMode::DataParallel;
+  wan_cfg.t_comm0 = cal::kTComm0Wan;
+  SimNinfServer j90_server(sim, net, j90_node, j90_machine, wan_cfg);
+
+  std::vector<Candidate> candidates(2);
+  candidates[0] = {&alpha_server, &alpha_machine, cal::kFtpAlphaToJ90,
+                   linpackJob(config.n,
+                              cal::alphaServer().per_pe.rateAt(
+                                  static_cast<double>(config.n))),
+                   0};
+  candidates[1] = {&j90_server, &j90_machine, cal::kWanOchaToEtl,
+                   linpackJob(config.n,
+                              cal::j90().full_machine.rateAt(
+                                  static_cast<double>(config.n))),
+                   0};
+
+  SchedulerAblationResult result;
+  SplitMix64 master(config.seed);
+  std::vector<SplitMix64> rngs;
+  std::vector<simnet::NodeId> nodes;
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    nodes.push_back(net.addNode("client-" + std::to_string(i)));
+    net.addLink(nodes.back(), lan_switch, 10.0 * cal::kMBps,
+                cal::kLanLatency);
+    rngs.push_back(master.split());
+  }
+  std::size_t rr_state = 0;
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    ablationClient(sim, candidates, config.policy, rr_state, nodes[i],
+                   config.interval, config.probability, config.duration,
+                   rngs[i], result);
+  }
+  sim.run();
+
+  result.calls_per_server = {candidates[0].calls, candidates[1].calls};
+  return result;
+}
+
+}  // namespace ninf::simworld

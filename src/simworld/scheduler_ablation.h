@@ -1,0 +1,45 @@
+// Metaserver scheduling-policy ablation on the simulator.
+//
+// The paper's scheduling argument (sections 4.2.2, 5.1, 6): NetSolve-style
+// load-average balancing "might partially work for LAN situations, but
+// would not scale to WAN settings" — for communication-intensive calls
+// the right signal is achievable bandwidth, not server load.
+//
+// Scenario: clients sit on a campus LAN.  Two servers export linpack:
+//   * a local workstation  — slow P_calc, fast path (LAN, 2.9 MB/s);
+//   * the remote J90       — fast P_calc, slow path (WAN, 0.17 MB/s).
+// A simulated metaserver routes each call by policy; client-observed
+// Mflops and the per-server call mix are reported.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "simworld/call_record.h"
+
+namespace ninf::simworld {
+
+enum class SimPolicy { RoundRobin, LeastLoad, BandwidthAware };
+
+const char* simPolicyName(SimPolicy p);
+
+struct SchedulerAblationConfig {
+  SimPolicy policy = SimPolicy::LeastLoad;
+  std::size_t clients = 8;
+  std::size_t n = 800;        // Linpack matrix size
+  double interval = 3.0;      // section 4.1 workload
+  double probability = 0.5;
+  double duration = 600.0;
+  std::uint64_t seed = 1997;
+};
+
+struct SchedulerAblationResult {
+  RowStats row;
+  /// Calls routed to [local workstation, remote J90].
+  std::array<std::size_t, 2> calls_per_server{};
+};
+
+SchedulerAblationResult runSchedulerAblation(
+    const SchedulerAblationConfig& config);
+
+}  // namespace ninf::simworld

@@ -1,0 +1,120 @@
+#include "simworld/sim_server.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "numlib/matrix.h"
+
+namespace ninf::simworld {
+
+const char* execModeName(ExecMode m) {
+  switch (m) {
+    case ExecMode::TaskParallel: return "task-parallel (1-PE)";
+    case ExecMode::DataParallel: return "data-parallel (all-PE)";
+  }
+  return "?";
+}
+
+namespace {
+
+simcore::Task<> transferTask(simnet::Network& net, simnet::NodeId src,
+                             simnet::NodeId dst, double bytes, double cap) {
+  co_await net.transfer(src, dst, bytes, cap);
+}
+
+simcore::Task<> marshalTask(machine::SimMachine& machine, double seconds) {
+  co_await machine.busyWork(seconds);
+}
+
+}  // namespace
+
+simcore::Task<CallRecord> SimNinfServer::call(simnet::NodeId client,
+                                              SimJob job, SplitMix64& rng) {
+  CallRecord rec;
+  rec.work = job.work;
+  rec.bytes_total = job.in_bytes + job.out_bytes;
+  rec.submit = sim_.now();
+
+  // Connect: protocol setup plus the occasional SYN retransmission.
+  double setup = config_.t_comm0;
+  if (rng.nextBool(config_.syn_retry_prob)) setup += config_.syn_retry_delay;
+  co_await sim_.delay(setup);
+  rec.enqueue = sim_.now();
+
+  // Optional admission gate (section 5.1): hold new calls while
+  // max_concurrent_calls are already in service.
+  if (admission_) co_await admission_->acquire();
+
+  // fork & exec of the Ninf executable (FCFS acceptance: immediate).
+  co_await sim_.delay(config_.t_comp0);
+  rec.dequeue = sim_.now();
+  machine_.execAttached();
+
+  // The executable receives the arguments.  XDR unmarshalling is
+  // pipelined with the network flow (paper, section 3.2: "marshalling
+  // ... and communication in-between occur in parallel"), so it consumes
+  // server CPU without adding latency unless it is itself the
+  // bottleneck.
+  double comm_start = sim_.now();
+  {
+    auto flow =
+        transferTask(net_, client, node_, job.in_bytes, config_.flow_cap);
+    auto marshal =
+        marshalTask(machine_, machine_.xdrSeconds(job.in_bytes));
+    co_await flow;
+    co_await marshal;
+  }
+  rec.comm_seconds += sim_.now() - comm_start;
+
+  // Compute.
+  if (config_.mode == ExecMode::DataParallel) {
+    co_await machine_.computeExclusive(job.work, job.rate_full,
+                                       /*in_load=*/false);
+  } else {
+    co_await machine_.computeShared(job.work, job.rate_full,
+                                    /*in_load=*/false);
+  }
+  rec.complete = sim_.now();
+
+  // Marshal and return the results (same pipelining on the way out).
+  comm_start = sim_.now();
+  {
+    auto flow =
+        transferTask(net_, node_, client, job.out_bytes, config_.flow_cap);
+    auto marshal =
+        marshalTask(machine_, machine_.xdrSeconds(job.out_bytes));
+    co_await flow;
+    co_await marshal;
+  }
+  rec.comm_seconds += sim_.now() - comm_start;
+
+  machine_.execDetached();
+  if (admission_) admission_->release();
+  rec.end = sim_.now();
+  co_return rec;
+}
+
+SimJob linpackJob(std::size_t n, double rate_full) {
+  NINF_REQUIRE(n > 0, "linpack size must be positive");
+  SimJob job;
+  const double dn = static_cast<double>(n);
+  job.work = numlib::linpackFlops(n);
+  job.rate_full = rate_full;
+  // 8n^2 + 20n total (section 3.1): A (8n^2) + b (8n) + headers inbound,
+  // x (8n) plus headers outbound.
+  job.in_bytes = 8.0 * dn * dn + 10.0 * dn;
+  job.out_bytes = 10.0 * dn;
+  return job;
+}
+
+SimJob epJob(int log2_pairs, double ops_per_sec) {
+  SimJob job;
+  job.work = std::ldexp(1.0, log2_pairs + 1);
+  job.rate_full = ops_per_sec;
+  // O(1) communication: request scalars in, sums and ten annulus tallies out.
+  job.in_bytes = 64.0;
+  job.out_bytes = 160.0;
+  return job;
+}
+
+}  // namespace ninf::simworld

@@ -1,0 +1,102 @@
+// Simulated Ninf computational server: the virtual-time twin of
+// server::NinfServer, driving simnet transfers and a machine::SimMachine
+// instead of sockets and threads.
+//
+// Call anatomy (matching the real server's fork&exec path, section 5.2):
+//   submit --(connect, T_comm0, occasional SYN-retransmit spike)--> enqueue
+//   enqueue --(fork & exec, T_comp0)--> dequeue
+//   dequeue --> receive arguments (network flow + XDR marshalling CPU)
+//           --> compute (task-parallel PE share or data-parallel FCFS)
+//           --> complete
+//   complete --> marshal + send results --> end
+//
+// The 5-second response-time spikes visible throughout the paper's tables
+// (max response "5.0x" in Tables 3-8) are the classic BSD TCP SYN
+// retransmission timeout; we reproduce them as a Bernoulli connect retry.
+#pragma once
+
+#include <cstdint>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "machine/machine.h"
+#include "simcore/simulation.h"
+#include "simcore/task.h"
+#include "simnet/network.h"
+#include "simworld/call_record.h"
+
+namespace ninf::simworld {
+
+/// How the server executes Linpack-style jobs (paper, section 4.1).
+enum class ExecMode {
+  TaskParallel,  // 1-PE version: one PE per Ninf_call, timeshared
+  DataParallel,  // 4-PE version: whole machine per call, in sequence
+};
+
+const char* execModeName(ExecMode m);
+
+/// Work description of one simulated Ninf_call.
+struct SimJob {
+  double work = 0.0;       // operation count (flops or EP ops)
+  double rate_full = 1.0;  // ops/second at full allocation on this server
+  double in_bytes = 0.0;   // client -> server argument payload
+  double out_bytes = 0.0;  // server -> client result payload
+};
+
+struct SimServerConfig {
+  ExecMode mode = ExecMode::TaskParallel;
+  double t_comm0 = 0.01;        // connection setup
+  double t_comp0 = 0.02;        // fork & exec
+  double syn_retry_prob = 0.01; // P(connect needs a retransmit)
+  double syn_retry_delay = 5.0; // BSD SYN retransmission timeout
+  /// Per-flow TCP window ceiling on this server's paths, bytes/second.
+  double flow_cap = simnet::Network::kUncapped;
+  /// Admission control (section 5.1: "it is possible to restrict the
+  /// number of remote clients"): at most this many calls in service at
+  /// once, FIFO beyond; 0 = unlimited (the paper's actual server).
+  std::size_t max_concurrent_calls = 0;
+};
+
+class SimNinfServer {
+ public:
+  SimNinfServer(simcore::Simulation& sim, simnet::Network& net,
+                simnet::NodeId node, machine::SimMachine& machine,
+                SimServerConfig config)
+      : sim_(sim),
+        net_(net),
+        node_(node),
+        machine_(machine),
+        config_(config) {
+    if (config_.max_concurrent_calls > 0) {
+      admission_ = std::make_unique<simcore::SimResource>(
+          sim_, static_cast<std::int64_t>(config_.max_concurrent_calls));
+    }
+  }
+
+  simnet::NodeId node() const { return node_; }
+  machine::SimMachine& machine() { return machine_; }
+  const SimServerConfig& config() const { return config_; }
+
+  /// One complete Ninf_call from `client`; resolves when the client has
+  /// the results.  `rng` supplies the SYN-retry coin flip.
+  simcore::Task<CallRecord> call(simnet::NodeId client, SimJob job,
+                                 SplitMix64& rng);
+
+ private:
+  simcore::Simulation& sim_;
+  simnet::Network& net_;
+  simnet::NodeId node_;
+  machine::SimMachine& machine_;
+  SimServerConfig config_;
+  std::unique_ptr<simcore::SimResource> admission_;  // section 5.1 gate
+};
+
+/// Linpack payload sizes: the paper's transfer model is 8n^2 + 20n bytes
+/// total (section 3.1); we ship A and b inbound and x outbound.
+SimJob linpackJob(std::size_t n, double rate_full);
+
+/// EP job: 2^log2_pairs pairs -> 2^(log2_pairs+1) operations, O(1) bytes.
+SimJob epJob(int log2_pairs, double ops_per_sec);
+
+}  // namespace ninf::simworld

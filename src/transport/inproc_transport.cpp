@@ -1,0 +1,90 @@
+#include "transport/inproc_transport.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace ninf::transport {
+
+namespace {
+
+/// One direction of the pipe: a byte FIFO with EOF state.
+class ByteQueue {
+ public:
+  void push(std::span<const std::uint8_t> data) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) throw TransportError("send on closed inproc pipe");
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+    cv_.notify_all();
+  }
+
+  void popExact(std::span<std::uint8_t> out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::size_t got = 0;
+    while (got < out.size()) {
+      cv_.wait(lock, [&] { return !bytes_.empty() || closed_; });
+      if (bytes_.empty() && closed_) {
+        throw TransportError("inproc pipe closed (" + std::to_string(got) +
+                             "/" + std::to_string(out.size()) + " bytes)");
+      }
+      while (got < out.size() && !bytes_.empty()) {
+        out[got++] = bytes_.front();
+        bytes_.pop_front();
+      }
+    }
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::uint8_t> bytes_;
+  bool closed_ = false;
+};
+
+class InprocStream : public Stream {
+ public:
+  InprocStream(std::shared_ptr<ByteQueue> out, std::shared_ptr<ByteQueue> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  ~InprocStream() override { close(); }
+
+  void sendAll(std::span<const std::uint8_t> data) override {
+    out_->push(data);
+  }
+
+  void recvAll(std::span<std::uint8_t> buffer) override {
+    in_->popExact(buffer);
+  }
+
+  void shutdownSend() override { out_->close(); }
+
+  void close() override {
+    out_->close();
+    in_->close();
+  }
+
+  std::string peerName() const override { return "inproc"; }
+
+ private:
+  std::shared_ptr<ByteQueue> out_;
+  std::shared_ptr<ByteQueue> in_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Stream>, std::unique_ptr<Stream>> inprocPair() {
+  auto a_to_b = std::make_shared<ByteQueue>();
+  auto b_to_a = std::make_shared<ByteQueue>();
+  return {std::make_unique<InprocStream>(a_to_b, b_to_a),
+          std::make_unique<InprocStream>(b_to_a, a_to_b)};
+}
+
+}  // namespace ninf::transport

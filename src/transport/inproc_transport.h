@@ -1,0 +1,16 @@
+// In-process transport: a pair of cross-connected byte queues.
+// Used by unit tests and single-process demos; behaves like a loopback
+// socket including EOF-on-close semantics.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "transport/transport.h"
+
+namespace ninf::transport {
+
+/// Create two connected streams: bytes sent on one arrive on the other.
+std::pair<std::unique_ptr<Stream>, std::unique_ptr<Stream>> inprocPair();
+
+}  // namespace ninf::transport

@@ -1,0 +1,172 @@
+#include "transport/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace ninf::transport {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+class TcpStream : public Stream {
+ public:
+  TcpStream(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {
+    int one = 1;
+    // Ninf RPC does its own buffering; disable Nagle so small control
+    // messages (interface queries) do not serialize behind data.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpStream() override { closeFd(/*shutdown_first=*/false); }
+
+  void sendAll(std::span<const std::uint8_t> data) override {
+    const int fd = fd_.load();
+    if (fd < 0) throw TransportError("send on closed stream");
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n =
+          ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throwErrno("send to " + peer_);
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  void recvAll(std::span<std::uint8_t> buffer) override {
+    const int fd = fd_.load();
+    if (fd < 0) throw TransportError("recv on closed stream");
+    std::size_t got = 0;
+    while (got < buffer.size()) {
+      const ssize_t n = ::recv(fd, buffer.data() + got,
+                               buffer.size() - got, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throwErrno("recv from " + peer_);
+      }
+      if (n == 0) {
+        throw TransportError("connection closed by " + peer_ + " (" +
+                             std::to_string(got) + "/" +
+                             std::to_string(buffer.size()) + " bytes)");
+      }
+      got += static_cast<std::size_t>(n);
+    }
+  }
+
+  void shutdownSend() override {
+    const int fd = fd_.load();
+    if (fd >= 0) ::shutdown(fd, SHUT_WR);
+  }
+
+  /// May be called from a different thread than a blocked recvAll: the
+  /// shutdown() wakes that thread (close() alone would not), and only the
+  /// shutdown is performed here — the fd itself is released by the
+  /// destructor, so the blocked thread never races a reused descriptor.
+  void close() override { closeFd(/*shutdown_first=*/true); }
+
+  std::string peerName() const override { return peer_; }
+
+ private:
+  void closeFd(bool shutdown_first) {
+    if (shutdown_first) {
+      const int fd = fd_.load();
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+      return;  // leave the fd open for in-flight syscalls
+    }
+    const int fd = fd_.exchange(-1);
+    if (fd >= 0) ::close(fd);
+  }
+
+  std::atomic<int> fd_;
+  std::string peer_;
+};
+
+std::string describe(const sockaddr_in& addr) {
+  char buf[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf));
+  return std::string(buf) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+}  // namespace
+
+std::unique_ptr<Stream> tcpConnect(const std::string& host,
+                                   std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throwErrno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw TransportError("bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throwErrno("connect to " + host + ":" + std::to_string(port));
+  }
+  return std::make_unique<TcpStream>(fd, describe(addr));
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throwErrno("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throwErrno("bind port " + std::to_string(port));
+  }
+  if (::listen(fd_, 64) < 0) throwErrno("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    throwErrno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  NINF_LOG(Debug) << "listening on 127.0.0.1:" << port_;
+}
+
+TcpListener::~TcpListener() { close(); }
+
+std::unique_ptr<Stream> TcpListener::accept() {
+  sockaddr_in peer{};
+  socklen_t len = sizeof(peer);
+  const int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+  if (fd < 0) {
+    if (errno == EBADF || errno == EINVAL) return nullptr;  // closed
+    if (errno == EINTR) return accept();
+    throwErrno("accept");
+  }
+  return std::make_unique<TcpStream>(fd, describe(peer));
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace ninf::transport

@@ -1,0 +1,34 @@
+// TCP implementation of the transport abstraction (POSIX sockets).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "transport/transport.h"
+
+namespace ninf::transport {
+
+/// Connect to host:port; throws ninf::TransportError on failure.
+std::unique_ptr<Stream> tcpConnect(const std::string& host,
+                                   std::uint16_t port);
+
+/// Listening TCP socket bound to 127.0.0.1.
+class TcpListener : public Listener {
+ public:
+  /// Bind to the given port; port 0 picks an ephemeral port.
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener() override;
+
+  /// The actually bound port (useful with port 0).
+  std::uint16_t port() const { return port_; }
+
+  std::unique_ptr<Stream> accept() override;
+  void close() override;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace ninf::transport

@@ -1,0 +1,51 @@
+// Byte-stream transport abstraction under Ninf RPC.
+//
+// Two implementations: real TCP sockets (the paper's deployment) and an
+// in-process pipe (tests and single-process demos).  Both deliver reliable,
+// ordered byte streams; message framing lives one layer up in protocol/.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace ninf::transport {
+
+/// Reliable bidirectional byte stream.  Thread-compatible: one thread may
+/// send while another receives, but concurrent sends (or concurrent
+/// receives) require external synchronization.
+class Stream {
+ public:
+  virtual ~Stream() = default;
+
+  /// Send every byte; throws ninf::TransportError on failure.
+  virtual void sendAll(std::span<const std::uint8_t> data) = 0;
+
+  /// Receive exactly buffer.size() bytes; throws ninf::TransportError on
+  /// EOF or failure.
+  virtual void recvAll(std::span<std::uint8_t> buffer) = 0;
+
+  /// Half-close for sending; the peer sees EOF after draining.
+  virtual void shutdownSend() = 0;
+
+  /// Close both directions.
+  virtual void close() = 0;
+
+  /// Diagnostic peer description ("127.0.0.1:4096", "inproc").
+  virtual std::string peerName() const = 0;
+};
+
+/// Accepts inbound connections.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Block until a connection arrives; returns nullptr once closed.
+  virtual std::unique_ptr<Stream> accept() = 0;
+
+  /// Unblock pending and future accept() calls.
+  virtual void close() = 0;
+};
+
+}  // namespace ninf::transport

@@ -1,0 +1,190 @@
+#include "xdr/xdr.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace ninf::xdr {
+
+namespace {
+constexpr std::size_t kAlign = 4;
+
+std::size_t padding(std::size_t n) { return (kAlign - n % kAlign) % kAlign; }
+}  // namespace
+
+// ---------------------------------------------------------------- Encoder
+
+void Encoder::pad() {
+  buffer_.resize(buffer_.size() + padding(buffer_.size()), 0);
+}
+
+void Encoder::putU32(std::uint32_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Encoder::putI32(std::int32_t v) {
+  putU32(static_cast<std::uint32_t>(v));
+}
+
+void Encoder::putU64(std::uint64_t v) {
+  putU32(static_cast<std::uint32_t>(v >> 32));
+  putU32(static_cast<std::uint32_t>(v));
+}
+
+void Encoder::putI64(std::int64_t v) {
+  putU64(static_cast<std::uint64_t>(v));
+}
+
+void Encoder::putBool(bool v) { putU32(v ? 1u : 0u); }
+
+void Encoder::putFloat(float v) {
+  static_assert(sizeof(float) == 4);
+  putU32(std::bit_cast<std::uint32_t>(v));
+}
+
+void Encoder::putDouble(double v) {
+  static_assert(sizeof(double) == 8);
+  putU64(std::bit_cast<std::uint64_t>(v));
+}
+
+void Encoder::putOpaque(std::span<const std::uint8_t> bytes) {
+  putU32(static_cast<std::uint32_t>(bytes.size()));
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  pad();
+}
+
+void Encoder::putString(const std::string& s) {
+  putOpaque({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+void Encoder::putDoubleArray(std::span<const double> values) {
+  putU32(static_cast<std::uint32_t>(values.size()));
+  const std::size_t start = buffer_.size();
+  buffer_.resize(start + values.size() * 8);
+  std::uint8_t* out = buffer_.data() + start;
+  for (double d : values) {
+    const std::uint64_t v = std::bit_cast<std::uint64_t>(d);
+    out[0] = static_cast<std::uint8_t>(v >> 56);
+    out[1] = static_cast<std::uint8_t>(v >> 48);
+    out[2] = static_cast<std::uint8_t>(v >> 40);
+    out[3] = static_cast<std::uint8_t>(v >> 32);
+    out[4] = static_cast<std::uint8_t>(v >> 24);
+    out[5] = static_cast<std::uint8_t>(v >> 16);
+    out[6] = static_cast<std::uint8_t>(v >> 8);
+    out[7] = static_cast<std::uint8_t>(v);
+    out += 8;
+  }
+}
+
+void Encoder::putI64Array(std::span<const std::int64_t> values) {
+  putU32(static_cast<std::uint32_t>(values.size()));
+  for (std::int64_t v : values) putI64(v);
+}
+
+void Encoder::putRaw(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+// ---------------------------------------------------------------- Decoder
+
+void Decoder::need(std::size_t n) const {
+  if (remaining() < n) {
+    throw ProtocolError("XDR underflow: need " + std::to_string(n) +
+                        " bytes, have " + std::to_string(remaining()));
+  }
+}
+
+void Decoder::skipPad(std::size_t payload) {
+  const std::size_t pad = padding(payload);
+  need(pad);
+  for (std::size_t i = 0; i < pad; ++i) {
+    if (data_[pos_ + i] != 0) {
+      throw ProtocolError("XDR padding bytes must be zero");
+    }
+  }
+  pos_ += pad;
+}
+
+std::uint32_t Decoder::getU32() {
+  need(4);
+  const std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                          static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+std::int32_t Decoder::getI32() { return static_cast<std::int32_t>(getU32()); }
+
+std::uint64_t Decoder::getU64() {
+  const std::uint64_t hi = getU32();
+  const std::uint64_t lo = getU32();
+  return (hi << 32) | lo;
+}
+
+std::int64_t Decoder::getI64() { return static_cast<std::int64_t>(getU64()); }
+
+bool Decoder::getBool() {
+  const std::uint32_t v = getU32();
+  if (v > 1) throw ProtocolError("XDR bool out of range");
+  return v == 1;
+}
+
+float Decoder::getFloat() { return std::bit_cast<float>(getU32()); }
+
+double Decoder::getDouble() { return std::bit_cast<double>(getU64()); }
+
+std::vector<std::uint8_t> Decoder::getOpaque() {
+  const std::uint32_t len = getU32();
+  need(len);
+  std::vector<std::uint8_t> out(data_.begin() + pos_,
+                                data_.begin() + pos_ + len);
+  pos_ += len;
+  skipPad(len);
+  return out;
+}
+
+std::string Decoder::getString() {
+  const auto bytes = getOpaque();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::vector<double> Decoder::getDoubleArray() {
+  const std::uint32_t count = getU32();
+  need(static_cast<std::size_t>(count) * 8);
+  std::vector<double> out(count);
+  for (std::uint32_t i = 0; i < count; ++i) out[i] = getDouble();
+  return out;
+}
+
+void Decoder::getDoubleArrayInto(std::span<double> out) {
+  const std::uint32_t count = getU32();
+  if (count != out.size()) {
+    throw ProtocolError("double array count mismatch: wire " +
+                        std::to_string(count) + " vs expected " +
+                        std::to_string(out.size()));
+  }
+  need(static_cast<std::size_t>(count) * 8);
+  const std::uint8_t* in = data_.data() + pos_;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v = (v << 8) | in[i * 8 + b];
+    out[i] = std::bit_cast<double>(v);
+  }
+  pos_ += static_cast<std::size_t>(count) * 8;
+}
+
+std::vector<std::int64_t> Decoder::getI64Array() {
+  const std::uint32_t count = getU32();
+  need(static_cast<std::size_t>(count) * 8);
+  std::vector<std::int64_t> out(count);
+  for (std::uint32_t i = 0; i < count; ++i) out[i] = getI64();
+  return out;
+}
+
+}  // namespace ninf::xdr

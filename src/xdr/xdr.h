@@ -1,0 +1,84 @@
+// Sun XDR (RFC 4506) encoding, the wire representation used by Ninf RPC.
+//
+// "The underlying transfer protocol is Sun XDR on TCP/IP, allowing easy
+//  porting on most major supercomputer platforms."  (paper, section 2.1)
+//
+// Every primitive occupies a multiple of four bytes, big-endian.  Doubles
+// are IEEE-754 binary64 transmitted high word first.  Variable-length data
+// carries a u32 length prefix and is padded to a 4-byte boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ninf::xdr {
+
+/// Append-only XDR encoder writing into an internal byte vector.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void putU32(std::uint32_t v);
+  void putI32(std::int32_t v);
+  void putU64(std::uint64_t v);
+  void putI64(std::int64_t v);
+  void putBool(bool v);
+  void putFloat(float v);
+  void putDouble(double v);
+  /// Variable-length opaque: length prefix + bytes + zero padding.
+  void putOpaque(std::span<const std::uint8_t> bytes);
+  /// ASCII/UTF-8 string, encoded as opaque.
+  void putString(const std::string& s);
+  /// Fixed-layout array of doubles with a u32 count prefix.
+  void putDoubleArray(std::span<const double> values);
+  void putI64Array(std::span<const std::int64_t> values);
+
+  /// Raw bytes with no length prefix or padding (for nesting pre-encoded
+  /// XDR fragments such as compiled IDL programs).
+  void putRaw(std::span<const std::uint8_t> bytes);
+
+  std::size_t size() const { return buffer_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+ private:
+  void pad();
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// XDR decoder reading from a caller-owned byte span.
+/// Throws ninf::ProtocolError on underflow or malformed padding.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint32_t getU32();
+  std::int32_t getI32();
+  std::uint64_t getU64();
+  std::int64_t getI64();
+  bool getBool();
+  float getFloat();
+  double getDouble();
+  std::vector<std::uint8_t> getOpaque();
+  std::string getString();
+  std::vector<double> getDoubleArray();
+  std::vector<std::int64_t> getI64Array();
+  /// Decode a double array directly into caller memory (output matrices);
+  /// the wire count must equal out.size().
+  void getDoubleArrayInto(std::span<double> out);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool atEnd() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+  void skipPad(std::size_t payload);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ninf::xdr

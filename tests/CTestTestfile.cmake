@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/test_stats[1]_include.cmake")
+include("/root/repo/tests/test_table[1]_include.cmake")
+include("/root/repo/tests/test_rng[1]_include.cmake")
+include("/root/repo/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/tests/test_xdr[1]_include.cmake")
+include("/root/repo/tests/test_expr[1]_include.cmake")
+include("/root/repo/tests/test_idl[1]_include.cmake")
+include("/root/repo/tests/test_matrix[1]_include.cmake")
+include("/root/repo/tests/test_blas[1]_include.cmake")
+include("/root/repo/tests/test_lu[1]_include.cmake")
+include("/root/repo/tests/test_mmul[1]_include.cmake")
+include("/root/repo/tests/test_ep[1]_include.cmake")
+include("/root/repo/tests/test_message[1]_include.cmake")
+include("/root/repo/tests/test_call_marshal[1]_include.cmake")
+include("/root/repo/tests/test_transport[1]_include.cmake")
+include("/root/repo/tests/test_job_queue[1]_include.cmake")
+include("/root/repo/tests/test_registry[1]_include.cmake")
+include("/root/repo/tests/test_server_client[1]_include.cmake")
+include("/root/repo/tests/test_transaction[1]_include.cmake")
+include("/root/repo/tests/test_metaserver[1]_include.cmake")
+include("/root/repo/tests/test_simcore[1]_include.cmake")
+include("/root/repo/tests/test_simnet[1]_include.cmake")
+include("/root/repo/tests/test_machine[1]_include.cmake")
+include("/root/repo/tests/test_scenario[1]_include.cmake")
+include("/root/repo/tests/test_stub_generator[1]_include.cmake")
+include("/root/repo/tests/test_async[1]_include.cmake")
+include("/root/repo/tests/test_sim_server[1]_include.cmake")
+include("/root/repo/tests/test_property_roundtrip[1]_include.cmake")

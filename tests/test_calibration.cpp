@@ -1,0 +1,95 @@
+// Calibration anchors: every constant in machine/calibration must stay
+// consistent with the paper numbers it was derived from (DESIGN.md §6).
+// These tests pin the model so refactors cannot silently drift the
+// reproduced tables.
+#include <gtest/gtest.h>
+
+#include "machine/calibration.h"
+#include "simworld/scenario.h"
+
+namespace ninf::machine::calibration {
+namespace {
+
+TEST(Calibration, J90FullMachineCurve) {
+  const MachineSpec spec = j90();
+  // Section 3.2: "J90's Local achieves 600 Mflops when n = 1600".
+  EXPECT_NEAR(spec.full_machine.rateAt(1600) / 1e6, 600.0, 30.0);
+  // Vector machine: long vectors needed (large n_half).
+  EXPECT_GT(spec.full_machine.nHalf(), 500.0);
+  EXPECT_EQ(spec.pes, 4u);
+}
+
+TEST(Calibration, J90OnePeCurveSolvedFromTable3) {
+  const MachineSpec spec = j90();
+  // Solved from Table 3 c=1 rows with B = 2.5 MB/s effective.
+  EXPECT_NEAR(spec.per_pe.rateAt(600) / 1e6, 165.0, 10.0);
+  EXPECT_NEAR(spec.per_pe.rateAt(1400) / 1e6, 183.0, 10.0);
+}
+
+TEST(Calibration, FtpThroughputsMatchTable2) {
+  EXPECT_DOUBLE_EQ(kFtpSuperToUltra, 4.0e6);
+  EXPECT_DOUBLE_EQ(kFtpSuperToAlpha, 4.0e6);
+  EXPECT_DOUBLE_EQ(kFtpSuperToJ90, 2.8e6);
+  EXPECT_DOUBLE_EQ(kFtpUltraToAlpha, 7.4e6);
+  EXPECT_DOUBLE_EQ(kFtpUltraToJ90, 2.7e6);
+  EXPECT_DOUBLE_EQ(kFtpAlphaToJ90, 2.9e6);
+}
+
+TEST(Calibration, WanPathMatchesSection41) {
+  // "The FTP throughput between the client and the server was measured
+  //  to be approximately 0.17 MB/s."
+  EXPECT_DOUBLE_EQ(kWanOchaToEtl, 0.17e6);
+}
+
+TEST(Calibration, EtlAttachmentBelowSummedUplinks) {
+  // Figure 10's degradation requires the server-side attachment to be
+  // the shared bottleneck.
+  const double sum = kSiteUplinkOcha + kSiteUplinkUTokyo +
+                     kSiteUplinkNITech + kSiteUplinkTITech;
+  EXPECT_LT(kEtlWanAttachment, sum);
+  EXPECT_GT(kEtlWanAttachment, kSiteUplinkOcha);  // still >> one site
+}
+
+TEST(Calibration, EpRateMatchesTable8) {
+  // One task-parallel EP call: 2^25 ops at 0.168 Mops (Table 8, c=1).
+  EXPECT_NEAR(j90().ep_ops_per_sec / 1e6, 0.168, 0.01);
+}
+
+TEST(Calibration, ClientLocalOrdering) {
+  // Figure 3-4 baselines: SuperSPARC < UltraSPARC < Alpha(std) <
+  // Alpha(optimized) at every problem size.
+  for (const double n : {200.0, 600.0, 1200.0}) {
+    const double super = superSparcLocal().rateAt(n);
+    const double ultra = ultraSparcLocal().rateAt(n);
+    const double alpha_std = alphaLocalStandard().rateAt(n);
+    const double alpha_opt = alphaLocalOptimized().rateAt(n);
+    EXPECT_LT(super, ultra);
+    EXPECT_LT(ultra, alpha_std);
+    EXPECT_LT(alpha_std, alpha_opt);
+  }
+}
+
+TEST(Calibration, SingleClientAnchorsReproduceTablesAtC1) {
+  // The whole point of the calibration: single-client LAN Linpack to
+  // the J90 lands on the paper's Table 3/4 c=1 means.
+  using namespace ninf::simworld;
+  const double tp600 =
+      runSingleCall(ClientKind::Alpha, ServerKind::J90,
+                    ExecMode::TaskParallel, 600)
+          .mflops;
+  EXPECT_NEAR(tp600, 71.16, 8.0);  // Table 3
+  const double dp1400 =
+      runSingleCall(ClientKind::Alpha, ServerKind::J90,
+                    ExecMode::DataParallel, 1400)
+          .mflops;
+  EXPECT_NEAR(dp1400, 193.03, 20.0);  // Table 4
+}
+
+TEST(Calibration, MetaserverOverheadSmallButVisible) {
+  // Figure 11: large classes must amortize it, the sample class must not.
+  EXPECT_GT(kMetaserverOverheadPerCall, 0.01);
+  EXPECT_LT(kMetaserverOverheadPerCall, 1.0);
+}
+
+}  // namespace
+}  // namespace ninf::machine::calibration

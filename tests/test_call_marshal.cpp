@@ -1,0 +1,172 @@
+// Argument marshalling: client-side encode, server-side decode, reply
+// round-trip — the heart of Ninf_call.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "idl/parser.h"
+#include "protocol/call_marshal.h"
+
+namespace ninf::protocol {
+namespace {
+
+const idl::InterfaceInfo& dmmulInfo() {
+  static const idl::InterfaceInfo info = idl::parseSingle(R"(
+    Define dmmul(mode_in long n,
+                 mode_in double A[n][n],
+                 mode_in double B[n][n],
+                 mode_out double C[n][n])
+    Calls "C" mmul(n, A, B, C);)");
+  return info;
+}
+
+std::vector<ArgValue> dmmulArgs(std::int64_t n, std::vector<double>& a,
+                                std::vector<double>& b,
+                                std::vector<double>& c) {
+  return {ArgValue::inInt(n), ArgValue::inArray(a), ArgValue::inArray(b),
+          ArgValue::outArray(c)};
+}
+
+TEST(CallMarshal, RequestDecodeRecoversArguments) {
+  std::vector<double> a = {1, 2, 3, 4}, b = {5, 6, 7, 8}, c(4);
+  const auto args = dmmulArgs(2, a, b, c);
+  const auto payload = encodeCallRequest(dmmulInfo(), args);
+
+  xdr::Decoder dec(payload);
+  EXPECT_EQ(dec.getString(), "dmmul");
+  const ServerCallData data = decodeCallArgs(dmmulInfo(), dec);
+  EXPECT_EQ(data.scalar_ints[0], 2);
+  EXPECT_EQ(data.arrays[1], a);
+  EXPECT_EQ(data.arrays[2], b);
+  EXPECT_EQ(data.arrays[3].size(), 4u);  // OUT array allocated
+}
+
+TEST(CallMarshal, FullReplyRoundTrip) {
+  std::vector<double> a = {1, 0, 0, 1}, b = {9, 8, 7, 6}, c(4, -1);
+  const auto args = dmmulArgs(2, a, b, c);
+  const auto request = encodeCallRequest(dmmulInfo(), args);
+
+  xdr::Decoder dec(request);
+  dec.getString();
+  ServerCallData data = decodeCallArgs(dmmulInfo(), dec);
+  data.arrays[3] = {10, 20, 30, 40};  // "computed" result
+  CallTimings timings;
+  timings.enqueue = 1.0;
+  timings.dequeue = 1.5;
+  timings.complete = 3.0;
+  const auto reply = encodeCallReply(dmmulInfo(), data, timings);
+
+  const CallTimings got = decodeCallReply(dmmulInfo(), reply, args);
+  EXPECT_EQ(c, (std::vector<double>{10, 20, 30, 40}));
+  EXPECT_DOUBLE_EQ(got.waitTime(), 0.5);
+  EXPECT_DOUBLE_EQ(got.complete, 3.0);
+}
+
+TEST(CallMarshal, ErrorReplyThrowsRemoteError) {
+  std::vector<double> a(4), b(4), c(4);
+  const auto args = dmmulArgs(2, a, b, c);
+  const auto reply = encodeErrorReply("matrix is singular");
+  try {
+    decodeCallReply(dmmulInfo(), reply, args);
+    FAIL() << "expected RemoteError";
+  } catch (const RemoteError& e) {
+    EXPECT_NE(std::string(e.what()).find("singular"), std::string::npos);
+  }
+}
+
+TEST(CallMarshal, ArityMismatchRejected) {
+  std::vector<ArgValue> args = {ArgValue::inInt(2)};
+  EXPECT_THROW(encodeCallRequest(dmmulInfo(), args), ProtocolError);
+}
+
+TEST(CallMarshal, WrongArraySizeRejected) {
+  std::vector<double> a(3), b(4), c(4);  // a should have 4 elements
+  const auto args = dmmulArgs(2, a, b, c);
+  EXPECT_THROW(encodeCallRequest(dmmulInfo(), args), ProtocolError);
+}
+
+TEST(CallMarshal, ScalarForArrayRejected) {
+  std::vector<double> b(4), c(4);
+  std::vector<ArgValue> args = {ArgValue::inInt(2), ArgValue::inDouble(1.0),
+                                ArgValue::inArray(b), ArgValue::outArray(c)};
+  EXPECT_THROW(encodeCallRequest(dmmulInfo(), args), ProtocolError);
+}
+
+TEST(CallMarshal, InArrayForOutParamRejected) {
+  std::vector<double> a(4), b(4), c(4);
+  std::vector<ArgValue> args = {ArgValue::inInt(2), ArgValue::inArray(a),
+                                ArgValue::inArray(b), ArgValue::inArray(c)};
+  EXPECT_THROW(encodeCallRequest(dmmulInfo(), args), ProtocolError);
+}
+
+TEST(CallMarshal, ServerRejectsWireSizeMismatch) {
+  // Hand-craft a payload whose array disagrees with the scalar n.
+  xdr::Encoder enc;
+  enc.putI64(3);  // n = 3 implies 9-element arrays
+  enc.putDoubleArray(std::vector<double>{1, 2, 3, 4});
+  enc.putDoubleArray(std::vector<double>{1, 2, 3, 4});
+  xdr::Decoder dec(enc.bytes());
+  EXPECT_THROW(decodeCallArgs(dmmulInfo(), dec), ProtocolError);
+}
+
+TEST(CallMarshal, ServerRejectsTrailingBytes) {
+  std::vector<double> a = {1, 2, 3, 4}, b = {5, 6, 7, 8}, c(4);
+  const auto args = dmmulArgs(2, a, b, c);
+  auto payload = encodeCallRequest(dmmulInfo(), args);
+  payload.push_back(0);
+  payload.push_back(0);
+  payload.push_back(0);
+  payload.push_back(0);
+  xdr::Decoder dec(payload);
+  dec.getString();
+  EXPECT_THROW(decodeCallArgs(dmmulInfo(), dec), ProtocolError);
+}
+
+TEST(CallMarshal, ScalarOutputsFlowBack) {
+  const auto info = idl::parseSingle(R"(
+    Define stat(mode_in long n, mode_in double v[n],
+                mode_out double mean, mode_out long count)
+    Calls "C" stat(n, v, mean, count);)");
+  std::vector<double> v = {2, 4, 6};
+  double mean = 0;
+  std::int64_t count = 0;
+  std::vector<ArgValue> args = {ArgValue::inInt(3), ArgValue::inArray(v),
+                                ArgValue::outDouble(&mean),
+                                ArgValue::outInt(&count)};
+  const auto request = encodeCallRequest(info, args);
+  xdr::Decoder dec(request);
+  dec.getString();
+  ServerCallData data = decodeCallArgs(info, dec);
+  data.scalar_doubles[2] = 4.0;
+  data.scalar_ints[3] = 3;
+  const auto reply = encodeCallReply(info, data, {});
+  decodeCallReply(info, reply, args);
+  EXPECT_DOUBLE_EQ(mean, 4.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(CallMarshal, InOutArraysShipBothWays) {
+  const auto info = idl::parseSingle(R"(
+    Define scale(mode_in long n, mode_inout double v[n])
+    Calls "C" scale(n, v);)");
+  std::vector<double> v = {1, 2};
+  std::vector<ArgValue> args = {ArgValue::inInt(2), ArgValue::inoutArray(v)};
+  const auto request = encodeCallRequest(info, args);
+  xdr::Decoder dec(request);
+  dec.getString();
+  ServerCallData data = decodeCallArgs(info, dec);
+  EXPECT_EQ(data.arrays[1], (std::vector<double>{1, 2}));
+  data.arrays[1] = {10, 20};
+  const auto reply = encodeCallReply(info, data, {});
+  decodeCallReply(info, reply, args);
+  EXPECT_EQ(v, (std::vector<double>{10, 20}));
+}
+
+TEST(CallMarshal, ScalarArgsExtractsIntegers) {
+  std::vector<double> a(4), b(4), c(4);
+  const auto args = dmmulArgs(2, a, b, c);
+  const auto scalars = scalarArgs(dmmulInfo(), args);
+  EXPECT_EQ(scalars, (std::vector<std::int64_t>{2, 0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace ninf::protocol

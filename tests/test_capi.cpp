@@ -1,0 +1,110 @@
+// C binding: the full dmmul/linpack flow through the extern "C" surface.
+#include <gtest/gtest.h>
+
+#include "capi/ninf.h"
+#include "numlib/matrix.h"
+#include "numlib/mmul.h"
+#include "server/server.h"
+#include "transport/tcp_transport.h"
+
+namespace {
+
+using namespace ninf;
+
+class CapiFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server::registerStandardExecutables(registry_);
+    server_.emplace(registry_, server::ServerOptions{.workers = 2});
+    auto listener = std::make_shared<transport::TcpListener>(0);
+    port_ = listener->port();
+    server_->start(listener);
+    client_ = ninf_connect("127.0.0.1", port_);
+    ASSERT_NE(client_, nullptr);
+  }
+
+  void TearDown() override {
+    ninf_disconnect(client_);
+    server_->stop();
+  }
+
+  server::Registry registry_;
+  std::optional<server::NinfServer> server_;
+  std::uint16_t port_ = 0;
+  ninf_client_t* client_ = nullptr;
+};
+
+TEST_F(CapiFixture, DmmulThroughCApi) {
+  const std::int64_t n = 6;
+  const numlib::Matrix a = numlib::randomMatrix(n, 1);
+  const numlib::Matrix b = numlib::randomMatrix(n, 2);
+  std::vector<double> c(n * n);
+
+  ninf_call_t* call = ninf_call_begin(client_, "dmmul");
+  ASSERT_NE(call, nullptr);
+  ninf_arg_long(call, n);
+  ninf_arg_array_in(call, a.data(), n * n);
+  ninf_arg_array_in(call, b.data(), n * n);
+  ninf_arg_array_out(call, c.data(), n * n);
+  ASSERT_EQ(ninf_call_end(call), NINF_OK) << ninf_last_error(client_);
+
+  const numlib::Matrix expected = numlib::dmmul(a, b);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected.flat()[i], 1e-12);
+  }
+}
+
+TEST_F(CapiFixture, UnknownEntryReportsNotFound) {
+  ninf_call_t* call = ninf_call_begin(client_, "no_such_routine");
+  ninf_arg_long(call, 1);
+  EXPECT_EQ(ninf_call_end(call), NINF_ERR_NOT_FOUND);
+  EXPECT_NE(std::string(ninf_last_error(client_)).find("no_such_routine"),
+            std::string::npos);
+}
+
+TEST_F(CapiFixture, RemoteFailureReported) {
+  const std::int64_t n = 3;
+  std::vector<double> a(9, 0.0);  // singular
+  std::vector<double> b(3, 1.0), x(3);
+  ninf_call_t* call = ninf_call_begin(client_, "linpack");
+  ninf_arg_long(call, n);
+  ninf_arg_long(call, 0);
+  ninf_arg_array_in(call, a.data(), 9);
+  ninf_arg_array_in(call, b.data(), 3);
+  ninf_arg_array_out(call, x.data(), 3);
+  EXPECT_EQ(ninf_call_end(call), NINF_ERR_REMOTE);
+}
+
+TEST_F(CapiFixture, ArityMismatchIsProtocolError) {
+  ninf_call_t* call = ninf_call_begin(client_, "dmmul");
+  ninf_arg_long(call, 2);
+  EXPECT_EQ(ninf_call_end(call), NINF_ERR_PROTOCOL);
+}
+
+TEST_F(CapiFixture, NumExecutables) {
+  EXPECT_EQ(ninf_num_executables(client_), 4);
+}
+
+TEST_F(CapiFixture, AbortDoesNotExecute) {
+  ninf_call_t* call = ninf_call_begin(client_, "dmmul");
+  ninf_arg_long(call, 4);
+  ninf_call_abort(call);  // must not leak or crash
+  const auto completed_before = server_->metrics().completed();
+  EXPECT_EQ(server_->metrics().completed(), completed_before);
+}
+
+TEST(Capi, NullSafety) {
+  EXPECT_EQ(ninf_connect(nullptr, 1), nullptr);
+  ninf_disconnect(nullptr);
+  EXPECT_EQ(ninf_call_begin(nullptr, "x"), nullptr);
+  EXPECT_EQ(ninf_call_end(nullptr), NINF_ERR_USAGE);
+  ninf_call_abort(nullptr);
+  EXPECT_STREQ(ninf_last_error(nullptr), "null client");
+  EXPECT_LT(ninf_num_executables(nullptr), 0);
+}
+
+TEST(Capi, ConnectFailureReturnsNull) {
+  EXPECT_EQ(ninf_connect("127.0.0.1", 1), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Error hierarchy and logger basics.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace ninf {
+namespace {
+
+TEST(Error, HierarchyAndMessages) {
+  // Every domain error is a ninf::Error is a std::runtime_error, and the
+  // category prefix survives (operators grep logs for these).
+  const ProtocolError protocol("bad frame");
+  EXPECT_NE(std::string(protocol.what()).find("protocol: bad frame"),
+            std::string::npos);
+  const TransportError transport("peer gone");
+  EXPECT_NE(std::string(transport.what()).find("transport:"),
+            std::string::npos);
+  const NotFoundError missing("dmmul");
+  EXPECT_NE(std::string(missing.what()).find("not found:"),
+            std::string::npos);
+  const RemoteError remote("singular");
+  EXPECT_NE(std::string(remote.what()).find("remote:"), std::string::npos);
+  const IdlError idl("syntax");
+  EXPECT_NE(std::string(idl.what()).find("idl:"), std::string::npos);
+
+  const Error* base = &protocol;
+  EXPECT_NE(dynamic_cast<const std::runtime_error*>(base), nullptr);
+}
+
+TEST(Error, CatchableAsBase) {
+  bool caught = false;
+  try {
+    throw NotFoundError("x");
+  } catch (const Error&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(Error, RequireThrowsLogicError) {
+  EXPECT_THROW(NINF_REQUIRE(false, "must hold"), std::logic_error);
+  EXPECT_NO_THROW(NINF_REQUIRE(true, "fine"));
+  try {
+    NINF_REQUIRE(1 == 2, "math broke");
+    FAIL();
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+  }
+}
+
+TEST(Log, LevelGateIsRespected) {
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::Error);
+  EXPECT_EQ(logLevel(), LogLevel::Error);
+  // Below-threshold messages must not evaluate their stream arguments.
+  bool evaluated = false;
+  auto touch = [&evaluated] {
+    evaluated = true;
+    return "payload";
+  };
+  NINF_LOG(Debug) << touch();
+  EXPECT_FALSE(evaluated);
+  setLogLevel(before);
+}
+
+TEST(Log, AboveThresholdEvaluates) {
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::Debug);
+  bool evaluated = false;
+  auto touch = [&evaluated] {
+    evaluated = true;
+    return "payload";
+  };
+  NINF_LOG(Error) << touch();
+  EXPECT_TRUE(evaluated);
+  setLogLevel(before);
+}
+
+}  // namespace
+}  // namespace ninf

@@ -1,0 +1,158 @@
+// Jacobi eigensolver + DOS Monte-Carlo: correctness on known spectra and
+// convergence to the Wigner semicircle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "numlib/dos.h"
+#include "numlib/eigen.h"
+
+namespace ninf::numlib {
+namespace {
+
+TEST(Eigen, DiagonalMatrixEigenvaluesAreDiagonal) {
+  Matrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 2.0;
+  const auto eig = symmetricEigenvalues(a);
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig[2], 3.0, 1e-12);
+}
+
+TEST(Eigen, TwoByTwoClosedForm) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  const auto eig = symmetricEigenvalues(a);
+  EXPECT_NEAR(eig[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig[1], 3.0, 1e-12);
+}
+
+TEST(Eigen, TridiagonalLaplacianSpectrum) {
+  // -1/2/-1 tridiagonal: eigenvalues 2 - 2cos(k pi / (n+1)).
+  const std::size_t n = 12;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = 2.0;
+    if (i + 1 < n) {
+      a(i, i + 1) = -1.0;
+      a(i + 1, i) = -1.0;
+    }
+  }
+  const auto eig = symmetricEigenvalues(a);
+  for (std::size_t k = 1; k <= n; ++k) {
+    const double expected =
+        2.0 - 2.0 * std::cos(static_cast<double>(k) * 3.141592653589793 /
+                             static_cast<double>(n + 1));
+    EXPECT_NEAR(eig[k - 1], expected, 1e-9);
+  }
+}
+
+TEST(Eigen, TraceAndFrobeniusInvariants) {
+  const Matrix a = gaussianOrthogonalEnsemble(24, 7);
+  double trace = 0.0, frob2 = 0.0;
+  for (std::size_t i = 0; i < 24; ++i) trace += a(i, i);
+  for (double v : a.flat()) frob2 += v * v;
+  const auto eig = symmetricEigenvalues(a);
+  const double eig_sum = std::accumulate(eig.begin(), eig.end(), 0.0);
+  double eig_sq = 0.0;
+  for (double e : eig) eig_sq += e * e;
+  EXPECT_NEAR(eig_sum, trace, 1e-8);
+  EXPECT_NEAR(eig_sq, frob2, 1e-7);
+}
+
+TEST(Eigen, NonSymmetricRejected) {
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;  // a(1,0) stays 0
+  a(0, 0) = a(1, 1) = 1.0;
+  EXPECT_THROW(symmetricEigenvalues(a), Error);
+}
+
+TEST(Eigen, NonSquareRejected) {
+  Matrix a(2, 3);
+  EXPECT_THROW(symmetricEigenvalues(a), std::logic_error);
+}
+
+TEST(Eigen, EmptyMatrixYieldsNothing) {
+  Matrix a(0, 0);
+  EXPECT_TRUE(symmetricEigenvalues(a).empty());
+}
+
+TEST(Eigen, GoeIsSymmetricAndDeterministic) {
+  const Matrix a = gaussianOrthogonalEnsemble(16, 5);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(a(i, j), a(j, i));
+    }
+  }
+  EXPECT_EQ(a, gaussianOrthogonalEnsemble(16, 5));
+  EXPECT_NE(a, gaussianOrthogonalEnsemble(16, 6));
+}
+
+TEST(Dos, PartitionsMergeExactly) {
+  // The EP-style property: disjoint sample ranges merged equal one run.
+  const auto whole = runDos(12, 0, 12);
+  DosResult merged = runDos(12, 0, 5);
+  merged.merge(runDos(12, 5, 7));
+  EXPECT_EQ(merged, whole);
+}
+
+TEST(Dos, EigenvalueCountMatchesSamples) {
+  const auto r = runDos(10, 0, 6);
+  EXPECT_EQ(r.samples, 6);
+  EXPECT_EQ(r.eigenvalues, 60);
+  std::int64_t in_hist = 0;
+  for (auto c : r.counts) in_hist += c;
+  EXPECT_LE(in_hist, r.eigenvalues);
+  EXPECT_GT(in_hist, r.eigenvalues * 9 / 10);  // few outliers beyond ±2.5
+}
+
+TEST(Dos, DensityIntegratesToRoughlyOne) {
+  const auto r = runDos(16, 0, 24);
+  double integral = 0.0;
+  for (std::size_t b = 0; b < r.counts.size(); ++b) {
+    integral += r.density(b) * r.binWidth();
+  }
+  EXPECT_NEAR(integral, 1.0, 0.1);
+}
+
+TEST(Dos, ConvergesTowardWignerSemicircle) {
+  // Moderate n and enough samples: density at the center approaches
+  // 1/pi ~ 0.318 and vanishes outside [-2, 2].
+  const auto r = runDos(24, 0, 60);
+  double center_density = 0.0;
+  double tail_density = 0.0;
+  for (std::size_t b = 0; b < r.counts.size(); ++b) {
+    const double e = r.binCenter(b);
+    if (std::abs(e) < 0.2) center_density = std::max(center_density,
+                                                     r.density(b));
+    if (std::abs(e) > 2.3) tail_density = std::max(tail_density,
+                                                   r.density(b));
+  }
+  EXPECT_NEAR(center_density, wignerSemicircle(0.0), 0.08);
+  EXPECT_LT(tail_density, 0.03);
+}
+
+TEST(Dos, MergeRejectsDifferentGrids) {
+  auto a = runDos(8, 0, 2, 10);
+  const auto b = runDos(8, 0, 2, 20);
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(Dos, WignerClosedForm) {
+  EXPECT_DOUBLE_EQ(wignerSemicircle(2.5), 0.0);
+  EXPECT_DOUBLE_EQ(wignerSemicircle(-2.5), 0.0);
+  EXPECT_NEAR(wignerSemicircle(0.0), 1.0 / 3.141592653589793, 1e-12);
+  EXPECT_GT(wignerSemicircle(0.0), wignerSemicircle(1.5));
+}
+
+}  // namespace
+}  // namespace ninf::numlib

@@ -1,0 +1,138 @@
+// NAS EP kernel: generator exactness, skip-ahead, partitioning (the
+// property the metaserver's task-parallel distribution relies on), and
+// statistical sanity of the Gaussian tallies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "numlib/ep.h"
+
+namespace ninf::numlib {
+namespace {
+
+TEST(NpbRandom, StateStaysIn46Bits) {
+  NpbRandom rng;
+  for (int i = 0; i < 1000; ++i) {
+    rng.next();
+    EXPECT_GE(rng.state(), 0.0);
+    EXPECT_LT(rng.state(), std::ldexp(1.0, 46));
+    EXPECT_EQ(rng.state(), std::floor(rng.state()));  // integral
+  }
+}
+
+TEST(NpbRandom, DeterministicSequence) {
+  NpbRandom a, b;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(NpbRandom, SkipMatchesStepping) {
+  NpbRandom stepped, jumped;
+  for (int i = 0; i < 1000; ++i) stepped.next();
+  jumped.skip(1000);
+  EXPECT_EQ(jumped.state(), stepped.state());
+}
+
+TEST(NpbRandom, SkipZeroIsIdentity) {
+  NpbRandom a;
+  a.next();
+  const double before = a.state();
+  a.skip(0);
+  EXPECT_EQ(a.state(), before);
+}
+
+TEST(NpbRandom, SkipComposes) {
+  NpbRandom a, b;
+  a.skip(123);
+  a.skip(456);
+  b.skip(579);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(NpbRandom, PowerIsRepeatedMultiplication) {
+  double acc = 1.0;
+  for (int i = 0; i < 13; ++i) acc = NpbRandom::mulmod46(NpbRandom::kA, acc);
+  EXPECT_EQ(NpbRandom::power(NpbRandom::kA, 13), acc);
+}
+
+TEST(NpbRandom, UniformsInUnitInterval) {
+  NpbRandom rng;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Ep, PartitioningMatchesSingleRun) {
+  // The defining property for distributed EP: disjoint chunks merged in
+  // any split must equal the monolithic run.
+  const std::int64_t total = 4096;
+  const EpResult whole = runEp(0, total);
+  for (const int chunks : {2, 3, 7}) {
+    EpResult merged;
+    const std::int64_t per = total / chunks;
+    std::int64_t first = 0;
+    for (int c = 0; c < chunks; ++c) {
+      const std::int64_t count = (c == chunks - 1) ? total - first : per;
+      merged.merge(runEp(first, count));
+      first += count;
+    }
+    EXPECT_EQ(merged.accepted, whole.accepted) << chunks << " chunks";
+    EXPECT_EQ(merged.q, whole.q);
+    EXPECT_NEAR(merged.sx, whole.sx, 1e-8);
+    EXPECT_NEAR(merged.sy, whole.sy, 1e-8);
+  }
+}
+
+TEST(Ep, AcceptanceRateApproachesPiOver4) {
+  const EpResult r = runEpClass(16);  // 65536 pairs
+  const double rate =
+      static_cast<double>(r.accepted) / static_cast<double>(r.pairs);
+  EXPECT_NEAR(rate, std::numbers::pi / 4.0, 0.01);
+}
+
+TEST(Ep, GaussianMomentsSane) {
+  const EpResult r = runEpClass(16);
+  const double n = static_cast<double>(r.accepted) * 2.0;  // deviates
+  // Mean of the Gaussian deviates should be near zero.
+  EXPECT_LT(std::abs(r.sx / n * 2), 0.05);
+  EXPECT_LT(std::abs(r.sy / n * 2), 0.05);
+}
+
+TEST(Ep, AnnulusCountsDecay) {
+  // |max(|X|,|Y|)| concentrates near small bins for unit Gaussians.
+  const EpResult r = runEpClass(16);
+  EXPECT_GT(r.q[0], r.q[2]);
+  EXPECT_GT(r.q[1], r.q[3]);
+  EXPECT_EQ(r.q[9], 0);  // 9-sigma deviates effectively never occur
+  std::int64_t total = 0;
+  for (auto c : r.q) total += c;
+  EXPECT_EQ(total, r.accepted);
+}
+
+TEST(Ep, MergeAccumulates) {
+  EpResult a = runEp(0, 100);
+  const EpResult b = runEp(100, 100);
+  const std::int64_t a_accepted = a.accepted;
+  a.merge(b);
+  EXPECT_EQ(a.pairs, 200);
+  EXPECT_EQ(a.accepted, a_accepted + b.accepted);
+}
+
+TEST(Ep, DeterministicAcrossRuns) {
+  EXPECT_EQ(runEp(1000, 500), runEp(1000, 500));
+}
+
+TEST(Ep, OpsCountFormula) {
+  // 2^(n+1) operations for 2^n trials (paper, section 4.3).
+  EXPECT_DOUBLE_EQ(epOps(24), std::ldexp(1.0, 25));
+}
+
+TEST(Ep, NegativeRangeRejected) {
+  EXPECT_THROW(runEp(-1, 10), std::logic_error);
+  EXPECT_THROW(runEp(0, -10), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ninf::numlib

@@ -1,0 +1,123 @@
+// ExprProgram: evaluation, validation, serialization — the "interpretable
+// code" shipped to clients in the two-stage RPC.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "idl/expr.h"
+
+namespace ninf::idl {
+namespace {
+
+ExprProgram prog(std::vector<Instruction> code) {
+  return ExprProgram(std::move(code));
+}
+
+TEST(Expr, ConstantEvaluates) {
+  EXPECT_EQ(ExprProgram::constant(42).evaluate({}), 42);
+}
+
+TEST(Expr, ArgumentLookup) {
+  const std::int64_t args[] = {10, 20, 30};
+  EXPECT_EQ(ExprProgram::argument(1).evaluate(args), 20);
+}
+
+TEST(Expr, NSquaredPlusTwoN) {
+  // n*n + 2*n with n = args[0]
+  auto p = prog({{Op::PushArg, 0},
+                 {Op::PushArg, 0},
+                 {Op::Mul, 0},
+                 {Op::PushConst, 2},
+                 {Op::PushArg, 0},
+                 {Op::Mul, 0},
+                 {Op::Add, 0}});
+  const std::int64_t args[] = {7};
+  EXPECT_EQ(p.evaluate(args), 49 + 14);
+}
+
+TEST(Expr, SubtractionOrderIsLeftMinusRight) {
+  auto p = prog({{Op::PushConst, 10}, {Op::PushConst, 3}, {Op::Sub, 0}});
+  EXPECT_EQ(p.evaluate({}), 7);
+}
+
+TEST(Expr, IntegerDivision) {
+  auto p = prog({{Op::PushConst, 7}, {Op::PushConst, 2}, {Op::Div, 0}});
+  EXPECT_EQ(p.evaluate({}), 3);
+}
+
+TEST(Expr, DivisionByZeroThrows) {
+  auto p = prog({{Op::PushConst, 1}, {Op::PushConst, 0}, {Op::Div, 0}});
+  EXPECT_THROW(p.evaluate({}), ProtocolError);
+}
+
+TEST(Expr, PowerEvaluates) {
+  auto p = prog({{Op::PushArg, 0}, {Op::PushConst, 3}, {Op::Pow, 0}});
+  const std::int64_t args[] = {5};
+  EXPECT_EQ(p.evaluate(args), 125);
+}
+
+TEST(Expr, PowerZeroExponentIsOne) {
+  auto p = prog({{Op::PushConst, 9}, {Op::PushConst, 0}, {Op::Pow, 0}});
+  EXPECT_EQ(p.evaluate({}), 1);
+}
+
+TEST(Expr, NegativeExponentThrows) {
+  auto p = prog({{Op::PushConst, 2}, {Op::PushConst, -1}, {Op::Pow, 0}});
+  EXPECT_THROW(p.evaluate({}), ProtocolError);
+}
+
+TEST(Expr, ArgumentOutOfRangeThrows) {
+  EXPECT_THROW(ExprProgram::argument(3).evaluate({}), ProtocolError);
+}
+
+TEST(Expr, StackUnderflowThrows) {
+  auto p = prog({{Op::Add, 0}});
+  EXPECT_THROW(p.evaluate({}), ProtocolError);
+}
+
+TEST(Expr, UnbalancedStackThrows) {
+  auto p = prog({{Op::PushConst, 1}, {Op::PushConst, 2}});
+  EXPECT_THROW(p.evaluate({}), ProtocolError);
+}
+
+TEST(Expr, ValidateAcceptsWellFormed) {
+  auto p = prog({{Op::PushArg, 0}, {Op::PushArg, 1}, {Op::Mul, 0}});
+  EXPECT_TRUE(p.validate(2));
+  EXPECT_FALSE(p.validate(1));  // arg 1 out of range
+}
+
+TEST(Expr, ValidateRejectsUnderflowAndLeftovers) {
+  EXPECT_FALSE(prog({{Op::Add, 0}}).validate(0));
+  EXPECT_FALSE(prog({{Op::PushConst, 1}, {Op::PushConst, 2}}).validate(0));
+  EXPECT_FALSE(ExprProgram().validate(0));  // empty yields nothing
+}
+
+TEST(Expr, XdrRoundTrip) {
+  auto p = prog({{Op::PushArg, 0},
+                 {Op::PushConst, 8},
+                 {Op::Mul, 0},
+                 {Op::PushConst, 20},
+                 {Op::Add, 0}});
+  xdr::Encoder enc;
+  p.encode(enc);
+  xdr::Decoder dec(enc.bytes());
+  EXPECT_EQ(ExprProgram::decode(dec), p);
+  EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(Expr, DecodeRejectsBadOpcode) {
+  xdr::Encoder enc;
+  enc.putU32(1);
+  enc.putU32(250);  // no such opcode
+  enc.putI64(0);
+  xdr::Decoder dec(enc.bytes());
+  EXPECT_THROW(ExprProgram::decode(dec), ProtocolError);
+}
+
+TEST(Expr, ToStringRendersInfix) {
+  auto p = prog({{Op::PushArg, 0}, {Op::PushArg, 0}, {Op::Mul, 0}});
+  const std::string names[] = {"n"};
+  EXPECT_EQ(p.toString(names), "(n*n)");
+}
+
+}  // namespace
+}  // namespace ninf::idl

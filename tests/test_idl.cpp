@@ -1,0 +1,232 @@
+// IDL lexer + parser + InterfaceInfo, against the paper's own dmmul IDL.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "idl/interface_info.h"
+#include "idl/lexer.h"
+#include "idl/parser.h"
+
+namespace ninf::idl {
+namespace {
+
+constexpr const char* kDmmulIdl = R"(
+Define dmmul(mode_in long n,
+             mode_in double A[n][n],
+             mode_in double B[n][n],
+             mode_out double C[n][n])
+"dmmul is double precision matrix multiply",
+Required "libxxx.o"
+Calls "C" mmul(n, A, B, C);
+)";
+
+// ------------------------------------------------------------- lexer
+
+TEST(Lexer, TokenizesSymbolsAndIdents) {
+  auto toks = tokenize("Define f(a, b) ;");
+  ASSERT_EQ(toks.size(), 9u);  // includes End
+  EXPECT_EQ(toks[0].text, "Define");
+  EXPECT_TRUE(toks[1].is(TokenKind::Ident));
+  EXPECT_TRUE(toks[2].is(TokenKind::LParen));
+  EXPECT_TRUE(toks[4].is(TokenKind::Comma));
+  EXPECT_TRUE(toks[7].is(TokenKind::Semicolon));
+  EXPECT_TRUE(toks.back().is(TokenKind::End));
+}
+
+TEST(Lexer, TokenizesNumbersAndStrings) {
+  auto toks = tokenize(R"(123 "hello world")");
+  EXPECT_TRUE(toks[0].is(TokenKind::Number));
+  EXPECT_EQ(toks[0].number, 123);
+  EXPECT_TRUE(toks[1].is(TokenKind::String));
+  EXPECT_EQ(toks[1].text, "hello world");
+}
+
+TEST(Lexer, SkipsComments) {
+  auto toks = tokenize("a # line comment\n /* block \n comment */ b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto toks = tokenize("a\nb\n\nc");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(tokenize("\"oops"), IdlError);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(tokenize("/* forever"), IdlError);
+}
+
+TEST(Lexer, IllegalCharacterThrows) { EXPECT_THROW(tokenize("a @ b"), IdlError); }
+
+// ------------------------------------------------------------ parser
+
+TEST(Parser, ParsesThePaperDmmulExample) {
+  const InterfaceInfo info = parseSingle(kDmmulIdl);
+  EXPECT_EQ(info.name, "dmmul");
+  EXPECT_EQ(info.description, "dmmul is double precision matrix multiply");
+  ASSERT_EQ(info.required.size(), 1u);
+  EXPECT_EQ(info.required[0], "libxxx.o");
+  ASSERT_EQ(info.params.size(), 4u);
+
+  EXPECT_EQ(info.params[0].name, "n");
+  EXPECT_EQ(info.params[0].mode, Mode::In);
+  EXPECT_EQ(info.params[0].type, ScalarType::Long);
+  EXPECT_TRUE(info.params[0].isScalar());
+
+  EXPECT_EQ(info.params[1].name, "A");
+  EXPECT_EQ(info.params[1].type, ScalarType::Double);
+  EXPECT_EQ(info.params[1].dims.size(), 2u);
+
+  EXPECT_EQ(info.params[3].name, "C");
+  EXPECT_EQ(info.params[3].mode, Mode::Out);
+
+  EXPECT_EQ(info.call_language, "C");
+  EXPECT_EQ(info.call_target, "mmul");
+  EXPECT_EQ(info.call_arg_order, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(info.validate());
+}
+
+TEST(Parser, DimensionExpressionsEvaluate) {
+  const InterfaceInfo info = parseSingle(kDmmulIdl);
+  const std::int64_t scalars[] = {8, 0, 0, 0};
+  EXPECT_EQ(info.params[1].elementCount(scalars), 64);
+}
+
+TEST(Parser, PaperQuirkTypeBeforeMode) {
+  // The paper's literal example reads "long mode_in int n".
+  const InterfaceInfo info = parseSingle(R"(
+    Define f(long mode_in int n, mode_in double A[n])
+    Calls "C" f(n, A);)");
+  EXPECT_EQ(info.params[0].type, ScalarType::Long);
+  EXPECT_EQ(info.params[0].mode, Mode::In);
+}
+
+TEST(Parser, CalcOrderClause) {
+  const InterfaceInfo info = parseSingle(R"(
+    Define lp(mode_in long n, mode_out double x[n])
+    CalcOrder 2*n^3/3 + 2*n^2,
+    Calls "C" lp(n, x);)");
+  const std::int64_t scalars[] = {30, 0};
+  EXPECT_EQ(info.flopsEstimate(scalars), 2 * 27000 / 3 + 2 * 900);
+}
+
+TEST(Parser, ForwardDimensionReference) {
+  const InterfaceInfo info = parseSingle(R"(
+    Define f(mode_out double x[n], mode_in long n)
+    Calls "C" f(x, n);)");
+  const std::int64_t scalars[] = {0, 5};
+  EXPECT_EQ(info.params[0].elementCount(scalars), 5);
+}
+
+TEST(Parser, MultipleDefinesInModule) {
+  auto module = parseModule(R"(
+    Define a(mode_in long n) Calls "C" fa(n);
+    Define b(mode_in long m) Calls "Fortran" fb(m);)");
+  ASSERT_EQ(module.size(), 2u);
+  EXPECT_EQ(module[0].name, "a");
+  EXPECT_EQ(module[1].call_language, "Fortran");
+}
+
+TEST(Parser, InOutMode) {
+  const InterfaceInfo info = parseSingle(R"(
+    Define f(mode_in long n, mode_inout double v[n])
+    Calls "C" f(n, v);)");
+  EXPECT_TRUE(info.params[1].shippedIn());
+  EXPECT_TRUE(info.params[1].shippedOut());
+}
+
+TEST(Parser, RejectsDuplicateParameter) {
+  EXPECT_THROW(parseSingle(R"(
+    Define f(mode_in long n, mode_in long n) Calls "C" f(n);)"),
+               IdlError);
+}
+
+TEST(Parser, RejectsUnknownDimensionName) {
+  EXPECT_THROW(parseSingle(R"(
+    Define f(mode_in double A[m]) Calls "C" f(A);)"),
+               IdlError);
+}
+
+TEST(Parser, RejectsArrayDimensionOnOutputScalarRef) {
+  EXPECT_THROW(parseSingle(R"(
+    Define f(mode_out long n, mode_in double A[n]) Calls "C" f(n, A);)"),
+               IdlError);
+}
+
+TEST(Parser, RejectsNonScalarDimensionRef) {
+  EXPECT_THROW(parseSingle(R"(
+    Define f(mode_in double A[2], mode_in double B[A]) Calls "C" f(A, B);)"),
+               IdlError);
+}
+
+TEST(Parser, RejectsUnknownCallArgument) {
+  EXPECT_THROW(parseSingle(R"(
+    Define f(mode_in long n) Calls "C" f(m);)"),
+               IdlError);
+}
+
+TEST(Parser, RejectsMissingCallsClause) {
+  EXPECT_THROW(parseSingle(R"(Define f(mode_in long n))"), IdlError);
+}
+
+TEST(Parser, RejectsMissingType) {
+  EXPECT_THROW(parseSingle(R"(
+    Define f(mode_in n) Calls "C" f(n);)"),
+               IdlError);
+}
+
+TEST(Parser, FormatRoundTrips) {
+  const InterfaceInfo info = parseSingle(kDmmulIdl);
+  const InterfaceInfo reparsed = parseSingle(formatInterface(info));
+  EXPECT_EQ(reparsed, info);
+}
+
+// ----------------------------------------------------- InterfaceInfo
+
+TEST(InterfaceInfo, ByteAccounting) {
+  const InterfaceInfo info = parseSingle(kDmmulIdl);
+  const std::int64_t scalars[] = {10, 0, 0, 0};
+  // in: long n (8) + A (4 + 800) + B (4 + 800); out: C (4 + 800).
+  EXPECT_EQ(info.bytesIn(scalars), 8 + 4 + 800 + 4 + 800);
+  EXPECT_EQ(info.bytesOut(scalars), 4 + 800);
+  EXPECT_EQ(info.bytesTotal(scalars),
+            info.bytesIn(scalars) + info.bytesOut(scalars));
+}
+
+TEST(InterfaceInfo, XdrRoundTrip) {
+  const InterfaceInfo info = parseSingle(kDmmulIdl);
+  const InterfaceInfo decoded = InterfaceInfo::fromBytes(info.toBytes());
+  EXPECT_EQ(decoded, info);
+}
+
+TEST(InterfaceInfo, FromBytesRejectsTrailingGarbage) {
+  const InterfaceInfo info = parseSingle(kDmmulIdl);
+  auto bytes = info.toBytes();
+  bytes.push_back(0);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  EXPECT_THROW(InterfaceInfo::fromBytes(bytes), ProtocolError);
+}
+
+TEST(InterfaceInfo, ParamIndexLookup) {
+  const InterfaceInfo info = parseSingle(kDmmulIdl);
+  EXPECT_EQ(info.paramIndex("C"), 3u);
+  EXPECT_THROW(info.paramIndex("zz"), NotFoundError);
+}
+
+TEST(InterfaceInfo, NegativeDimensionThrowsAtEvaluation) {
+  const InterfaceInfo info = parseSingle(R"(
+    Define f(mode_in long n, mode_in double A[n]) Calls "C" f(n, A);)");
+  const std::int64_t scalars[] = {-3, 0};
+  EXPECT_THROW(info.params[1].elementCount(scalars), ProtocolError);
+}
+
+}  // namespace
+}  // namespace ninf::idl

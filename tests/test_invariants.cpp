@@ -1,0 +1,133 @@
+// Cross-cutting invariants, swept over the whole scenario grid:
+// conservation laws the simulator must satisfy no matter the topology,
+// execution mode, or workload.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "simcore/simulation.h"
+#include "simnet/network.h"
+#include "simworld/scenario.h"
+
+namespace ninf::simworld {
+namespace {
+
+using GridParam = std::tuple<Topology, ExecMode, bool /*ep*/, std::size_t>;
+
+class ScenarioGridTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(ScenarioGridTest, MeasurementsSatisfyInvariants) {
+  const auto [topology, mode, ep, clients] = GetParam();
+  MultiClientConfig cfg;
+  cfg.topology = topology;
+  cfg.mode = mode;
+  cfg.ep = ep;
+  cfg.clients = clients;
+  cfg.n = 600;
+  cfg.ep_log2_pairs = 18;  // keep EP calls short for the sweep
+  cfg.duration = ep ? 600.0 : 200.0;
+  const auto r = runMultiClient(cfg);
+
+  // Someone must have called.
+  ASSERT_GT(r.row.times(), 0u);
+  // Utilization is a percentage of real PEs.
+  EXPECT_GE(r.cpu_util_percent, 0.0);
+  EXPECT_LE(r.cpu_util_percent, 100.0 + 1e-9);
+  // Load can't be negative and can't beat every client being resident
+  // plus a whole data-parallel job's threads plus marshalling slack.
+  EXPECT_GE(r.load_average, 0.0);
+  const double site_count =
+      topology == Topology::MultiSiteWan ? 4.0 : 1.0;
+  EXPECT_LE(r.max_load, site_count * clients + 8.0);
+  // Timing chains are ordered: response, wait, transmission >= 0.
+  EXPECT_GE(r.row.response_s.min(), 0.0);
+  EXPECT_GE(r.row.wait_s.min(), 0.0);
+  EXPECT_GE(r.row.transmission_s.min(), 0.0);
+  // Per-call throughput can never exceed the fastest LAN link.
+  EXPECT_LE(r.row.throughput_mbps.max(), 10.0 + 1e-9);
+  // Performance is positive and below the J90's absolute peak.
+  EXPECT_GT(r.row.perf_mflops.min(), 0.0);
+  EXPECT_LT(r.row.perf_mflops.max(), 1000.0);
+  // The simulation ends after the configured duration (clients issue
+  // until `duration`, in-flight calls drain later).
+  EXPECT_GE(r.duration, cfg.duration * 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScenarioGridTest,
+    ::testing::Combine(
+        ::testing::Values(Topology::Lan, Topology::SingleSiteWan,
+                          Topology::MultiSiteWan),
+        ::testing::Values(ExecMode::TaskParallel, ExecMode::DataParallel),
+        ::testing::Values(false, true),
+        ::testing::Values<std::size_t>(1, 4)));
+
+// ------------------------------------------------- network conservation
+
+TEST(NetworkConservation, LinkBytesMatchDeliveredBytes) {
+  simcore::Simulation sim;
+  simnet::Network net(sim);
+  const auto a = net.addNode("a");
+  const auto r = net.addNode("r");
+  const auto b = net.addNode("b");
+  const auto l1 = net.addLink(a, r, 2e6, 0.0);
+  const auto l2 = net.addLink(r, b, 1e6, 0.0);
+  double done = -1;
+  [](simcore::Simulation& s, simnet::Network& n, simnet::NodeId src,
+     simnet::NodeId dst, double& out) -> simcore::Process {
+    co_await n.transfer(src, dst, 3e6);
+    co_await n.transfer(dst, src, 1e6);
+    out = s.now();
+  }(sim, net, a, b, done);
+  sim.run();
+  // Every byte crossed both links exactly once per transfer.
+  EXPECT_NEAR(net.linkBytesCarried(l1), 4e6, 1.0);
+  EXPECT_NEAR(net.linkBytesCarried(l2), 4e6, 1.0);
+  EXPECT_GT(done, 0.0);
+}
+
+TEST(NetworkConservation, FairShareNeverExceedsCapacity) {
+  // Many concurrent flows on one link: total delivery time can never be
+  // shorter than total_bytes / capacity.
+  simcore::Simulation sim;
+  simnet::Network net(sim);
+  const auto a = net.addNode("a");
+  const auto b = net.addNode("b");
+  net.addLink(a, b, 1e6, 0.0);
+  constexpr int kFlows = 7;
+  std::vector<double> done(kFlows, -1);
+  double total_bytes = 0;
+  for (int i = 0; i < kFlows; ++i) {
+    const double bytes = 1e5 * (i + 1);
+    total_bytes += bytes;
+    [](simnet::Network& n, simcore::Simulation& s, simnet::NodeId src,
+       simnet::NodeId dst, double by, double& out) -> simcore::Process {
+      co_await n.transfer(src, dst, by);
+      out = s.now();
+    }(net, sim, a, b, bytes, done[i]);
+  }
+  sim.run();
+  double last = 0;
+  for (double d : done) last = std::max(last, d);
+  EXPECT_GE(last, total_bytes / 1e6 - 1e-6);  // capacity bound
+  EXPECT_NEAR(last, total_bytes / 1e6, 1e-3);  // and work-conserving
+}
+
+// ------------------------------------------------- event determinism
+
+TEST(Determinism, IdenticalRunsExecuteIdenticalEventCounts) {
+  auto run = [] {
+    MultiClientConfig cfg;
+    cfg.clients = 4;
+    cfg.duration = 150.0;
+    const auto r = runMultiClient(cfg);
+    return std::make_pair(r.row.times(), r.aggregate_mbps);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace ninf::simworld

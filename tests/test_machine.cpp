@@ -1,0 +1,186 @@
+// Machine model: perf curves, processor sharing, exclusive FCFS, and the
+// utilization / load accounting behind the paper's table columns.
+#include <gtest/gtest.h>
+
+#include "machine/calibration.h"
+#include "machine/machine.h"
+#include "simcore/simulation.h"
+
+namespace ninf::machine {
+namespace {
+
+using simcore::Process;
+using simcore::Simulation;
+
+MachineSpec fourPe() {
+  MachineSpec spec;
+  spec.name = "test-4pe";
+  spec.pes = 4;
+  spec.per_pe = PerfModel(1e6, 0.0);  // flat 1 Mflop/s per PE
+  spec.full_machine = PerfModel(4e6, 0.0);
+  return spec;
+}
+
+Process sharedJob(Simulation&, SimMachine& m, double flops, double rate,
+                  double& done_at, Simulation& sim) {
+  co_await m.computeShared(flops, rate);
+  done_at = sim.now();
+}
+
+Process exclusiveJob(Simulation& sim, SimMachine& m, double flops,
+                     double rate, double& done_at) {
+  co_await m.computeExclusive(flops, rate);
+  done_at = sim.now();
+}
+
+Process delayedShared(Simulation& sim, SimMachine& m, double start,
+                      double flops, double rate, double& done_at) {
+  co_await sim.delay(start);
+  co_await m.computeShared(flops, rate);
+  done_at = sim.now();
+}
+
+TEST(PerfModel, HockneyCurveShape) {
+  const PerfModel pm(1e9, 1000.0);
+  EXPECT_DOUBLE_EQ(pm.rateAt(1000.0), 5e8);  // half peak at n_half
+  EXPECT_LT(pm.rateAt(100.0), pm.rateAt(1000.0));
+  EXPECT_NEAR(pm.rateAt(1e9), 1e9, 1e6);  // approaches peak
+}
+
+TEST(PerfModel, FlatCurveWhenNHalfZero) {
+  const PerfModel pm(1e7, 0.0);
+  EXPECT_DOUBLE_EQ(pm.rateAt(10), 1e7);
+  EXPECT_DOUBLE_EQ(pm.rateAt(10000), 1e7);
+}
+
+TEST(SimMachine, SingleSharedJobRunsAtFullRate) {
+  Simulation sim;
+  SimMachine m(sim, fourPe());
+  double done = -1;
+  sharedJob(sim, m, 2e6, 1e6, done, sim);
+  sim.run();
+  EXPECT_NEAR(done, 2.0, 1e-9);
+  EXPECT_EQ(m.jobsCompleted(), 1u);
+}
+
+TEST(SimMachine, UpToPeJobsDoNotContend) {
+  Simulation sim;
+  SimMachine m(sim, fourPe());
+  std::vector<double> done(4, -1);
+  for (int i = 0; i < 4; ++i) sharedJob(sim, m, 1e6, 1e6, done[i], sim);
+  sim.run();
+  for (double d : done) EXPECT_NEAR(d, 1.0, 1e-9);
+}
+
+TEST(SimMachine, OversubscriptionDegradesToProcessorSharing) {
+  Simulation sim;
+  SimMachine m(sim, fourPe());
+  std::vector<double> done(8, -1);
+  for (int i = 0; i < 8; ++i) sharedJob(sim, m, 1e6, 1e6, done[i], sim);
+  sim.run();
+  // 8 jobs over 4 PEs: everyone at half speed, all done at t=2.
+  for (double d : done) EXPECT_NEAR(d, 2.0, 1e-6);
+}
+
+TEST(SimMachine, DepartureSpeedsUpSurvivors) {
+  Simulation sim;
+  SimMachine m(sim, fourPe());
+  MachineSpec one = fourPe();
+  one.pes = 1;
+  SimMachine m1(sim, one);
+  double small = -1, big = -1;
+  sharedJob(sim, m1, 1e6, 1e6, small, sim);
+  sharedJob(sim, m1, 2e6, 1e6, big, sim);
+  sim.run();
+  // 1 PE, PS: both at 0.5 until small exits at t=2; big finishes its
+  // remaining 1e6 at full speed by t=3.
+  EXPECT_NEAR(small, 2.0, 1e-6);
+  EXPECT_NEAR(big, 3.0, 1e-6);
+}
+
+TEST(SimMachine, ExclusiveJobsRunFcfsSequentially) {
+  Simulation sim;
+  SimMachine m(sim, fourPe());
+  std::vector<double> done(3, -1);
+  for (int i = 0; i < 3; ++i) exclusiveJob(sim, m, 4e6, 4e6, done[i]);
+  sim.run();
+  EXPECT_NEAR(done[0], 1.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+  EXPECT_NEAR(done[2], 3.0, 1e-9);
+}
+
+TEST(SimMachine, ExclusiveJobSqueezesSharedWork) {
+  Simulation sim;
+  SimMachine m(sim, fourPe());
+  double shared_done = -1, excl_done = -1;
+  // Shared job would finish at t=10 alone; an exclusive job owns the
+  // machine on [0,1], during which the shared job crawls at the 1% floor.
+  sharedJob(sim, m, 10e6, 1e6, shared_done, sim);
+  exclusiveJob(sim, m, 4e6, 4e6, excl_done);
+  sim.run();
+  EXPECT_NEAR(excl_done, 1.0, 1e-6);
+  EXPECT_GT(shared_done, 10.5);  // lost most of one second
+  EXPECT_LT(shared_done, 11.5);
+}
+
+TEST(SimMachine, UtilizationReflectsBusyPes) {
+  Simulation sim;
+  MachineSpec spec = fourPe();
+  SimMachine m(sim, spec);
+  double done = -1;
+  // One PE busy for 1 s, then idle until t=4: time-averaged busy
+  // fraction = (1/4 PE) * (1 s / 4 s) = 6.25%.
+  sharedJob(sim, m, 1e6, 1e6, done, sim);
+  [](Simulation& s) -> Process { co_await s.delay(4.0); }(sim);
+  sim.run();
+  EXPECT_NEAR(m.cpuUtilizationPercent(), 6.25, 0.5);
+}
+
+TEST(SimMachine, LoadAverageCountsRunnableTasks) {
+  Simulation sim;
+  SimMachine m(sim, fourPe());
+  std::vector<double> done(8, -1);
+  for (int i = 0; i < 8; ++i) sharedJob(sim, m, 1e6, 1e6, done[i], sim);
+  sim.run();
+  // 8 runnable for the whole run.
+  EXPECT_NEAR(m.loadAverage(), 8.0, 0.5);
+  EXPECT_NEAR(m.maxLoad(), 8.0, 1e-9);
+}
+
+TEST(SimMachine, ExclusiveLoadCountsWidthPlusQueue) {
+  Simulation sim;
+  SimMachine m(sim, fourPe());
+  std::vector<double> done(3, -1);
+  for (int i = 0; i < 3; ++i) exclusiveJob(sim, m, 4e6, 4e6, done[i]);
+  sim.run();
+  // Running job counts 4; early on, 2 queued: max load 6.
+  EXPECT_NEAR(m.maxLoad(), 6.0, 1e-9);
+}
+
+TEST(SimMachine, BusyWorkDelaysAndCountsTowardUtilization) {
+  Simulation sim;
+  MachineSpec spec = fourPe();
+  spec.xdr_bytes_per_sec = 1e6;
+  SimMachine m(sim, spec);
+  EXPECT_DOUBLE_EQ(m.xdrSeconds(2e6), 2.0);
+  double done = -1;
+  [](Simulation& s, SimMachine& mm, double& out) -> Process {
+    co_await mm.busyWork(2.0);
+    out = s.now();
+  }(sim, m, done);
+  sim.run();
+  EXPECT_NEAR(done, 2.0, 1e-9);
+  EXPECT_GT(m.cpuUtilizationPercent(), 20.0);  // 1 of 4 PEs for the run
+}
+
+TEST(SimMachine, CalibratedJ90MatchesPaperAnchors) {
+  // DESIGN.md section 6: the 4-PE libsci curve reaches ~600 Mflops at
+  // n=1600 (paper, section 3.2) and the 1-PE curve ~165 Mflops at n=600.
+  const MachineSpec j90 = calibration::j90();
+  EXPECT_NEAR(j90.full_machine.rateAt(1600) / 1e6, 600.0, 30.0);
+  EXPECT_NEAR(j90.per_pe.rateAt(600) / 1e6, 165.0, 10.0);
+  EXPECT_EQ(j90.pes, 4u);
+}
+
+}  // namespace
+}  // namespace ninf::machine

@@ -1,0 +1,108 @@
+// Protocol framing over an in-process transport.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.h"
+#include "protocol/message.h"
+#include "transport/inproc_transport.h"
+#include "xdr/xdr.h"
+
+namespace ninf::protocol {
+namespace {
+
+TEST(Message, RoundTripOverInproc) {
+  auto [a, b] = transport::inprocPair();
+  xdr::Encoder enc;
+  enc.putString("dmmul");
+  sendMessage(*a, MessageType::QueryInterface, enc.bytes());
+
+  const Message msg = recvMessage(*b);
+  EXPECT_EQ(msg.type, MessageType::QueryInterface);
+  xdr::Decoder dec(msg.payload);
+  EXPECT_EQ(dec.getString(), "dmmul");
+}
+
+TEST(Message, EmptyPayload) {
+  auto [a, b] = transport::inprocPair();
+  sendMessage(*a, MessageType::ListExecutables, {});
+  const Message msg = recvMessage(*b);
+  EXPECT_EQ(msg.type, MessageType::ListExecutables);
+  EXPECT_TRUE(msg.payload.empty());
+}
+
+TEST(Message, SequencedMessagesArriveInOrder) {
+  auto [a, b] = transport::inprocPair();
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    xdr::Encoder enc;
+    enc.putU32(i);
+    sendMessage(*a, MessageType::Ping, enc.bytes());
+  }
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const Message msg = recvMessage(*b);
+    xdr::Decoder dec(msg.payload);
+    EXPECT_EQ(dec.getU32(), i);
+  }
+}
+
+TEST(Message, BadMagicRejected) {
+  auto [a, b] = transport::inprocPair();
+  const std::uint8_t junk[16] = {1, 2, 3, 4};
+  a->sendAll(junk);
+  EXPECT_THROW(recvMessage(*b), ProtocolError);
+}
+
+TEST(Message, BadVersionRejected) {
+  auto [a, b] = transport::inprocPair();
+  xdr::Encoder header;
+  header.putU32(kMagic);
+  header.putU32(kVersion + 1);
+  header.putU32(static_cast<std::uint32_t>(MessageType::Ping));
+  header.putU32(0);
+  a->sendAll(header.bytes());
+  EXPECT_THROW(recvMessage(*b), ProtocolError);
+}
+
+TEST(Message, UnknownTypeRejected) {
+  auto [a, b] = transport::inprocPair();
+  xdr::Encoder header;
+  header.putU32(kMagic);
+  header.putU32(kVersion);
+  header.putU32(9999);
+  header.putU32(0);
+  a->sendAll(header.bytes());
+  EXPECT_THROW(recvMessage(*b), ProtocolError);
+}
+
+TEST(Message, OversizedLengthRejected) {
+  auto [a, b] = transport::inprocPair();
+  xdr::Encoder header;
+  header.putU32(kMagic);
+  header.putU32(kVersion);
+  header.putU32(static_cast<std::uint32_t>(MessageType::Ping));
+  header.putU32(kMaxPayload + 1);
+  a->sendAll(header.bytes());
+  EXPECT_THROW(recvMessage(*b), ProtocolError);
+}
+
+TEST(Message, PeerCloseSurfacesAsTransportError) {
+  auto [a, b] = transport::inprocPair();
+  a->close();
+  EXPECT_THROW(recvMessage(*b), TransportError);
+}
+
+TEST(ServerStatusInfo, RoundTrip) {
+  ServerStatusInfo info;
+  info.running = 3;
+  info.queued = 5;
+  info.completed = 123456789;
+  info.load_average = 2.75;
+  const ServerStatusInfo decoded = ServerStatusInfo::fromBytes(info.toBytes());
+  EXPECT_EQ(decoded.running, 3u);
+  EXPECT_EQ(decoded.queued, 5u);
+  EXPECT_EQ(decoded.completed, 123456789u);
+  EXPECT_DOUBLE_EQ(decoded.load_average, 2.75);
+}
+
+}  // namespace
+}  // namespace ninf::protocol

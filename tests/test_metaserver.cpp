@@ -1,0 +1,240 @@
+// Metaserver scheduling: policy selection, monitoring, and transaction
+// fan-out across real in-process servers.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "client/ninf_api.h"
+#include "client/transaction.h"
+#include "common/error.h"
+#include "metaserver/metaserver.h"
+#include "numlib/ep.h"
+#include "server/server.h"
+#include "transport/tcp_transport.h"
+
+namespace ninf::metaserver {
+namespace {
+
+using client::NinfClient;
+using protocol::ArgValue;
+
+TEST(EstimateCompletion, CommPlusComp) {
+  // 1 MB at 1 MB/s + 1 Mflop at 1 Mflop/s, empty queue = 2 seconds.
+  EXPECT_DOUBLE_EQ(estimateCompletion(1e6, 1e6, 1e6, 1e6, 0), 2.0);
+}
+
+TEST(EstimateCompletion, QueueDelaysCompute) {
+  const double idle = estimateCompletion(0, 1e6, 1e6, 1e6, 0);
+  const double busy = estimateCompletion(0, 1e6, 1e6, 1e6, 3);
+  EXPECT_DOUBLE_EQ(busy, 4.0 * idle);
+}
+
+TEST(EstimateCompletion, BandwidthDominatesWanShapedJobs) {
+  // The paper's WAN conclusion: with slow links, pick by bandwidth.
+  const double fast_net = estimateCompletion(1e7, 1e6, 1e6, 1e6, 0);
+  const double slow_net = estimateCompletion(1e7, 1e6, 0.17e6, 1e9, 0);
+  EXPECT_GT(slow_net, fast_net);
+}
+
+/// Spins up `count` real servers on loopback TCP and registers them.
+class MetaserverFixture : public ::testing::Test {
+ protected:
+  void startServers(std::size_t count, SchedulingPolicy policy) {
+    meta_ = std::make_unique<Metaserver>(policy);
+    for (std::size_t i = 0; i < count; ++i) {
+      auto registry = std::make_unique<server::Registry>();
+      server::registerStandardExecutables(*registry);
+      auto srv = std::make_unique<server::NinfServer>(
+          *registry, server::ServerOptions{.workers = 2});
+      auto listener = std::make_shared<transport::TcpListener>(0);
+      const auto port = listener->port();
+      srv->start(listener);
+      meta_->addServer(
+          {.name = "server-" + std::to_string(i),
+           .factory =
+               [port] { return NinfClient::connectTcp("127.0.0.1", port); },
+           .bandwidth_bps = 1e6 * static_cast<double>(i + 1),
+           .perf_flops = 1e8});
+      registries_.push_back(std::move(registry));
+      servers_.push_back(std::move(srv));
+    }
+  }
+
+  void TearDown() override {
+    for (auto& s : servers_) s->stop();
+  }
+
+  std::vector<std::unique_ptr<server::Registry>> registries_;
+  std::vector<std::unique_ptr<server::NinfServer>> servers_;
+  std::unique_ptr<Metaserver> meta_;
+};
+
+TEST_F(MetaserverFixture, RoundRobinRotates) {
+  startServers(3, SchedulingPolicy::RoundRobin);
+  std::vector<double> sums(2), q(10);
+  std::vector<ArgValue> args = {ArgValue::inInt(0), ArgValue::inInt(16),
+                                ArgValue::outArray(sums),
+                                ArgValue::outArray(q)};
+  EXPECT_EQ(meta_->chooseServer("ep", args), "server-0");
+  EXPECT_EQ(meta_->chooseServer("ep", args), "server-1");
+  EXPECT_EQ(meta_->chooseServer("ep", args), "server-2");
+  EXPECT_EQ(meta_->chooseServer("ep", args), "server-0");
+}
+
+TEST_F(MetaserverFixture, DispatchExecutesSomewhere) {
+  startServers(2, SchedulingPolicy::LeastLoad);
+  std::vector<double> sums(2), q(10);
+  std::vector<ArgValue> args = {ArgValue::inInt(0), ArgValue::inInt(512),
+                                ArgValue::outArray(sums),
+                                ArgValue::outArray(q)};
+  meta_->dispatch("ep", args);
+  EXPECT_DOUBLE_EQ(sums[0], numlib::runEp(0, 512).sx);
+}
+
+TEST_F(MetaserverFixture, PollReturnsStatus) {
+  startServers(1, SchedulingPolicy::LeastLoad);
+  const auto status = meta_->poll("server-0");
+  EXPECT_EQ(status.running, 0u);
+  EXPECT_THROW(meta_->poll("nope"), NotFoundError);
+}
+
+TEST_F(MetaserverFixture, BandwidthAwarePrefersFasterLink) {
+  // Equal compute and load; server-1 declares 2 MB/s vs server-0's 1 MB/s,
+  // so a communication-heavy dmmul should go to server-1 (the paper's
+  // section 4.2.2 recommendation).
+  startServers(2, SchedulingPolicy::BandwidthAware);
+  const std::int64_t n = 64;
+  std::vector<double> a(n * n), b(n * n), c(n * n);
+  std::vector<ArgValue> args = {ArgValue::inInt(n), ArgValue::inArray(a),
+                                ArgValue::inArray(b), ArgValue::outArray(c)};
+  EXPECT_EQ(meta_->chooseServer("dmmul", args), "server-1");
+}
+
+TEST_F(MetaserverFixture, TransactionFansOutAcrossServers) {
+  // The paper's metaserver EP pattern (section 4.3): p independent calls
+  // inside a transaction, scheduled task-parallel.
+  startServers(3, SchedulingPolicy::RoundRobin);
+  constexpr std::int64_t kChunk = 512;
+  constexpr int kCalls = 6;
+  std::vector<std::vector<double>> sums(kCalls, std::vector<double>(2));
+  std::vector<std::vector<double>> qs(kCalls, std::vector<double>(10));
+  client::Transaction tx;
+  for (int i = 0; i < kCalls; ++i) {
+    tx.add("ep", {ArgValue::inInt(i * kChunk), ArgValue::inInt(kChunk),
+                  ArgValue::outArray(sums[i]), ArgValue::outArray(qs[i])});
+  }
+  const auto results = meta_->runTransaction(tx);
+  EXPECT_EQ(results.size(), static_cast<std::size_t>(kCalls));
+  // Merged partials must equal the monolithic kernel run.
+  double sx = 0;
+  for (const auto& s : sums) sx += s[0];
+  const auto whole = numlib::runEp(0, kCalls * kChunk);
+  EXPECT_NEAR(sx, whole.sx, 1e-8);
+}
+
+TEST_F(MetaserverFixture, FailoverSkipsDeadServer) {
+  // Fault tolerance (section 2.4): kill one server; dispatch must retry
+  // on the survivor instead of surfacing a transport error.
+  startServers(2, SchedulingPolicy::RoundRobin);
+  servers_[0]->stop();  // round-robin would pick server-0 first
+  std::vector<double> sums(2), q(10);
+  std::vector<ArgValue> args = {ArgValue::inInt(0), ArgValue::inInt(256),
+                                ArgValue::outArray(sums),
+                                ArgValue::outArray(q)};
+  EXPECT_NO_THROW(meta_->dispatch("ep", args));
+  EXPECT_DOUBLE_EQ(sums[0], numlib::runEp(0, 256).sx);
+}
+
+TEST_F(MetaserverFixture, AllServersDeadEventuallyThrows) {
+  startServers(2, SchedulingPolicy::RoundRobin);
+  meta_->setMaxFailovers(3);
+  servers_[0]->stop();
+  servers_[1]->stop();
+  std::vector<double> sums(2), q(10);
+  std::vector<ArgValue> args = {ArgValue::inInt(0), ArgValue::inInt(16),
+                                ArgValue::outArray(sums),
+                                ArgValue::outArray(q)};
+  EXPECT_THROW(meta_->dispatch("ep", args), Error);
+}
+
+TEST_F(MetaserverFixture, LeastLoadSkipsUnreachableServer) {
+  startServers(2, SchedulingPolicy::LeastLoad);
+  servers_[1]->stop();
+  std::vector<double> sums(2), q(10);
+  std::vector<ArgValue> args = {ArgValue::inInt(0), ArgValue::inInt(128),
+                                ArgValue::outArray(sums),
+                                ArgValue::outArray(q)};
+  // Status polling of the dead server must not break selection.
+  EXPECT_NO_THROW(meta_->dispatch("ep", args));
+  EXPECT_DOUBLE_EQ(sums[0], numlib::runEp(0, 128).sx);
+}
+
+TEST_F(MetaserverFixture, BackgroundMonitoringUpdatesStatus) {
+  startServers(2, SchedulingPolicy::RoundRobin);
+  // Serve a couple of calls so completions are visible.
+  std::vector<double> sums(2), q(10);
+  std::vector<ArgValue> args = {ArgValue::inInt(0), ArgValue::inInt(64),
+                                ArgValue::outArray(sums),
+                                ArgValue::outArray(q)};
+  meta_->dispatch("ep", args);
+  meta_->dispatch("ep", args);
+  meta_->startMonitoring(std::chrono::milliseconds(10));
+  // Wait for at least one polling round.
+  for (int i = 0; i < 100; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (meta_->lastStatus("server-0").completed +
+            meta_->lastStatus("server-1").completed >=
+        2) {
+      break;
+    }
+  }
+  meta_->stopMonitoring();
+  EXPECT_EQ(meta_->lastStatus("server-0").completed +
+                meta_->lastStatus("server-1").completed,
+            2u);
+}
+
+TEST_F(MetaserverFixture, MonitoringSurvivesDeadServer) {
+  startServers(2, SchedulingPolicy::RoundRobin);
+  servers_[1]->stop();
+  meta_->startMonitoring(std::chrono::milliseconds(10));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  meta_->stopMonitoring();  // must not hang or crash
+  EXPECT_THROW(meta_->lastStatus("missing"), NotFoundError);
+  SUCCEED();
+}
+
+TEST(Metaserver, StopWithoutStartIsFine) {
+  Metaserver meta;
+  meta.stopMonitoring();
+  SUCCEED();
+}
+
+TEST(Metaserver, NoServersThrows) {
+  Metaserver meta(SchedulingPolicy::RoundRobin);
+  std::vector<ArgValue> args;
+  EXPECT_THROW(meta.dispatch("ep", args), std::logic_error);
+}
+
+TEST(Metaserver, DuplicateServerNameRejected) {
+  Metaserver meta;
+  auto factory = [] {
+    return std::unique_ptr<NinfClient>{};
+  };
+  meta.addServer({.name = "s", .factory = factory});
+  EXPECT_THROW(meta.addServer({.name = "s", .factory = factory}),
+               std::logic_error);
+}
+
+TEST(Metaserver, PolicyNames) {
+  EXPECT_STREQ(schedulingPolicyName(SchedulingPolicy::RoundRobin),
+               "round-robin");
+  EXPECT_STREQ(schedulingPolicyName(SchedulingPolicy::LeastLoad),
+               "least-load");
+  EXPECT_STREQ(schedulingPolicyName(SchedulingPolicy::BandwidthAware),
+               "bandwidth-aware");
+}
+
+}  // namespace
+}  // namespace ninf::metaserver

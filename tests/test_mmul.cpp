@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "numlib/matrix.h"
+#include "numlib/mmul.h"
+
+namespace ninf::numlib {
+namespace {
+
+TEST(Mmul, IdentityTimesAnything) {
+  const std::size_t n = 9;
+  Matrix eye(n, n);
+  for (std::size_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  const Matrix b = randomMatrix(n, 4);
+  EXPECT_EQ(dmmul(eye, b), b);
+  EXPECT_EQ(dmmul(b, eye), b);
+}
+
+TEST(Mmul, Known2x2) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const Matrix c = dmmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Mmul, MatchesNaiveAcrossBlockBoundaries) {
+  // 100 exceeds the 64-wide internal blocks in both dimensions.
+  const std::size_t n = 100;
+  const Matrix a = randomMatrix(n, 1);
+  const Matrix b = randomMatrix(n, 2);
+  const Matrix c = dmmul(a, b);
+  for (std::size_t probe : {0u, 37u, 63u, 64u, 99u}) {
+    for (std::size_t j : {0u, 64u, 99u}) {
+      double acc = 0;
+      for (std::size_t p = 0; p < n; ++p) acc += a(probe, p) * b(p, j);
+      EXPECT_NEAR(c(probe, j), acc, 1e-10);
+    }
+  }
+}
+
+TEST(Mmul, AssociatesWithMatVec) {
+  const std::size_t n = 24;
+  const Matrix a = randomMatrix(n, 7);
+  const Matrix b = randomMatrix(n, 8);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = static_cast<double>(i) - 11.5;
+  // (A*B)*x == A*(B*x)
+  const auto lhs = matVec(dmmul(a, b), x);
+  const auto rhs = matVec(a, matVec(b, x));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-9);
+}
+
+TEST(Mmul, SizeMismatchThrows) {
+  std::vector<double> a(4), b(4), c(9);
+  EXPECT_THROW(dmmul(2, a, b, c), std::logic_error);
+}
+
+TEST(Mmul, FlatSpanInterface) {
+  std::vector<double> a = {1, 0, 0, 1};  // identity, column-major
+  std::vector<double> b = {1, 2, 3, 4};
+  std::vector<double> c(4, -1.0);
+  dmmul(2, a, b, c);
+  EXPECT_EQ(c, b);
+}
+
+}  // namespace
+}  // namespace ninf::numlib

@@ -1,0 +1,141 @@
+// Variable-width PE scheduling (section 5.3): FCFS head-of-line blocking
+// vs FPFS backfilling vs FPMPFS packing.
+#include <gtest/gtest.h>
+
+#include "machine/pe_scheduler.h"
+#include "simcore/simulation.h"
+
+namespace ninf::machine {
+namespace {
+
+using simcore::Process;
+using simcore::Simulation;
+
+Process submit(Simulation& sim, PeScheduler& sched, double at,
+               std::int64_t width, double seconds, double& done_at) {
+  co_await sim.delay(at);
+  co_await sched.run(width, seconds);
+  done_at = sim.now();
+}
+
+TEST(PeScheduler, SingleJobRunsImmediately) {
+  Simulation sim;
+  PeScheduler sched(sim, 4, AdmissionPolicy::Fcfs);
+  double done = -1;
+  submit(sim, sched, 0.0, 2, 3.0, done);
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 3.0);
+  EXPECT_EQ(sched.completed(), 1u);
+}
+
+TEST(PeScheduler, ParallelJobsSharePes) {
+  Simulation sim;
+  PeScheduler sched(sim, 4, AdmissionPolicy::Fcfs);
+  double d1 = -1, d2 = -1;
+  submit(sim, sched, 0.0, 2, 3.0, d1);
+  submit(sim, sched, 0.0, 2, 3.0, d2);
+  sim.run();
+  EXPECT_DOUBLE_EQ(d1, 3.0);  // both fit simultaneously
+  EXPECT_DOUBLE_EQ(d2, 3.0);
+}
+
+TEST(PeScheduler, FcfsHeadOfLineBlocks) {
+  // 4 PEs: a 3-wide job runs; a 4-wide head blocks a 1-wide job behind
+  // it even though a PE is free.
+  Simulation sim;
+  PeScheduler sched(sim, 4, AdmissionPolicy::Fcfs);
+  double wide = -1, running = -1, narrow = -1;
+  submit(sim, sched, 0.0, 3, 10.0, running);
+  submit(sim, sched, 1.0, 4, 5.0, wide);
+  submit(sim, sched, 2.0, 1, 1.0, narrow);
+  sim.run();
+  EXPECT_DOUBLE_EQ(running, 10.0);
+  EXPECT_DOUBLE_EQ(wide, 15.0);    // starts when the 3-wide frees at 10
+  EXPECT_DOUBLE_EQ(narrow, 16.0);  // strictly after the wide job
+}
+
+TEST(PeScheduler, FpfsBackfillsAroundBlockedHead) {
+  Simulation sim;
+  PeScheduler sched(sim, 4, AdmissionPolicy::Fpfs);
+  double wide = -1, running = -1, narrow = -1;
+  submit(sim, sched, 0.0, 3, 10.0, running);
+  submit(sim, sched, 1.0, 4, 5.0, wide);
+  submit(sim, sched, 2.0, 1, 1.0, narrow);
+  sim.run();
+  // The 1-wide job slips into the idle PE immediately.
+  EXPECT_DOUBLE_EQ(narrow, 3.0);
+  EXPECT_DOUBLE_EQ(wide, 15.0);
+}
+
+TEST(PeScheduler, FpmpfsPicksWidestFitting) {
+  // 8 PEs free; queue: [2-wide, 6-wide, 3-wide] arrive while machine
+  // fully busy until t=1.  FPMPFS admits 6+2 first, leaving 3 behind;
+  // FPFS would admit 2, then 6, then the 3 waits anyway — but FPMPFS's
+  // pick order must be width-descending.
+  Simulation sim;
+  PeScheduler sched(sim, 8, AdmissionPolicy::Fpmpfs);
+  double blocker = -1, two = -1, six = -1, three = -1;
+  submit(sim, sched, 0.0, 8, 1.0, blocker);
+  submit(sim, sched, 0.1, 2, 4.0, two);
+  submit(sim, sched, 0.2, 6, 4.0, six);
+  submit(sim, sched, 0.3, 3, 1.0, three);
+  sim.run();
+  EXPECT_DOUBLE_EQ(six, 5.0);    // admitted at t=1 (widest first)
+  EXPECT_DOUBLE_EQ(two, 5.0);    // fits alongside
+  EXPECT_DOUBLE_EQ(three, 6.0);  // waits for the 6-wide to finish
+}
+
+TEST(PeScheduler, FpfsImprovesUtilizationOverFcfs) {
+  auto makespan = [](AdmissionPolicy policy) {
+    Simulation sim;
+    PeScheduler sched(sim, 8, policy);
+    std::vector<double> done(24, -1);
+    // Alternating wide/narrow arrivals: FCFS strands PEs behind wides.
+    for (int i = 0; i < 24; ++i) {
+      const std::int64_t width = (i % 3 == 0) ? 7 : 2;
+      submit(sim, sched, 0.05 * i, width, 2.0, done[i]);
+    }
+    sim.run();
+    double last = 0;
+    for (double d : done) last = std::max(last, d);
+    return last;
+  };
+  const double fcfs = makespan(AdmissionPolicy::Fcfs);
+  const double fpfs = makespan(AdmissionPolicy::Fpfs);
+  const double fpmpfs = makespan(AdmissionPolicy::Fpmpfs);
+  EXPECT_LT(fpfs, fcfs);
+  EXPECT_LE(fpmpfs, fcfs);
+}
+
+TEST(PeScheduler, UtilizationAccounting) {
+  Simulation sim;
+  PeScheduler sched(sim, 4, AdmissionPolicy::Fcfs);
+  double done = -1;
+  submit(sim, sched, 0.0, 4, 2.0, done);  // whole machine for 2 s
+  sim.run();
+  EXPECT_NEAR(sched.utilizationPercent(), 100.0, 1.0);
+}
+
+TEST(PeScheduler, WidthValidation) {
+  Simulation sim;
+  PeScheduler sched(sim, 4, AdmissionPolicy::Fcfs);
+  bool threw = false;
+  [](Simulation&, PeScheduler& s, bool& flag) -> Process {
+    try {
+      co_await s.run(5, 1.0);  // wider than the machine
+    } catch (const std::logic_error&) {
+      flag = true;
+    }
+  }(sim, sched, threw);
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(PeScheduler, PolicyNames) {
+  EXPECT_STREQ(admissionPolicyName(AdmissionPolicy::Fcfs), "FCFS");
+  EXPECT_STREQ(admissionPolicyName(AdmissionPolicy::Fpfs), "FPFS");
+  EXPECT_STREQ(admissionPolicyName(AdmissionPolicy::Fpmpfs), "FPMPFS");
+}
+
+}  // namespace
+}  // namespace ninf::machine

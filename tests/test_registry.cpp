@@ -1,0 +1,166 @@
+// Executable registry + CallContext typed accessors + the standard
+// benchmark executables (dmmul / linpack / ep).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "numlib/ep.h"
+#include "numlib/matrix.h"
+#include "server/registry.h"
+#include "xdr/xdr.h"
+
+namespace ninf::server {
+namespace {
+
+TEST(Registry, RegisterFromIdlAndLookup) {
+  Registry reg;
+  reg.add(R"(Define f(mode_in long n) Calls "C" f(n);)",
+          [](CallContext&) {});
+  EXPECT_TRUE(reg.contains("f"));
+  EXPECT_FALSE(reg.contains("g"));
+  EXPECT_EQ(reg.find("f").info.name, "f");
+  EXPECT_THROW(reg.find("g"), NotFoundError);
+}
+
+TEST(Registry, DuplicateNameRejected) {
+  Registry reg;
+  reg.add(R"(Define f(mode_in long n) Calls "C" f(n);)",
+          [](CallContext&) {});
+  EXPECT_THROW(reg.add(R"(Define f(mode_in long m) Calls "C" f(m);)",
+                       [](CallContext&) {}),
+               Error);
+}
+
+TEST(Registry, NullHandlerRejected) {
+  Registry reg;
+  EXPECT_THROW(
+      reg.add(R"(Define f(mode_in long n) Calls "C" f(n);)", Handler{}),
+      std::logic_error);
+}
+
+TEST(Registry, NonDoubleArrayRejected) {
+  Registry reg;
+  EXPECT_THROW(reg.add(R"(Define f(mode_in long n, mode_in long v[n])
+                          Calls "C" f(n, v);)",
+                       [](CallContext&) {}),
+               IdlError);
+}
+
+TEST(Registry, NamesSorted) {
+  Registry reg;
+  reg.add(R"(Define zeta(mode_in long n) Calls "C" z(n);)",
+          [](CallContext&) {});
+  reg.add(R"(Define alpha(mode_in long n) Calls "C" a(n);)",
+          [](CallContext&) {});
+  const auto names = reg.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(StandardExecutables, AllThreeRegistered) {
+  Registry reg;
+  registerStandardExecutables(reg);
+  EXPECT_TRUE(reg.contains("dmmul"));
+  EXPECT_TRUE(reg.contains("linpack"));
+  EXPECT_TRUE(reg.contains("ep"));
+  EXPECT_TRUE(reg.contains("dos"));
+  EXPECT_EQ(reg.size(), 4u);
+}
+
+TEST(StandardExecutables, CalcOrderHintsPresent) {
+  Registry reg;
+  registerStandardExecutables(reg);
+  const auto& lp = reg.find("linpack").info;
+  const std::int64_t scalars[] = {100, 1, 0, 0, 0};
+  // 2n^3/3 + 2n^2 with integer arithmetic.
+  EXPECT_EQ(lp.flopsEstimate(scalars), 2 * 1000000ll / 3 + 2 * 10000);
+}
+
+protocol::ServerCallData decodeFor(const idl::InterfaceInfo& info,
+                                   std::span<const std::uint8_t> payload) {
+  xdr::Decoder dec(payload);
+  dec.getString();
+  return protocol::decodeCallArgs(info, dec);
+}
+
+TEST(StandardExecutables, DmmulComputesProduct) {
+  Registry reg;
+  registerStandardExecutables(reg);
+  const auto& exec = reg.find("dmmul");
+
+  std::vector<double> a = {1, 0, 0, 1};  // identity
+  std::vector<double> b = {1, 2, 3, 4};
+  std::vector<double> c(4);
+  std::vector<protocol::ArgValue> args = {
+      protocol::ArgValue::inInt(2), protocol::ArgValue::inArray(a),
+      protocol::ArgValue::inArray(b), protocol::ArgValue::outArray(c)};
+  auto payload = protocol::encodeCallRequest(exec.info, args);
+  auto data = decodeFor(exec.info, payload);
+  CallContext ctx(exec.info, data);
+  exec.handler(ctx);
+  EXPECT_EQ(data.arrays[3], b);
+}
+
+TEST(StandardExecutables, LinpackSolvesSystem) {
+  Registry reg;
+  registerStandardExecutables(reg, 2);
+  const auto& exec = reg.find("linpack");
+
+  const std::size_t n = 24;
+  numlib::Matrix a = numlib::randomMatrix(n, 3);
+  std::vector<double> b = numlib::onesRhs(a);
+  std::vector<double> av(a.flat().begin(), a.flat().end());
+  std::vector<double> x(n);
+  for (std::int64_t opt : {0, 1, 2}) {
+    std::vector<protocol::ArgValue> args = {
+        protocol::ArgValue::inInt(static_cast<std::int64_t>(n)),
+        protocol::ArgValue::inInt(opt), protocol::ArgValue::inArray(av),
+        protocol::ArgValue::inArray(b), protocol::ArgValue::outArray(x)};
+    auto payload = protocol::encodeCallRequest(exec.info, args);
+    auto data = decodeFor(exec.info, payload);
+    CallContext ctx(exec.info, data);
+    exec.handler(ctx);
+    for (double xi : data.arrays[4]) EXPECT_NEAR(xi, 1.0, 1e-6);
+  }
+}
+
+TEST(StandardExecutables, EpMatchesDirectKernel) {
+  Registry reg;
+  registerStandardExecutables(reg);
+  const auto& exec = reg.find("ep");
+
+  std::vector<double> sums(2), q(10);
+  std::vector<protocol::ArgValue> args = {
+      protocol::ArgValue::inInt(0), protocol::ArgValue::inInt(4096),
+      protocol::ArgValue::outArray(sums), protocol::ArgValue::outArray(q)};
+  auto payload = protocol::encodeCallRequest(exec.info, args);
+  auto data = decodeFor(exec.info, payload);
+  CallContext ctx(exec.info, data);
+  exec.handler(ctx);
+
+  const auto direct = numlib::runEp(0, 4096);
+  EXPECT_DOUBLE_EQ(data.arrays[2][0], direct.sx);
+  EXPECT_DOUBLE_EQ(data.arrays[2][1], direct.sy);
+  EXPECT_EQ(static_cast<std::int64_t>(data.arrays[3][0]), direct.q[0]);
+}
+
+TEST(CallContext, TypeMismatchesGuarded) {
+  Registry reg;
+  registerStandardExecutables(reg);
+  const auto& exec = reg.find("dmmul");
+  std::vector<double> a = {1, 0, 0, 1}, b = {1, 2, 3, 4}, c(4);
+  std::vector<protocol::ArgValue> args = {
+      protocol::ArgValue::inInt(2), protocol::ArgValue::inArray(a),
+      protocol::ArgValue::inArray(b), protocol::ArgValue::outArray(c)};
+  auto payload = protocol::encodeCallRequest(exec.info, args);
+  auto data = decodeFor(exec.info, payload);
+  CallContext ctx(exec.info, data);
+  EXPECT_THROW(ctx.doubleArg("n"), std::logic_error);   // n is long
+  EXPECT_THROW(ctx.arrayIn("n"), std::logic_error);     // n is scalar
+  EXPECT_THROW(ctx.arrayOut("A"), std::logic_error);    // A is input
+  EXPECT_THROW(ctx.arrayIn("C"), std::logic_error);     // C is output
+  EXPECT_THROW(ctx.intArg("missing"), NotFoundError);
+}
+
+}  // namespace
+}  // namespace ninf::server

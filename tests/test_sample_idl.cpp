@@ -1,0 +1,61 @@
+// The sample IDL module shipped in examples/idl/ must stay valid: it is
+// the file README and docs/IDL.md point users at.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "idl/parser.h"
+#include "idl/stub_generator.h"
+
+namespace ninf::idl {
+namespace {
+
+std::string readSample() {
+  std::ifstream in(SAMPLE_IDL_PATH);
+  EXPECT_TRUE(in.good()) << "missing " << SAMPLE_IDL_PATH;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(SampleIdl, ParsesWithTwoInterfaces) {
+  const auto module = parseModule(readSample());
+  ASSERT_EQ(module.size(), 2u);
+  EXPECT_EQ(module[0].name, "dmmul");
+  EXPECT_EQ(module[1].name, "linsolve");
+  for (const auto& info : module) EXPECT_TRUE(info.validate());
+}
+
+TEST(SampleIdl, CalcOrderHintsEvaluate) {
+  const auto module = parseModule(readSample());
+  const std::int64_t scalars_mm[] = {100, 0, 0, 0};
+  EXPECT_EQ(module[0].flopsEstimate(scalars_mm), 2'000'000);
+  const std::int64_t scalars_ls[] = {100, 0, 0};
+  EXPECT_EQ(module[1].flopsEstimate(scalars_ls), 2'000'000 / 3 + 20'000);
+}
+
+TEST(SampleIdl, InoutParameterShipsBothWays) {
+  const auto module = parseModule(readSample());
+  const auto& bx = module[1].params[2];
+  EXPECT_EQ(bx.name, "bx");
+  EXPECT_TRUE(bx.shippedIn());
+  EXPECT_TRUE(bx.shippedOut());
+}
+
+TEST(SampleIdl, StubGenerationSucceeds) {
+  const auto module = parseModule(readSample());
+  const std::string unit = generateRegistrationUnit(module, "mylib.h");
+  EXPECT_NE(unit.find("ninf_stub_dmmul"), std::string::npos);
+  EXPECT_NE(unit.find("ninf_stub_linsolve"), std::string::npos);
+}
+
+TEST(SampleIdl, CanonicalFormRoundTrips) {
+  const auto module = parseModule(readSample());
+  for (const auto& info : module) {
+    EXPECT_EQ(parseSingle(formatInterface(info)), info);
+  }
+}
+
+}  // namespace
+}  // namespace ninf::idl

@@ -1,0 +1,275 @@
+// Scenario-level shape tests: the qualitative findings of the paper must
+// hold in the simulator (crossovers, WAN bottlenecks, EP saturation,
+// multi-site aggregate bandwidth).
+#include <gtest/gtest.h>
+
+#include "simworld/metaserver_sim.h"
+#include "simworld/scenario.h"
+
+namespace ninf::simworld {
+namespace {
+
+TEST(SingleCall, NinfPerformanceRisesWithN) {
+  const auto small =
+      runSingleCall(ClientKind::UltraSparc, ServerKind::J90,
+                    ExecMode::DataParallel, 200);
+  const auto large =
+      runSingleCall(ClientKind::UltraSparc, ServerKind::J90,
+                    ExecMode::DataParallel, 1600);
+  EXPECT_GT(large.mflops, small.mflops * 3);
+}
+
+TEST(SingleCall, CrossoverAgainstLocalInPaperRange) {
+  // Figure 3: Ninf_call overtakes Local at approximately n = 200-400 for
+  // the SPARC clients.
+  auto crossover = [](ClientKind client) {
+    for (std::size_t n = 100; n <= 1600; n += 50) {
+      const auto r = runSingleCall(client, ServerKind::J90,
+                                   ExecMode::DataParallel, n);
+      if (r.mflops > localMflops(client, true, n)) return n;
+    }
+    return std::size_t{0};
+  };
+  const std::size_t super = crossover(ClientKind::SuperSparc);
+  const std::size_t ultra = crossover(ClientKind::UltraSparc);
+  EXPECT_GE(super, 100u);
+  EXPECT_LE(super, 450u);
+  EXPECT_GE(ultra, 100u);
+  EXPECT_LE(ultra, 450u);
+}
+
+TEST(SingleCall, AlphaCrossoverLaterThanSparcs) {
+  // Figure 4: the fast Alpha client only benefits at n ~ 800-1000
+  // (optimized local) vs 400-600 (standard local).
+  auto crossover = [](bool optimized) {
+    for (std::size_t n = 100; n <= 1600; n += 50) {
+      const auto r = runSingleCall(ClientKind::Alpha, ServerKind::J90,
+                                   ExecMode::DataParallel, n);
+      if (r.mflops > localMflops(ClientKind::Alpha, optimized, n)) return n;
+    }
+    return std::size_t{2000};
+  };
+  const std::size_t optimized = crossover(true);
+  const std::size_t standard = crossover(false);
+  EXPECT_GT(optimized, standard);
+  EXPECT_GE(optimized, 600u);
+  EXPECT_LE(optimized, 1200u);
+  EXPECT_GE(standard, 300u);
+  EXPECT_LE(standard, 700u);
+}
+
+TEST(SingleCall, ThroughputApproachesFtpForLargePayloads) {
+  // Figure 5 / Table 2: Ninf_call throughput saturates near the raw FTP
+  // rate of the link once payloads are large.
+  const double ftp =
+      clientServerFtp(ClientKind::Alpha, ServerKind::J90) / 1e6;
+  const double tp = runThroughputProbe(ClientKind::Alpha, ServerKind::J90,
+                                       32e6);
+  EXPECT_GT(tp, 0.7 * ftp);
+  EXPECT_LE(tp, ftp * 1.01);
+  // Small payloads are overhead-dominated.
+  const double tiny = runThroughputProbe(ClientKind::Alpha, ServerKind::J90,
+                                         8e3);
+  EXPECT_LT(tiny, 0.5 * ftp);
+}
+
+TEST(MultiClientLan, PerClientPerformanceDecaysWithC) {
+  MultiClientConfig cfg;
+  cfg.mode = ExecMode::TaskParallel;
+  cfg.n = 600;
+  cfg.duration = 240.0;
+  cfg.clients = 1;
+  const double p1 = runMultiClient(cfg).row.perf_mflops.mean();
+  cfg.clients = 16;
+  const auto r16 = runMultiClient(cfg);
+  const double p16 = r16.row.perf_mflops.mean();
+  EXPECT_LT(p16, p1 * 0.6);
+  EXPECT_GT(r16.cpu_util_percent, 50.0);
+}
+
+TEST(MultiClientLan, FourPeWinsAtSmallC) {
+  // Figure 7: the data-parallel library has a "substantial performance
+  // edge for a small c".
+  MultiClientConfig cfg;
+  cfg.n = 1400;
+  cfg.clients = 1;
+  cfg.duration = 240.0;
+  cfg.mode = ExecMode::TaskParallel;
+  const double tp = runMultiClient(cfg).row.perf_mflops.mean();
+  cfg.mode = ExecMode::DataParallel;
+  const double dp = runMultiClient(cfg).row.perf_mflops.mean();
+  EXPECT_GT(dp, tp * 1.3);
+}
+
+TEST(MultiClientLan, ModesConvergeAtLargeC) {
+  // ... and "very little performance edge ... for a larger c".
+  MultiClientConfig cfg;
+  cfg.n = 1000;
+  cfg.clients = 16;
+  cfg.duration = 300.0;
+  cfg.mode = ExecMode::TaskParallel;
+  const double tp = runMultiClient(cfg).row.perf_mflops.mean();
+  cfg.mode = ExecMode::DataParallel;
+  const double dp = runMultiClient(cfg).row.perf_mflops.mean();
+  EXPECT_NEAR(dp / tp, 1.0, 0.45);
+}
+
+TEST(MultiClientWan, BandwidthNotServerLoadIsTheBottleneck) {
+  // Tables 6-7: WAN performance collapses by ~an order of magnitude while
+  // server CPU stays nearly idle.
+  MultiClientConfig lan, wan;
+  lan.n = wan.n = 1000;
+  lan.clients = wan.clients = 8;
+  lan.duration = wan.duration = 300.0;
+  wan.topology = Topology::SingleSiteWan;
+  const auto lan_result = runMultiClient(lan);
+  const auto wan_result = runMultiClient(wan);
+  EXPECT_LT(wan_result.row.perf_mflops.mean(),
+            lan_result.row.perf_mflops.mean() * 0.25);
+  EXPECT_LT(wan_result.cpu_util_percent, 20.0);
+  EXPECT_GT(lan_result.cpu_util_percent,
+            wan_result.cpu_util_percent * 2);
+}
+
+TEST(MultiClientWan, SingleSiteThroughputSplitsUplink) {
+  MultiClientConfig cfg;
+  cfg.topology = Topology::SingleSiteWan;
+  cfg.n = 600;
+  cfg.clients = 8;
+  cfg.duration = 400.0;
+  const auto r = runMultiClient(cfg);
+  // Per-call throughput must be well below the 0.17 MB/s uplink.
+  EXPECT_LT(r.row.throughput_mbps.mean(), 0.17 / 3);
+}
+
+TEST(MultiSiteWan, AggregateBeatsSingleSite) {
+  // Figure 10: four sites with c clients each sustain far more aggregate
+  // bandwidth than 4c clients at one site.
+  MultiClientConfig single, multi;
+  single.topology = Topology::SingleSiteWan;
+  single.clients = 4;
+  single.n = multi.n = 1000;
+  single.duration = multi.duration = 400.0;
+  multi.topology = Topology::MultiSiteWan;
+  multi.clients = 1;  // per site; 4 total
+  const auto s = runMultiClient(single);
+  const auto m = runMultiClient(multi);
+  EXPECT_GT(m.aggregate_mbps, s.aggregate_mbps * 1.8);
+  EXPECT_GT(m.cpu_util_percent, s.cpu_util_percent);
+  ASSERT_EQ(m.sites.size(), 4u);
+}
+
+TEST(MultiSiteWan, OchaDegradationWithinPaperBands) {
+  // Figure 10 analysis: Ocha-U multi-site throughput degrades only
+  // 9-18% (c=1) vs Ocha-U alone.
+  MultiClientConfig solo;
+  solo.topology = Topology::SingleSiteWan;
+  solo.clients = 1;
+  solo.n = 1000;
+  solo.duration = 500.0;
+  const double solo_tp = runMultiClient(solo).row.throughput_mbps.mean();
+
+  MultiClientConfig multi = solo;
+  multi.topology = Topology::MultiSiteWan;
+  const auto m = runMultiClient(multi);
+  double ocha_tp = 0;
+  for (const auto& site : m.sites) {
+    if (site.name == "Ocha-U") ocha_tp = site.row.throughput_mbps.mean();
+  }
+  const double degradation = 1.0 - ocha_tp / solo_tp;
+  EXPECT_GT(degradation, 0.02);
+  EXPECT_LT(degradation, 0.35);
+}
+
+TEST(Ep, FlatToFourClientsThenInverseC) {
+  // Table 8: task-parallel EP sustains per-call performance to c=4 on the
+  // 4-PE J90, then scales as 4/c.
+  MultiClientConfig cfg;
+  cfg.ep = true;
+  cfg.duration = 3000.0;
+  cfg.interval = 3.0;
+  auto meanPerf = [&](std::size_t c) {
+    cfg.clients = c;
+    return runMultiClient(cfg).row.perf_mflops.mean();
+  };
+  const double p1 = meanPerf(1);
+  const double p4 = meanPerf(4);
+  const double p8 = meanPerf(8);
+  EXPECT_NEAR(p1, 0.168, 0.02);  // Table 8 anchor, Mops
+  EXPECT_NEAR(p4 / p1, 1.0, 0.1);
+  EXPECT_NEAR(p8 / p1, 0.5, 0.12);
+}
+
+TEST(Ep, LanAndWanEquivalent) {
+  MultiClientConfig lan, wan;
+  lan.ep = wan.ep = true;
+  lan.clients = wan.clients = 4;
+  lan.duration = wan.duration = 2500.0;
+  wan.topology = Topology::SingleSiteWan;
+  const double pl = runMultiClient(lan).row.perf_mflops.mean();
+  const double pw = runMultiClient(wan).row.perf_mflops.mean();
+  EXPECT_NEAR(pw / pl, 1.0, 0.05);
+}
+
+TEST(MetaserverEp, LargeClassesSpeedUpSmallClassSlowsDown) {
+  // Figure 11: classes A/B nearly linear; the 2^24 sample class suffers
+  // from the serialized per-call dispatch overhead.
+  auto speedup = [](int log2_pairs, std::size_t p) {
+    MetaserverEpConfig cfg;
+    cfg.log2_pairs = log2_pairs;
+    cfg.procs = 1;
+    const double t1 = runMetaserverEp(cfg).elapsed;
+    cfg.procs = p;
+    return t1 / runMetaserverEp(cfg).elapsed;
+  };
+  const double class_b_32 = speedup(30, 32);
+  EXPECT_GT(class_b_32, 24.0);  // almost linear
+  const double sample_32 = speedup(24, 32);
+  EXPECT_LT(sample_32, 8.0);  // significant slowdown vs linear
+  const double sample_4 = speedup(24, 4);
+  EXPECT_GT(sample_4, sample_32 / 8 * 0.5);
+}
+
+TEST(Scenario, DeterministicForSeed) {
+  MultiClientConfig cfg;
+  cfg.clients = 4;
+  cfg.duration = 120.0;
+  const auto a = runMultiClient(cfg);
+  const auto b = runMultiClient(cfg);
+  EXPECT_EQ(a.row.times(), b.row.times());
+  EXPECT_DOUBLE_EQ(a.row.perf_mflops.mean(), b.row.perf_mflops.mean());
+  cfg.seed = 2024;
+  const auto c = runMultiClient(cfg);
+  EXPECT_NE(a.row.times(), 0u);
+  // A different seed produces a different call pattern (almost surely).
+  EXPECT_NE(a.row.perf_mflops.mean(), c.row.perf_mflops.mean());
+}
+
+TEST(Scenario, AdmissionControlGuaranteesInServiceTime) {
+  // Section 5.1: restricting concurrent calls bounds the in-service time
+  // spread, trading it for queueing delay.
+  MultiClientConfig cfg;
+  cfg.mode = ExecMode::TaskParallel;
+  cfg.n = 1000;
+  cfg.clients = 16;
+  cfg.duration = 300.0;
+  const auto open = runMultiClient(cfg);
+  cfg.max_concurrent_calls = 2;
+  const auto gated = runMultiClient(cfg);
+  // Admitted calls are nearly contention-free under the gate.
+  EXPECT_LT(gated.row.service_s.max(), open.row.service_s.max() * 0.5);
+  // The contention moved into the admission queue.
+  EXPECT_GT(gated.row.wait_s.mean(), open.row.wait_s.mean() * 10);
+}
+
+TEST(Scenario, EqualShareAblationRuns) {
+  MultiClientConfig cfg;
+  cfg.clients = 4;
+  cfg.duration = 120.0;
+  cfg.sharing = simnet::Sharing::EqualShare;
+  const auto r = runMultiClient(cfg);
+  EXPECT_GT(r.row.times(), 0u);
+}
+
+}  // namespace
+}  // namespace ninf::simworld

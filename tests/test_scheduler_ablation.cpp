@@ -1,0 +1,67 @@
+// Scheduler ablation: the robust claims of the paper's scheduling
+// argument must hold in the simulator.
+#include <gtest/gtest.h>
+
+#include "simworld/scheduler_ablation.h"
+
+namespace ninf::simworld {
+namespace {
+
+SchedulerAblationResult run(SimPolicy policy, std::size_t n) {
+  SchedulerAblationConfig cfg;
+  cfg.policy = policy;
+  cfg.n = n;
+  cfg.clients = 8;
+  cfg.duration = 400.0;
+  return runSchedulerAblation(cfg);
+}
+
+TEST(SchedulerAblation, BandwidthAwareAvoidsWanForSmallJobs) {
+  // Communication-heavy n=400 calls must essentially never cross the
+  // 0.17 MB/s WAN path under bandwidth-aware routing.
+  const auto r = run(SimPolicy::BandwidthAware, 400);
+  EXPECT_GT(r.calls_per_server[0], 50u);
+  EXPECT_LT(r.calls_per_server[1],
+            r.calls_per_server[0] / 20 + 1);
+}
+
+TEST(SchedulerAblation, RoundRobinSplitsEvenly) {
+  const auto r = run(SimPolicy::RoundRobin, 400);
+  const double a = static_cast<double>(r.calls_per_server[0]);
+  const double b = static_cast<double>(r.calls_per_server[1]);
+  EXPECT_NEAR(a / (a + b), 0.5, 0.1);
+}
+
+TEST(SchedulerAblation, BandwidthAwareBeatsRoundRobinWhenCommBound) {
+  const double rr = run(SimPolicy::RoundRobin, 400).row.perf_mflops.mean();
+  const double bw =
+      run(SimPolicy::BandwidthAware, 400).row.perf_mflops.mean();
+  EXPECT_GT(bw, rr * 1.2);
+}
+
+TEST(SchedulerAblation, LeastLoadOffloadsToIdleRemote) {
+  // The NetSolve-style policy routes by load alone, so the idle remote
+  // server receives a real share of calls even when its path is awful —
+  // the failure mode the paper warns about for WAN settings.
+  const auto r = run(SimPolicy::LeastLoad, 400);
+  EXPECT_GT(r.calls_per_server[1], 10u);
+}
+
+TEST(SchedulerAblation, DeterministicForSeed) {
+  const auto a = run(SimPolicy::LeastLoad, 800);
+  const auto b = run(SimPolicy::LeastLoad, 800);
+  EXPECT_EQ(a.calls_per_server, b.calls_per_server);
+  EXPECT_DOUBLE_EQ(a.row.perf_mflops.mean(), b.row.perf_mflops.mean());
+}
+
+TEST(SchedulerAblation, PolicyNames) {
+  EXPECT_STREQ(simPolicyName(SimPolicy::RoundRobin), "round-robin");
+  EXPECT_NE(std::string(simPolicyName(SimPolicy::LeastLoad)).find("least"),
+            std::string::npos);
+  EXPECT_NE(std::string(simPolicyName(SimPolicy::BandwidthAware))
+                .find("bandwidth"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ninf::simworld

@@ -1,0 +1,175 @@
+// Simulated Ninf server: call-record anatomy, mode differences, SYN-retry
+// spikes, pipelined marshalling, and job descriptions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "machine/machine.h"
+#include "numlib/matrix.h"
+#include "simcore/simulation.h"
+#include "simnet/network.h"
+#include "simworld/sim_server.h"
+
+namespace ninf::simworld {
+namespace {
+
+struct World {
+  simcore::Simulation sim;
+  simnet::Network net{sim};
+  simnet::NodeId client, server;
+  std::unique_ptr<machine::SimMachine> mach;
+  std::unique_ptr<SimNinfServer> srv;
+
+  explicit World(SimServerConfig cfg = {}, double bandwidth = 1e6,
+                 machine::MachineSpec spec = defaultSpec()) {
+    client = net.addNode("client");
+    server = net.addNode("server");
+    net.addLink(client, server, bandwidth, 0.0);
+    mach = std::make_unique<machine::SimMachine>(sim, spec);
+    srv = std::make_unique<SimNinfServer>(sim, net, server, *mach, cfg);
+  }
+
+  static machine::MachineSpec defaultSpec() {
+    machine::MachineSpec spec;
+    spec.name = "test";
+    spec.pes = 4;
+    spec.per_pe = machine::PerfModel(1e6, 0.0);
+    spec.full_machine = machine::PerfModel(4e6, 0.0);
+    return spec;
+  }
+
+  CallRecord run(SimJob job, std::uint64_t seed = 1) {
+    CallRecord rec;
+    SplitMix64 rng(seed);
+    [](SimNinfServer& s, simnet::NodeId c, SimJob j, SplitMix64& r,
+       CallRecord& out) -> simcore::Process {
+      out = co_await s.call(c, j, r);
+    }(*srv, client, job, rng, rec);
+    sim.run();
+    return rec;
+  }
+};
+
+SimJob simpleJob(double work = 1e6, double rate = 1e6, double in = 1e6,
+                 double out = 1e5) {
+  SimJob job;
+  job.work = work;
+  job.rate_full = rate;
+  job.in_bytes = in;
+  job.out_bytes = out;
+  return job;
+}
+
+TEST(SimServer, TimestampsAreOrdered) {
+  SimServerConfig cfg;
+  cfg.syn_retry_prob = 0.0;
+  World w(cfg);
+  const CallRecord rec = w.run(simpleJob());
+  EXPECT_LT(rec.submit, rec.enqueue);
+  EXPECT_LT(rec.enqueue, rec.dequeue);
+  EXPECT_LT(rec.dequeue, rec.complete);
+  EXPECT_LT(rec.complete, rec.end);
+}
+
+TEST(SimServer, ElapsedMatchesCostModel) {
+  SimServerConfig cfg;
+  cfg.syn_retry_prob = 0.0;
+  cfg.t_comm0 = 0.01;
+  cfg.t_comp0 = 0.02;
+  World w(cfg, /*bandwidth=*/1e6);
+  // 1e6 bytes in at 1 MB/s + compute 1e6 at 1e6 + 1e5 bytes out.
+  const CallRecord rec = w.run(simpleJob());
+  EXPECT_NEAR(rec.elapsed(), 0.01 + 0.02 + 1.0 + 1.0 + 0.1, 1e-6);
+  EXPECT_NEAR(rec.comm_seconds, 1.1, 1e-6);
+  EXPECT_NEAR(rec.throughput(), 1.1e6 / 1.1, 1.0);
+  EXPECT_NEAR(rec.waitTime(), 0.02, 1e-9);
+  EXPECT_NEAR(rec.responseTime(), 0.01, 1e-9);
+}
+
+TEST(SimServer, SynRetrySpikesResponseTime) {
+  SimServerConfig cfg;
+  cfg.syn_retry_prob = 1.0;  // always retransmit
+  cfg.syn_retry_delay = 5.0;
+  World w(cfg);
+  const CallRecord rec = w.run(simpleJob());
+  EXPECT_NEAR(rec.responseTime(), 5.0 + cfg.t_comm0, 1e-9);
+}
+
+TEST(SimServer, MarshallingPipelinedWithTransfer) {
+  // XDR slower than the wire: the marshal leg dominates comm time.
+  SimServerConfig cfg;
+  cfg.syn_retry_prob = 0.0;
+  machine::MachineSpec spec = World::defaultSpec();
+  spec.xdr_bytes_per_sec = 0.5e6;  // 2 s for the 1 MB input
+  World w(cfg, /*bandwidth=*/1e6, spec);
+  const CallRecord rec = w.run(simpleJob());
+  // in-leg = max(transfer 1.0, marshal 2.0) = 2.0.
+  EXPECT_NEAR(rec.comm_seconds, 2.0 + 0.2, 1e-6);
+}
+
+TEST(SimServer, DataParallelUsesFullMachineRate) {
+  SimServerConfig tp_cfg, dp_cfg;
+  tp_cfg.syn_retry_prob = dp_cfg.syn_retry_prob = 0.0;
+  tp_cfg.mode = ExecMode::TaskParallel;
+  dp_cfg.mode = ExecMode::DataParallel;
+  World tp(tp_cfg), dp(dp_cfg);
+  // Same work; DP gets the 4x rate.
+  const auto tp_rec = tp.run(simpleJob(4e6, 1e6));
+  const auto dp_rec = dp.run(simpleJob(4e6, 4e6));
+  const double tp_compute = tp_rec.complete - tp_rec.dequeue;
+  const double dp_compute = dp_rec.complete - dp_rec.dequeue;
+  EXPECT_NEAR(tp_compute - dp_compute, 3.0, 0.01);
+}
+
+TEST(SimServer, LinpackJobMatchesPaperTransferModel) {
+  // 8n^2 + 20n total bytes (section 3.1).
+  const SimJob job = linpackJob(1000, 1e8);
+  EXPECT_DOUBLE_EQ(job.in_bytes + job.out_bytes, 8e6 + 20e3);
+  EXPECT_DOUBLE_EQ(job.work, numlib::linpackFlops(1000));
+  EXPECT_THROW(linpackJob(0, 1e8), std::logic_error);
+}
+
+TEST(SimServer, EpJobIsCommunicationFree) {
+  const SimJob job = epJob(24, 0.168e6);
+  EXPECT_DOUBLE_EQ(job.work, std::ldexp(1.0, 25));
+  EXPECT_LT(job.in_bytes + job.out_bytes, 1e3);  // O(1) bytes
+}
+
+TEST(SimServer, RecordDerivedQuantities) {
+  CallRecord rec;
+  rec.submit = 1.0;
+  rec.enqueue = 1.5;
+  rec.dequeue = 1.6;
+  rec.complete = 4.0;
+  rec.end = 4.5;
+  rec.work = 7e6;
+  rec.bytes_total = 2e6;
+  rec.comm_seconds = 1.0;
+  EXPECT_DOUBLE_EQ(rec.responseTime(), 0.5);
+  EXPECT_NEAR(rec.waitTime(), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(rec.elapsed(), 3.5);
+  EXPECT_DOUBLE_EQ(rec.performance(), 2e6);
+  EXPECT_DOUBLE_EQ(rec.throughput(), 2e6);
+}
+
+TEST(SimServer, RowStatsAggregates) {
+  RowStats row;
+  CallRecord rec;
+  rec.submit = 0;
+  rec.enqueue = 0.1;
+  rec.dequeue = 0.2;
+  rec.complete = 1.0;
+  rec.end = 1.2;
+  rec.work = 1.2e6;
+  rec.bytes_total = 1e6;
+  rec.comm_seconds = 0.4;
+  row.add(rec);
+  row.add(rec);
+  EXPECT_EQ(row.times(), 2u);
+  EXPECT_DOUBLE_EQ(row.perf_mflops.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(row.throughput_mbps.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(row.transmission_s.mean(), 0.2);
+}
+
+}  // namespace
+}  // namespace ninf::simworld

@@ -1,0 +1,239 @@
+// Discrete-event kernel: event ordering, virtual time, coroutine
+// processes, resources, and joinable tasks.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "simcore/simulation.h"
+#include "simcore/task.h"
+
+namespace ninf::simcore {
+namespace {
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, SimultaneousEventsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(1.0, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, NestedSchedulingAdvancesClock) {
+  Simulation sim;
+  double fired_at = -1;
+  sim.schedule(1.0, [&] {
+    sim.schedule(2.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+TEST(Simulation, CancelledEventsSkipped) {
+  Simulation sim;
+  bool fired = false;
+  auto handle = sim.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizon) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule(1.0, [&] { ++count; });
+  sim.schedule(5.0, [&] { ++count; });
+  sim.runUntil(2.0);
+  EXPECT_EQ(count, 1);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, NegativeDelayRejected) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), std::logic_error);
+}
+
+TEST(Simulation, ProcessDelaysAccumulate) {
+  Simulation sim;
+  double done_at = -1;
+  [](Simulation& s, double& out) -> Process {
+    co_await s.delay(1.5);
+    co_await s.delay(2.5);
+    out = s.now();
+  }(sim, done_at);
+  sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 4.0);
+}
+
+TEST(Simulation, ProcessExceptionRethrownFromRun) {
+  Simulation sim;
+  [](Simulation& s) -> Process {
+    co_await s.delay(1.0);
+    throw std::runtime_error("process failed");
+  }(sim);
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(SimEvent, BroadcastWakesAllWaiters) {
+  Simulation sim;
+  SimEvent ev(sim);
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    [](Simulation&, SimEvent& e, int& count) -> Process {
+      co_await e.wait();
+      ++count;
+    }(sim, ev, woken);
+  }
+  sim.schedule(2.0, [&] { ev.trigger(); });
+  sim.run();
+  EXPECT_EQ(woken, 3);
+}
+
+TEST(SimEvent, WaitAfterTriggerCompletesImmediately) {
+  Simulation sim;
+  SimEvent ev(sim);
+  ev.trigger();
+  bool done = false;
+  [](SimEvent& e, bool& flag) -> Process {
+    co_await e.wait();
+    flag = true;
+  }(ev, done);
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(SimResource, FifoAdmission) {
+  Simulation sim;
+  SimResource res(sim, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    [](Simulation& s, SimResource& r, std::vector<int>& log,
+       int id) -> Process {
+      co_await r.acquire();
+      log.push_back(id);
+      co_await s.delay(1.0);
+      r.release();
+    }(sim, res, order, i);
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(res.inUse(), 0);
+}
+
+TEST(SimResource, WideRequestBlocksHead) {
+  // Strict FIFO: a 2-unit request at the head must not be overtaken by a
+  // later 1-unit request (no starvation of data-parallel jobs).
+  Simulation sim;
+  SimResource res(sim, 2);
+  std::vector<std::string> order;
+  [](Simulation& s, SimResource& r, std::vector<std::string>& log) -> Process {
+    co_await r.acquire(1);
+    co_await s.delay(5.0);
+    log.push_back("first-release");
+    r.release(1);
+  }(sim, res, order);
+  [](Simulation& s, SimResource& r, std::vector<std::string>& log) -> Process {
+    co_await s.delay(1.0);
+    co_await r.acquire(2);  // must wait for the 1-unit holder
+    log.push_back("wide");
+    r.release(2);
+  }(sim, res, order);
+  [](Simulation& s, SimResource& r, std::vector<std::string>& log) -> Process {
+    co_await s.delay(2.0);
+    co_await r.acquire(1);  // arrives later; must queue behind the wide one
+    log.push_back("narrow");
+    r.release(1);
+  }(sim, res, order);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"first-release", "wide",
+                                             "narrow"}));
+}
+
+TEST(SimResource, OverCapacityAcquireRejected) {
+  Simulation sim;
+  SimResource res(sim, 2);
+  EXPECT_THROW(res.acquire(3), std::logic_error);
+}
+
+TEST(Task, ReturnsValueToAwaiter) {
+  Simulation sim;
+  double result = 0;
+  auto worker = [](Simulation& s) -> Task<double> {
+    co_await s.delay(2.0);
+    co_return 42.5;
+  };
+  [](Simulation& s, double& out, auto& make) -> Process {
+    out = co_await make(s);
+  }(sim, result, worker);
+  sim.run();
+  EXPECT_DOUBLE_EQ(result, 42.5);
+}
+
+TEST(Task, ExceptionPropagatesToAwaiter) {
+  Simulation sim;
+  bool caught = false;
+  auto failing = [](Simulation& s) -> Task<> {
+    co_await s.delay(1.0);
+    throw std::runtime_error("task failed");
+  };
+  [](Simulation& s, bool& flag, auto& make) -> Process {
+    try {
+      co_await make(s);
+    } catch (const std::runtime_error&) {
+      flag = true;
+    }
+  }(sim, caught, failing);
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, ConcurrentTasksOverlapInVirtualTime) {
+  Simulation sim;
+  double done_at = -1;
+  auto sleeper = [](Simulation& s, double d) -> Task<> {
+    co_await s.delay(d);
+  };
+  [](Simulation& s, double& out, auto& make) -> Process {
+    // Start both, then join: total should be max, not sum.
+    auto t1 = make(s, 3.0);
+    auto t2 = make(s, 5.0);
+    co_await t1;
+    co_await t2;
+    out = s.now();
+  }(sim, done_at, sleeper);
+  sim.run();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);
+}
+
+TEST(Task, CompletedTaskAwaitIsImmediate) {
+  Simulation sim;
+  auto instant = []() -> Task<int> { co_return 7; };
+  int value = 0;
+  [](int& out, auto& make) -> Process {
+    auto t = make();
+    EXPECT_TRUE(t.done());
+    out = co_await t;
+  }(value, instant);
+  sim.run();
+  EXPECT_EQ(value, 7);
+}
+
+}  // namespace
+}  // namespace ninf::simcore

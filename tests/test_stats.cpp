@@ -1,0 +1,119 @@
+// RunningStats / TimeWeightedStats: the max/min/mean machinery behind
+// every table row in the paper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace ninf {
+namespace {
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of the classic sequence: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, EmptyAccessorsThrow) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.max(), std::logic_error);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  SplitMix64 rng(42);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.nextDouble() * 100 - 50;
+    whole.add(v);
+    (i % 3 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStats, TripleFormatting) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_EQ(s.triple(2), "3.00/1.00/2.00");
+  RunningStats empty;
+  EXPECT_EQ(empty.triple(), "-/-/-");
+}
+
+TEST(TimeWeightedStats, StepFunctionAverage) {
+  TimeWeightedStats tw;
+  tw.update(0.0, 1.0);   // value 1 on [0, 10)
+  tw.update(10.0, 3.0);  // value 3 on [10, 20)
+  EXPECT_DOUBLE_EQ(tw.average(20.0), 2.0);
+  EXPECT_DOUBLE_EQ(tw.maxValue(), 3.0);
+}
+
+TEST(TimeWeightedStats, ZeroDurationReturnsCurrent) {
+  TimeWeightedStats tw;
+  tw.update(5.0, 7.0);
+  EXPECT_DOUBLE_EQ(tw.average(5.0), 7.0);
+}
+
+TEST(TimeWeightedStats, UnevenIntervals) {
+  TimeWeightedStats tw;
+  tw.update(0.0, 0.0);
+  tw.update(1.0, 4.0);  // 0 for 1s
+  tw.update(9.0, 0.0);  // 4 for 8s
+  // average over [0, 10): (0*1 + 4*8 + 0*1) / 10 = 3.2
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 3.2);
+}
+
+class StatsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsPropertyTest, MeanBoundedByMinMax) {
+  SplitMix64 rng(GetParam());
+  RunningStats s;
+  for (int i = 0; i < 500; ++i) s.add(rng.nextDouble() * 2000 - 1000);
+  EXPECT_LE(s.min(), s.mean());
+  EXPECT_GE(s.max(), s.mean());
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_NEAR(s.stddev() * s.stddev(), s.variance(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+}  // namespace
+}  // namespace ninf

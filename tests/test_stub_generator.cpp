@@ -1,0 +1,96 @@
+// Stub generator: the emitted C++ must reference the right accessors,
+// call the Calls-clause target in IDL argument order, and embed a
+// byte-exact compiled interface.
+#include <gtest/gtest.h>
+
+#include "idl/parser.h"
+#include "idl/stub_generator.h"
+
+namespace ninf::idl {
+namespace {
+
+const InterfaceInfo& dmmul() {
+  static const InterfaceInfo info = parseSingle(R"(
+    Define dmmul(mode_in long n,
+                 mode_in double A[n][n],
+                 mode_in double B[n][n],
+                 mode_out double C[n][n])
+    "dmmul is double precision matrix multiply",
+    Calls "C" mmul(n, A, B, C);)");
+  return info;
+}
+
+TEST(StubGenerator, ParamTypes) {
+  const auto& info = dmmul();
+  EXPECT_EQ(stubParamType(info.params[0]), "std::int64_t");
+  EXPECT_EQ(stubParamType(info.params[1]), "std::span<const double>");
+  EXPECT_EQ(stubParamType(info.params[3]), "std::span<double>");
+}
+
+TEST(StubGenerator, StubBindsAccessorsAndCallsTarget) {
+  const std::string src = generateServerStub(dmmul(), "mmul.h");
+  EXPECT_NE(src.find("void ninf_stub_dmmul"), std::string::npos);
+  EXPECT_NE(src.find("ctx.intArg(\"n\")"), std::string::npos);
+  EXPECT_NE(src.find("ctx.arrayIn(\"A\")"), std::string::npos);
+  EXPECT_NE(src.find("ctx.arrayIn(\"B\")"), std::string::npos);
+  EXPECT_NE(src.find("ctx.arrayOut(\"C\")"), std::string::npos);
+  // Calls-clause order, arrays decayed to pointers.
+  EXPECT_NE(src.find("mmul(arg_n, arg_A.data(), arg_B.data(), arg_C.data())"),
+            std::string::npos);
+  EXPECT_NE(src.find("#include \"mmul.h\""), std::string::npos);
+}
+
+TEST(StubGenerator, OutputScalarsPublishedBack) {
+  const auto info = parseSingle(R"(
+    Define stat(mode_in long n, mode_in double v[n],
+                mode_out double mean, mode_out long count)
+    Calls "C" stat(n, v, mean, count);)");
+  const std::string src = generateServerStub(info, "");
+  // Out scalars pass by address and are published after the call.
+  EXPECT_NE(src.find("&arg_mean"), std::string::npos);
+  EXPECT_NE(src.find("&arg_count"), std::string::npos);
+  EXPECT_NE(src.find("ctx.setDouble(\"mean\", arg_mean)"), std::string::npos);
+  EXPECT_NE(src.find("ctx.setInt(\"count\", arg_count)"), std::string::npos);
+}
+
+TEST(StubGenerator, EmbeddedInterfaceBlobRoundTrips) {
+  const std::string src = generateServerStub(dmmul(), "");
+  // Extract the byte literal and rebuild the interface from it.
+  const auto begin = src.find("ninf_iface_dmmul[] = {");
+  ASSERT_NE(begin, std::string::npos);
+  const auto end = src.find("};", begin);
+  std::vector<std::uint8_t> bytes;
+  std::size_t pos = src.find('{', begin) + 1;
+  while (pos < end) {
+    const char c = src[pos];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t used = 0;
+      bytes.push_back(static_cast<std::uint8_t>(
+          std::stoul(src.substr(pos), &used)));
+      pos += used;
+    } else {
+      ++pos;
+    }
+  }
+  EXPECT_EQ(InterfaceInfo::fromBytes(bytes), dmmul());
+}
+
+TEST(StubGenerator, RegistrationUnitCoversAllInterfaces) {
+  const auto other = parseSingle(R"(
+    Define ep(mode_in long first, mode_in long count,
+              mode_out double sums[2])
+    Calls "C" ep_kernel(first, count, sums);)");
+  const std::string src = generateRegistrationUnit({dmmul(), other}, "lib.h");
+  EXPECT_NE(src.find("registerGeneratedExecutables"), std::string::npos);
+  EXPECT_NE(src.find("ninf_stub_dmmul"), std::string::npos);
+  EXPECT_NE(src.find("ninf_stub_ep"), std::string::npos);
+  EXPECT_NE(src.find("registry.add"), std::string::npos);
+}
+
+TEST(StubGenerator, DeterministicOutput) {
+  EXPECT_EQ(generateServerStub(dmmul(), "h.h"),
+            generateServerStub(dmmul(), "h.h"));
+}
+
+}  // namespace
+}  // namespace ninf::idl

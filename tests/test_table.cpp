@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace ninf {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"n", "c", "Performance"});
+  t.row().cell(600).cell(1).cell(71.16, 2);
+  t.row().cell(1400).cell(16).cell(23.93, 2);
+  const std::string out = t.str();
+  EXPECT_NE(out.find("n    | c  | Performance"), std::string::npos);
+  EXPECT_NE(out.find("600  | 1  | 71.16"), std::string::npos);
+  EXPECT_NE(out.find("1400 | 16 | 23.93"), std::string::npos);
+}
+
+TEST(TextTable, HeaderRuleSpansColumns) {
+  TextTable t({"a", "b"});
+  t.row().cell("x").cell("y");
+  std::istringstream in(t.str());
+  std::string header, rule, row;
+  std::getline(in, header);
+  std::getline(in, rule);
+  std::getline(in, row);
+  EXPECT_EQ(rule.find_first_not_of('-'), std::string::npos);
+  EXPECT_EQ(rule.size(), header.size());
+}
+
+TEST(TextTable, TooManyCellsThrows) {
+  TextTable t({"only"});
+  t.row().cell("ok");
+  EXPECT_THROW(t.cell("overflow"), std::logic_error);
+}
+
+TEST(TextTable, CellBeforeRowThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.cell("x"), std::logic_error);
+}
+
+TEST(TextTable, ShortRowsRenderPadded) {
+  TextTable t({"a", "b"});
+  t.row().cell("1");
+  EXPECT_EQ(t.rowCount(), 1u);
+  EXPECT_NE(t.str().find("1"), std::string::npos);
+}
+
+TEST(TextTable, DoublePrecisionControl) {
+  TextTable t({"v"});
+  t.row().cell(3.14159, 3);
+  EXPECT_NE(t.str().find("3.142"), std::string::npos);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable t({}), std::logic_error);
+}
+
+TEST(TextTable, CsvRendering) {
+  TextTable t({"n", "perf"});
+  t.row().cell(600).cell(71.16, 2);
+  EXPECT_EQ(t.csv(), "n,perf\n600,71.16\n");
+}
+
+TEST(TextTable, CsvQuotesSpecialCharacters) {
+  TextTable t({"name", "note"});
+  t.row().cell("a,b").cell("say \"hi\"");
+  EXPECT_EQ(t.csv(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TextTable, CsvPadsShortRows) {
+  TextTable t({"a", "b"});
+  t.row().cell("x");
+  EXPECT_EQ(t.csv(), "a,b\nx,\n");
+}
+
+}  // namespace
+}  // namespace ninf

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+
+namespace ninf {
+namespace {
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DrainWaitsForCompletion) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.drain();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // Pool must survive a throwing task.
+  auto ok = pool.submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, ZeroWorkersRejected) {
+  EXPECT_THROW(ThreadPool pool(0), std::logic_error);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallelFor(1000, 8, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SingleWorkerRunsSequentially) {
+  std::vector<std::size_t> order;
+  parallelFor(10, 1, [&](std::size_t i) { order.push_back(i); });
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool ran = false;
+  parallelFor(0, 4, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, ExceptionPropagates) {
+  EXPECT_THROW(parallelFor(100, 4,
+                           [](std::size_t i) {
+                             if (i == 50) throw std::runtime_error("bad");
+                           }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ninf

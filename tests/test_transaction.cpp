@@ -1,0 +1,181 @@
+// Transactions: dependency inference from argument memory and
+// dependency-respecting parallel execution (sections 2.2, 2.4).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "client/dispatcher.h"
+#include "client/transaction.h"
+#include "common/error.h"
+
+namespace ninf::client {
+namespace {
+
+using protocol::ArgValue;
+
+/// Dispatcher that records execution order without any server.
+class RecordingDispatcher : public CallDispatcher {
+ public:
+  CallResult dispatch(const std::string& name,
+                      std::span<const ArgValue>) override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      order_.push_back(name);
+      ++active_;
+      max_active_ = std::max(max_active_, active_);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+    }
+    return {};
+  }
+
+  std::vector<std::string> order() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return order_;
+  }
+  int maxActive() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_active_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::string> order_;
+  int active_ = 0;
+  int max_active_ = 0;
+};
+
+std::size_t indexOf(const std::vector<std::string>& v, const std::string& s) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == s) return i;
+  }
+  return v.size();
+}
+
+TEST(Transaction, IndependentCallsHaveNoEdges) {
+  std::vector<double> a(4), b(4);
+  Transaction tx;
+  tx.add("f", {ArgValue::inInt(2), ArgValue::outArray(a)});
+  tx.add("g", {ArgValue::inInt(2), ArgValue::outArray(b)});
+  EXPECT_TRUE(tx.dependencyEdges().empty());
+}
+
+TEST(Transaction, ReadAfterWriteEdge) {
+  std::vector<double> a(4), b(4);
+  Transaction tx;
+  tx.add("producer", {ArgValue::outArray(a)});
+  tx.add("consumer", {ArgValue::inArray(a), ArgValue::outArray(b)});
+  const auto edges = tx.dependencyEdges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+}
+
+TEST(Transaction, WriteAfterReadAndWriteAfterWriteEdges) {
+  std::vector<double> a(4);
+  Transaction war;
+  war.add("reader", {ArgValue::inArray(a)});
+  war.add("writer", {ArgValue::outArray(a)});
+  EXPECT_EQ(war.dependencyEdges().size(), 1u);
+
+  Transaction waw;
+  waw.add("w1", {ArgValue::outArray(a)});
+  waw.add("w2", {ArgValue::outArray(a)});
+  EXPECT_EQ(waw.dependencyEdges().size(), 1u);
+}
+
+TEST(Transaction, OverlappingSubspansDetected) {
+  std::vector<double> buf(10);
+  std::span<double> lo(buf.data(), 6);
+  std::span<double> hi(buf.data() + 4, 6);  // overlaps lo in [4, 6)
+  Transaction tx;
+  tx.add("w_lo", {ArgValue::outArray(lo)});
+  tx.add("r_hi", {ArgValue::inArray(hi)});
+  EXPECT_EQ(tx.dependencyEdges().size(), 1u);
+}
+
+TEST(Transaction, DisjointSubspansIndependent) {
+  std::vector<double> buf(10);
+  std::span<double> lo(buf.data(), 5);
+  std::span<double> hi(buf.data() + 5, 5);
+  Transaction tx;
+  tx.add("w_lo", {ArgValue::outArray(lo)});
+  tx.add("r_hi", {ArgValue::inArray(hi)});
+  EXPECT_TRUE(tx.dependencyEdges().empty());
+}
+
+TEST(Transaction, ScalarOutSinksCarryDependencies) {
+  std::int64_t count = 0;
+  Transaction tx;
+  tx.add("w1", {ArgValue::outInt(&count)});
+  tx.add("w2", {ArgValue::outInt(&count)});
+  EXPECT_EQ(tx.dependencyEdges().size(), 1u);
+}
+
+TEST(Transaction, RunRespectsDependencyOrder) {
+  std::vector<double> a(4), b(4), c(4);
+  RecordingDispatcher dispatcher;
+  Transaction tx;
+  tx.add("stage1", {ArgValue::outArray(a)});
+  tx.add("stage2", {ArgValue::inArray(a), ArgValue::outArray(b)});
+  tx.add("stage3", {ArgValue::inArray(b), ArgValue::outArray(c)});
+  const auto results = tx.run(dispatcher);
+  EXPECT_EQ(results.size(), 3u);
+  const auto order = dispatcher.order();
+  EXPECT_LT(indexOf(order, "stage1"), indexOf(order, "stage2"));
+  EXPECT_LT(indexOf(order, "stage2"), indexOf(order, "stage3"));
+}
+
+TEST(Transaction, IndependentCallsRunConcurrently) {
+  // The paper's task-parallel EP pattern: p independent Ninf_calls.
+  std::vector<std::vector<double>> outs(6, std::vector<double>(2));
+  RecordingDispatcher dispatcher;
+  Transaction tx;
+  for (auto& out : outs) {
+    tx.add("ep", {ArgValue::inInt(0), ArgValue::outArray(out)});
+  }
+  tx.run(dispatcher);
+  EXPECT_GT(dispatcher.maxActive(), 1);
+}
+
+TEST(Transaction, MaxParallelBoundsConcurrency) {
+  std::vector<std::vector<double>> outs(8, std::vector<double>(2));
+  RecordingDispatcher dispatcher;
+  Transaction tx;
+  for (auto& out : outs) {
+    tx.add("ep", {ArgValue::outArray(out)});
+  }
+  tx.run(dispatcher, 2);
+  EXPECT_LE(dispatcher.maxActive(), 2);
+}
+
+TEST(Transaction, RunClearsQueuedCalls) {
+  std::vector<double> a(2);
+  RecordingDispatcher dispatcher;
+  Transaction tx;
+  tx.add("f", {ArgValue::outArray(a)});
+  tx.run(dispatcher);
+  EXPECT_EQ(tx.size(), 0u);
+  EXPECT_TRUE(tx.run(dispatcher).empty());
+}
+
+TEST(Transaction, DispatcherExceptionPropagates) {
+  class ThrowingDispatcher : public CallDispatcher {
+   public:
+    CallResult dispatch(const std::string&,
+                        std::span<const ArgValue>) override {
+      throw RemoteError("server exploded");
+    }
+  };
+  std::vector<double> a(2);
+  ThrowingDispatcher dispatcher;
+  Transaction tx;
+  tx.add("f", {ArgValue::outArray(a)});
+  EXPECT_THROW(tx.run(dispatcher), RemoteError);
+}
+
+}  // namespace
+}  // namespace ninf::client

@@ -1,0 +1,135 @@
+// Transports: in-process pipe semantics and real TCP loopback.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "common/error.h"
+#include "transport/inproc_transport.h"
+#include "transport/tcp_transport.h"
+
+namespace ninf::transport {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (int x : v) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+TEST(Inproc, BytesFlowBothDirections) {
+  auto [a, b] = inprocPair();
+  a->sendAll(bytes({1, 2, 3}));
+  std::uint8_t buf[3];
+  b->recvAll(buf);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[2], 3);
+  b->sendAll(bytes({9}));
+  std::uint8_t one;
+  a->recvAll({&one, 1});
+  EXPECT_EQ(one, 9);
+}
+
+TEST(Inproc, RecvAssemblesMultipleSends) {
+  auto [a, b] = inprocPair();
+  a->sendAll(bytes({1, 2}));
+  a->sendAll(bytes({3, 4}));
+  std::uint8_t buf[4];
+  b->recvAll(buf);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(Inproc, CloseWakesBlockedReceiver) {
+  auto [a, b] = inprocPair();
+  auto fut = std::async(std::launch::async, [&] {
+    std::uint8_t buf[1];
+    EXPECT_THROW(b->recvAll(buf), TransportError);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  a->close();
+  fut.get();
+}
+
+TEST(Inproc, DrainsBufferedBytesBeforeEof) {
+  auto [a, b] = inprocPair();
+  a->sendAll(bytes({7, 8}));
+  a->shutdownSend();
+  std::uint8_t buf[2];
+  b->recvAll(buf);
+  EXPECT_EQ(buf[0], 7);
+  std::uint8_t extra;
+  EXPECT_THROW(b->recvAll({&extra, 1}), TransportError);
+}
+
+TEST(Inproc, SendAfterCloseThrows) {
+  auto [a, b] = inprocPair();
+  a->close();
+  EXPECT_THROW(a->sendAll(bytes({1})), TransportError);
+}
+
+TEST(Tcp, LoopbackEcho) {
+  TcpListener listener(0);
+  ASSERT_GT(listener.port(), 0);
+  auto server_side = std::async(std::launch::async, [&] {
+    auto stream = listener.accept();
+    ASSERT_NE(stream, nullptr);
+    std::uint8_t buf[5];
+    stream->recvAll(buf);
+    stream->sendAll(buf);
+  });
+  auto client = tcpConnect("127.0.0.1", listener.port());
+  client->sendAll(bytes({10, 20, 30, 40, 50}));
+  std::uint8_t echo[5];
+  client->recvAll(echo);
+  EXPECT_EQ(echo[4], 50);
+  server_side.get();
+}
+
+TEST(Tcp, LargeTransferIntegrity) {
+  TcpListener listener(0);
+  std::vector<std::uint8_t> big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  auto server_side = std::async(std::launch::async, [&] {
+    auto stream = listener.accept();
+    std::vector<std::uint8_t> got(big.size());
+    stream->recvAll(got);
+    EXPECT_EQ(got, big);
+  });
+  auto client = tcpConnect("127.0.0.1", listener.port());
+  client->sendAll(big);
+  server_side.get();
+}
+
+TEST(Tcp, ConnectRefusedThrows) {
+  // Port 1 on loopback is essentially never listening.
+  EXPECT_THROW(tcpConnect("127.0.0.1", 1), TransportError);
+}
+
+TEST(Tcp, BadAddressThrows) {
+  EXPECT_THROW(tcpConnect("not-an-ip", 80), TransportError);
+}
+
+TEST(Tcp, CloseUnblocksAccept) {
+  TcpListener listener(0);
+  auto fut = std::async(std::launch::async, [&] { return listener.accept(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  listener.close();
+  EXPECT_EQ(fut.get(), nullptr);
+}
+
+TEST(Tcp, PeerDisconnectSurfacesOnRecv) {
+  TcpListener listener(0);
+  auto server_side = std::async(std::launch::async, [&] {
+    auto stream = listener.accept();
+    stream->close();
+  });
+  auto client = tcpConnect("127.0.0.1", listener.port());
+  server_side.get();
+  std::uint8_t buf[1];
+  EXPECT_THROW(client->recvAll(buf), TransportError);
+}
+
+}  // namespace
+}  // namespace ninf::transport

@@ -1,0 +1,184 @@
+// XDR encode/decode: round-trips, wire layout, malformed input.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "xdr/xdr.h"
+
+namespace ninf::xdr {
+namespace {
+
+TEST(Xdr, U32WireFormatIsBigEndian) {
+  Encoder enc;
+  enc.putU32(0x01020304u);
+  ASSERT_EQ(enc.size(), 4u);
+  EXPECT_EQ(enc.bytes()[0], 0x01);
+  EXPECT_EQ(enc.bytes()[1], 0x02);
+  EXPECT_EQ(enc.bytes()[2], 0x03);
+  EXPECT_EQ(enc.bytes()[3], 0x04);
+}
+
+TEST(Xdr, ScalarRoundTrips) {
+  Encoder enc;
+  enc.putU32(0xDEADBEEFu);
+  enc.putI32(-42);
+  enc.putU64(0x0123456789ABCDEFull);
+  enc.putI64(-1234567890123456789ll);
+  enc.putBool(true);
+  enc.putBool(false);
+  enc.putFloat(3.25f);
+  enc.putDouble(-2.718281828459045);
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.getU32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.getI32(), -42);
+  EXPECT_EQ(dec.getU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(dec.getI64(), -1234567890123456789ll);
+  EXPECT_TRUE(dec.getBool());
+  EXPECT_FALSE(dec.getBool());
+  EXPECT_EQ(dec.getFloat(), 3.25f);
+  EXPECT_EQ(dec.getDouble(), -2.718281828459045);
+  EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(Xdr, DoubleSpecialValuesRoundTrip) {
+  const double values[] = {0.0, -0.0,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max()};
+  Encoder enc;
+  for (double v : values) enc.putDouble(v);
+  Decoder dec(enc.bytes());
+  for (double v : values) {
+    const double got = dec.getDouble();
+    EXPECT_EQ(std::signbit(got), std::signbit(v));
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(Xdr, NanRoundTripsAsNan) {
+  Encoder enc;
+  enc.putDouble(std::numeric_limits<double>::quiet_NaN());
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(std::isnan(dec.getDouble()));
+}
+
+TEST(Xdr, StringRoundTripAndPadding) {
+  Encoder enc;
+  enc.putString("ninf");   // exactly 4 bytes: no padding
+  enc.putString("dmmul");  // 5 bytes: 3 bytes padding
+  enc.putString("");
+  EXPECT_EQ(enc.size(), 4u + 4u + 4u + 8u + 4u);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.getString(), "ninf");
+  EXPECT_EQ(dec.getString(), "dmmul");
+  EXPECT_EQ(dec.getString(), "");
+  EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(Xdr, OpaqueRoundTrip) {
+  const std::vector<std::uint8_t> blob = {0x00, 0xFF, 0x10, 0x20, 0x30};
+  Encoder enc;
+  enc.putOpaque(blob);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.getOpaque(), blob);
+}
+
+TEST(Xdr, DoubleArrayRoundTrip) {
+  std::vector<double> values(257);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i) * 0.25 - 32.0;
+  }
+  Encoder enc;
+  enc.putDoubleArray(values);
+  EXPECT_EQ(enc.size(), 4u + values.size() * 8);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.getDoubleArray(), values);
+}
+
+TEST(Xdr, DoubleArrayIntoMatchesBulkDecode) {
+  std::vector<double> values = {1.5, -2.5, 3.5, 1e300, -1e-300};
+  Encoder enc;
+  enc.putDoubleArray(values);
+  std::vector<double> out(values.size());
+  Decoder dec(enc.bytes());
+  dec.getDoubleArrayInto(out);
+  EXPECT_EQ(out, values);
+  EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(Xdr, DoubleArrayIntoRejectsCountMismatch) {
+  Encoder enc;
+  enc.putDoubleArray(std::vector<double>{1.0, 2.0});
+  std::vector<double> out(3);
+  Decoder dec(enc.bytes());
+  EXPECT_THROW(dec.getDoubleArrayInto(out), ProtocolError);
+}
+
+TEST(Xdr, I64ArrayRoundTrip) {
+  const std::vector<std::int64_t> values = {-1, 0, 1, 1ll << 62};
+  Encoder enc;
+  enc.putI64Array(values);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.getI64Array(), values);
+}
+
+TEST(Xdr, UnderflowThrows) {
+  Encoder enc;
+  enc.putU32(7);
+  Decoder dec(enc.bytes());
+  dec.getU32();
+  EXPECT_THROW(dec.getU32(), ProtocolError);
+}
+
+TEST(Xdr, TruncatedStringThrows) {
+  Encoder enc;
+  enc.putU32(100);  // claims 100 bytes follow; none do
+  Decoder dec(enc.bytes());
+  EXPECT_THROW(dec.getString(), ProtocolError);
+}
+
+TEST(Xdr, NonZeroPaddingRejected) {
+  Encoder enc;
+  enc.putString("abcde");
+  auto bytes = enc.bytes();
+  bytes.back() = 1;  // corrupt a padding byte
+  Decoder dec(bytes);
+  EXPECT_THROW(dec.getString(), ProtocolError);
+}
+
+TEST(Xdr, BoolOutOfRangeRejected) {
+  Encoder enc;
+  enc.putU32(2);
+  Decoder dec(enc.bytes());
+  EXPECT_THROW(dec.getBool(), ProtocolError);
+}
+
+TEST(Xdr, RawBytesPassThrough) {
+  Encoder inner;
+  inner.putU32(99);
+  Encoder outer;
+  outer.putRaw(inner.bytes());
+  Decoder dec(outer.bytes());
+  EXPECT_EQ(dec.getU32(), 99u);
+}
+
+class XdrDoubleParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(XdrDoubleParamTest, RoundTripsExactly) {
+  Encoder enc;
+  enc.putDouble(GetParam());
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.getDouble(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, XdrDoubleParamTest,
+                         ::testing::Values(0.0, 1.0, -1.0, 0.1, 1e-17, 1e17,
+                                           3.141592653589793, 2.5e-308,
+                                           1.7976931348623157e308));
+
+}  // namespace
+}  // namespace ninf::xdr

@@ -1,0 +1,144 @@
+// ninf_call — command-line client for a Ninf computational server.
+//
+// The desktop-side counterpart of ninf_gen: poke a running server from a
+// shell, no code required.
+//
+//   ninf_call <host> <port> list
+//   ninf_call <host> <port> describe <name>
+//   ninf_call <host> <port> status
+//   ninf_call <host> <port> ping [bytes]
+//   ninf_call <host> <port> linpack <n> [variant 0|1|2]
+//   ninf_call <host> <port> ep <log2_pairs>
+//   ninf_call <host> <port> dos <n> <samples>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "client/client.h"
+#include "client/ninf_api.h"
+#include "common/error.h"
+#include "idl/parser.h"
+#include "numlib/dos.h"
+#include "numlib/matrix.h"
+
+namespace {
+
+using namespace ninf;
+
+int usage() {
+  std::cerr << "usage: ninf_call <host> <port> <command> [args]\n"
+            << "commands: list | describe <name> | status | ping [bytes]\n"
+            << "          linpack <n> [variant] | ep <log2_pairs>\n"
+            << "          dos <n> <samples>\n";
+  return 2;
+}
+
+int cmdList(client::NinfClient& cl) {
+  for (const auto& name : cl.listExecutables()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+int cmdDescribe(client::NinfClient& cl, const std::string& name) {
+  const auto& info = cl.queryInterface(name);
+  std::printf("%s", idl::formatInterface(info).c_str());
+  return 0;
+}
+
+int cmdStatus(client::NinfClient& cl) {
+  const auto s = cl.serverStatus();
+  std::printf("running=%u queued=%u completed=%llu load=%.2f\n", s.running,
+              s.queued, static_cast<unsigned long long>(s.completed),
+              s.load_average);
+  return 0;
+}
+
+int cmdPing(client::NinfClient& cl, std::size_t bytes) {
+  const double rtt = cl.ping(bytes);
+  std::printf("%zu byte echo: %.3f ms\n", bytes, rtt * 1e3);
+  return 0;
+}
+
+int cmdLinpack(client::NinfClient& cl, std::size_t n, std::int64_t variant) {
+  numlib::Matrix a = numlib::randomMatrix(n, 1);
+  std::vector<double> b = numlib::onesRhs(a);
+  std::vector<double> x(n);
+  const auto r =
+      client::ninfCall(cl, "linpack", static_cast<std::int64_t>(n), variant,
+                       a.flat(), b, std::span<double>(x));
+  double err = 0;
+  for (double xi : x) err = std::max(err, std::abs(xi - 1.0));
+  const double mflops = numlib::linpackFlops(n) / r.elapsed / 1e6;
+  std::printf("n=%zu variant=%lld: %.1f ms, %.1f Mflops, |x-1|max=%.2e %s\n",
+              n, static_cast<long long>(variant), r.elapsed * 1e3, mflops,
+              err, err < 1e-4 ? "OK" : "FAILED");
+  return err < 1e-4 ? 0 : 1;
+}
+
+int cmdEp(client::NinfClient& cl, int log2_pairs) {
+  std::vector<double> sums(2), q(10);
+  const auto r = client::ninfCall(cl, "ep", std::int64_t{0},
+                                  std::int64_t{1} << log2_pairs, sums, q);
+  std::printf("2^%d pairs in %.1f ms: Sx=%.10e Sy=%.10e\n", log2_pairs,
+              r.elapsed * 1e3, sums[0], sums[1]);
+  std::printf("annulus counts:");
+  for (double c : q) std::printf(" %.0f", c);
+  std::printf("\n");
+  return 0;
+}
+
+int cmdDos(client::NinfClient& cl, std::int64_t n, std::int64_t samples) {
+  constexpr std::int64_t kBins = 40;
+  std::vector<double> hist(kBins);
+  const auto r = client::ninfCall(cl, "dos", n, std::int64_t{0}, samples,
+                                  kBins, std::span<double>(hist));
+  double total = 0;
+  for (double h : hist) total += h;
+  std::printf("n=%lld, %lld samples, %.0f eigenvalues in %.1f ms\n",
+              static_cast<long long>(n), static_cast<long long>(samples),
+              total, r.elapsed * 1e3);
+  // ASCII density plot against the Wigner semicircle.
+  for (std::int64_t b = 0; b < kBins; ++b) {
+    const double center = -2.5 + (b + 0.5) * 5.0 / kBins;
+    const double density = hist[b] / (total * 5.0 / kBins);
+    const int stars = static_cast<int>(density * 100);
+    std::printf("%+5.2f |%-35.*s| wigner %.3f\n", center, stars,
+                "***********************************",
+                numlib::wignerSemicircle(center));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string host = argv[1];
+  const auto port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+  const std::string command = argv[3];
+  try {
+    auto cl = client::NinfClient::connectTcp(host, port);
+    if (command == "list") return cmdList(*cl);
+    if (command == "describe" && argc > 4) return cmdDescribe(*cl, argv[4]);
+    if (command == "status") return cmdStatus(*cl);
+    if (command == "ping") {
+      return cmdPing(*cl, argc > 4 ? std::strtoul(argv[4], nullptr, 10)
+                                   : 1024);
+    }
+    if (command == "linpack" && argc > 4) {
+      return cmdLinpack(*cl, std::strtoul(argv[4], nullptr, 10),
+                        argc > 5 ? std::atoll(argv[5]) : 1);
+    }
+    if (command == "ep" && argc > 4) return cmdEp(*cl, std::atoi(argv[4]));
+    if (command == "dos" && argc > 5) {
+      return cmdDos(*cl, std::atoll(argv[4]), std::atoll(argv[5]));
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "ninf_call: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,104 @@
+// ninf_gen — the Ninf stub generator as a command-line tool (paper, 2.1).
+//
+// Reads a Ninf IDL module and writes a generated C++ header with server
+// stubs plus a registerGeneratedExecutables(Registry&) helper.
+//
+// Usage:
+//   ninf_gen [--header <include>] [-o <out.h>] <module.idl>
+//   ninf_gen --check <module.idl>          # parse + validate only
+//   ninf_gen --print <module.idl>          # re-emit canonical IDL
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "idl/parser.h"
+#include "idl/stub_generator.h"
+
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ninf::Error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int usage() {
+  std::cerr
+      << "usage: ninf_gen [--header <include>] [-o <out.h>] <module.idl>\n"
+      << "       ninf_gen --check <module.idl>\n"
+      << "       ninf_gen --print <module.idl>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string header;
+  std::string output;
+  std::string input;
+  bool check_only = false;
+  bool print_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--header" && i + 1 < argc) {
+      header = argv[++i];
+    } else if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--check") {
+      check_only = true;
+    } else if (arg == "--print") {
+      print_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (input.empty()) return usage();
+
+  try {
+    const auto interfaces = ninf::idl::parseModule(readFile(input));
+    if (interfaces.empty()) {
+      std::cerr << "ninf_gen: " << input << ": no Define blocks\n";
+      return 1;
+    }
+    if (check_only) {
+      std::cout << input << ": " << interfaces.size()
+                << " interface(s) OK\n";
+      for (const auto& info : interfaces) {
+        std::cout << "  " << info.name << " (" << info.params.size()
+                  << " parameters)\n";
+      }
+      return 0;
+    }
+    if (print_only) {
+      for (const auto& info : interfaces) {
+        std::cout << ninf::idl::formatInterface(info) << "\n";
+      }
+      return 0;
+    }
+    const std::string generated =
+        ninf::idl::generateRegistrationUnit(interfaces, header);
+    if (output.empty()) {
+      std::cout << generated;
+    } else {
+      std::ofstream out(output);
+      if (!out) throw ninf::Error("cannot write " + output);
+      out << generated;
+      std::cout << "ninf_gen: wrote " << output << " ("
+                << interfaces.size() << " stub(s))\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "ninf_gen: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,63 @@
+// ninf_server — a standalone Ninf computational server.
+//
+// Serves the standard benchmark executables (dmmul, linpack, dos, ep) on
+// a TCP port; pair with the ninf_call CLI or any NinfClient:
+//
+//   ninf_server [port] [--workers N] [--policy fcfs|sjf]
+//
+// Runs until EOF on stdin (or forever when stdin is closed/daemonized).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/log.h"
+#include "server/registry.h"
+#include "server/server.h"
+#include "transport/tcp_transport.h"
+
+int main(int argc, char** argv) {
+  using namespace ninf;
+  std::uint16_t port = 0;
+  server::ServerOptions options;
+  options.workers = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      options.workers = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      const std::string p = argv[++i];
+      options.policy = p == "sjf" ? server::QueuePolicy::Sjf
+                                  : server::QueuePolicy::Fcfs;
+    } else if (argv[i][0] != '-') {
+      port = static_cast<std::uint16_t>(std::atoi(argv[i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: ninfd [port] [--workers N] "
+                   "[--policy fcfs|sjf]\n");
+      return 2;
+    }
+  }
+
+  setLogLevel(LogLevel::Info);
+  server::Registry registry;
+  server::registerStandardExecutables(registry, options.workers);
+  server::NinfServer srv(registry, options);
+  auto listener = std::make_shared<transport::TcpListener>(port);
+  std::printf("ninfd: listening on 127.0.0.1:%u (%zu workers, %s)\n",
+              listener->port(), options.workers,
+              server::queuePolicyName(options.policy));
+  std::printf("exports:");
+  for (const auto& name : registry.names()) std::printf(" %s", name.c_str());
+  std::printf("\npress ctrl-d to stop\n");
+  std::fflush(stdout);
+  srv.start(listener);
+
+  // Serve until stdin closes.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+  }
+  std::printf("ninfd: shutting down (%llu calls served)\n",
+              static_cast<unsigned long long>(srv.metrics().completed()));
+  srv.stop();
+  return 0;
+}
