@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_admission.dir/ablation_admission.cpp.o"
+  "CMakeFiles/bench_ablation_admission.dir/ablation_admission.cpp.o.d"
+  "bench_ablation_admission"
+  "bench_ablation_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fpfs.dir/ablation_fpfs.cpp.o"
+  "CMakeFiles/bench_ablation_fpfs.dir/ablation_fpfs.cpp.o.d"
+  "bench_ablation_fpfs"
+  "bench_ablation_fpfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fpfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scheduler.dir/ablation_scheduler.cpp.o"
+  "CMakeFiles/bench_ablation_scheduler.dir/ablation_scheduler.cpp.o.d"
+  "bench_ablation_scheduler"
+  "bench_ablation_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

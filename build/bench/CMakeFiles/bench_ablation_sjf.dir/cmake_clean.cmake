@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sjf.dir/ablation_sjf.cpp.o"
+  "CMakeFiles/bench_ablation_sjf.dir/ablation_sjf.cpp.o.d"
+  "bench_ablation_sjf"
+  "bench_ablation_sjf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sjf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crosstraffic.dir/crosstraffic_reproducibility.cpp.o"
+  "CMakeFiles/bench_crosstraffic.dir/crosstraffic_reproducibility.cpp.o.d"
+  "bench_crosstraffic"
+  "bench_crosstraffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crosstraffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_multisite.dir/fig10_multisite.cpp.o"
+  "CMakeFiles/bench_fig10_multisite.dir/fig10_multisite.cpp.o.d"
+  "bench_fig10_multisite"
+  "bench_fig10_multisite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_multisite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_metaserver_ep.dir/fig11_metaserver_ep.cpp.o"
+  "CMakeFiles/bench_fig11_metaserver_ep.dir/fig11_metaserver_ep.cpp.o.d"
+  "bench_fig11_metaserver_ep"
+  "bench_fig11_metaserver_ep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_metaserver_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

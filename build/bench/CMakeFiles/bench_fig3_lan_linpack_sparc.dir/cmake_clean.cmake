@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_lan_linpack_sparc.dir/fig3_lan_linpack_sparc.cpp.o"
+  "CMakeFiles/bench_fig3_lan_linpack_sparc.dir/fig3_lan_linpack_sparc.cpp.o.d"
+  "bench_fig3_lan_linpack_sparc"
+  "bench_fig3_lan_linpack_sparc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_lan_linpack_sparc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

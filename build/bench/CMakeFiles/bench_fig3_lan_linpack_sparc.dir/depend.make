@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3_lan_linpack_sparc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_lan_linpack_alpha.dir/fig4_lan_linpack_alpha.cpp.o"
+  "CMakeFiles/bench_fig4_lan_linpack_alpha.dir/fig4_lan_linpack_alpha.cpp.o.d"
+  "bench_fig4_lan_linpack_alpha"
+  "bench_fig4_lan_linpack_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lan_linpack_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_lan_linpack_alpha.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_lan_surface.dir/fig7_lan_surface.cpp.o"
+  "CMakeFiles/bench_fig7_lan_surface.dir/fig7_lan_surface.cpp.o.d"
+  "bench_fig7_lan_surface"
+  "bench_fig7_lan_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_lan_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

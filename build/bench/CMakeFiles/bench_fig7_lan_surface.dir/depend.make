@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_lan_surface.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_wan_surface.dir/fig8_wan_surface.cpp.o"
+  "CMakeFiles/bench_fig8_wan_surface.dir/fig8_wan_surface.cpp.o.d"
+  "bench_fig8_wan_surface"
+  "bench_fig8_wan_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_wan_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

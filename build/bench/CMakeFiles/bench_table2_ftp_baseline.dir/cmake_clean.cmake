@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ftp_baseline.dir/table2_ftp_baseline.cpp.o"
+  "CMakeFiles/bench_table2_ftp_baseline.dir/table2_ftp_baseline.cpp.o.d"
+  "bench_table2_ftp_baseline"
+  "bench_table2_ftp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ftp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_lan_1pe.cpp" "bench/CMakeFiles/bench_table3_lan_1pe.dir/table3_lan_1pe.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_lan_1pe.dir/table3_lan_1pe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ninf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/ninf_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/ninf_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/numlib/CMakeFiles/ninf_numlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/ninf_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ninf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/ninf_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/ninf_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/metaserver/CMakeFiles/ninf_metaserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/ninf_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ninf_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ninf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/simworld/CMakeFiles/ninf_simworld.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_lan_1pe.dir/table3_lan_1pe.cpp.o"
+  "CMakeFiles/bench_table3_lan_1pe.dir/table3_lan_1pe.cpp.o.d"
+  "bench_table3_lan_1pe"
+  "bench_table3_lan_1pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_lan_1pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

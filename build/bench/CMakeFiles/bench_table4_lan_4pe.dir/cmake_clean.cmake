@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_lan_4pe.dir/table4_lan_4pe.cpp.o"
+  "CMakeFiles/bench_table4_lan_4pe.dir/table4_lan_4pe.cpp.o.d"
+  "bench_table4_lan_4pe"
+  "bench_table4_lan_4pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_lan_4pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_smp.dir/table5_smp.cpp.o"
+  "CMakeFiles/bench_table5_smp.dir/table5_smp.cpp.o.d"
+  "bench_table5_smp"
+  "bench_table5_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_ep.dir/table8_ep.cpp.o"
+  "CMakeFiles/bench_table8_ep.dir/table8_ep.cpp.o.d"
+  "bench_table8_ep"
+  "bench_table8_ep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ep_farm.dir/ep_farm.cpp.o"
+  "CMakeFiles/ep_farm.dir/ep_farm.cpp.o.d"
+  "ep_farm"
+  "ep_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ep_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

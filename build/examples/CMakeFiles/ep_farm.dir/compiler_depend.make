@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ep_farm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ep_farm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_linpack.dir/remote_linpack.cpp.o"
+  "CMakeFiles/remote_linpack.dir/remote_linpack.cpp.o.d"
+  "remote_linpack"
+  "remote_linpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_linpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for remote_linpack.
+# This may be replaced when dependencies are built.

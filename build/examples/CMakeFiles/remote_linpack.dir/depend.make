@@ -1,0 +1,2 @@
+# Empty dependencies file for remote_linpack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_study.dir/wan_study.cpp.o"
+  "CMakeFiles/wan_study.dir/wan_study.cpp.o.d"
+  "wan_study"
+  "wan_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

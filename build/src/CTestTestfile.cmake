@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xdr")
+subdirs("idl")
+subdirs("numlib")
+subdirs("protocol")
+subdirs("transport")
+subdirs("server")
+subdirs("client")
+subdirs("capi")
+subdirs("metaserver")
+subdirs("simcore")
+subdirs("simnet")
+subdirs("machine")
+subdirs("simworld")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capi/ninf_capi.cpp" "src/capi/CMakeFiles/ninf_capi.dir/ninf_capi.cpp.o" "gcc" "src/capi/CMakeFiles/ninf_capi.dir/ninf_capi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/client/CMakeFiles/ninf_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/ninf_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/ninf_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/ninf_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ninf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ninf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_capi.dir/ninf_capi.cpp.o"
+  "CMakeFiles/ninf_capi.dir/ninf_capi.cpp.o.d"
+  "libninf_capi.a"
+  "libninf_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_client.dir/async.cpp.o"
+  "CMakeFiles/ninf_client.dir/async.cpp.o.d"
+  "CMakeFiles/ninf_client.dir/client.cpp.o"
+  "CMakeFiles/ninf_client.dir/client.cpp.o.d"
+  "CMakeFiles/ninf_client.dir/transaction.cpp.o"
+  "CMakeFiles/ninf_client.dir/transaction.cpp.o.d"
+  "libninf_client.a"
+  "libninf_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

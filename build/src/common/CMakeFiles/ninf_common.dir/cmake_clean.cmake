@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_common.dir/log.cpp.o"
+  "CMakeFiles/ninf_common.dir/log.cpp.o.d"
+  "CMakeFiles/ninf_common.dir/stats.cpp.o"
+  "CMakeFiles/ninf_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ninf_common.dir/table.cpp.o"
+  "CMakeFiles/ninf_common.dir/table.cpp.o.d"
+  "CMakeFiles/ninf_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/ninf_common.dir/thread_pool.cpp.o.d"
+  "libninf_common.a"
+  "libninf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

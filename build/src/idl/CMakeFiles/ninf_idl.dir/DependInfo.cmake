@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idl/expr.cpp" "src/idl/CMakeFiles/ninf_idl.dir/expr.cpp.o" "gcc" "src/idl/CMakeFiles/ninf_idl.dir/expr.cpp.o.d"
+  "/root/repo/src/idl/interface_info.cpp" "src/idl/CMakeFiles/ninf_idl.dir/interface_info.cpp.o" "gcc" "src/idl/CMakeFiles/ninf_idl.dir/interface_info.cpp.o.d"
+  "/root/repo/src/idl/lexer.cpp" "src/idl/CMakeFiles/ninf_idl.dir/lexer.cpp.o" "gcc" "src/idl/CMakeFiles/ninf_idl.dir/lexer.cpp.o.d"
+  "/root/repo/src/idl/parser.cpp" "src/idl/CMakeFiles/ninf_idl.dir/parser.cpp.o" "gcc" "src/idl/CMakeFiles/ninf_idl.dir/parser.cpp.o.d"
+  "/root/repo/src/idl/stub_generator.cpp" "src/idl/CMakeFiles/ninf_idl.dir/stub_generator.cpp.o" "gcc" "src/idl/CMakeFiles/ninf_idl.dir/stub_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ninf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/ninf_xdr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

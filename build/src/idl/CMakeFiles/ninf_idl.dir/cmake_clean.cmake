@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_idl.dir/expr.cpp.o"
+  "CMakeFiles/ninf_idl.dir/expr.cpp.o.d"
+  "CMakeFiles/ninf_idl.dir/interface_info.cpp.o"
+  "CMakeFiles/ninf_idl.dir/interface_info.cpp.o.d"
+  "CMakeFiles/ninf_idl.dir/lexer.cpp.o"
+  "CMakeFiles/ninf_idl.dir/lexer.cpp.o.d"
+  "CMakeFiles/ninf_idl.dir/parser.cpp.o"
+  "CMakeFiles/ninf_idl.dir/parser.cpp.o.d"
+  "CMakeFiles/ninf_idl.dir/stub_generator.cpp.o"
+  "CMakeFiles/ninf_idl.dir/stub_generator.cpp.o.d"
+  "libninf_idl.a"
+  "libninf_idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libninf_idl.a"
+)

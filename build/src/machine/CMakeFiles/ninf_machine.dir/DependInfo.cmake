@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/calibration.cpp" "src/machine/CMakeFiles/ninf_machine.dir/calibration.cpp.o" "gcc" "src/machine/CMakeFiles/ninf_machine.dir/calibration.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/machine/CMakeFiles/ninf_machine.dir/machine.cpp.o" "gcc" "src/machine/CMakeFiles/ninf_machine.dir/machine.cpp.o.d"
+  "/root/repo/src/machine/pe_scheduler.cpp" "src/machine/CMakeFiles/ninf_machine.dir/pe_scheduler.cpp.o" "gcc" "src/machine/CMakeFiles/ninf_machine.dir/pe_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ninf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/ninf_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

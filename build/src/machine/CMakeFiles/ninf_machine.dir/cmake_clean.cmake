@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_machine.dir/calibration.cpp.o"
+  "CMakeFiles/ninf_machine.dir/calibration.cpp.o.d"
+  "CMakeFiles/ninf_machine.dir/machine.cpp.o"
+  "CMakeFiles/ninf_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/ninf_machine.dir/pe_scheduler.cpp.o"
+  "CMakeFiles/ninf_machine.dir/pe_scheduler.cpp.o.d"
+  "libninf_machine.a"
+  "libninf_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

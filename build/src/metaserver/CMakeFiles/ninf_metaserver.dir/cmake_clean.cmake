@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_metaserver.dir/metaserver.cpp.o"
+  "CMakeFiles/ninf_metaserver.dir/metaserver.cpp.o.d"
+  "libninf_metaserver.a"
+  "libninf_metaserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_metaserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libninf_metaserver.a"
+)

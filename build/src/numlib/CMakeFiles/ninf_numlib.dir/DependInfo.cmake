@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numlib/blas.cpp" "src/numlib/CMakeFiles/ninf_numlib.dir/blas.cpp.o" "gcc" "src/numlib/CMakeFiles/ninf_numlib.dir/blas.cpp.o.d"
+  "/root/repo/src/numlib/dos.cpp" "src/numlib/CMakeFiles/ninf_numlib.dir/dos.cpp.o" "gcc" "src/numlib/CMakeFiles/ninf_numlib.dir/dos.cpp.o.d"
+  "/root/repo/src/numlib/eigen.cpp" "src/numlib/CMakeFiles/ninf_numlib.dir/eigen.cpp.o" "gcc" "src/numlib/CMakeFiles/ninf_numlib.dir/eigen.cpp.o.d"
+  "/root/repo/src/numlib/ep.cpp" "src/numlib/CMakeFiles/ninf_numlib.dir/ep.cpp.o" "gcc" "src/numlib/CMakeFiles/ninf_numlib.dir/ep.cpp.o.d"
+  "/root/repo/src/numlib/linpack_driver.cpp" "src/numlib/CMakeFiles/ninf_numlib.dir/linpack_driver.cpp.o" "gcc" "src/numlib/CMakeFiles/ninf_numlib.dir/linpack_driver.cpp.o.d"
+  "/root/repo/src/numlib/lu.cpp" "src/numlib/CMakeFiles/ninf_numlib.dir/lu.cpp.o" "gcc" "src/numlib/CMakeFiles/ninf_numlib.dir/lu.cpp.o.d"
+  "/root/repo/src/numlib/matrix.cpp" "src/numlib/CMakeFiles/ninf_numlib.dir/matrix.cpp.o" "gcc" "src/numlib/CMakeFiles/ninf_numlib.dir/matrix.cpp.o.d"
+  "/root/repo/src/numlib/mmul.cpp" "src/numlib/CMakeFiles/ninf_numlib.dir/mmul.cpp.o" "gcc" "src/numlib/CMakeFiles/ninf_numlib.dir/mmul.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ninf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_numlib.dir/blas.cpp.o"
+  "CMakeFiles/ninf_numlib.dir/blas.cpp.o.d"
+  "CMakeFiles/ninf_numlib.dir/dos.cpp.o"
+  "CMakeFiles/ninf_numlib.dir/dos.cpp.o.d"
+  "CMakeFiles/ninf_numlib.dir/eigen.cpp.o"
+  "CMakeFiles/ninf_numlib.dir/eigen.cpp.o.d"
+  "CMakeFiles/ninf_numlib.dir/ep.cpp.o"
+  "CMakeFiles/ninf_numlib.dir/ep.cpp.o.d"
+  "CMakeFiles/ninf_numlib.dir/linpack_driver.cpp.o"
+  "CMakeFiles/ninf_numlib.dir/linpack_driver.cpp.o.d"
+  "CMakeFiles/ninf_numlib.dir/lu.cpp.o"
+  "CMakeFiles/ninf_numlib.dir/lu.cpp.o.d"
+  "CMakeFiles/ninf_numlib.dir/matrix.cpp.o"
+  "CMakeFiles/ninf_numlib.dir/matrix.cpp.o.d"
+  "CMakeFiles/ninf_numlib.dir/mmul.cpp.o"
+  "CMakeFiles/ninf_numlib.dir/mmul.cpp.o.d"
+  "libninf_numlib.a"
+  "libninf_numlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_numlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_protocol.dir/call_marshal.cpp.o"
+  "CMakeFiles/ninf_protocol.dir/call_marshal.cpp.o.d"
+  "CMakeFiles/ninf_protocol.dir/message.cpp.o"
+  "CMakeFiles/ninf_protocol.dir/message.cpp.o.d"
+  "libninf_protocol.a"
+  "libninf_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/job_queue.cpp" "src/server/CMakeFiles/ninf_server.dir/job_queue.cpp.o" "gcc" "src/server/CMakeFiles/ninf_server.dir/job_queue.cpp.o.d"
+  "/root/repo/src/server/metrics.cpp" "src/server/CMakeFiles/ninf_server.dir/metrics.cpp.o" "gcc" "src/server/CMakeFiles/ninf_server.dir/metrics.cpp.o.d"
+  "/root/repo/src/server/registry.cpp" "src/server/CMakeFiles/ninf_server.dir/registry.cpp.o" "gcc" "src/server/CMakeFiles/ninf_server.dir/registry.cpp.o.d"
+  "/root/repo/src/server/server.cpp" "src/server/CMakeFiles/ninf_server.dir/server.cpp.o" "gcc" "src/server/CMakeFiles/ninf_server.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ninf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/ninf_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/ninf_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/ninf_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ninf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/numlib/CMakeFiles/ninf_numlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_server.dir/job_queue.cpp.o"
+  "CMakeFiles/ninf_server.dir/job_queue.cpp.o.d"
+  "CMakeFiles/ninf_server.dir/metrics.cpp.o"
+  "CMakeFiles/ninf_server.dir/metrics.cpp.o.d"
+  "CMakeFiles/ninf_server.dir/registry.cpp.o"
+  "CMakeFiles/ninf_server.dir/registry.cpp.o.d"
+  "CMakeFiles/ninf_server.dir/server.cpp.o"
+  "CMakeFiles/ninf_server.dir/server.cpp.o.d"
+  "libninf_server.a"
+  "libninf_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_simcore.dir/simulation.cpp.o"
+  "CMakeFiles/ninf_simcore.dir/simulation.cpp.o.d"
+  "libninf_simcore.a"
+  "libninf_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

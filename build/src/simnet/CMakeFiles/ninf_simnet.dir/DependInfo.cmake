@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/cross_traffic.cpp" "src/simnet/CMakeFiles/ninf_simnet.dir/cross_traffic.cpp.o" "gcc" "src/simnet/CMakeFiles/ninf_simnet.dir/cross_traffic.cpp.o.d"
+  "/root/repo/src/simnet/network.cpp" "src/simnet/CMakeFiles/ninf_simnet.dir/network.cpp.o" "gcc" "src/simnet/CMakeFiles/ninf_simnet.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ninf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/ninf_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_simnet.dir/cross_traffic.cpp.o"
+  "CMakeFiles/ninf_simnet.dir/cross_traffic.cpp.o.d"
+  "CMakeFiles/ninf_simnet.dir/network.cpp.o"
+  "CMakeFiles/ninf_simnet.dir/network.cpp.o.d"
+  "libninf_simnet.a"
+  "libninf_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

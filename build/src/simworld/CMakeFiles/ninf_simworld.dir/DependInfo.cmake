@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simworld/metaserver_sim.cpp" "src/simworld/CMakeFiles/ninf_simworld.dir/metaserver_sim.cpp.o" "gcc" "src/simworld/CMakeFiles/ninf_simworld.dir/metaserver_sim.cpp.o.d"
+  "/root/repo/src/simworld/scenario.cpp" "src/simworld/CMakeFiles/ninf_simworld.dir/scenario.cpp.o" "gcc" "src/simworld/CMakeFiles/ninf_simworld.dir/scenario.cpp.o.d"
+  "/root/repo/src/simworld/scheduler_ablation.cpp" "src/simworld/CMakeFiles/ninf_simworld.dir/scheduler_ablation.cpp.o" "gcc" "src/simworld/CMakeFiles/ninf_simworld.dir/scheduler_ablation.cpp.o.d"
+  "/root/repo/src/simworld/sim_server.cpp" "src/simworld/CMakeFiles/ninf_simworld.dir/sim_server.cpp.o" "gcc" "src/simworld/CMakeFiles/ninf_simworld.dir/sim_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ninf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/ninf_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ninf_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ninf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/numlib/CMakeFiles/ninf_numlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_simworld.dir/metaserver_sim.cpp.o"
+  "CMakeFiles/ninf_simworld.dir/metaserver_sim.cpp.o.d"
+  "CMakeFiles/ninf_simworld.dir/scenario.cpp.o"
+  "CMakeFiles/ninf_simworld.dir/scenario.cpp.o.d"
+  "CMakeFiles/ninf_simworld.dir/scheduler_ablation.cpp.o"
+  "CMakeFiles/ninf_simworld.dir/scheduler_ablation.cpp.o.d"
+  "CMakeFiles/ninf_simworld.dir/sim_server.cpp.o"
+  "CMakeFiles/ninf_simworld.dir/sim_server.cpp.o.d"
+  "libninf_simworld.a"
+  "libninf_simworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_simworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ninf_simworld.
+# This may be replaced when dependencies are built.

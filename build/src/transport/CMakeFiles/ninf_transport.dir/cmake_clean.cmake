@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_transport.dir/inproc_transport.cpp.o"
+  "CMakeFiles/ninf_transport.dir/inproc_transport.cpp.o.d"
+  "CMakeFiles/ninf_transport.dir/tcp_transport.cpp.o"
+  "CMakeFiles/ninf_transport.dir/tcp_transport.cpp.o.d"
+  "libninf_transport.a"
+  "libninf_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

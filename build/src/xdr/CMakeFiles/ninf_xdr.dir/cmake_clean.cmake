@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_xdr.dir/xdr.cpp.o"
+  "CMakeFiles/ninf_xdr.dir/xdr.cpp.o.d"
+  "libninf_xdr.a"
+  "libninf_xdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_xdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

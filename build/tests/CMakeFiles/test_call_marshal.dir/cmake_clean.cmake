@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_call_marshal.dir/test_call_marshal.cpp.o"
+  "CMakeFiles/test_call_marshal.dir/test_call_marshal.cpp.o.d"
+  "test_call_marshal"
+  "test_call_marshal.pdb"
+  "test_call_marshal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_call_marshal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

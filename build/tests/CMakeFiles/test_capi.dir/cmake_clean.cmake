@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capi.dir/test_capi.cpp.o"
+  "CMakeFiles/test_capi.dir/test_capi.cpp.o.d"
+  "test_capi"
+  "test_capi.pdb"
+  "test_capi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_traffic.dir/test_cross_traffic.cpp.o"
+  "CMakeFiles/test_cross_traffic.dir/test_cross_traffic.cpp.o.d"
+  "test_cross_traffic"
+  "test_cross_traffic.pdb"
+  "test_cross_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eigen_dos.dir/test_eigen_dos.cpp.o"
+  "CMakeFiles/test_eigen_dos.dir/test_eigen_dos.cpp.o.d"
+  "test_eigen_dos"
+  "test_eigen_dos.pdb"
+  "test_eigen_dos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eigen_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ep.dir/test_ep.cpp.o"
+  "CMakeFiles/test_ep.dir/test_ep.cpp.o.d"
+  "test_ep"
+  "test_ep.pdb"
+  "test_ep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

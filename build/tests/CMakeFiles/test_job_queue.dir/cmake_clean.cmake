@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_job_queue.dir/test_job_queue.cpp.o"
+  "CMakeFiles/test_job_queue.dir/test_job_queue.cpp.o.d"
+  "test_job_queue"
+  "test_job_queue.pdb"
+  "test_job_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_job_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

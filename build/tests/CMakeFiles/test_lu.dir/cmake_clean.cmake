@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lu.dir/test_lu.cpp.o"
+  "CMakeFiles/test_lu.dir/test_lu.cpp.o.d"
+  "test_lu"
+  "test_lu.pdb"
+  "test_lu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

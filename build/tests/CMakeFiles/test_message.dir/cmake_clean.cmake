@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_message.dir/test_message.cpp.o"
+  "CMakeFiles/test_message.dir/test_message.cpp.o.d"
+  "test_message"
+  "test_message.pdb"
+  "test_message[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metaserver.dir/test_metaserver.cpp.o"
+  "CMakeFiles/test_metaserver.dir/test_metaserver.cpp.o.d"
+  "test_metaserver"
+  "test_metaserver.pdb"
+  "test_metaserver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metaserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

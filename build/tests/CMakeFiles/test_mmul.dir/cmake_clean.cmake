@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmul.dir/test_mmul.cpp.o"
+  "CMakeFiles/test_mmul.dir/test_mmul.cpp.o.d"
+  "test_mmul"
+  "test_mmul.pdb"
+  "test_mmul[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

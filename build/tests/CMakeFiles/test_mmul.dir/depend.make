@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mmul.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_roundtrip.dir/test_property_roundtrip.cpp.o"
+  "CMakeFiles/test_property_roundtrip.dir/test_property_roundtrip.cpp.o.d"
+  "test_property_roundtrip"
+  "test_property_roundtrip.pdb"
+  "test_property_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sample_idl.dir/test_sample_idl.cpp.o"
+  "CMakeFiles/test_sample_idl.dir/test_sample_idl.cpp.o.d"
+  "test_sample_idl"
+  "test_sample_idl.pdb"
+  "test_sample_idl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sample_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sample_idl.
+# This may be replaced when dependencies are built.

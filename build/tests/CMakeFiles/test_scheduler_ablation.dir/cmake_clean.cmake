@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_ablation.dir/test_scheduler_ablation.cpp.o"
+  "CMakeFiles/test_scheduler_ablation.dir/test_scheduler_ablation.cpp.o.d"
+  "test_scheduler_ablation"
+  "test_scheduler_ablation.pdb"
+  "test_scheduler_ablation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

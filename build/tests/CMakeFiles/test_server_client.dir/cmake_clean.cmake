@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_client.dir/test_server_client.cpp.o"
+  "CMakeFiles/test_server_client.dir/test_server_client.cpp.o.d"
+  "test_server_client"
+  "test_server_client.pdb"
+  "test_server_client[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

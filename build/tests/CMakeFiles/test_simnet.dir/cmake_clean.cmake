@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet.dir/test_simnet.cpp.o"
+  "CMakeFiles/test_simnet.dir/test_simnet.cpp.o.d"
+  "test_simnet"
+  "test_simnet.pdb"
+  "test_simnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

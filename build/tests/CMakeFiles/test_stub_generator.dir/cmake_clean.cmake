@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stub_generator.dir/test_stub_generator.cpp.o"
+  "CMakeFiles/test_stub_generator.dir/test_stub_generator.cpp.o.d"
+  "test_stub_generator"
+  "test_stub_generator.pdb"
+  "test_stub_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stub_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_call.dir/ninf_call.cpp.o"
+  "CMakeFiles/ninf_call.dir/ninf_call.cpp.o.d"
+  "ninf_call"
+  "ninf_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

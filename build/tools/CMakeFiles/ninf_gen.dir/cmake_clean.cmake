@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninf_gen.dir/ninf_gen.cpp.o"
+  "CMakeFiles/ninf_gen.dir/ninf_gen.cpp.o.d"
+  "ninf_gen"
+  "ninf_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninf_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

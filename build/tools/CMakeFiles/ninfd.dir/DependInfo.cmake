@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/ninf_server_main.cpp" "tools/CMakeFiles/ninfd.dir/ninf_server_main.cpp.o" "gcc" "tools/CMakeFiles/ninfd.dir/ninf_server_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ninf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/ninf_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/ninf_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/numlib/CMakeFiles/ninf_numlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/ninf_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ninf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/ninf_server.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninfd.dir/ninf_server_main.cpp.o"
+  "CMakeFiles/ninfd.dir/ninf_server_main.cpp.o.d"
+  "ninfd"
+  "ninfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
