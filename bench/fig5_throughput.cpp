@@ -5,12 +5,14 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "obs/trace_session.h"
 #include "simworld/scenario.h"
 
 using namespace ninf;
 using namespace ninf::simworld;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::TraceSession trace(obs::TraceSession::flagFromArgs(argc, argv));
   std::printf(
       "Figure 5: Ninf_call communication throughput [MB/s] vs data size\n\n");
   struct Pair {

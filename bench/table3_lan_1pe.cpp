@@ -7,10 +7,12 @@
 #include <cstring>
 
 #include "multi_client_table.h"
+#include "obs/trace_session.h"
 
 using namespace ninf;
 
 int main(int argc, char** argv) {
+  obs::TraceSession trace(obs::TraceSession::flagFromArgs(argc, argv));
   simworld::MultiClientConfig cfg;
   cfg.mode = simworld::ExecMode::TaskParallel;
   cfg.topology = simworld::Topology::Lan;

@@ -1,11 +1,17 @@
 #include "client/async.h"
 
+#include "obs/trace.h"
+
 namespace ninf::client {
 
 std::future<CallResult> AsyncCaller::callAsync(
     std::string name, std::vector<protocol::ArgValue> args) {
   auto task = std::make_shared<std::packaged_task<CallResult()>>(
       [this, name = std::move(name), args = std::move(args)] {
+        // Root span on the dispatch thread; the dispatcher's own call
+        // span (and everything under it) nests inside.
+        obs::Span root("async-call");
+        root.setDetail(name);
         return dispatcher_.dispatch(name, args);
       });
   std::future<CallResult> result = task->get_future();

@@ -1,8 +1,11 @@
 #include "client/client.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "transport/tcp_transport.h"
 #include "xdr/xdr.h"
 
@@ -27,6 +30,10 @@ NinfClient::NinfClient(std::unique_ptr<transport::Stream> stream)
 
 std::unique_ptr<NinfClient> NinfClient::connectTcp(const std::string& host,
                                                    std::uint16_t port) {
+  obs::Span span(obs::phase::kConnect);
+  span.setDetail(host + ":" + std::to_string(port));
+  static obs::Counter& connects = obs::counter("client.connects");
+  connects.add();
   return std::make_unique<NinfClient>(transport::tcpConnect(host, port));
 }
 
@@ -62,25 +69,102 @@ const idl::InterfaceInfo& NinfClient::queryInterface(const std::string& name) {
   return interface_cache_.emplace(name, std::move(info)).first->second;
 }
 
+namespace {
+
+/// Reconstruct the server-side phases on the client's clock.  The reply
+/// carries the server-relative enqueue/dequeue/complete timestamps, so
+/// the window between "request fully sent" and "reply fully received"
+/// decomposes into queue-wait, compute, and result transfer (recv) — the
+/// columns of the paper's Tables 3 and 6.  Durations come from the
+/// server clock (marked in the span detail); placement on the client
+/// timeline is sequential within the window, clamped so a skewed server
+/// clock can never produce spans that overrun the observed wall time.
+void emitServerDerivedPhases(const obs::Span& root, const CallResult& result,
+                             double sent_us, double recv_done_us,
+                             std::int64_t reply_bytes) {
+  if (!root.active()) return;
+  const double window_us = std::max(0.0, recv_done_us - sent_us);
+  double wait_us = std::max(0.0, result.server.waitTime()) * 1e6;
+  double comp_us =
+      std::max(0.0, result.server.complete - result.server.dequeue) * 1e6;
+  if (wait_us + comp_us > window_us && wait_us + comp_us > 0) {
+    const double scale = window_us / (wait_us + comp_us);
+    wait_us *= scale;
+    comp_us *= scale;
+  }
+  obs::SpanRecord rec;
+  rec.trace_id = root.traceId();
+  rec.parent_id = root.id();
+  rec.detail = "server-clock";
+
+  rec.name = obs::phase::kQueueWait;
+  rec.start_us = sent_us;
+  rec.dur_us = wait_us;
+  obs::emitSpan(rec);
+
+  rec.span_id = 0;  // fresh id for each emitted span
+  rec.name = obs::phase::kCompute;
+  rec.start_us = sent_us + wait_us;
+  rec.dur_us = comp_us;
+  obs::emitSpan(rec);
+
+  rec.span_id = 0;
+  rec.name = obs::phase::kRecv;
+  rec.start_us = sent_us + wait_us + comp_us;
+  rec.dur_us = window_us - wait_us - comp_us;
+  rec.detail = "result transfer (window minus server time)";
+  rec.bytes = reply_bytes;
+  obs::emitSpan(rec);
+}
+
+}  // namespace
+
 CallResult NinfClient::call(const std::string& name,
                             std::span<const ArgValue> args) {
   const idl::InterfaceInfo& info = queryInterface(name);
+
+  obs::Span root(obs::phase::kCall);
+  root.setDetail(name);
+
   const auto request = protocol::encodeCallRequest(info, args);
 
   CallResult result;
   result.bytes_sent = static_cast<std::int64_t>(request.size());
   const double start = nowSeconds();
-  const Message reply =
-      roundTrip(MessageType::CallRequest, request, MessageType::CallReply);
+  {
+    obs::Span send(obs::phase::kSend,
+                   static_cast<std::int64_t>(request.size()));
+    protocol::sendMessage(*stream_, MessageType::CallRequest, request);
+  }
+  const double sent_us = obs::Tracer::nowMicros();
+  const Message reply = protocol::recvMessage(*stream_);
+  const double recv_done_us = obs::Tracer::nowMicros();
+  if (reply.type != MessageType::CallReply) {
+    throw ProtocolError(
+        "expected message type " +
+        std::to_string(static_cast<unsigned>(MessageType::CallReply)) +
+        ", got " + std::to_string(static_cast<unsigned>(reply.type)));
+  }
   result.elapsed = nowSeconds() - start;
   result.bytes_received = static_cast<std::int64_t>(reply.payload.size());
   result.server = protocol::decodeCallReply(info, reply.payload, args);
+
+  emitServerDerivedPhases(root, result, sent_us, recv_done_us,
+                          result.bytes_received);
+  static obs::Counter& calls = obs::counter("client.calls");
+  static obs::Histogram& call_s = obs::histogram("client.call_seconds");
+  static obs::Histogram& wait_s = obs::histogram("client.queue_wait_seconds");
+  calls.add();
+  call_s.observe(result.elapsed);
+  wait_s.observe(std::max(0.0, result.server.waitTime()));
   return result;
 }
 
 JobHandle NinfClient::submit(const std::string& name,
                              std::span<const ArgValue> args) {
   const idl::InterfaceInfo& info = queryInterface(name);
+  obs::Span root("submit");
+  root.setDetail(name);
   const auto request = protocol::encodeCallRequest(info, args);
   const Message ack =
       roundTrip(MessageType::SubmitRequest, request, MessageType::SubmitAck);
@@ -91,6 +175,8 @@ JobHandle NinfClient::submit(const std::string& name,
 std::optional<CallResult> NinfClient::fetch(const JobHandle& handle,
                                             std::span<const ArgValue> args) {
   const idl::InterfaceInfo& info = queryInterface(handle.name);
+  obs::Span root("fetch");
+  root.setDetail(handle.name);
   xdr::Encoder enc;
   enc.putU64(handle.id);
   const double start = nowSeconds();

@@ -4,6 +4,8 @@
 // table output stays clean.  Thread-safe (one mutex around the sink).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -18,6 +20,9 @@ void emit(LogLevel level, const std::string& message);
 /// Global threshold; messages below it are discarded.
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
+
+/// True when messages at `level` would be emitted.
+inline bool logEnabled(LogLevel level) { return level >= logLevel(); }
 
 /// Build-and-emit helper: NINF_LOG(Info) << "connected to " << host;
 class LogLine {
@@ -38,9 +43,31 @@ class LogLine {
   std::ostringstream stream_;
 };
 
-#define NINF_LOG(level)                                 \
-  if (::ninf::LogLevel::level < ::ninf::logLevel()) {   \
-  } else                                                \
-    ::ninf::LogLine(::ninf::LogLevel::level)
+// Statement-shaped logging macro.  The for-loop wrapper (a) makes the
+// whole construct one statement, so an unbraced `if (x) NINF_LOG(...)
+// << ...; else ...` binds its else to `if (x)` and not to a hidden if
+// inside the macro, and (b) skips the loop body entirely below the
+// threshold, so streamed arguments are never evaluated when discarded.
+#define NINF_LOG(level)                                               \
+  for (bool ninf_log_once =                                           \
+           ::ninf::logEnabled(::ninf::LogLevel::level);               \
+       ninf_log_once; ninf_log_once = false)                          \
+  ::ninf::LogLine(::ninf::LogLevel::level)
+
+// Like NINF_LOG but emits only every n-th time this call site is
+// reached (1st, n+1st, ...), for per-call paths that would otherwise
+// flood the sink.  The counter is per call site and thread-safe.
+#define NINF_LOG_EVERY_N(level, n)                                    \
+  for (bool ninf_log_once =                                           \
+           []() -> bool {                                             \
+             static std::atomic<std::uint64_t> ninf_log_count{0};     \
+             return ninf_log_count.fetch_add(                         \
+                        1, std::memory_order_relaxed) %               \
+                        static_cast<std::uint64_t>(n) ==              \
+                    0;                                                \
+           }() &&                                                     \
+           ::ninf::logEnabled(::ninf::LogLevel::level);               \
+       ninf_log_once; ninf_log_once = false)                          \
+  ::ninf::LogLine(::ninf::LogLevel::level)
 
 }  // namespace ninf

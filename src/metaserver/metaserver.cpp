@@ -5,6 +5,8 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ninf::metaserver {
 
@@ -161,12 +163,22 @@ client::CallResult Metaserver::dispatch(
     std::string chosen;
     std::size_t idx;
     {
+      // The decision itself is the interesting latency: least-load and
+      // bandwidth-aware policies poll every candidate server inline.
+      obs::Span schedule("schedule");
       std::lock_guard<std::mutex> lock(mutex_);
       idx = pickIndex(name, args, failed);
       ++servers_[idx].dispatched;
       factory = servers_[idx].entry.factory;
       chosen = servers_[idx].entry.name;
+      schedule.setDetail(std::string(schedulingPolicyName(policy_)) + " -> " +
+                         chosen);
+      static obs::Histogram& observed_load =
+          obs::histogram("metaserver.observed_load");
+      observed_load.observe(servers_[idx].last_status.load_average);
     }
+    static obs::Counter& dispatched = obs::counter("metaserver.dispatched");
+    dispatched.add();
     NINF_LOG(Debug) << "dispatching " << name << " to " << chosen;
     // Execute outside the lock: a call occupies its connection for its
     // whole duration and other dispatches must proceed concurrently.
@@ -175,6 +187,8 @@ client::CallResult Metaserver::dispatch(
       return connection->call(name, args);
     } catch (const TransportError& e) {
       // Server crashed or unreachable: fail over (paper, section 2.4).
+      static obs::Counter& failovers = obs::counter("metaserver.failovers");
+      failovers.add();
       if (attempt >= max_failovers_) throw;
       NINF_LOG(Warn) << "failover from " << chosen << ": " << e.what();
       failed.push_back(idx);

@@ -1,0 +1,448 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace ninf::obs {
+
+// ----------------------------------------------------------- JSON parser
+
+namespace json {
+
+const Value* Value::find(std::string_view key) const {
+  if (type != Type::Object) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse() {
+    Value v = parseValue();
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw Error("json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parseValue() {
+    skipWs();
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': {
+        Value v;
+        v.type = Value::Type::String;
+        v.string = parseString();
+        return v;
+      }
+      case 't':
+        if (consumeLiteral("true")) {
+          Value v;
+          v.type = Value::Type::Bool;
+          v.boolean = true;
+          return v;
+        }
+        fail("bad literal");
+      case 'f':
+        if (consumeLiteral("false")) {
+          Value v;
+          v.type = Value::Type::Bool;
+          return v;
+        }
+        fail("bad literal");
+      case 'n':
+        if (consumeLiteral("null")) return Value{};
+        fail("bad literal");
+      default: return parseNumber();
+    }
+  }
+
+  Value parseObject() {
+    Value v;
+    v.type = Value::Type::Object;
+    expect('{');
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skipWs();
+      std::string key = parseString();
+      skipWs();
+      expect(':');
+      v.object.emplace_back(std::move(key), parseValue());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parseArray() {
+    Value v;
+    v.type = Value::Type::Array;
+    expect('[');
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parseValue());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Minimal UTF-8 encoding (no surrogate-pair recombination;
+          // our writer never emits non-BMP text).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Value parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.type = Value::Type::Number;
+    try {
+      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace json
+
+// -------------------------------------------------------- chrome writer
+
+namespace {
+
+std::string escapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string chromeTraceJson(const std::vector<SpanRecord>& spans) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  // Process-name metadata rows so the lanes are labelled in the viewer.
+  os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << kLaneReal
+     << ", \"args\": {\"name\": \"ninf (real)\"}},\n";
+  os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << kLaneSim
+     << ", \"args\": {\"name\": \"ninf (simulated)\"}}";
+  for (const SpanRecord& s : spans) {
+    os << ",\n  {\"name\": \"" << escapeJson(s.name) << "\", \"ph\": \"X\""
+       << ", \"ts\": " << s.start_us << ", \"dur\": " << s.dur_us
+       << ", \"pid\": " << s.lane << ", \"tid\": " << s.tid
+       << ", \"args\": {\"trace\": " << s.trace_id
+       << ", \"span\": " << s.span_id << ", \"parent\": " << s.parent_id;
+    if (s.bytes >= 0) os << ", \"bytes\": " << s.bytes;
+    if (!s.detail.empty()) {
+      os << ", \"detail\": \"" << escapeJson(s.detail) << "\"";
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::vector<SpanRecord> parseChromeTrace(std::string_view text) {
+  const json::Value root = json::parse(text);
+  const json::Value* events = root.find("traceEvents");
+  if (events == nullptr && root.type == json::Value::Type::Array) {
+    events = &root;  // bare event-array form is also legal chrome trace
+  }
+  if (events == nullptr || events->type != json::Value::Type::Array) {
+    throw Error("json: no traceEvents array");
+  }
+  std::vector<SpanRecord> spans;
+  for (const json::Value& ev : events->array) {
+    const json::Value* ph = ev.find("ph");
+    if (ph == nullptr || ph->string != "X") continue;
+    SpanRecord rec;
+    const json::Value* name = ev.find("name");
+    if (name != nullptr) rec.name = name->string;
+    if (const auto* v = ev.find("ts")) rec.start_us = v->numberOr(0);
+    if (const auto* v = ev.find("dur")) rec.dur_us = v->numberOr(0);
+    if (const auto* v = ev.find("pid")) {
+      rec.lane = static_cast<std::uint32_t>(v->numberOr(kLaneReal));
+    }
+    if (const auto* v = ev.find("tid")) {
+      rec.tid = static_cast<std::uint32_t>(v->numberOr(0));
+    }
+    if (const json::Value* args = ev.find("args")) {
+      if (const auto* v = args->find("trace")) {
+        rec.trace_id = static_cast<std::uint64_t>(v->numberOr(0));
+      }
+      if (const auto* v = args->find("span")) {
+        rec.span_id = static_cast<std::uint64_t>(v->numberOr(0));
+      }
+      if (const auto* v = args->find("parent")) {
+        rec.parent_id = static_cast<std::uint64_t>(v->numberOr(0));
+      }
+      if (const auto* v = args->find("bytes")) {
+        rec.bytes = static_cast<std::int64_t>(v->numberOr(-1));
+      }
+      if (const auto* v = args->find("detail")) rec.detail = v->string;
+    }
+    spans.push_back(std::move(rec));
+  }
+  return spans;
+}
+
+// -------------------------------------------------------- phase summary
+
+namespace {
+
+/// Canonical display order: the life of a Ninf_call, then the server's
+/// ground-truth phases, then transport / misc detail.
+int phaseRank(const std::string& name) {
+  static const std::map<std::string, int> ranks = {
+      {phase::kCall, 0},
+      {phase::kConnect, 1},
+      {phase::kMarshalArgs, 2},
+      {phase::kSend, 3},
+      {phase::kQueueWait, 4},
+      {phase::kCompute, 5},
+      {phase::kRecv, 6},
+      {phase::kUnmarshalResult, 7},
+      {phase::kServerUnmarshalArgs, 8},
+      {phase::kServerQueueWait, 9},
+      {phase::kServerCompute, 10},
+      {phase::kServerMarshalResult, 11},
+  };
+  const auto it = ranks.find(name);
+  return it != ranks.end() ? it->second : 100;
+}
+
+double sortedPercentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  std::size_t idx = rank <= 1.0
+                        ? 0
+                        : static_cast<std::size_t>(std::ceil(rank)) - 1;
+  idx = std::min(idx, sorted.size() - 1);
+  return sorted[idx];
+}
+
+}  // namespace
+
+std::vector<PhaseStat> phaseSummary(const std::vector<SpanRecord>& spans,
+                                    std::uint32_t lane) {
+  std::map<std::string, std::vector<double>> durations;
+  std::map<std::string, std::int64_t> bytes;
+  for (const SpanRecord& s : spans) {
+    if (lane != 0 && s.lane != lane) continue;
+    durations[s.name].push_back(s.dur_us / 1e3);
+    if (s.bytes >= 0) bytes[s.name] += s.bytes;
+  }
+  std::vector<PhaseStat> stats;
+  stats.reserve(durations.size());
+  for (auto& [name, ms] : durations) {
+    std::sort(ms.begin(), ms.end());
+    PhaseStat st;
+    st.name = name;
+    st.count = ms.size();
+    for (double d : ms) st.total_ms += d;
+    st.mean_ms = st.total_ms / static_cast<double>(ms.size());
+    st.min_ms = ms.front();
+    st.max_ms = ms.back();
+    st.p50_ms = sortedPercentile(ms, 50);
+    st.p95_ms = sortedPercentile(ms, 95);
+    st.p99_ms = sortedPercentile(ms, 99);
+    st.bytes = bytes.count(name) != 0 ? bytes[name] : 0;
+    stats.push_back(std::move(st));
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const PhaseStat& a, const PhaseStat& b) {
+              const int ra = phaseRank(a.name);
+              const int rb = phaseRank(b.name);
+              return ra != rb ? ra < rb : a.name < b.name;
+            });
+  return stats;
+}
+
+std::string formatPhaseTable(const std::vector<PhaseStat>& stats) {
+  TextTable table({"phase", "count", "total[ms]", "mean[ms]", "min[ms]",
+                   "max[ms]", "p50[ms]", "p95[ms]", "p99[ms]", "bytes"});
+  for (const PhaseStat& st : stats) {
+    table.row()
+        .cell(st.name)
+        .cell(st.count)
+        .cell(st.total_ms, 3)
+        .cell(st.mean_ms, 3)
+        .cell(st.min_ms, 3)
+        .cell(st.max_ms, 3)
+        .cell(st.p50_ms, 3)
+        .cell(st.p95_ms, 3)
+        .cell(st.p99_ms, 3)
+        .cell(static_cast<long long>(st.bytes));
+  }
+  return table.str();
+}
+
+std::string formatPhaseComparison(const std::vector<PhaseStat>& a,
+                                  const std::string& a_label,
+                                  const std::vector<PhaseStat>& b,
+                                  const std::string& b_label) {
+  std::map<std::string, const PhaseStat*> bmap;
+  for (const PhaseStat& st : b) bmap[st.name] = &st;
+  TextTable table({"phase", a_label + " mean[ms]", b_label + " mean[ms]",
+                   b_label + "/" + a_label});
+  std::vector<std::string> seen;
+  for (const PhaseStat& st : a) {
+    auto& row = table.row().cell(st.name).cell(st.mean_ms, 3);
+    const auto it = bmap.find(st.name);
+    if (it != bmap.end()) {
+      row.cell(it->second->mean_ms, 3);
+      row.cell(st.mean_ms > 0 ? it->second->mean_ms / st.mean_ms : 0.0, 2);
+      seen.push_back(st.name);
+    } else {
+      row.cell("-").cell("-");
+    }
+  }
+  for (const PhaseStat& st : b) {
+    if (std::find(seen.begin(), seen.end(), st.name) != seen.end()) continue;
+    table.row().cell(st.name).cell("-").cell(st.mean_ms, 3).cell("-");
+  }
+  return table.str();
+}
+
+}  // namespace ninf::obs

@@ -1,0 +1,86 @@
+// Trace exporters and readers.
+//
+//  * chromeTraceJson: Chrome trace-event format ("X" complete events),
+//    loadable directly in chrome://tracing or https://ui.perfetto.dev.
+//  * parseChromeTrace: reads that format back into SpanRecords (used by
+//    tools/ninf_trace_dump and the round-trip tests).
+//  * phaseSummary/formatPhaseTable: aggregate spans by phase name into
+//    the per-phase breakdown matching the paper's Table 3/6 columns.
+//
+// A deliberately small recursive-descent JSON parser lives in
+// obs::json; it handles the full value grammar (objects, arrays,
+// strings with escapes, numbers, booleans, null) and is sufficient for
+// any file this subsystem writes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ninf::obs {
+
+namespace json {
+
+struct Value {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  /// First member with this key, or nullptr.
+  const Value* find(std::string_view key) const;
+  double numberOr(double fallback) const {
+    return type == Type::Number ? number : fallback;
+  }
+};
+
+/// Throws ninf::Error on malformed input.
+Value parse(std::string_view text);
+
+}  // namespace json
+
+/// Serialize spans as a Chrome trace-event JSON document.
+std::string chromeTraceJson(const std::vector<SpanRecord>& spans);
+
+/// Parse a Chrome trace-event document produced by chromeTraceJson (or
+/// any compatible file of "X" events).  Non-duration events are skipped.
+std::vector<SpanRecord> parseChromeTrace(std::string_view text);
+
+/// Per-phase aggregation of span durations.
+struct PhaseStat {
+  std::string name;
+  std::size_t count = 0;
+  double total_ms = 0.0;
+  double mean_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::int64_t bytes = 0;  // summed over spans that carried byte counts
+};
+
+/// Aggregate by name, ordered canonically: the client phase vocabulary
+/// first (call order), then server.* phases, then everything else
+/// alphabetically.  `lane` filters to one lane; 0 keeps every lane.
+std::vector<PhaseStat> phaseSummary(const std::vector<SpanRecord>& spans,
+                                    std::uint32_t lane = 0);
+
+/// Render as a text table (common/table.h style).
+std::string formatPhaseTable(const std::vector<PhaseStat>& stats);
+
+/// Two-column comparison (e.g. real vs simulated run): mean per phase
+/// side by side with the B/A ratio.
+std::string formatPhaseComparison(const std::vector<PhaseStat>& a,
+                                  const std::string& a_label,
+                                  const std::vector<PhaseStat>& b,
+                                  const std::string& b_label);
+
+}  // namespace ninf::obs

@@ -1,0 +1,256 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace ninf::obs {
+
+namespace {
+
+constexpr double kFirstUpper = 1e-6;  // bucket 0: (0, 1us]
+constexpr double kGrowth = 1.35;
+
+void atomicAddDouble(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double Histogram::bucketUpper(std::size_t i) {
+  return kFirstUpper * std::pow(kGrowth, static_cast<double>(i));
+}
+
+void Histogram::observe(double seconds) {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // NaN and negatives clamp to 0
+  // log-ratio index: first bucket whose upper bound >= seconds.
+  std::size_t idx = 0;
+  if (seconds > kFirstUpper) {
+    idx = static_cast<std::size_t>(
+        std::ceil(std::log(seconds / kFirstUpper) / std::log(kGrowth)));
+    idx = std::min(idx, kBuckets - 1);
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomicAddDouble(sum_, seconds);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(n);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket =
+        buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      const double lower = i == 0 ? 0.0 : bucketUpper(i - 1);
+      const double upper = bucketUpper(i);
+      const double frac =
+          std::clamp((rank - static_cast<double>(cumulative)) /
+                         static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      return lower + (upper - lower) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  return bucketUpper(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- registry
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  // node-based maps: references to mapped values are stable forever.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl;  // never destroyed
+  return *impl;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* r = new MetricsRegistry;
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto& slot = i.counters[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto& slot = i.gauges[std::string(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto& slot = i.histograms[std::string(name)];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counters() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(i.counters.size());
+  for (const auto& [name, c] : i.counters) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(i.gauges.size());
+  for (const auto& [name, g] : i.gauges) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<HistogramSummary> MetricsRegistry::histograms() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::vector<HistogramSummary> out;
+  out.reserve(i.histograms.size());
+  for (const auto& [name, h] : i.histograms) {
+    HistogramSummary s;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.mean = h->mean();
+    s.p50 = h->percentile(50);
+    s.p95 = h->percentile(95);
+    s.p99 = h->percentile(99);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::toJson() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters()) {
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(name) << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  os.precision(9);
+  for (const auto& [name, v] : gauges()) {
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(name) << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms()) {
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(h.name)
+       << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"mean\": " << h.mean << ", \"p50\": " << h.p50
+       << ", \"p95\": " << h.p95 << ", \"p99\": " << h.p99 << "}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+std::string MetricsRegistry::toCsv() const {
+  std::ostringstream os;
+  os.precision(9);
+  os << "kind,name,field,value\n";
+  for (const auto& [name, v] : counters()) {
+    os << "counter," << name << ",value," << v << "\n";
+  }
+  for (const auto& [name, v] : gauges()) {
+    os << "gauge," << name << ",value," << v << "\n";
+  }
+  for (const auto& h : histograms()) {
+    os << "histogram," << h.name << ",count," << h.count << "\n";
+    os << "histogram," << h.name << ",sum," << h.sum << "\n";
+    os << "histogram," << h.name << ",mean," << h.mean << "\n";
+    os << "histogram," << h.name << ",p50," << h.p50 << "\n";
+    os << "histogram," << h.name << ",p95," << h.p95 << "\n";
+    os << "histogram," << h.name << ",p99," << h.p99 << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  for (auto& [name, c] : i.counters) c->reset();
+  for (auto& [name, g] : i.gauges) g->set(0.0);
+  for (auto& [name, h] : i.histograms) h->reset();
+}
+
+Counter& counter(std::string_view name) {
+  return MetricsRegistry::instance().counter(name);
+}
+Gauge& gauge(std::string_view name) {
+  return MetricsRegistry::instance().gauge(name);
+}
+Histogram& histogram(std::string_view name) {
+  return MetricsRegistry::instance().histogram(name);
+}
+
+}  // namespace ninf::obs

@@ -1,0 +1,120 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// latency histograms with p50/p95/p99 summaries.
+//
+// All instruments are lock-free on the hot path (plain atomics); the
+// registry mutex is only taken when an instrument is first created, so
+// the idiomatic usage caches the reference in a function-local static:
+//
+//   static obs::Counter& bytes = obs::counter("tcp.bytes_sent");
+//   bytes.add(n);
+//
+// Exports: toJson() (machine-readable dump, one object per kind) and
+// toCsv() (kind,name,field,value rows for spreadsheet ingestion).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ninf::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket latency histogram: 64 log-spaced buckets from 1 us up
+/// (growth factor 1.35 per bucket, ~120 s full scale), plus overflow in
+/// the last bucket.  Percentiles interpolate linearly inside the
+/// containing bucket, so resolution is ~±17% of the value — plenty for
+/// the order-of-magnitude phase attribution the paper's tables need.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(double seconds);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// p in [0, 100]; 0 with no observations.
+  double percentile(double p) const;
+
+  /// Upper bound of bucket i in seconds (exposed for tests).
+  static double bucketUpper(std::size_t i);
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Registry summary of one histogram, used by the exporters.
+struct HistogramSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Find-or-create; the returned reference is stable forever.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<HistogramSummary> histograms() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  std::string toJson() const;
+  /// kind,name,field,value rows with a header line.
+  std::string toCsv() const;
+
+  /// Zero every instrument (names and references stay valid).
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Convenience accessors on the global registry.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+}  // namespace ninf::obs

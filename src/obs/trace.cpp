@@ -1,0 +1,161 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace ninf::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point tracerEpoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+struct ThreadTraceState {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+};
+
+thread_local ThreadTraceState t_context;
+
+}  // namespace
+
+/// Per-thread span store.  The owning thread appends under its own
+/// mutex (uncontended except while drain() steals), and the tracer keeps
+/// a shared_ptr so spans survive thread exit until collected.
+struct Tracer::ThreadBuffer {
+  std::mutex mutex;
+  std::vector<SpanRecord> spans;
+};
+
+namespace {
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Tracer::ThreadBuffer>> buffers;
+};
+
+BufferRegistry& registry() {
+  static BufferRegistry* r = new BufferRegistry;  // never destroyed
+  return *r;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* t = new Tracer;  // never destroyed
+  return *t;
+}
+
+double Tracer::nowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - tracerEpoch())
+      .count();
+}
+
+std::uint32_t Tracer::threadId() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer::ThreadBuffer& Tracer::localBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void Tracer::record(SpanRecord rec) {
+  ThreadBuffer& buf = localBuffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.spans.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> Tracer::drain() {
+  std::vector<SpanRecord> all;
+  auto& reg = registry();
+  std::lock_guard<std::mutex> reg_lock(reg.mutex);
+  for (auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    all.insert(all.end(), std::make_move_iterator(buf->spans.begin()),
+               std::make_move_iterator(buf->spans.end()));
+    buf->spans.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_us < b.start_us;
+            });
+  return all;
+}
+
+void Tracer::clear() {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> reg_lock(reg.mutex);
+  for (auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    buf->spans.clear();
+  }
+}
+
+TraceContext currentContext() {
+  return TraceContext{t_context.trace_id, t_context.parent_span};
+}
+
+Span::Span(const char* name, std::int64_t bytes)
+    : name_(name), bytes_(bytes) {
+  Tracer& tracer = Tracer::instance();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  span_id_ = tracer.newSpanId();
+  if (t_context.trace_id == 0) {
+    root_ = true;
+    trace_id_ = tracer.newTraceId();
+    parent_id_ = 0;
+  } else {
+    trace_id_ = t_context.trace_id;
+    parent_id_ = t_context.parent_span;
+  }
+  t_context.trace_id = trace_id_;
+  t_context.parent_span = span_id_;
+  start_us_ = Tracer::nowMicros();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double end_us = Tracer::nowMicros();
+  // Restore the ambient context even if the tracer was disabled
+  // mid-span, so nesting cannot leak across calls.
+  t_context.parent_span = parent_id_;
+  if (root_) t_context.trace_id = 0;
+  SpanRecord rec;
+  rec.trace_id = trace_id_;
+  rec.span_id = span_id_;
+  rec.parent_id = parent_id_;
+  rec.name = name_;
+  rec.start_us = start_us_;
+  rec.dur_us = end_us - start_us_;
+  rec.lane = kLaneReal;
+  rec.tid = Tracer::threadId();
+  rec.bytes = bytes_;
+  rec.detail = std::move(detail_);
+  Tracer::instance().record(std::move(rec));
+}
+
+void emitSpan(SpanRecord rec) {
+  Tracer& tracer = Tracer::instance();
+  if (!tracer.enabled()) return;
+  if (rec.span_id == 0) rec.span_id = tracer.newSpanId();
+  if (rec.tid == 0) rec.tid = Tracer::threadId();
+  tracer.record(std::move(rec));
+}
+
+}  // namespace ninf::obs

@@ -1,0 +1,71 @@
+#include "obs/trace_session.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ninf::obs {
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  Tracer::instance().clear();
+  Tracer::instance().setEnabled(true);
+}
+
+TraceSession::~TraceSession() { finish(); }
+
+void TraceSession::finish() {
+  if (path_.empty()) return;
+  Tracer& tracer = Tracer::instance();
+  tracer.setEnabled(false);
+  const auto spans = tracer.drain();
+  std::ofstream out(path_);
+  if (!out) {
+    std::fprintf(stderr, "trace: cannot write %s\n", path_.c_str());
+  } else {
+    out << chromeTraceJson(spans);
+    std::fprintf(stderr,
+                 "trace: wrote %zu spans to %s (open in chrome://tracing "
+                 "or ui.perfetto.dev, or run ninf_trace_dump)\n",
+                 spans.size(), path_.c_str());
+  }
+  path_.clear();
+}
+
+std::string TraceSession::flagFromArgs(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      path = argv[i] + 8;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  if (path.empty()) {
+    if (const char* env = std::getenv("NINF_TRACE")) path = env;
+  }
+  return path;
+}
+
+bool dumpMetrics(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  out << (json ? MetricsRegistry::instance().toJson()
+               : MetricsRegistry::instance().toCsv());
+  return static_cast<bool>(out);
+}
+
+}  // namespace ninf::obs

@@ -1,0 +1,44 @@
+// Shared "--trace out.json" plumbing for benches, tools, and examples.
+//
+//   int main(int argc, char** argv) {
+//     obs::TraceSession trace(obs::TraceSession::flagFromArgs(argc, argv));
+//     ... run the workload ...
+//   }  // ~TraceSession drains the tracer and writes the Chrome JSON
+//
+// With an empty path the session is inert and tracing stays disabled.
+// The NINF_TRACE environment variable supplies a path when no flag does.
+#pragma once
+
+#include <string>
+
+namespace ninf::obs {
+
+class TraceSession {
+ public:
+  /// Empty path = disabled.  Otherwise enables the global tracer and
+  /// clears any stale spans.
+  explicit TraceSession(std::string path = {});
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  bool active() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Drain + write the trace file now (idempotent); disables tracing.
+  void finish();
+
+  /// Extract `--trace <path>` or `--trace=<path>` from argv (removing it
+  /// so downstream parsing never sees it); falls back to $NINF_TRACE.
+  /// Returns an empty string when tracing was not requested.
+  static std::string flagFromArgs(int& argc, char** argv);
+
+ private:
+  std::string path_;
+};
+
+/// Write the global metrics registry to `path` as JSON (".json" suffix)
+/// or CSV (anything else).  Returns false on I/O failure.
+bool dumpMetrics(const std::string& path);
+
+}  // namespace ninf::obs

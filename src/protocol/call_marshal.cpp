@@ -1,6 +1,7 @@
 #include "protocol/call_marshal.h"
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace ninf::protocol {
 
@@ -155,6 +156,7 @@ std::vector<std::int64_t> scalarArgs(const InterfaceInfo& info,
 
 std::vector<std::uint8_t> encodeCallRequest(const InterfaceInfo& info,
                                             std::span<const ArgValue> args) {
+  obs::Span span(obs::phase::kMarshalArgs);
   checkArity(info, args);
   const std::vector<std::int64_t> scalars = scalarArgs(info, args);
 
@@ -192,10 +194,13 @@ std::vector<std::uint8_t> encodeCallRequest(const InterfaceInfo& info,
       enc.putDoubleArray(data);
     }
   }
-  return enc.take();
+  std::vector<std::uint8_t> request = enc.take();
+  span.setBytes(static_cast<std::int64_t>(request.size()));
+  return request;
 }
 
 ServerCallData decodeCallArgs(const InterfaceInfo& info, xdr::Decoder& dec) {
+  obs::Span span(obs::phase::kServerUnmarshalArgs);
   const std::size_t n = info.params.size();
   ServerCallData data;
   data.scalar_ints.assign(n, 0);
@@ -254,6 +259,7 @@ ServerCallData decodeCallArgs(const InterfaceInfo& info, xdr::Decoder& dec) {
 std::vector<std::uint8_t> encodeCallReply(const InterfaceInfo& info,
                                           const ServerCallData& data,
                                           const CallTimings& timings) {
+  obs::Span span(obs::phase::kServerMarshalResult);
   xdr::Encoder enc;
   enc.putU32(0);  // status: success
   enc.putDouble(timings.enqueue);
@@ -281,7 +287,9 @@ std::vector<std::uint8_t> encodeCallReply(const InterfaceInfo& info,
       enc.putDoubleArray(data.arrays[i]);
     }
   }
-  return enc.take();
+  std::vector<std::uint8_t> reply = enc.take();
+  span.setBytes(static_cast<std::int64_t>(reply.size()));
+  return reply;
 }
 
 std::vector<std::uint8_t> encodeErrorReply(const std::string& message) {
@@ -294,6 +302,8 @@ std::vector<std::uint8_t> encodeErrorReply(const std::string& message) {
 CallTimings decodeCallReply(const InterfaceInfo& info,
                             std::span<const std::uint8_t> payload,
                             std::span<const ArgValue> args) {
+  obs::Span span(obs::phase::kUnmarshalResult,
+                 static_cast<std::int64_t>(payload.size()));
   checkArity(info, args);
   xdr::Decoder dec(payload);
   const std::uint32_t status = dec.getU32();

@@ -3,8 +3,16 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace ninf::server {
+
+namespace {
+obs::Gauge& depthGauge() {
+  static obs::Gauge& g = obs::gauge("server.queue.depth");
+  return g;
+}
+}  // namespace
 
 const char* queuePolicyName(QueuePolicy p) {
   switch (p) {
@@ -19,6 +27,7 @@ void JobQueue::push(Job job) {
     std::lock_guard<std::mutex> lock(mutex_);
     NINF_REQUIRE(!closed_, "push to closed job queue");
     jobs_.push_back(std::move(job));
+    depthGauge().set(static_cast<double>(jobs_.size()));
   }
   cv_.notify_one();
 }
@@ -51,6 +60,7 @@ std::optional<Job> JobQueue::pop() {
   const std::size_t idx = pickIndex();
   Job job = std::move(jobs_[idx]);
   jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(idx));
+  depthGauge().set(static_cast<double>(jobs_.size()));
   return job;
 }
 

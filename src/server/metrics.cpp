@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace ninf::server {
 
 namespace {
@@ -18,41 +20,70 @@ double ServerMetrics::now() const {
       .count();
 }
 
-void ServerMetrics::decayLocked(double t) const {
-  // Fold the elapsed interval into the exponential moving average toward
-  // the instantaneous runnable count.
+double ServerMetrics::decayedLoadLocked(double t) const {
+  // Elapsed interval folded into the exponential moving average toward
+  // the instantaneous runnable count — computed, not stored, so const
+  // readers never mutate the bookkeeping.
   const double dt = t - load_time_;
-  if (dt <= 0) return;
+  if (dt <= 0) return load_;
   const double instant = static_cast<double>(running_ + queued_);
   const double alpha = std::exp(-dt / kLoadTau);
-  load_ = load_ * alpha + instant * (1.0 - alpha);
+  return load_ * alpha + instant * (1.0 - alpha);
+}
+
+void ServerMetrics::foldLoadLocked(double t) {
+  // Writers fold *before* changing the runnable count, so the average
+  // integrates the old count over the elapsed interval.
+  if (t <= load_time_) return;
+  load_ = decayedLoadLocked(t);
   load_time_ = t;
+}
+
+double ServerMetrics::busySecondsLocked(double t) const {
+  double busy = busy_accum_;
+  if (running_ > 0) busy += t - busy_since_;
+  return busy;
+}
+
+void ServerMetrics::publishLocked(double t) const {
+  static obs::Gauge& g_running = obs::gauge("server.running");
+  static obs::Gauge& g_queued = obs::gauge("server.queued");
+  static obs::Gauge& g_completed = obs::gauge("server.completed");
+  static obs::Gauge& g_load = obs::gauge("server.load_average");
+  g_running.set(running_);
+  g_queued.set(queued_);
+  g_completed.set(static_cast<double>(completed_));
+  g_load.set(decayedLoadLocked(t));
 }
 
 void ServerMetrics::jobQueued() {
   std::lock_guard<std::mutex> lock(mutex_);
-  decayLocked(now());
+  const double t = now();
+  foldLoadLocked(t);
   ++queued_;
+  publishLocked(t);
 }
 
 void ServerMetrics::jobStarted() {
   std::lock_guard<std::mutex> lock(mutex_);
   const double t = now();
-  decayLocked(t);
+  foldLoadLocked(t);
   if (queued_ > 0) --queued_;
   if (running_ == 0) busy_since_ = t;
   ++running_;
+  publishLocked(t);
 }
 
 void ServerMetrics::jobFinished() {
   std::lock_guard<std::mutex> lock(mutex_);
   const double t = now();
-  decayLocked(t);
+  foldLoadLocked(t);
   if (running_ > 0) {
     --running_;
     if (running_ == 0) busy_accum_ += t - busy_since_;
   }
   ++completed_;
+  publishLocked(t);
 }
 
 std::uint32_t ServerMetrics::running() const {
@@ -72,16 +103,26 @@ std::uint64_t ServerMetrics::completed() const {
 
 double ServerMetrics::loadAverage() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  decayLocked(now());
-  return load_;
+  return decayedLoadLocked(now());
 }
 
 double ServerMetrics::busyFraction() const {
   std::lock_guard<std::mutex> lock(mutex_);
   const double t = now();
-  double busy = busy_accum_;
-  if (running_ > 0) busy += t - busy_since_;
-  return t > 0 ? busy / t : 0.0;
+  return t > 0 ? busySecondsLocked(t) / t : 0.0;
+}
+
+ServerMetrics::Snapshot ServerMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double t = now();
+  Snapshot s;
+  s.running = running_;
+  s.queued = queued_;
+  s.completed = completed_;
+  s.load_average = decayedLoadLocked(t);
+  s.busy_fraction = t > 0 ? busySecondsLocked(t) / t : 0.0;
+  s.uptime = t;
+  return s;
 }
 
 }  // namespace ninf::server

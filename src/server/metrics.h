@@ -2,6 +2,18 @@
 // Unix-style exponentially-smoothed load average — the quantities the
 // paper reports per benchmark row (CPU utilization, load average) and the
 // metaserver polls for scheduling.
+//
+// Concurrency contract: every member is safe to call from any thread.
+// All state lives under one mutex; const readers are genuinely read-only
+// (the decayed load is *computed* at read time, never folded back), so a
+// storm of status polls cannot perturb the bookkeeping that the mutating
+// job-lifecycle calls maintain.  snapshot() returns every quantity from
+// a single critical section, so the (running, queued, load) triple a
+// metaserver sees is always internally consistent.
+//
+// The instantaneous values are also mirrored into the global
+// obs::MetricsRegistry ("server.running", "server.queued",
+// "server.completed", "server.load_average") on every transition.
 #pragma once
 
 #include <chrono>
@@ -27,23 +39,40 @@ class ServerMetrics {
   std::uint64_t completed() const;
 
   /// One-minute-style exponentially decayed average of the runnable task
-  /// count (running + queued), re-evaluated lazily on read.
+  /// count (running + queued), evaluated lazily at read time.
   double loadAverage() const;
 
   /// Fraction of wall time with at least one job running since start
   /// (an aggregate busy ratio; per-PE utilization lives in the simulator).
   double busyFraction() const;
 
+  /// Everything above, read atomically in one lock acquisition.
+  struct Snapshot {
+    std::uint32_t running = 0;
+    std::uint32_t queued = 0;
+    std::uint64_t completed = 0;
+    double load_average = 0.0;
+    double busy_fraction = 0.0;
+    double uptime = 0.0;
+  };
+  Snapshot snapshot() const;
+
  private:
-  void decayLocked(double t) const;
+  /// Decayed load at time t; pure function of current state (no fold).
+  double decayedLoadLocked(double t) const;
+  /// Fold the decay into (load_, load_time_); writers only.
+  void foldLoadLocked(double t);
+  double busySecondsLocked(double t) const;
+  /// Mirror counts into the global metrics registry; writers only.
+  void publishLocked(double t) const;
 
   std::chrono::steady_clock::time_point start_;
   mutable std::mutex mutex_;
   std::uint32_t running_ = 0;
   std::uint32_t queued_ = 0;
   std::uint64_t completed_ = 0;
-  mutable double load_ = 0.0;
-  mutable double load_time_ = 0.0;
+  double load_ = 0.0;
+  double load_time_ = 0.0;
   double busy_accum_ = 0.0;
   double busy_since_ = 0.0;  // time running_ last became nonzero
 };

@@ -1,9 +1,12 @@
 #include "server/server.h"
 
+#include <algorithm>
 #include <future>
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xdr/xdr.h"
 
 namespace ninf::server {
@@ -153,11 +156,14 @@ void NinfServer::handleMessage(transport::Stream& stream, const Message& msg) {
       return;
     }
     case MessageType::ServerStatus: {
+      // One consistent snapshot: a poll racing a job transition must not
+      // see a (running, queued, load) triple that never existed.
+      const ServerMetrics::Snapshot snap = metrics_.snapshot();
       protocol::ServerStatusInfo info;
-      info.running = metrics_.running();
-      info.queued = metrics_.queued();
-      info.completed = metrics_.completed();
-      info.load_average = metrics_.loadAverage();
+      info.running = snap.running;
+      info.queued = snap.queued;
+      info.completed = snap.completed;
+      info.load_average = snap.load_average;
       protocol::sendMessage(stream, MessageType::StatusReply, info.toBytes());
       return;
     }
@@ -191,6 +197,54 @@ PreparedCall prepare(Registry& registry,
   return call;
 }
 
+/// Worker-side execution of a prepared call: the shared body of the
+/// blocking and two-phase paths.  Records the server's ground-truth
+/// queue-wait and compute phases (span + histogram) alongside the
+/// timings shipped back to the client.
+std::vector<std::uint8_t> runPreparedCall(ServerMetrics& metrics,
+                                          PreparedCall& call,
+                                          double enqueue_time) {
+  CallTimings timings;
+  timings.enqueue = enqueue_time;
+  timings.dequeue = metrics.now();
+  metrics.jobStarted();
+
+  const double wait_s = std::max(0.0, timings.dequeue - timings.enqueue);
+  static obs::Histogram& wait_hist =
+      obs::histogram("server.queue_wait_seconds");
+  wait_hist.observe(wait_s);
+  if (obs::Tracer::instance().enabled()) {
+    // The wait already elapsed; anchor the span so it ends now.
+    obs::SpanRecord rec;
+    rec.name = obs::phase::kServerQueueWait;
+    rec.dur_us = wait_s * 1e6;
+    rec.start_us = obs::Tracer::nowMicros() - rec.dur_us;
+    rec.detail = call.exec->info.name;
+    obs::emitSpan(std::move(rec));
+  }
+
+  std::vector<std::uint8_t> reply;
+  try {
+    CallContext ctx(call.exec->info, call.data);
+    {
+      obs::Span compute(obs::phase::kServerCompute);
+      compute.setDetail(call.exec->info.name);
+      call.exec->handler(ctx);
+    }
+    timings.complete = metrics.now();
+    static obs::Histogram& compute_hist =
+        obs::histogram("server.compute_seconds");
+    compute_hist.observe(timings.complete - timings.dequeue);
+    reply = protocol::encodeCallReply(call.exec->info, call.data, timings);
+  } catch (const std::exception& e) {
+    static obs::Counter& failures = obs::counter("server.call_failures");
+    failures.add();
+    reply = protocol::encodeErrorReply(e.what());
+  }
+  metrics.jobFinished();
+  return reply;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> NinfServer::executeCall(
@@ -211,21 +265,7 @@ std::vector<std::uint8_t> NinfServer::executeCall(
   job.enqueue_time = metrics_.now();
   job.run = [this, call = std::make_shared<PreparedCall>(std::move(call)),
              enqueue = job.enqueue_time, &done]() mutable {
-    CallTimings timings;
-    timings.enqueue = enqueue;
-    timings.dequeue = metrics_.now();
-    metrics_.jobStarted();
-    std::vector<std::uint8_t> reply;
-    try {
-      CallContext ctx(call->exec->info, call->data);
-      call->exec->handler(ctx);
-      timings.complete = metrics_.now();
-      reply = protocol::encodeCallReply(call->exec->info, call->data, timings);
-    } catch (const std::exception& e) {
-      reply = protocol::encodeErrorReply(e.what());
-    }
-    metrics_.jobFinished();
-    done.set_value(std::move(reply));
+    done.set_value(runPreparedCall(metrics_, *call, enqueue));
   };
   queue_.push(std::move(job));
   return fut.get();
@@ -255,20 +295,7 @@ std::uint64_t NinfServer::submitCall(std::span<const std::uint8_t> payload) {
   job.run = [this, id,
              call = std::make_shared<PreparedCall>(std::move(prepared)),
              enqueue = job.enqueue_time]() mutable {
-    CallTimings timings;
-    timings.enqueue = enqueue;
-    timings.dequeue = metrics_.now();
-    metrics_.jobStarted();
-    std::vector<std::uint8_t> reply;
-    try {
-      CallContext ctx(call->exec->info, call->data);
-      call->exec->handler(ctx);
-      timings.complete = metrics_.now();
-      reply = protocol::encodeCallReply(call->exec->info, call->data, timings);
-    } catch (const std::exception& e) {
-      reply = protocol::encodeErrorReply(e.what());
-    }
-    metrics_.jobFinished();
+    auto reply = runPreparedCall(metrics_, *call, enqueue);
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
       pending_[id] = {true, std::move(reply)};

@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "simcore/simulation.h"
+#include "simworld/trace_export.h"
 
 namespace ninf::simworld {
 
@@ -110,6 +111,7 @@ simcore::Process singleCallProcess(SimNinfServer& srv, simnet::NodeId client,
                                    SimJob job, SplitMix64& rng,
                                    CallRecord& out) {
   out = co_await srv.call(client, job, rng);
+  recordCallTrace(out, static_cast<std::uint32_t>(client));
 }
 
 }  // namespace
@@ -199,6 +201,7 @@ simcore::Process clientLoop(simcore::Simulation& sim, SimNinfServer& srv,
     if (sim.now() >= end_time) break;
     if (!slot.rng.nextBool(probability)) continue;
     CallRecord rec = co_await srv.call(slot.node, job, slot.rng);
+    recordCallTrace(rec, static_cast<std::uint32_t>(slot.node));
     all.add(rec);
     site_row.add(rec);
   }

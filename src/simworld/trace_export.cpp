@@ -1,0 +1,55 @@
+#include "simworld/trace_export.h"
+
+namespace ninf::simworld {
+
+namespace {
+
+obs::SpanRecord makeSpan(std::uint64_t trace, std::uint64_t parent,
+                         const char* name, double begin_s, double end_s,
+                         std::uint32_t tid) {
+  obs::SpanRecord rec;
+  rec.trace_id = trace;
+  rec.span_id = obs::Tracer::instance().newSpanId();
+  rec.parent_id = parent;
+  rec.name = name;
+  rec.start_us = begin_s * 1e6;
+  rec.dur_us = (end_s - begin_s) * 1e6;
+  rec.lane = obs::kLaneSim;
+  rec.tid = tid;
+  return rec;
+}
+
+}  // namespace
+
+std::vector<obs::SpanRecord> callSpans(const CallRecord& rec,
+                                       std::uint32_t tid) {
+  auto& tracer = obs::Tracer::instance();
+  const std::uint64_t trace = tracer.newTraceId();
+
+  std::vector<obs::SpanRecord> spans;
+  spans.reserve(5);
+  obs::SpanRecord root = makeSpan(trace, 0, obs::phase::kCall, rec.submit,
+                                  rec.end, tid);
+  root.bytes = static_cast<std::int64_t>(rec.bytes_total);
+  const std::uint64_t root_id = root.span_id;
+  spans.push_back(std::move(root));
+  spans.push_back(makeSpan(trace, root_id, obs::phase::kSend, rec.submit,
+                           rec.enqueue, tid));
+  spans.push_back(makeSpan(trace, root_id, obs::phase::kQueueWait,
+                           rec.enqueue, rec.dequeue, tid));
+  spans.push_back(makeSpan(trace, root_id, obs::phase::kCompute, rec.dequeue,
+                           rec.complete, tid));
+  spans.push_back(makeSpan(trace, root_id, obs::phase::kRecv, rec.complete,
+                           rec.end, tid));
+  return spans;
+}
+
+void recordCallTrace(const CallRecord& rec, std::uint32_t tid) {
+  auto& tracer = obs::Tracer::instance();
+  if (!tracer.enabled()) return;
+  for (auto& span : callSpans(rec, tid)) {
+    tracer.record(std::move(span));
+  }
+}
+
+}  // namespace ninf::simworld

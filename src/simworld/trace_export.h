@@ -1,0 +1,29 @@
+// Export simulated CallRecords as tracer spans on obs::kLaneSim, using
+// the same phase vocabulary as the real client, so one trace file (and
+// tools/ninf_trace_dump) can hold a real run next to its simulated
+// counterpart.  Virtual seconds map to trace microseconds 1:1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.h"
+#include "simworld/call_record.h"
+
+namespace ninf::simworld {
+
+/// Build the span decomposition of one simulated call:
+///   call        submit  -> end      (root, carries bytes_total)
+///   send        submit  -> enqueue  (connect + marshal + argument xfer)
+///   queue-wait  enqueue -> dequeue
+///   compute     dequeue -> complete
+///   recv        complete-> end      (result transfer + unmarshal)
+/// `tid` labels the lane row (use the sim client's node id).
+std::vector<obs::SpanRecord> callSpans(const CallRecord& rec,
+                                       std::uint32_t tid);
+
+/// Emit the decomposition into the global tracer (no-op while the
+/// tracer is disabled), for runs captured with --trace.
+void recordCallTrace(const CallRecord& rec, std::uint32_t tid);
+
+}  // namespace ninf::simworld

@@ -5,6 +5,8 @@
 #include <mutex>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ninf::transport {
 
@@ -57,10 +59,17 @@ class InprocStream : public Stream {
   ~InprocStream() override { close(); }
 
   void sendAll(std::span<const std::uint8_t> data) override {
+    obs::Span span("inproc.send", static_cast<std::int64_t>(data.size()));
+    static obs::Counter& tx = obs::counter("transport.inproc.bytes_sent");
+    tx.add(data.size());
     out_->push(data);
   }
 
   void recvAll(std::span<std::uint8_t> buffer) override {
+    obs::Span span("inproc.recv", static_cast<std::int64_t>(buffer.size()));
+    static obs::Counter& rx =
+        obs::counter("transport.inproc.bytes_received");
+    rx.add(buffer.size());
     in_->popExact(buffer);
   }
 

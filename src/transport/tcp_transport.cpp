@@ -12,6 +12,8 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ninf::transport {
 
@@ -35,6 +37,9 @@ class TcpStream : public Stream {
   void sendAll(std::span<const std::uint8_t> data) override {
     const int fd = fd_.load();
     if (fd < 0) throw TransportError("send on closed stream");
+    obs::Span span("tcp.send", static_cast<std::int64_t>(data.size()));
+    static obs::Counter& tx = obs::counter("transport.tcp.bytes_sent");
+    tx.add(data.size());
     std::size_t sent = 0;
     while (sent < data.size()) {
       const ssize_t n =
@@ -50,6 +55,9 @@ class TcpStream : public Stream {
   void recvAll(std::span<std::uint8_t> buffer) override {
     const int fd = fd_.load();
     if (fd < 0) throw TransportError("recv on closed stream");
+    obs::Span span("tcp.recv", static_cast<std::int64_t>(buffer.size()));
+    static obs::Counter& rx = obs::counter("transport.tcp.bytes_received");
+    rx.add(buffer.size());
     std::size_t got = 0;
     while (got < buffer.size()) {
       const ssize_t n = ::recv(fd, buffer.data() + got,
@@ -125,22 +133,23 @@ std::unique_ptr<Stream> tcpConnect(const std::string& host,
 }
 
 TcpListener::TcpListener(std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throwErrno("socket");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throwErrno("socket");
+  fd_.store(fd);
   int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0) {
     throwErrno("bind port " + std::to_string(port));
   }
-  if (::listen(fd_, 64) < 0) throwErrno("listen");
+  if (::listen(fd, 64) < 0) throwErrno("listen");
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
-  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
     throwErrno("getsockname");
   }
   port_ = ntohs(bound.sin_port);
@@ -152,7 +161,9 @@ TcpListener::~TcpListener() { close(); }
 std::unique_ptr<Stream> TcpListener::accept() {
   sockaddr_in peer{};
   socklen_t len = sizeof(peer);
-  const int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+  const int listen_fd = fd_.load();
+  if (listen_fd < 0) return nullptr;  // closed
+  const int fd = ::accept(listen_fd, reinterpret_cast<sockaddr*>(&peer), &len);
   if (fd < 0) {
     if (errno == EBADF || errno == EINVAL) return nullptr;  // closed
     if (errno == EINTR) return accept();
@@ -162,10 +173,11 @@ std::unique_ptr<Stream> TcpListener::accept() {
 }
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  // exchange: another thread may close concurrently with the destructor.
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

@@ -1,6 +1,7 @@
 // TCP implementation of the transport abstraction (POSIX sockets).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -27,7 +28,8 @@ class TcpListener : public Listener {
   void close() override;
 
  private:
-  int fd_ = -1;
+  // Atomic: close() is called from another thread to unblock accept().
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 

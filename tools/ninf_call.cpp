@@ -10,6 +10,9 @@
 //   ninf_call <host> <port> linpack <n> [variant 0|1|2]
 //   ninf_call <host> <port> ep <log2_pairs>
 //   ninf_call <host> <port> dos <n> <samples>
+//
+// Add --trace out.json (any position) to capture a phase trace of the
+// calls made; summarize it with ninf_trace_dump.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +25,7 @@
 #include "idl/parser.h"
 #include "numlib/dos.h"
 #include "numlib/matrix.h"
+#include "obs/trace_session.h"
 
 namespace {
 
@@ -115,6 +119,7 @@ int cmdDos(client::NinfClient& cl, std::int64_t n, std::int64_t samples) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::TraceSession trace(obs::TraceSession::flagFromArgs(argc, argv));
   if (argc < 4) return usage();
   const std::string host = argv[1];
   const auto port = static_cast<std::uint16_t>(std::atoi(argv[2]));

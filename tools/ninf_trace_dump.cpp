@@ -1,0 +1,131 @@
+// ninf_trace_dump: summarize Chrome trace-event files written by the
+// tracer (--trace) into per-phase breakdowns, the shape of the paper's
+// Table 3/6 rows.
+//
+//   ninf_trace_dump run.trace.json            per-lane phase tables
+//   ninf_trace_dump real.json sim.json        side-by-side comparison
+//   ninf_trace_dump --lane sim run.json       restrict to one lane
+//
+// A single file holding both lanes (a real run plus a simulated replay)
+// is also compared lane-against-lane automatically.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/export.h"
+
+namespace {
+
+using namespace ninf;
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<obs::SpanRecord> loadSpans(const std::string& path) {
+  return obs::parseChromeTrace(readFile(path));
+}
+
+bool hasLane(const std::vector<obs::SpanRecord>& spans, std::uint32_t lane) {
+  for (const auto& s : spans) {
+    if (s.lane == lane) return true;
+  }
+  return false;
+}
+
+const char* laneName(std::uint32_t lane) {
+  if (lane == obs::kLaneReal) return "real";
+  if (lane == obs::kLaneSim) return "sim";
+  return "?";
+}
+
+void dumpOneFile(const std::string& path,
+                 const std::vector<obs::SpanRecord>& spans,
+                 std::uint32_t lane_filter) {
+  std::printf("%s: %zu spans\n", path.c_str(), spans.size());
+  if (spans.empty()) return;
+
+  std::vector<std::uint32_t> lanes;
+  if (lane_filter != 0) {
+    lanes.push_back(lane_filter);
+  } else {
+    if (hasLane(spans, obs::kLaneReal)) lanes.push_back(obs::kLaneReal);
+    if (hasLane(spans, obs::kLaneSim)) lanes.push_back(obs::kLaneSim);
+  }
+  for (const std::uint32_t lane : lanes) {
+    const auto stats = obs::phaseSummary(spans, lane);
+    if (stats.empty()) continue;
+    std::printf("\n[%s lane]\n%s", laneName(lane),
+                obs::formatPhaseTable(stats).c_str());
+  }
+  // Both lanes present: show the diff the simulator exists for.
+  if (lane_filter == 0 && lanes.size() == 2) {
+    std::printf("\n%s",
+                obs::formatPhaseComparison(
+                    obs::phaseSummary(spans, obs::kLaneReal), "real",
+                    obs::phaseSummary(spans, obs::kLaneSim), "sim")
+                    .c_str());
+  }
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ninf_trace_dump [--lane real|sim] TRACE.json [OTHER.json]\n"
+      "  one file:  per-phase summary tables (one per lane present)\n"
+      "  two files: side-by-side per-phase comparison (A vs B)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t lane_filter = 0;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lane") == 0 && i + 1 < argc) {
+      const std::string which = argv[++i];
+      if (which == "real") {
+        lane_filter = ninf::obs::kLaneReal;
+      } else if (which == "sim") {
+        lane_filter = ninf::obs::kLaneSim;
+      } else {
+        return usage();
+      }
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty() || paths.size() > 2) return usage();
+
+  try {
+    if (paths.size() == 1) {
+      dumpOneFile(paths[0], loadSpans(paths[0]), lane_filter);
+    } else {
+      const auto a = loadSpans(paths[0]);
+      const auto b = loadSpans(paths[1]);
+      dumpOneFile(paths[0], a, lane_filter);
+      std::printf("\n");
+      dumpOneFile(paths[1], b, lane_filter);
+      std::printf("\n%s",
+                  ninf::obs::formatPhaseComparison(
+                      ninf::obs::phaseSummary(a, lane_filter), paths[0],
+                      ninf::obs::phaseSummary(b, lane_filter), paths[1])
+                      .c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ninf_trace_dump: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
