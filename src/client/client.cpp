@@ -29,12 +29,21 @@ NinfClient::NinfClient(std::unique_ptr<transport::Stream> stream)
 }
 
 std::unique_ptr<NinfClient> NinfClient::connectTcp(const std::string& host,
-                                                   std::uint16_t port) {
+                                                   std::uint16_t port,
+                                                   double timeout_seconds) {
   obs::Span span(obs::phase::kConnect);
   span.setDetail(host + ":" + std::to_string(port));
   static obs::Counter& connects = obs::counter("client.connects");
   connects.add();
-  return std::make_unique<NinfClient>(transport::tcpConnect(host, port));
+  try {
+    return std::make_unique<NinfClient>(
+        transport::tcpConnect(host, port, timeout_seconds));
+  } catch (const TransportError& e) {
+    static obs::Counter& failures = obs::counter("client.connect_failures");
+    failures.add();
+    throw TransportError("Ninf server " + host + ":" + std::to_string(port) +
+                         " unreachable: " + e.what());
+  }
 }
 
 Message NinfClient::roundTrip(MessageType type,
@@ -126,7 +135,10 @@ CallResult NinfClient::call(const std::string& name,
   obs::Span root(obs::phase::kCall);
   root.setDetail(name);
 
-  const auto request = protocol::encodeCallRequest(info, args);
+  // Streaming pipeline: the request encoder borrows the caller's IN
+  // arrays (no contiguous request buffer), and the reply's OUT arrays are
+  // received directly into the caller's spans.
+  const xdr::Encoder request = protocol::buildCallRequest(info, args);
 
   CallResult result;
   result.bytes_sent = static_cast<std::int64_t>(request.size());
@@ -137,17 +149,19 @@ CallResult NinfClient::call(const std::string& name,
     protocol::sendMessage(*stream_, MessageType::CallRequest, request);
   }
   const double sent_us = obs::Tracer::nowMicros();
-  const Message reply = protocol::recvMessage(*stream_);
-  const double recv_done_us = obs::Tracer::nowMicros();
-  if (reply.type != MessageType::CallReply) {
+  const protocol::FrameHeader header = protocol::recvHeader(*stream_);
+  protocol::BodyReader body(*stream_, header.length);
+  if (header.type != MessageType::CallReply) {
+    body.drain();
     throw ProtocolError(
         "expected message type " +
         std::to_string(static_cast<unsigned>(MessageType::CallReply)) +
-        ", got " + std::to_string(static_cast<unsigned>(reply.type)));
+        ", got " + std::to_string(static_cast<unsigned>(header.type)));
   }
+  result.server = protocol::decodeCallReply(info, body, args);
+  const double recv_done_us = obs::Tracer::nowMicros();
   result.elapsed = nowSeconds() - start;
-  result.bytes_received = static_cast<std::int64_t>(reply.payload.size());
-  result.server = protocol::decodeCallReply(info, reply.payload, args);
+  result.bytes_received = static_cast<std::int64_t>(header.length);
 
   emitServerDerivedPhases(root, result, sent_us, recv_done_us,
                           result.bytes_received);
@@ -165,9 +179,13 @@ JobHandle NinfClient::submit(const std::string& name,
   const idl::InterfaceInfo& info = queryInterface(name);
   obs::Span root("submit");
   root.setDetail(name);
-  const auto request = protocol::encodeCallRequest(info, args);
-  const Message ack =
-      roundTrip(MessageType::SubmitRequest, request, MessageType::SubmitAck);
+  const xdr::Encoder request = protocol::buildCallRequest(info, args);
+  protocol::sendMessage(*stream_, MessageType::SubmitRequest, request);
+  const Message ack = protocol::recvMessage(*stream_);
+  if (ack.type != MessageType::SubmitAck) {
+    throw ProtocolError("expected SubmitAck, got " +
+                        std::to_string(static_cast<unsigned>(ack.type)));
+  }
   xdr::Decoder dec(ack.payload);
   return JobHandle{dec.getU64(), name};
 }
@@ -181,15 +199,20 @@ std::optional<CallResult> NinfClient::fetch(const JobHandle& handle,
   enc.putU64(handle.id);
   const double start = nowSeconds();
   protocol::sendMessage(*stream_, MessageType::FetchResult, enc.bytes());
-  const Message reply = protocol::recvMessage(*stream_);
-  if (reply.type == MessageType::ResultPending) return std::nullopt;
-  if (reply.type != MessageType::CallReply) {
+  const protocol::FrameHeader header = protocol::recvHeader(*stream_);
+  protocol::BodyReader body(*stream_, header.length);
+  if (header.type == MessageType::ResultPending) {
+    body.drain();
+    return std::nullopt;
+  }
+  if (header.type != MessageType::CallReply) {
+    body.drain();
     throw ProtocolError("unexpected reply to FetchResult");
   }
   CallResult result;
+  result.bytes_received = static_cast<std::int64_t>(header.length);
+  result.server = protocol::decodeCallReply(info, body, args);
   result.elapsed = nowSeconds() - start;
-  result.bytes_received = static_cast<std::int64_t>(reply.payload.size());
-  result.server = protocol::decodeCallReply(info, reply.payload, args);
   return result;
 }
 

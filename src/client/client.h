@@ -56,9 +56,12 @@ class NinfClient {
   /// Adopt an established stream (TCP or inproc).
   explicit NinfClient(std::unique_ptr<transport::Stream> stream);
 
-  /// Connect over TCP.
+  /// Connect over TCP.  timeout_seconds > 0 bounds connection
+  /// establishment; failures throw TransportError with the server's
+  /// host:port in the message (never a bare errno).
   static std::unique_ptr<NinfClient> connectTcp(const std::string& host,
-                                                std::uint16_t port);
+                                                std::uint16_t port,
+                                                double timeout_seconds = 0.0);
 
   /// Stage one of the two-stage RPC; cached per entry name.
   /// Throws NotFoundError if the server does not export `name`.

@@ -154,8 +154,21 @@ std::vector<std::int64_t> scalarArgs(const InterfaceInfo& info,
   return scalars;
 }
 
-std::vector<std::uint8_t> encodeCallRequest(const InterfaceInfo& info,
-                                            std::span<const ArgValue> args) {
+namespace {
+
+/// Copy small arrays, reference large ones (scatter-gather emission).
+void putArray(xdr::Encoder& enc, std::span<const double> data) {
+  if (data.size() >= kArrayRefThresholdElems) {
+    enc.putDoubleArrayRef(data);
+  } else {
+    enc.putDoubleArray(data);
+  }
+}
+
+}  // namespace
+
+xdr::Encoder buildCallRequest(const InterfaceInfo& info,
+                              std::span<const ArgValue> args) {
   obs::Span span(obs::phase::kMarshalArgs);
   checkArity(info, args);
   const std::vector<std::int64_t> scalars = scalarArgs(info, args);
@@ -191,15 +204,19 @@ std::vector<std::uint8_t> encodeCallRequest(const InterfaceInfo& info,
                             " elements supplied, IDL implies " +
                             std::to_string(expected));
       }
-      enc.putDoubleArray(data);
+      putArray(enc, data);
     }
   }
-  std::vector<std::uint8_t> request = enc.take();
-  span.setBytes(static_cast<std::int64_t>(request.size()));
-  return request;
+  span.setBytes(static_cast<std::int64_t>(enc.size()));
+  return enc;
 }
 
-ServerCallData decodeCallArgs(const InterfaceInfo& info, xdr::Decoder& dec) {
+std::vector<std::uint8_t> encodeCallRequest(const InterfaceInfo& info,
+                                            std::span<const ArgValue> args) {
+  return buildCallRequest(info, args).take();
+}
+
+ServerCallData decodeCallArgs(const InterfaceInfo& info, xdr::Source& dec) {
   obs::Span span(obs::phase::kServerUnmarshalArgs);
   const std::size_t n = info.params.size();
   ServerCallData data;
@@ -256,9 +273,9 @@ ServerCallData decodeCallArgs(const InterfaceInfo& info, xdr::Decoder& dec) {
   return data;
 }
 
-std::vector<std::uint8_t> encodeCallReply(const InterfaceInfo& info,
-                                          const ServerCallData& data,
-                                          const CallTimings& timings) {
+xdr::Encoder buildCallReply(const InterfaceInfo& info,
+                            const ServerCallData& data,
+                            const CallTimings& timings) {
   obs::Span span(obs::phase::kServerMarshalResult);
   xdr::Encoder enc;
   enc.putU32(0);  // status: success
@@ -284,12 +301,17 @@ std::vector<std::uint8_t> encodeCallReply(const InterfaceInfo& info,
           break;
       }
     } else {
-      enc.putDoubleArray(data.arrays[i]);
+      putArray(enc, data.arrays[i]);
     }
   }
-  std::vector<std::uint8_t> reply = enc.take();
-  span.setBytes(static_cast<std::int64_t>(reply.size()));
-  return reply;
+  span.setBytes(static_cast<std::int64_t>(enc.size()));
+  return enc;
+}
+
+std::vector<std::uint8_t> encodeCallReply(const InterfaceInfo& info,
+                                          const ServerCallData& data,
+                                          const CallTimings& timings) {
+  return buildCallReply(info, data, timings).take();
 }
 
 std::vector<std::uint8_t> encodeErrorReply(const std::string& message) {
@@ -299,13 +321,11 @@ std::vector<std::uint8_t> encodeErrorReply(const std::string& message) {
   return enc.take();
 }
 
-CallTimings decodeCallReply(const InterfaceInfo& info,
-                            std::span<const std::uint8_t> payload,
+CallTimings decodeCallReply(const InterfaceInfo& info, xdr::Source& dec,
                             std::span<const ArgValue> args) {
   obs::Span span(obs::phase::kUnmarshalResult,
-                 static_cast<std::int64_t>(payload.size()));
+                 static_cast<std::int64_t>(dec.remaining()));
   checkArity(info, args);
-  xdr::Decoder dec(payload);
   const std::uint32_t status = dec.getU32();
   if (status != 0) {
     throw RemoteError(dec.getString());
@@ -342,6 +362,13 @@ CallTimings decodeCallReply(const InterfaceInfo& info,
     throw ProtocolError("trailing bytes after call reply for " + info.name);
   }
   return timings;
+}
+
+CallTimings decodeCallReply(const InterfaceInfo& info,
+                            std::span<const std::uint8_t> payload,
+                            std::span<const ArgValue> args) {
+  xdr::Decoder dec(payload);
+  return decodeCallReply(info, dec, args);
 }
 
 }  // namespace ninf::protocol

@@ -62,9 +62,20 @@ class ArgValue {
 std::vector<std::int64_t> scalarArgs(const idl::InterfaceInfo& info,
                                      std::span<const ArgValue> args);
 
-/// Client side: validate args against the interface and produce the
-/// CallRequest payload (entry name + IN data).  Throws ProtocolError on
-/// arity/kind/size mismatches.
+/// Arrays at or above this element count are *referenced* by the builder
+/// encoders below (scatter-gather emission) instead of copied; smaller
+/// arrays are inlined so tiny calls stay a single buffer.
+inline constexpr std::size_t kArrayRefThresholdElems = 1024;  // 8 KiB
+
+/// Client side: validate args against the interface and build the
+/// CallRequest body (entry name + IN data).  Large IN arrays are borrowed
+/// — the returned encoder references the caller's argument memory, which
+/// must outlive its emission.  Throws ProtocolError on arity/kind/size
+/// mismatches.
+xdr::Encoder buildCallRequest(const idl::InterfaceInfo& info,
+                              std::span<const ArgValue> args);
+
+/// Legacy contiguous form of buildCallRequest (tests, tools).
 std::vector<std::uint8_t> encodeCallRequest(const idl::InterfaceInfo& info,
                                             std::span<const ArgValue> args);
 
@@ -81,9 +92,12 @@ struct ServerCallData {
 };
 
 /// Decode the argument section of a CallRequest (after the entry name has
-/// been read from `dec`), allocate OUT arrays, and validate sizes.
+/// been read from `src`), allocate OUT arrays, and validate sizes.  Works
+/// over any xdr::Source: a contiguous Decoder or a streamed BodyReader —
+/// in the latter case IN array payloads are received directly into the
+/// ServerCallData array storage.
 ServerCallData decodeCallArgs(const idl::InterfaceInfo& info,
-                              xdr::Decoder& dec);
+                              xdr::Source& src);
 
 /// Server-relative timestamps of a completed call (seconds since server
 /// start); carried in the reply so the client can compute the paper's
@@ -97,7 +111,13 @@ struct CallTimings {
   double waitTime() const { return dequeue - enqueue; }
 };
 
-/// Server side: successful reply payload (timings + OUT data).
+/// Server side: build the successful reply body (timings + OUT data).
+/// Large OUT arrays are borrowed from `data` — it must outlive emission.
+xdr::Encoder buildCallReply(const idl::InterfaceInfo& info,
+                            const ServerCallData& data,
+                            const CallTimings& timings);
+
+/// Legacy contiguous form of buildCallReply (tests, tools).
 std::vector<std::uint8_t> encodeCallReply(const idl::InterfaceInfo& info,
                                           const ServerCallData& data,
                                           const CallTimings& timings);
@@ -105,8 +125,14 @@ std::vector<std::uint8_t> encodeCallReply(const idl::InterfaceInfo& info,
 /// Server side: error reply payload.
 std::vector<std::uint8_t> encodeErrorReply(const std::string& message);
 
-/// Client side: decode a CallReply into the caller's OUT arguments.
-/// Throws RemoteError if the reply carries an error status.
+/// Client side: decode a CallReply into the caller's OUT arguments,
+/// reading from any xdr::Source — OUT array payloads land directly in
+/// the caller's spans.  Throws RemoteError if the reply carries an error
+/// status.
+CallTimings decodeCallReply(const idl::InterfaceInfo& info, xdr::Source& src,
+                            std::span<const ArgValue> args);
+
+/// Legacy contiguous form of the above.
 CallTimings decodeCallReply(const idl::InterfaceInfo& info,
                             std::span<const std::uint8_t> payload,
                             std::span<const ArgValue> args);

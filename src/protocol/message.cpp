@@ -1,23 +1,86 @@
 #include "protocol/message.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "xdr/xdr.h"
 
 namespace ninf::protocol {
 
+namespace {
+
+/// Encode the 16-byte frame header into `out`.
+void encodeHeader(MessageType type, std::size_t length,
+                  std::uint8_t out[16]) {
+  const std::uint32_t words[4] = {kMagic, kVersion,
+                                  static_cast<std::uint32_t>(type),
+                                  static_cast<std::uint32_t>(length)};
+  for (int w = 0; w < 4; ++w) {
+    out[w * 4 + 0] = static_cast<std::uint8_t>(words[w] >> 24);
+    out[w * 4 + 1] = static_cast<std::uint8_t>(words[w] >> 16);
+    out[w * 4 + 2] = static_cast<std::uint8_t>(words[w] >> 8);
+    out[w * 4 + 3] = static_cast<std::uint8_t>(words[w]);
+  }
+}
+
+/// Sink gathering spans for one vectored send.  Spans stay valid until
+/// flush() per the xdr::Sink contract, so the frame header, the encoder's
+/// owned section, and the current byteswap scratch chunk leave in a
+/// single sendv (writev on TCP).
+class StreamSink : public xdr::Sink {
+ public:
+  explicit StreamSink(transport::Stream& stream) : stream_(stream) {}
+
+  void write(std::span<const std::uint8_t> bytes) override {
+    if (!bytes.empty()) iov_.push_back(bytes);
+  }
+
+  void flush() override {
+    if (iov_.empty()) return;
+    stream_.sendv(iov_);
+    iov_.clear();
+  }
+
+ private:
+  transport::Stream& stream_;
+  std::vector<std::span<const std::uint8_t>> iov_;
+};
+
+}  // namespace
+
+void noteWireBuffer(std::size_t bytes) {
+  static obs::Gauge& peak = obs::gauge("wire.peak_buffer_bytes");
+  const double v = static_cast<double>(bytes);
+  if (v > peak.value()) peak.set(v);
+}
+
 void sendMessage(transport::Stream& stream, MessageType type,
                  std::span<const std::uint8_t> payload) {
   NINF_REQUIRE(payload.size() <= kMaxPayload, "payload too large");
-  xdr::Encoder header;
-  header.putU32(kMagic);
-  header.putU32(kVersion);
-  header.putU32(static_cast<std::uint32_t>(type));
-  header.putU32(static_cast<std::uint32_t>(payload.size()));
-  stream.sendAll(header.bytes());
-  if (!payload.empty()) stream.sendAll(payload);
+  noteWireBuffer(payload.size());
+  std::uint8_t header[16];
+  encodeHeader(type, payload.size(), header);
+  const std::span<const std::uint8_t> bufs[2] = {{header, 16}, payload};
+  stream.sendv(bufs);
 }
 
-Message recvMessage(transport::Stream& stream) {
+void sendMessage(transport::Stream& stream, MessageType type,
+                 const xdr::Encoder& body) {
+  NINF_REQUIRE(body.size() <= kMaxPayload, "payload too large");
+  // Peak contiguous memory on this path: the encoder's owned (scalar)
+  // section plus one byteswap scratch chunk — independent of array size.
+  noteWireBuffer(body.ownedSize() +
+                 (body.hasBorrowed() ? xdr::Encoder::kScratchBytes : 0));
+  std::uint8_t header[16];
+  encodeHeader(type, body.size(), header);
+  StreamSink sink(stream);
+  sink.write({header, 16});
+  body.emitTo(sink);  // flushes after each scratch chunk and at the end
+}
+
+FrameHeader recvHeader(transport::Stream& stream) {
   std::uint8_t header_bytes[16];
   stream.recvAll(header_bytes);
   xdr::Decoder header(header_bytes);
@@ -39,10 +102,62 @@ Message recvMessage(transport::Stream& stream) {
     throw ProtocolError("payload length " + std::to_string(length) +
                         " exceeds limit");
   }
+  return FrameHeader{static_cast<MessageType>(type), length};
+}
+
+void BodyReader::readBytes(std::span<std::uint8_t> out) {
+  std::size_t got = 0;
+  // Serve buffered bytes first.
+  const std::size_t buffered = std::min(out.size(), buf_len_ - buf_pos_);
+  if (buffered > 0) {
+    std::memcpy(out.data(), buf_.data() + buf_pos_, buffered);
+    buf_pos_ += buffered;
+    got += buffered;
+  }
+  while (got < out.size()) {
+    const std::size_t want = out.size() - got;
+    if (want > body_left_) {
+      throw ProtocolError("message body underflow: need " +
+                          std::to_string(want) + " bytes, body has " +
+                          std::to_string(body_left_));
+    }
+    if (want >= kBufBytes) {
+      // Large destination (array payload): receive straight into it.
+      stream_.recvAll(out.subspan(got, want));
+      body_left_ -= want;
+      got += want;
+    } else {
+      // Small read (scalars, string headers): refill the buffer with
+      // whatever part of the body is already in flight.
+      const std::size_t target = std::min(kBufBytes, body_left_);
+      buf_len_ = stream_.recvSome({buf_.data(), target});
+      buf_pos_ = 0;
+      body_left_ -= buf_len_;
+      const std::size_t take = std::min(out.size() - got, buf_len_);
+      std::memcpy(out.data() + got, buf_.data(), take);
+      buf_pos_ = take;
+      got += take;
+    }
+  }
+}
+
+void BodyReader::drain() {
+  buf_pos_ = buf_len_ = 0;
+  while (body_left_ > 0) {
+    std::uint8_t sink[4096];
+    const std::size_t chunk = std::min(body_left_, sizeof(sink));
+    stream_.recvAll({sink, chunk});
+    body_left_ -= chunk;
+  }
+}
+
+Message recvMessage(transport::Stream& stream) {
+  const FrameHeader header = recvHeader(stream);
+  noteWireBuffer(header.length);
   Message msg;
-  msg.type = static_cast<MessageType>(type);
-  msg.payload.resize(length);
-  if (length > 0) stream.recvAll(msg.payload);
+  msg.type = header.type;
+  msg.payload.resize(header.length);
+  if (header.length > 0) stream.recvAll(msg.payload);
   return msg;
 }
 

@@ -20,11 +20,13 @@
 //     | <- CallReply / ResultPending |
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "transport/transport.h"
+#include "xdr/xdr.h"
 
 namespace ninf::protocol {
 
@@ -55,13 +57,70 @@ struct Message {
   std::vector<std::uint8_t> payload;
 };
 
-/// Serialize and send one message.
+/// Validated frame header: the first 16 bytes of every message.
+struct FrameHeader {
+  MessageType type;
+  std::uint32_t length = 0;  // body bytes following the header
+};
+
+/// Serialize and send one message from a contiguous payload.
 void sendMessage(transport::Stream& stream, MessageType type,
                  std::span<const std::uint8_t> payload);
 
-/// Receive one message; throws ProtocolError on bad magic/version/length
-/// and TransportError on connection loss.
+/// Streamed scatter-gather send: the frame header, the encoder's owned
+/// bytes, and byteswapped chunks of its borrowed double arrays go to the
+/// stream via sendv — the message is never materialized contiguously.
+void sendMessage(transport::Stream& stream, MessageType type,
+                 const xdr::Encoder& body);
+
+/// Read and validate one frame header; throws ProtocolError on bad
+/// magic/version/type/length and TransportError on connection loss.  The
+/// caller must then consume exactly header.length body bytes (BodyReader)
+/// before the next frame.
+FrameHeader recvHeader(transport::Stream& stream);
+
+/// Incremental reader over one frame body.  Implements xdr::Source, so
+/// decode logic pulls scalars through a small internal buffer while large
+/// double arrays are received directly into their final destination —
+/// the body is never materialized as one contiguous vector.  Bounded: a
+/// read past the declared body length throws ProtocolError.
+class BodyReader : public xdr::Source {
+ public:
+  BodyReader(transport::Stream& stream, std::size_t length)
+      : stream_(stream), body_left_(length) {}
+
+  /// Consume and discard whatever is left of the body (used to keep the
+  /// connection framing aligned after a decode error).
+  void drain();
+
+ protected:
+  void readBytes(std::span<std::uint8_t> out) override;
+  std::size_t remainingBytes() const override {
+    return body_left_ + (buf_len_ - buf_pos_);
+  }
+
+ private:
+  /// Reads at least `buffer threshold` bytes of body directly, bypassing
+  /// the internal buffer, for large destinations.
+  static constexpr std::size_t kBufBytes = 4096;
+
+  transport::Stream& stream_;
+  std::size_t body_left_;  // body bytes not yet pulled from the stream
+  std::array<std::uint8_t, kBufBytes> buf_;
+  std::size_t buf_pos_ = 0;  // consumed prefix of buf_
+  std::size_t buf_len_ = 0;  // valid bytes in buf_
+};
+
+/// Receive one whole message (header + materialized body).  Retained for
+/// small control messages; the call data path uses recvHeader/BodyReader.
 Message recvMessage(transport::Stream& stream);
+
+/// Record a materialized wire-buffer size in the
+/// "wire.peak_buffer_bytes" gauge (monotonic max since last metrics
+/// reset).  The streaming pipeline's peak stays near the scratch size
+/// regardless of payload; the legacy contiguous path reports the full
+/// message.
+void noteWireBuffer(std::size_t bytes);
 
 /// Server-side status snapshot carried by StatusReply (metaserver food).
 struct ServerStatusInfo {

@@ -55,8 +55,8 @@ void NinfServer::serveStream(transport::Stream& stream) {
   NINF_LOG(Debug) << "serving connection from " << stream.peerName();
   try {
     for (;;) {
-      const Message msg = protocol::recvMessage(stream);
-      handleMessage(stream, msg);
+      const protocol::FrameHeader header = protocol::recvHeader(stream);
+      handleFrame(stream, header);
     }
   } catch (const TransportError&) {
     // Normal disconnect path.
@@ -96,6 +96,36 @@ void NinfServer::workerLoop() {
   }
 }
 
+void NinfServer::handleFrame(transport::Stream& stream,
+                             const protocol::FrameHeader& header) {
+  switch (header.type) {
+    case MessageType::CallRequest: {
+      protocol::BodyReader body(stream, header.length);
+      ReplyPayload reply = executeCall(body);
+      protocol::sendMessage(stream, MessageType::CallReply, reply.body);
+      return;
+    }
+    case MessageType::SubmitRequest: {
+      protocol::BodyReader body(stream, header.length);
+      const std::uint64_t id = submitCall(body);
+      xdr::Encoder enc;
+      enc.putU64(id);
+      protocol::sendMessage(stream, MessageType::SubmitAck, enc.bytes());
+      return;
+    }
+    default: {
+      // Control messages are small; materialize and dispatch.
+      Message msg;
+      msg.type = header.type;
+      msg.payload.resize(header.length);
+      if (header.length > 0) stream.recvAll(msg.payload);
+      protocol::noteWireBuffer(msg.payload.size());
+      handleMessage(stream, msg);
+      return;
+    }
+  }
+}
+
 void NinfServer::handleMessage(transport::Stream& stream, const Message& msg) {
   switch (msg.type) {
     case MessageType::QueryInterface: {
@@ -109,18 +139,6 @@ void NinfServer::handleMessage(transport::Stream& stream, const Message& msg) {
         enc.putBool(false);
       }
       protocol::sendMessage(stream, MessageType::InterfaceReply, enc.bytes());
-      return;
-    }
-    case MessageType::CallRequest: {
-      const auto reply = executeCall(msg.payload);
-      protocol::sendMessage(stream, MessageType::CallReply, reply);
-      return;
-    }
-    case MessageType::SubmitRequest: {
-      const std::uint64_t id = submitCall(msg.payload);
-      xdr::Encoder enc;
-      enc.putU64(id);
-      protocol::sendMessage(stream, MessageType::SubmitAck, enc.bytes());
       return;
     }
     case MessageType::FetchResult: {
@@ -138,13 +156,14 @@ void NinfServer::handleMessage(transport::Stream& stream, const Message& msg) {
       }
       if (!it->second.ready) {
         lock.unlock();
-        protocol::sendMessage(stream, MessageType::ResultPending, {});
+        protocol::sendMessage(stream, MessageType::ResultPending,
+                              std::span<const std::uint8_t>{});
         return;
       }
-      const auto reply = std::move(it->second.reply);
+      ReplyPayload reply = std::move(it->second.reply);
       pending_.erase(it);
       lock.unlock();
-      protocol::sendMessage(stream, MessageType::CallReply, reply);
+      protocol::sendMessage(stream, MessageType::CallReply, reply.body);
       return;
     }
     case MessageType::ListExecutables: {
@@ -185,25 +204,33 @@ struct PreparedCall {
   double estimated_flops = 0.0;
 };
 
-PreparedCall prepare(Registry& registry,
-                     std::span<const std::uint8_t> payload) {
-  xdr::Decoder dec(payload);
-  const std::string name = dec.getString();
+/// Decode a call straight off the wire: the entry name and scalars come
+/// through the body reader's small buffer, array payloads land directly
+/// in the ServerCallData storage.
+PreparedCall prepare(Registry& registry, xdr::Source& src) {
+  const std::string name = src.getString();
   PreparedCall call;
   call.exec = &registry.find(name);
-  call.data = protocol::decodeCallArgs(call.exec->info, dec);
+  call.data = protocol::decodeCallArgs(call.exec->info, src);
   call.estimated_flops = static_cast<double>(
       call.exec->info.flopsEstimate(call.data.scalar_ints));
   return call;
+}
+
+NinfServer::ReplyPayload errorReply(const std::string& message) {
+  xdr::Encoder enc;
+  enc.putU32(1);  // status: error
+  enc.putString(message);
+  return {std::move(enc), nullptr};
 }
 
 /// Worker-side execution of a prepared call: the shared body of the
 /// blocking and two-phase paths.  Records the server's ground-truth
 /// queue-wait and compute phases (span + histogram) alongside the
 /// timings shipped back to the client.
-std::vector<std::uint8_t> runPreparedCall(ServerMetrics& metrics,
-                                          PreparedCall& call,
-                                          double enqueue_time) {
+NinfServer::ReplyPayload runPreparedCall(ServerMetrics& metrics,
+                                         PreparedCall& call,
+                                         double enqueue_time) {
   CallTimings timings;
   timings.enqueue = enqueue_time;
   timings.dequeue = metrics.now();
@@ -223,7 +250,7 @@ std::vector<std::uint8_t> runPreparedCall(ServerMetrics& metrics,
     obs::emitSpan(std::move(rec));
   }
 
-  std::vector<std::uint8_t> reply;
+  NinfServer::ReplyPayload reply;
   try {
     CallContext ctx(call.exec->info, call.data);
     {
@@ -235,11 +262,13 @@ std::vector<std::uint8_t> runPreparedCall(ServerMetrics& metrics,
     static obs::Histogram& compute_hist =
         obs::histogram("server.compute_seconds");
     compute_hist.observe(timings.complete - timings.dequeue);
-    reply = protocol::encodeCallReply(call.exec->info, call.data, timings);
+    // The reply body borrows the OUT arrays still owned by `call`; the
+    // caller pairs it with the PreparedCall's shared_ptr as keepalive.
+    reply.body = protocol::buildCallReply(call.exec->info, call.data, timings);
   } catch (const std::exception& e) {
     static obs::Counter& failures = obs::counter("server.call_failures");
     failures.add();
-    reply = protocol::encodeErrorReply(e.what());
+    reply = errorReply(e.what());
   }
   metrics.jobFinished();
   return reply;
@@ -247,31 +276,35 @@ std::vector<std::uint8_t> runPreparedCall(ServerMetrics& metrics,
 
 }  // namespace
 
-std::vector<std::uint8_t> NinfServer::executeCall(
-    std::span<const std::uint8_t> payload) {
+NinfServer::ReplyPayload NinfServer::executeCall(protocol::BodyReader& body) {
   PreparedCall call;
   try {
-    call = prepare(registry_, payload);
+    call = prepare(registry_, body);
   } catch (const std::exception& e) {
-    return protocol::encodeErrorReply(e.what());
+    // Keep the connection framing aligned: the rest of the body must be
+    // consumed before the error reply goes out.
+    body.drain();
+    return errorReply(e.what());
   }
 
-  std::promise<std::vector<std::uint8_t>> done;
+  auto call_sp = std::make_shared<PreparedCall>(std::move(call));
+  std::promise<ReplyPayload> done;
   auto fut = done.get_future();
   metrics_.jobQueued();
   Job job;
   job.id = next_job_id_.fetch_add(1);
-  job.estimated_flops = call.estimated_flops;
+  job.estimated_flops = call_sp->estimated_flops;
   job.enqueue_time = metrics_.now();
-  job.run = [this, call = std::make_shared<PreparedCall>(std::move(call)),
-             enqueue = job.enqueue_time, &done]() mutable {
-    done.set_value(runPreparedCall(metrics_, *call, enqueue));
+  job.run = [this, call_sp, enqueue = job.enqueue_time, &done]() mutable {
+    done.set_value(runPreparedCall(metrics_, *call_sp, enqueue));
   };
   queue_.push(std::move(job));
-  return fut.get();
+  ReplyPayload reply = fut.get();
+  reply.keepalive = std::move(call_sp);  // reply body borrows the OUT arrays
+  return reply;
 }
 
-std::uint64_t NinfServer::submitCall(std::span<const std::uint8_t> payload) {
+std::uint64_t NinfServer::submitCall(protocol::BodyReader& body) {
   const std::uint64_t id = next_job_id_.fetch_add(1);
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
@@ -280,10 +313,11 @@ std::uint64_t NinfServer::submitCall(std::span<const std::uint8_t> payload) {
 
   PreparedCall prepared;
   try {
-    prepared = prepare(registry_, payload);
+    prepared = prepare(registry_, body);
   } catch (const std::exception& e) {
+    body.drain();
     std::lock_guard<std::mutex> lock(pending_mutex_);
-    pending_[id] = {true, protocol::encodeErrorReply(e.what())};
+    pending_[id] = {true, errorReply(e.what())};
     return id;
   }
 
@@ -295,7 +329,8 @@ std::uint64_t NinfServer::submitCall(std::span<const std::uint8_t> payload) {
   job.run = [this, id,
              call = std::make_shared<PreparedCall>(std::move(prepared)),
              enqueue = job.enqueue_time]() mutable {
-    auto reply = runPreparedCall(metrics_, *call, enqueue);
+    ReplyPayload reply = runPreparedCall(metrics_, *call, enqueue);
+    reply.keepalive = call;
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
       pending_[id] = {true, std::move(reply)};

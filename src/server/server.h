@@ -60,19 +60,31 @@ class NinfServer {
 
   const ServerMetrics& metrics() const { return metrics_; }
 
+  /// One reply body ready for streamed emission.  `body` may borrow OUT
+  /// array memory owned by `keepalive` (the prepared call), so the two
+  /// travel together until the send completes.
+  struct ReplyPayload {
+    xdr::Encoder body;
+    std::shared_ptr<void> keepalive;
+  };
+
  private:
   void workerLoop();
+  /// Dispatch one frame.  Call bodies (CallRequest/SubmitRequest) are
+  /// consumed incrementally off the stream; other message types are small
+  /// and read whole.
+  void handleFrame(transport::Stream& stream,
+                   const protocol::FrameHeader& header);
   void handleMessage(transport::Stream& stream,
                      const protocol::Message& msg);
-  /// Parse + enqueue a call; returns the reply payload (blocking mode) or
-  /// records it in the two-phase job table.
-  std::vector<std::uint8_t> executeCall(
-      std::span<const std::uint8_t> payload);
-  std::uint64_t submitCall(std::span<const std::uint8_t> payload);
+  /// Parse + enqueue a call read directly from the connection; returns
+  /// the reply (blocking mode) or records it in the two-phase job table.
+  ReplyPayload executeCall(protocol::BodyReader& body);
+  std::uint64_t submitCall(protocol::BodyReader& body);
 
   struct PendingResult {
     bool ready = false;
-    std::vector<std::uint8_t> reply;
+    ReplyPayload reply;
   };
 
   Registry& registry_;

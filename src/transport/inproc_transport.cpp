@@ -1,8 +1,11 @@
 #include "transport/inproc_transport.h"
 
+#include <algorithm>
 #include <condition_variable>
+#include <cstring>
 #include <deque>
 #include <mutex>
+#include <vector>
 
 #include "common/error.h"
 #include "obs/metrics.h"
@@ -12,13 +15,22 @@ namespace ninf::transport {
 
 namespace {
 
-/// One direction of the pipe: a byte FIFO with EOF state.
+/// One direction of the pipe: a FIFO of byte chunks with EOF state.
+/// Chunk granularity matches the sender's writes, so an 8 MB array body
+/// moves as a few dozen memcpys instead of per-byte deque churn.
 class ByteQueue {
  public:
   void push(std::span<const std::uint8_t> data) {
+    pushv({&data, 1});
+  }
+
+  /// Append every buffer under one lock (scatter-gather send).
+  void pushv(std::span<const std::span<const std::uint8_t>> buffers) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) throw TransportError("send on closed inproc pipe");
-    bytes_.insert(bytes_.end(), data.begin(), data.end());
+    for (const auto& b : buffers) {
+      if (!b.empty()) chunks_.emplace_back(b.begin(), b.end());
+    }
     cv_.notify_all();
   }
 
@@ -26,16 +38,26 @@ class ByteQueue {
     std::unique_lock<std::mutex> lock(mutex_);
     std::size_t got = 0;
     while (got < out.size()) {
-      cv_.wait(lock, [&] { return !bytes_.empty() || closed_; });
-      if (bytes_.empty() && closed_) {
+      cv_.wait(lock, [&] { return !chunks_.empty() || closed_; });
+      if (chunks_.empty() && closed_) {
         throw TransportError("inproc pipe closed (" + std::to_string(got) +
                              "/" + std::to_string(out.size()) + " bytes)");
       }
-      while (got < out.size() && !bytes_.empty()) {
-        out[got++] = bytes_.front();
-        bytes_.pop_front();
-      }
+      got += drainLocked(out.subspan(got));
     }
+  }
+
+  /// Block until at least one byte is buffered, then take up to
+  /// out.size() bytes.  Throws once the pipe is closed and drained.
+  std::size_t popSome(std::span<std::uint8_t> out) {
+    if (out.empty()) return 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !chunks_.empty() || closed_; });
+    if (chunks_.empty() && closed_) {
+      throw TransportError("inproc pipe closed (0/" +
+                           std::to_string(out.size()) + " bytes)");
+    }
+    return drainLocked(out);
   }
 
   void close() {
@@ -45,9 +67,29 @@ class ByteQueue {
   }
 
  private:
+  /// Copy buffered bytes into `out`; returns the count copied (>= 1 when
+  /// any chunk is buffered).  Caller holds the lock.
+  std::size_t drainLocked(std::span<std::uint8_t> out) {
+    std::size_t got = 0;
+    while (got < out.size() && !chunks_.empty()) {
+      std::vector<std::uint8_t>& front = chunks_.front();
+      const std::size_t avail = front.size() - head_;
+      const std::size_t take = std::min(avail, out.size() - got);
+      std::memcpy(out.data() + got, front.data() + head_, take);
+      got += take;
+      head_ += take;
+      if (head_ == front.size()) {
+        chunks_.pop_front();
+        head_ = 0;
+      }
+    }
+    return got;
+  }
+
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::uint8_t> bytes_;
+  std::deque<std::vector<std::uint8_t>> chunks_;
+  std::size_t head_ = 0;  // consumed prefix of chunks_.front()
   bool closed_ = false;
 };
 
@@ -65,12 +107,30 @@ class InprocStream : public Stream {
     out_->push(data);
   }
 
+  void sendv(
+      std::span<const std::span<const std::uint8_t>> buffers) override {
+    std::size_t total = 0;
+    for (const auto& b : buffers) total += b.size();
+    obs::Span span("inproc.send", static_cast<std::int64_t>(total));
+    static obs::Counter& tx = obs::counter("transport.inproc.bytes_sent");
+    tx.add(total);
+    out_->pushv(buffers);
+  }
+
   void recvAll(std::span<std::uint8_t> buffer) override {
     obs::Span span("inproc.recv", static_cast<std::int64_t>(buffer.size()));
     static obs::Counter& rx =
         obs::counter("transport.inproc.bytes_received");
     rx.add(buffer.size());
     in_->popExact(buffer);
+  }
+
+  std::size_t recvSome(std::span<std::uint8_t> buffer) override {
+    const std::size_t got = in_->popSome(buffer);
+    static obs::Counter& rx =
+        obs::counter("transport.inproc.bytes_received");
+    rx.add(got);
+    return got;
   }
 
   void shutdownSend() override { out_->close(); }

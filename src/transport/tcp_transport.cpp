@@ -1,11 +1,15 @@
 #include "transport/tcp_transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -52,6 +56,57 @@ class TcpStream : public Stream {
     }
   }
 
+  void sendv(
+      std::span<const std::span<const std::uint8_t>> buffers) override {
+    const int fd = fd_.load();
+    if (fd < 0) throw TransportError("send on closed stream");
+    std::size_t total = 0;
+    for (const auto& b : buffers) total += b.size();
+    if (total == 0) return;
+    obs::Span span("tcp.send", static_cast<std::int64_t>(total));
+    static obs::Counter& tx = obs::counter("transport.tcp.bytes_sent");
+    tx.add(total);
+    // sendmsg (not writev) so MSG_NOSIGNAL applies, as in sendAll.
+    constexpr std::size_t kMaxIov = 64;
+    struct iovec iov[kMaxIov];
+    std::size_t idx = 0;  // current buffer
+    std::size_t off = 0;  // bytes of buffers[idx] already sent
+    while (idx < buffers.size()) {
+      std::size_t n_iov = 0;
+      for (std::size_t b = idx, o = off;
+           b < buffers.size() && n_iov < kMaxIov; ++b, o = 0) {
+        if (buffers[b].size() > o) {
+          iov[n_iov].iov_base =
+              const_cast<std::uint8_t*>(buffers[b].data() + o);
+          iov[n_iov].iov_len = buffers[b].size() - o;
+          ++n_iov;
+        }
+      }
+      if (n_iov == 0) break;  // only empty buffers remain
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = n_iov;
+      const ssize_t sent = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+      if (sent < 0) {
+        if (errno == EINTR) continue;
+        throwErrno("send to " + peer_);
+      }
+      // Advance (idx, off) past the bytes the kernel accepted.
+      std::size_t left = static_cast<std::size_t>(sent);
+      while (left > 0) {
+        const std::size_t avail = buffers[idx].size() - off;
+        if (left < avail) {
+          off += left;
+          left = 0;
+        } else {
+          left -= avail;
+          ++idx;
+          off = 0;
+        }
+      }
+    }
+  }
+
   void recvAll(std::span<std::uint8_t> buffer) override {
     const int fd = fd_.load();
     if (fd < 0) throw TransportError("recv on closed stream");
@@ -72,6 +127,25 @@ class TcpStream : public Stream {
                              std::to_string(buffer.size()) + " bytes)");
       }
       got += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::size_t recvSome(std::span<std::uint8_t> buffer) override {
+    const int fd = fd_.load();
+    if (fd < 0) throw TransportError("recv on closed stream");
+    if (buffer.empty()) return 0;
+    for (;;) {
+      const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throwErrno("recv from " + peer_);
+      }
+      if (n == 0) {
+        throw TransportError("connection closed by " + peer_);
+      }
+      static obs::Counter& rx = obs::counter("transport.tcp.bytes_received");
+      rx.add(static_cast<std::uint64_t>(n));
+      return static_cast<std::size_t>(n);
     }
   }
 
@@ -112,7 +186,9 @@ std::string describe(const sockaddr_in& addr) {
 }  // namespace
 
 std::unique_ptr<Stream> tcpConnect(const std::string& host,
-                                   std::uint16_t port) {
+                                   std::uint16_t port,
+                                   double timeout_seconds) {
+  const std::string where = host + ":" + std::to_string(port);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throwErrno("socket");
   sockaddr_in addr{};
@@ -120,14 +196,62 @@ std::unique_ptr<Stream> tcpConnect(const std::string& host,
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
-    throw TransportError("bad IPv4 address: " + host);
+    throw TransportError("bad IPv4 address '" + host + "' (connecting to " +
+                         where + ")");
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  if (timeout_seconds <= 0) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throwErrno("connect to " + where);
+    }
+    return std::make_unique<TcpStream>(fd, describe(addr));
+  }
+  // Timed connect: non-blocking connect, poll for writability, then read
+  // the final status from SO_ERROR and restore blocking mode.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
     const int saved = errno;
     ::close(fd);
     errno = saved;
-    throwErrno("connect to " + host + ":" + std::to_string(port));
+    throwErrno("fcntl for connect to " + where);
+  }
+  const auto fail = [&](const std::string& what) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throwErrno(what);
+  };
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (errno != EINPROGRESS) fail("connect to " + where);
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout_ms =
+        static_cast<int>(std::max(1.0, timeout_seconds * 1000.0));
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) fail("poll for connect to " + where);
+    if (rc == 0) {
+      ::close(fd);
+      throw TransportError("connect to " + where + " timed out after " +
+                           std::to_string(timeout_ms) + " ms");
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0) {
+      fail("getsockopt for connect to " + where);
+    }
+    if (so_error != 0) {
+      errno = so_error;
+      fail("connect to " + where);
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    fail("fcntl for connect to " + where);
   }
   return std::make_unique<TcpStream>(fd, describe(addr));
 }

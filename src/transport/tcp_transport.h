@@ -11,8 +11,12 @@
 namespace ninf::transport {
 
 /// Connect to host:port; throws ninf::TransportError on failure.
+/// timeout_seconds > 0 bounds the connection establishment (a timed-out
+/// attempt throws a TransportError naming host:port and the deadline);
+/// <= 0 blocks until the OS gives up.
 std::unique_ptr<Stream> tcpConnect(const std::string& host,
-                                   std::uint16_t port);
+                                   std::uint16_t port,
+                                   double timeout_seconds = 0.0);
 
 /// Listening TCP socket bound to 127.0.0.1.
 class TcpListener : public Listener {

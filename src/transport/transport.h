@@ -22,9 +22,30 @@ class Stream {
   /// Send every byte; throws ninf::TransportError on failure.
   virtual void sendAll(std::span<const std::uint8_t> data) = 0;
 
+  /// Scatter-gather send: every byte of every buffer, in order, as if by
+  /// one sendAll over the concatenation.  The TCP implementation uses
+  /// writev/sendmsg so a frame header, scalar section, and array chunk go
+  /// out in a single syscall; the default falls back to per-buffer
+  /// sendAll.
+  virtual void sendv(std::span<const std::span<const std::uint8_t>> buffers) {
+    for (const auto& b : buffers) {
+      if (!b.empty()) sendAll(b);
+    }
+  }
+
   /// Receive exactly buffer.size() bytes; throws ninf::TransportError on
   /// EOF or failure.
   virtual void recvAll(std::span<std::uint8_t> buffer) = 0;
+
+  /// Bounded partial read: block until at least one byte is available,
+  /// then return up to buffer.size() bytes (the count actually read).
+  /// Throws ninf::TransportError on EOF or failure.  The default simply
+  /// fills the whole buffer, which is correct only when the caller knows
+  /// that many bytes are in flight (as the framed body reader does).
+  virtual std::size_t recvSome(std::span<std::uint8_t> buffer) {
+    recvAll(buffer);
+    return buffer.size();
+  }
 
   /// Half-close for sending; the peer sees EOF after draining.
   virtual void shutdownSend() = 0;

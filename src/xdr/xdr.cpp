@@ -1,5 +1,6 @@
 #include "xdr/xdr.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -11,6 +12,34 @@ namespace {
 constexpr std::size_t kAlign = 4;
 
 std::size_t padding(std::size_t n) { return (kAlign - n % kAlign) % kAlign; }
+
+/// Encode host doubles as big-endian binary64 into `out` (8 bytes each).
+void encodeDoublesBE(std::span<const double> in, std::uint8_t* out) {
+  for (double d : in) {
+    const std::uint64_t v = std::bit_cast<std::uint64_t>(d);
+    out[0] = static_cast<std::uint8_t>(v >> 56);
+    out[1] = static_cast<std::uint8_t>(v >> 48);
+    out[2] = static_cast<std::uint8_t>(v >> 40);
+    out[3] = static_cast<std::uint8_t>(v >> 32);
+    out[4] = static_cast<std::uint8_t>(v >> 24);
+    out[5] = static_cast<std::uint8_t>(v >> 16);
+    out[6] = static_cast<std::uint8_t>(v >> 8);
+    out[7] = static_cast<std::uint8_t>(v);
+    out += 8;
+  }
+}
+
+/// `data` holds big-endian binary64 bytes; convert to host doubles in
+/// place.  Each element's bytes are fully read before its slot is
+/// overwritten, so the aliasing is safe.
+void decodeDoublesBEInPlace(std::span<double> data) {
+  const std::uint8_t* p = reinterpret_cast<const std::uint8_t*>(data.data());
+  for (std::size_t i = 0; i < data.size(); ++i, p += 8) {
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v = (v << 8) | p[b];
+    data[i] = std::bit_cast<double>(v);
+  }
+}
 }  // namespace
 
 // ---------------------------------------------------------------- Encoder
@@ -65,18 +94,13 @@ void Encoder::putDoubleArray(std::span<const double> values) {
   putU32(static_cast<std::uint32_t>(values.size()));
   const std::size_t start = buffer_.size();
   buffer_.resize(start + values.size() * 8);
-  std::uint8_t* out = buffer_.data() + start;
-  for (double d : values) {
-    const std::uint64_t v = std::bit_cast<std::uint64_t>(d);
-    out[0] = static_cast<std::uint8_t>(v >> 56);
-    out[1] = static_cast<std::uint8_t>(v >> 48);
-    out[2] = static_cast<std::uint8_t>(v >> 40);
-    out[3] = static_cast<std::uint8_t>(v >> 32);
-    out[4] = static_cast<std::uint8_t>(v >> 24);
-    out[5] = static_cast<std::uint8_t>(v >> 16);
-    out[6] = static_cast<std::uint8_t>(v >> 8);
-    out[7] = static_cast<std::uint8_t>(v);
-    out += 8;
+  encodeDoublesBE(values, buffer_.data() + start);
+}
+
+void Encoder::putDoubleArrayRef(std::span<const double> values) {
+  putU32(static_cast<std::uint32_t>(values.size()));
+  if (!values.empty()) {
+    segments_.push_back({buffer_.size(), values});
   }
 }
 
@@ -89,80 +113,141 @@ void Encoder::putRaw(std::span<const std::uint8_t> bytes) {
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
 }
 
-// ---------------------------------------------------------------- Decoder
+std::size_t Encoder::borrowedBytes() const {
+  std::size_t total = 0;
+  for (const Segment& seg : segments_) total += seg.borrowed.size() * 8;
+  return total;
+}
 
-void Decoder::need(std::size_t n) const {
-  if (remaining() < n) {
+const std::vector<std::uint8_t>& Encoder::bytes() const {
+  NINF_REQUIRE(!hasBorrowed(),
+               "bytes() on an encoder with borrowed segments; use emitTo()");
+  return buffer_;
+}
+
+std::vector<std::uint8_t> Encoder::take() {
+  if (!hasBorrowed()) return std::move(buffer_);
+  std::vector<std::uint8_t> out;
+  appendTo(out);
+  return out;
+}
+
+void Encoder::appendTo(std::vector<std::uint8_t>& out) const {
+  out.reserve(out.size() + size());
+  std::size_t owned_pos = 0;
+  for (const Segment& seg : segments_) {
+    out.insert(out.end(), buffer_.begin() + owned_pos,
+               buffer_.begin() + seg.owned_end);
+    owned_pos = seg.owned_end;
+    const std::size_t start = out.size();
+    out.resize(start + seg.borrowed.size() * 8);
+    encodeDoublesBE(seg.borrowed, out.data() + start);
+  }
+  out.insert(out.end(), buffer_.begin() + owned_pos, buffer_.end());
+}
+
+void Encoder::emitTo(Sink& sink) const {
+  constexpr std::size_t kScratchDoubles = kScratchBytes / 8;
+  std::uint8_t scratch[kScratchBytes];
+  std::size_t owned_pos = 0;
+  for (const Segment& seg : segments_) {
+    if (seg.owned_end > owned_pos) {
+      sink.write({buffer_.data() + owned_pos, seg.owned_end - owned_pos});
+      owned_pos = seg.owned_end;
+    }
+    std::span<const double> rest = seg.borrowed;
+    while (!rest.empty()) {
+      const auto chunk = rest.first(std::min(rest.size(), kScratchDoubles));
+      encodeDoublesBE(chunk, scratch);
+      sink.write({scratch, chunk.size() * 8});
+      sink.flush();  // scratch is reused for the next chunk
+      rest = rest.subspan(chunk.size());
+    }
+  }
+  if (buffer_.size() > owned_pos) {
+    sink.write({buffer_.data() + owned_pos, buffer_.size() - owned_pos});
+  }
+  sink.flush();
+}
+
+// ----------------------------------------------------------------- Source
+
+void Source::need(std::size_t n) const {
+  if (remainingBytes() < n) {
     throw ProtocolError("XDR underflow: need " + std::to_string(n) +
-                        " bytes, have " + std::to_string(remaining()));
+                        " bytes, have " + std::to_string(remainingBytes()));
   }
 }
 
-void Decoder::skipPad(std::size_t payload) {
+void Source::skipPad(std::size_t payload) {
   const std::size_t pad = padding(payload);
+  if (pad == 0) return;
   need(pad);
+  std::uint8_t buf[kAlign];
+  readBytes({buf, pad});
   for (std::size_t i = 0; i < pad; ++i) {
-    if (data_[pos_ + i] != 0) {
+    if (buf[i] != 0) {
       throw ProtocolError("XDR padding bytes must be zero");
     }
   }
-  pos_ += pad;
 }
 
-std::uint32_t Decoder::getU32() {
+std::uint32_t Source::getU32() {
   need(4);
-  const std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
-                          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
-                          (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
-                          static_cast<std::uint32_t>(data_[pos_ + 3]);
-  pos_ += 4;
+  std::uint8_t b[4];
+  readBytes(b);
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) |
+         static_cast<std::uint32_t>(b[3]);
+}
+
+std::int32_t Source::getI32() { return static_cast<std::int32_t>(getU32()); }
+
+std::uint64_t Source::getU64() {
+  need(8);
+  std::uint8_t b[8];
+  readBytes(b);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | b[i];
   return v;
 }
 
-std::int32_t Decoder::getI32() { return static_cast<std::int32_t>(getU32()); }
+std::int64_t Source::getI64() { return static_cast<std::int64_t>(getU64()); }
 
-std::uint64_t Decoder::getU64() {
-  const std::uint64_t hi = getU32();
-  const std::uint64_t lo = getU32();
-  return (hi << 32) | lo;
-}
-
-std::int64_t Decoder::getI64() { return static_cast<std::int64_t>(getU64()); }
-
-bool Decoder::getBool() {
+bool Source::getBool() {
   const std::uint32_t v = getU32();
   if (v > 1) throw ProtocolError("XDR bool out of range");
   return v == 1;
 }
 
-float Decoder::getFloat() { return std::bit_cast<float>(getU32()); }
+float Source::getFloat() { return std::bit_cast<float>(getU32()); }
 
-double Decoder::getDouble() { return std::bit_cast<double>(getU64()); }
+double Source::getDouble() { return std::bit_cast<double>(getU64()); }
 
-std::vector<std::uint8_t> Decoder::getOpaque() {
+std::vector<std::uint8_t> Source::getOpaque() {
   const std::uint32_t len = getU32();
-  need(len);
-  std::vector<std::uint8_t> out(data_.begin() + pos_,
-                                data_.begin() + pos_ + len);
-  pos_ += len;
+  need(len + padding(len));
+  std::vector<std::uint8_t> out(len);
+  readBytes(out);
   skipPad(len);
   return out;
 }
 
-std::string Decoder::getString() {
+std::string Source::getString() {
   const auto bytes = getOpaque();
   return std::string(bytes.begin(), bytes.end());
 }
 
-std::vector<double> Decoder::getDoubleArray() {
+std::vector<double> Source::getDoubleArray() {
   const std::uint32_t count = getU32();
   need(static_cast<std::size_t>(count) * 8);
   std::vector<double> out(count);
-  for (std::uint32_t i = 0; i < count; ++i) out[i] = getDouble();
+  getDoublesBody(out);
   return out;
 }
 
-void Decoder::getDoubleArrayInto(std::span<double> out) {
+void Source::getDoubleArrayInto(std::span<double> out) {
   const std::uint32_t count = getU32();
   if (count != out.size()) {
     throw ProtocolError("double array count mismatch: wire " +
@@ -170,21 +255,48 @@ void Decoder::getDoubleArrayInto(std::span<double> out) {
                         std::to_string(out.size()));
   }
   need(static_cast<std::size_t>(count) * 8);
-  const std::uint8_t* in = data_.data() + pos_;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    std::uint64_t v = 0;
-    for (int b = 0; b < 8; ++b) v = (v << 8) | in[i * 8 + b];
-    out[i] = std::bit_cast<double>(v);
-  }
-  pos_ += static_cast<std::size_t>(count) * 8;
+  getDoublesBody(out);
 }
 
-std::vector<std::int64_t> Decoder::getI64Array() {
+void Source::getDoublesBody(std::span<double> out) {
+  readBytes({reinterpret_cast<std::uint8_t*>(out.data()), out.size() * 8});
+  decodeDoublesBEInPlace(out);
+}
+
+std::vector<std::int64_t> Source::getI64Array() {
   const std::uint32_t count = getU32();
   need(static_cast<std::size_t>(count) * 8);
   std::vector<std::int64_t> out(count);
-  for (std::uint32_t i = 0; i < count; ++i) out[i] = getI64();
+  readBytes({reinterpret_cast<std::uint8_t*>(out.data()), out.size() * 8});
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint8_t* p =
+        reinterpret_cast<const std::uint8_t*>(out.data()) + i * 8;
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v = (v << 8) | p[b];
+    out[i] = static_cast<std::int64_t>(v);
+  }
   return out;
+}
+
+void Source::skip(std::size_t n) {
+  need(n);
+  std::uint8_t buf[4096];
+  while (n > 0) {
+    const std::size_t chunk = std::min(n, sizeof(buf));
+    readBytes({buf, chunk});
+    n -= chunk;
+  }
+}
+
+// ---------------------------------------------------------------- Decoder
+
+void Decoder::readBytes(std::span<std::uint8_t> out) {
+  if (out.size() > remainingBytes()) {
+    throw ProtocolError("XDR underflow: need " + std::to_string(out.size()) +
+                        " bytes, have " + std::to_string(remainingBytes()));
+  }
+  std::memcpy(out.data(), data_.data() + pos_, out.size());
+  pos_ += out.size();
 }
 
 }  // namespace ninf::xdr

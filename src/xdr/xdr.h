@@ -6,6 +6,21 @@
 // Every primitive occupies a multiple of four bytes, big-endian.  Doubles
 // are IEEE-754 binary64 transmitted high word first.  Variable-length data
 // carries a u32 length prefix and is padded to a 4-byte boundary.
+//
+// The encoder/decoder pair supports two data paths:
+//
+//  * Contiguous: Encoder::take()/bytes() materializes the whole payload
+//    and Decoder reads from a caller-owned span.  Used for small control
+//    messages (interface queries, status, acks).
+//  * Streaming scatter-gather: Encoder::putDoubleArrayRef() records large
+//    double arrays as *borrowed* segments (no copy); emitTo() later walks
+//    the segments, byteswapping borrowed data in bounded chunks through a
+//    scratch buffer into a Sink.  Symmetrically, Source is the abstract
+//    reading side: typed getters are implemented once on top of a virtual
+//    readBytes(), so the same decode logic runs over a contiguous span
+//    (Decoder) or an incrementally received message body
+//    (protocol::BodyReader), with arrays landing directly in their final
+//    destination and byteswapped in place.
 #pragma once
 
 #include <cstddef>
@@ -16,9 +31,42 @@
 
 namespace ninf::xdr {
 
-/// Append-only XDR encoder writing into an internal byte vector.
+/// Destination of encoded bytes for the streaming path.
+///
+/// Contract: spans passed to write() must remain valid until the next
+/// flush(); flush() transmits/consumes everything written so far.  This
+/// lets implementations gather many small segments (frame header, scalar
+/// section, byteswapped array chunk) into a single vectored send.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void write(std::span<const std::uint8_t> bytes) = 0;
+  virtual void flush() {}
+};
+
+/// Sink materializing into an owned contiguous vector (tests, legacy
+/// paths that still need a full payload).
+class VectorSink : public Sink {
+ public:
+  void write(std::span<const std::uint8_t> bytes) override {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Append-only XDR encoder.  Small values are copied into an internal
+/// byte vector; large double arrays may be *referenced* (borrowed) via
+/// putDoubleArrayRef so the payload is never materialized contiguously.
 class Encoder {
  public:
+  /// Borrowed-segment emission byteswaps through a scratch buffer of this
+  /// many bytes; this bounds the extra memory of a streamed send.
+  static constexpr std::size_t kScratchBytes = 64 * 1024;
+
   Encoder() = default;
 
   void putU32(std::uint32_t v);
@@ -32,28 +80,59 @@ class Encoder {
   void putOpaque(std::span<const std::uint8_t> bytes);
   /// ASCII/UTF-8 string, encoded as opaque.
   void putString(const std::string& s);
-  /// Fixed-layout array of doubles with a u32 count prefix.
+  /// Fixed-layout array of doubles with a u32 count prefix (copied).
   void putDoubleArray(std::span<const double> values);
+  /// Same wire format as putDoubleArray, but the data is borrowed: the
+  /// caller's memory must outlive every emitTo()/take()/appendTo() call.
+  /// The byteswap is deferred to emission time.
+  void putDoubleArrayRef(std::span<const double> values);
   void putI64Array(std::span<const std::int64_t> values);
 
   /// Raw bytes with no length prefix or padding (for nesting pre-encoded
   /// XDR fragments such as compiled IDL programs).
   void putRaw(std::span<const std::uint8_t> bytes);
 
-  std::size_t size() const { return buffer_.size(); }
-  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
-  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+  /// Total encoded size, including borrowed segments.
+  std::size_t size() const { return buffer_.size() + borrowedBytes(); }
+  /// Bytes held in the internal (owned) buffer only.
+  std::size_t ownedSize() const { return buffer_.size(); }
+  /// True if any segment references caller memory.
+  bool hasBorrowed() const { return !segments_.empty(); }
+
+  /// Contiguous view; only valid when nothing is borrowed.
+  const std::vector<std::uint8_t>& bytes() const;
+  /// Materialize the full payload (copies borrowed segments).
+  std::vector<std::uint8_t> take();
+  /// Append the full payload to `out` (copies borrowed segments).
+  void appendTo(std::vector<std::uint8_t>& out) const;
+
+  /// Stream the payload: owned ranges are written as-is, borrowed double
+  /// arrays are big-endian byteswapped in chunks of at most kScratchBytes
+  /// through an internal scratch buffer.  flush() is invoked after each
+  /// scratch chunk and once at the end.
+  void emitTo(Sink& sink) const;
 
  private:
+  struct Segment {
+    std::size_t owned_end;            // owned bytes [prev end, here) come first
+    std::span<const double> borrowed; // then this array, byteswapped on emit
+  };
+
+  std::size_t borrowedBytes() const;
   void pad();
+
   std::vector<std::uint8_t> buffer_;
+  std::vector<Segment> segments_;
 };
 
-/// XDR decoder reading from a caller-owned byte span.
-/// Throws ninf::ProtocolError on underflow or malformed padding.
-class Decoder {
+/// Abstract XDR reading side.  Implementations provide the primitive
+/// readBytes()/remainingBytes(); every typed getter is defined here once,
+/// so contiguous and streamed decoding share bounds checks and byte
+/// order handling.  All getters throw ninf::ProtocolError on underflow,
+/// malformed padding, or count/size lies — before allocating.
+class Source {
  public:
-  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+  virtual ~Source() = default;
 
   std::uint32_t getU32();
   std::int32_t getI32();
@@ -67,16 +146,40 @@ class Decoder {
   std::vector<double> getDoubleArray();
   std::vector<std::int64_t> getI64Array();
   /// Decode a double array directly into caller memory (output matrices);
-  /// the wire count must equal out.size().
+  /// the wire count must equal out.size().  The bytes land in `out` and
+  /// are byteswapped in place — no intermediate buffer.
   void getDoubleArrayInto(std::span<double> out);
+  /// Consume and discard exactly n bytes.
+  void skip(std::size_t n);
 
-  std::size_t remaining() const { return data_.size() - pos_; }
-  bool atEnd() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return remainingBytes(); }
+  bool atEnd() const { return remainingBytes() == 0; }
+
+ protected:
+  /// Read exactly out.size() bytes; implementations throw ProtocolError
+  /// (bounded body underflow) or TransportError (connection loss).
+  virtual void readBytes(std::span<std::uint8_t> out) = 0;
+  /// Bytes still available from this source.
+  virtual std::size_t remainingBytes() const = 0;
+
+  void need(std::size_t n) const;
 
  private:
-  void need(std::size_t n) const;
   void skipPad(std::size_t payload);
+  /// Read count*8 wire bytes straight into `out` and byteswap in place.
+  void getDoublesBody(std::span<double> out);
+};
 
+/// XDR decoder reading from a caller-owned contiguous byte span.
+class Decoder : public Source {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+ protected:
+  void readBytes(std::span<std::uint8_t> out) override;
+  std::size_t remainingBytes() const override { return data_.size() - pos_; }
+
+ private:
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };

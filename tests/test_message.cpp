@@ -25,10 +25,84 @@ TEST(Message, RoundTripOverInproc) {
 
 TEST(Message, EmptyPayload) {
   auto [a, b] = transport::inprocPair();
-  sendMessage(*a, MessageType::ListExecutables, {});
+  sendMessage(*a, MessageType::ListExecutables,
+              std::span<const std::uint8_t>{});
   const Message msg = recvMessage(*b);
   EXPECT_EQ(msg.type, MessageType::ListExecutables);
   EXPECT_TRUE(msg.payload.empty());
+}
+
+TEST(Message, StreamedSendMatchesContiguousWireFormat) {
+  // The scatter-gather pipeline must be byte-identical on the wire to the
+  // legacy contiguous path.
+  std::vector<double> big(5000);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<double>(i) * 0.25 - 7.0;
+  }
+  xdr::Encoder streamed;
+  streamed.putString("payload");
+  streamed.putDoubleArrayRef(big);  // borrowed
+  streamed.putU32(0xCAFEF00D);
+
+  xdr::Encoder contiguous;
+  contiguous.putString("payload");
+  contiguous.putDoubleArray(big);  // copied
+  contiguous.putU32(0xCAFEF00D);
+
+  auto [a, b] = transport::inprocPair();
+  sendMessage(*a, MessageType::Ping, streamed);
+  const Message msg = recvMessage(*b);
+  EXPECT_EQ(msg.type, MessageType::Ping);
+  EXPECT_EQ(msg.payload, contiguous.bytes());
+}
+
+TEST(Message, HeaderPlusBodyReaderRoundTrip) {
+  auto [a, b] = transport::inprocPair();
+  std::vector<double> values(3000, 1.5);
+  xdr::Encoder enc;
+  enc.putU32(42);
+  enc.putDoubleArrayRef(values);
+  sendMessage(*a, MessageType::CallRequest, enc);
+
+  const FrameHeader header = recvHeader(*b);
+  EXPECT_EQ(header.type, MessageType::CallRequest);
+  EXPECT_EQ(header.length, enc.size());
+  BodyReader body(*b, header.length);
+  EXPECT_EQ(body.getU32(), 42u);
+  std::vector<double> out(values.size());
+  body.getDoubleArrayInto(out);
+  EXPECT_TRUE(body.atEnd());
+  EXPECT_EQ(out, values);
+}
+
+TEST(Message, BodyReaderDrainKeepsFramingAligned) {
+  auto [a, b] = transport::inprocPair();
+  std::vector<double> values(2000, 3.25);
+  xdr::Encoder enc;
+  enc.putDoubleArrayRef(values);
+  sendMessage(*a, MessageType::CallRequest, enc);
+  xdr::Encoder follow;
+  follow.putU32(7);
+  sendMessage(*a, MessageType::Ping, follow.bytes());
+
+  FrameHeader header = recvHeader(*b);
+  BodyReader body(*b, header.length);
+  body.drain();  // skip the whole call body
+  const Message next = recvMessage(*b);
+  EXPECT_EQ(next.type, MessageType::Ping);
+  xdr::Decoder dec(next.payload);
+  EXPECT_EQ(dec.getU32(), 7u);
+}
+
+TEST(Message, BodyReaderUnderflowThrowsProtocolError) {
+  auto [a, b] = transport::inprocPair();
+  xdr::Encoder enc;
+  enc.putU32(1);
+  sendMessage(*a, MessageType::CallRequest, enc.bytes());
+  FrameHeader header = recvHeader(*b);
+  BodyReader body(*b, header.length);
+  EXPECT_EQ(body.getU32(), 1u);
+  EXPECT_THROW(body.getU32(), ProtocolError);  // past the declared body
 }
 
 TEST(Message, SequencedMessagesArriveInOrder) {

@@ -67,6 +67,41 @@ TEST(Inproc, SendAfterCloseThrows) {
   EXPECT_THROW(a->sendAll(bytes({1})), TransportError);
 }
 
+TEST(Inproc, SendvDeliversBuffersInOrder) {
+  auto [a, b] = inprocPair();
+  const auto b1 = bytes({1, 2, 3});
+  const auto b2 = bytes({});
+  const auto b3 = bytes({4, 5});
+  const std::span<const std::uint8_t> bufs[] = {b1, b2, b3};
+  a->sendv(bufs);
+  std::uint8_t out[5];
+  b->recvAll(out);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[2], 3);
+  EXPECT_EQ(out[3], 4);
+  EXPECT_EQ(out[4], 5);
+}
+
+TEST(Inproc, RecvSomeReturnsAvailablePrefix) {
+  auto [a, b] = inprocPair();
+  a->sendAll(bytes({1, 2, 3}));
+  std::uint8_t buf[8] = {};
+  const std::size_t got = b->recvSome(buf);
+  ASSERT_GE(got, 1u);
+  ASSERT_LE(got, 3u);
+  EXPECT_EQ(buf[0], 1);
+}
+
+TEST(Inproc, RecvSomeThrowsOnceClosedAndDrained) {
+  auto [a, b] = inprocPair();
+  a->sendAll(bytes({9}));
+  a->close();
+  std::uint8_t buf[4];
+  EXPECT_EQ(b->recvSome(buf), 1u);
+  EXPECT_EQ(buf[0], 9);
+  EXPECT_THROW(b->recvSome(buf), TransportError);
+}
+
 TEST(Tcp, LoopbackEcho) {
   TcpListener listener(0);
   ASSERT_GT(listener.port(), 0);
@@ -100,6 +135,81 @@ TEST(Tcp, LargeTransferIntegrity) {
   auto client = tcpConnect("127.0.0.1", listener.port());
   client->sendAll(big);
   server_side.get();
+}
+
+TEST(Tcp, SendvManyBuffersIntegrity) {
+  // More buffers than one sendmsg iovec batch (64) to exercise batching
+  // and the partial-advance bookkeeping.
+  constexpr std::size_t kBufs = 100;
+  std::vector<std::vector<std::uint8_t>> chunks(kBufs);
+  std::vector<std::uint8_t> expected;
+  for (std::size_t i = 0; i < kBufs; ++i) {
+    chunks[i].resize(1 + (i * 37) % 5000);
+    for (std::size_t j = 0; j < chunks[i].size(); ++j) {
+      chunks[i][j] = static_cast<std::uint8_t>(i * 131 + j);
+    }
+    expected.insert(expected.end(), chunks[i].begin(), chunks[i].end());
+  }
+  std::vector<std::span<const std::uint8_t>> bufs(chunks.begin(),
+                                                  chunks.end());
+  bufs.insert(bufs.begin() + 5, std::span<const std::uint8_t>{});  // empty
+
+  TcpListener listener(0);
+  auto server_side = std::async(std::launch::async, [&] {
+    auto stream = listener.accept();
+    std::vector<std::uint8_t> got(expected.size());
+    stream->recvAll(got);
+    EXPECT_EQ(got, expected);
+  });
+  auto client = tcpConnect("127.0.0.1", listener.port());
+  client->sendv(bufs);
+  server_side.get();
+}
+
+TEST(Tcp, RecvSomeReturnsPartialData) {
+  TcpListener listener(0);
+  auto server_side = std::async(std::launch::async, [&] {
+    auto stream = listener.accept();
+    stream->sendAll(bytes({1, 2, 3}));
+    std::uint8_t ack;
+    stream->recvAll({&ack, 1});
+  });
+  auto client = tcpConnect("127.0.0.1", listener.port());
+  std::uint8_t buf[16] = {};
+  std::size_t got = 0;
+  while (got < 3) got += client->recvSome(std::span(buf).subspan(got));
+  EXPECT_EQ(got, 3u);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[2], 3);
+  client->sendAll(bytes({0}));
+  server_side.get();
+}
+
+TEST(Tcp, TimedConnectSucceedsAgainstLiveListener) {
+  TcpListener listener(0);
+  auto server_side = std::async(std::launch::async, [&] {
+    auto stream = listener.accept();
+    std::uint8_t b;
+    stream->recvAll({&b, 1});
+    stream->sendAll({&b, 1});
+  });
+  // Exercises the non-blocking connect + poll path end to end; the
+  // stream must come back in blocking mode for recvAll to work.
+  auto client = tcpConnect("127.0.0.1", listener.port(), 5.0);
+  client->sendAll(bytes({42}));
+  std::uint8_t echo;
+  client->recvAll({&echo, 1});
+  EXPECT_EQ(echo, 42);
+  server_side.get();
+}
+
+TEST(Tcp, ConnectErrorNamesEndpoint) {
+  try {
+    tcpConnect("127.0.0.1", 1);
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_NE(std::string(e.what()).find("127.0.0.1:1"), std::string::npos);
+  }
 }
 
 TEST(Tcp, ConnectRefusedThrows) {
