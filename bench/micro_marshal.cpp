@@ -7,10 +7,15 @@
 // streamed path.
 //
 //   bench_micro_marshal [--warmup N] [--repeat N] [--sizes n1,n2,...]
+//                       [--faulty]
 //
 // Sizes are dmmul matrix orders; the CallRequest body carries two n*n
 // double arrays (n=512 -> 4 MiB of array payload, n=1024 -> 16 MiB).
 // Reports min and median MB/s per path and the streamed/legacy speedup.
+//
+// --faulty wraps both pipe ends in the fault-injection decorator with a
+// no-fault plan: comparing a --faulty run against a plain one verifies
+// that a disabled FaultPlan costs nothing (within run-to-run noise).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -24,6 +29,7 @@
 #include "idl/parser.h"
 #include "protocol/call_marshal.h"
 #include "protocol/message.h"
+#include "transport/fault_injection.h"
 #include "transport/inproc_transport.h"
 #include "xdr/xdr.h"
 
@@ -57,10 +63,17 @@ struct Harness {
   std::unique_ptr<transport::Stream> server;
   std::thread consumer;
 
-  explicit Harness(bool streamed) {
+  explicit Harness(bool streamed, bool faulty) {
     auto [a, b] = transport::inprocPair();
     client = std::move(a);
     server = std::move(b);
+    if (faulty) {
+      // Enabled decorator, empty fault plan: the overhead being measured
+      // is one virtual hop plus an enabled() check per operation.
+      auto plan = std::make_shared<transport::FaultPlan>();
+      client = transport::wrapFaulty(std::move(client), plan);
+      server = transport::wrapFaulty(std::move(server), plan);
+    }
     consumer = std::thread([this, streamed] {
       try {
         for (;;) {
@@ -115,7 +128,8 @@ struct Stats {
   double median_mbps = 0.0;
 };
 
-Stats runPath(bool streamed, std::size_t n, int warmup, int repeat) {
+Stats runPath(bool streamed, bool faulty, std::size_t n, int warmup,
+              int repeat) {
   std::vector<double> a(n * n), b(n * n), c(n * n);
   for (std::size_t i = 0; i < a.size(); ++i) {
     a[i] = static_cast<double>(i % 1000) * 0.5;
@@ -127,7 +141,7 @@ Stats runPath(bool streamed, std::size_t n, int warmup, int repeat) {
   const double body_mb =
       static_cast<double>(2 * n * n * sizeof(double)) / 1e6;
 
-  Harness h(streamed);
+  Harness h(streamed, faulty);
   for (int i = 0; i < warmup; ++i) oneRound(h, streamed, args);
   std::vector<double> mbps;
   mbps.reserve(static_cast<std::size_t>(repeat));
@@ -146,6 +160,7 @@ Stats runPath(bool streamed, std::size_t n, int warmup, int repeat) {
 int main(int argc, char** argv) {
   int warmup = 2;
   int repeat = 9;
+  bool faulty = false;
   std::vector<std::size_t> sizes = {256, 512, 1024};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -167,9 +182,12 @@ int main(int argc, char** argv) {
            tok = std::strtok(nullptr, ",")) {
         sizes.push_back(static_cast<std::size_t>(std::atoll(tok)));
       }
+    } else if (arg == "--faulty") {
+      faulty = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--warmup N] [--repeat N] [--sizes n1,n2,...]\n",
+                   "usage: %s [--warmup N] [--repeat N] [--sizes n1,n2,...]"
+                   " [--faulty]\n",
                    argv[0]);
       return 2;
     }
@@ -179,14 +197,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("# marshal path benchmark: warmup=%d repeat=%d\n", warmup,
-              repeat);
+  std::printf("# marshal path benchmark: warmup=%d repeat=%d faulty=%d\n",
+              warmup, repeat, faulty ? 1 : 0);
   std::printf("%8s %12s %14s %14s %14s %14s %9s\n", "n", "body_MB",
               "legacy_min", "legacy_med", "stream_min", "stream_med",
               "speedup");
   for (const std::size_t n : sizes) {
-    const Stats legacy = runPath(/*streamed=*/false, n, warmup, repeat);
-    const Stats streamed = runPath(/*streamed=*/true, n, warmup, repeat);
+    const Stats legacy = runPath(/*streamed=*/false, faulty, n, warmup,
+                                 repeat);
+    const Stats streamed = runPath(/*streamed=*/true, faulty, n, warmup,
+                                   repeat);
     const double body_mb =
         static_cast<double>(2 * n * n * sizeof(double)) / 1e6;
     std::printf("%8zu %12.2f %11.0f MB/s %11.0f MB/s %11.0f MB/s %11.0f MB/s %8.2fx\n",

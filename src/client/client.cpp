@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
+#include <thread>
 
 #include "common/error.h"
+#include "common/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "transport/tcp_transport.h"
@@ -36,8 +39,12 @@ std::unique_ptr<NinfClient> NinfClient::connectTcp(const std::string& host,
   static obs::Counter& connects = obs::counter("client.connects");
   connects.add();
   try {
-    return std::make_unique<NinfClient>(
+    auto client = std::make_unique<NinfClient>(
         transport::tcpConnect(host, port, timeout_seconds));
+    client->setReconnect([host, port, timeout_seconds] {
+      return transport::tcpConnect(host, port, timeout_seconds);
+    });
+    return client;
   } catch (const TransportError& e) {
     static obs::Counter& failures = obs::counter("client.connect_failures");
     failures.add();
@@ -46,11 +53,87 @@ std::unique_ptr<NinfClient> NinfClient::connectTcp(const std::string& host,
   }
 }
 
+transport::Stream& NinfClient::ensureStream() {
+  if (!stream_) {
+    if (!reconnect_) {
+      throw TransportError("connection lost and no reconnect factory");
+    }
+    static obs::Counter& reconnects = obs::counter("client.reconnects");
+    reconnects.add();
+    stream_ = reconnect_();
+    if (!stream_) {
+      throw TransportError("reconnect factory returned no stream");
+    }
+  }
+  return *stream_;
+}
+
+namespace {
+
+/// Clears the stream deadline when an attempt leaves scope.  During
+/// unwinding this runs before the retry loop's catch block resets the
+/// stream, so the pointer is still valid; on non-transport errors
+/// (RemoteError and friends) it keeps a stale deadline from poisoning
+/// the connection's next use.
+struct DeadlineClear {
+  transport::Stream* stream;
+  ~DeadlineClear() {
+    if (stream) stream->clearDeadline();
+  }
+};
+
+}  // namespace
+
+template <typename Fn>
+auto NinfClient::retryLoop(const std::string& what, const CallOptions& opts,
+                           Fn&& fn) -> decltype(fn()) {
+  using clock = std::chrono::steady_clock;
+  const bool bounded = opts.deadline_seconds > 0;
+  const clock::time_point deadline =
+      bounded ? clock::now() +
+                    std::chrono::duration_cast<clock::duration>(
+                        std::chrono::duration<double>(opts.deadline_seconds))
+              : transport::Stream::kNoDeadline;
+  double backoff = std::max(0.0, opts.backoff_seconds);
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      transport::Stream& s = ensureStream();
+      if (bounded) s.setDeadline(deadline);
+      DeadlineClear guard{bounded ? &s : nullptr};
+      return fn();
+    } catch (const TransportError&) {
+      // The wire is mid-protocol in an unknown state: the connection
+      // cannot be reused, deadline or not.
+      if (stream_) {
+        stream_->close();
+        stream_.reset();
+      }
+      if (attempt >= opts.retries || !reconnect_) throw;
+      const double remaining =
+          bounded ? std::chrono::duration<double>(deadline - clock::now())
+                        .count()
+                  : std::numeric_limits<double>::infinity();
+      // Not enough budget left to back off and try again: surface the
+      // transport error we have rather than a guaranteed timeout.
+      if (remaining <= backoff) throw;
+      static obs::Counter& retries = obs::counter("client.call_retries");
+      retries.add();
+      NINF_LOG(Debug) << what << ": retrying (attempt " << attempt + 1
+                      << " of " << opts.retries << ")";
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      backoff = backoff > 0 ? backoff * 2 : 0.0;
+    }
+  }
+}
+
 Message NinfClient::roundTrip(MessageType type,
                               std::span<const std::uint8_t> payload,
                               MessageType expected) {
-  protocol::sendMessage(*stream_, type, payload);
-  Message reply = protocol::recvMessage(*stream_);
+  transport::Stream& stream = ensureStream();
+  protocol::sendMessage(stream, type, payload);
+  Message reply = protocol::recvMessage(stream);
   if (reply.type != expected) {
     throw ProtocolError("expected message type " +
                         std::to_string(static_cast<unsigned>(expected)) +
@@ -129,8 +212,16 @@ void emitServerDerivedPhases(const obs::Span& root, const CallResult& result,
 }  // namespace
 
 CallResult NinfClient::call(const std::string& name,
-                            std::span<const ArgValue> args) {
+                            std::span<const ArgValue> args,
+                            const CallOptions& opts) {
+  return retryLoop("call '" + name + "'", opts,
+                   [&] { return callOnce(name, args); });
+}
+
+CallResult NinfClient::callOnce(const std::string& name,
+                                std::span<const ArgValue> args) {
   const idl::InterfaceInfo& info = queryInterface(name);
+  transport::Stream& stream = ensureStream();
 
   obs::Span root(obs::phase::kCall);
   root.setDetail(name);
@@ -146,11 +237,11 @@ CallResult NinfClient::call(const std::string& name,
   {
     obs::Span send(obs::phase::kSend,
                    static_cast<std::int64_t>(request.size()));
-    protocol::sendMessage(*stream_, MessageType::CallRequest, request);
+    protocol::sendMessage(stream, MessageType::CallRequest, request);
   }
   const double sent_us = obs::Tracer::nowMicros();
-  const protocol::FrameHeader header = protocol::recvHeader(*stream_);
-  protocol::BodyReader body(*stream_, header.length);
+  const protocol::FrameHeader header = protocol::recvHeader(stream);
+  protocol::BodyReader body(stream, header.length);
   if (header.type != MessageType::CallReply) {
     body.drain();
     throw ProtocolError(
@@ -175,13 +266,21 @@ CallResult NinfClient::call(const std::string& name,
 }
 
 JobHandle NinfClient::submit(const std::string& name,
-                             std::span<const ArgValue> args) {
+                             std::span<const ArgValue> args,
+                             const CallOptions& opts) {
+  return retryLoop("submit '" + name + "'", opts,
+                   [&] { return submitOnce(name, args); });
+}
+
+JobHandle NinfClient::submitOnce(const std::string& name,
+                                 std::span<const ArgValue> args) {
   const idl::InterfaceInfo& info = queryInterface(name);
+  transport::Stream& stream = ensureStream();
   obs::Span root("submit");
   root.setDetail(name);
   const xdr::Encoder request = protocol::buildCallRequest(info, args);
-  protocol::sendMessage(*stream_, MessageType::SubmitRequest, request);
-  const Message ack = protocol::recvMessage(*stream_);
+  protocol::sendMessage(stream, MessageType::SubmitRequest, request);
+  const Message ack = protocol::recvMessage(stream);
   if (ack.type != MessageType::SubmitAck) {
     throw ProtocolError("expected SubmitAck, got " +
                         std::to_string(static_cast<unsigned>(ack.type)));
@@ -191,16 +290,24 @@ JobHandle NinfClient::submit(const std::string& name,
 }
 
 std::optional<CallResult> NinfClient::fetch(const JobHandle& handle,
-                                            std::span<const ArgValue> args) {
+                                            std::span<const ArgValue> args,
+                                            const CallOptions& opts) {
+  return retryLoop("fetch '" + handle.name + "'", opts,
+                   [&] { return fetchOnce(handle, args); });
+}
+
+std::optional<CallResult> NinfClient::fetchOnce(
+    const JobHandle& handle, std::span<const ArgValue> args) {
   const idl::InterfaceInfo& info = queryInterface(handle.name);
+  transport::Stream& stream = ensureStream();
   obs::Span root("fetch");
   root.setDetail(handle.name);
   xdr::Encoder enc;
   enc.putU64(handle.id);
   const double start = nowSeconds();
-  protocol::sendMessage(*stream_, MessageType::FetchResult, enc.bytes());
-  const protocol::FrameHeader header = protocol::recvHeader(*stream_);
-  protocol::BodyReader body(*stream_, header.length);
+  protocol::sendMessage(stream, MessageType::FetchResult, enc.bytes());
+  const protocol::FrameHeader header = protocol::recvHeader(stream);
+  protocol::BodyReader body(stream, header.length);
   if (header.type == MessageType::ResultPending) {
     body.drain();
     return std::nullopt;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -51,6 +52,23 @@ struct JobHandle {
   std::string name;  // entry name, needed to decode the eventual reply
 };
 
+/// Reliability envelope of one logical call: a wall-clock budget covering
+/// every attempt, transport-failure retries, and exponential backoff
+/// between them.  The default (no deadline, no retries) reproduces the
+/// historical single-attempt behavior exactly.
+///
+/// The deadline is end-to-end: it bounds every send and recv of every
+/// attempt (via Stream::setDeadline) plus the backoff sleeps, so a call
+/// with a deadline either completes or throws a typed error — it cannot
+/// hang on a stalled peer.  Retries fire only on TransportError (the
+/// connection is presumed dead and is re-established through the
+/// reconnect factory); RemoteError/ProtocolError surface immediately.
+struct CallOptions {
+  double deadline_seconds = 0.0;  ///< whole-call budget; 0 = unbounded
+  std::size_t retries = 0;        ///< extra attempts after TransportError
+  double backoff_seconds = 0.02;  ///< first retry delay; doubles per retry
+};
+
 class NinfClient {
  public:
   /// Adopt an established stream (TCP or inproc).
@@ -63,22 +81,39 @@ class NinfClient {
                                                 std::uint16_t port,
                                                 double timeout_seconds = 0.0);
 
+  /// Install a factory used to replace the connection when a retrying
+  /// call hits a TransportError (and to lazily reconnect after a failed
+  /// attempt dropped the stream).  connectTcp installs one automatically;
+  /// adopters of raw streams (inproc tests) may install their own.
+  void setReconnect(std::function<std::unique_ptr<transport::Stream>()> fn) {
+    reconnect_ = std::move(fn);
+  }
+
   /// Stage one of the two-stage RPC; cached per entry name.
   /// Throws NotFoundError if the server does not export `name`.
   const idl::InterfaceInfo& queryInterface(const std::string& name);
 
-  /// Synchronous Ninf_call with explicit argument values.
+  /// Synchronous Ninf_call with explicit argument values.  With a
+  /// non-default `opts`, the call is bounded by opts.deadline_seconds
+  /// (TimeoutError on expiry) and transport failures are retried up to
+  /// opts.retries times with exponential backoff.  A failed call may
+  /// leave OUT arrays partially written; a successful one never does.
   CallResult call(const std::string& name,
-                  std::span<const protocol::ArgValue> args);
+                  std::span<const protocol::ArgValue> args,
+                  const CallOptions& opts = {});
 
   /// Two-phase: ship arguments now, compute detached from the connection.
+  /// Retrying a submit whose ack was lost may enqueue the job twice; the
+  /// caller holds only the last handle.
   JobHandle submit(const std::string& name,
-                   std::span<const protocol::ArgValue> args);
+                   std::span<const protocol::ArgValue> args,
+                   const CallOptions& opts = {});
 
   /// Two-phase: try to collect a result; nullopt while still computing.
   /// On success the OUT arguments of `args` are filled.
   std::optional<CallResult> fetch(const JobHandle& handle,
-                                  std::span<const protocol::ArgValue> args);
+                                  std::span<const protocol::ArgValue> args,
+                                  const CallOptions& opts = {});
 
   /// Names of the executables registered on the server.
   std::vector<std::string> listExecutables();
@@ -96,7 +131,26 @@ class NinfClient {
                               std::span<const std::uint8_t> payload,
                               protocol::MessageType expected);
 
+  /// Current stream, reconnecting through the factory if a previous
+  /// failure dropped it.  Throws TransportError when unconnectable.
+  transport::Stream& ensureStream();
+
+  /// Deadline + retry + backoff skeleton shared by call/submit/fetch:
+  /// runs `fn` (one protocol attempt) under the options' stream deadline,
+  /// dropping the connection and retrying on TransportError.
+  template <typename Fn>
+  auto retryLoop(const std::string& what, const CallOptions& opts, Fn&& fn)
+      -> decltype(fn());
+
+  CallResult callOnce(const std::string& name,
+                      std::span<const protocol::ArgValue> args);
+  JobHandle submitOnce(const std::string& name,
+                       std::span<const protocol::ArgValue> args);
+  std::optional<CallResult> fetchOnce(const JobHandle& handle,
+                                      std::span<const protocol::ArgValue> args);
+
   std::unique_ptr<transport::Stream> stream_;
+  std::function<std::unique_ptr<transport::Stream>()> reconnect_;
   std::map<std::string, idl::InterfaceInfo> interface_cache_;
 };
 

@@ -26,6 +26,16 @@ class CallDispatcher {
   /// Perform one synchronous call somewhere.  Thread-safe.
   virtual CallResult dispatch(const std::string& name,
                               std::span<const protocol::ArgValue> args) = 0;
+
+  /// Same, bounded by a deadline/retry envelope.  The default forwards
+  /// and ignores the options; dispatchers that own connections (direct,
+  /// metaserver) honor them.
+  virtual CallResult dispatch(const std::string& name,
+                              std::span<const protocol::ArgValue> args,
+                              const CallOptions& opts) {
+    (void)opts;
+    return dispatch(name, args);
+  }
 };
 
 /// Sends every call to the single server produced by the factory, one
@@ -40,6 +50,13 @@ class DirectDispatcher : public CallDispatcher {
                       std::span<const protocol::ArgValue> args) override {
     auto client = factory_();
     return client->call(name, args);
+  }
+
+  CallResult dispatch(const std::string& name,
+                      std::span<const protocol::ArgValue> args,
+                      const CallOptions& opts) override {
+    auto client = factory_();
+    return client->call(name, args, opts);
   }
 
  private:

@@ -29,6 +29,17 @@ class TransportError : public Error {
   explicit TransportError(const std::string& what) : Error("transport: " + what) {}
 };
 
+/// A deadline elapsed before the operation completed: a recv/send that
+/// outlived Stream::setDeadline, or a call that exhausted its
+/// CallOptions budget.  Derives from TransportError so generic failure
+/// handling (metaserver failover, client retry) treats a stalled peer
+/// exactly like a dead one.
+class TimeoutError : public TransportError {
+ public:
+  explicit TimeoutError(const std::string& what)
+      : TransportError("timeout: " + what) {}
+};
+
 /// A named entity (executable, server, argument) was not found.
 class NotFoundError : public Error {
  public:

@@ -71,6 +71,37 @@ protocol::ServerStatusInfo Metaserver::poll(const std::string& server_name) {
 std::size_t Metaserver::pickIndex(const std::string& entry_name,
                                   std::span<const protocol::ArgValue> args,
                                   const std::vector<std::size_t>& excluded) {
+  // A server inside its post-failure cooldown window is shunned like an
+  // excluded one — but only while some other candidate remains, so a
+  // fully-cooling pool degrades to "try anyway" instead of failing.
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::size_t> shunned = excluded;
+  bool any_cooling = false;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (servers_[i].cooldown_until > now &&
+        std::find(excluded.begin(), excluded.end(), i) == excluded.end()) {
+      shunned.push_back(i);
+      any_cooling = true;
+    }
+  }
+  if (any_cooling && shunned.size() < servers_.size()) {
+    try {
+      const std::size_t idx = pickAmong(entry_name, args, shunned);
+      static obs::Counter& cooldown_skips =
+          obs::counter("metaserver.cooldown_skips");
+      cooldown_skips.add();
+      return idx;
+    } catch (const NotFoundError&) {
+      // Every non-cooling candidate was unreachable or lacks the entry;
+      // fall through and consider the cooling servers after all.
+    }
+  }
+  return pickAmong(entry_name, args, excluded);
+}
+
+std::size_t Metaserver::pickAmong(const std::string& entry_name,
+                                  std::span<const protocol::ArgValue> args,
+                                  const std::vector<std::size_t>& excluded) {
   NINF_REQUIRE(!servers_.empty(), "metaserver has no servers");
   auto isExcluded = [&](std::size_t i) {
     return std::find(excluded.begin(), excluded.end(), i) != excluded.end();
@@ -157,12 +188,31 @@ std::string Metaserver::chooseServer(
 
 client::CallResult Metaserver::dispatch(
     const std::string& name, std::span<const protocol::ArgValue> args) {
+  return dispatch(name, args, client::CallOptions{});
+}
+
+client::CallResult Metaserver::dispatch(const std::string& name,
+                                        std::span<const protocol::ArgValue> args,
+                                        const client::CallOptions& opts) {
+  using clock = std::chrono::steady_clock;
+  const bool bounded = opts.deadline_seconds > 0;
+  const clock::time_point deadline =
+      bounded ? clock::now() + std::chrono::duration_cast<clock::duration>(
+                                   std::chrono::duration<double>(
+                                       opts.deadline_seconds))
+              : clock::time_point::max();
+  const std::size_t budget =
+      opts.retries > 0 ? opts.retries : max_failovers_;
+  double backoff = failover_backoff_;
+
   std::vector<std::size_t> failed;
+  std::vector<std::string> failed_names;
+  std::string last_error;
   for (std::size_t attempt = 0;; ++attempt) {
     client::ConnectionFactory factory;
     std::string chosen;
     std::size_t idx;
-    {
+    try {
       // The decision itself is the interesting latency: least-load and
       // bandwidth-aware policies poll every candidate server inline.
       obs::Span schedule("schedule");
@@ -176,6 +226,21 @@ client::CallResult Metaserver::dispatch(
       static obs::Histogram& observed_load =
           obs::histogram("metaserver.observed_load");
       observed_load.observe(servers_[idx].last_status.load_average);
+    } catch (const NotFoundError&) {
+      // Candidates ran out mid-failover.  The root cause is the transport
+      // failures that excluded them — rethrow that, not a masking
+      // "not found" (which callers read as "entry does not exist").
+      if (!failed_names.empty()) {
+        std::string who;
+        for (const auto& n : failed_names) {
+          if (!who.empty()) who += ", ";
+          who += n;
+        }
+        throw TransportError("every candidate server failed for '" + name +
+                             "' (excluded: " + who + "); last error: " +
+                             last_error);
+      }
+      throw;
     }
     static obs::Counter& dispatched = obs::counter("metaserver.dispatched");
     dispatched.add();
@@ -183,15 +248,48 @@ client::CallResult Metaserver::dispatch(
     // Execute outside the lock: a call occupies its connection for its
     // whole duration and other dispatches must proceed concurrently.
     try {
+      client::CallOptions attempt_opts;  // one attempt; we do the retrying
+      if (bounded) {
+        const double remaining =
+            std::chrono::duration<double>(deadline - clock::now()).count();
+        if (remaining <= 0) {
+          throw TimeoutError("dispatch of '" + name + "': deadline exceeded");
+        }
+        attempt_opts.deadline_seconds = remaining;
+      }
       auto connection = factory();
-      return connection->call(name, args);
+      return connection->call(name, args, attempt_opts);
     } catch (const TransportError& e) {
-      // Server crashed or unreachable: fail over (paper, section 2.4).
+      // Server crashed or unreachable: fail over (paper, section 2.4),
+      // and put the failed server in cooldown so a flapping server is
+      // not immediately re-picked once the exclusion list resets.
       static obs::Counter& failovers = obs::counter("metaserver.failovers");
       failovers.add();
-      if (attempt >= max_failovers_) throw;
-      NINF_LOG(Warn) << "failover from " << chosen << ": " << e.what();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (cooldown_seconds_ > 0 && idx < servers_.size()) {
+          servers_[idx].cooldown_until =
+              clock::now() + std::chrono::duration_cast<clock::duration>(
+                                 std::chrono::duration<double>(
+                                     cooldown_seconds_));
+        }
+      }
+      if (attempt >= budget) throw;
+      last_error = e.what();
       failed.push_back(idx);
+      failed_names.push_back(chosen);
+      NINF_LOG(Warn) << "failover from " << chosen << ": " << e.what();
+      if (backoff > 0) {
+        double sleep_s = std::min(backoff, 1.0);
+        if (bounded) {
+          const double remaining =
+              std::chrono::duration<double>(deadline - clock::now()).count();
+          if (remaining <= sleep_s) throw;
+          sleep_s = std::min(sleep_s, remaining);
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+        backoff *= 2;
+      }
     }
   }
 }

@@ -67,6 +67,18 @@ class Metaserver : public client::CallDispatcher {
   void setMaxFailovers(std::size_t retries) { max_failovers_ = retries; }
   std::size_t maxFailovers() const { return max_failovers_; }
 
+  /// First sleep between failover attempts, seconds; doubles per attempt
+  /// (capped at 1 s).  0 disables the backoff.
+  void setFailoverBackoff(double seconds) { failover_backoff_ = seconds; }
+  double failoverBackoff() const { return failover_backoff_; }
+
+  /// How long a server that just failed a dispatch is shunned by the
+  /// scheduling policies.  A cooling server is only picked when every
+  /// alternative is excluded too, so a flapping server cannot be
+  /// re-picked attempt after attempt.  0 disables the cooldown.
+  void setServerCooldown(double seconds) { cooldown_seconds_ = seconds; }
+  double serverCooldown() const { return cooldown_seconds_; }
+
   void addServer(ServerEntry entry);
   std::size_t serverCount() const;
   SchedulingPolicy policy() const { return policy_; }
@@ -88,6 +100,14 @@ class Metaserver : public client::CallDispatcher {
       const std::string& name,
       std::span<const protocol::ArgValue> args) override;
 
+  /// Deadline/retry-aware dispatch: opts.deadline_seconds bounds the
+  /// whole fault-tolerant execution (every attempt's wire I/O plus the
+  /// backoff sleeps; TimeoutError on expiry), and opts.retries, when
+  /// non-zero, overrides maxFailovers() for this call.
+  client::CallResult dispatch(const std::string& name,
+                              std::span<const protocol::ArgValue> args,
+                              const client::CallOptions& opts) override;
+
   /// Name of the server the policy would pick right now (for tests and
   /// for logging which server served which call).
   std::string chooseServer(const std::string& entry_name,
@@ -104,15 +124,25 @@ class Metaserver : public client::CallDispatcher {
     std::unique_ptr<client::NinfClient> monitor;  // lazy status channel
     protocol::ServerStatusInfo last_status;
     std::uint64_t dispatched = 0;  // calls routed here by the metaserver
+    /// Until this instant the server is shunned after a failed dispatch.
+    std::chrono::steady_clock::time_point cooldown_until{};
   };
 
+  /// Policy selection with cooling servers shunned while any other
+  /// candidate remains (falls back to them rather than failing).
   std::size_t pickIndex(const std::string& entry_name,
+                        std::span<const protocol::ArgValue> args,
+                        const std::vector<std::size_t>& excluded);
+  /// The raw policy switch, honoring only the explicit exclusions.
+  std::size_t pickAmong(const std::string& entry_name,
                         std::span<const protocol::ArgValue> args,
                         const std::vector<std::size_t>& excluded);
   client::NinfClient& monitorOf(ServerState& state);
 
   SchedulingPolicy policy_;
   std::size_t max_failovers_ = 2;
+  double failover_backoff_ = 0.02;
+  double cooldown_seconds_ = 2.0;
   mutable std::mutex mutex_;
   std::vector<ServerState> servers_;
   std::size_t rr_next_ = 0;

@@ -1,5 +1,6 @@
 #include "server/job_queue.h"
 
+#include <atomic>
 #include <limits>
 
 #include "common/error.h"
@@ -8,11 +9,17 @@
 namespace ninf::server {
 
 namespace {
-obs::Gauge& depthGauge() {
-  static obs::Gauge& g = obs::gauge("server.queue.depth");
-  return g;
+std::string queueName(std::string name) {
+  if (!name.empty()) return name;
+  static std::atomic<std::uint64_t> next{0};
+  return "q" + std::to_string(next.fetch_add(1));
 }
 }  // namespace
+
+JobQueue::JobQueue(QueuePolicy policy, std::string name)
+    : policy_(policy),
+      name_(queueName(std::move(name))),
+      depth_gauge_(obs::gauge("server.queue.depth." + name_)) {}
 
 const char* queuePolicyName(QueuePolicy p) {
   switch (p) {
@@ -27,7 +34,7 @@ void JobQueue::push(Job job) {
     std::lock_guard<std::mutex> lock(mutex_);
     NINF_REQUIRE(!closed_, "push to closed job queue");
     jobs_.push_back(std::move(job));
-    depthGauge().set(static_cast<double>(jobs_.size()));
+    depth_gauge_.set(static_cast<double>(jobs_.size()));
   }
   cv_.notify_one();
 }
@@ -60,7 +67,7 @@ std::optional<Job> JobQueue::pop() {
   const std::size_t idx = pickIndex();
   Job job = std::move(jobs_[idx]);
   jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(idx));
-  depthGauge().set(static_cast<double>(jobs_.size()));
+  depth_gauge_.set(static_cast<double>(jobs_.size()));
   return job;
 }
 

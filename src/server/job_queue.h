@@ -12,6 +12,11 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <string>
+
+namespace ninf::obs {
+class Gauge;
+}
 
 namespace ninf::server {
 
@@ -28,12 +33,20 @@ struct Job {
 };
 
 /// Thread-safe job queue with pluggable dispatch order.
+///
+/// Each queue publishes its depth under its own gauge,
+/// `server.queue.depth.<name>` — a process-global gauge would be stomped
+/// by concurrent servers in one process (the inproc test topology and
+/// any multi-server simulation).  When `name` is empty a unique "qN"
+/// label is generated.
 class JobQueue {
  public:
-  explicit JobQueue(QueuePolicy policy = QueuePolicy::Fcfs)
-      : policy_(policy) {}
+  explicit JobQueue(QueuePolicy policy = QueuePolicy::Fcfs,
+                    std::string name = {});
 
   QueuePolicy policy() const { return policy_; }
+  /// Label of this queue's depth gauge (after "server.queue.depth.").
+  const std::string& name() const { return name_; }
 
   /// Enqueue; wakes one waiting worker.
   void push(Job job);
@@ -52,6 +65,8 @@ class JobQueue {
   std::size_t pickIndex() const;  // requires lock held, queue non-empty
 
   QueuePolicy policy_;
+  std::string name_;
+  obs::Gauge& depth_gauge_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Job> jobs_;

@@ -16,7 +16,9 @@ using protocol::Message;
 using protocol::MessageType;
 
 NinfServer::NinfServer(Registry& registry, ServerOptions options)
-    : registry_(registry), options_(options), queue_(options.policy) {
+    : registry_(registry),
+      options_(options),
+      queue_(options.policy, options.name) {
   NINF_REQUIRE(options_.workers >= 1, "server needs at least one worker");
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {

@@ -36,6 +36,9 @@ struct ServerOptions {
   /// Execution threads draining the job queue (see header comment).
   std::size_t workers = 1;
   QueuePolicy policy = QueuePolicy::Fcfs;
+  /// Label of this server's queue-depth gauge
+  /// (`server.queue.depth.<name>`); auto-generated when empty.
+  std::string name = {};
 };
 
 class NinfServer {

@@ -1,9 +1,12 @@
 #include "transport/inproc_transport.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <vector>
 
@@ -14,6 +17,20 @@
 namespace ninf::transport {
 
 namespace {
+
+constexpr std::int64_t kNoDeadlineUs = std::numeric_limits<std::int64_t>::max();
+
+std::chrono::steady_clock::time_point timePointFromUs(std::int64_t us) {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::microseconds(us)));
+}
+
+[[noreturn]] void throwDeadline(const char* what) {
+  static obs::Counter& timeouts = obs::counter("transport.deadline_timeouts");
+  timeouts.add();
+  throw TimeoutError(std::string(what) + " on inproc pipe: deadline exceeded");
+}
 
 /// One direction of the pipe: a FIFO of byte chunks with EOF state.
 /// Chunk granularity matches the sender's writes, so an 8 MB array body
@@ -34,11 +51,11 @@ class ByteQueue {
     cv_.notify_all();
   }
 
-  void popExact(std::span<std::uint8_t> out) {
+  void popExact(std::span<std::uint8_t> out, std::int64_t deadline_us) {
     std::unique_lock<std::mutex> lock(mutex_);
     std::size_t got = 0;
     while (got < out.size()) {
-      cv_.wait(lock, [&] { return !chunks_.empty() || closed_; });
+      waitForData(lock, deadline_us);
       if (chunks_.empty() && closed_) {
         throw TransportError("inproc pipe closed (" + std::to_string(got) +
                              "/" + std::to_string(out.size()) + " bytes)");
@@ -49,10 +66,10 @@ class ByteQueue {
 
   /// Block until at least one byte is buffered, then take up to
   /// out.size() bytes.  Throws once the pipe is closed and drained.
-  std::size_t popSome(std::span<std::uint8_t> out) {
+  std::size_t popSome(std::span<std::uint8_t> out, std::int64_t deadline_us) {
     if (out.empty()) return 0;
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return !chunks_.empty() || closed_; });
+    waitForData(lock, deadline_us);
     if (chunks_.empty() && closed_) {
       throw TransportError("inproc pipe closed (0/" +
                            std::to_string(out.size()) + " bytes)");
@@ -67,6 +84,18 @@ class ByteQueue {
   }
 
  private:
+  /// Wait until data is buffered or the pipe closes; TimeoutError once
+  /// the deadline passes.  Caller holds the lock.
+  void waitForData(std::unique_lock<std::mutex>& lock,
+                   std::int64_t deadline_us) {
+    const auto ready = [&] { return !chunks_.empty() || closed_; };
+    if (deadline_us == kNoDeadlineUs) {
+      cv_.wait(lock, ready);
+    } else if (!cv_.wait_until(lock, timePointFromUs(deadline_us), ready)) {
+      throwDeadline("recv");
+    }
+  }
+
   /// Copy buffered bytes into `out`; returns the count copied (>= 1 when
   /// any chunk is buffered).  Caller holds the lock.
   std::size_t drainLocked(std::span<std::uint8_t> out) {
@@ -119,18 +148,29 @@ class InprocStream : public Stream {
 
   void recvAll(std::span<std::uint8_t> buffer) override {
     obs::Span span("inproc.recv", static_cast<std::int64_t>(buffer.size()));
+    in_->popExact(buffer, deadline_us_.load(std::memory_order_relaxed));
     static obs::Counter& rx =
         obs::counter("transport.inproc.bytes_received");
     rx.add(buffer.size());
-    in_->popExact(buffer);
   }
 
   std::size_t recvSome(std::span<std::uint8_t> buffer) override {
-    const std::size_t got = in_->popSome(buffer);
+    const std::size_t got =
+        in_->popSome(buffer, deadline_us_.load(std::memory_order_relaxed));
     static obs::Counter& rx =
         obs::counter("transport.inproc.bytes_received");
     rx.add(got);
     return got;
+  }
+
+  void setDeadline(std::chrono::steady_clock::time_point deadline) override {
+    deadline_us_.store(
+        deadline == kNoDeadline
+            ? kNoDeadlineUs
+            : std::chrono::duration_cast<std::chrono::microseconds>(
+                  deadline.time_since_epoch())
+                  .count(),
+        std::memory_order_relaxed);
   }
 
   void shutdownSend() override { out_->close(); }
@@ -145,6 +185,7 @@ class InprocStream : public Stream {
  private:
   std::shared_ptr<ByteQueue> out_;
   std::shared_ptr<ByteQueue> in_;
+  std::atomic<std::int64_t> deadline_us_{kNoDeadlineUs};
 };
 
 }  // namespace

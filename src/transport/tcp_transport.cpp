@@ -12,7 +12,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <limits>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -25,6 +27,16 @@ namespace {
 
 [[noreturn]] void throwErrno(const std::string& what) {
   throw TransportError(what + ": " + std::strerror(errno));
+}
+
+/// Deadlines travel as microseconds on the steady clock; this sentinel
+/// (the atomic's initial value) means "none".
+constexpr std::int64_t kNoDeadlineUs = std::numeric_limits<std::int64_t>::max();
+
+std::int64_t steadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 class TcpStream : public Stream {
@@ -42,17 +54,24 @@ class TcpStream : public Stream {
     const int fd = fd_.load();
     if (fd < 0) throw TransportError("send on closed stream");
     obs::Span span("tcp.send", static_cast<std::int64_t>(data.size()));
+    // Counted per chunk actually accepted by the kernel, so the counter
+    // stays truthful when a deadline or reset aborts mid-message.
     static obs::Counter& tx = obs::counter("transport.tcp.bytes_sent");
-    tx.add(data.size());
+    const std::int64_t deadline = deadline_us_.load(std::memory_order_relaxed);
+    const bool timed = deadline != kNoDeadlineUs;
     std::size_t sent = 0;
     while (sent < data.size()) {
+      if (timed) awaitReady(POLLOUT, deadline, "send to ");
       const ssize_t n =
-          ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+          ::send(fd, data.data() + sent, data.size() - sent,
+                 MSG_NOSIGNAL | (timed ? MSG_DONTWAIT : 0));
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (timed && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
         throwErrno("send to " + peer_);
       }
       sent += static_cast<std::size_t>(n);
+      tx.add(static_cast<std::uint64_t>(n));
     }
   }
 
@@ -65,7 +84,8 @@ class TcpStream : public Stream {
     if (total == 0) return;
     obs::Span span("tcp.send", static_cast<std::int64_t>(total));
     static obs::Counter& tx = obs::counter("transport.tcp.bytes_sent");
-    tx.add(total);
+    const std::int64_t deadline = deadline_us_.load(std::memory_order_relaxed);
+    const bool timed = deadline != kNoDeadlineUs;
     // sendmsg (not writev) so MSG_NOSIGNAL applies, as in sendAll.
     constexpr std::size_t kMaxIov = 64;
     struct iovec iov[kMaxIov];
@@ -86,11 +106,15 @@ class TcpStream : public Stream {
       msghdr msg{};
       msg.msg_iov = iov;
       msg.msg_iovlen = n_iov;
-      const ssize_t sent = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+      if (timed) awaitReady(POLLOUT, deadline, "send to ");
+      const ssize_t sent =
+          ::sendmsg(fd, &msg, MSG_NOSIGNAL | (timed ? MSG_DONTWAIT : 0));
       if (sent < 0) {
         if (errno == EINTR) continue;
+        if (timed && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
         throwErrno("send to " + peer_);
       }
+      tx.add(static_cast<std::uint64_t>(sent));
       // Advance (idx, off) past the bytes the kernel accepted.
       std::size_t left = static_cast<std::size_t>(sent);
       while (left > 0) {
@@ -111,14 +135,19 @@ class TcpStream : public Stream {
     const int fd = fd_.load();
     if (fd < 0) throw TransportError("recv on closed stream");
     obs::Span span("tcp.recv", static_cast<std::int64_t>(buffer.size()));
+    // Counted per chunk delivered, never up front: a connection that dies
+    // mid-message must not inflate the received-bytes counter.
     static obs::Counter& rx = obs::counter("transport.tcp.bytes_received");
-    rx.add(buffer.size());
+    const std::int64_t deadline = deadline_us_.load(std::memory_order_relaxed);
+    const bool timed = deadline != kNoDeadlineUs;
     std::size_t got = 0;
     while (got < buffer.size()) {
-      const ssize_t n = ::recv(fd, buffer.data() + got,
-                               buffer.size() - got, 0);
+      if (timed) awaitReady(POLLIN, deadline, "recv from ");
+      const ssize_t n = ::recv(fd, buffer.data() + got, buffer.size() - got,
+                               timed ? MSG_DONTWAIT : 0);
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (timed && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
         throwErrno("recv from " + peer_);
       }
       if (n == 0) {
@@ -127,6 +156,7 @@ class TcpStream : public Stream {
                              std::to_string(buffer.size()) + " bytes)");
       }
       got += static_cast<std::size_t>(n);
+      rx.add(static_cast<std::uint64_t>(n));
     }
   }
 
@@ -134,10 +164,15 @@ class TcpStream : public Stream {
     const int fd = fd_.load();
     if (fd < 0) throw TransportError("recv on closed stream");
     if (buffer.empty()) return 0;
+    const std::int64_t deadline = deadline_us_.load(std::memory_order_relaxed);
+    const bool timed = deadline != kNoDeadlineUs;
     for (;;) {
-      const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+      if (timed) awaitReady(POLLIN, deadline, "recv from ");
+      const ssize_t n =
+          ::recv(fd, buffer.data(), buffer.size(), timed ? MSG_DONTWAIT : 0);
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (timed && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
         throwErrno("recv from " + peer_);
       }
       if (n == 0) {
@@ -147,6 +182,16 @@ class TcpStream : public Stream {
       rx.add(static_cast<std::uint64_t>(n));
       return static_cast<std::size_t>(n);
     }
+  }
+
+  void setDeadline(std::chrono::steady_clock::time_point deadline) override {
+    deadline_us_.store(
+        deadline == kNoDeadline
+            ? kNoDeadlineUs
+            : std::chrono::duration_cast<std::chrono::microseconds>(
+                  deadline.time_since_epoch())
+                  .count(),
+        std::memory_order_relaxed);
   }
 
   void shutdownSend() override {
@@ -163,6 +208,28 @@ class TcpStream : public Stream {
   std::string peerName() const override { return peer_; }
 
  private:
+  /// Block until the socket is ready for `events` or the deadline passes
+  /// (TimeoutError).  `what` is the error-message prefix ("recv from ").
+  void awaitReady(short events, std::int64_t deadline_us, const char* what) {
+    for (;;) {
+      const std::int64_t now = steadyNowUs();
+      if (now >= deadline_us) {
+        static obs::Counter& timeouts =
+            obs::counter("transport.deadline_timeouts");
+        timeouts.add();
+        throw TimeoutError(std::string(what) + peer_ + ": deadline exceeded");
+      }
+      const std::int64_t wait_ms = (deadline_us - now + 999) / 1000;
+      pollfd pfd{fd_.load(), events, 0};
+      const int rc = ::poll(
+          &pfd, 1,
+          static_cast<int>(std::min<std::int64_t>(wait_ms, 60'000)));
+      if (rc > 0) return;
+      if (rc < 0 && errno != EINTR) throwErrno(std::string(what) + peer_);
+      // rc == 0: poll timed out; re-check the deadline and go again.
+    }
+  }
+
   void closeFd(bool shutdown_first) {
     if (shutdown_first) {
       const int fd = fd_.load();
@@ -175,6 +242,10 @@ class TcpStream : public Stream {
 
   std::atomic<int> fd_;
   std::string peer_;
+  // Microseconds on the steady clock; kNoDeadlineUs disables.  Atomic so
+  // a deadline set by the calling thread is visible to a peer thread
+  // blocked in the other direction.
+  std::atomic<std::int64_t> deadline_us_{kNoDeadlineUs};
 };
 
 std::string describe(const sockaddr_in& addr) {
@@ -283,17 +354,21 @@ TcpListener::TcpListener(std::uint16_t port) {
 TcpListener::~TcpListener() { close(); }
 
 std::unique_ptr<Stream> TcpListener::accept() {
-  sockaddr_in peer{};
-  socklen_t len = sizeof(peer);
-  const int listen_fd = fd_.load();
-  if (listen_fd < 0) return nullptr;  // closed
-  const int fd = ::accept(listen_fd, reinterpret_cast<sockaddr*>(&peer), &len);
-  if (fd < 0) {
-    if (errno == EBADF || errno == EINVAL) return nullptr;  // closed
-    if (errno == EINTR) return accept();
-    throwErrno("accept");
+  // Loop (not recurse) on EINTR: a signal storm must not grow the stack.
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int listen_fd = fd_.load();
+    if (listen_fd < 0) return nullptr;  // closed
+    const int fd =
+        ::accept(listen_fd, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (errno == EBADF || errno == EINVAL) return nullptr;  // closed
+      if (errno == EINTR) continue;
+      throwErrno("accept");
+    }
+    return std::make_unique<TcpStream>(fd, describe(peer));
   }
-  return std::make_unique<TcpStream>(fd, describe(peer));
 }
 
 void TcpListener::close() {

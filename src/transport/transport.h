@@ -5,6 +5,7 @@
 // ordered byte streams; message framing lives one layer up in protocol/.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -46,6 +47,30 @@ class Stream {
     recvAll(buffer);
     return buffer.size();
   }
+
+  /// Sentinel meaning "no deadline" (the initial state of every stream).
+  static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+      std::chrono::steady_clock::time_point::max();
+
+  /// Absolute bound for subsequent send/recv operations: an operation
+  /// still incomplete when the deadline passes throws ninf::TimeoutError.
+  /// The TCP path polls before each syscall; the inproc path uses timed
+  /// condition waits.  Pass kNoDeadline to disable again.  Like send and
+  /// recv themselves, thread-compatible rather than fully thread-safe.
+  virtual void setDeadline(std::chrono::steady_clock::time_point deadline) = 0;
+
+  /// Convenience: deadline `seconds` from now; <= 0 disables.
+  void setDeadlineIn(double seconds) {
+    if (seconds <= 0) {
+      clearDeadline();
+      return;
+    }
+    setDeadline(std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds)));
+  }
+
+  void clearDeadline() { setDeadline(kNoDeadline); }
 
   /// Half-close for sending; the peer sees EOF after draining.
   virtual void shutdownSend() = 0;

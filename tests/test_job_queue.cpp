@@ -5,6 +5,7 @@
 #include <future>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "server/job_queue.h"
 
 namespace ninf::server {
@@ -26,6 +27,28 @@ TEST(JobQueue, FcfsPreservesArrivalOrder) {
   EXPECT_EQ(q.pop()->id, 1u);
   EXPECT_EQ(q.pop()->id, 2u);
   EXPECT_EQ(q.pop()->id, 3u);
+}
+
+TEST(JobQueue, DepthGaugesArePerQueue) {
+  // Two live queues in one process (the inproc test topology, or any
+  // multi-server simulation) must not stomp each other's depth gauge.
+  JobQueue first(QueuePolicy::Fcfs, "gauge-a");
+  JobQueue second(QueuePolicy::Fcfs, "gauge-b");
+  first.push(makeJob(1, 0));
+  first.push(makeJob(2, 0));
+  second.push(makeJob(3, 0));
+  EXPECT_EQ(obs::gauge("server.queue.depth.gauge-a").value(), 2.0);
+  EXPECT_EQ(obs::gauge("server.queue.depth.gauge-b").value(), 1.0);
+  first.pop();
+  EXPECT_EQ(obs::gauge("server.queue.depth.gauge-a").value(), 1.0);
+  EXPECT_EQ(obs::gauge("server.queue.depth.gauge-b").value(), 1.0);
+}
+
+TEST(JobQueue, UnnamedQueuesGetDistinctLabels) {
+  JobQueue a;
+  JobQueue b;
+  EXPECT_FALSE(a.name().empty());
+  EXPECT_NE(a.name(), b.name());
 }
 
 TEST(JobQueue, SjfPicksShortestEstimate) {

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "transport/inproc_transport.h"
 #include "transport/tcp_transport.h"
 
@@ -227,6 +228,48 @@ TEST(Tcp, CloseUnblocksAccept) {
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   listener.close();
   EXPECT_EQ(fut.get(), nullptr);
+}
+
+TEST(Tcp, ByteCountersMatchTransferredBytesExactly) {
+  obs::Counter& sent = obs::counter("transport.tcp.bytes_sent");
+  obs::Counter& received = obs::counter("transport.tcp.bytes_received");
+  const auto sent0 = sent.value();
+  const auto received0 = received.value();
+  TcpListener listener(0);
+  auto server_side = std::async(std::launch::async, [&] {
+    auto stream = listener.accept();
+    std::uint8_t buf[5];
+    stream->recvAll(buf);
+    stream->sendAll(buf);
+  });
+  auto client = tcpConnect("127.0.0.1", listener.port());
+  client->sendAll(bytes({1, 2, 3, 4, 5}));
+  std::uint8_t echo[5];
+  client->recvAll(echo);
+  server_side.get();
+  // Both endpoints live in this process: 5 bytes sent and received on
+  // each side of the echo.
+  EXPECT_EQ(sent.value() - sent0, 10u);
+  EXPECT_EQ(received.value() - received0, 10u);
+}
+
+TEST(Tcp, RecvCounterOmitsBytesNeverReceived) {
+  // The peer delivers 3 of the 8 bytes we ask for, then disconnects.
+  // recvAll throws — and the counter must reflect the 3 bytes that
+  // actually arrived, not the 8 we hoped for.
+  obs::Counter& received = obs::counter("transport.tcp.bytes_received");
+  TcpListener listener(0);
+  auto server_side = std::async(std::launch::async, [&] {
+    auto stream = listener.accept();
+    stream->sendAll(bytes({7, 8, 9}));
+    stream->close();
+  });
+  auto client = tcpConnect("127.0.0.1", listener.port());
+  server_side.get();
+  const auto received0 = received.value();
+  std::uint8_t buf[8];
+  EXPECT_THROW(client->recvAll(buf), TransportError);
+  EXPECT_EQ(received.value() - received0, 3u);
 }
 
 TEST(Tcp, PeerDisconnectSurfacesOnRecv) {
