@@ -1,0 +1,362 @@
+#include "client/channel.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ninf::client {
+
+using protocol::MessageType;
+
+namespace {
+
+/// Process-wide in-flight total backing the "channel.inflight" gauge
+/// (obs::Gauge has no add(), so the running sum lives here).
+std::atomic<long> g_inflight{0};
+
+void bumpInflight(long delta) {
+  static obs::Gauge& gauge = obs::gauge("channel.inflight");
+  gauge.set(static_cast<double>(g_inflight.fetch_add(delta) + delta));
+}
+
+}  // namespace
+
+Channel::Channel(std::unique_ptr<transport::Stream> stream, bool force_v1)
+    : stream_(std::move(stream)), force_v1_(force_v1) {
+  NINF_REQUIRE(stream_ != nullptr, "null stream");
+}
+
+Channel::~Channel() {
+  {
+    std::lock_guard<std::mutex> setup(setup_mutex_);
+    teardownLocked();
+  }
+}
+
+void Channel::setReconnect(StreamFactory fn) {
+  std::lock_guard<std::mutex> setup(setup_mutex_);
+  reconnect_ = std::move(fn);
+}
+
+bool Channel::hasReconnect() const {
+  std::lock_guard<std::mutex> setup(setup_mutex_);
+  return static_cast<bool>(reconnect_);
+}
+
+std::uint32_t Channel::negotiatedVersion() const {
+  return negotiated_version_.load(std::memory_order_acquire);
+}
+
+std::string Channel::peerName() const {
+  std::lock_guard<std::mutex> setup(setup_mutex_);
+  return stream_ ? stream_->peerName() : "<disconnected>";
+}
+
+void Channel::close() {
+  std::lock_guard<std::mutex> setup(setup_mutex_);
+  {
+    std::lock_guard<std::mutex> g(pending_mutex_);
+    broken_.store(true, std::memory_order_release);
+  }
+  if (stream_) stream_->close();
+}
+
+void Channel::resetIfBroken() {
+  std::lock_guard<std::mutex> setup(setup_mutex_);
+  if (!broken_.load(std::memory_order_acquire)) return;
+  teardownLocked();
+  broken_.store(false, std::memory_order_release);
+}
+
+void Channel::teardownLocked() {
+  // Wake anything parked in the stream (reader recv, sender backpressure);
+  // stream_ itself stays valid until both the reader and any sender are
+  // out, so close without send_mutex_ is safe.
+  if (stream_) stream_->close();
+  if (reader_.joinable()) reader_.join();
+  failAllPending(std::make_exception_ptr(
+      TransportError("channel torn down with calls in flight")));
+  {
+    std::lock_guard<std::mutex> g(send_mutex_);
+    stream_.reset();
+  }
+  mode_ = Mode::Undecided;
+}
+
+void Channel::ensureReadyLocked(
+    std::chrono::steady_clock::time_point deadline) {
+  if (broken_.load(std::memory_order_acquire)) {
+    teardownLocked();
+    broken_.store(false, std::memory_order_release);
+  }
+  if (!stream_) {
+    if (!reconnect_) {
+      throw TransportError("connection lost and no reconnect factory");
+    }
+    static obs::Counter& reconnects = obs::counter("client.reconnects");
+    reconnects.add();
+    {
+      std::lock_guard<std::mutex> g(send_mutex_);
+      stream_ = reconnect_();
+    }
+    if (!stream_) {
+      throw TransportError("reconnect factory returned no stream");
+    }
+    mode_ = Mode::Undecided;
+  }
+  if (mode_ != Mode::Undecided) return;
+  if (force_v1_) {
+    mode_ = Mode::V1;
+    negotiated_version_.store(protocol::kVersion, std::memory_order_release);
+    return;
+  }
+  negotiateLocked(deadline);
+}
+
+void Channel::negotiateLocked(std::chrono::steady_clock::time_point deadline) {
+  // No reader thread exists yet, so the stream deadline is safe here and
+  // bounds the handshake by the first call's budget.
+  try {
+    stream_->setDeadline(deadline);
+    xdr::Encoder hello;
+    hello.putU32(protocol::kMaxVersion);
+    protocol::sendMessage(*stream_, MessageType::Hello, hello.bytes());
+    protocol::Message ack = protocol::recvMessage(*stream_);
+    stream_->clearDeadline();
+    if (ack.type != MessageType::HelloAck) {
+      throw ProtocolError("expected HelloAck, got " +
+                          std::to_string(static_cast<unsigned>(ack.type)));
+    }
+    xdr::Decoder dec(ack.payload);
+    const std::uint32_t agreed = dec.getU32();
+    if (agreed >= protocol::kVersion2) {
+      mode_ = Mode::V2;
+      negotiated_version_.store(protocol::kVersion2,
+                                std::memory_order_release);
+      transport::Stream* raw = stream_.get();
+      reader_ = std::thread([this, raw] { readerLoop(raw); });
+    } else {
+      mode_ = Mode::V1;
+      negotiated_version_.store(protocol::kVersion, std::memory_order_release);
+    }
+  } catch (const TimeoutError&) {
+    // The peer is stalled, not old: surface the deadline, wire unknown.
+    broken_.store(true, std::memory_order_release);
+    throw;
+  } catch (const TransportError&) {
+    // The wire died mid-handshake.  That is a transport fault to surface,
+    // not evidence of an old peer — eating it here would mask real
+    // network failures (the retry envelope above us owns reconnecting).
+    broken_.store(true, std::memory_order_release);
+    throw;
+  } catch (const ProtocolError&) {
+    // The peer answered Hello with something that is not a HelloAck: a
+    // v1 peer echoing an error frame.  One fallback reconnect in v1
+    // mode, not charged to the caller's retries.
+    static obs::Counter& fallbacks = obs::counter("channel.hello_fallbacks");
+    fallbacks.add();
+    if (!reconnect_) {
+      broken_.store(true, std::memory_order_release);
+      throw;
+    }
+    NINF_LOG(Debug) << "Hello rejected by peer; falling back to protocol v1";
+    stream_->close();
+    {
+      std::lock_guard<std::mutex> g(send_mutex_);
+      stream_ = reconnect_();
+    }
+    if (!stream_) {
+      broken_.store(true, std::memory_order_release);
+      throw TransportError("reconnect factory returned no stream");
+    }
+    mode_ = Mode::V1;
+    negotiated_version_.store(protocol::kVersion, std::memory_order_release);
+  }
+}
+
+Channel::Reply Channel::transact(MessageType type, const xdr::Encoder& body,
+                                 Consumer consumer,
+                                 std::chrono::steady_clock::time_point
+                                     deadline) {
+  std::unique_lock<std::mutex> setup(setup_mutex_);
+  ensureReadyLocked(deadline);
+  if (mode_ == Mode::V1) {
+    return transactV1Locked(type, body, consumer, deadline);
+  }
+  setup.unlock();
+  return transactV2(type, body, std::move(consumer), deadline);
+}
+
+Channel::Reply Channel::transactV1Locked(
+    MessageType type, const xdr::Encoder& body, const Consumer& consumer,
+    std::chrono::steady_clock::time_point deadline) {
+  transport::Stream& s = *stream_;
+  try {
+    s.setDeadline(deadline);
+    {
+      obs::Span send(obs::phase::kSend, static_cast<std::int64_t>(body.size()));
+      protocol::sendMessage(s, type, body);
+    }
+    Reply reply;
+    reply.sent_us = obs::Tracer::nowMicros();
+    const protocol::FrameHeader header = protocol::recvHeader(s);
+    reply.type = header.type;
+    reply.length = header.length;
+    protocol::BodyReader reader(s, header.length);
+    try {
+      consumer(reply, reader);
+      reader.drain();
+    } catch (const TransportError&) {
+      throw;
+    } catch (...) {
+      // Typed decode/remote error: realign framing, keep the connection.
+      reader.drain();
+      s.clearDeadline();
+      throw;
+    }
+    reply.recv_done_us = obs::Tracer::nowMicros();
+    s.clearDeadline();
+    return reply;
+  } catch (const TransportError&) {
+    // The wire is mid-protocol in an unknown state; the connection is
+    // unusable regardless of what the caller does next.
+    broken_.store(true, std::memory_order_release);
+    throw;
+  }
+}
+
+Channel::Reply Channel::transactV2(
+    MessageType type, const xdr::Encoder& body, Consumer consumer,
+    std::chrono::steady_clock::time_point deadline) {
+  auto call = std::make_shared<PendingCall>();
+  call->consumer = std::move(consumer);
+  std::future<Reply> fut = call->promise.get_future();
+  const std::uint64_t id = next_call_id_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> g(pending_mutex_);
+    if (broken_.load(std::memory_order_acquire)) {
+      throw TransportError("channel broken");
+    }
+    pending_.emplace(id, call);
+  }
+  bumpInflight(+1);
+  try {
+    std::lock_guard<std::mutex> g(send_mutex_);
+    if (broken_.load(std::memory_order_acquire) || !stream_) {
+      throw TransportError("channel broken");
+    }
+    obs::Span send(obs::phase::kSend, static_cast<std::int64_t>(body.size()));
+    protocol::sendMessageV2(*stream_, type, id, body);
+    {
+      std::lock_guard<std::mutex> p(pending_mutex_);
+      auto it = pending_.find(id);
+      if (it != pending_.end()) it->second->sent_us = obs::Tracer::nowMicros();
+    }
+  } catch (const TransportError&) {
+    erasePending(id);
+    // A partial frame poisons every call sharing the wire.
+    {
+      std::lock_guard<std::mutex> p(pending_mutex_);
+      broken_.store(true, std::memory_order_release);
+    }
+    {
+      std::lock_guard<std::mutex> setup(setup_mutex_);
+      if (stream_) stream_->close();
+    }
+    throw;
+  }
+
+  if (deadline == transport::Stream::kNoDeadline) return fut.get();
+  if (fut.wait_until(deadline) == std::future_status::ready) return fut.get();
+  {
+    std::lock_guard<std::mutex> g(pending_mutex_);
+    auto it = pending_.find(id);
+    if (it != pending_.end() && it->second->state == PendingCall::Waiting) {
+      // Reply never started arriving: abandon just this call (the reader
+      // drains the late reply as an orphan) and leave the channel alone.
+      pending_.erase(it);
+      bumpInflight(-1);
+      static obs::Counter& timeouts = obs::counter("channel.call_timeouts");
+      timeouts.add();
+      throw TimeoutError("no reply within deadline (call " +
+                         std::to_string(id) + ")");
+    }
+  }
+  // The reader is already decoding into the caller's buffers (or just
+  // finished): see the reply through rather than abandon live memory.
+  return fut.get();
+}
+
+void Channel::erasePending(std::uint64_t id) {
+  std::lock_guard<std::mutex> g(pending_mutex_);
+  if (pending_.erase(id) > 0) bumpInflight(-1);
+}
+
+void Channel::failAllPending(std::exception_ptr error) {
+  std::map<std::uint64_t, std::shared_ptr<PendingCall>> doomed;
+  {
+    std::lock_guard<std::mutex> g(pending_mutex_);
+    broken_.store(true, std::memory_order_release);
+    doomed.swap(pending_);
+  }
+  if (doomed.empty()) return;
+  bumpInflight(-static_cast<long>(doomed.size()));
+  for (auto& [id, call] : doomed) {
+    call->promise.set_exception(error);
+  }
+}
+
+void Channel::readerLoop(transport::Stream* stream) {
+  try {
+    for (;;) {
+      const protocol::FrameHeader header = protocol::recvHeaderV2(*stream);
+      std::shared_ptr<PendingCall> call;
+      Reply reply;
+      reply.type = header.type;
+      reply.length = header.length;
+      {
+        std::lock_guard<std::mutex> g(pending_mutex_);
+        auto it = pending_.find(header.call_id);
+        if (it != pending_.end()) {
+          call = it->second;
+          call->state = PendingCall::Consuming;
+          reply.sent_us = call->sent_us;
+        }
+      }
+      protocol::BodyReader body(*stream, header.length);
+      if (!call) {
+        // Reply to a call whose caller already timed out and walked away.
+        static obs::Counter& orphans = obs::counter("channel.orphan_replies");
+        orphans.add();
+        body.drain();
+        continue;
+      }
+      try {
+        call->consumer(reply, body);
+        body.drain();
+        reply.recv_done_us = obs::Tracer::nowMicros();
+        erasePending(header.call_id);
+        call->promise.set_value(reply);
+      } catch (const TransportError&) {
+        // Body cut short: the shared wire is gone for everyone.
+        erasePending(header.call_id);
+        call->promise.set_exception(std::current_exception());
+        throw;
+      } catch (...) {
+        // Typed decode/remote error for this call only: realign framing
+        // and keep serving the other calls.  If the drain itself dies,
+        // the entry is still pending and failAllPending covers it.
+        body.drain();
+        erasePending(header.call_id);
+        call->promise.set_exception(std::current_exception());
+      }
+    }
+  } catch (const std::exception&) {
+    failAllPending(std::current_exception());
+  }
+}
+
+}  // namespace ninf::client

@@ -1,0 +1,155 @@
+// Session layer under NinfClient: one Channel owns one connection and
+// turns it into a request/reply service that many threads can share.
+//
+// After an initial Hello/HelloAck negotiation (lazy, performed inside the
+// first exchange so it is bounded by that call's deadline) the channel
+// runs in one of two modes:
+//
+//  * v2 (both ends speak protocol::kVersion2): every frame carries a
+//    64-bit call ID, requests are pipelined through a send mutex, and a
+//    dedicated reader thread demultiplexes replies — which may return in
+//    any order — into per-call promises.  One connection sustains as many
+//    concurrent in-flight calls as the server has workers.
+//  * v1 (the peer never acked, or force_v1): the classic lock-step
+//    exchange, one call at a time, serialized on the channel.
+//
+// Failure envelope: a timeout while a v2 call is still *waiting* for its
+// reply abandons just that call (the late reply is drained as an orphan)
+// and the channel stays healthy; any transport error on the shared wire
+// breaks the channel and fails every in-flight call with a typed error.
+// resetIfBroken() tears the dead connection down so the next exchange
+// reconnects through the factory.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "protocol/message.h"
+#include "transport/transport.h"
+#include "xdr/xdr.h"
+
+namespace ninf::client {
+
+class Channel {
+ public:
+  using StreamFactory = std::function<std::unique_ptr<transport::Stream>()>;
+
+  /// Reply header echoed to the caller, plus the channel's own clock
+  /// marks bounding the server window (request fully sent, reply body
+  /// fully consumed) for phase attribution.
+  struct Reply {
+    protocol::MessageType type{};
+    std::uint32_t length = 0;
+    double sent_us = 0.0;
+    double recv_done_us = 0.0;
+  };
+
+  /// Invoked once with the reply header and a Source positioned at the
+  /// reply body.  Runs on the calling thread in v1 mode and on the
+  /// channel's reader thread in v2 mode — the caller is parked on the
+  /// reply future either way, so decoding into caller-owned memory is
+  /// safe.  May throw: unread body bytes are drained to keep framing
+  /// aligned and the exception surfaces from transact() without harming
+  /// the connection.
+  using Consumer = std::function<void(const Reply&, xdr::Source&)>;
+
+  /// Adopt an established stream.  force_v1 skips negotiation entirely
+  /// (a protocol-v1 client; also handy for interop tests).
+  explicit Channel(std::unique_ptr<transport::Stream> stream,
+                   bool force_v1 = false);
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Factory used to replace the connection after a transport failure
+  /// (and for the one free v1-fallback reconnect when the peer rejects
+  /// Hello).
+  void setReconnect(StreamFactory fn);
+  bool hasReconnect() const;
+
+  /// One request/reply exchange: send `body` as a `type` frame, deliver
+  /// the reply to `consumer`, return the reply header.  `deadline`
+  /// (absolute, Stream::kNoDeadline = unbounded) bounds the whole
+  /// exchange including negotiation; expiry throws TimeoutError.
+  Reply transact(protocol::MessageType type, const xdr::Encoder& body,
+                 Consumer consumer,
+                 std::chrono::steady_clock::time_point deadline =
+                     transport::Stream::kNoDeadline);
+
+  /// Protocol version in force: 0 before the first exchange, then 1 or 2.
+  std::uint32_t negotiatedVersion() const;
+
+  /// Diagnostic peer description of the current connection.
+  std::string peerName() const;
+
+  /// True when the connection is known dead (every new exchange will
+  /// fail until resetIfBroken()).
+  bool broken() const { return broken_.load(std::memory_order_acquire); }
+
+  /// Tear down a broken connection (join the reader, drop the stream) so
+  /// the next transact() reconnects.  No-op while healthy — a v2 call
+  /// that merely timed out must not kill its siblings' connection.
+  void resetIfBroken();
+
+  /// Close the connection; in-flight calls fail with TransportError.  A
+  /// later transact() may revive the channel through the factory.
+  void close();
+
+ private:
+  enum class Mode { Undecided, V1, V2 };
+
+  struct PendingCall {
+    Consumer consumer;
+    std::promise<Reply> promise;
+    double sent_us = 0.0;  // guarded by pending_mutex_
+    enum State { Waiting, Consuming } state = Waiting;  // ditto
+  };
+
+  /// Reconnect + negotiate as needed; requires setup_mutex_.
+  void ensureReadyLocked(std::chrono::steady_clock::time_point deadline);
+  void negotiateLocked(std::chrono::steady_clock::time_point deadline);
+  /// Close + join reader + drop the stream; requires setup_mutex_.
+  void teardownLocked();
+
+  Reply transactV1Locked(protocol::MessageType type, const xdr::Encoder& body,
+                         const Consumer& consumer,
+                         std::chrono::steady_clock::time_point deadline);
+  Reply transactV2(protocol::MessageType type, const xdr::Encoder& body,
+                   Consumer consumer,
+                   std::chrono::steady_clock::time_point deadline);
+
+  void readerLoop(transport::Stream* stream);
+  /// Mark broken and fail every pending call with `error`.
+  void failAllPending(std::exception_ptr error);
+  /// Remove one pending entry (if still present) and update the gauge.
+  void erasePending(std::uint64_t id);
+
+  /// Serializes connection setup / negotiation / teardown, and the whole
+  /// exchange in v1 mode.  stream_ is replaced only under setup_mutex_
+  /// AND send_mutex_, so holders of either may dereference it.
+  mutable std::mutex setup_mutex_;
+  std::unique_ptr<transport::Stream> stream_;
+  StreamFactory reconnect_;
+  Mode mode_ = Mode::Undecided;
+  bool force_v1_ = false;
+  std::atomic<std::uint32_t> negotiated_version_{0};
+  std::atomic<bool> broken_{false};
+
+  /// v2 state: frame sends are atomic under send_mutex_; the pending map
+  /// (and each entry's state/sent_us) under pending_mutex_.
+  std::mutex send_mutex_;
+  std::mutex pending_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending_;
+  std::atomic<std::uint64_t> next_call_id_{1};
+  std::thread reader_;
+};
+
+}  // namespace ninf::client

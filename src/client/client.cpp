@@ -19,17 +19,27 @@ using protocol::Message;
 using protocol::MessageType;
 
 namespace {
+
 double nowSeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+void requireType(MessageType got, MessageType expected) {
+  if (got != expected) {
+    throw ProtocolError("expected message type " +
+                        std::to_string(static_cast<unsigned>(expected)) +
+                        ", got " +
+                        std::to_string(static_cast<unsigned>(got)));
+  }
+}
+
 }  // namespace
 
-NinfClient::NinfClient(std::unique_ptr<transport::Stream> stream)
-    : stream_(std::move(stream)) {
-  NINF_REQUIRE(stream_ != nullptr, "null stream");
-}
+NinfClient::NinfClient(std::unique_ptr<transport::Stream> stream,
+                       bool force_v1)
+    : channel_(std::make_unique<Channel>(std::move(stream), force_v1)) {}
 
 std::unique_ptr<NinfClient> NinfClient::connectTcp(const std::string& host,
                                                    std::uint16_t port,
@@ -53,40 +63,10 @@ std::unique_ptr<NinfClient> NinfClient::connectTcp(const std::string& host,
   }
 }
 
-transport::Stream& NinfClient::ensureStream() {
-  if (!stream_) {
-    if (!reconnect_) {
-      throw TransportError("connection lost and no reconnect factory");
-    }
-    static obs::Counter& reconnects = obs::counter("client.reconnects");
-    reconnects.add();
-    stream_ = reconnect_();
-    if (!stream_) {
-      throw TransportError("reconnect factory returned no stream");
-    }
-  }
-  return *stream_;
-}
-
-namespace {
-
-/// Clears the stream deadline when an attempt leaves scope.  During
-/// unwinding this runs before the retry loop's catch block resets the
-/// stream, so the pointer is still valid; on non-transport errors
-/// (RemoteError and friends) it keeps a stale deadline from poisoning
-/// the connection's next use.
-struct DeadlineClear {
-  transport::Stream* stream;
-  ~DeadlineClear() {
-    if (stream) stream->clearDeadline();
-  }
-};
-
-}  // namespace
-
 template <typename Fn>
 auto NinfClient::retryLoop(const std::string& what, const CallOptions& opts,
-                           Fn&& fn) -> decltype(fn()) {
+                           Fn&& fn)
+    -> decltype(fn(std::chrono::steady_clock::time_point{})) {
   using clock = std::chrono::steady_clock;
   const bool bounded = opts.deadline_seconds > 0;
   const clock::time_point deadline =
@@ -97,18 +77,12 @@ auto NinfClient::retryLoop(const std::string& what, const CallOptions& opts,
   double backoff = std::max(0.0, opts.backoff_seconds);
   for (std::size_t attempt = 0;; ++attempt) {
     try {
-      transport::Stream& s = ensureStream();
-      if (bounded) s.setDeadline(deadline);
-      DeadlineClear guard{bounded ? &s : nullptr};
-      return fn();
+      return fn(deadline);
     } catch (const TransportError&) {
-      // The wire is mid-protocol in an unknown state: the connection
-      // cannot be reused, deadline or not.
-      if (stream_) {
-        stream_->close();
-        stream_.reset();
-      }
-      if (attempt >= opts.retries || !reconnect_) throw;
+      // Only a dead connection is torn down: a multiplexed call that
+      // merely timed out leaves the channel (and its siblings) alone.
+      channel_->resetIfBroken();
+      if (attempt >= opts.retries || !channel_->hasReconnect()) throw;
       const double remaining =
           bounded ? std::chrono::duration<double>(deadline - clock::now())
                         .count()
@@ -130,34 +104,53 @@ auto NinfClient::retryLoop(const std::string& what, const CallOptions& opts,
 
 Message NinfClient::roundTrip(MessageType type,
                               std::span<const std::uint8_t> payload,
-                              MessageType expected) {
-  transport::Stream& stream = ensureStream();
-  protocol::sendMessage(stream, type, payload);
-  Message reply = protocol::recvMessage(stream);
-  if (reply.type != expected) {
-    throw ProtocolError("expected message type " +
-                        std::to_string(static_cast<unsigned>(expected)) +
-                        ", got " +
-                        std::to_string(static_cast<unsigned>(reply.type)));
-  }
+                              MessageType expected,
+                              std::chrono::steady_clock::time_point deadline) {
+  xdr::Encoder enc;
+  enc.putRaw(payload);
+  Message reply;
+  channel_->transact(
+      type, enc,
+      [&reply, expected](const Channel::Reply& r, xdr::Source& body) {
+        requireType(r.type, expected);
+        reply.type = r.type;
+        reply.payload.resize(r.length);
+        body.getRaw(reply.payload);
+      },
+      deadline);
   return reply;
 }
 
 const idl::InterfaceInfo& NinfClient::queryInterface(const std::string& name) {
-  auto it = interface_cache_.find(name);
-  if (it != interface_cache_.end()) return it->second;
+  return queryInterface(name, transport::Stream::kNoDeadline);
+}
+
+const idl::InterfaceInfo& NinfClient::queryInterface(
+    const std::string& name, std::chrono::steady_clock::time_point deadline) {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = interface_cache_.find(name);
+    if (it != interface_cache_.end()) return it->second;
+  }
 
   xdr::Encoder enc;
   enc.putString(name);
-  const Message reply =
-      roundTrip(MessageType::QueryInterface, enc.bytes(),
-                MessageType::InterfaceReply);
-  xdr::Decoder dec(reply.payload);
+  std::vector<std::uint8_t> payload;
+  channel_->transact(
+      MessageType::QueryInterface, enc,
+      [&payload](const Channel::Reply& r, xdr::Source& body) {
+        requireType(r.type, MessageType::InterfaceReply);
+        payload.resize(r.length);
+        body.getRaw(payload);
+      },
+      deadline);
+  xdr::Decoder dec(payload);
   if (!dec.getBool()) {
     throw NotFoundError("executable '" + name + "' on " +
-                        stream_->peerName());
+                        channel_->peerName());
   }
   auto info = idl::InterfaceInfo::decode(dec);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   return interface_cache_.emplace(name, std::move(info)).first->second;
 }
 
@@ -215,46 +208,39 @@ CallResult NinfClient::call(const std::string& name,
                             std::span<const ArgValue> args,
                             const CallOptions& opts) {
   return retryLoop("call '" + name + "'", opts,
-                   [&] { return callOnce(name, args); });
+                   [&](std::chrono::steady_clock::time_point deadline) {
+                     return callOnce(name, args, deadline);
+                   });
 }
 
-CallResult NinfClient::callOnce(const std::string& name,
-                                std::span<const ArgValue> args) {
-  const idl::InterfaceInfo& info = queryInterface(name);
-  transport::Stream& stream = ensureStream();
+CallResult NinfClient::callOnce(
+    const std::string& name, std::span<const ArgValue> args,
+    std::chrono::steady_clock::time_point deadline) {
+  const idl::InterfaceInfo& info = queryInterface(name, deadline);
 
   obs::Span root(obs::phase::kCall);
   root.setDetail(name);
 
   // Streaming pipeline: the request encoder borrows the caller's IN
   // arrays (no contiguous request buffer), and the reply's OUT arrays are
-  // received directly into the caller's spans.
+  // received directly into the caller's spans — on the channel's reader
+  // thread when multiplexed, while this thread parks on the reply.
   const xdr::Encoder request = protocol::buildCallRequest(info, args);
 
   CallResult result;
   result.bytes_sent = static_cast<std::int64_t>(request.size());
   const double start = nowSeconds();
-  {
-    obs::Span send(obs::phase::kSend,
-                   static_cast<std::int64_t>(request.size()));
-    protocol::sendMessage(stream, MessageType::CallRequest, request);
-  }
-  const double sent_us = obs::Tracer::nowMicros();
-  const protocol::FrameHeader header = protocol::recvHeader(stream);
-  protocol::BodyReader body(stream, header.length);
-  if (header.type != MessageType::CallReply) {
-    body.drain();
-    throw ProtocolError(
-        "expected message type " +
-        std::to_string(static_cast<unsigned>(MessageType::CallReply)) +
-        ", got " + std::to_string(static_cast<unsigned>(header.type)));
-  }
-  result.server = protocol::decodeCallReply(info, body, args);
-  const double recv_done_us = obs::Tracer::nowMicros();
+  const Channel::Reply reply = channel_->transact(
+      MessageType::CallRequest, request,
+      [&info, &args, &result](const Channel::Reply& r, xdr::Source& body) {
+        requireType(r.type, MessageType::CallReply);
+        result.server = protocol::decodeCallReply(info, body, args);
+      },
+      deadline);
   result.elapsed = nowSeconds() - start;
-  result.bytes_received = static_cast<std::int64_t>(header.length);
+  result.bytes_received = static_cast<std::int64_t>(reply.length);
 
-  emitServerDerivedPhases(root, result, sent_us, recv_done_us,
+  emitServerDerivedPhases(root, result, reply.sent_us, reply.recv_done_us,
                           result.bytes_received);
   static obs::Counter& calls = obs::counter("client.calls");
   static obs::Histogram& call_s = obs::histogram("client.call_seconds");
@@ -269,63 +255,71 @@ JobHandle NinfClient::submit(const std::string& name,
                              std::span<const ArgValue> args,
                              const CallOptions& opts) {
   return retryLoop("submit '" + name + "'", opts,
-                   [&] { return submitOnce(name, args); });
+                   [&](std::chrono::steady_clock::time_point deadline) {
+                     return submitOnce(name, args, deadline);
+                   });
 }
 
-JobHandle NinfClient::submitOnce(const std::string& name,
-                                 std::span<const ArgValue> args) {
-  const idl::InterfaceInfo& info = queryInterface(name);
-  transport::Stream& stream = ensureStream();
+JobHandle NinfClient::submitOnce(
+    const std::string& name, std::span<const ArgValue> args,
+    std::chrono::steady_clock::time_point deadline) {
+  const idl::InterfaceInfo& info = queryInterface(name, deadline);
   obs::Span root("submit");
   root.setDetail(name);
   const xdr::Encoder request = protocol::buildCallRequest(info, args);
-  protocol::sendMessage(stream, MessageType::SubmitRequest, request);
-  const Message ack = protocol::recvMessage(stream);
-  if (ack.type != MessageType::SubmitAck) {
-    throw ProtocolError("expected SubmitAck, got " +
-                        std::to_string(static_cast<unsigned>(ack.type)));
-  }
-  xdr::Decoder dec(ack.payload);
-  return JobHandle{dec.getU64(), name};
+  JobHandle handle{0, name};
+  channel_->transact(
+      MessageType::SubmitRequest, request,
+      [&handle](const Channel::Reply& r, xdr::Source& body) {
+        requireType(r.type, MessageType::SubmitAck);
+        handle.id = body.getU64();
+      },
+      deadline);
+  return handle;
 }
 
 std::optional<CallResult> NinfClient::fetch(const JobHandle& handle,
                                             std::span<const ArgValue> args,
                                             const CallOptions& opts) {
   return retryLoop("fetch '" + handle.name + "'", opts,
-                   [&] { return fetchOnce(handle, args); });
+                   [&](std::chrono::steady_clock::time_point deadline) {
+                     return fetchOnce(handle, args, deadline);
+                   });
 }
 
 std::optional<CallResult> NinfClient::fetchOnce(
-    const JobHandle& handle, std::span<const ArgValue> args) {
-  const idl::InterfaceInfo& info = queryInterface(handle.name);
-  transport::Stream& stream = ensureStream();
+    const JobHandle& handle, std::span<const ArgValue> args,
+    std::chrono::steady_clock::time_point deadline) {
+  const idl::InterfaceInfo& info = queryInterface(handle.name, deadline);
   obs::Span root("fetch");
   root.setDetail(handle.name);
   xdr::Encoder enc;
   enc.putU64(handle.id);
+  std::optional<CallResult> out;
   const double start = nowSeconds();
-  protocol::sendMessage(stream, MessageType::FetchResult, enc.bytes());
-  const protocol::FrameHeader header = protocol::recvHeader(stream);
-  protocol::BodyReader body(stream, header.length);
-  if (header.type == MessageType::ResultPending) {
-    body.drain();
-    return std::nullopt;
+  const Channel::Reply reply = channel_->transact(
+      MessageType::FetchResult, enc,
+      [&info, &args, &out](const Channel::Reply& r, xdr::Source& body) {
+        if (r.type == MessageType::ResultPending) return;
+        if (r.type != MessageType::CallReply) {
+          throw ProtocolError("unexpected reply to FetchResult");
+        }
+        CallResult result;
+        result.server = protocol::decodeCallReply(info, body, args);
+        out = result;
+      },
+      deadline);
+  if (out) {
+    out->elapsed = nowSeconds() - start;
+    out->bytes_received = static_cast<std::int64_t>(reply.length);
   }
-  if (header.type != MessageType::CallReply) {
-    body.drain();
-    throw ProtocolError("unexpected reply to FetchResult");
-  }
-  CallResult result;
-  result.bytes_received = static_cast<std::int64_t>(header.length);
-  result.server = protocol::decodeCallReply(info, body, args);
-  result.elapsed = nowSeconds() - start;
-  return result;
+  return out;
 }
 
 std::vector<std::string> NinfClient::listExecutables() {
-  const Message reply = roundTrip(MessageType::ListExecutables, {},
-                                  MessageType::ExecutableList);
+  const Message reply =
+      roundTrip(MessageType::ListExecutables, {}, MessageType::ExecutableList,
+                transport::Stream::kNoDeadline);
   xdr::Decoder dec(reply.payload);
   const std::uint32_t count = dec.getU32();
   std::vector<std::string> names;
@@ -335,22 +329,22 @@ std::vector<std::string> NinfClient::listExecutables() {
 }
 
 protocol::ServerStatusInfo NinfClient::serverStatus() {
-  const Message reply =
-      roundTrip(MessageType::ServerStatus, {}, MessageType::StatusReply);
+  const Message reply = roundTrip(MessageType::ServerStatus, {},
+                                  MessageType::StatusReply,
+                                  transport::Stream::kNoDeadline);
   return protocol::ServerStatusInfo::fromBytes(reply.payload);
 }
 
 double NinfClient::ping(std::size_t payload_bytes) {
   std::vector<std::uint8_t> payload(payload_bytes, 0xA5);
   const double start = nowSeconds();
-  const Message reply =
-      roundTrip(MessageType::Ping, payload, MessageType::Pong);
+  const Message reply = roundTrip(MessageType::Ping, payload,
+                                  MessageType::Pong,
+                                  transport::Stream::kNoDeadline);
   if (reply.payload != payload) throw ProtocolError("ping echo mismatch");
   return nowSeconds() - start;
 }
 
-void NinfClient::close() {
-  if (stream_) stream_->close();
-}
+void NinfClient::close() { channel_->close(); }
 
 }  // namespace ninf::client

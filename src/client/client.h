@@ -1,23 +1,32 @@
 // Ninf client API (paper, section 2.2).
 //
-// One NinfClient owns one connection to a computational server.  The
-// first call to any entry performs the two-stage RPC: the compiled
-// interface information is fetched and cached, then arguments are
-// marshalled from it — no client-side stubs, header files, or linking.
+// One NinfClient owns one connection to a computational server, managed
+// by a session-layer Channel (client/channel.h).  The first call to any
+// entry performs the two-stage RPC: the compiled interface information is
+// fetched and cached, then arguments are marshalled from it — no
+// client-side stubs, header files, or linking.
 //
 //   auto client = NinfClient::connectTcp("127.0.0.1", port);
 //   ninfCall(*client, "dmmul", n, A, B, C);       // like Ninf_call(...)
+//
+// Against a protocol-v2 server the channel multiplexes calls by ID, so
+// one NinfClient may be shared by many threads: concurrent calls fly on
+// the same connection and replies are demultiplexed as they return.  On
+// a v1 connection concurrent calls still work but serialize.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "client/channel.h"
 #include "idl/interface_info.h"
 #include "protocol/call_marshal.h"
 #include "protocol/message.h"
@@ -57,12 +66,15 @@ struct JobHandle {
 /// between them.  The default (no deadline, no retries) reproduces the
 /// historical single-attempt behavior exactly.
 ///
-/// The deadline is end-to-end: it bounds every send and recv of every
-/// attempt (via Stream::setDeadline) plus the backoff sleeps, so a call
-/// with a deadline either completes or throws a typed error — it cannot
-/// hang on a stalled peer.  Retries fire only on TransportError (the
-/// connection is presumed dead and is re-established through the
-/// reconnect factory); RemoteError/ProtocolError surface immediately.
+/// The deadline is end-to-end: it bounds every attempt (via the stream
+/// deadline on v1 connections, the per-call reply future on multiplexed
+/// v2 ones) plus the backoff sleeps, so a call with a deadline either
+/// completes or throws a typed error — it cannot hang on a stalled peer.
+/// Retries fire only on TransportError (the connection is presumed dead
+/// and is re-established through the reconnect factory); RemoteError/
+/// ProtocolError surface immediately.  On a multiplexed connection a
+/// timeout while other calls are in flight abandons only the timed-out
+/// call; the connection survives.
 struct CallOptions {
   double deadline_seconds = 0.0;  ///< whole-call budget; 0 = unbounded
   std::size_t retries = 0;        ///< extra attempts after TransportError
@@ -71,8 +83,10 @@ struct CallOptions {
 
 class NinfClient {
  public:
-  /// Adopt an established stream (TCP or inproc).
-  explicit NinfClient(std::unique_ptr<transport::Stream> stream);
+  /// Adopt an established stream (TCP or inproc).  force_v1 skips the
+  /// Hello negotiation and speaks classic lock-step protocol v1.
+  explicit NinfClient(std::unique_ptr<transport::Stream> stream,
+                      bool force_v1 = false);
 
   /// Connect over TCP.  timeout_seconds > 0 bounds connection
   /// establishment; failures throw TransportError with the server's
@@ -86,7 +100,7 @@ class NinfClient {
   /// attempt dropped the stream).  connectTcp installs one automatically;
   /// adopters of raw streams (inproc tests) may install their own.
   void setReconnect(std::function<std::unique_ptr<transport::Stream>()> fn) {
-    reconnect_ = std::move(fn);
+    channel_->setReconnect(std::move(fn));
   }
 
   /// Stage one of the two-stage RPC; cached per entry name.
@@ -126,31 +140,38 @@ class NinfClient {
 
   void close();
 
+  /// The session layer under this client (protocol version, etc.).
+  Channel& channel() { return *channel_; }
+
  private:
   protocol::Message roundTrip(protocol::MessageType type,
                               std::span<const std::uint8_t> payload,
-                              protocol::MessageType expected);
+                              protocol::MessageType expected,
+                              std::chrono::steady_clock::time_point deadline);
 
-  /// Current stream, reconnecting through the factory if a previous
-  /// failure dropped it.  Throws TransportError when unconnectable.
-  transport::Stream& ensureStream();
+  const idl::InterfaceInfo& queryInterface(
+      const std::string& name,
+      std::chrono::steady_clock::time_point deadline);
 
   /// Deadline + retry + backoff skeleton shared by call/submit/fetch:
-  /// runs `fn` (one protocol attempt) under the options' stream deadline,
-  /// dropping the connection and retrying on TransportError.
+  /// runs `fn` (one protocol attempt, handed the absolute deadline),
+  /// resetting a broken channel and retrying on TransportError.
   template <typename Fn>
   auto retryLoop(const std::string& what, const CallOptions& opts, Fn&& fn)
-      -> decltype(fn());
+      -> decltype(fn(std::chrono::steady_clock::time_point{}));
 
   CallResult callOnce(const std::string& name,
-                      std::span<const protocol::ArgValue> args);
+                      std::span<const protocol::ArgValue> args,
+                      std::chrono::steady_clock::time_point deadline);
   JobHandle submitOnce(const std::string& name,
-                       std::span<const protocol::ArgValue> args);
-  std::optional<CallResult> fetchOnce(const JobHandle& handle,
-                                      std::span<const protocol::ArgValue> args);
+                       std::span<const protocol::ArgValue> args,
+                       std::chrono::steady_clock::time_point deadline);
+  std::optional<CallResult> fetchOnce(
+      const JobHandle& handle, std::span<const protocol::ArgValue> args,
+      std::chrono::steady_clock::time_point deadline);
 
-  std::unique_ptr<transport::Stream> stream_;
-  std::function<std::unique_ptr<transport::Stream>()> reconnect_;
+  std::unique_ptr<Channel> channel_;
+  std::mutex cache_mutex_;
   std::map<std::string, idl::InterfaceInfo> interface_cache_;
 };
 

@@ -1,0 +1,112 @@
+// Endpoint-keyed pool of NinfClient connections.
+//
+// The metaserver used to pay a fresh TCP connect (plus interface query)
+// for every dispatch.  The pool keeps finished connections warm instead:
+// acquire() hands out an idle connection to the endpoint when one exists
+// (LIFO, so the hottest connection — with its negotiated v2 channel and
+// interface cache — is reused first) and only falls back to the caller's
+// factory on a miss.
+//
+// Hygiene: idle connections are evicted after idle_ttl_seconds; an entry
+// that sat idle longer than health_check_after_seconds is pinged before
+// reuse and silently replaced if the peer is gone; a returned connection
+// whose channel is broken is dropped, never pooled.
+//
+// Observability: pool.hits / pool.misses counters and pool.idle /
+// pool.in_use gauges (process-wide totals across pools).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+
+namespace ninf::client {
+
+struct PoolOptions {
+  /// Idle connections kept per endpoint; extras are closed on return.
+  std::size_t max_idle_per_endpoint = 4;
+  /// Idle connections older than this are closed on the next acquire
+  /// (<= 0 keeps them forever).
+  double idle_ttl_seconds = 30.0;
+  /// An entry idle longer than this is pinged before being handed out
+  /// (<= 0 pings every reuse; set very large to never ping).
+  double health_check_after_seconds = 1.0;
+};
+
+class ConnectionPool {
+ public:
+  using Factory = std::function<std::unique_ptr<NinfClient>()>;
+
+  /// Exclusive loan of one pooled connection.  Returns the connection to
+  /// the pool on destruction — unless discard() was called (connection
+  /// suspect) or its channel is broken, in which case it is closed.
+  /// The pool must outlive every lease.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept;
+    ~Lease();
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    NinfClient& operator*() const { return *client_; }
+    NinfClient* operator->() const { return client_.get(); }
+    explicit operator bool() const { return client_ != nullptr; }
+
+    /// Close the connection now instead of returning it to the pool.
+    void discard();
+
+   private:
+    friend class ConnectionPool;
+    Lease(ConnectionPool* pool, std::string endpoint,
+          std::unique_ptr<NinfClient> client)
+        : pool_(pool), endpoint_(std::move(endpoint)),
+          client_(std::move(client)) {}
+
+    ConnectionPool* pool_ = nullptr;
+    std::string endpoint_;
+    std::unique_ptr<NinfClient> client_;
+  };
+
+  explicit ConnectionPool(PoolOptions options = {});
+  ~ConnectionPool();
+
+  ConnectionPool(const ConnectionPool&) = delete;
+  ConnectionPool& operator=(const ConnectionPool&) = delete;
+
+  /// Borrow a connection to `endpoint`, reusing an idle one when
+  /// possible and creating through `factory` otherwise.  The factory
+  /// runs outside the pool lock (it does network I/O).
+  Lease acquire(const std::string& endpoint, const Factory& factory);
+
+  /// Idle connections across all endpoints / leases currently out.
+  std::size_t idleCount() const;
+  std::size_t inUseCount() const;
+
+  /// Close every idle connection (leases out stay valid).
+  void clear();
+
+ private:
+  struct IdleEntry {
+    std::unique_ptr<NinfClient> client;
+    double idle_since = 0.0;  // steady-clock seconds
+  };
+
+  void release(const std::string& endpoint,
+               std::unique_ptr<NinfClient> client);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<IdleEntry>> idle_;
+  std::size_t in_use_ = 0;
+  PoolOptions options_;
+};
+
+}  // namespace ninf::client

@@ -10,6 +10,16 @@
 
 namespace ninf::metaserver {
 
+namespace {
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 const char* schedulingPolicyName(SchedulingPolicy p) {
   switch (p) {
     case SchedulingPolicy::RoundRobin: return "round-robin";
@@ -35,10 +45,10 @@ void Metaserver::addServer(ServerEntry entry) {
   NINF_REQUIRE(!entry.name.empty(), "server entry needs a name");
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& s : servers_) {
-    NINF_REQUIRE(s.entry.name != entry.name, "duplicate server name");
+    NINF_REQUIRE(s->entry.name != entry.name, "duplicate server name");
   }
-  ServerState state;
-  state.entry = std::move(entry);
+  auto state = std::make_unique<ServerState>();
+  state->entry = std::move(entry);
   servers_.push_back(std::move(state));
 }
 
@@ -53,23 +63,123 @@ client::NinfClient& Metaserver::monitorOf(ServerState& state) {
 }
 
 protocol::ServerStatusInfo Metaserver::poll(const std::string& server_name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& s : servers_) {
-    if (s.entry.name == server_name) {
-      try {
-        s.last_status = monitorOf(s).serverStatus();
-      } catch (const Error&) {
-        s.monitor.reset();  // reconnect on the next poll
-        throw;
+  ServerState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& s : servers_) {
+      if (s->entry.name == server_name) {
+        state = s.get();
+        break;
       }
-      return s.last_status;
     }
   }
-  throw NotFoundError("server '" + server_name + "'");
+  if (!state) throw NotFoundError("server '" + server_name + "'");
+
+  // Wire I/O under the per-server poll mutex only: a dead or slow server
+  // must not hold up the scheduling table.
+  protocol::ServerStatusInfo status;
+  try {
+    std::lock_guard<std::mutex> poll_lock(state->poll_mutex);
+    try {
+      status = monitorOf(*state).serverStatus();
+    } catch (const Error&) {
+      state->monitor.reset();  // reconnect on the next poll
+      throw;
+    }
+  } catch (const Error&) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state->reachable = false;
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state->last_status = status;
+    state->last_status_time = nowSeconds();
+    state->reachable = true;
+  }
+  return status;
+}
+
+std::vector<Metaserver::Candidate> Metaserver::refreshCandidates(
+    const std::string& entry_name, std::span<const protocol::ArgValue> args,
+    const std::vector<std::size_t>& excluded) {
+  // RoundRobin is oblivious: no polling at all.
+  if (policy_ == SchedulingPolicy::RoundRobin) return {};
+
+  std::vector<ServerState*> states;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    states.reserve(servers_.size());
+    for (auto& s : servers_) states.push_back(s.get());
+  }
+  const bool want_iface = policy_ == SchedulingPolicy::BandwidthAware;
+
+  std::vector<Candidate> out;
+  out.reserve(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    Candidate c;
+    c.idx = i;
+    if (std::find(excluded.begin(), excluded.end(), i) != excluded.end()) {
+      out.push_back(c);  // excluded: never picked, don't poll it either
+      continue;
+    }
+    ServerState* st = states[i];
+
+    // Reuse a fresh-enough cached status instead of another round-trip.
+    bool have_status = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (status_freshness_ > 0 && st->reachable &&
+          st->last_status_time > 0 &&
+          nowSeconds() - st->last_status_time <= status_freshness_) {
+        c.status = st->last_status;
+        have_status = true;
+      }
+    }
+
+    if (have_status && !want_iface) {
+      c.reachable = true;
+      out.push_back(c);
+      continue;
+    }
+
+    {
+      std::lock_guard<std::mutex> poll_lock(st->poll_mutex);
+      try {
+        auto& mon = monitorOf(*st);
+        if (!have_status) c.status = mon.serverStatus();
+        c.reachable = true;
+        if (want_iface) {
+          // The interface query rides the same monitor connection; the
+          // client caches it, so repeat decisions cost no extra I/O.
+          const auto& info = mon.queryInterface(entry_name);
+          const auto scalars = protocol::scalarArgs(info, args);
+          c.bytes = static_cast<double>(info.bytesTotal(scalars));
+          c.flops = static_cast<double>(info.flopsEstimate(scalars));
+        }
+      } catch (const NotFoundError&) {
+        c.exports = false;  // reachable, but no such entry there
+      } catch (const Error&) {
+        st->monitor.reset();  // status channel died; reconnect next time
+        c.reachable = false;
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      st->reachable = c.reachable;
+      if (c.reachable && !have_status) {
+        st->last_status = c.status;
+        st->last_status_time = nowSeconds();
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
 }
 
 std::size_t Metaserver::pickIndex(const std::string& entry_name,
-                                  std::span<const protocol::ArgValue> args,
+                                  const std::vector<Candidate>& candidates,
                                   const std::vector<std::size_t>& excluded) {
   // A server inside its post-failure cooldown window is shunned like an
   // excluded one — but only while some other candidate remains, so a
@@ -78,7 +188,7 @@ std::size_t Metaserver::pickIndex(const std::string& entry_name,
   std::vector<std::size_t> shunned = excluded;
   bool any_cooling = false;
   for (std::size_t i = 0; i < servers_.size(); ++i) {
-    if (servers_[i].cooldown_until > now &&
+    if (servers_[i]->cooldown_until > now &&
         std::find(excluded.begin(), excluded.end(), i) == excluded.end()) {
       shunned.push_back(i);
       any_cooling = true;
@@ -86,7 +196,7 @@ std::size_t Metaserver::pickIndex(const std::string& entry_name,
   }
   if (any_cooling && shunned.size() < servers_.size()) {
     try {
-      const std::size_t idx = pickAmong(entry_name, args, shunned);
+      const std::size_t idx = pickAmong(entry_name, candidates, shunned);
       static obs::Counter& cooldown_skips =
           obs::counter("metaserver.cooldown_skips");
       cooldown_skips.add();
@@ -96,11 +206,11 @@ std::size_t Metaserver::pickIndex(const std::string& entry_name,
       // fall through and consider the cooling servers after all.
     }
   }
-  return pickAmong(entry_name, args, excluded);
+  return pickAmong(entry_name, candidates, excluded);
 }
 
 std::size_t Metaserver::pickAmong(const std::string& entry_name,
-                                  std::span<const protocol::ArgValue> args,
+                                  const std::vector<Candidate>& candidates,
                                   const std::vector<std::size_t>& excluded) {
   NINF_REQUIRE(!servers_.empty(), "metaserver has no servers");
   auto isExcluded = [&](std::size_t i) {
@@ -118,22 +228,15 @@ std::size_t Metaserver::pickAmong(const std::string& entry_name,
     case SchedulingPolicy::LeastLoad: {
       std::size_t best = servers_.size();
       double best_load = std::numeric_limits<double>::infinity();
-      for (std::size_t i = 0; i < servers_.size(); ++i) {
-        if (isExcluded(i)) continue;
-        auto& s = servers_[i];
-        try {
-          s.last_status = monitorOf(s).serverStatus();
-        } catch (const Error&) {
-          s.monitor.reset();  // status channel died; skip this server
-          continue;
-        }
+      for (const auto& c : candidates) {
+        if (isExcluded(c.idx) || !c.reachable) continue;
         // Include calls we have routed but whose status poll may not yet
         // reflect, so bursts spread instead of piling on one server.
-        const double load = s.last_status.load_average +
-                            s.last_status.running + s.last_status.queued;
+        const double load =
+            c.status.load_average + c.status.running + c.status.queued;
         if (load < best_load) {
           best_load = load;
-          best = i;
+          best = c.idx;
         }
       }
       if (best == servers_.size()) {
@@ -144,30 +247,15 @@ std::size_t Metaserver::pickAmong(const std::string& entry_name,
     case SchedulingPolicy::BandwidthAware: {
       std::size_t best = servers_.size();
       double best_eta = std::numeric_limits<double>::infinity();
-      for (std::size_t i = 0; i < servers_.size(); ++i) {
-        if (isExcluded(i)) continue;
-        auto& s = servers_[i];
-        double bytes = 0.0;
-        double flops = 0.0;
-        try {
-          s.last_status = monitorOf(s).serverStatus();
-          const auto& info = monitorOf(s).queryInterface(entry_name);
-          const auto scalars = protocol::scalarArgs(info, args);
-          bytes = static_cast<double>(info.bytesTotal(scalars));
-          flops = static_cast<double>(info.flopsEstimate(scalars));
-        } catch (const NotFoundError&) {
-          continue;  // server does not export this entry
-        } catch (const Error&) {
-          s.monitor.reset();
-          continue;  // unreachable
-        }
+      for (const auto& c : candidates) {
+        if (isExcluded(c.idx) || !c.reachable || !c.exports) continue;
+        const auto& entry = servers_[c.idx]->entry;
         const double eta = estimateCompletion(
-            bytes, flops, s.entry.bandwidth_bps, s.entry.perf_flops,
-            static_cast<double>(s.last_status.running +
-                                s.last_status.queued));
+            c.bytes, c.flops, entry.bandwidth_bps, entry.perf_flops,
+            static_cast<double>(c.status.running + c.status.queued));
         if (eta < best_eta) {
           best_eta = eta;
-          best = i;
+          best = c.idx;
         }
       }
       if (best == servers_.size()) {
@@ -182,8 +270,9 @@ std::size_t Metaserver::pickAmong(const std::string& entry_name,
 std::string Metaserver::chooseServer(
     const std::string& entry_name,
     std::span<const protocol::ArgValue> args) {
+  const auto candidates = refreshCandidates(entry_name, args, {});
   std::lock_guard<std::mutex> lock(mutex_);
-  return servers_[pickIndex(entry_name, args, {})].entry.name;
+  return servers_[pickIndex(entry_name, candidates, {})]->entry.name;
 }
 
 client::CallResult Metaserver::dispatch(
@@ -214,18 +303,20 @@ client::CallResult Metaserver::dispatch(const std::string& name,
     std::size_t idx;
     try {
       // The decision itself is the interesting latency: least-load and
-      // bandwidth-aware policies poll every candidate server inline.
+      // bandwidth-aware policies poll candidate servers (outside the
+      // table lock, cached within the freshness window).
       obs::Span schedule("schedule");
+      const auto candidates = refreshCandidates(name, args, failed);
       std::lock_guard<std::mutex> lock(mutex_);
-      idx = pickIndex(name, args, failed);
-      ++servers_[idx].dispatched;
-      factory = servers_[idx].entry.factory;
-      chosen = servers_[idx].entry.name;
+      idx = pickIndex(name, candidates, failed);
+      ++servers_[idx]->dispatched;
+      factory = servers_[idx]->entry.factory;
+      chosen = servers_[idx]->entry.name;
       schedule.setDetail(std::string(schedulingPolicyName(policy_)) + " -> " +
                          chosen);
       static obs::Histogram& observed_load =
           obs::histogram("metaserver.observed_load");
-      observed_load.observe(servers_[idx].last_status.load_average);
+      observed_load.observe(servers_[idx]->last_status.load_average);
     } catch (const NotFoundError&) {
       // Candidates ran out mid-failover.  The root cause is the transport
       // failures that excluded them — rethrow that, not a masking
@@ -257,8 +348,13 @@ client::CallResult Metaserver::dispatch(const std::string& name,
         }
         attempt_opts.deadline_seconds = remaining;
       }
-      auto connection = factory();
-      return connection->call(name, args, attempt_opts);
+      auto lease = pool_.acquire(chosen, factory);
+      try {
+        return lease->call(name, args, attempt_opts);
+      } catch (const TransportError&) {
+        lease.discard();  // connection is suspect; never pool it again
+        throw;
+      }
     } catch (const TransportError& e) {
       // Server crashed or unreachable: fail over (paper, section 2.4),
       // and put the failed server in cooldown so a flapping server is
@@ -268,7 +364,7 @@ client::CallResult Metaserver::dispatch(const std::string& name,
       {
         std::lock_guard<std::mutex> lock(mutex_);
         if (cooldown_seconds_ > 0 && idx < servers_.size()) {
-          servers_[idx].cooldown_until =
+          servers_[idx]->cooldown_until =
               clock::now() + std::chrono::duration_cast<clock::duration>(
                                  std::chrono::duration<double>(
                                      cooldown_seconds_));
@@ -307,7 +403,7 @@ void Metaserver::startMonitoring(std::chrono::milliseconds interval) {
       std::vector<std::string> names;
       {
         std::lock_guard<std::mutex> lock(mutex_);
-        for (const auto& s : servers_) names.push_back(s.entry.name);
+        for (const auto& s : servers_) names.push_back(s->entry.name);
       }
       for (const auto& name : names) {
         try {
@@ -338,7 +434,7 @@ protocol::ServerStatusInfo Metaserver::lastStatus(
     const std::string& server_name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& s : servers_) {
-    if (s.entry.name == server_name) return s.last_status;
+    if (s->entry.name == server_name) return s->last_status;
   }
   throw NotFoundError("server '" + server_name + "'");
 }

@@ -14,6 +14,13 @@
 //                      byte/flop counts, the declared client-server
 //                      bandwidth, and the polled load, then pick the
 //                      minimum.
+//
+// Concurrency: status polls and interface queries are network I/O and
+// run under a per-server poll mutex, never under the global table lock —
+// a slow or dead server cannot stall unrelated dispatches.  Polled
+// statuses are cached with a freshness window so bursts of dispatches
+// share one poll round.  Dispatch borrows server connections from a
+// shared ConnectionPool instead of opening a fresh one per call.
 #pragma once
 
 #include <chrono>
@@ -25,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "client/connection_pool.h"
 #include "client/dispatcher.h"
 #include "client/transaction.h"
 #include "protocol/message.h"
@@ -79,11 +87,18 @@ class Metaserver : public client::CallDispatcher {
   void setServerCooldown(double seconds) { cooldown_seconds_ = seconds; }
   double serverCooldown() const { return cooldown_seconds_; }
 
+  /// Scheduling reuses a polled server status younger than this instead
+  /// of polling again (0 polls on every decision).  Explicit poll() and
+  /// the monitoring loop always hit the wire and refill the cache.
+  void setStatusFreshness(double seconds) { status_freshness_ = seconds; }
+  double statusFreshness() const { return status_freshness_; }
+
   void addServer(ServerEntry entry);
   std::size_t serverCount() const;
   SchedulingPolicy policy() const { return policy_; }
 
-  /// Poll a server's status (monitoring loop body).
+  /// Poll a server's status (monitoring loop body).  Always does the
+  /// wire round-trip; the result refreshes the scheduling cache.
   protocol::ServerStatusInfo poll(const std::string& server_name);
 
   /// Background monitoring (section 2.4: the metaserver "monitors
@@ -118,34 +133,68 @@ class Metaserver : public client::CallDispatcher {
   std::vector<client::CallResult> runTransaction(
       client::Transaction& transaction, std::size_t max_parallel = 0);
 
+  /// The dispatch connection pool (exposed for tests/ops inspection).
+  client::ConnectionPool& pool() { return pool_; }
+
  private:
   struct ServerState {
     ServerEntry entry;
+    /// Serializes network I/O on `monitor`.  Lock order: poll_mutex
+    /// before mutex_, never the reverse.
+    std::mutex poll_mutex;
     std::unique_ptr<client::NinfClient> monitor;  // lazy status channel
+    // Cached poll results, guarded by the global mutex_ (the I/O that
+    // produces them happens under poll_mutex only).
     protocol::ServerStatusInfo last_status;
+    double last_status_time = 0.0;  // steady seconds; 0 = never polled
+    bool reachable = false;
     std::uint64_t dispatched = 0;  // calls routed here by the metaserver
     /// Until this instant the server is shunned after a failed dispatch.
     std::chrono::steady_clock::time_point cooldown_until{};
   };
 
+  /// One scheduling-round snapshot of a server, produced by
+  /// refreshCandidates() with no global lock held during I/O.
+  struct Candidate {
+    std::size_t idx = 0;
+    bool reachable = false;
+    bool exports = true;  // entry known to this server (BandwidthAware)
+    double bytes = 0.0;   // wire bytes of this call (BandwidthAware)
+    double flops = 0.0;   // flop estimate of this call (BandwidthAware)
+    protocol::ServerStatusInfo status;
+  };
+
+  /// Poll every non-excluded server (honoring the freshness window) and
+  /// return the snapshot the policies decide over.  All network I/O
+  /// happens here, under per-server poll mutexes.
+  std::vector<Candidate> refreshCandidates(
+      const std::string& entry_name, std::span<const protocol::ArgValue> args,
+      const std::vector<std::size_t>& excluded);
+
   /// Policy selection with cooling servers shunned while any other
   /// candidate remains (falls back to them rather than failing).
+  /// Pure decision over the snapshot; call with mutex_ held.
   std::size_t pickIndex(const std::string& entry_name,
-                        std::span<const protocol::ArgValue> args,
+                        const std::vector<Candidate>& candidates,
                         const std::vector<std::size_t>& excluded);
   /// The raw policy switch, honoring only the explicit exclusions.
   std::size_t pickAmong(const std::string& entry_name,
-                        std::span<const protocol::ArgValue> args,
+                        const std::vector<Candidate>& candidates,
                         const std::vector<std::size_t>& excluded);
+  /// Call with `state.poll_mutex` held.
   client::NinfClient& monitorOf(ServerState& state);
 
   SchedulingPolicy policy_;
   std::size_t max_failovers_ = 2;
   double failover_backoff_ = 0.02;
   double cooldown_seconds_ = 2.0;
+  double status_freshness_ = 0.25;
   mutable std::mutex mutex_;
-  std::vector<ServerState> servers_;
+  /// unique_ptr for stable addresses: poll mutexes are held while the
+  /// vector may grow under addServer.
+  std::vector<std::unique_ptr<ServerState>> servers_;
   std::size_t rr_next_ = 0;
+  client::ConnectionPool pool_;
 
   std::thread monitor_thread_;
   std::condition_variable monitor_cv_;

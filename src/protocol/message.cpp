@@ -11,18 +11,32 @@ namespace ninf::protocol {
 
 namespace {
 
-/// Encode the 16-byte frame header into `out`.
+void putWordBe(std::uint32_t word, std::uint8_t* out) {
+  out[0] = static_cast<std::uint8_t>(word >> 24);
+  out[1] = static_cast<std::uint8_t>(word >> 16);
+  out[2] = static_cast<std::uint8_t>(word >> 8);
+  out[3] = static_cast<std::uint8_t>(word);
+}
+
+/// Encode the 16-byte v1 frame header into `out`.
 void encodeHeader(MessageType type, std::size_t length,
-                  std::uint8_t out[16]) {
-  const std::uint32_t words[4] = {kMagic, kVersion,
-                                  static_cast<std::uint32_t>(type),
-                                  static_cast<std::uint32_t>(length)};
-  for (int w = 0; w < 4; ++w) {
-    out[w * 4 + 0] = static_cast<std::uint8_t>(words[w] >> 24);
-    out[w * 4 + 1] = static_cast<std::uint8_t>(words[w] >> 16);
-    out[w * 4 + 2] = static_cast<std::uint8_t>(words[w] >> 8);
-    out[w * 4 + 3] = static_cast<std::uint8_t>(words[w]);
-  }
+                  std::uint8_t out[kHeaderBytes]) {
+  putWordBe(kMagic, out);
+  putWordBe(kVersion, out + 4);
+  putWordBe(static_cast<std::uint32_t>(type), out + 8);
+  putWordBe(static_cast<std::uint32_t>(length), out + 12);
+}
+
+/// Encode the 24-byte v2 frame header (v1 header fields + 64-bit call ID,
+/// high word first) into `out`.
+void encodeHeaderV2(MessageType type, std::size_t length,
+                    std::uint64_t call_id, std::uint8_t out[kHeaderBytesV2]) {
+  putWordBe(kMagic, out);
+  putWordBe(kVersion2, out + 4);
+  putWordBe(static_cast<std::uint32_t>(type), out + 8);
+  putWordBe(static_cast<std::uint32_t>(length), out + 12);
+  putWordBe(static_cast<std::uint32_t>(call_id >> 32), out + 16);
+  putWordBe(static_cast<std::uint32_t>(call_id), out + 20);
 }
 
 /// Sink gathering spans for one vectored send.  Spans stay valid until
@@ -80,21 +94,47 @@ void sendMessage(transport::Stream& stream, MessageType type,
   body.emitTo(sink);  // flushes after each scratch chunk and at the end
 }
 
-FrameHeader recvHeader(transport::Stream& stream) {
-  std::uint8_t header_bytes[16];
-  stream.recvAll(header_bytes);
-  xdr::Decoder header(header_bytes);
+void sendMessageV2(transport::Stream& stream, MessageType type,
+                   std::uint64_t call_id,
+                   std::span<const std::uint8_t> payload) {
+  NINF_REQUIRE(payload.size() <= kMaxPayload, "payload too large");
+  noteWireBuffer(payload.size());
+  std::uint8_t header[kHeaderBytesV2];
+  encodeHeaderV2(type, payload.size(), call_id, header);
+  const std::span<const std::uint8_t> bufs[2] = {{header, kHeaderBytesV2},
+                                                 payload};
+  stream.sendv(bufs);
+}
+
+void sendMessageV2(transport::Stream& stream, MessageType type,
+                   std::uint64_t call_id, const xdr::Encoder& body) {
+  NINF_REQUIRE(body.size() <= kMaxPayload, "payload too large");
+  noteWireBuffer(body.ownedSize() +
+                 (body.hasBorrowed() ? xdr::Encoder::kScratchBytes : 0));
+  std::uint8_t header[kHeaderBytesV2];
+  encodeHeaderV2(type, body.size(), call_id, header);
+  StreamSink sink(stream);
+  sink.write({header, kHeaderBytesV2});
+  body.emitTo(sink);
+}
+
+namespace {
+
+/// Validate the four words shared by both header layouts.
+FrameHeader checkHeaderWords(xdr::Source& header, std::uint32_t want_version,
+                             transport::Stream& stream) {
   if (header.getU32() != kMagic) {
     throw ProtocolError("bad magic from " + stream.peerName());
   }
   const std::uint32_t version = header.getU32();
-  if (version != kVersion) {
-    throw ProtocolError("unsupported protocol version " +
-                        std::to_string(version));
+  if (version != want_version) {
+    throw ProtocolError("unexpected protocol version " +
+                        std::to_string(version) + " (want " +
+                        std::to_string(want_version) + ")");
   }
   const std::uint32_t type = header.getU32();
   if (type < static_cast<std::uint32_t>(MessageType::QueryInterface) ||
-      type > static_cast<std::uint32_t>(MessageType::Pong)) {
+      type > static_cast<std::uint32_t>(MessageType::HelloAck)) {
     throw ProtocolError("unknown message type " + std::to_string(type));
   }
   const std::uint32_t length = header.getU32();
@@ -103,6 +143,24 @@ FrameHeader recvHeader(transport::Stream& stream) {
                         " exceeds limit");
   }
   return FrameHeader{static_cast<MessageType>(type), length};
+}
+
+}  // namespace
+
+FrameHeader recvHeader(transport::Stream& stream) {
+  std::uint8_t header_bytes[kHeaderBytes];
+  stream.recvAll(header_bytes);
+  xdr::Decoder header(header_bytes);
+  return checkHeaderWords(header, kVersion, stream);
+}
+
+FrameHeader recvHeaderV2(transport::Stream& stream) {
+  std::uint8_t header_bytes[kHeaderBytesV2];
+  stream.recvAll(header_bytes);
+  xdr::Decoder header(header_bytes);
+  FrameHeader fh = checkHeaderWords(header, kVersion2, stream);
+  fh.call_id = header.getU64();
+  return fh;
 }
 
 void BodyReader::readBytes(std::span<std::uint8_t> out) {

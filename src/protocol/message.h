@@ -18,6 +18,19 @@
 //     | <---------- SubmitAck ---- |   (job id; connection may drop)
 //     | -- FetchResult(job) -----> |   (later, new connection)
 //     | <- CallReply / ResultPending |
+//
+// Protocol v2 (session layer): a client that wants to multiplex many
+// logical calls over one connection opens with a version negotiation in
+// v1 framing:
+//
+//     | -- Hello(max_version) ---> |
+//     | <-- HelloAck(agreed) ----- |
+//
+// After HelloAck agrees on v2, every frame in both directions carries a
+// 64-bit call ID after the length word (24-byte header).  Requests may
+// be pipelined and replies may return out of order; the call ID is the
+// only correlation.  A v1 peer never sends Hello and keeps the classic
+// lock-step framing — a v2 server serves both kinds of connection.
 #pragma once
 
 #include <array>
@@ -32,6 +45,13 @@ namespace ninf::protocol {
 
 inline constexpr std::uint32_t kMagic = 0x4E494E46;  // "NINF"
 inline constexpr std::uint32_t kVersion = 1;
+/// Highest protocol version this build speaks (negotiated via Hello).
+inline constexpr std::uint32_t kVersion2 = 2;
+inline constexpr std::uint32_t kMaxVersion = kVersion2;
+/// Frame header sizes: v1 is magic/version/type/length; v2 appends a
+/// 64-bit call ID used to correlate out-of-order replies.
+inline constexpr std::size_t kHeaderBytes = 16;
+inline constexpr std::size_t kHeaderBytesV2 = 24;
 /// Guard against hostile/corrupt length fields (256 MiB).
 inline constexpr std::uint32_t kMaxPayload = 256u << 20;
 
@@ -50,6 +70,8 @@ enum class MessageType : std::uint32_t {
   StatusReply = 12,     // payload: running, queued, completed, load
   Ping = 13,            // payload: opaque echo data
   Pong = 14,            // payload: opaque echo data
+  Hello = 15,           // payload: u32 highest version the client speaks
+  HelloAck = 16,        // payload: u32 agreed version
 };
 
 struct Message {
@@ -57,10 +79,12 @@ struct Message {
   std::vector<std::uint8_t> payload;
 };
 
-/// Validated frame header: the first 16 bytes of every message.
+/// Validated frame header: the first 16 (v1) or 24 (v2) bytes of every
+/// message.
 struct FrameHeader {
   MessageType type;
-  std::uint32_t length = 0;  // body bytes following the header
+  std::uint32_t length = 0;   // body bytes following the header
+  std::uint64_t call_id = 0;  // v2 correlation id; 0 on v1 frames
 };
 
 /// Serialize and send one message from a contiguous payload.
@@ -73,11 +97,21 @@ void sendMessage(transport::Stream& stream, MessageType type,
 void sendMessage(transport::Stream& stream, MessageType type,
                  const xdr::Encoder& body);
 
+/// v2 frames: as above plus the call ID in the 24-byte header.
+void sendMessageV2(transport::Stream& stream, MessageType type,
+                   std::uint64_t call_id,
+                   std::span<const std::uint8_t> payload);
+void sendMessageV2(transport::Stream& stream, MessageType type,
+                   std::uint64_t call_id, const xdr::Encoder& body);
+
 /// Read and validate one frame header; throws ProtocolError on bad
 /// magic/version/type/length and TransportError on connection loss.  The
 /// caller must then consume exactly header.length body bytes (BodyReader)
 /// before the next frame.
 FrameHeader recvHeader(transport::Stream& stream);
+
+/// Same for a negotiated-v2 connection (24-byte header with call ID).
+FrameHeader recvHeaderV2(transport::Stream& stream);
 
 /// Incremental reader over one frame body.  Implements xdr::Source, so
 /// decode logic pulls scalars through a small internal buffer while large

@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <deque>
 #include <future>
 
 #include "common/error.h"
@@ -15,6 +16,134 @@ using protocol::CallTimings;
 using protocol::Message;
 using protocol::MessageType;
 
+/// Per-connection reply writer for protocol-v2 connections: jobs and the
+/// connection thread post typed replies here, one thread serializes the
+/// scatter-gather sends.  Replies leave in completion order, not arrival
+/// order — the call ID is the correlation.
+///
+/// Lifetime: the connection thread owns the writer via shared_ptr and
+/// each queued job holds another reference, so a job finishing after the
+/// peer vanished still has somewhere safe to post (the post is dropped
+/// once the writer is dead).  finish() — called by the connection thread
+/// when the read side ends — waits until every expected reply has been
+/// posted and sent (or the connection died), then joins; after that the
+/// stream may be destroyed, because a dead writer never touches it again.
+class NinfServer::ConnWriter {
+ public:
+  explicit ConnWriter(transport::Stream& stream) : stream_(stream) {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~ConnWriter() {
+    // finish() joined on every path through serveStreamV2; this is the
+    // safety net for exotic unwinds.
+    if (thread_.joinable()) {
+      {
+        std::lock_guard<std::mutex> g(mutex_);
+        dead_ = true;
+        closed_ = true;
+      }
+      cv_.notify_all();
+      thread_.join();
+    }
+  }
+
+  /// Count one reply owed later (a call job headed for the queue).
+  void expect() {
+    std::lock_guard<std::mutex> g(mutex_);
+    ++outstanding_;
+  }
+
+  /// Queue one reply frame.  `from_job` balances a prior expect().
+  /// Posts to a dead writer are counted and dropped.
+  void post(std::uint64_t call_id, MessageType type, ReplyPayload payload,
+            bool from_job) {
+    {
+      std::lock_guard<std::mutex> g(mutex_);
+      if (from_job) --outstanding_;
+      if (!dead_) items_.push_back({call_id, type, std::move(payload)});
+    }
+    cv_.notify_all();
+  }
+
+  bool dead() const {
+    std::lock_guard<std::mutex> g(mutex_);
+    return dead_;
+  }
+
+  /// Graceful shutdown: wait for every owed reply to be posted and sent
+  /// (a dead connection stops waiting for sends, but still waits for the
+  /// jobs so no lambda outlives its keepalive assumptions), then join.
+  void finish() {
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_.wait(lk, [this] {
+        return outstanding_ == 0 && (dead_ || (items_.empty() && !sending_));
+      });
+      closed_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  struct Item {
+    std::uint64_t call_id = 0;
+    MessageType type{};
+    ReplyPayload payload;
+  };
+
+  void loop() {
+    for (;;) {
+      Item item;
+      {
+        std::unique_lock<std::mutex> lk(mutex_);
+        cv_.wait(lk,
+                 [this] { return dead_ || closed_ || !items_.empty(); });
+        if (dead_) {
+          items_.clear();
+          cv_.wait(lk, [this] { return closed_; });
+          return;
+        }
+        if (items_.empty()) return;  // closed_ and drained
+        item = std::move(items_.front());
+        items_.pop_front();
+        sending_ = true;
+      }
+      try {
+        protocol::sendMessageV2(stream_, item.type, item.call_id,
+                                item.payload.body);
+        {
+          std::lock_guard<std::mutex> g(mutex_);
+          sending_ = false;
+        }
+        cv_.notify_all();
+      } catch (const Error& e) {
+        NINF_LOG(Debug) << "reply send failed: " << e.what();
+        {
+          std::lock_guard<std::mutex> g(mutex_);
+          dead_ = true;
+          sending_ = false;
+          items_.clear();
+        }
+        // Kick the connection thread out of its blocking header read.
+        stream_.close();
+        cv_.notify_all();
+      }
+    }
+  }
+
+  transport::Stream& stream_;
+  std::thread thread_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Item> items_;
+  std::size_t outstanding_ = 0;  // expected replies not yet posted
+  bool sending_ = false;         // a send is in flight outside the lock
+  bool closed_ = false;          // finish() called; drain and exit
+  bool dead_ = false;            // connection unusable; drop everything
+};
+
 NinfServer::NinfServer(Registry& registry, ServerOptions options)
     : registry_(registry),
       options_(options),
@@ -23,6 +152,9 @@ NinfServer::NinfServer(Registry& registry, ServerOptions options)
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { workerLoop(); });
+  }
+  if (options_.pending_ttl_seconds > 0) {
+    sweeper_ = std::thread([this] { sweeperLoop(); });
   }
 }
 
@@ -58,6 +190,21 @@ void NinfServer::serveStream(transport::Stream& stream) {
   try {
     for (;;) {
       const protocol::FrameHeader header = protocol::recvHeader(stream);
+      if (header.type == MessageType::Hello) {
+        protocol::BodyReader body(stream, header.length);
+        const std::uint32_t client_max = body.getU32();
+        body.drain();
+        const std::uint32_t agreed =
+            std::min(client_max, protocol::kMaxVersion);
+        xdr::Encoder ack;
+        ack.putU32(agreed);
+        protocol::sendMessage(stream, MessageType::HelloAck, ack.bytes());
+        if (agreed >= protocol::kVersion2) {
+          serveStreamV2(stream);
+          return;
+        }
+        continue;  // negotiated down: keep the lock-step v1 loop
+      }
       handleFrame(stream, header);
     }
   } catch (const TransportError&) {
@@ -66,6 +213,50 @@ void NinfServer::serveStream(transport::Stream& stream) {
     NINF_LOG(Warn) << "connection from " << stream.peerName()
                    << " aborted: " << e.what();
   }
+}
+
+void NinfServer::serveStreamV2(transport::Stream& stream) {
+  static obs::Counter& upgrades = obs::counter("server.v2_connections");
+  upgrades.add();
+  auto writer = std::make_shared<ConnWriter>(stream);
+  try {
+    for (;;) {
+      const protocol::FrameHeader header = protocol::recvHeaderV2(stream);
+      switch (header.type) {
+        case MessageType::CallRequest: {
+          protocol::BodyReader body(stream, header.length);
+          executeCallAsync(body, header.call_id, writer);
+          break;
+        }
+        case MessageType::SubmitRequest: {
+          protocol::BodyReader body(stream, header.length);
+          const std::uint64_t id = submitCall(body);
+          xdr::Encoder enc;
+          enc.putU64(id);
+          writer->post(header.call_id, MessageType::SubmitAck,
+                       ReplyPayload{std::move(enc), nullptr}, false);
+          break;
+        }
+        default: {
+          Message msg;
+          msg.type = header.type;
+          msg.payload.resize(header.length);
+          if (header.length > 0) stream.recvAll(msg.payload);
+          protocol::noteWireBuffer(msg.payload.size());
+          ReplyEnvelope env = controlReply(msg);
+          writer->post(header.call_id, env.type, std::move(env.payload),
+                       false);
+          break;
+        }
+      }
+    }
+  } catch (const TransportError&) {
+    // Peer hung up (or the writer closed the stream under us).
+  } catch (const Error& e) {
+    NINF_LOG(Warn) << "v2 connection from " << stream.peerName()
+                   << " aborted: " << e.what();
+  }
+  writer->finish();
 }
 
 void NinfServer::stop() {
@@ -90,12 +281,64 @@ void NinfServer::stop() {
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  {
+    std::lock_guard<std::mutex> lk(sweeper_mutex_);
+  }
+  sweeper_cv_.notify_all();
+  if (sweeper_.joinable()) sweeper_.join();
 }
 
 void NinfServer::workerLoop() {
   while (auto job = queue_.pop()) {
     job->run();
   }
+}
+
+void NinfServer::sweeperLoop() {
+  const auto period = std::chrono::duration<double>(
+      std::clamp(options_.pending_ttl_seconds / 4.0, 0.01, 1.0));
+  std::unique_lock<std::mutex> lk(sweeper_mutex_);
+  while (!stopping_.load()) {
+    sweeper_cv_.wait_for(lk, period, [this] { return stopping_.load(); });
+    if (stopping_.load()) break;
+    lk.unlock();
+    sweepPending();
+    lk.lock();
+  }
+}
+
+void NinfServer::sweepPending() {
+  // Destroy expired payloads outside the lock — keepalives may hold
+  // sizeable OUT arrays.
+  std::vector<ReplyPayload> expired;
+  std::size_t count = 0;
+  const double now = metrics_.now();
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.ready &&
+          now - it->second.ready_time > options_.pending_ttl_seconds) {
+        expired.push_back(std::move(it->second.reply));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    count = pending_.size();
+  }
+  if (!expired.empty()) {
+    static obs::Counter& reaped = obs::counter("server.pending_expired");
+    reaped.add(expired.size());
+    NINF_LOG(Debug) << "reaped " << expired.size()
+                    << " unfetched two-phase results";
+  }
+  updatePendingGauge(count);
+}
+
+void NinfServer::updatePendingGauge(std::size_t count) {
+  // Per-server gauge, same naming scheme as server.queue.depth.<name>.
+  obs::gauge("server.pending_results." + queue_.name())
+      .set(static_cast<double>(count));
 }
 
 void NinfServer::handleFrame(transport::Stream& stream,
@@ -122,13 +365,14 @@ void NinfServer::handleFrame(transport::Stream& stream,
       msg.payload.resize(header.length);
       if (header.length > 0) stream.recvAll(msg.payload);
       protocol::noteWireBuffer(msg.payload.size());
-      handleMessage(stream, msg);
+      ReplyEnvelope env = controlReply(msg);
+      protocol::sendMessage(stream, env.type, env.payload.body);
       return;
     }
   }
 }
 
-void NinfServer::handleMessage(transport::Stream& stream, const Message& msg) {
+NinfServer::ReplyEnvelope NinfServer::controlReply(const Message& msg) {
   switch (msg.type) {
     case MessageType::QueryInterface: {
       xdr::Decoder dec(msg.payload);
@@ -140,8 +384,7 @@ void NinfServer::handleMessage(transport::Stream& stream, const Message& msg) {
       } else {
         enc.putBool(false);
       }
-      protocol::sendMessage(stream, MessageType::InterfaceReply, enc.bytes());
-      return;
+      return {MessageType::InterfaceReply, {std::move(enc), nullptr}};
     }
     case MessageType::FetchResult: {
       xdr::Decoder dec(msg.payload);
@@ -150,31 +393,28 @@ void NinfServer::handleMessage(transport::Stream& stream, const Message& msg) {
       auto it = pending_.find(id);
       if (it == pending_.end()) {
         lock.unlock();
-        protocol::sendMessage(
-            stream, MessageType::CallReply,
-            protocol::encodeErrorReply("unknown job id " +
-                                       std::to_string(id)));
-        return;
+        xdr::Encoder err;
+        err.putRaw(protocol::encodeErrorReply("unknown job id " +
+                                              std::to_string(id)));
+        return {MessageType::CallReply, {std::move(err), nullptr}};
       }
       if (!it->second.ready) {
         lock.unlock();
-        protocol::sendMessage(stream, MessageType::ResultPending,
-                              std::span<const std::uint8_t>{});
-        return;
+        return {MessageType::ResultPending, {xdr::Encoder{}, nullptr}};
       }
       ReplyPayload reply = std::move(it->second.reply);
       pending_.erase(it);
+      const std::size_t count = pending_.size();
       lock.unlock();
-      protocol::sendMessage(stream, MessageType::CallReply, reply.body);
-      return;
+      updatePendingGauge(count);
+      return {MessageType::CallReply, std::move(reply)};
     }
     case MessageType::ListExecutables: {
       xdr::Encoder enc;
       const auto names = registry_.names();
       enc.putU32(static_cast<std::uint32_t>(names.size()));
       for (const auto& n : names) enc.putString(n);
-      protocol::sendMessage(stream, MessageType::ExecutableList, enc.bytes());
-      return;
+      return {MessageType::ExecutableList, {std::move(enc), nullptr}};
     }
     case MessageType::ServerStatus: {
       // One consistent snapshot: a poll racing a job transition must not
@@ -185,12 +425,15 @@ void NinfServer::handleMessage(transport::Stream& stream, const Message& msg) {
       info.queued = snap.queued;
       info.completed = snap.completed;
       info.load_average = snap.load_average;
-      protocol::sendMessage(stream, MessageType::StatusReply, info.toBytes());
-      return;
+      xdr::Encoder enc;
+      enc.putRaw(info.toBytes());
+      return {MessageType::StatusReply, {std::move(enc), nullptr}};
     }
-    case MessageType::Ping:
-      protocol::sendMessage(stream, MessageType::Pong, msg.payload);
-      return;
+    case MessageType::Ping: {
+      xdr::Encoder enc;
+      enc.putRaw(msg.payload);
+      return {MessageType::Pong, {std::move(enc), nullptr}};
+    }
     default:
       throw ProtocolError("unexpected message type " +
                           std::to_string(static_cast<unsigned>(msg.type)));
@@ -306,11 +549,41 @@ NinfServer::ReplyPayload NinfServer::executeCall(protocol::BodyReader& body) {
   return reply;
 }
 
+void NinfServer::executeCallAsync(protocol::BodyReader& body,
+                                  std::uint64_t call_id,
+                                  const std::shared_ptr<ConnWriter>& writer) {
+  PreparedCall call;
+  try {
+    call = prepare(registry_, body);
+  } catch (const std::exception& e) {
+    body.drain();
+    writer->post(call_id, MessageType::CallReply, errorReply(e.what()),
+                 false);
+    return;
+  }
+
+  auto call_sp = std::make_shared<PreparedCall>(std::move(call));
+  metrics_.jobQueued();
+  Job job;
+  job.id = next_job_id_.fetch_add(1);
+  job.estimated_flops = call_sp->estimated_flops;
+  job.enqueue_time = metrics_.now();
+  writer->expect();
+  job.run = [this, call_sp, call_id, writer,
+             enqueue = job.enqueue_time]() mutable {
+    ReplyPayload reply = runPreparedCall(metrics_, *call_sp, enqueue);
+    reply.keepalive = call_sp;  // reply body borrows the OUT arrays
+    writer->post(call_id, MessageType::CallReply, std::move(reply), true);
+  };
+  queue_.push(std::move(job));
+}
+
 std::uint64_t NinfServer::submitCall(protocol::BodyReader& body) {
   const std::uint64_t id = next_job_id_.fetch_add(1);
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
     pending_.emplace(id, PendingResult{});
+    updatePendingGauge(pending_.size());
   }
 
   PreparedCall prepared;
@@ -319,7 +592,7 @@ std::uint64_t NinfServer::submitCall(protocol::BodyReader& body) {
   } catch (const std::exception& e) {
     body.drain();
     std::lock_guard<std::mutex> lock(pending_mutex_);
-    pending_[id] = {true, errorReply(e.what())};
+    pending_[id] = {true, metrics_.now(), errorReply(e.what())};
     return id;
   }
 
@@ -335,7 +608,7 @@ std::uint64_t NinfServer::submitCall(protocol::BodyReader& body) {
     reply.keepalive = call;
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
-      pending_[id] = {true, std::move(reply)};
+      pending_[id] = {true, metrics_.now(), std::move(reply)};
     }
     pending_cv_.notify_all();
   };

@@ -11,12 +11,21 @@
 // every PE internally); workers == P is the task-parallel configuration
 // (up to P calls run concurrently, one PE each).
 //
+// Connections speak protocol v1 (lock-step) by default.  A client that
+// opens with Hello is upgraded to v2: the connection loop then only
+// decodes and enqueues — it never blocks on a running job — and a
+// per-connection writer thread serializes the scatter-gather reply sends,
+// so replies go out as jobs finish (possibly out of order, correlated by
+// call ID) and one connection carries up to `workers` concurrent calls.
+//
 // The two-phase protocol of section 5.1 is supported: SubmitRequest
 // detaches the job from the connection, SubmitAck returns a job id, and
 // the client fetches the result later (possibly over a new connection).
+// Results nobody fetches are reaped after pending_ttl_seconds.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -39,6 +48,10 @@ struct ServerOptions {
   /// Label of this server's queue-depth gauge
   /// (`server.queue.depth.<name>`); auto-generated when empty.
   std::string name = {};
+  /// Two-phase results that were never fetched are discarded this many
+  /// seconds after completing (<= 0 keeps them forever — the historical
+  /// leak, retained only for experiments).
+  double pending_ttl_seconds = 300.0;
 };
 
 class NinfServer {
@@ -55,7 +68,9 @@ class NinfServer {
   void start(std::shared_ptr<transport::Listener> listener);
 
   /// Handle one already-established connection until the peer disconnects.
-  /// Usable directly (e.g. with inprocPair) without start().
+  /// Usable directly (e.g. with inprocPair) without start().  Returns
+  /// only after every reply owed on this connection has been sent (or the
+  /// connection died), so the stream may be destroyed afterwards.
   void serveStream(transport::Stream& stream);
 
   /// Stop accepting, drain workers, join all threads.  Idempotent.
@@ -71,22 +86,46 @@ class NinfServer {
     std::shared_ptr<void> keepalive;
   };
 
+  /// A typed reply ready to send on whichever framing the connection
+  /// negotiated.
+  struct ReplyEnvelope {
+    protocol::MessageType type{};
+    ReplyPayload payload;
+  };
+
  private:
+  class ConnWriter;
+
   void workerLoop();
-  /// Dispatch one frame.  Call bodies (CallRequest/SubmitRequest) are
+  void sweeperLoop();
+
+  /// Dispatch one v1 frame.  Call bodies (CallRequest/SubmitRequest) are
   /// consumed incrementally off the stream; other message types are small
   /// and read whole.
   void handleFrame(transport::Stream& stream,
                    const protocol::FrameHeader& header);
-  void handleMessage(transport::Stream& stream,
-                     const protocol::Message& msg);
+  /// Serve the rest of a connection that negotiated protocol v2.
+  void serveStreamV2(transport::Stream& stream);
+  /// Compute the reply to a small control message (everything but
+  /// CallRequest/SubmitRequest), framing-agnostic.
+  ReplyEnvelope controlReply(const protocol::Message& msg);
+
   /// Parse + enqueue a call read directly from the connection; returns
-  /// the reply (blocking mode) or records it in the two-phase job table.
+  /// the reply (v1 blocking mode) or records it in the two-phase table.
   ReplyPayload executeCall(protocol::BodyReader& body);
+  /// v2: parse + enqueue, then return immediately; the finished job posts
+  /// its CallReply to the connection writer under `call_id`.
+  void executeCallAsync(protocol::BodyReader& body, std::uint64_t call_id,
+                        const std::shared_ptr<ConnWriter>& writer);
   std::uint64_t submitCall(protocol::BodyReader& body);
+
+  /// Drop ready-but-unfetched results older than the TTL.
+  void sweepPending();
+  void updatePendingGauge(std::size_t count);
 
   struct PendingResult {
     bool ready = false;
+    double ready_time = 0.0;  // server-clock seconds when completed
     ReplyPayload reply;
   };
 
@@ -97,10 +136,13 @@ class NinfServer {
   std::vector<std::thread> workers_;
   std::shared_ptr<transport::Listener> listener_;
   std::thread accept_thread_;
+  std::thread sweeper_;
   std::mutex conn_mutex_;
   std::vector<std::thread> conn_threads_;
   std::vector<std::weak_ptr<transport::Stream>> conn_streams_;
   std::atomic<bool> stopping_{false};
+  std::mutex sweeper_mutex_;
+  std::condition_variable sweeper_cv_;
   std::atomic<std::uint64_t> next_job_id_{1};
   std::mutex pending_mutex_;
   std::condition_variable pending_cv_;

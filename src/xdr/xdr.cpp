@@ -278,6 +278,11 @@ std::vector<std::int64_t> Source::getI64Array() {
   return out;
 }
 
+void Source::getRaw(std::span<std::uint8_t> out) {
+  need(out.size());
+  readBytes(out);
+}
+
 void Source::skip(std::size_t n) {
   need(n);
   std::uint8_t buf[4096];

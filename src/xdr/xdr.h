@@ -149,6 +149,9 @@ class Source {
   /// the wire count must equal out.size().  The bytes land in `out` and
   /// are byteswapped in place — no intermediate buffer.
   void getDoubleArrayInto(std::span<double> out);
+  /// Read exactly out.size() raw bytes with no length prefix or padding
+  /// (the inverse of Encoder::putRaw; materializes whole message bodies).
+  void getRaw(std::span<std::uint8_t> out);
   /// Consume and discard exactly n bytes.
   void skip(std::size_t n);
 

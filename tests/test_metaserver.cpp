@@ -10,6 +10,7 @@
 #include "common/error.h"
 #include "metaserver/metaserver.h"
 #include "numlib/ep.h"
+#include "obs/metrics.h"
 #include "server/server.h"
 #include "transport/tcp_transport.h"
 
@@ -97,6 +98,19 @@ TEST_F(MetaserverFixture, PollReturnsStatus) {
   const auto status = meta_->poll("server-0");
   EXPECT_EQ(status.running, 0u);
   EXPECT_THROW(meta_->poll("nope"), NotFoundError);
+}
+
+TEST_F(MetaserverFixture, DispatchReusesPooledConnections) {
+  startServers(1, SchedulingPolicy::RoundRobin);
+  std::vector<double> sums(2), q(10);
+  std::vector<ArgValue> args = {ArgValue::inInt(0), ArgValue::inInt(64),
+                                ArgValue::outArray(sums),
+                                ArgValue::outArray(q)};
+  const double hits_before = obs::counter("pool.hits").value();
+  meta_->dispatch("ep", args);
+  EXPECT_EQ(meta_->pool().idleCount(), 1u);  // connection kept warm
+  meta_->dispatch("ep", args);
+  EXPECT_GE(obs::counter("pool.hits").value() - hits_before, 1.0);
 }
 
 TEST_F(MetaserverFixture, BandwidthAwarePrefersFasterLink) {

@@ -1,0 +1,327 @@
+// Session layer: call-ID multiplexing on one shared connection, protocol
+// negotiation (v1 interop), failure semantics of in-flight calls, and the
+// endpoint-keyed connection pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "client/client.h"
+#include "client/connection_pool.h"
+#include "common/error.h"
+#include "numlib/ep.h"
+#include "obs/metrics.h"
+#include "server/server.h"
+#include "transport/fault_injection.h"
+#include "transport/tcp_transport.h"
+
+namespace ninf {
+namespace {
+
+using client::CallOptions;
+using client::ConnectionPool;
+using client::NinfClient;
+using client::PoolOptions;
+using protocol::ArgValue;
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// TCP server with the standard executables plus "nap", which just holds
+/// a worker for `ms` milliseconds — the clearest probe of whether calls
+/// on one connection actually overlap.
+class SessionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server::registerStandardExecutables(registry_);
+    registry_.add(
+        R"IDL(Define nap(mode_in long ms, mode_out double echo[1])
+           "hold a worker for ms milliseconds",
+           CalcOrder 1,
+           Calls "C" nap(ms, echo);)IDL",
+        [](server::CallContext& ctx) {
+          const auto ms = ctx.intArg("ms");
+          std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+          ctx.arrayOut("echo")[0] = static_cast<double>(ms);
+        });
+    server_.emplace(registry_, server::ServerOptions{.workers = 4});
+    listener_ = std::make_shared<transport::TcpListener>(0);
+    port_ = listener_->port();
+    server_->start(listener_);
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  double nap(NinfClient& client, std::int64_t ms,
+             const CallOptions& opts = {}) {
+    std::vector<double> echo(1);
+    std::vector<ArgValue> args = {ArgValue::inInt(ms),
+                                  ArgValue::outArray(echo)};
+    client.call("nap", args, opts);
+    return echo[0];
+  }
+
+  server::Registry registry_;
+  std::optional<server::NinfServer> server_;
+  std::shared_ptr<transport::TcpListener> listener_;
+  std::uint16_t port_ = 0;
+};
+
+TEST_F(SessionFixture, NegotiatesProtocolV2) {
+  auto client = NinfClient::connectTcp("127.0.0.1", port_);
+  EXPECT_DOUBLE_EQ(nap(*client, 1), 1.0);
+  EXPECT_EQ(client->channel().negotiatedVersion(), protocol::kVersion2);
+}
+
+TEST_F(SessionFixture, V1ClientRoundTripsAgainstV2Server) {
+  // A pre-negotiation client must keep working against an upgraded
+  // server: no Hello, classic lock-step framing.
+  auto client = std::make_unique<NinfClient>(
+      transport::tcpConnect("127.0.0.1", port_), /*force_v1=*/true);
+  EXPECT_DOUBLE_EQ(nap(*client, 1), 1.0);
+  EXPECT_EQ(client->channel().negotiatedVersion(), protocol::kVersion);
+  EXPECT_EQ(client->listExecutables().size(), registry_.size());
+}
+
+TEST_F(SessionFixture, OneConnectionSustainsWorkersConcurrentCalls) {
+  // Acceptance: with 4 workers and 4 concurrent 250 ms naps multiplexed
+  // on ONE connection, wall time is about one nap — not four.  The old
+  // lock-step connection would serialize them (>= 1 s).
+  auto client = NinfClient::connectTcp("127.0.0.1", port_);
+  constexpr int kCalls = 4;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kCalls; ++i) {
+    threads.emplace_back([&] {
+      if (nap(*client, 250) == 250.0) ok.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kCalls);
+  EXPECT_LT(secondsSince(start), 0.75);  // serial would take >= 1.0 s
+}
+
+TEST_F(SessionFixture, RepliesReturnOutOfOrderWithTimingsIntact) {
+  auto client = NinfClient::connectTcp("127.0.0.1", port_);
+  std::chrono::steady_clock::time_point slow_done, fast_done;
+  std::thread slow([&] {
+    EXPECT_DOUBLE_EQ(nap(*client, 400), 400.0);
+    slow_done = std::chrono::steady_clock::now();
+  });
+  // Let the slow call reach the server first.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::vector<double> echo(1);
+  std::vector<ArgValue> args = {ArgValue::inInt(10),
+                                ArgValue::outArray(echo)};
+  const auto fast = client->call("nap", args);
+  fast_done = std::chrono::steady_clock::now();
+  slow.join();
+  EXPECT_DOUBLE_EQ(echo[0], 10.0);
+  // The fast reply overtook the slow one on the shared connection.
+  EXPECT_LT(fast_done + std::chrono::milliseconds(100), slow_done);
+  // Per-call accounting survived the demultiplexing.
+  EXPECT_GT(fast.elapsed, 0.0);
+  EXPECT_LT(fast.elapsed, 0.3);
+  EXPECT_GE(fast.server.waitTime(), 0.0);
+  EXPECT_GT(fast.bytes_sent, 0);
+  EXPECT_GT(fast.bytes_received, 0);
+}
+
+TEST_F(SessionFixture, ServerStopFailsEveryInflightCallTyped) {
+  auto client = NinfClient::connectTcp("127.0.0.1", port_);
+  EXPECT_DOUBLE_EQ(nap(*client, 1), 1.0);  // negotiate before the cut
+  constexpr int kCalls = 4;
+  std::atomic<int> typed{0}, wrong{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kCalls; ++i) {
+    threads.emplace_back([&] {
+      try {
+        nap(*client, 2000);
+        wrong.fetch_add(1);  // must not outlive the server
+      } catch (const TransportError&) {
+        typed.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  server_->stop();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(typed.load(), kCalls);
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST_F(SessionFixture, TimeoutAbandonsOneCallOthersSurvive) {
+  auto client = NinfClient::connectTcp("127.0.0.1", port_);
+  std::thread slow([&] {
+    // Long nap, generous deadline: must complete even while a sibling
+    // call on the same connection times out.
+    CallOptions opts;
+    opts.deadline_seconds = 10.0;
+    EXPECT_DOUBLE_EQ(nap(*client, 600, opts), 600.0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  CallOptions tight;
+  tight.deadline_seconds = 0.1;
+  EXPECT_THROW(nap(*client, 5000, tight), TimeoutError);
+  slow.join();
+  // The channel is still healthy after the abandoned call.
+  EXPECT_DOUBLE_EQ(nap(*client, 1), 1.0);
+}
+
+TEST_F(SessionFixture, FaultPlanResetMidMultiplexNeverMixesReplies) {
+  // Chaos: a seeded fault plan resets sends while several threads share
+  // one multiplexed connection.  Invariant: every call either returns
+  // the result of ITS OWN arguments or throws a typed error — never a
+  // reply belonging to another call, never a hang.
+  transport::FaultSpec spec;
+  spec.reset = 0.15;
+  auto plan = std::make_shared<transport::FaultPlan>(42, spec);
+  auto client = std::make_unique<NinfClient>(
+      transport::wrapFaulty(transport::tcpConnect("127.0.0.1", port_), plan));
+  client->setReconnect([this, plan] {
+    transport::checkConnectFault(*plan, "127.0.0.1");
+    return transport::wrapFaulty(transport::tcpConnect("127.0.0.1", port_),
+                                 plan);
+  });
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 6;
+  std::atomic<int> correct{0}, failed{0}, corrupt{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        const std::int64_t first = (t * kCallsPerThread + i) * 64;
+        const std::int64_t count = 64 + t;  // distinct per thread
+        std::vector<double> sums(2), q(10);
+        std::vector<ArgValue> args = {ArgValue::inInt(first),
+                                      ArgValue::inInt(count),
+                                      ArgValue::outArray(sums),
+                                      ArgValue::outArray(q)};
+        CallOptions opts;
+        opts.deadline_seconds = 15.0;
+        opts.retries = 6;
+        opts.backoff_seconds = 0.001;
+        try {
+          client->call("ep", args, opts);
+          const auto expected = numlib::runEp(first, count);
+          if (sums[0] == expected.sx && sums[1] == expected.sy) {
+            correct.fetch_add(1);
+          } else {
+            corrupt.fetch_add(1);
+          }
+        } catch (const Error&) {
+          failed.fetch_add(1);  // typed failure is within the contract
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(corrupt.load(), 0);
+  EXPECT_EQ(correct.load() + failed.load(), kThreads * kCallsPerThread);
+  EXPECT_GT(correct.load(), 0);  // the plan must not kill everything
+}
+
+/// Pool behavior against one live TCP server.
+class PoolFixture : public SessionFixture {
+ protected:
+  ConnectionPool::Factory countingFactory() {
+    return [this] {
+      created_.fetch_add(1);
+      return NinfClient::connectTcp("127.0.0.1", port_);
+    };
+  }
+
+  std::atomic<int> created_{0};
+};
+
+TEST_F(PoolFixture, ReleaseThenAcquireReusesTheConnection) {
+  ConnectionPool pool;
+  const double hits_before = obs::counter("pool.hits").value();
+  const double misses_before = obs::counter("pool.misses").value();
+  {
+    auto lease = pool.acquire("srv", countingFactory());
+    EXPECT_GE(lease->ping(), 0.0);  // connection is usable
+    EXPECT_EQ(pool.inUseCount(), 1u);
+  }
+  EXPECT_EQ(pool.idleCount(), 1u);
+  {
+    auto lease = pool.acquire("srv", countingFactory());
+    EXPECT_EQ(pool.idleCount(), 0u);
+  }
+  EXPECT_EQ(created_.load(), 1);  // second acquire reused, not rebuilt
+  EXPECT_DOUBLE_EQ(obs::counter("pool.hits").value() - hits_before, 1.0);
+  EXPECT_DOUBLE_EQ(obs::counter("pool.misses").value() - misses_before, 1.0);
+}
+
+TEST_F(PoolFixture, DistinctEndpointsDoNotShareConnections) {
+  ConnectionPool pool;
+  { auto lease = pool.acquire("a", countingFactory()); }
+  { auto lease = pool.acquire("b", countingFactory()); }
+  EXPECT_EQ(created_.load(), 2);
+  EXPECT_EQ(pool.idleCount(), 2u);
+}
+
+TEST_F(PoolFixture, OverflowBeyondMaxIdleIsEvicted) {
+  PoolOptions options;
+  options.max_idle_per_endpoint = 1;
+  ConnectionPool pool(options);
+  {
+    auto first = pool.acquire("srv", countingFactory());
+    auto second = pool.acquire("srv", countingFactory());
+    EXPECT_EQ(pool.inUseCount(), 2u);
+  }
+  EXPECT_EQ(pool.idleCount(), 1u);  // one kept, one closed on return
+}
+
+TEST_F(PoolFixture, TtlEvictsStaleIdleConnections) {
+  PoolOptions options;
+  options.idle_ttl_seconds = 0.05;
+  ConnectionPool pool(options);
+  { auto lease = pool.acquire("srv", countingFactory()); }
+  EXPECT_EQ(pool.idleCount(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  { auto lease = pool.acquire("srv", countingFactory()); }
+  EXPECT_EQ(created_.load(), 2);  // stale idle entry was not reused
+}
+
+TEST_F(PoolFixture, BrokenConnectionIsNeverPooled) {
+  ConnectionPool pool;
+  {
+    auto lease = pool.acquire("srv", countingFactory());
+    lease->close();  // marks the channel broken
+  }
+  EXPECT_EQ(pool.idleCount(), 0u);
+}
+
+TEST_F(PoolFixture, DiscardedLeaseIsNotReturned) {
+  ConnectionPool pool;
+  {
+    auto lease = pool.acquire("srv", countingFactory());
+    lease.discard();
+  }
+  EXPECT_EQ(pool.idleCount(), 0u);
+  EXPECT_EQ(pool.inUseCount(), 0u);
+}
+
+TEST_F(PoolFixture, DeadPeerFailsHealthCheckAndIsReplaced) {
+  PoolOptions options;
+  options.health_check_after_seconds = 0.0;  // ping on every reuse
+  ConnectionPool pool(options);
+  { auto lease = pool.acquire("srv", countingFactory()); }
+  server_->stop();  // the pooled connection's peer is now gone
+  const double dead_before = obs::counter("pool.dead_evictions").value();
+  EXPECT_THROW(
+      { auto lease = pool.acquire("srv", countingFactory()); },
+      TransportError);  // idle entry evicted, factory can't connect either
+  EXPECT_GE(obs::counter("pool.dead_evictions").value() - dead_before, 1.0);
+}
+
+}  // namespace
+}  // namespace ninf
