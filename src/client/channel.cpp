@@ -1,5 +1,6 @@
 #include "client/channel.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.h"
@@ -44,6 +45,10 @@ void Channel::setReconnect(StreamFactory fn) {
 bool Channel::hasReconnect() const {
   std::lock_guard<std::mutex> setup(setup_mutex_);
   return static_cast<bool>(reconnect_);
+}
+
+void Channel::setMidReplyGrace(double seconds) {
+  mid_reply_grace_s_.store(std::max(0.0, seconds), std::memory_order_relaxed);
 }
 
 std::uint32_t Channel::negotiatedVersion() const {
@@ -147,34 +152,44 @@ void Channel::negotiateLocked(std::chrono::steady_clock::time_point deadline) {
     broken_.store(true, std::memory_order_release);
     throw;
   } catch (const TransportError&) {
-    // The wire died mid-handshake.  That is a transport fault to surface,
-    // not evidence of an old peer — eating it here would mask real
-    // network failures (the retry envelope above us owns reconnecting).
-    broken_.store(true, std::memory_order_release);
-    throw;
+    // The peer dropped the connection on Hello without answering.  That
+    // is exactly what a pre-negotiation server does with the unknown
+    // frame type (it aborts from recvHeader without sending any frame),
+    // so fall back to v1 over a fresh connection.  A genuinely dead
+    // network fails the fallback reconnect — or the v1 exchange that
+    // follows — with the same typed error, so real faults still surface.
+    fallbackToV1Locked("peer closed the connection on Hello");
   } catch (const ProtocolError&) {
     // The peer answered Hello with something that is not a HelloAck: a
-    // v1 peer echoing an error frame.  One fallback reconnect in v1
-    // mode, not charged to the caller's retries.
-    static obs::Counter& fallbacks = obs::counter("channel.hello_fallbacks");
-    fallbacks.add();
-    if (!reconnect_) {
-      broken_.store(true, std::memory_order_release);
-      throw;
-    }
-    NINF_LOG(Debug) << "Hello rejected by peer; falling back to protocol v1";
-    stream_->close();
-    {
-      std::lock_guard<std::mutex> g(send_mutex_);
-      stream_ = reconnect_();
-    }
-    if (!stream_) {
-      broken_.store(true, std::memory_order_release);
-      throw TransportError("reconnect factory returned no stream");
-    }
-    mode_ = Mode::V1;
-    negotiated_version_.store(protocol::kVersion, std::memory_order_release);
+    // v1 peer echoing an error frame.
+    fallbackToV1Locked("Hello rejected by peer");
   }
+}
+
+void Channel::fallbackToV1Locked(const char* why) {
+  if (!reconnect_) {
+    broken_.store(true, std::memory_order_release);
+    throw;  // rethrows the exception the negotiate handler caught
+  }
+  // One fallback reconnect in v1 mode, not charged to the caller's
+  // retries.
+  static obs::Counter& fallbacks = obs::counter("channel.hello_fallbacks");
+  fallbacks.add();
+  NINF_LOG(Debug) << why << "; falling back to protocol v1";
+  stream_->close();
+  try {
+    std::lock_guard<std::mutex> g(send_mutex_);
+    stream_ = reconnect_();
+  } catch (...) {
+    broken_.store(true, std::memory_order_release);
+    throw;
+  }
+  if (!stream_) {
+    broken_.store(true, std::memory_order_release);
+    throw TransportError("reconnect factory returned no stream");
+  }
+  mode_ = Mode::V1;
+  negotiated_version_.store(protocol::kVersion, std::memory_order_release);
 }
 
 Channel::Reply Channel::transact(MessageType type, const xdr::Encoder& body,
@@ -286,8 +301,36 @@ Channel::Reply Channel::transactV2(
     }
   }
   // The reader is already decoding into the caller's buffers (or just
-  // finished): see the reply through rather than abandon live memory.
-  return fut.get();
+  // finished): see the reply through rather than abandon live memory —
+  // but only for a bounded grace window.  A peer stalled mid-body would
+  // otherwise wedge the reader in recv and this caller in get() forever.
+  const auto grace =
+      deadline +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              mid_reply_grace_s_.load(std::memory_order_relaxed)));
+  if (fut.wait_until(grace) == std::future_status::ready) return fut.get();
+  // Stalled mid-frame: part of this reply's body is missing, so the wire
+  // can never be realigned — the connection is poisoned for every call.
+  // Break it and close the stream; the wedged reader wakes with a
+  // transport error and fails the remaining in-flight calls.
+  {
+    std::lock_guard<std::mutex> g(pending_mutex_);
+    if (pending_.find(id) == pending_.end()) return fut.get();  // just done
+    broken_.store(true, std::memory_order_release);
+  }
+  static obs::Counter& stalls = obs::counter("channel.mid_reply_stalls");
+  stalls.add();
+  {
+    std::lock_guard<std::mutex> setup(setup_mutex_);
+    if (stream_) stream_->close();
+  }
+  try {
+    return fut.get();
+  } catch (const TransportError&) {
+    throw TimeoutError("reply stalled mid-body past deadline (call " +
+                       std::to_string(id) + ")");
+  }
 }
 
 void Channel::erasePending(std::uint64_t id) {

@@ -15,10 +15,14 @@
 //
 // Failure envelope: a timeout while a v2 call is still *waiting* for its
 // reply abandons just that call (the late reply is drained as an orphan)
-// and the channel stays healthy; any transport error on the shared wire
-// breaks the channel and fails every in-flight call with a typed error.
-// resetIfBroken() tears the dead connection down so the next exchange
-// reconnects through the factory.
+// and the channel stays healthy; a call whose reply is already being
+// decoded when the deadline passes gets a short grace window
+// (setMidReplyGrace), after which the peer is declared stalled mid-frame
+// and the channel is broken — the partial frame can never be realigned.
+// Any transport error on the shared wire breaks the channel and fails
+// every in-flight call with a typed error.  resetIfBroken() tears the
+// dead connection down so the next exchange reconnects through the
+// factory.
 #pragma once
 
 #include <atomic>
@@ -71,9 +75,16 @@ class Channel {
 
   /// Factory used to replace the connection after a transport failure
   /// (and for the one free v1-fallback reconnect when the peer rejects
-  /// Hello).
+  /// Hello or aborts the connection on it).
   void setReconnect(StreamFactory fn);
   bool hasReconnect() const;
+
+  /// Grace window past a call's deadline granted to a reply whose body
+  /// is already being decoded (the reader is writing caller-owned
+  /// arrays, so the call cannot simply be abandoned).  When it expires
+  /// the peer is declared stalled mid-frame and the channel is broken.
+  /// Default 0.25 s; tests shrink it.
+  void setMidReplyGrace(double seconds);
 
   /// One request/reply exchange: send `body` as a `type` frame, deliver
   /// the reply to `consumer`, return the reply header.  `deadline`
@@ -116,6 +127,10 @@ class Channel {
   /// Reconnect + negotiate as needed; requires setup_mutex_.
   void ensureReadyLocked(std::chrono::steady_clock::time_point deadline);
   void negotiateLocked(std::chrono::steady_clock::time_point deadline);
+  /// Switch to protocol v1 over one fresh connection.  Only callable
+  /// from inside a negotiate catch handler (rethrows the in-flight
+  /// exception when no reconnect factory exists); requires setup_mutex_.
+  void fallbackToV1Locked(const char* why);
   /// Close + join reader + drop the stream; requires setup_mutex_.
   void teardownLocked();
 
@@ -142,6 +157,7 @@ class Channel {
   bool force_v1_ = false;
   std::atomic<std::uint32_t> negotiated_version_{0};
   std::atomic<bool> broken_{false};
+  std::atomic<double> mid_reply_grace_s_{0.25};
 
   /// v2 state: frame sends are atomic under send_mutex_; the pending map
   /// (and each entry's state/sent_us) under pending_mutex_.

@@ -26,6 +26,15 @@ double nowSeconds() {
       .count();
 }
 
+std::chrono::steady_clock::time_point deadlineIn(double seconds) {
+  return seconds > 0
+             ? std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(seconds))
+             : transport::Stream::kNoDeadline;
+}
+
 void requireType(MessageType got, MessageType expected) {
   if (got != expected) {
     throw ProtocolError("expected message type " +
@@ -123,6 +132,11 @@ Message NinfClient::roundTrip(MessageType type,
 
 const idl::InterfaceInfo& NinfClient::queryInterface(const std::string& name) {
   return queryInterface(name, transport::Stream::kNoDeadline);
+}
+
+const idl::InterfaceInfo& NinfClient::queryInterface(const std::string& name,
+                                                     double timeout_seconds) {
+  return queryInterface(name, deadlineIn(timeout_seconds));
 }
 
 const idl::InterfaceInfo& NinfClient::queryInterface(
@@ -328,19 +342,19 @@ std::vector<std::string> NinfClient::listExecutables() {
   return names;
 }
 
-protocol::ServerStatusInfo NinfClient::serverStatus() {
+protocol::ServerStatusInfo NinfClient::serverStatus(double timeout_seconds) {
   const Message reply = roundTrip(MessageType::ServerStatus, {},
                                   MessageType::StatusReply,
-                                  transport::Stream::kNoDeadline);
+                                  deadlineIn(timeout_seconds));
   return protocol::ServerStatusInfo::fromBytes(reply.payload);
 }
 
-double NinfClient::ping(std::size_t payload_bytes) {
+double NinfClient::ping(std::size_t payload_bytes, double timeout_seconds) {
   std::vector<std::uint8_t> payload(payload_bytes, 0xA5);
   const double start = nowSeconds();
   const Message reply = roundTrip(MessageType::Ping, payload,
                                   MessageType::Pong,
-                                  transport::Stream::kNoDeadline);
+                                  deadlineIn(timeout_seconds));
   if (reply.payload != payload) throw ProtocolError("ping echo mismatch");
   return nowSeconds() - start;
 }

@@ -67,9 +67,11 @@ struct JobHandle {
 /// historical single-attempt behavior exactly.
 ///
 /// The deadline is end-to-end: it bounds every attempt (via the stream
-/// deadline on v1 connections, the per-call reply future on multiplexed
-/// v2 ones) plus the backoff sleeps, so a call with a deadline either
-/// completes or throws a typed error — it cannot hang on a stalled peer.
+/// deadline on v1 connections; on multiplexed v2 ones via the per-call
+/// reply future, plus a short grace window for a reply already being
+/// decoded, after which a mid-body stall breaks the connection) and the
+/// backoff sleeps, so a call with a deadline either completes or throws
+/// a typed error — it cannot hang on a stalled peer.
 /// Retries fire only on TransportError (the connection is presumed dead
 /// and is re-established through the reconnect factory); RemoteError/
 /// ProtocolError surface immediately.  On a multiplexed connection a
@@ -107,6 +109,12 @@ class NinfClient {
   /// Throws NotFoundError if the server does not export `name`.
   const idl::InterfaceInfo& queryInterface(const std::string& name);
 
+  /// As above with a wall-clock bound on the round-trip: timeout_seconds
+  /// > 0 throws TimeoutError on expiry (<= 0 is unbounded).  Cache hits
+  /// never touch the wire.
+  const idl::InterfaceInfo& queryInterface(const std::string& name,
+                                           double timeout_seconds);
+
   /// Synchronous Ninf_call with explicit argument values.  With a
   /// non-default `opts`, the call is bounded by opts.deadline_seconds
   /// (TimeoutError on expiry) and transport failures are retried up to
@@ -132,11 +140,17 @@ class NinfClient {
   /// Names of the executables registered on the server.
   std::vector<std::string> listExecutables();
 
-  /// Server status snapshot (metaserver food).
-  protocol::ServerStatusInfo serverStatus();
+  /// Server status snapshot (metaserver food).  timeout_seconds > 0
+  /// bounds the round-trip (TimeoutError on expiry) — the metaserver's
+  /// scheduling polls rely on this so one stalled server cannot wedge
+  /// dispatch decisions.
+  protocol::ServerStatusInfo serverStatus(double timeout_seconds = 0.0);
 
   /// Round-trip an opaque payload; returns elapsed seconds.
-  double ping(std::size_t payload_bytes = 0);
+  /// timeout_seconds > 0 bounds the round-trip (TimeoutError on expiry)
+  /// — the connection pool's pre-reuse health check relies on this so a
+  /// stalled-but-open pooled peer cannot wedge acquire().
+  double ping(std::size_t payload_bytes = 0, double timeout_seconds = 0.0);
 
   void close();
 

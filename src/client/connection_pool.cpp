@@ -1,5 +1,6 @@
 #include "client/connection_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 
@@ -96,7 +97,11 @@ ConnectionPool::Lease ConnectionPool::acquire(const std::string& endpoint,
 
     if (now - idle_since > options_.health_check_after_seconds) {
       try {
-        candidate->ping();
+        // Bounded: acquire() runs inside callers' deadline envelopes
+        // (metaserver dispatch), so a stalled-but-open peer must cost at
+        // most the health-check timeout, then be evicted.
+        candidate->ping(0, std::max(options_.health_check_timeout_seconds,
+                                    0.001));
       } catch (const Error& e) {
         NINF_LOG(Debug) << "pooled connection to " << endpoint
                         << " failed health check: " << e.what();

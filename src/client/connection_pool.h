@@ -8,9 +8,10 @@
 // factory on a miss.
 //
 // Hygiene: idle connections are evicted after idle_ttl_seconds; an entry
-// that sat idle longer than health_check_after_seconds is pinged before
-// reuse and silently replaced if the peer is gone; a returned connection
-// whose channel is broken is dropped, never pooled.
+// that sat idle longer than health_check_after_seconds is pinged (with a
+// bounded deadline, so a stalled peer cannot wedge acquire) before reuse
+// and silently replaced if the peer is gone or unresponsive; a returned
+// connection whose channel is broken is dropped, never pooled.
 //
 // Observability: pool.hits / pool.misses counters and pool.idle /
 // pool.in_use gauges (process-wide totals across pools).
@@ -37,6 +38,12 @@ struct PoolOptions {
   /// An entry idle longer than this is pinged before being handed out
   /// (<= 0 pings every reuse; set very large to never ping).
   double health_check_after_seconds = 1.0;
+  /// Wall-clock bound on that health-check ping; an entry that cannot
+  /// answer in time is evicted.  Always enforced (values <= 0 are
+  /// clamped to a minimum): an unbounded ping would let one
+  /// stalled-but-open peer wedge acquire() — and any dispatch deadline
+  /// above it — indefinitely.
+  double health_check_timeout_seconds = 1.0;
 };
 
 class ConnectionPool {

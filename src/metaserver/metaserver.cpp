@@ -75,13 +75,13 @@ protocol::ServerStatusInfo Metaserver::poll(const std::string& server_name) {
   }
   if (!state) throw NotFoundError("server '" + server_name + "'");
 
-  // Wire I/O under the per-server poll mutex only: a dead or slow server
-  // must not hold up the scheduling table.
+  // Wire I/O under the per-server poll mutex only, bounded by the poll
+  // timeout: a dead or slow server must not hold up the scheduling table.
   protocol::ServerStatusInfo status;
   try {
     std::lock_guard<std::mutex> poll_lock(state->poll_mutex);
     try {
-      status = monitorOf(*state).serverStatus();
+      status = monitorOf(*state).serverStatus(poll_timeout_);
     } catch (const Error&) {
       state->monitor.reset();  // reconnect on the next poll
       throw;
@@ -144,15 +144,19 @@ std::vector<Metaserver::Candidate> Metaserver::refreshCandidates(
     }
 
     {
+      // Bounded wire I/O: each monitor round-trip gets at most the poll
+      // timeout, so one stalled server delays a dispatch (and any other
+      // dispatcher queued on this poll mutex) by a bounded amount, and
+      // a timed-out server is simply unreachable for this round.
       std::lock_guard<std::mutex> poll_lock(st->poll_mutex);
       try {
         auto& mon = monitorOf(*st);
-        if (!have_status) c.status = mon.serverStatus();
+        if (!have_status) c.status = mon.serverStatus(poll_timeout_);
         c.reachable = true;
         if (want_iface) {
           // The interface query rides the same monitor connection; the
           // client caches it, so repeat decisions cost no extra I/O.
-          const auto& info = mon.queryInterface(entry_name);
+          const auto& info = mon.queryInterface(entry_name, poll_timeout_);
           const auto scalars = protocol::scalarArgs(info, args);
           c.bytes = static_cast<double>(info.bytesTotal(scalars));
           c.flops = static_cast<double>(info.flopsEstimate(scalars));

@@ -16,11 +16,14 @@
 //                      minimum.
 //
 // Concurrency: status polls and interface queries are network I/O and
-// run under a per-server poll mutex, never under the global table lock —
-// a slow or dead server cannot stall unrelated dispatches.  Polled
-// statuses are cached with a freshness window so bursts of dispatches
-// share one poll round.  Dispatch borrows server connections from a
-// shared ConnectionPool instead of opening a fresh one per call.
+// run under a per-server poll mutex, never under the global table lock,
+// and every monitor round-trip is bounded by setPollTimeout() — a slow
+// or dead server costs a scheduling decision at most that budget (it is
+// treated as unreachable for the round) instead of stalling dispatches
+// indefinitely.  Polled statuses are cached with a freshness window so
+// bursts of dispatches share one poll round.  Dispatch borrows server
+// connections from a shared ConnectionPool instead of opening a fresh
+// one per call.
 #pragma once
 
 #include <chrono>
@@ -92,6 +95,13 @@ class Metaserver : public client::CallDispatcher {
   /// the monitoring loop always hit the wire and refill the cache.
   void setStatusFreshness(double seconds) { status_freshness_ = seconds; }
   double statusFreshness() const { return status_freshness_; }
+
+  /// Wall-clock bound on each monitor-channel round-trip (status poll,
+  /// interface query).  A server that cannot answer within the budget
+  /// is treated as unreachable for the round rather than stalling the
+  /// dispatch that polled it.  <= 0 removes the bound (not advised).
+  void setPollTimeout(double seconds) { poll_timeout_ = seconds; }
+  double pollTimeout() const { return poll_timeout_; }
 
   void addServer(ServerEntry entry);
   std::size_t serverCount() const;
@@ -189,6 +199,7 @@ class Metaserver : public client::CallDispatcher {
   double failover_backoff_ = 0.02;
   double cooldown_seconds_ = 2.0;
   double status_freshness_ = 0.25;
+  double poll_timeout_ = 1.0;
   mutable std::mutex mutex_;
   /// unique_ptr for stable addresses: poll mutexes are held while the
   /// vector may grow under addServer.

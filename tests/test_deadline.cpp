@@ -157,7 +157,10 @@ class RetryFixture : public ::testing::Test {
 
 TEST_F(RetryFixture, RetriesRecoverFromInjectedReset) {
   transport::FaultSpec spec;
-  spec.reset_first_sends = 1;  // exactly one mid-stream reset, then clean
+  // The first send is the Hello handshake, whose reset is absorbed by
+  // the free v1-fallback reconnect; the second reset lands on the call
+  // path proper and must be recovered by the retry budget.
+  spec.reset_first_sends = 2;
   auto plan = std::make_shared<transport::FaultPlan>(1, spec);
   auto client = faultyClient(plan);
 
@@ -174,7 +177,7 @@ TEST_F(RetryFixture, RetriesRecoverFromInjectedReset) {
   opts.backoff_seconds = 0.001;
   client->call("dmmul", args, opts);
 
-  EXPECT_EQ(plan->injectedCount(), 1u);
+  EXPECT_EQ(plan->injectedCount(), 2u);
   const numlib::Matrix expected = numlib::dmmul(a, b);
   for (std::size_t i = 0; i < c.size(); ++i) {
     EXPECT_NEAR(c[i], expected.flat()[i], 1e-12);
@@ -183,7 +186,10 @@ TEST_F(RetryFixture, RetriesRecoverFromInjectedReset) {
 
 TEST_F(RetryFixture, NoRetryBudgetSurfacesTransportError) {
   transport::FaultSpec spec;
-  spec.reset_first_sends = 1;
+  // Send #1 is the Hello handshake (its reset is absorbed by the v1
+  // fallback, which is free by design); send #2 hits the call path,
+  // where a reset with no retry budget must surface.
+  spec.reset_first_sends = 2;
   auto plan = std::make_shared<transport::FaultPlan>(2, spec);
   auto client = faultyClient(plan);
 

@@ -12,6 +12,7 @@
 #include "numlib/ep.h"
 #include "obs/metrics.h"
 #include "server/server.h"
+#include "transport/inproc_transport.h"
 #include "transport/tcp_transport.h"
 
 namespace ninf::metaserver {
@@ -111,6 +112,39 @@ TEST_F(MetaserverFixture, DispatchReusesPooledConnections) {
   EXPECT_EQ(meta_->pool().idleCount(), 1u);  // connection kept warm
   meta_->dispatch("ep", args);
   EXPECT_GE(obs::counter("pool.hits").value() - hits_before, 1.0);
+}
+
+TEST_F(MetaserverFixture, StalledServerPollIsBoundedAndSkipped) {
+  // One healthy TCP server plus one whose monitor connection is open but
+  // never answers.  With the poll timeout set, the scheduling poll must
+  // give up on the mute server within the budget, treat it as
+  // unreachable, and route the call to the healthy server.
+  startServers(1, SchedulingPolicy::LeastLoad);
+  std::vector<std::unique_ptr<transport::Stream>> peers;  // open, mute
+  meta_->addServer(
+      {.name = "mute",
+       .factory =
+           [&peers] {
+             auto [near_end, far_end] = transport::inprocPair();
+             peers.push_back(std::move(far_end));
+             return std::make_unique<NinfClient>(std::move(near_end),
+                                                 /*force_v1=*/true);
+           },
+       .bandwidth_bps = 1e9,
+       .perf_flops = 1e12});
+  meta_->setPollTimeout(0.1);
+  meta_->setStatusFreshness(0.0);  // force a live poll for this dispatch
+  std::vector<double> sums(2), q(10);
+  std::vector<ArgValue> args = {ArgValue::inInt(0), ArgValue::inInt(64),
+                                ArgValue::outArray(sums),
+                                ArgValue::outArray(q)};
+  const auto start = std::chrono::steady_clock::now();
+  meta_->dispatch("ep", args);
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count(),
+            2.0);  // the mute server cost at most the poll budget
+  EXPECT_DOUBLE_EQ(sums[0], numlib::runEp(0, 64).sx);
 }
 
 TEST_F(MetaserverFixture, BandwidthAwarePrefersFasterLink) {

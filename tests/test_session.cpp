@@ -3,6 +3,7 @@
 // endpoint-keyed connection pool.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -14,9 +15,12 @@
 #include "common/error.h"
 #include "numlib/ep.h"
 #include "obs/metrics.h"
+#include "protocol/message.h"
 #include "server/server.h"
 #include "transport/fault_injection.h"
+#include "transport/inproc_transport.h"
 #include "transport/tcp_transport.h"
+#include "xdr/xdr.h"
 
 namespace ninf {
 namespace {
@@ -228,6 +232,87 @@ TEST_F(SessionFixture, FaultPlanResetMidMultiplexNeverMixesReplies) {
   EXPECT_GT(correct.load(), 0);  // the plan must not kill everything
 }
 
+TEST(ChannelInterop, FallsBackToV1WhenPeerClosesOnHello) {
+  // A pre-negotiation server aborts the connection on the unknown Hello
+  // frame without replying anything.  The client must read that close as
+  // "old peer" and fall back to protocol v1 over one fresh connection,
+  // not surface a TransportError.
+  auto [c1, s1] = transport::inprocPair();
+  auto [c2, s2] = transport::inprocPair();
+  auto client = std::make_unique<NinfClient>(std::move(c1));
+  auto next =
+      std::make_shared<std::unique_ptr<transport::Stream>>(std::move(c2));
+  client->setReconnect([next] { return std::move(*next); });
+
+  std::thread old_server([&s1, &s2] {
+    // "Old server": consume the Hello frame, then abort the connection.
+    (void)protocol::recvMessage(*s1);
+    s1->close();
+    // The fallback connection speaks plain lock-step v1.
+    const auto ping = protocol::recvMessage(*s2);
+    EXPECT_EQ(ping.type, protocol::MessageType::Ping);
+    protocol::sendMessage(*s2, protocol::MessageType::Pong, ping.payload);
+  });
+  const double fallbacks_before =
+      obs::counter("channel.hello_fallbacks").value();
+  EXPECT_GE(client->ping(), 0.0);
+  EXPECT_EQ(client->channel().negotiatedVersion(), protocol::kVersion);
+  EXPECT_GE(obs::counter("channel.hello_fallbacks").value() - fallbacks_before,
+            1.0);
+  old_server.join();
+}
+
+TEST(ChannelStall, MidReplyStallBoundsDeadlinedCallAndBreaksChannel) {
+  // A v2 peer that sends a reply header (so the call enters the
+  // Consuming state) but stalls mid-body must not wedge the caller past
+  // its deadline plus the grace window: the channel is declared broken,
+  // the stream is closed, and the caller gets TimeoutError.
+  auto [c_end, s_end] = transport::inprocPair();
+  auto client = std::make_unique<NinfClient>(std::move(c_end));
+  client->channel().setMidReplyGrace(0.1);
+
+  std::thread stalling_server([&s_end] {
+    const auto hello = protocol::recvMessage(*s_end);
+    EXPECT_EQ(hello.type, protocol::MessageType::Hello);
+    xdr::Encoder ack;
+    ack.putU32(protocol::kVersion2);
+    protocol::sendMessage(*s_end, protocol::MessageType::HelloAck,
+                          ack.bytes());
+    const auto request = protocol::recvHeaderV2(*s_end);
+    protocol::BodyReader body(*s_end, request.length);
+    body.drain();
+    // Reply header promises 64 body bytes; deliver 8, then go mute.
+    xdr::Encoder header;
+    header.putU32(protocol::kMagic);
+    header.putU32(protocol::kVersion2);
+    header.putU32(static_cast<std::uint32_t>(protocol::MessageType::Pong));
+    header.putU32(64);
+    header.putU32(static_cast<std::uint32_t>(request.call_id >> 32));
+    header.putU32(static_cast<std::uint32_t>(request.call_id));
+    s_end->sendAll(header.bytes());
+    const std::array<std::uint8_t, 8> stub{};
+    s_end->sendAll(stub);
+    // Hold the connection open until the client abandons the wire.
+    try {
+      std::uint8_t byte;
+      s_end->recvAll(std::span(&byte, 1));
+    } catch (const Error&) {
+    }
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  const double stalls_before =
+      obs::counter("channel.mid_reply_stalls").value();
+  EXPECT_THROW(client->ping(0, 0.25), TimeoutError);
+  EXPECT_LT(secondsSince(start), 2.0);  // deadline + grace, not forever
+  EXPECT_TRUE(client->channel().broken());
+  EXPECT_GE(obs::counter("channel.mid_reply_stalls").value() - stalls_before,
+            1.0);
+  // The poisoned channel cannot be reused (no reconnect factory here).
+  EXPECT_THROW(client->ping(), TransportError);
+  stalling_server.join();
+}
+
 /// Pool behavior against one live TCP server.
 class PoolFixture : public SessionFixture {
  protected:
@@ -308,6 +393,34 @@ TEST_F(PoolFixture, DiscardedLeaseIsNotReturned) {
   }
   EXPECT_EQ(pool.idleCount(), 0u);
   EXPECT_EQ(pool.inUseCount(), 0u);
+}
+
+TEST(ConnectionPoolHealth, StalledPeerHealthCheckIsBoundedAndEvicted) {
+  // A pooled connection whose peer is open but unresponsive must not
+  // wedge acquire(): the health-check ping is deadline-bounded, the
+  // stalled entry is evicted on timeout, and a fresh connection is built
+  // through the factory.
+  PoolOptions options;
+  options.health_check_after_seconds = 0.0;  // ping on every reuse
+  options.health_check_timeout_seconds = 0.1;
+  ConnectionPool pool(options);
+  std::vector<std::unique_ptr<transport::Stream>> peers;  // open, mute
+  int created = 0;
+  ConnectionPool::Factory factory = [&] {
+    auto [near_end, far_end] = transport::inprocPair();
+    peers.push_back(std::move(far_end));
+    ++created;
+    return std::make_unique<NinfClient>(std::move(near_end),
+                                        /*force_v1=*/true);
+  };
+  { auto lease = pool.acquire("stalled", factory); }  // fresh: no check
+  EXPECT_EQ(pool.idleCount(), 1u);
+  const double dead_before = obs::counter("pool.dead_evictions").value();
+  const auto start = std::chrono::steady_clock::now();
+  { auto lease = pool.acquire("stalled", factory); }
+  EXPECT_LT(secondsSince(start), 1.0);  // bounded, not wedged
+  EXPECT_EQ(created, 2);                // stalled entry evicted, rebuilt
+  EXPECT_GE(obs::counter("pool.dead_evictions").value() - dead_before, 1.0);
 }
 
 TEST_F(PoolFixture, DeadPeerFailsHealthCheckAndIsReplaced) {
