@@ -19,7 +19,7 @@ std::future<CallResult> AsyncCaller::callAsync(
   std::shared_future<void> done =
       std::async(std::launch::async, [task] { (*task)(); }).share();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     inflight_.push_back(done);
   }
   return result;
@@ -28,7 +28,7 @@ std::future<CallResult> AsyncCaller::callAsync(
 void AsyncCaller::waitAll() {
   std::vector<std::shared_future<void>> pending;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     pending.swap(inflight_);
   }
   for (auto& f : pending) f.wait();

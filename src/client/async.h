@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "client/dispatcher.h"
+#include "common/sync.h"
 
 namespace ninf::client {
 
@@ -30,8 +31,8 @@ class AsyncCaller {
 
  private:
   CallDispatcher& dispatcher_;
-  std::mutex mutex_;
-  std::vector<std::shared_future<void>> inflight_;
+  Mutex mutex_{"async.inflight"};
+  std::vector<std::shared_future<void>> inflight_ NINF_GUARDED_BY(mutex_);
 };
 
 }  // namespace ninf::client

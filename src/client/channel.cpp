@@ -28,22 +28,23 @@ void bumpInflight(long delta) {
 Channel::Channel(std::unique_ptr<transport::Stream> stream, bool force_v1)
     : stream_(std::move(stream)), force_v1_(force_v1) {
   NINF_REQUIRE(stream_ != nullptr, "null stream");
+  wire_ = stream_.get();
 }
 
 Channel::~Channel() {
   {
-    std::lock_guard<std::mutex> setup(setup_mutex_);
+    LockGuard setup(setup_mutex_);
     teardownLocked();
   }
 }
 
 void Channel::setReconnect(StreamFactory fn) {
-  std::lock_guard<std::mutex> setup(setup_mutex_);
+  LockGuard setup(setup_mutex_);
   reconnect_ = std::move(fn);
 }
 
 bool Channel::hasReconnect() const {
-  std::lock_guard<std::mutex> setup(setup_mutex_);
+  LockGuard setup(setup_mutex_);
   return static_cast<bool>(reconnect_);
 }
 
@@ -56,21 +57,21 @@ std::uint32_t Channel::negotiatedVersion() const {
 }
 
 std::string Channel::peerName() const {
-  std::lock_guard<std::mutex> setup(setup_mutex_);
+  LockGuard setup(setup_mutex_);
   return stream_ ? stream_->peerName() : "<disconnected>";
 }
 
 void Channel::close() {
-  std::lock_guard<std::mutex> setup(setup_mutex_);
+  LockGuard setup(setup_mutex_);
   {
-    std::lock_guard<std::mutex> g(pending_mutex_);
+    LockGuard g(pending_mutex_);
     broken_.store(true, std::memory_order_release);
   }
   if (stream_) stream_->close();
 }
 
 void Channel::resetIfBroken() {
-  std::lock_guard<std::mutex> setup(setup_mutex_);
+  LockGuard setup(setup_mutex_);
   if (!broken_.load(std::memory_order_acquire)) return;
   teardownLocked();
   broken_.store(false, std::memory_order_release);
@@ -85,8 +86,9 @@ void Channel::teardownLocked() {
   failAllPending(std::make_exception_ptr(
       TransportError("channel torn down with calls in flight")));
   {
-    std::lock_guard<std::mutex> g(send_mutex_);
+    LockGuard g(send_mutex_);
     stream_.reset();
+    wire_ = nullptr;
   }
   mode_ = Mode::Undecided;
 }
@@ -103,12 +105,17 @@ void Channel::ensureReadyLocked(
     }
     static obs::Counter& reconnects = obs::counter("client.reconnects");
     reconnects.add();
-    {
-      std::lock_guard<std::mutex> g(send_mutex_);
-      stream_ = reconnect_();
-    }
-    if (!stream_) {
+    // The factory runs user code and real connect I/O; keep send_mutex_
+    // out of scope for it and lock only for the pointer swap, so a v2
+    // sender is never parked behind a slow reconnect.
+    std::unique_ptr<transport::Stream> fresh = reconnect_();
+    if (!fresh) {
       throw TransportError("reconnect factory returned no stream");
+    }
+    {
+      LockGuard g(send_mutex_);
+      stream_ = std::move(fresh);
+      wire_ = stream_.get();
     }
     mode_ = Mode::Undecided;
   }
@@ -177,16 +184,21 @@ void Channel::fallbackToV1Locked(const char* why) {
   fallbacks.add();
   NINF_LOG(Debug) << why << "; falling back to protocol v1";
   stream_->close();
+  std::unique_ptr<transport::Stream> fresh;
   try {
-    std::lock_guard<std::mutex> g(send_mutex_);
-    stream_ = reconnect_();
+    fresh = reconnect_();
   } catch (...) {
     broken_.store(true, std::memory_order_release);
     throw;
   }
-  if (!stream_) {
+  if (!fresh) {
     broken_.store(true, std::memory_order_release);
     throw TransportError("reconnect factory returned no stream");
+  }
+  {
+    LockGuard g(send_mutex_);
+    stream_ = std::move(fresh);
+    wire_ = stream_.get();
   }
   mode_ = Mode::V1;
   negotiated_version_.store(protocol::kVersion, std::memory_order_release);
@@ -196,7 +208,7 @@ Channel::Reply Channel::transact(MessageType type, const xdr::Encoder& body,
                                  Consumer consumer,
                                  std::chrono::steady_clock::time_point
                                      deadline) {
-  std::unique_lock<std::mutex> setup(setup_mutex_);
+  UniqueLock setup(setup_mutex_);
   ensureReadyLocked(deadline);
   if (mode_ == Mode::V1) {
     return transactV1Locked(type, body, consumer, deadline);
@@ -251,7 +263,7 @@ Channel::Reply Channel::transactV2(
   std::future<Reply> fut = call->promise.get_future();
   const std::uint64_t id = next_call_id_.fetch_add(1);
   {
-    std::lock_guard<std::mutex> g(pending_mutex_);
+    LockGuard g(pending_mutex_);
     if (broken_.load(std::memory_order_acquire)) {
       throw TransportError("channel broken");
     }
@@ -259,14 +271,14 @@ Channel::Reply Channel::transactV2(
   }
   bumpInflight(+1);
   try {
-    std::lock_guard<std::mutex> g(send_mutex_);
-    if (broken_.load(std::memory_order_acquire) || !stream_) {
+    LockGuard g(send_mutex_);
+    if (broken_.load(std::memory_order_acquire) || wire_ == nullptr) {
       throw TransportError("channel broken");
     }
     obs::Span send(obs::phase::kSend, static_cast<std::int64_t>(body.size()));
-    protocol::sendMessageV2(*stream_, type, id, body);
+    protocol::sendMessageV2(*wire_, type, id, body);
     {
-      std::lock_guard<std::mutex> p(pending_mutex_);
+      LockGuard p(pending_mutex_);
       auto it = pending_.find(id);
       if (it != pending_.end()) it->second->sent_us = obs::Tracer::nowMicros();
     }
@@ -274,11 +286,11 @@ Channel::Reply Channel::transactV2(
     erasePending(id);
     // A partial frame poisons every call sharing the wire.
     {
-      std::lock_guard<std::mutex> p(pending_mutex_);
+      LockGuard p(pending_mutex_);
       broken_.store(true, std::memory_order_release);
     }
     {
-      std::lock_guard<std::mutex> setup(setup_mutex_);
+      LockGuard setup(setup_mutex_);
       if (stream_) stream_->close();
     }
     throw;
@@ -286,19 +298,23 @@ Channel::Reply Channel::transactV2(
 
   if (deadline == transport::Stream::kNoDeadline) return fut.get();
   if (fut.wait_until(deadline) == std::future_status::ready) return fut.get();
+  bool abandoned = false;
   {
-    std::lock_guard<std::mutex> g(pending_mutex_);
+    LockGuard g(pending_mutex_);
     auto it = pending_.find(id);
     if (it != pending_.end() && it->second->state == PendingCall::Waiting) {
       // Reply never started arriving: abandon just this call (the reader
       // drains the late reply as an orphan) and leave the channel alone.
       pending_.erase(it);
-      bumpInflight(-1);
-      static obs::Counter& timeouts = obs::counter("channel.call_timeouts");
-      timeouts.add();
-      throw TimeoutError("no reply within deadline (call " +
-                         std::to_string(id) + ")");
+      abandoned = true;
     }
+  }
+  if (abandoned) {
+    bumpInflight(-1);
+    static obs::Counter& timeouts = obs::counter("channel.call_timeouts");
+    timeouts.add();
+    throw TimeoutError("no reply within deadline (call " +
+                       std::to_string(id) + ")");
   }
   // The reader is already decoding into the caller's buffers (or just
   // finished): see the reply through rather than abandon live memory —
@@ -315,14 +331,14 @@ Channel::Reply Channel::transactV2(
   // Break it and close the stream; the wedged reader wakes with a
   // transport error and fails the remaining in-flight calls.
   {
-    std::lock_guard<std::mutex> g(pending_mutex_);
+    LockGuard g(pending_mutex_);
     if (pending_.find(id) == pending_.end()) return fut.get();  // just done
     broken_.store(true, std::memory_order_release);
   }
   static obs::Counter& stalls = obs::counter("channel.mid_reply_stalls");
   stalls.add();
   {
-    std::lock_guard<std::mutex> setup(setup_mutex_);
+    LockGuard setup(setup_mutex_);
     if (stream_) stream_->close();
   }
   try {
@@ -334,14 +350,18 @@ Channel::Reply Channel::transactV2(
 }
 
 void Channel::erasePending(std::uint64_t id) {
-  std::lock_guard<std::mutex> g(pending_mutex_);
-  if (pending_.erase(id) > 0) bumpInflight(-1);
+  bool erased = false;
+  {
+    LockGuard g(pending_mutex_);
+    erased = pending_.erase(id) > 0;
+  }
+  if (erased) bumpInflight(-1);
 }
 
 void Channel::failAllPending(std::exception_ptr error) {
   std::map<std::uint64_t, std::shared_ptr<PendingCall>> doomed;
   {
-    std::lock_guard<std::mutex> g(pending_mutex_);
+    LockGuard g(pending_mutex_);
     broken_.store(true, std::memory_order_release);
     doomed.swap(pending_);
   }
@@ -361,7 +381,7 @@ void Channel::readerLoop(transport::Stream* stream) {
       reply.type = header.type;
       reply.length = header.length;
       {
-        std::lock_guard<std::mutex> g(pending_mutex_);
+        LockGuard g(pending_mutex_);
         auto it = pending_.find(header.call_id);
         if (it != pending_.end()) {
           call = it->second;

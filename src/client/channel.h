@@ -32,9 +32,9 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/sync.h"
 #include "protocol/message.h"
 #include "transport/transport.h"
 #include "xdr/xdr.h"
@@ -120,23 +120,28 @@ class Channel {
   struct PendingCall {
     Consumer consumer;
     std::promise<Reply> promise;
-    double sent_us = 0.0;  // guarded by pending_mutex_
-    enum State { Waiting, Consuming } state = Waiting;  // ditto
+    // Both fields are guarded by the owning channel's pending_mutex_
+    // (inexpressible as an annotation from a nested struct).
+    double sent_us = 0.0;
+    enum State { Waiting, Consuming } state = Waiting;
   };
 
-  /// Reconnect + negotiate as needed; requires setup_mutex_.
-  void ensureReadyLocked(std::chrono::steady_clock::time_point deadline);
-  void negotiateLocked(std::chrono::steady_clock::time_point deadline);
+  /// Reconnect + negotiate as needed.
+  void ensureReadyLocked(std::chrono::steady_clock::time_point deadline)
+      NINF_REQUIRES(setup_mutex_);
+  void negotiateLocked(std::chrono::steady_clock::time_point deadline)
+      NINF_REQUIRES(setup_mutex_);
   /// Switch to protocol v1 over one fresh connection.  Only callable
   /// from inside a negotiate catch handler (rethrows the in-flight
-  /// exception when no reconnect factory exists); requires setup_mutex_.
-  void fallbackToV1Locked(const char* why);
-  /// Close + join reader + drop the stream; requires setup_mutex_.
-  void teardownLocked();
+  /// exception when no reconnect factory exists).
+  void fallbackToV1Locked(const char* why) NINF_REQUIRES(setup_mutex_);
+  /// Close + join reader + drop the stream.
+  void teardownLocked() NINF_REQUIRES(setup_mutex_);
 
   Reply transactV1Locked(protocol::MessageType type, const xdr::Encoder& body,
                          const Consumer& consumer,
-                         std::chrono::steady_clock::time_point deadline);
+                         std::chrono::steady_clock::time_point deadline)
+      NINF_REQUIRES(setup_mutex_);
   Reply transactV2(protocol::MessageType type, const xdr::Encoder& body,
                    Consumer consumer,
                    std::chrono::steady_clock::time_point deadline);
@@ -148,24 +153,27 @@ class Channel {
   void erasePending(std::uint64_t id);
 
   /// Serializes connection setup / negotiation / teardown, and the whole
-  /// exchange in v1 mode.  stream_ is replaced only under setup_mutex_
-  /// AND send_mutex_, so holders of either may dereference it.
-  mutable std::mutex setup_mutex_;
-  std::unique_ptr<transport::Stream> stream_;
-  StreamFactory reconnect_;
-  Mode mode_ = Mode::Undecided;
-  bool force_v1_ = false;
+  /// exchange in v1 mode.  Lock order: setup -> send -> pending.
+  mutable Mutex setup_mutex_{"channel.setup"};
+  std::unique_ptr<transport::Stream> stream_ NINF_GUARDED_BY(setup_mutex_);
+  StreamFactory reconnect_ NINF_GUARDED_BY(setup_mutex_);
+  Mode mode_ NINF_GUARDED_BY(setup_mutex_) = Mode::Undecided;
+  bool force_v1_ = false;  // immutable after construction
   std::atomic<std::uint32_t> negotiated_version_{0};
   std::atomic<bool> broken_{false};
   std::atomic<double> mid_reply_grace_s_{0.25};
 
   /// v2 state: frame sends are atomic under send_mutex_; the pending map
-  /// (and each entry's state/sent_us) under pending_mutex_.
-  std::mutex send_mutex_;
-  std::mutex pending_mutex_;
-  std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending_;
+  /// (and each entry's state/sent_us) under pending_mutex_.  wire_
+  /// mirrors stream_.get() (both are swapped while holding setup AND
+  /// send), so v2 senders reach the wire without the setup lock.
+  Mutex send_mutex_ NINF_ACQUIRED_AFTER(setup_mutex_){"channel.send"};
+  transport::Stream* wire_ NINF_GUARDED_BY(send_mutex_) = nullptr;
+  Mutex pending_mutex_ NINF_ACQUIRED_AFTER(send_mutex_){"channel.pending"};
+  std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending_
+      NINF_GUARDED_BY(pending_mutex_);
   std::atomic<std::uint64_t> next_call_id_{1};
-  std::thread reader_;
+  std::thread reader_ NINF_GUARDED_BY(setup_mutex_);
 };
 
 }  // namespace ninf::client

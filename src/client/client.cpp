@@ -142,7 +142,7 @@ const idl::InterfaceInfo& NinfClient::queryInterface(const std::string& name,
 const idl::InterfaceInfo& NinfClient::queryInterface(
     const std::string& name, std::chrono::steady_clock::time_point deadline) {
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    LockGuard lock(cache_mutex_);
     auto it = interface_cache_.find(name);
     if (it != interface_cache_.end()) return it->second;
   }
@@ -164,7 +164,7 @@ const idl::InterfaceInfo& NinfClient::queryInterface(
                         channel_->peerName());
   }
   auto info = idl::InterfaceInfo::decode(dec);
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  LockGuard lock(cache_mutex_);
   return interface_cache_.emplace(name, std::move(info)).first->second;
 }
 

@@ -20,13 +20,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "client/channel.h"
+#include "common/sync.h"
 #include "idl/interface_info.h"
 #include "protocol/call_marshal.h"
 #include "protocol/message.h"
@@ -185,8 +185,11 @@ class NinfClient {
       std::chrono::steady_clock::time_point deadline);
 
   std::unique_ptr<Channel> channel_;
-  std::mutex cache_mutex_;
-  std::map<std::string, idl::InterfaceInfo> interface_cache_;
+  Mutex cache_mutex_{"client.cache"};
+  /// Node-based map: references handed out stay valid across inserts,
+  /// and entries are never erased, so callers may keep them past unlock.
+  std::map<std::string, idl::InterfaceInfo> interface_cache_
+      NINF_GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace ninf::client

@@ -70,8 +70,9 @@ ConnectionPool::Lease ConnectionPool::acquire(const std::string& endpoint,
     double idle_since = 0.0;
     std::vector<IdleEntry> expired;  // closed outside the lock
     const double now = nowSeconds();
+    long reclaimed = 0;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       auto it = idle_.find(endpoint);
       if (it != idle_.end()) {
         auto& entries = it->second;
@@ -88,8 +89,11 @@ ConnectionPool::Lease ConnectionPool::acquire(const std::string& endpoint,
           entries.pop_back();
         }
       }
-      bumpIdle(-static_cast<long>(expired.size() + (candidate ? 1 : 0)));
+      reclaimed = static_cast<long>(expired.size() + (candidate ? 1 : 0));
     }
+    // Gauge updates lock the obs registry on first touch; keep that out
+    // of the pool critical section.
+    if (reclaimed > 0) bumpIdle(-reclaimed);
     if (!expired.empty()) ttl_evictions.add(expired.size());
     expired.clear();
 
@@ -112,7 +116,7 @@ ConnectionPool::Lease ConnectionPool::acquire(const std::string& endpoint,
     }
     hits.add();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       ++in_use_;
     }
     bumpInUse(+1);
@@ -123,7 +127,7 @@ ConnectionPool::Lease ConnectionPool::acquire(const std::string& endpoint,
   std::unique_ptr<NinfClient> fresh = factory();  // network I/O: no lock
   NINF_REQUIRE(fresh != nullptr, "pool factory returned no client");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     ++in_use_;
   }
   bumpInUse(+1);
@@ -134,7 +138,7 @@ void ConnectionPool::release(const std::string& endpoint,
                              std::unique_ptr<NinfClient> client) {
   std::unique_ptr<NinfClient> doomed;  // closed outside the lock
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     --in_use_;
   }
   bumpInUse(-1);
@@ -144,17 +148,19 @@ void ConnectionPool::release(const std::string& endpoint,
     client.reset();
   }
   if (!client) return;
+  bool pooled = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     auto& entries = idle_[endpoint];
     entries.push_back({std::move(client), nowSeconds()});
     if (entries.size() > options_.max_idle_per_endpoint) {
       doomed = std::move(entries.front().client);
       entries.erase(entries.begin());
     } else {
-      bumpIdle(+1);
+      pooled = true;
     }
   }
+  if (pooled) bumpIdle(+1);
   if (doomed) {
     static obs::Counter& overflow = obs::counter("pool.overflow_evictions");
     overflow.add();
@@ -162,21 +168,21 @@ void ConnectionPool::release(const std::string& endpoint,
 }
 
 std::size_t ConnectionPool::idleCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   std::size_t n = 0;
   for (const auto& [endpoint, entries] : idle_) n += entries.size();
   return n;
 }
 
 std::size_t ConnectionPool::inUseCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return in_use_;
 }
 
 void ConnectionPool::clear() {
   std::map<std::string, std::vector<IdleEntry>> doomed;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     doomed.swap(idle_);
   }
   std::size_t n = 0;

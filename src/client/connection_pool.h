@@ -21,11 +21,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "client/client.h"
+#include "common/sync.h"
 
 namespace ninf::client {
 
@@ -110,10 +110,10 @@ class ConnectionPool {
   void release(const std::string& endpoint,
                std::unique_ptr<NinfClient> client);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::vector<IdleEntry>> idle_;
-  std::size_t in_use_ = 0;
-  PoolOptions options_;
+  mutable Mutex mutex_{"pool.mutex"};
+  std::map<std::string, std::vector<IdleEntry>> idle_ NINF_GUARDED_BY(mutex_);
+  std::size_t in_use_ NINF_GUARDED_BY(mutex_) = 0;
+  PoolOptions options_;  // immutable after construction
 };
 
 }  // namespace ninf::client

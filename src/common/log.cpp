@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace ninf {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_sink_mutex;
+Mutex g_sink_mutex{"log.sink"};
 
 const char* levelName(LogLevel level) {
   switch (level) {
@@ -27,7 +28,7 @@ LogLevel logLevel() { return g_level.load(); }
 
 namespace log_detail {
 void emit(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  LockGuard lock(g_sink_mutex);
   std::fprintf(stderr, "[ninf %s] %s\n", levelName(level), message.c_str());
 }
 }  // namespace log_detail

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -28,7 +28,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> pt(std::move(task));
   auto fut = pt.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     NINF_REQUIRE(!stopping_, "submit after shutdown");
     queue_.push_back(std::move(pt));
   }
@@ -37,7 +37,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
@@ -45,7 +45,7 @@ void ThreadPool::workerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      UniqueLock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and nothing left to do
       task = std::move(queue_.front());
@@ -54,7 +54,7 @@ void ThreadPool::workerLoop() {
     }
     task();  // exceptions are captured in the packaged_task's future
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
@@ -74,7 +74,7 @@ void parallelFor(std::size_t n, std::size_t workers,
   threads.reserve(workers);
   std::atomic<bool> failed{false};
   std::exception_ptr error;
-  std::mutex error_mutex;
+  Mutex error_mutex{"parallel_for.error"};
   for (std::size_t w = 0; w < workers; ++w) {
     threads.emplace_back([&] {
       for (;;) {
@@ -83,7 +83,7 @@ void parallelFor(std::size_t n, std::size_t workers,
         try {
           body(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
+          LockGuard lock(error_mutex);
           if (!error) error = std::current_exception();
           failed.store(true, std::memory_order_relaxed);
           return;

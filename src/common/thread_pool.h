@@ -4,14 +4,14 @@
 // of Ninf executables, and by the threaded LU factorization in numlib.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace ninf {
 
@@ -36,13 +36,13 @@ class ThreadPool {
  private:
   void workerLoop();
 
-  std::vector<std::thread> threads_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  std::vector<std::thread> threads_;  // immutable after construction
+  Mutex mutex_{"threadpool"};
+  std::deque<std::packaged_task<void()>> queue_ NINF_GUARDED_BY(mutex_);
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::size_t active_ NINF_GUARDED_BY(mutex_) = 0;
+  bool stopping_ NINF_GUARDED_BY(mutex_) = false;
 };
 
 /// Run `body(i)` for i in [0, n) across at most `workers` threads and wait.

@@ -43,7 +43,7 @@ double estimateCompletion(double bytes, double flops, double bandwidth_bps,
 void Metaserver::addServer(ServerEntry entry) {
   NINF_REQUIRE(entry.factory != nullptr, "server entry needs a factory");
   NINF_REQUIRE(!entry.name.empty(), "server entry needs a name");
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (const auto& s : servers_) {
     NINF_REQUIRE(s->entry.name != entry.name, "duplicate server name");
   }
@@ -53,7 +53,7 @@ void Metaserver::addServer(ServerEntry entry) {
 }
 
 std::size_t Metaserver::serverCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return servers_.size();
 }
 
@@ -65,7 +65,7 @@ client::NinfClient& Metaserver::monitorOf(ServerState& state) {
 protocol::ServerStatusInfo Metaserver::poll(const std::string& server_name) {
   ServerState* state = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     for (auto& s : servers_) {
       if (s->entry.name == server_name) {
         state = s.get();
@@ -79,7 +79,7 @@ protocol::ServerStatusInfo Metaserver::poll(const std::string& server_name) {
   // timeout: a dead or slow server must not hold up the scheduling table.
   protocol::ServerStatusInfo status;
   try {
-    std::lock_guard<std::mutex> poll_lock(state->poll_mutex);
+    LockGuard poll_lock(state->poll_mutex);
     try {
       status = monitorOf(*state).serverStatus(poll_timeout_);
     } catch (const Error&) {
@@ -87,12 +87,12 @@ protocol::ServerStatusInfo Metaserver::poll(const std::string& server_name) {
       throw;
     }
   } catch (const Error&) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard cache(state->mutex);
     state->reachable = false;
     throw;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard cache(state->mutex);
     state->last_status = status;
     state->last_status_time = nowSeconds();
     state->reachable = true;
@@ -108,7 +108,7 @@ std::vector<Metaserver::Candidate> Metaserver::refreshCandidates(
 
   std::vector<ServerState*> states;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     states.reserve(servers_.size());
     for (auto& s : servers_) states.push_back(s.get());
   }
@@ -128,7 +128,7 @@ std::vector<Metaserver::Candidate> Metaserver::refreshCandidates(
     // Reuse a fresh-enough cached status instead of another round-trip.
     bool have_status = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard cache(st->mutex);
       if (status_freshness_ > 0 && st->reachable &&
           st->last_status_time > 0 &&
           nowSeconds() - st->last_status_time <= status_freshness_) {
@@ -148,7 +148,7 @@ std::vector<Metaserver::Candidate> Metaserver::refreshCandidates(
       // timeout, so one stalled server delays a dispatch (and any other
       // dispatcher queued on this poll mutex) by a bounded amount, and
       // a timed-out server is simply unreachable for this round.
-      std::lock_guard<std::mutex> poll_lock(st->poll_mutex);
+      LockGuard poll_lock(st->poll_mutex);
       try {
         auto& mon = monitorOf(*st);
         if (!have_status) c.status = mon.serverStatus(poll_timeout_);
@@ -170,7 +170,7 @@ std::vector<Metaserver::Candidate> Metaserver::refreshCandidates(
     }
 
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard cache(st->mutex);
       st->reachable = c.reachable;
       if (c.reachable && !have_status) {
         st->last_status = c.status;
@@ -192,7 +192,12 @@ std::size_t Metaserver::pickIndex(const std::string& entry_name,
   std::vector<std::size_t> shunned = excluded;
   bool any_cooling = false;
   for (std::size_t i = 0; i < servers_.size(); ++i) {
-    if (servers_[i]->cooldown_until > now &&
+    bool cooling = false;
+    {
+      LockGuard cache(servers_[i]->mutex);
+      cooling = servers_[i]->cooldown_until > now;
+    }
+    if (cooling &&
         std::find(excluded.begin(), excluded.end(), i) == excluded.end()) {
       shunned.push_back(i);
       any_cooling = true;
@@ -275,7 +280,7 @@ std::string Metaserver::chooseServer(
     const std::string& entry_name,
     std::span<const protocol::ArgValue> args) {
   const auto candidates = refreshCandidates(entry_name, args, {});
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return servers_[pickIndex(entry_name, candidates, {})]->entry.name;
 }
 
@@ -311,16 +316,27 @@ client::CallResult Metaserver::dispatch(const std::string& name,
       // table lock, cached within the freshness window).
       obs::Span schedule("schedule");
       const auto candidates = refreshCandidates(name, args, failed);
-      std::lock_guard<std::mutex> lock(mutex_);
-      idx = pickIndex(name, candidates, failed);
-      ++servers_[idx]->dispatched;
-      factory = servers_[idx]->entry.factory;
-      chosen = servers_[idx]->entry.name;
+      ServerState* picked = nullptr;
+      {
+        LockGuard lock(mutex_);
+        idx = pickIndex(name, candidates, failed);
+        picked = servers_[idx].get();
+      }
+      // entry is immutable after addServer and the state address is
+      // stable (unique_ptr), so the rest needs no global lock.
+      factory = picked->entry.factory;
+      chosen = picked->entry.name;
+      double observed = 0.0;
+      {
+        LockGuard cache(picked->mutex);
+        ++picked->dispatched;
+        observed = picked->last_status.load_average;
+      }
       schedule.setDetail(std::string(schedulingPolicyName(policy_)) + " -> " +
                          chosen);
       static obs::Histogram& observed_load =
           obs::histogram("metaserver.observed_load");
-      observed_load.observe(servers_[idx]->last_status.load_average);
+      observed_load.observe(observed);
     } catch (const NotFoundError&) {
       // Candidates ran out mid-failover.  The root cause is the transport
       // failures that excluded them — rethrow that, not a masking
@@ -365,10 +381,15 @@ client::CallResult Metaserver::dispatch(const std::string& name,
       // not immediately re-picked once the exclusion list resets.
       static obs::Counter& failovers = obs::counter("metaserver.failovers");
       failovers.add();
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (cooldown_seconds_ > 0 && idx < servers_.size()) {
-          servers_[idx]->cooldown_until =
+      if (cooldown_seconds_ > 0) {
+        ServerState* failed_state = nullptr;
+        {
+          LockGuard lock(mutex_);
+          if (idx < servers_.size()) failed_state = servers_[idx].get();
+        }
+        if (failed_state) {
+          LockGuard cache(failed_state->mutex);
+          failed_state->cooldown_until =
               clock::now() + std::chrono::duration_cast<clock::duration>(
                                  std::chrono::duration<double>(
                                      cooldown_seconds_));
@@ -398,7 +419,7 @@ void Metaserver::startMonitoring(std::chrono::milliseconds interval) {
   NINF_REQUIRE(interval.count() > 0, "monitoring interval must be positive");
   stopMonitoring();
   {
-    std::lock_guard<std::mutex> lock(monitor_mutex_);
+    LockGuard lock(monitor_mutex_);
     monitor_stop_ = false;
   }
   monitor_thread_ = std::thread([this, interval] {
@@ -406,7 +427,7 @@ void Metaserver::startMonitoring(std::chrono::milliseconds interval) {
       // Poll every known server, tolerating failures.
       std::vector<std::string> names;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         for (const auto& s : servers_) names.push_back(s->entry.name);
       }
       for (const auto& name : names) {
@@ -416,7 +437,7 @@ void Metaserver::startMonitoring(std::chrono::milliseconds interval) {
           NINF_LOG(Debug) << "monitor: " << name << ": " << e.what();
         }
       }
-      std::unique_lock<std::mutex> lock(monitor_mutex_);
+      UniqueLock lock(monitor_mutex_);
       if (monitor_cv_.wait_for(lock, interval,
                                [this] { return monitor_stop_; })) {
         return;
@@ -427,7 +448,7 @@ void Metaserver::startMonitoring(std::chrono::milliseconds interval) {
 
 void Metaserver::stopMonitoring() {
   {
-    std::lock_guard<std::mutex> lock(monitor_mutex_);
+    LockGuard lock(monitor_mutex_);
     monitor_stop_ = true;
   }
   monitor_cv_.notify_all();
@@ -436,9 +457,12 @@ void Metaserver::stopMonitoring() {
 
 protocol::ServerStatusInfo Metaserver::lastStatus(
     const std::string& server_name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (const auto& s : servers_) {
-    if (s->entry.name == server_name) return s->last_status;
+    if (s->entry.name == server_name) {
+      LockGuard cache(s->mutex);
+      return s->last_status;
+    }
   }
   throw NotFoundError("server '" + server_name + "'");
 }

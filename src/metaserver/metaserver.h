@@ -27,15 +27,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <thread>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "client/connection_pool.h"
+#include "common/sync.h"
 #include "client/dispatcher.h"
 #include "client/transaction.h"
 #include "protocol/message.h"
@@ -148,19 +147,26 @@ class Metaserver : public client::CallDispatcher {
 
  private:
   struct ServerState {
-    ServerEntry entry;
-    /// Serializes network I/O on `monitor`.  Lock order: poll_mutex
-    /// before mutex_, never the reverse.
-    std::mutex poll_mutex;
-    std::unique_ptr<client::NinfClient> monitor;  // lazy status channel
-    // Cached poll results, guarded by the global mutex_ (the I/O that
-    // produces them happens under poll_mutex only).
-    protocol::ServerStatusInfo last_status;
-    double last_status_time = 0.0;  // steady seconds; 0 = never polled
-    bool reachable = false;
-    std::uint64_t dispatched = 0;  // calls routed here by the metaserver
+    ServerEntry entry;  // immutable after addServer()
+    /// Serializes network I/O on `monitor`.  Never nested inside any
+    /// other metaserver lock.
+    Mutex poll_mutex{"metaserver.poll"};
+    /// Lazy status channel, touched only while polling.
+    std::unique_ptr<client::NinfClient> monitor NINF_GUARDED_BY(poll_mutex);
+    /// Cached poll results live under a per-state mutex (not the global
+    /// table lock), so reading one server's cache never serializes
+    /// against dispatches scanning the table.  Lock order: the global
+    /// mutex_ may be held while taking this one, never the reverse.
+    mutable Mutex mutex{"metaserver.server"};
+    protocol::ServerStatusInfo last_status NINF_GUARDED_BY(mutex);
+    /// Steady seconds; 0 = never polled.
+    double last_status_time NINF_GUARDED_BY(mutex) = 0.0;
+    bool reachable NINF_GUARDED_BY(mutex) = false;
+    /// Calls routed here by the metaserver.
+    std::uint64_t dispatched NINF_GUARDED_BY(mutex) = 0;
     /// Until this instant the server is shunned after a failed dispatch.
-    std::chrono::steady_clock::time_point cooldown_until{};
+    std::chrono::steady_clock::time_point cooldown_until
+        NINF_GUARDED_BY(mutex){};
   };
 
   /// One scheduling-round snapshot of a server, produced by
@@ -183,34 +189,40 @@ class Metaserver : public client::CallDispatcher {
 
   /// Policy selection with cooling servers shunned while any other
   /// candidate remains (falls back to them rather than failing).
-  /// Pure decision over the snapshot; call with mutex_ held.
+  /// Pure decision over the snapshot.
   std::size_t pickIndex(const std::string& entry_name,
                         const std::vector<Candidate>& candidates,
-                        const std::vector<std::size_t>& excluded);
+                        const std::vector<std::size_t>& excluded)
+      NINF_REQUIRES(mutex_);
   /// The raw policy switch, honoring only the explicit exclusions.
   std::size_t pickAmong(const std::string& entry_name,
                         const std::vector<Candidate>& candidates,
-                        const std::vector<std::size_t>& excluded);
-  /// Call with `state.poll_mutex` held.
-  client::NinfClient& monitorOf(ServerState& state);
+                        const std::vector<std::size_t>& excluded)
+      NINF_REQUIRES(mutex_);
+  client::NinfClient& monitorOf(ServerState& state)
+      NINF_REQUIRES(state.poll_mutex);
 
   SchedulingPolicy policy_;
+  // Tuning knobs: set before concurrent dispatch begins.
   std::size_t max_failovers_ = 2;
   double failover_backoff_ = 0.02;
   double cooldown_seconds_ = 2.0;
   double status_freshness_ = 0.25;
   double poll_timeout_ = 1.0;
-  mutable std::mutex mutex_;
-  /// unique_ptr for stable addresses: poll mutexes are held while the
-  /// vector may grow under addServer.
-  std::vector<std::unique_ptr<ServerState>> servers_;
-  std::size_t rr_next_ = 0;
+  /// Guards the server table itself and the round-robin cursor; cached
+  /// per-server state lives under each ServerState's own mutex.
+  mutable Mutex mutex_{"metaserver.global"};
+  /// unique_ptr for stable addresses: per-state mutexes are held while
+  /// the vector may grow under addServer.
+  std::vector<std::unique_ptr<ServerState>> servers_
+      NINF_GUARDED_BY(mutex_);
+  std::size_t rr_next_ NINF_GUARDED_BY(mutex_) = 0;
   client::ConnectionPool pool_;
 
   std::thread monitor_thread_;
-  std::condition_variable monitor_cv_;
-  std::mutex monitor_mutex_;
-  bool monitor_stop_ = false;
+  CondVar monitor_cv_;
+  Mutex monitor_mutex_{"metaserver.monitor"};
+  bool monitor_stop_ NINF_GUARDED_BY(monitor_mutex_) = false;
 };
 
 }  // namespace ninf::metaserver

@@ -5,8 +5,9 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
+
+#include "common/sync.h"
 
 namespace ninf::obs {
 
@@ -80,11 +81,13 @@ void Histogram::reset() {
 // --------------------------------------------------------------- registry
 
 struct MetricsRegistry::Impl {
-  mutable std::mutex mutex;
+  mutable Mutex mutex{"obs.registry"};
   // node-based maps: references to mapped values are stable forever.
-  std::map<std::string, std::unique_ptr<Counter>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, std::unique_ptr<Counter>> counters
+      NINF_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges NINF_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms
+      NINF_GUARDED_BY(mutex);
 };
 
 MetricsRegistry::Impl& MetricsRegistry::impl() const {
@@ -99,7 +102,7 @@ MetricsRegistry& MetricsRegistry::instance() {
 
 Counter& MetricsRegistry::counter(std::string_view name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   auto& slot = i.counters[std::string(name)];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -107,7 +110,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   auto& slot = i.gauges[std::string(name)];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -115,7 +118,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   auto& slot = i.histograms[std::string(name)];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
@@ -124,7 +127,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 std::vector<std::pair<std::string, std::uint64_t>>
 MetricsRegistry::counters() const {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(i.counters.size());
   for (const auto& [name, c] : i.counters) out.emplace_back(name, c->value());
@@ -133,7 +136,7 @@ MetricsRegistry::counters() const {
 
 std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(i.gauges.size());
   for (const auto& [name, g] : i.gauges) out.emplace_back(name, g->value());
@@ -142,7 +145,7 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
 
 std::vector<HistogramSummary> MetricsRegistry::histograms() const {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   std::vector<HistogramSummary> out;
   out.reserve(i.histograms.size());
   for (const auto& [name, h] : i.histograms) {
@@ -237,7 +240,7 @@ std::string MetricsRegistry::toCsv() const {
 
 void MetricsRegistry::reset() {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   for (auto& [name, c] : i.counters) c->reset();
   for (auto& [name, g] : i.gauges) g->set(0.0);
   for (auto& [name, h] : i.histograms) h->reset();

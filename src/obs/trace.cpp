@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace ninf::obs {
 
@@ -27,15 +28,16 @@ thread_local ThreadTraceState t_context;
 /// mutex (uncontended except while drain() steals), and the tracer keeps
 /// a shared_ptr so spans survive thread exit until collected.
 struct Tracer::ThreadBuffer {
-  std::mutex mutex;
-  std::vector<SpanRecord> spans;
+  Mutex mutex{"obs.trace.buffer"};
+  std::vector<SpanRecord> spans NINF_GUARDED_BY(mutex);
 };
 
 namespace {
 
 struct BufferRegistry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<Tracer::ThreadBuffer>> buffers;
+  Mutex mutex{"obs.trace.registry"};
+  std::vector<std::shared_ptr<Tracer::ThreadBuffer>> buffers
+      NINF_GUARDED_BY(mutex);
 };
 
 BufferRegistry& registry() {
@@ -67,7 +69,7 @@ Tracer::ThreadBuffer& Tracer::localBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     auto b = std::make_shared<ThreadBuffer>();
     auto& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    LockGuard lock(reg.mutex);
     reg.buffers.push_back(b);
     return b;
   }();
@@ -76,16 +78,16 @@ Tracer::ThreadBuffer& Tracer::localBuffer() {
 
 void Tracer::record(SpanRecord rec) {
   ThreadBuffer& buf = localBuffer();
-  std::lock_guard<std::mutex> lock(buf.mutex);
+  LockGuard lock(buf.mutex);
   buf.spans.push_back(std::move(rec));
 }
 
 std::vector<SpanRecord> Tracer::drain() {
   std::vector<SpanRecord> all;
   auto& reg = registry();
-  std::lock_guard<std::mutex> reg_lock(reg.mutex);
+  LockGuard reg_lock(reg.mutex);
   for (auto& buf : reg.buffers) {
-    std::lock_guard<std::mutex> lock(buf->mutex);
+    LockGuard lock(buf->mutex);
     all.insert(all.end(), std::make_move_iterator(buf->spans.begin()),
                std::make_move_iterator(buf->spans.end()));
     buf->spans.clear();
@@ -99,9 +101,9 @@ std::vector<SpanRecord> Tracer::drain() {
 
 void Tracer::clear() {
   auto& reg = registry();
-  std::lock_guard<std::mutex> reg_lock(reg.mutex);
+  LockGuard reg_lock(reg.mutex);
   for (auto& buf : reg.buffers) {
-    std::lock_guard<std::mutex> lock(buf->mutex);
+    LockGuard lock(buf->mutex);
     buf->spans.clear();
   }
 }

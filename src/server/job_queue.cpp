@@ -31,7 +31,7 @@ const char* queuePolicyName(QueuePolicy p) {
 
 void JobQueue::push(Job job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     NINF_REQUIRE(!closed_, "push to closed job queue");
     jobs_.push_back(std::move(job));
     depth_gauge_.set(static_cast<double>(jobs_.size()));
@@ -61,7 +61,7 @@ std::size_t JobQueue::pickIndex() const {
 }
 
 std::optional<Job> JobQueue::pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   cv_.wait(lock, [this] { return closed_ || !jobs_.empty(); });
   if (jobs_.empty()) return std::nullopt;
   const std::size_t idx = pickIndex();
@@ -72,13 +72,13 @@ std::optional<Job> JobQueue::pop() {
 }
 
 std::size_t JobQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return jobs_.size();
 }
 
 void JobQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     closed_ = true;
   }
   cv_.notify_all();

@@ -6,13 +6,13 @@
 // policies are implemented here and compared in the ablation bench.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
+
+#include "common/sync.h"
 
 namespace ninf::obs {
 class Gauge;
@@ -62,15 +62,16 @@ class JobQueue {
   void close();
 
  private:
-  std::size_t pickIndex() const;  // requires lock held, queue non-empty
+  /// Index of the next job to dispatch; queue must be non-empty.
+  std::size_t pickIndex() const NINF_REQUIRES(mutex_);
 
   QueuePolicy policy_;
   std::string name_;
-  obs::Gauge& depth_gauge_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Job> jobs_;
-  bool closed_ = false;
+  obs::Gauge& depth_gauge_;  // resolved once in the ctor; set() is atomic
+  mutable Mutex mutex_{"jobqueue"};
+  CondVar cv_;
+  std::deque<Job> jobs_ NINF_GUARDED_BY(mutex_);
+  bool closed_ NINF_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ninf::server

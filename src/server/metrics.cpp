@@ -57,7 +57,7 @@ void ServerMetrics::publishLocked(double t) const {
 }
 
 void ServerMetrics::jobQueued() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   const double t = now();
   foldLoadLocked(t);
   ++queued_;
@@ -65,7 +65,7 @@ void ServerMetrics::jobQueued() {
 }
 
 void ServerMetrics::jobStarted() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   const double t = now();
   foldLoadLocked(t);
   if (queued_ > 0) --queued_;
@@ -75,7 +75,7 @@ void ServerMetrics::jobStarted() {
 }
 
 void ServerMetrics::jobFinished() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   const double t = now();
   foldLoadLocked(t);
   if (running_ > 0) {
@@ -87,33 +87,33 @@ void ServerMetrics::jobFinished() {
 }
 
 std::uint32_t ServerMetrics::running() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return running_;
 }
 
 std::uint32_t ServerMetrics::queued() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return queued_;
 }
 
 std::uint64_t ServerMetrics::completed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return completed_;
 }
 
 double ServerMetrics::loadAverage() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return decayedLoadLocked(now());
 }
 
 double ServerMetrics::busyFraction() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   const double t = now();
   return t > 0 ? busySecondsLocked(t) / t : 0.0;
 }
 
 ServerMetrics::Snapshot ServerMetrics::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   const double t = now();
   Snapshot s;
   s.running = running_;

@@ -18,7 +18,8 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace ninf::server {
 
@@ -59,22 +60,23 @@ class ServerMetrics {
 
  private:
   /// Decayed load at time t; pure function of current state (no fold).
-  double decayedLoadLocked(double t) const;
+  double decayedLoadLocked(double t) const NINF_REQUIRES(mutex_);
   /// Fold the decay into (load_, load_time_); writers only.
-  void foldLoadLocked(double t);
-  double busySecondsLocked(double t) const;
+  void foldLoadLocked(double t) NINF_REQUIRES(mutex_);
+  double busySecondsLocked(double t) const NINF_REQUIRES(mutex_);
   /// Mirror counts into the global metrics registry; writers only.
-  void publishLocked(double t) const;
+  void publishLocked(double t) const NINF_REQUIRES(mutex_);
 
   std::chrono::steady_clock::time_point start_;
-  mutable std::mutex mutex_;
-  std::uint32_t running_ = 0;
-  std::uint32_t queued_ = 0;
-  std::uint64_t completed_ = 0;
-  double load_ = 0.0;
-  double load_time_ = 0.0;
-  double busy_accum_ = 0.0;
-  double busy_since_ = 0.0;  // time running_ last became nonzero
+  mutable Mutex mutex_{"server.metrics"};
+  std::uint32_t running_ NINF_GUARDED_BY(mutex_) = 0;
+  std::uint32_t queued_ NINF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ NINF_GUARDED_BY(mutex_) = 0;
+  double load_ NINF_GUARDED_BY(mutex_) = 0.0;
+  double load_time_ NINF_GUARDED_BY(mutex_) = 0.0;
+  double busy_accum_ NINF_GUARDED_BY(mutex_) = 0.0;
+  /// Time running_ last became nonzero.
+  double busy_since_ NINF_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace ninf::server

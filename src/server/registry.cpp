@@ -78,7 +78,7 @@ const InterfaceInfo& Registry::add(InterfaceInfo info, Handler handler) {
   }
   auto exec = std::make_shared<NinfExecutable>(
       NinfExecutable{std::move(info), std::move(handler)});
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto [it, inserted] = map_.emplace(exec->info.name, exec);
   if (!inserted) {
     throw Error("executable '" + exec->info.name + "' already registered");
@@ -87,19 +87,19 @@ const InterfaceInfo& Registry::add(InterfaceInfo info, Handler handler) {
 }
 
 const NinfExecutable& Registry::find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = map_.find(name);
   if (it == map_.end()) throw NotFoundError("executable '" + name + "'");
   return *it->second;
 }
 
 bool Registry::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return map_.count(name) != 0;
 }
 
 std::vector<std::string> Registry::names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   std::vector<std::string> out;
   out.reserve(map_.size());
   for (const auto& [name, exec] : map_) out.push_back(name);
@@ -107,7 +107,7 @@ std::vector<std::string> Registry::names() const {
 }
 
 std::size_t Registry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return map_.size();
 }
 

@@ -12,11 +12,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "idl/interface_info.h"
 #include "protocol/call_marshal.h"
 
@@ -75,8 +75,9 @@ class Registry {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const NinfExecutable>> map_;
+  mutable Mutex mutex_{"registry"};
+  std::map<std::string, std::shared_ptr<const NinfExecutable>> map_
+      NINF_GUARDED_BY(mutex_);
 };
 
 /// Register the benchmark executables the paper uses on its servers:

@@ -39,7 +39,7 @@ class NinfServer::ConnWriter {
     // safety net for exotic unwinds.
     if (thread_.joinable()) {
       {
-        std::lock_guard<std::mutex> g(mutex_);
+        LockGuard g(mutex_);
         dead_ = true;
         closed_ = true;
       }
@@ -50,7 +50,7 @@ class NinfServer::ConnWriter {
 
   /// Count one reply owed later (a call job headed for the queue).
   void expect() {
-    std::lock_guard<std::mutex> g(mutex_);
+    LockGuard g(mutex_);
     ++outstanding_;
   }
 
@@ -59,7 +59,7 @@ class NinfServer::ConnWriter {
   void post(std::uint64_t call_id, MessageType type, ReplyPayload payload,
             bool from_job) {
     {
-      std::lock_guard<std::mutex> g(mutex_);
+      LockGuard g(mutex_);
       if (from_job) --outstanding_;
       if (!dead_) items_.push_back({call_id, type, std::move(payload)});
     }
@@ -67,7 +67,7 @@ class NinfServer::ConnWriter {
   }
 
   bool dead() const {
-    std::lock_guard<std::mutex> g(mutex_);
+    LockGuard g(mutex_);
     return dead_;
   }
 
@@ -76,7 +76,7 @@ class NinfServer::ConnWriter {
   /// jobs so no lambda outlives its keepalive assumptions), then join.
   void finish() {
     {
-      std::unique_lock<std::mutex> lk(mutex_);
+      UniqueLock lk(mutex_);
       cv_.wait(lk, [this] {
         return outstanding_ == 0 && (dead_ || (items_.empty() && !sending_));
       });
@@ -97,7 +97,7 @@ class NinfServer::ConnWriter {
     for (;;) {
       Item item;
       {
-        std::unique_lock<std::mutex> lk(mutex_);
+        UniqueLock lk(mutex_);
         cv_.wait(lk,
                  [this] { return dead_ || closed_ || !items_.empty(); });
         if (dead_) {
@@ -114,14 +114,14 @@ class NinfServer::ConnWriter {
         protocol::sendMessageV2(stream_, item.type, item.call_id,
                                 item.payload.body);
         {
-          std::lock_guard<std::mutex> g(mutex_);
+          LockGuard g(mutex_);
           sending_ = false;
         }
         cv_.notify_all();
       } catch (const Error& e) {
         NINF_LOG(Debug) << "reply send failed: " << e.what();
         {
-          std::lock_guard<std::mutex> g(mutex_);
+          LockGuard g(mutex_);
           dead_ = true;
           sending_ = false;
           items_.clear();
@@ -135,13 +135,17 @@ class NinfServer::ConnWriter {
 
   transport::Stream& stream_;
   std::thread thread_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Item> items_;
-  std::size_t outstanding_ = 0;  // expected replies not yet posted
-  bool sending_ = false;         // a send is in flight outside the lock
-  bool closed_ = false;          // finish() called; drain and exit
-  bool dead_ = false;            // connection unusable; drop everything
+  mutable Mutex mutex_{"server.connwriter"};
+  CondVar cv_;
+  std::deque<Item> items_ NINF_GUARDED_BY(mutex_);
+  /// Expected replies not yet posted.
+  std::size_t outstanding_ NINF_GUARDED_BY(mutex_) = 0;
+  /// A send is in flight outside the lock.
+  bool sending_ NINF_GUARDED_BY(mutex_) = false;
+  /// finish() called; drain and exit.
+  bool closed_ NINF_GUARDED_BY(mutex_) = false;
+  /// Connection unusable; drop everything.
+  bool dead_ NINF_GUARDED_BY(mutex_) = false;
 };
 
 NinfServer::NinfServer(Registry& registry, ServerOptions options)
@@ -177,7 +181,7 @@ void NinfServer::start(std::shared_ptr<transport::Listener> listener) {
       }
       if (!stream) break;  // listener closed
       auto shared = std::shared_ptr<transport::Stream>(std::move(stream));
-      std::lock_guard<std::mutex> lock(conn_mutex_);
+      LockGuard lock(conn_mutex_);
       conn_streams_.push_back(shared);
       conn_threads_.emplace_back(
           [this, s = std::move(shared)] { serveStream(*s); });
@@ -265,24 +269,30 @@ void NinfServer::stop() {
   }
   if (listener_) listener_->close();
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Swap the connection table out under the lock, then close and join
+  // outside it: joining while holding conn_mutex_ would deadlock against
+  // any connection-side path that ever takes the lock, and stalls every
+  // concurrent start()/stop() behind slow disconnects regardless.
+  std::vector<std::thread> conns;
+  std::vector<std::weak_ptr<transport::Stream>> streams;
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    // Unblock connection threads parked in recvMessage.
-    for (auto& weak : conn_streams_) {
-      if (auto s = weak.lock()) s->close();
-    }
-    for (auto& t : conn_threads_) {
-      if (t.joinable()) t.join();
-    }
-    conn_threads_.clear();
-    conn_streams_.clear();
+    LockGuard lock(conn_mutex_);
+    conns.swap(conn_threads_);
+    streams.swap(conn_streams_);
+  }
+  // Unblock connection threads parked in recvMessage.
+  for (auto& weak : streams) {
+    if (auto s = weak.lock()) s->close();
+  }
+  for (auto& t : conns) {
+    if (t.joinable()) t.join();
   }
   queue_.close();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
   {
-    std::lock_guard<std::mutex> lk(sweeper_mutex_);
+    LockGuard lk(sweeper_mutex_);
   }
   sweeper_cv_.notify_all();
   if (sweeper_.joinable()) sweeper_.join();
@@ -297,7 +307,7 @@ void NinfServer::workerLoop() {
 void NinfServer::sweeperLoop() {
   const auto period = std::chrono::duration<double>(
       std::clamp(options_.pending_ttl_seconds / 4.0, 0.01, 1.0));
-  std::unique_lock<std::mutex> lk(sweeper_mutex_);
+  UniqueLock lk(sweeper_mutex_);
   while (!stopping_.load()) {
     sweeper_cv_.wait_for(lk, period, [this] { return stopping_.load(); });
     if (stopping_.load()) break;
@@ -314,7 +324,7 @@ void NinfServer::sweepPending() {
   std::size_t count = 0;
   const double now = metrics_.now();
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    LockGuard lock(pending_mutex_);
     for (auto it = pending_.begin(); it != pending_.end();) {
       if (it->second.ready &&
           now - it->second.ready_time > options_.pending_ttl_seconds) {
@@ -389,7 +399,7 @@ NinfServer::ReplyEnvelope NinfServer::controlReply(const Message& msg) {
     case MessageType::FetchResult: {
       xdr::Decoder dec(msg.payload);
       const std::uint64_t id = dec.getU64();
-      std::unique_lock<std::mutex> lock(pending_mutex_);
+      UniqueLock lock(pending_mutex_);
       auto it = pending_.find(id);
       if (it == pending_.end()) {
         lock.unlock();
@@ -580,18 +590,20 @@ void NinfServer::executeCallAsync(protocol::BodyReader& body,
 
 std::uint64_t NinfServer::submitCall(protocol::BodyReader& body) {
   const std::uint64_t id = next_job_id_.fetch_add(1);
+  std::size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    LockGuard lock(pending_mutex_);
     pending_.emplace(id, PendingResult{});
-    updatePendingGauge(pending_.size());
+    depth = pending_.size();
   }
+  updatePendingGauge(depth);
 
   PreparedCall prepared;
   try {
     prepared = prepare(registry_, body);
   } catch (const std::exception& e) {
     body.drain();
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    LockGuard lock(pending_mutex_);
     pending_[id] = {true, metrics_.now(), errorReply(e.what())};
     return id;
   }
@@ -607,7 +619,7 @@ std::uint64_t NinfServer::submitCall(protocol::BodyReader& body) {
     ReplyPayload reply = runPreparedCall(metrics_, *call, enqueue);
     reply.keepalive = call;
     {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
+      LockGuard lock(pending_mutex_);
       pending_[id] = {true, metrics_.now(), std::move(reply)};
     }
     pending_cv_.notify_all();

@@ -25,13 +25,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "protocol/call_marshal.h"
 #include "protocol/message.h"
 #include "server/job_queue.h"
@@ -133,20 +133,25 @@ class NinfServer {
   ServerOptions options_;
   ServerMetrics metrics_;
   JobQueue queue_;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // created in ctor, joined in stop()
   std::shared_ptr<transport::Listener> listener_;
   std::thread accept_thread_;
   std::thread sweeper_;
-  std::mutex conn_mutex_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<std::weak_ptr<transport::Stream>> conn_streams_;
+  Mutex conn_mutex_{"server.conn"};
+  std::vector<std::thread> conn_threads_ NINF_GUARDED_BY(conn_mutex_);
+  std::vector<std::weak_ptr<transport::Stream>> conn_streams_
+      NINF_GUARDED_BY(conn_mutex_);
   std::atomic<bool> stopping_{false};
-  std::mutex sweeper_mutex_;
-  std::condition_variable sweeper_cv_;
+  /// Pairs sweeper_cv_ with the stopping_ flag (no guarded state of its
+  /// own): the empty critical section in stop() fences the flag write
+  /// against the sweeper's predicate check.
+  Mutex sweeper_mutex_{"server.sweeper"};
+  CondVar sweeper_cv_;
   std::atomic<std::uint64_t> next_job_id_{1};
-  std::mutex pending_mutex_;
-  std::condition_variable pending_cv_;
-  std::map<std::uint64_t, PendingResult> pending_;
+  Mutex pending_mutex_{"server.pending"};
+  CondVar pending_cv_;
+  std::map<std::uint64_t, PendingResult> pending_
+      NINF_GUARDED_BY(pending_mutex_);
 };
 
 }  // namespace ninf::server

@@ -25,7 +25,7 @@ std::int64_t steadyNowUs() {
 }  // namespace
 
 bool FaultPlan::onConnect() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   bool refuse = false;
   if (refusals_left_ > 0) {
     --refusals_left_;
@@ -45,7 +45,7 @@ bool FaultPlan::onConnect() {
 
 FaultPlan::OpFault FaultPlan::onSend(std::size_t bytes) {
   OpFault f;
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (resets_left_ > 0) {
     --resets_left_;
     f.reset = true;
@@ -80,7 +80,7 @@ FaultPlan::OpFault FaultPlan::onSend(std::size_t bytes) {
 
 FaultPlan::OpFault FaultPlan::onRecv(std::size_t bytes) {
   OpFault f;
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (spec_.reset > 0 && rng_.nextBool(spec_.reset)) {
     f.reset = true;
   } else if (spec_.stutter > 0 && bytes > 1 && rng_.nextBool(spec_.stutter)) {

@@ -19,9 +19,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "common/rng.h"
+#include "common/sync.h"
 #include "transport/transport.h"
 
 namespace ninf::transport {
@@ -88,11 +88,11 @@ class FaultPlan {
   }
 
  private:
-  FaultSpec spec_{};
-  std::mutex mutex_;
-  SplitMix64 rng_{0};
-  std::uint32_t refusals_left_ = 0;
-  std::uint32_t resets_left_ = 0;
+  FaultSpec spec_{};  // immutable after construction
+  Mutex mutex_{"faultplan"};
+  SplitMix64 rng_ NINF_GUARDED_BY(mutex_){0};
+  std::uint32_t refusals_left_ NINF_GUARDED_BY(mutex_) = 0;
+  std::uint32_t resets_left_ NINF_GUARDED_BY(mutex_) = 0;
   std::atomic<std::uint64_t> injected_{0};
 };
 

@@ -3,14 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <limits>
-#include <mutex>
 #include <vector>
 
 #include "common/error.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -43,7 +42,7 @@ class ByteQueue {
 
   /// Append every buffer under one lock (scatter-gather send).
   void pushv(std::span<const std::span<const std::uint8_t>> buffers) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (closed_) throw TransportError("send on closed inproc pipe");
     for (const auto& b : buffers) {
       if (!b.empty()) chunks_.emplace_back(b.begin(), b.end());
@@ -52,7 +51,7 @@ class ByteQueue {
   }
 
   void popExact(std::span<std::uint8_t> out, std::int64_t deadline_us) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    UniqueLock lock(mutex_);
     std::size_t got = 0;
     while (got < out.size()) {
       waitForData(lock, deadline_us);
@@ -68,7 +67,7 @@ class ByteQueue {
   /// out.size() bytes.  Throws once the pipe is closed and drained.
   std::size_t popSome(std::span<std::uint8_t> out, std::int64_t deadline_us) {
     if (out.empty()) return 0;
-    std::unique_lock<std::mutex> lock(mutex_);
+    UniqueLock lock(mutex_);
     waitForData(lock, deadline_us);
     if (chunks_.empty() && closed_) {
       throw TransportError("inproc pipe closed (0/" +
@@ -78,7 +77,7 @@ class ByteQueue {
   }
 
   void close() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     closed_ = true;
     cv_.notify_all();
   }
@@ -86,8 +85,8 @@ class ByteQueue {
  private:
   /// Wait until data is buffered or the pipe closes; TimeoutError once
   /// the deadline passes.  Caller holds the lock.
-  void waitForData(std::unique_lock<std::mutex>& lock,
-                   std::int64_t deadline_us) {
+  void waitForData(UniqueLock& lock, std::int64_t deadline_us)
+      NINF_REQUIRES(mutex_) {
     const auto ready = [&] { return !chunks_.empty() || closed_; };
     if (deadline_us == kNoDeadlineUs) {
       cv_.wait(lock, ready);
@@ -98,7 +97,8 @@ class ByteQueue {
 
   /// Copy buffered bytes into `out`; returns the count copied (>= 1 when
   /// any chunk is buffered).  Caller holds the lock.
-  std::size_t drainLocked(std::span<std::uint8_t> out) {
+  std::size_t drainLocked(std::span<std::uint8_t> out)
+      NINF_REQUIRES(mutex_) {
     std::size_t got = 0;
     while (got < out.size() && !chunks_.empty()) {
       std::vector<std::uint8_t>& front = chunks_.front();
@@ -115,11 +115,11 @@ class ByteQueue {
     return got;
   }
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::vector<std::uint8_t>> chunks_;
-  std::size_t head_ = 0;  // consumed prefix of chunks_.front()
-  bool closed_ = false;
+  Mutex mutex_{"inproc.pipe"};
+  CondVar cv_;
+  std::deque<std::vector<std::uint8_t>> chunks_ NINF_GUARDED_BY(mutex_);
+  std::size_t head_ NINF_GUARDED_BY(mutex_) = 0;  // consumed prefix of front
+  bool closed_ NINF_GUARDED_BY(mutex_) = false;
 };
 
 class InprocStream : public Stream {
