@@ -7,13 +7,18 @@
 // pooled modes should beat connection-per-call by roughly the connect +
 // negotiation cost amortized across calls, most visibly at small
 // payloads and high thread counts.
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "client/client.h"
 #include "client/connection_pool.h"
 #include "common/error.h"
@@ -33,7 +38,32 @@ struct Config {
   std::size_t payload = 1 << 20;  // ping payload bytes per call
   std::size_t workers = 4;        // server execution threads
   bool pool = false;              // also run the pooled mode
+  std::string json_path;          // --json output (empty = none)
 };
+
+struct RunResult {
+  double wall_s = 0.0;
+  std::vector<double> latencies_ms;  // one sample per call, unsorted
+};
+
+bench::LatencyStats latencyStats(std::vector<double> samples) {
+  bench::LatencyStats out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  auto pct = [&](double p) {
+    const double rank = p / 100.0 * static_cast<double>(samples.size());
+    std::size_t idx =
+        rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
+    return samples[std::min(idx, samples.size() - 1)];
+  };
+  out.mean_ms = std::accumulate(samples.begin(), samples.end(), 0.0) /
+                static_cast<double>(samples.size());
+  out.p50_ms = pct(50);
+  out.p95_ms = pct(95);
+  out.p99_ms = pct(99);
+  out.max_ms = samples.back();
+  return out;
+}
 
 double secondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -42,11 +72,13 @@ double secondsSince(std::chrono::steady_clock::time_point start) {
 }
 
 /// Run `cfg.calls` pings across `cfg.threads` threads; `perCall` maps a
-/// call index to the client to use.  Returns wall seconds.
+/// call index to the client to use.  Returns wall seconds plus the
+/// per-call latency samples.
 template <typename PerCall>
-double timedRun(const Config& cfg, PerCall perCall) {
+RunResult timedRun(const Config& cfg, PerCall perCall) {
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
+  std::vector<double> latencies(cfg.calls, 0.0);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   for (std::size_t t = 0; t < cfg.threads; ++t) {
@@ -55,7 +87,11 @@ double timedRun(const Config& cfg, PerCall perCall) {
         const std::size_t i = next.fetch_add(1);
         if (i >= cfg.calls) return;
         try {
+          const auto t0 = std::chrono::steady_clock::now();
           perCall(i);
+          latencies[i] = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
         } catch (const Error& e) {
           std::fprintf(stderr, "call %zu failed: %s\n", i, e.what());
           failed.store(true);
@@ -66,7 +102,7 @@ double timedRun(const Config& cfg, PerCall perCall) {
   }
   for (auto& t : threads) t.join();
   if (failed.load()) std::exit(1);
-  return secondsSince(start);
+  return RunResult{secondsSince(start), std::move(latencies)};
 }
 
 }  // namespace
@@ -88,11 +124,16 @@ int main(int argc, char** argv) {
     else if (arg == "--payload") cfg.payload = value();
     else if (arg == "--workers") cfg.workers = value();
     else if (arg == "--pool") cfg.pool = true;
-    else if (arg == "--trace") ++i;  // consumed by TraceSession
-    else {
+    else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json needs a value\n");
+        return 2;
+      }
+      cfg.json_path = argv[++i];
+    } else {
       std::fprintf(stderr,
                    "usage: %s [--calls N] [--threads T] [--payload BYTES] "
-                   "[--workers W] [--pool]\n",
+                   "[--workers W] [--pool] [--json PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -117,12 +158,31 @@ int main(int argc, char** argv) {
   const double mb_total = 2.0 * static_cast<double>(cfg.payload) *
                           static_cast<double>(cfg.calls) / 1e6;
   TextTable table({"mode", "wall [s]", "calls/s", "MB/s"});
-  auto report = [&](const char* mode, double wall) {
+  bench::BenchReport json_report;
+  json_report.bench = "multiplex";
+  json_report.config = {
+      {"calls", static_cast<double>(cfg.calls)},
+      {"threads", static_cast<double>(cfg.threads)},
+      {"payload", static_cast<double>(cfg.payload)},
+      {"server_workers", static_cast<double>(cfg.workers)},
+  };
+  auto report = [&](const char* mode, RunResult run) {
+    const double wall = run.wall_s;
     auto& row = table.row();
     row.cell(mode);
     row.cell(wall, 3);
     row.cell(static_cast<double>(cfg.calls) / wall, 1);
     row.cell(mb_total / wall, 2);
+
+    bench::BenchStep step;
+    step.label = mode;
+    step.values = {{"mb_per_s", mb_total / wall}};
+    step.duration_s = wall;
+    step.calls = cfg.calls;
+    step.errors = 0;  // any failed call aborts the run above
+    step.throughput_cps = static_cast<double>(cfg.calls) / wall;
+    step.latency = latencyStats(std::move(run.latencies_ms));
+    json_report.steps.push_back(std::move(step));
   };
 
   {  // Warm the kernel's loopback path once so mode order doesn't matter.
@@ -156,6 +216,14 @@ int main(int argc, char** argv) {
       "Expected shape: multiplexed/pooled beat conn-per-call by the\n"
       "amortized connect+negotiation cost; the gap widens with --threads\n"
       "and shrinks as --payload grows (wire time dominates).\n");
+  if (!cfg.json_path.empty()) {
+    if (!bench::writeBenchJson(json_report, cfg.json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", cfg.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%s)\n", cfg.json_path.c_str(),
+                bench::kBenchSchema);
+  }
   server.stop();
   return 0;
 }

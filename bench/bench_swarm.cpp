@@ -1,0 +1,318 @@
+// Cluster-scale client-swarm load harness (the DiPerF-style scalability
+// curve the paper's multi-client LAN/WAN sections call for).
+//
+// Spawns `--workers` client workers, each keeping `--window` calls in
+// flight (the nflight idiom: a worker is `window` synchronous callers
+// sharing one logical identity) against a small set of shared
+// multiplexed v2 channels.  Each step runs for `--duration` seconds;
+// per-worker throughput and per-call latency are aggregated into
+// cluster-wide sum/p50/p95/p99/max.  `--sweep 32,64,128,256` walks the
+// offered load upward so the saturation knee — where added workers stop
+// buying throughput and only grow the tail — shows up as adjacent rows.
+//
+//   bench_swarm --workers 256 --window 4 --json BENCH_swarm.json
+//   bench_swarm --sweep 32,64,128,256 --payload 4096
+//   bench_swarm --validate BENCH_swarm.json     # schema check, exit code
+//
+// The JSON output follows bench/bench_json.h ("ninf-bench-1").
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "client/client.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "obs/trace_session.h"
+#include "server/registry.h"
+#include "server/server.h"
+#include "transport/tcp_transport.h"
+
+using namespace ninf;
+
+namespace {
+
+struct Config {
+  std::vector<std::size_t> worker_steps = {32};  // offered-load sweep
+  std::size_t window = 4;          // in-flight calls per worker
+  std::size_t payload = 1024;      // ping payload bytes
+  double duration_s = 2.0;         // measured seconds per step
+  std::size_t channels = 8;        // shared multiplexed v2 connections
+  std::size_t server_workers = 8;  // server execution threads
+  std::string json_path;           // --json output (empty = none)
+};
+
+double percentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  std::size_t idx =
+      rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
+  idx = std::min(idx, sorted.size() - 1);
+  return sorted[idx];
+}
+
+struct StepResult {
+  std::size_t workers = 0;
+  double duration_s = 0.0;
+  std::uint64_t calls = 0;
+  std::uint64_t errors = 0;
+  double cluster_cps = 0.0;     // sum of per-worker throughput
+  double worker_cps_p50 = 0.0;  // per-worker throughput distribution
+  double worker_cps_p95 = 0.0;
+  double worker_cps_p99 = 0.0;
+  double worker_cps_max = 0.0;
+  bench::LatencyStats latency;  // per-call latency distribution
+};
+
+/// One offered-load step: workers x window caller threads hammer the
+/// shared channels for `duration_s`, then the per-thread tallies are
+/// rolled up per worker and cluster-wide.
+StepResult runStep(const Config& cfg, std::size_t workers,
+                   std::vector<std::unique_ptr<client::NinfClient>>& clients) {
+  const std::size_t threads_total = workers * cfg.window;
+  std::vector<std::vector<double>> latencies(threads_total);
+  std::vector<std::uint64_t> counts(threads_total, 0);
+  std::vector<std::uint64_t> errors(threads_total, 0);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(threads_total);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < threads_total; ++t) {
+    threads.emplace_back([&, t] {
+      client::NinfClient& cl = *clients[t % clients.size()];
+      auto& lat = latencies[t];
+      lat.reserve(4096);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+          cl.ping(cfg.payload);
+          lat.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+          ++counts[t];
+        } catch (const Error&) {
+          ++errors[t];
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.duration_s));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : threads) th.join();
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+  StepResult r;
+  r.workers = workers;
+  r.duration_s = wall;
+  // Per-worker throughput: a worker's calls are the sum over its window
+  // threads.
+  std::vector<double> worker_cps(workers, 0.0);
+  for (std::size_t t = 0; t < threads_total; ++t) {
+    r.calls += counts[t];
+    r.errors += errors[t];
+    worker_cps[t / cfg.window] += static_cast<double>(counts[t]) / wall;
+  }
+  std::sort(worker_cps.begin(), worker_cps.end());
+  r.cluster_cps =
+      std::accumulate(worker_cps.begin(), worker_cps.end(), 0.0);
+  r.worker_cps_p50 = percentileSorted(worker_cps, 50);
+  r.worker_cps_p95 = percentileSorted(worker_cps, 95);
+  r.worker_cps_p99 = percentileSorted(worker_cps, 99);
+  r.worker_cps_max = worker_cps.empty() ? 0.0 : worker_cps.back();
+
+  std::vector<double> all;
+  all.reserve(r.calls);
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    r.latency.mean_ms =
+        std::accumulate(all.begin(), all.end(), 0.0) /
+        static_cast<double>(all.size());
+    r.latency.p50_ms = percentileSorted(all, 50);
+    r.latency.p95_ms = percentileSorted(all, 95);
+    r.latency.p99_ms = percentileSorted(all, 99);
+    r.latency.max_ms = all.back();
+  }
+  return r;
+}
+
+std::vector<std::size_t> parseSweep(const std::string& list) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string tok =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) {
+      out.push_back(static_cast<std::size_t>(
+          std::strtoull(tok.c_str(), nullptr, 10)));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--workers N | --sweep N1,N2,...] [--window W]\n"
+      "          [--payload BYTES] [--duration SECONDS] [--channels C]\n"
+      "          [--server-workers W] [--json PATH] [--trace PATH]\n"
+      "       %s --validate BENCH.json\n",
+      argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Schema-check mode first: no server, no load, just the validator the
+  // CI bench-smoke job runs on emitted BENCH_*.json files.
+  if (argc == 3 && std::strcmp(argv[1], "--validate") == 0) {
+    const std::string err = bench::validateBenchJsonFile(argv[2]);
+    if (err.empty()) {
+      std::printf("%s: valid %s\n", argv[2], bench::kBenchSchema);
+      return 0;
+    }
+    std::fprintf(stderr, "%s: INVALID: %s\n", argv[2], err.c_str());
+    return 1;
+  }
+
+  obs::TraceSession trace(obs::TraceSession::flagFromArgs(argc, argv),
+                          "bench_swarm");
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workers") {
+      cfg.worker_steps = {static_cast<std::size_t>(
+          std::strtoull(value().c_str(), nullptr, 10))};
+    } else if (arg == "--sweep") {
+      cfg.worker_steps = parseSweep(value());
+    } else if (arg == "--window") {
+      cfg.window = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--payload") {
+      cfg.payload = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--duration") {
+      cfg.duration_s = std::strtod(value().c_str(), nullptr);
+    } else if (arg == "--channels") {
+      cfg.channels = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--server-workers") {
+      cfg.server_workers = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--json") {
+      cfg.json_path = value();
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (cfg.worker_steps.empty() || cfg.window == 0) return usage(argv[0]);
+
+  server::Registry registry;
+  server::registerStandardExecutables(registry);
+  server::NinfServer server(
+      registry, server::ServerOptions{.workers = cfg.server_workers});
+  auto listener = std::make_shared<transport::TcpListener>(0);
+  const auto port = listener->port();
+  server.start(listener);
+
+  std::printf(
+      "Client swarm vs one server: window=%zu, payload=%zu B, %zu shared "
+      "v2 channels, %zu server workers, %.1fs per step\n\n",
+      cfg.window, cfg.payload, cfg.channels, cfg.server_workers,
+      cfg.duration_s);
+
+  TextTable table({"workers", "inflight", "calls", "err", "calls/s",
+                   "lat mean[ms]", "p50", "p95", "p99", "max"});
+  bench::BenchReport report;
+  report.bench = "swarm";
+  report.config = {
+      {"window", static_cast<double>(cfg.window)},
+      {"payload", static_cast<double>(cfg.payload)},
+      {"duration_s", cfg.duration_s},
+      {"channels", static_cast<double>(cfg.channels)},
+      {"server_workers", static_cast<double>(cfg.server_workers)},
+  };
+
+  for (const std::size_t workers : cfg.worker_steps) {
+    // Fresh channels per step so earlier steps leave no queued state.
+    std::vector<std::unique_ptr<client::NinfClient>> clients;
+    const std::size_t nchan = std::min(cfg.channels, workers * cfg.window);
+    for (std::size_t c = 0; c < nchan; ++c) {
+      clients.push_back(client::NinfClient::connectTcp("127.0.0.1", port));
+      clients.back()->ping(16);  // negotiate + warm before the clock runs
+    }
+    const StepResult r = runStep(cfg, workers, clients);
+    table.row()
+        .cell(workers)
+        .cell(workers * cfg.window)
+        .cell(static_cast<long long>(r.calls))
+        .cell(static_cast<long long>(r.errors))
+        .cell(r.cluster_cps, 1)
+        .cell(r.latency.mean_ms, 2)
+        .cell(r.latency.p50_ms, 2)
+        .cell(r.latency.p95_ms, 2)
+        .cell(r.latency.p99_ms, 2)
+        .cell(r.latency.max_ms, 2);
+
+    bench::BenchStep step;
+    step.label = "workers=" + std::to_string(workers);
+    step.values = {
+        {"workers", static_cast<double>(workers)},
+        {"window", static_cast<double>(cfg.window)},
+        {"inflight", static_cast<double>(workers * cfg.window)},
+        {"worker_cps_sum", r.cluster_cps},
+        {"worker_cps_p50", r.worker_cps_p50},
+        {"worker_cps_p95", r.worker_cps_p95},
+        {"worker_cps_p99", r.worker_cps_p99},
+        {"worker_cps_max", r.worker_cps_max},
+    };
+    step.duration_s = r.duration_s;
+    step.calls = r.calls;
+    step.errors = r.errors;
+    step.throughput_cps = r.cluster_cps;
+    step.latency = r.latency;
+    report.steps.push_back(std::move(step));
+    for (auto& cl : clients) cl->close();
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "The saturation knee is where calls/s stops growing with workers\n"
+      "while p95/p99 latency keeps climbing (offered load > capacity).\n");
+
+  if (!cfg.json_path.empty()) {
+    if (!bench::writeBenchJson(report, cfg.json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", cfg.json_path.c_str());
+      return 1;
+    }
+    const std::string err = bench::validateBenchJsonFile(cfg.json_path);
+    if (!err.empty()) {
+      std::fprintf(stderr, "emitted JSON failed self-validation: %s\n",
+                   err.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%s)\n", cfg.json_path.c_str(),
+                bench::kBenchSchema);
+  }
+  server.stop();
+  return 0;
+}

@@ -1,0 +1,194 @@
+// trace_merge_demo: one traced Ninf_call crossing a real process
+// boundary, merged into a single Chrome trace.
+//
+// The demo forks: the child is a Ninf server on loopback TCP with its
+// own tracer (server.trace.json), the parent runs a metaserver-dispatched
+// client with its own tracer (client.trace.json).  The trace-context
+// wire extension carries (trace_id, parent_span) inside the v2 frame
+// header, so the server's queue-wait and compute spans land in the
+// client's trace tree even though they were recorded by another process.
+// Afterwards the parent merges both files the same way
+// `ninf_trace_dump --merge` does and prints the causal chain.
+//
+// Build & run:  cmake --build build && ./build/examples/trace_merge_demo
+// Files land in --out DIR (default '.'):
+//   client.trace.json   client + metaserver spans
+//   server.trace.json   server-side spans
+//   merged.trace.json   both, one lane per process, epochs aligned —
+//                       open in chrome://tracing or ui.perfetto.dev
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "common/error.h"
+#include "metaserver/metaserver.h"
+#include "numlib/matrix.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "obs/trace_session.h"
+#include "protocol/call_marshal.h"
+#include "server/registry.h"
+#include "server/server.h"
+#include "transport/tcp_transport.h"
+
+using namespace ninf;
+
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ninf::Error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Child: serve the listener until the parent closes its pipe end, with
+/// tracing on so queue-wait/compute spans are recorded server-side.
+int runServer(const std::string& trace_path,
+              std::shared_ptr<transport::TcpListener> listener,
+              int shutdown_fd) {
+  obs::TraceSession trace(trace_path, "server");
+  server::Registry registry;
+  server::registerStandardExecutables(registry);
+  server::NinfServer server(registry, server::ServerOptions{.workers = 2});
+  server.start(std::move(listener));
+  char byte;
+  while (read(shutdown_fd, &byte, 1) < 0 && errno == EINTR) {
+  }
+  close(shutdown_fd);
+  server.stop();
+  return 0;
+}
+
+/// Parent: metaserver-dispatched dmmul against the child, then merge the
+/// two per-process trace files.
+int runClient(const std::string& out_dir, std::uint16_t port,
+              pid_t server_pid, int shutdown_fd) {
+  const std::string client_path = out_dir + "/client.trace.json";
+  const std::string server_path = out_dir + "/server.trace.json";
+  const std::string merged_path = out_dir + "/merged.trace.json";
+
+  {
+    obs::TraceSession trace(client_path, "client");
+    metaserver::Metaserver meta;
+    meta.addServer({.name = "worker",
+                    .factory = [port] {
+                      return client::NinfClient::connectTcp("127.0.0.1",
+                                                            port);
+                    }});
+
+    const std::int64_t n = 64;
+    const numlib::Matrix a = numlib::randomMatrix(n, 1);
+    const numlib::Matrix b = numlib::randomMatrix(n, 2);
+    std::vector<double> c(n * n);
+    std::vector<protocol::ArgValue> args = {
+        protocol::ArgValue::inInt(n), protocol::ArgValue::inArray(a.flat()),
+        protocol::ArgValue::inArray(b.flat()),
+        protocol::ArgValue::outArray(c)};
+    const auto result = meta.dispatch("dmmul", args);
+    std::printf("dmmul n=%lld via metaserver -> forked server: %.3f ms\n",
+                static_cast<long long>(n), result.elapsed * 1e3);
+  }  // session destructor flushes client.trace.json
+
+  // Tell the child to drain and flush its own trace, then wait for it.
+  close(shutdown_fd);
+  int status = 0;
+  waitpid(server_pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "server process exited abnormally\n");
+    return 1;
+  }
+
+  // Merge exactly as `ninf_trace_dump --merge merged.trace.json
+  // client.trace.json server.trace.json` would.
+  std::vector<obs::ProcessTrace> inputs;
+  for (const std::string& path : {client_path, server_path}) {
+    const std::string text = readFile(path);
+    const obs::TraceMeta meta_info = obs::parseChromeTraceMeta(text);
+    inputs.push_back(obs::ProcessTrace{meta_info.process,
+                                       meta_info.epoch_unix_us,
+                                       obs::parseChromeTrace(text)});
+  }
+  std::ofstream out(merged_path, std::ios::binary);
+  out << obs::mergeChromeTraces(inputs);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", merged_path.c_str());
+    return 1;
+  }
+
+  // Show the cross-process chain: every span of the call's trace, from
+  // both processes, sharing one trace id.
+  const std::vector<obs::SpanRecord> merged =
+      obs::parseChromeTrace(readFile(merged_path));
+  std::uint64_t root_trace = 0;
+  for (const auto& s : merged) {
+    if (s.name == "dispatch") root_trace = s.trace_id;
+  }
+  std::printf("\nspans in trace %llu (client lane + server lane):\n",
+              static_cast<unsigned long long>(root_trace));
+  for (const auto& s : merged) {
+    if (s.trace_id != root_trace) continue;
+    std::printf("  %-22s span=%llu parent=%llu dur=%.3f ms\n",
+                s.name.c_str(), static_cast<unsigned long long>(s.span_id),
+                static_cast<unsigned long long>(s.parent_id),
+                s.dur_us / 1e3);
+  }
+  std::printf(
+      "\nwrote %s, %s,\nand %s — open the merged file in chrome://tracing\n",
+      client_path.c_str(), server_path.c_str(), merged_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Listener before fork so both sides know the port; pipe so the parent
+  // can tell the child when to flush its trace and exit.
+  auto listener = std::make_shared<transport::TcpListener>(0);
+  const std::uint16_t port = listener->port();
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  try {
+    if (pid == 0) {
+      close(fds[1]);
+      return runServer(out_dir + "/server.trace.json", std::move(listener),
+                       fds[0]);
+    }
+    close(fds[0]);
+    // Keep our listener reference untouched: TcpListener::close() uses
+    // shutdown(), which after fork() would tear down the child's accept
+    // socket too (shared open file description).  It falls closed when
+    // main returns, after the child has exited.
+    return runClient(out_dir, port, pid, fds[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_merge_demo: %s\n", e.what());
+    return 1;
+  }
+}

@@ -83,6 +83,7 @@ void Channel::teardownLocked() {
   // out, so close without send_mutex_ is safe.
   if (stream_) stream_->close();
   if (reader_.joinable()) reader_.join();
+  trace_wire_.store(false, std::memory_order_release);
   failAllPending(std::make_exception_ptr(
       TransportError("channel torn down with calls in flight")));
   {
@@ -135,6 +136,11 @@ void Channel::negotiateLocked(std::chrono::steady_clock::time_point deadline) {
     stream_->setDeadline(deadline);
     xdr::Encoder hello;
     hello.putU32(protocol::kMaxVersion);
+    // Advertise the trace-context extension only when it would be used:
+    // an untraced run keeps the compact 24-byte v2 framing, and peers
+    // that predate the feature word see a byte-identical Hello.
+    const bool want_trace = obs::Tracer::instance().enabled();
+    if (want_trace) hello.putU32(protocol::kKnownFeatures);
     protocol::sendMessage(*stream_, MessageType::Hello, hello.bytes());
     protocol::Message ack = protocol::recvMessage(*stream_);
     stream_->clearDeadline();
@@ -144,12 +150,19 @@ void Channel::negotiateLocked(std::chrono::steady_clock::time_point deadline) {
     }
     xdr::Decoder dec(ack.payload);
     const std::uint32_t agreed = dec.getU32();
+    // A feature-aware server echoes its accepted bitmask; a pre-extension
+    // server's HelloAck ends after the version word.
+    std::uint32_t features = 0;
+    if (want_trace && dec.remaining() >= 4) features = dec.getU32();
     if (agreed >= protocol::kVersion2) {
       mode_ = Mode::V2;
+      const bool traced =
+          (features & protocol::kFeatureTraceContext) != 0;
+      trace_wire_.store(traced, std::memory_order_release);
       negotiated_version_.store(protocol::kVersion2,
                                 std::memory_order_release);
       transport::Stream* raw = stream_.get();
-      reader_ = std::thread([this, raw] { readerLoop(raw); });
+      reader_ = std::thread([this, raw, traced] { readerLoop(raw, traced); });
     } else {
       mode_ = Mode::V1;
       negotiated_version_.store(protocol::kVersion, std::memory_order_release);
@@ -201,6 +214,7 @@ void Channel::fallbackToV1Locked(const char* why) {
     wire_ = stream_.get();
   }
   mode_ = Mode::V1;
+  trace_wire_.store(false, std::memory_order_release);
   negotiated_version_.store(protocol::kVersion, std::memory_order_release);
 }
 
@@ -270,13 +284,25 @@ Channel::Reply Channel::transactV2(
     pending_.emplace(id, call);
   }
   bumpInflight(+1);
+  // Capture the caller's ambient context before opening the transient
+  // send span, so propagated server spans nest under the caller's call
+  // span rather than under "send".
+  const obs::TraceContext trace_ctx = obs::currentContext();
   try {
     LockGuard g(send_mutex_);
     if (broken_.load(std::memory_order_acquire) || wire_ == nullptr) {
       throw TransportError("channel broken");
     }
     obs::Span send(obs::phase::kSend, static_cast<std::int64_t>(body.size()));
-    protocol::sendMessageV2(*wire_, type, id, body);
+    if (trace_wire_.load(std::memory_order_acquire)) {
+      protocol::sendMessageV2Traced(
+          *wire_, type, id,
+          protocol::WireTraceContext{trace_ctx.trace_id,
+                                     trace_ctx.parent_span},
+          body);
+    } else {
+      protocol::sendMessageV2(*wire_, type, id, body);
+    }
     {
       LockGuard p(pending_mutex_);
       auto it = pending_.find(id);
@@ -372,14 +398,17 @@ void Channel::failAllPending(std::exception_ptr error) {
   }
 }
 
-void Channel::readerLoop(transport::Stream* stream) {
+void Channel::readerLoop(transport::Stream* stream, bool traced) {
   try {
     for (;;) {
-      const protocol::FrameHeader header = protocol::recvHeaderV2(*stream);
+      const protocol::FrameHeader header =
+          traced ? protocol::recvHeaderV2Traced(*stream)
+                 : protocol::recvHeaderV2(*stream);
       std::shared_ptr<PendingCall> call;
       Reply reply;
       reply.type = header.type;
       reply.length = header.length;
+      reply.call_id = header.call_id;
       {
         LockGuard g(pending_mutex_);
         auto it = pending_.find(header.call_id);

@@ -51,6 +51,7 @@ class Channel {
   struct Reply {
     protocol::MessageType type{};
     std::uint32_t length = 0;
+    std::uint64_t call_id = 0;  // v2 wire correlation id; 0 on v1
     double sent_us = 0.0;
     double recv_done_us = 0.0;
   };
@@ -97,6 +98,13 @@ class Channel {
 
   /// Protocol version in force: 0 before the first exchange, then 1 or 2.
   std::uint32_t negotiatedVersion() const;
+
+  /// True when the connection negotiated the trace-context extension
+  /// (40-byte traced v2 frames in both directions).  Only possible when
+  /// the tracer was enabled at negotiation time.
+  bool tracePropagationNegotiated() const {
+    return trace_wire_.load(std::memory_order_acquire);
+  }
 
   /// Diagnostic peer description of the current connection.
   std::string peerName() const;
@@ -146,7 +154,7 @@ class Channel {
                    Consumer consumer,
                    std::chrono::steady_clock::time_point deadline);
 
-  void readerLoop(transport::Stream* stream);
+  void readerLoop(transport::Stream* stream, bool traced);
   /// Mark broken and fail every pending call with `error`.
   void failAllPending(std::exception_ptr error);
   /// Remove one pending entry (if still present) and update the gauge.
@@ -160,6 +168,7 @@ class Channel {
   Mode mode_ NINF_GUARDED_BY(setup_mutex_) = Mode::Undecided;
   bool force_v1_ = false;  // immutable after construction
   std::atomic<std::uint32_t> negotiated_version_{0};
+  std::atomic<bool> trace_wire_{false};
   std::atomic<bool> broken_{false};
   std::atomic<double> mid_reply_grace_s_{0.25};
 

@@ -180,7 +180,8 @@ namespace {
 /// clock can never produce spans that overrun the observed wall time.
 void emitServerDerivedPhases(const obs::Span& root, const CallResult& result,
                              double sent_us, double recv_done_us,
-                             std::int64_t reply_bytes) {
+                             std::int64_t reply_bytes,
+                             std::uint64_t call_id) {
   if (!root.active()) return;
   const double window_us = std::max(0.0, recv_done_us - sent_us);
   double wait_us = std::max(0.0, result.server.waitTime()) * 1e6;
@@ -194,6 +195,7 @@ void emitServerDerivedPhases(const obs::Span& root, const CallResult& result,
   obs::SpanRecord rec;
   rec.trace_id = root.traceId();
   rec.parent_id = root.id();
+  rec.call_id = call_id;
   rec.detail = "server-clock";
 
   rec.name = obs::phase::kQueueWait;
@@ -254,8 +256,9 @@ CallResult NinfClient::callOnce(
   result.elapsed = nowSeconds() - start;
   result.bytes_received = static_cast<std::int64_t>(reply.length);
 
+  root.setCallId(reply.call_id);
   emitServerDerivedPhases(root, result, reply.sent_us, reply.recv_done_us,
-                          result.bytes_received);
+                          result.bytes_received, reply.call_id);
   static obs::Counter& calls = obs::counter("client.calls");
   static obs::Histogram& call_s = obs::histogram("client.call_seconds");
   static obs::Histogram& wait_s = obs::histogram("client.queue_wait_seconds");

@@ -292,6 +292,12 @@ client::CallResult Metaserver::dispatch(
 client::CallResult Metaserver::dispatch(const std::string& name,
                                         std::span<const protocol::ArgValue> args,
                                         const client::CallOptions& opts) {
+  // One span for the whole dispatch (scheduling + failover + the call):
+  // it nests under any caller span and is the parent the scheduling and
+  // session-layer spans — and, via wire propagation, the server's
+  // queue-wait/compute spans — hang from.
+  obs::Span dispatch_span("dispatch");
+  dispatch_span.setDetail(name);
   using clock = std::chrono::steady_clock;
   const bool bounded = opts.deadline_seconds > 0;
   const clock::time_point deadline =

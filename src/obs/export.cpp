@@ -255,29 +255,52 @@ std::string escapeJson(const std::string& s) {
   return out;
 }
 
+/// One "X" event row.  IDs are emitted with integer formatting (exact);
+/// readers recover them through a double, so they must stay below 2^53 —
+/// guaranteed by the tracer's id-base scheme.
+void writeSpanEvent(std::ostringstream& os, const SpanRecord& s,
+                    std::uint32_t pid, double ts_offset_us) {
+  os << ",\n  {\"name\": \"" << escapeJson(s.name) << "\", \"ph\": \"X\""
+     << ", \"ts\": " << s.start_us + ts_offset_us << ", \"dur\": " << s.dur_us
+     << ", \"pid\": " << pid << ", \"tid\": " << s.tid
+     << ", \"args\": {\"trace\": " << s.trace_id << ", \"span\": " << s.span_id
+     << ", \"parent\": " << s.parent_id;
+  if (s.call_id != 0) os << ", \"call\": " << s.call_id;
+  if (s.bytes >= 0) os << ", \"bytes\": " << s.bytes;
+  if (!s.detail.empty()) {
+    os << ", \"detail\": \"" << escapeJson(s.detail) << "\"";
+  }
+  os << "}}";
+}
+
 }  // namespace
 
 std::string chromeTraceJson(const std::vector<SpanRecord>& spans) {
+  return chromeTraceJson(spans, TraceMeta{});
+}
+
+std::string chromeTraceJson(const std::vector<SpanRecord>& spans,
+                            const TraceMeta& meta) {
   std::ostringstream os;
   os.precision(3);
   os << std::fixed;
-  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  os << "{\"displayTimeUnit\": \"ms\", ";
+  // Extra top-level keys are legal in the trace-event format; viewers
+  // ignore them and mergeChromeTraces reads them back.
+  if (!meta.process.empty()) {
+    os << "\"ninfProcess\": \"" << escapeJson(meta.process) << "\", ";
+  }
+  if (meta.epoch_unix_us != 0) {
+    os << "\"ninfEpochUnixUs\": " << meta.epoch_unix_us << ", ";
+  }
+  os << "\"traceEvents\": [\n";
   // Process-name metadata rows so the lanes are labelled in the viewer.
   os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << kLaneReal
      << ", \"args\": {\"name\": \"ninf (real)\"}},\n";
   os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << kLaneSim
      << ", \"args\": {\"name\": \"ninf (simulated)\"}}";
   for (const SpanRecord& s : spans) {
-    os << ",\n  {\"name\": \"" << escapeJson(s.name) << "\", \"ph\": \"X\""
-       << ", \"ts\": " << s.start_us << ", \"dur\": " << s.dur_us
-       << ", \"pid\": " << s.lane << ", \"tid\": " << s.tid
-       << ", \"args\": {\"trace\": " << s.trace_id
-       << ", \"span\": " << s.span_id << ", \"parent\": " << s.parent_id;
-    if (s.bytes >= 0) os << ", \"bytes\": " << s.bytes;
-    if (!s.detail.empty()) {
-      os << ", \"detail\": \"" << escapeJson(s.detail) << "\"";
-    }
-    os << "}}";
+    writeSpanEvent(os, s, s.lane, 0.0);
   }
   os << "\n]}\n";
   return os.str();
@@ -320,11 +343,58 @@ std::vector<SpanRecord> parseChromeTrace(std::string_view text) {
       if (const auto* v = args->find("bytes")) {
         rec.bytes = static_cast<std::int64_t>(v->numberOr(-1));
       }
+      if (const auto* v = args->find("call")) {
+        rec.call_id = static_cast<std::uint64_t>(v->numberOr(0));
+      }
       if (const auto* v = args->find("detail")) rec.detail = v->string;
     }
     spans.push_back(std::move(rec));
   }
   return spans;
+}
+
+TraceMeta parseChromeTraceMeta(std::string_view text) {
+  const json::Value root = json::parse(text);
+  TraceMeta meta;
+  if (const auto* v = root.find("ninfProcess")) meta.process = v->string;
+  if (const auto* v = root.find("ninfEpochUnixUs")) {
+    meta.epoch_unix_us = static_cast<std::int64_t>(v->numberOr(0));
+  }
+  return meta;
+}
+
+std::string mergeChromeTraces(const std::vector<ProcessTrace>& traces) {
+  // Earliest known epoch anchors the merged timeline at ts = 0.
+  std::int64_t base = 0;
+  for (const ProcessTrace& t : traces) {
+    if (t.epoch_unix_us != 0 && (base == 0 || t.epoch_unix_us < base)) {
+      base = t.epoch_unix_us;
+    }
+  }
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const auto pid = static_cast<std::uint32_t>(i + 1);
+    const std::string label = traces[i].label.empty()
+                                  ? "proc-" + std::to_string(pid)
+                                  : traces[i].label;
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+       << ", \"args\": {\"name\": \"" << escapeJson(label) << "\"}}";
+    const double offset_us =
+        traces[i].epoch_unix_us != 0
+            ? static_cast<double>(traces[i].epoch_unix_us - base)
+            : 0.0;
+    for (const SpanRecord& s : traces[i].spans) {
+      writeSpanEvent(os, s, pid, offset_us);
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
 }
 
 // -------------------------------------------------------- phase summary

@@ -46,12 +46,42 @@ Value parse(std::string_view text);
 
 }  // namespace json
 
+/// Per-file trace metadata: which process recorded it and the Unix
+/// instant of its tracer epoch.  Written as extra top-level keys
+/// ("ninfProcess", "ninfEpochUnixUs") that Chrome/Perfetto ignore;
+/// mergeChromeTraces uses the epoch to align timelines across files.
+struct TraceMeta {
+  std::string process;             // human label, e.g. "client", "server"
+  std::int64_t epoch_unix_us = 0;  // 0 = unknown
+};
+
 /// Serialize spans as a Chrome trace-event JSON document.
 std::string chromeTraceJson(const std::vector<SpanRecord>& spans);
+/// Same, embedding process/epoch metadata for later merging.
+std::string chromeTraceJson(const std::vector<SpanRecord>& spans,
+                            const TraceMeta& meta);
 
 /// Parse a Chrome trace-event document produced by chromeTraceJson (or
 /// any compatible file of "X" events).  Non-duration events are skipped.
 std::vector<SpanRecord> parseChromeTrace(std::string_view text);
+
+/// Read back the metadata embedded by the meta-carrying writer; fields
+/// keep their zero values when the document has none.
+TraceMeta parseChromeTraceMeta(std::string_view text);
+
+/// One per-process trace going into a merge.
+struct ProcessTrace {
+  std::string label;               // lane name in the merged view
+  std::int64_t epoch_unix_us = 0;  // from TraceMeta; 0 = no offset known
+  std::vector<SpanRecord> spans;
+};
+
+/// Merge per-process trace files into one Chrome trace: each input
+/// becomes its own pid lane (labelled via process_name metadata), and
+/// span timestamps are shifted by each file's epoch offset from the
+/// earliest epoch so the timelines align on one wall clock.  Files
+/// without a known epoch are left unshifted.
+std::string mergeChromeTraces(const std::vector<ProcessTrace>& traces);
 
 /// Per-phase aggregation of span durations.
 struct PhaseStat {

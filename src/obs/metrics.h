@@ -62,6 +62,8 @@ class Histogram {
   double mean() const;
   /// p in [0, 100]; 0 with no observations.
   double percentile(double p) const;
+  /// q in [0, 1]; same estimate as percentile(q * 100).
+  double quantile(double q) const { return percentile(q * 100.0); }
 
   /// Upper bound of bucket i in seconds (exposed for tests).
   static double bucketUpper(std::size_t i);

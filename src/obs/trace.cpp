@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <random>
 
 #include "common/sync.h"
 
@@ -10,9 +11,39 @@ namespace ninf::obs {
 
 namespace {
 
+/// Monotonic and wall-clock epochs captured together, so steady-clock
+/// span timestamps can be pinned to a Unix instant for cross-process
+/// trace alignment.
+struct TracerEpochs {
+  std::chrono::steady_clock::time_point steady;
+  std::int64_t unix_us;
+};
+
+const TracerEpochs& tracerEpochs() {
+  static const TracerEpochs epochs = [] {
+    TracerEpochs e;
+    e.steady = std::chrono::steady_clock::now();
+    e.unix_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count();
+    return e;
+  }();
+  return epochs;
+}
+
 std::chrono::steady_clock::time_point tracerEpoch() {
-  static const auto epoch = std::chrono::steady_clock::now();
-  return epoch;
+  return tracerEpochs().steady;
+}
+
+/// Random per-process id base.  Shifted left 20 bits so each process has
+/// ~1M sequential ids before overlapping the next possible base, and the
+/// result stays below 2^52 — safely inside double precision, which the
+/// Chrome-trace JSON round trip depends on.
+std::uint64_t randomIdBase() {
+  std::random_device rd;
+  const std::uint64_t r =
+      (static_cast<std::uint64_t>(rd()) << 16) ^ rd();
+  return (r & 0xFFFFFFFFull) << 20;
 }
 
 struct ThreadTraceState {
@@ -52,11 +83,16 @@ Tracer& Tracer::instance() {
   return *t;
 }
 
+Tracer::Tracer()
+    : next_trace_(randomIdBase() + 1), next_span_(randomIdBase() + 1) {}
+
 double Tracer::nowMicros() {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - tracerEpoch())
       .count();
 }
+
+std::int64_t Tracer::epochUnixMicros() { return tracerEpochs().unix_us; }
 
 std::uint32_t Tracer::threadId() {
   static std::atomic<std::uint32_t> next{1};
@@ -112,6 +148,20 @@ TraceContext currentContext() {
   return TraceContext{t_context.trace_id, t_context.parent_span};
 }
 
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx) {
+  if (ctx.trace_id == 0) return;
+  saved_ = TraceContext{t_context.trace_id, t_context.parent_span};
+  t_context.trace_id = ctx.trace_id;
+  t_context.parent_span = ctx.parent_span;
+  installed_ = true;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  if (!installed_) return;
+  t_context.trace_id = saved_.trace_id;
+  t_context.parent_span = saved_.parent_span;
+}
+
 Span::Span(const char* name, std::int64_t bytes)
     : name_(name), bytes_(bytes) {
   Tracer& tracer = Tracer::instance();
@@ -148,6 +198,7 @@ Span::~Span() {
   rec.lane = kLaneReal;
   rec.tid = Tracer::threadId();
   rec.bytes = bytes_;
+  rec.call_id = call_id_;
   rec.detail = std::move(detail_);
   Tracer::instance().record(std::move(rec));
 }

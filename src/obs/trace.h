@@ -62,6 +62,7 @@ struct SpanRecord {
   std::uint32_t lane = kLaneReal;  // kLaneReal | kLaneSim
   std::uint32_t tid = 0;           // recording thread (or sim client id)
   std::int64_t bytes = -1;         // payload bytes, -1 when n/a
+  std::uint64_t call_id = 0;       // v2 wire call id, 0 = n/a
   std::string detail;              // free-form annotation
 };
 
@@ -81,6 +82,11 @@ class Tracer {
 
   /// Microseconds on the monotonic clock since the tracer epoch.
   static double nowMicros();
+
+  /// Wall-clock instant of the tracer epoch (Unix microseconds),
+  /// captured together with the monotonic epoch.  Exported as trace
+  /// metadata so multi-process traces can be aligned on merge.
+  static std::int64_t epochUnixMicros();
 
   std::uint64_t newTraceId() {
     return next_trace_.fetch_add(1, std::memory_order_relaxed);
@@ -103,12 +109,16 @@ class Tracer {
   void clear();
 
  private:
-  Tracer() = default;
+  /// Seeds the id counters with a per-process random base so traces from
+  /// different processes never collide when merged.  Bases stay below
+  /// 2^52 (ids < 2^53) so they survive a double-precision JSON round
+  /// trip exactly.
+  Tracer();
   ThreadBuffer& localBuffer();
 
   std::atomic<bool> enabled_{false};
-  std::atomic<std::uint64_t> next_trace_{1};
-  std::atomic<std::uint64_t> next_span_{1};
+  std::atomic<std::uint64_t> next_trace_;
+  std::atomic<std::uint64_t> next_span_;
 };
 
 /// Ambient per-thread trace context: which trace/span new spans nest
@@ -120,6 +130,23 @@ struct TraceContext {
 };
 
 TraceContext currentContext();
+
+/// RAII adoption of a propagated trace context (e.g. one received in a
+/// traced v2 frame header): installs `ctx` as the ambient context so
+/// spans opened in scope become its children, and restores the previous
+/// ambient context on destruction.  A zero trace_id installs nothing —
+/// spans keep their local behavior.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+  bool installed_ = false;
+};
 
 /// RAII span: measures construction-to-destruction on the monotonic
 /// clock and records itself on destruction.  Inert (and nearly free)
@@ -138,6 +165,8 @@ class Span {
 
   void setBytes(std::int64_t bytes) { bytes_ = bytes; }
   void setDetail(std::string detail) { detail_ = std::move(detail); }
+  /// Correlate this span with a v2 wire call id (satellite annotation).
+  void setCallId(std::uint64_t call_id) { call_id_ = call_id; }
 
  private:
   const char* name_;
@@ -148,6 +177,7 @@ class Span {
   std::uint64_t trace_id_ = 0;
   std::uint64_t span_id_ = 0;
   std::uint64_t parent_id_ = 0;
+  std::uint64_t call_id_ = 0;
   std::string detail_;
 };
 

@@ -11,8 +11,12 @@
 
 namespace ninf::obs {
 
-TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+TraceSession::TraceSession(std::string path, std::string process)
+    : path_(std::move(path)), process_(std::move(process)) {
   if (path_.empty()) return;
+  if (process_.empty()) {
+    if (const char* env = std::getenv("NINF_TRACE_NAME")) process_ = env;
+  }
   Tracer::instance().clear();
   Tracer::instance().setEnabled(true);
 }
@@ -28,7 +32,10 @@ void TraceSession::finish() {
   if (!out) {
     std::fprintf(stderr, "trace: cannot write %s\n", path_.c_str());
   } else {
-    out << chromeTraceJson(spans);
+    TraceMeta meta;
+    meta.process = process_;
+    meta.epoch_unix_us = Tracer::epochUnixMicros();
+    out << chromeTraceJson(spans, meta);
     std::fprintf(stderr,
                  "trace: wrote %zu spans to %s (open in chrome://tracing "
                  "or ui.perfetto.dev, or run ninf_trace_dump)\n",

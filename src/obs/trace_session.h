@@ -16,14 +16,17 @@ namespace ninf::obs {
 class TraceSession {
  public:
   /// Empty path = disabled.  Otherwise enables the global tracer and
-  /// clears any stale spans.
-  explicit TraceSession(std::string path = {});
+  /// clears any stale spans.  `process` labels the file for multi-process
+  /// merging (ninf_trace_dump --merge); when empty, $NINF_TRACE_NAME is
+  /// used if set.
+  explicit TraceSession(std::string path = {}, std::string process = {});
   ~TraceSession();
   TraceSession(const TraceSession&) = delete;
   TraceSession& operator=(const TraceSession&) = delete;
 
   bool active() const { return !path_.empty(); }
   const std::string& path() const { return path_; }
+  void setProcessLabel(std::string process) { process_ = std::move(process); }
 
   /// Drain + write the trace file now (idempotent); disables tracing.
   void finish();
@@ -35,6 +38,7 @@ class TraceSession {
 
  private:
   std::string path_;
+  std::string process_;
 };
 
 /// Write the global metrics registry to `path` as JSON (".json" suffix)

@@ -39,6 +39,18 @@ void encodeHeaderV2(MessageType type, std::size_t length,
   putWordBe(static_cast<std::uint32_t>(call_id), out + 20);
 }
 
+/// Encode the 40-byte traced v2 frame header (v2 header fields + trace
+/// ID + parent span ID, each 64-bit high word first) into `out`.
+void encodeHeaderV2Traced(MessageType type, std::size_t length,
+                          std::uint64_t call_id, const WireTraceContext& ctx,
+                          std::uint8_t out[kHeaderBytesV2Traced]) {
+  encodeHeaderV2(type, length, call_id, out);
+  putWordBe(static_cast<std::uint32_t>(ctx.trace_id >> 32), out + 24);
+  putWordBe(static_cast<std::uint32_t>(ctx.trace_id), out + 28);
+  putWordBe(static_cast<std::uint32_t>(ctx.parent_span >> 32), out + 32);
+  putWordBe(static_cast<std::uint32_t>(ctx.parent_span), out + 36);
+}
+
 /// Sink gathering spans for one vectored send.  Spans stay valid until
 /// flush() per the xdr::Sink contract, so the frame header, the encoder's
 /// owned section, and the current byteswap scratch chunk leave in a
@@ -118,6 +130,31 @@ void sendMessageV2(transport::Stream& stream, MessageType type,
   body.emitTo(sink);
 }
 
+void sendMessageV2Traced(transport::Stream& stream, MessageType type,
+                         std::uint64_t call_id, const WireTraceContext& ctx,
+                         std::span<const std::uint8_t> payload) {
+  NINF_REQUIRE(payload.size() <= kMaxPayload, "payload too large");
+  noteWireBuffer(payload.size());
+  std::uint8_t header[kHeaderBytesV2Traced];
+  encodeHeaderV2Traced(type, payload.size(), call_id, ctx, header);
+  const std::span<const std::uint8_t> bufs[2] = {
+      {header, kHeaderBytesV2Traced}, payload};
+  stream.sendv(bufs);
+}
+
+void sendMessageV2Traced(transport::Stream& stream, MessageType type,
+                         std::uint64_t call_id, const WireTraceContext& ctx,
+                         const xdr::Encoder& body) {
+  NINF_REQUIRE(body.size() <= kMaxPayload, "payload too large");
+  noteWireBuffer(body.ownedSize() +
+                 (body.hasBorrowed() ? xdr::Encoder::kScratchBytes : 0));
+  std::uint8_t header[kHeaderBytesV2Traced];
+  encodeHeaderV2Traced(type, body.size(), call_id, ctx, header);
+  StreamSink sink(stream);
+  sink.write({header, kHeaderBytesV2Traced});
+  body.emitTo(sink);
+}
+
 namespace {
 
 /// Validate the four words shared by both header layouts.
@@ -160,6 +197,17 @@ FrameHeader recvHeaderV2(transport::Stream& stream) {
   xdr::Decoder header(header_bytes);
   FrameHeader fh = checkHeaderWords(header, kVersion2, stream);
   fh.call_id = header.getU64();
+  return fh;
+}
+
+FrameHeader recvHeaderV2Traced(transport::Stream& stream) {
+  std::uint8_t header_bytes[kHeaderBytesV2Traced];
+  stream.recvAll(header_bytes);
+  xdr::Decoder header(header_bytes);
+  FrameHeader fh = checkHeaderWords(header, kVersion2, stream);
+  fh.call_id = header.getU64();
+  fh.trace.trace_id = header.getU64();
+  fh.trace.parent_span = header.getU64();
   return fh;
 }
 

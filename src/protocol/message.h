@@ -31,6 +31,15 @@
 // be pipelined and replies may return out of order; the call ID is the
 // only correlation.  A v1 peer never sends Hello and keeps the classic
 // lock-step framing — a v2 server serves both kinds of connection.
+//
+// Trace-context extension (negotiated): a v2 client may append a feature
+// bitmask word to its Hello payload; a server that understands it echoes
+// its accepted bitmask after the agreed version in HelloAck.  When both
+// sides accept kFeatureTraceContext, every v2 frame in both directions
+// grows by 16 bytes: a 64-bit trace ID and a 64-bit parent span ID after
+// the call ID (40-byte header).  Peers that never send — or never echo —
+// the feature word see byte-identical framing to plain v2, and v1 peers
+// see no change at all.
 #pragma once
 
 #include <array>
@@ -49,9 +58,15 @@ inline constexpr std::uint32_t kVersion = 1;
 inline constexpr std::uint32_t kVersion2 = 2;
 inline constexpr std::uint32_t kMaxVersion = kVersion2;
 /// Frame header sizes: v1 is magic/version/type/length; v2 appends a
-/// 64-bit call ID used to correlate out-of-order replies.
+/// 64-bit call ID used to correlate out-of-order replies; a negotiated
+/// trace-context connection further appends trace ID + parent span ID.
 inline constexpr std::size_t kHeaderBytes = 16;
 inline constexpr std::size_t kHeaderBytesV2 = 24;
+inline constexpr std::size_t kHeaderBytesV2Traced = 40;
+/// Feature bits carried in the optional Hello/HelloAck bitmask word.
+inline constexpr std::uint32_t kFeatureTraceContext = 1u << 0;
+/// Bits this build understands; unknown bits from a peer are ignored.
+inline constexpr std::uint32_t kKnownFeatures = kFeatureTraceContext;
 /// Guard against hostile/corrupt length fields (256 MiB).
 inline constexpr std::uint32_t kMaxPayload = 256u << 20;
 
@@ -79,12 +94,20 @@ struct Message {
   std::vector<std::uint8_t> payload;
 };
 
-/// Validated frame header: the first 16 (v1) or 24 (v2) bytes of every
-/// message.
+/// Causal trace context carried in a traced v2 frame header.  Zero
+/// values mean "no active trace" — receivers must not adopt them.
+struct WireTraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+};
+
+/// Validated frame header: the first 16 (v1), 24 (v2), or 40 (traced v2)
+/// bytes of every message.
 struct FrameHeader {
   MessageType type;
   std::uint32_t length = 0;   // body bytes following the header
   std::uint64_t call_id = 0;  // v2 correlation id; 0 on v1 frames
+  WireTraceContext trace;     // traced-v2 context; zeros otherwise
 };
 
 /// Serialize and send one message from a contiguous payload.
@@ -104,6 +127,15 @@ void sendMessageV2(transport::Stream& stream, MessageType type,
 void sendMessageV2(transport::Stream& stream, MessageType type,
                    std::uint64_t call_id, const xdr::Encoder& body);
 
+/// Traced v2 frames (connection negotiated kFeatureTraceContext): the
+/// 40-byte header additionally carries the trace context.
+void sendMessageV2Traced(transport::Stream& stream, MessageType type,
+                         std::uint64_t call_id, const WireTraceContext& ctx,
+                         std::span<const std::uint8_t> payload);
+void sendMessageV2Traced(transport::Stream& stream, MessageType type,
+                         std::uint64_t call_id, const WireTraceContext& ctx,
+                         const xdr::Encoder& body);
+
 /// Read and validate one frame header; throws ProtocolError on bad
 /// magic/version/type/length and TransportError on connection loss.  The
 /// caller must then consume exactly header.length body bytes (BodyReader)
@@ -112,6 +144,10 @@ FrameHeader recvHeader(transport::Stream& stream);
 
 /// Same for a negotiated-v2 connection (24-byte header with call ID).
 FrameHeader recvHeaderV2(transport::Stream& stream);
+
+/// Same for a connection that negotiated kFeatureTraceContext (40-byte
+/// header with call ID + trace context).
+FrameHeader recvHeaderV2Traced(transport::Stream& stream);
 
 /// Incremental reader over one frame body.  Implements xdr::Source, so
 /// decode logic pulls scalars through a small internal buffer while large

@@ -30,7 +30,9 @@ using protocol::MessageType;
 /// stream may be destroyed, because a dead writer never touches it again.
 class NinfServer::ConnWriter {
  public:
-  explicit ConnWriter(transport::Stream& stream) : stream_(stream) {
+  /// `traced` selects the 40-byte traced v2 framing for every reply.
+  explicit ConnWriter(transport::Stream& stream, bool traced = false)
+      : stream_(stream), traced_(traced) {
     thread_ = std::thread([this] { loop(); });
   }
 
@@ -55,13 +57,16 @@ class NinfServer::ConnWriter {
   }
 
   /// Queue one reply frame.  `from_job` balances a prior expect().
+  /// `trace_ctx` is echoed in the traced header (ignored otherwise).
   /// Posts to a dead writer are counted and dropped.
   void post(std::uint64_t call_id, MessageType type, ReplyPayload payload,
-            bool from_job) {
+            bool from_job, protocol::WireTraceContext trace_ctx = {}) {
     {
       LockGuard g(mutex_);
       if (from_job) --outstanding_;
-      if (!dead_) items_.push_back({call_id, type, std::move(payload)});
+      if (!dead_) {
+        items_.push_back({call_id, type, std::move(payload), trace_ctx});
+      }
     }
     cv_.notify_all();
   }
@@ -91,6 +96,7 @@ class NinfServer::ConnWriter {
     std::uint64_t call_id = 0;
     MessageType type{};
     ReplyPayload payload;
+    protocol::WireTraceContext trace_ctx;
   };
 
   void loop() {
@@ -111,8 +117,13 @@ class NinfServer::ConnWriter {
         sending_ = true;
       }
       try {
-        protocol::sendMessageV2(stream_, item.type, item.call_id,
-                                item.payload.body);
+        if (traced_) {
+          protocol::sendMessageV2Traced(stream_, item.type, item.call_id,
+                                        item.trace_ctx, item.payload.body);
+        } else {
+          protocol::sendMessageV2(stream_, item.type, item.call_id,
+                                  item.payload.body);
+        }
         {
           LockGuard g(mutex_);
           sending_ = false;
@@ -134,6 +145,7 @@ class NinfServer::ConnWriter {
   }
 
   transport::Stream& stream_;
+  const bool traced_;
   std::thread thread_;
   mutable Mutex mutex_{"server.connwriter"};
   CondVar cv_;
@@ -197,14 +209,25 @@ void NinfServer::serveStream(transport::Stream& stream) {
       if (header.type == MessageType::Hello) {
         protocol::BodyReader body(stream, header.length);
         const std::uint32_t client_max = body.getU32();
+        // Optional extension word: a feature bitmask appended by newer
+        // clients.  Its absence (or any unknown bits) costs nothing.
+        const bool client_sent_features = body.remaining() >= 4;
+        const std::uint32_t client_features =
+            client_sent_features ? body.getU32() : 0;
         body.drain();
         const std::uint32_t agreed =
             std::min(client_max, protocol::kMaxVersion);
+        const std::uint32_t features =
+            client_features & protocol::kKnownFeatures;
         xdr::Encoder ack;
         ack.putU32(agreed);
+        // Echo the accepted bitmask only to feature-aware peers, so a
+        // pre-extension client sees a byte-identical HelloAck.
+        if (client_sent_features) ack.putU32(features);
         protocol::sendMessage(stream, MessageType::HelloAck, ack.bytes());
         if (agreed >= protocol::kVersion2) {
-          serveStreamV2(stream);
+          serveStreamV2(stream,
+                        (features & protocol::kFeatureTraceContext) != 0);
           return;
         }
         continue;  // negotiated down: keep the lock-step v1 loop
@@ -219,17 +242,19 @@ void NinfServer::serveStream(transport::Stream& stream) {
   }
 }
 
-void NinfServer::serveStreamV2(transport::Stream& stream) {
+void NinfServer::serveStreamV2(transport::Stream& stream, bool traced) {
   static obs::Counter& upgrades = obs::counter("server.v2_connections");
   upgrades.add();
-  auto writer = std::make_shared<ConnWriter>(stream);
+  auto writer = std::make_shared<ConnWriter>(stream, traced);
   try {
     for (;;) {
-      const protocol::FrameHeader header = protocol::recvHeaderV2(stream);
+      const protocol::FrameHeader header =
+          traced ? protocol::recvHeaderV2Traced(stream)
+                 : protocol::recvHeaderV2(stream);
       switch (header.type) {
         case MessageType::CallRequest: {
           protocol::BodyReader body(stream, header.length);
-          executeCallAsync(body, header.call_id, writer);
+          executeCallAsync(body, header.call_id, header.trace, writer);
           break;
         }
         case MessageType::SubmitRequest: {
@@ -238,7 +263,8 @@ void NinfServer::serveStreamV2(transport::Stream& stream) {
           xdr::Encoder enc;
           enc.putU64(id);
           writer->post(header.call_id, MessageType::SubmitAck,
-                       ReplyPayload{std::move(enc), nullptr}, false);
+                       ReplyPayload{std::move(enc), nullptr}, false,
+                       header.trace);
           break;
         }
         default: {
@@ -249,7 +275,7 @@ void NinfServer::serveStreamV2(transport::Stream& stream) {
           protocol::noteWireBuffer(msg.payload.size());
           ReplyEnvelope env = controlReply(msg);
           writer->post(header.call_id, env.type, std::move(env.payload),
-                       false);
+                       false, header.trace);
           break;
         }
       }
@@ -482,10 +508,14 @@ NinfServer::ReplyPayload errorReply(const std::string& message) {
 /// Worker-side execution of a prepared call: the shared body of the
 /// blocking and two-phase paths.  Records the server's ground-truth
 /// queue-wait and compute phases (span + histogram) alongside the
-/// timings shipped back to the client.
+/// timings shipped back to the client.  When the caller installed a
+/// propagated trace context (ScopedTraceContext), the spans join the
+/// client's trace; `call_id` (0 = v1, no id) annotates them for
+/// cross-referencing with logs and channel counters.
 NinfServer::ReplyPayload runPreparedCall(ServerMetrics& metrics,
                                          PreparedCall& call,
-                                         double enqueue_time) {
+                                         double enqueue_time,
+                                         std::uint64_t call_id = 0) {
   CallTimings timings;
   timings.enqueue = enqueue_time;
   timings.dequeue = metrics.now();
@@ -497,10 +527,16 @@ NinfServer::ReplyPayload runPreparedCall(ServerMetrics& metrics,
   wait_hist.observe(wait_s);
   if (obs::Tracer::instance().enabled()) {
     // The wait already elapsed; anchor the span so it ends now.
+    // emitSpan does not inherit the ambient context, so attach the
+    // propagated trace (if any) explicitly.
+    const obs::TraceContext ctx = obs::currentContext();
     obs::SpanRecord rec;
+    rec.trace_id = ctx.trace_id;
+    rec.parent_id = ctx.parent_span;
     rec.name = obs::phase::kServerQueueWait;
     rec.dur_us = wait_s * 1e6;
     rec.start_us = obs::Tracer::nowMicros() - rec.dur_us;
+    rec.call_id = call_id;
     rec.detail = call.exec->info.name;
     obs::emitSpan(std::move(rec));
   }
@@ -511,6 +547,7 @@ NinfServer::ReplyPayload runPreparedCall(ServerMetrics& metrics,
     {
       obs::Span compute(obs::phase::kServerCompute);
       compute.setDetail(call.exec->info.name);
+      compute.setCallId(call_id);
       call.exec->handler(ctx);
     }
     timings.complete = metrics.now();
@@ -561,6 +598,7 @@ NinfServer::ReplyPayload NinfServer::executeCall(protocol::BodyReader& body) {
 
 void NinfServer::executeCallAsync(protocol::BodyReader& body,
                                   std::uint64_t call_id,
+                                  const protocol::WireTraceContext& trace_ctx,
                                   const std::shared_ptr<ConnWriter>& writer) {
   PreparedCall call;
   try {
@@ -568,7 +606,7 @@ void NinfServer::executeCallAsync(protocol::BodyReader& body,
   } catch (const std::exception& e) {
     body.drain();
     writer->post(call_id, MessageType::CallReply, errorReply(e.what()),
-                 false);
+                 false, trace_ctx);
     return;
   }
 
@@ -579,11 +617,17 @@ void NinfServer::executeCallAsync(protocol::BodyReader& body,
   job.estimated_flops = call_sp->estimated_flops;
   job.enqueue_time = metrics_.now();
   writer->expect();
-  job.run = [this, call_sp, call_id, writer,
+  job.run = [this, call_sp, call_id, trace_ctx, writer,
              enqueue = job.enqueue_time]() mutable {
-    ReplyPayload reply = runPreparedCall(metrics_, *call_sp, enqueue);
+    // Adopt the client's propagated context for the duration of the job,
+    // so queue-wait/compute spans become children of its call span.
+    obs::ScopedTraceContext adopt(
+        obs::TraceContext{trace_ctx.trace_id, trace_ctx.parent_span});
+    ReplyPayload reply =
+        runPreparedCall(metrics_, *call_sp, enqueue, call_id);
     reply.keepalive = call_sp;  // reply body borrows the OUT arrays
-    writer->post(call_id, MessageType::CallReply, std::move(reply), true);
+    writer->post(call_id, MessageType::CallReply, std::move(reply), true,
+                 trace_ctx);
   };
   queue_.push(std::move(job));
 }

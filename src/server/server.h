@@ -105,7 +105,9 @@ class NinfServer {
   void handleFrame(transport::Stream& stream,
                    const protocol::FrameHeader& header);
   /// Serve the rest of a connection that negotiated protocol v2.
-  void serveStreamV2(transport::Stream& stream);
+  /// `traced` = the Hello exchange accepted kFeatureTraceContext, so
+  /// every frame both ways uses the 40-byte traced header.
+  void serveStreamV2(transport::Stream& stream, bool traced);
   /// Compute the reply to a small control message (everything but
   /// CallRequest/SubmitRequest), framing-agnostic.
   ReplyEnvelope controlReply(const protocol::Message& msg);
@@ -114,8 +116,12 @@ class NinfServer {
   /// the reply (v1 blocking mode) or records it in the two-phase table.
   ReplyPayload executeCall(protocol::BodyReader& body);
   /// v2: parse + enqueue, then return immediately; the finished job posts
-  /// its CallReply to the connection writer under `call_id`.
+  /// its CallReply to the connection writer under `call_id`.  `trace_ctx`
+  /// is the client's propagated trace context (zeros when absent): the
+  /// job adopts it so server spans join the client's trace, and the
+  /// reply echoes it.
   void executeCallAsync(protocol::BodyReader& body, std::uint64_t call_id,
+                        const protocol::WireTraceContext& trace_ctx,
                         const std::shared_ptr<ConnWriter>& writer);
   std::uint64_t submitCall(protocol::BodyReader& body);
 

@@ -5,9 +5,17 @@
 //   ninf_trace_dump run.trace.json            per-lane phase tables
 //   ninf_trace_dump real.json sim.json        side-by-side comparison
 //   ninf_trace_dump --lane sim run.json       restrict to one lane
+//   ninf_trace_dump --merge out.json a.json b.json ...
+//                                             merge per-process traces
 //
 // A single file holding both lanes (a real run plus a simulated replay)
 // is also compared lane-against-lane automatically.
+//
+// --merge combines trace files written by different processes (client,
+// metaserver, server) into one Chrome trace with a lane (pid row) per
+// process, timestamps aligned via each file's recorded wall-clock epoch.
+// Spans that share a propagated trace_id then line up causally in
+// chrome://tracing / Perfetto.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -76,18 +84,67 @@ void dumpOneFile(const std::string& path,
   }
 }
 
+/// Merge per-process trace files into `out_path`.  Lane labels come from
+/// each file's "ninfProcess" metadata (fallback: the file's basename);
+/// timestamps are aligned using the recorded "ninfEpochUnixUs".
+int mergeFiles(const std::string& out_path,
+               const std::vector<std::string>& in_paths) {
+  std::vector<obs::ProcessTrace> inputs;
+  inputs.reserve(in_paths.size());
+  for (const std::string& path : in_paths) {
+    const std::string text = readFile(path);
+    obs::ProcessTrace pt;
+    const obs::TraceMeta meta = obs::parseChromeTraceMeta(text);
+    pt.label = meta.process;
+    if (pt.label.empty()) {
+      const std::size_t slash = path.find_last_of('/');
+      pt.label = slash == std::string::npos ? path : path.substr(slash + 1);
+    }
+    pt.epoch_unix_us = meta.epoch_unix_us;
+    pt.spans = obs::parseChromeTrace(text);
+    if (pt.epoch_unix_us == 0) {
+      std::fprintf(stderr,
+                   "warning: %s has no ninfEpochUnixUs metadata; its "
+                   "timestamps are kept unshifted\n",
+                   path.c_str());
+    }
+    std::printf("  %-20s %5zu spans  (%s)\n", pt.label.c_str(),
+                pt.spans.size(), path.c_str());
+    inputs.push_back(std::move(pt));
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) throw Error("cannot write '" + out_path + "'");
+  out << obs::mergeChromeTraces(inputs);
+  if (!out) throw Error("short write to '" + out_path + "'");
+  std::printf("merged %zu files -> %s\n", in_paths.size(), out_path.c_str());
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
       "usage: ninf_trace_dump [--lane real|sim] TRACE.json [OTHER.json]\n"
+      "       ninf_trace_dump --merge OUT.json TRACE.json [TRACE.json...]\n"
       "  one file:  per-phase summary tables (one per lane present)\n"
-      "  two files: side-by-side per-phase comparison (A vs B)\n");
+      "  two files: side-by-side per-phase comparison (A vs B)\n"
+      "  --merge:   combine per-process traces into one file with a\n"
+      "             process lane each, epochs aligned for chrome://tracing\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--merge") == 0) {
+    if (argc < 4) return usage();
+    try {
+      return mergeFiles(argv[2],
+                        std::vector<std::string>(argv + 3, argv + argc));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ninf_trace_dump: %s\n", e.what());
+      return 1;
+    }
+  }
   std::uint32_t lane_filter = 0;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
