@@ -12,7 +12,15 @@
 //
 //   bench_swarm --workers 256 --window 4 --json BENCH_swarm.json
 //   bench_swarm --sweep 32,64,128,256 --payload 4096
+//   bench_swarm --idle-conns 5000 --sweep 8,16,32   # epoll reactor scale
 //   bench_swarm --validate BENCH_swarm.json     # schema check, exit code
+//
+// --idle-conns parks N negotiated-v2 connections on the server for the
+// whole run (connected, Hello'd, then silent) — the reactor-scale
+// scenario: thread-per-connection would need N threads just to hold
+// them; the epoll reactor holds them in one.  The process thread count
+// before/after parking is recorded in the report config so the O(workers)
+// claim is checkable from the JSON alone.
 //
 // The JSON output follows bench/bench_json.h ("ninf-bench-1").
 #include <algorithm>
@@ -22,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -33,9 +42,11 @@
 #include "common/error.h"
 #include "common/table.h"
 #include "obs/trace_session.h"
+#include "protocol/message.h"
 #include "server/registry.h"
 #include "server/server.h"
 #include "transport/tcp_transport.h"
+#include "xdr/xdr.h"
 
 using namespace ninf;
 
@@ -48,8 +59,19 @@ struct Config {
   double duration_s = 2.0;         // measured seconds per step
   std::size_t channels = 8;        // shared multiplexed v2 connections
   std::size_t server_workers = 8;  // server execution threads
+  std::size_t idle_conns = 0;      // parked v2 connections for the run
   std::string json_path;           // --json output (empty = none)
 };
+
+/// Threads of this process, from /proc/self/status (-1 elsewhere).
+int processThreads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) return std::stoi(line.substr(8));
+  }
+  return -1;
+}
 
 double percentileSorted(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
@@ -170,7 +192,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--workers N | --sweep N1,N2,...] [--window W]\n"
       "          [--payload BYTES] [--duration SECONDS] [--channels C]\n"
-      "          [--server-workers W] [--json PATH] [--trace PATH]\n"
+      "          [--server-workers W] [--idle-conns N] [--json PATH]\n"
+      "          [--trace PATH]\n"
       "       %s --validate BENCH.json\n",
       argv0, argv0);
   return 2;
@@ -218,6 +241,8 @@ int main(int argc, char** argv) {
       cfg.channels = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--server-workers") {
       cfg.server_workers = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--idle-conns") {
+      cfg.idle_conns = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--json") {
       cfg.json_path = value();
     } else {
@@ -233,6 +258,33 @@ int main(int argc, char** argv) {
   auto listener = std::make_shared<transport::TcpListener>(0);
   const auto port = listener->port();
   server.start(listener);
+
+  // Park the idle herd before any load: each connection negotiates v2
+  // (so the server holds real multiplexed sessions, not raw sockets)
+  // and then goes silent for the rest of the run.
+  const int threads_before_idle = processThreads();
+  std::vector<std::unique_ptr<transport::Stream>> idle;
+  idle.reserve(cfg.idle_conns);
+  for (std::size_t i = 0; i < cfg.idle_conns; ++i) {
+    auto s = transport::tcpConnect("127.0.0.1", port);
+    xdr::Encoder hello;
+    hello.putU32(protocol::kMaxVersion);
+    protocol::sendMessage(*s, protocol::MessageType::Hello, hello.bytes());
+    const protocol::Message ack = protocol::recvMessage(*s);
+    if (ack.type != protocol::MessageType::HelloAck) {
+      std::fprintf(stderr, "idle connection %zu: bad HelloAck\n", i);
+      return 1;
+    }
+    idle.push_back(std::move(s));
+  }
+  const int threads_after_idle = processThreads();
+  if (cfg.idle_conns > 0) {
+    std::printf(
+        "parked %zu negotiated-v2 idle connections; process threads "
+        "%d -> %d (thread-per-connection would add %zu)\n",
+        cfg.idle_conns, threads_before_idle, threads_after_idle,
+        cfg.idle_conns);
+  }
 
   std::printf(
       "Client swarm vs one server: window=%zu, payload=%zu B, %zu shared "
@@ -250,6 +302,9 @@ int main(int argc, char** argv) {
       {"duration_s", cfg.duration_s},
       {"channels", static_cast<double>(cfg.channels)},
       {"server_workers", static_cast<double>(cfg.server_workers)},
+      {"idle_conns", static_cast<double>(cfg.idle_conns)},
+      {"threads_before_idle", static_cast<double>(threads_before_idle)},
+      {"threads_after_idle", static_cast<double>(threads_after_idle)},
   };
 
   for (const std::size_t workers : cfg.worker_steps) {

@@ -294,6 +294,13 @@ Channel::Reply Channel::transactV2(
       throw TransportError("channel broken");
     }
     obs::Span send(obs::phase::kSend, static_cast<std::int64_t>(body.size()));
+    {
+      // Provisional send-start stamp.  The reply cannot arrive before the
+      // request frame is written, so the reader always observes a nonzero
+      // sent_us even when it wins the post-send re-lock below.
+      LockGuard p(pending_mutex_);
+      call->sent_us = obs::Tracer::nowMicros();
+    }
     if (trace_wire_.load(std::memory_order_acquire)) {
       protocol::sendMessageV2Traced(
           *wire_, type, id,

@@ -181,6 +181,12 @@ void declareCanonicalHierarchy() {
   declareOrder({"channel.setup", "log.sink"});
   declareOrder({"channel.send", "faultplan", "obs.registry"});
   declareOrder({"channel.send", "inproc.pipe"});
+  // Reactor: the solo hand-off queue is a strict leaf — postSolo writes
+  // the wakeup eventfd under it but never takes another lock, and the
+  // reactor thread drains it via swap so solo tasks (which do take the
+  // pending/queue/metrics locks) run with it released.
+  declareOrder({"server.pending", "server.reactor.solo"});
+  declareOrder({"jobqueue", "server.reactor.solo"});
   // Leaf instruments.
   declareOrder({"server.metrics", "obs.registry"});
   declareOrder({"obs.trace.registry", "obs.trace.buffer"});

@@ -157,11 +157,11 @@ void sendMessageV2Traced(transport::Stream& stream, MessageType type,
 
 namespace {
 
-/// Validate the four words shared by both header layouts.
+/// Validate the four words shared by every header layout.
 FrameHeader checkHeaderWords(xdr::Source& header, std::uint32_t want_version,
-                             transport::Stream& stream) {
+                             const std::string& peer) {
   if (header.getU32() != kMagic) {
-    throw ProtocolError("bad magic from " + stream.peerName());
+    throw ProtocolError("bad magic from " + peer);
   }
   const std::uint32_t version = header.getU32();
   if (version != want_version) {
@@ -182,33 +182,102 @@ FrameHeader checkHeaderWords(xdr::Source& header, std::uint32_t want_version,
   return FrameHeader{static_cast<MessageType>(type), length};
 }
 
+/// Parse one full header (any mode) from exactly headerBytes(mode) bytes.
+FrameHeader parseHeader(std::span<const std::uint8_t> bytes, WireMode mode,
+                        const std::string& peer) {
+  xdr::Decoder header(bytes);
+  FrameHeader fh = checkHeaderWords(
+      header, mode == WireMode::V1 ? kVersion : kVersion2, peer);
+  if (mode != WireMode::V1) {
+    fh.call_id = header.getU64();
+  }
+  if (mode == WireMode::V2Traced) {
+    fh.trace.trace_id = header.getU64();
+    fh.trace.parent_span = header.getU64();
+  }
+  return fh;
+}
+
 }  // namespace
 
 FrameHeader recvHeader(transport::Stream& stream) {
   std::uint8_t header_bytes[kHeaderBytes];
   stream.recvAll(header_bytes);
-  xdr::Decoder header(header_bytes);
-  return checkHeaderWords(header, kVersion, stream);
+  return parseHeader(header_bytes, WireMode::V1, stream.peerName());
 }
 
 FrameHeader recvHeaderV2(transport::Stream& stream) {
   std::uint8_t header_bytes[kHeaderBytesV2];
   stream.recvAll(header_bytes);
-  xdr::Decoder header(header_bytes);
-  FrameHeader fh = checkHeaderWords(header, kVersion2, stream);
-  fh.call_id = header.getU64();
-  return fh;
+  return parseHeader(header_bytes, WireMode::V2, stream.peerName());
 }
 
 FrameHeader recvHeaderV2Traced(transport::Stream& stream) {
   std::uint8_t header_bytes[kHeaderBytesV2Traced];
   stream.recvAll(header_bytes);
-  xdr::Decoder header(header_bytes);
-  FrameHeader fh = checkHeaderWords(header, kVersion2, stream);
-  fh.call_id = header.getU64();
-  fh.trace.trace_id = header.getU64();
-  fh.trace.parent_span = header.getU64();
-  return fh;
+  return parseHeader(header_bytes, WireMode::V2Traced, stream.peerName());
+}
+
+void FrameAssembler::feed(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void FrameAssembler::compact() {
+  // Reclaim the consumed prefix once it dominates the buffer, so a
+  // long-lived connection does not grow its buffer without bound while
+  // staying O(1) amortized per byte.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+}
+
+std::optional<Frame> FrameAssembler::next() {
+  if (!have_header_) {
+    const std::size_t need = headerBytes(mode_);
+    if (buf_.size() - pos_ < need) return std::nullopt;
+    header_ = parseHeader({buf_.data() + pos_, need}, mode_, peer_);
+    pos_ += need;
+    have_header_ = true;
+  }
+  if (buf_.size() - pos_ < header_.length) {
+    compact();
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.header = header_;
+  frame.body.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                    buf_.begin() + static_cast<std::ptrdiff_t>(pos_) +
+                        static_cast<std::ptrdiff_t>(header_.length));
+  pos_ += header_.length;
+  have_header_ = false;
+  compact();
+  return frame;
+}
+
+std::vector<std::uint8_t> flattenFrame(WireMode mode, MessageType type,
+                                       std::uint64_t call_id,
+                                       const WireTraceContext& ctx,
+                                       const xdr::Encoder& body) {
+  NINF_REQUIRE(body.size() <= kMaxPayload, "payload too large");
+  const std::size_t header_len = headerBytes(mode);
+  std::vector<std::uint8_t> out;
+  out.reserve(header_len + body.size());
+  std::uint8_t header[kHeaderBytesV2Traced];
+  switch (mode) {
+    case WireMode::V1:
+      encodeHeader(type, body.size(), header);
+      break;
+    case WireMode::V2:
+      encodeHeaderV2(type, body.size(), call_id, header);
+      break;
+    case WireMode::V2Traced:
+      encodeHeaderV2Traced(type, body.size(), call_id, ctx, header);
+      break;
+  }
+  out.insert(out.end(), header, header + header_len);
+  body.appendTo(out);  // copies borrowed segments, byteswapped
+  return out;
 }
 
 void BodyReader::readBytes(std::span<std::uint8_t> out) {

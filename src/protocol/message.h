@@ -44,7 +44,9 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "transport/transport.h"
@@ -184,6 +186,79 @@ class BodyReader : public xdr::Source {
 /// Receive one whole message (header + materialized body).  Retained for
 /// small control messages; the call data path uses recvHeader/BodyReader.
 Message recvMessage(transport::Stream& stream);
+
+/// Frame layout in force on a connection: v1 lock-step (16-byte
+/// headers), negotiated v2 (24 bytes, call ID), or traced v2 (40 bytes,
+/// call ID + trace context).
+enum class WireMode { V1, V2, V2Traced };
+
+/// Header bytes of one frame in the given mode.
+constexpr std::size_t headerBytes(WireMode mode) {
+  return mode == WireMode::V1      ? kHeaderBytes
+         : mode == WireMode::V2    ? kHeaderBytesV2
+                                   : kHeaderBytesV2Traced;
+}
+
+/// One complete frame popped off a FrameAssembler: the validated header
+/// plus the materialized body.
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> body;
+};
+
+/// Incremental frame reassembly for event-driven servers: raw bytes read
+/// off a non-blocking socket are fed in as they arrive, complete frames
+/// pop out.  A frame is parsed in two steps — header first (validated
+/// exactly as recvHeader* would), then the body once all of it is
+/// buffered — so a slow peer dribbling one byte at a time costs buffer
+/// space, never a blocked thread.  setMode() takes effect at the next
+/// frame boundary (Hello negotiation upgrades a connection mid-stream).
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(std::string peer = "peer")
+      : peer_(std::move(peer)) {}
+
+  WireMode mode() const { return mode_; }
+  /// Switch header layout for frames not yet parsed.  Must only be
+  /// called between frames (after next() returned a complete frame or
+  /// nullopt) — the current partial header, if any, is reinterpreted.
+  void setMode(WireMode mode) { mode_ = mode; }
+
+  /// Append raw wire bytes.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Pop the next complete frame, or nullopt when more bytes are
+  /// needed.  Throws ProtocolError on a malformed header (bad magic,
+  /// version, type, or length), exactly like the blocking readers.
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet returned as frames (partial frame).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+  /// True when a frame header was parsed but its body is incomplete.
+  bool midFrame() const { return have_header_; }
+
+ private:
+  void compact();
+
+  std::string peer_;
+  WireMode mode_ = WireMode::V1;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool have_header_ = false;
+  FrameHeader header_{};  // valid while have_header_
+};
+
+/// Materialize one wire frame (header + body) into owned contiguous
+/// bytes, byteswapping any borrowed double arrays through the encoder's
+/// scratch path.  This is the reactor's epilogue step: the returned
+/// buffer is self-contained (no keepalive needed) and ready for a
+/// non-blocking write queue.  `call_id` and `ctx` are ignored by modes
+/// whose header does not carry them.
+std::vector<std::uint8_t> flattenFrame(WireMode mode, MessageType type,
+                                       std::uint64_t call_id,
+                                       const WireTraceContext& ctx,
+                                       const xdr::Encoder& body);
 
 /// Record a materialized wire-buffer size in the
 /// "wire.peak_buffer_bytes" gauge (monotonic max since last metrics

@@ -1,0 +1,181 @@
+// Event-driven server core: a single epoll reactor owning every
+// connection fd, feeding a staged execution pipeline.
+//
+//   ┌─────────── reactor thread (solo) ────────────┐
+//   │ epoll_wait → accept / read / write readiness │
+//   │ frame reassembly → dispatch                  │
+//   │ job-queue admission (bounded in-flight)      │
+//   │ reply write queues → non-blocking writev     │
+//   └──────▲───────────────────────────┬───────────┘
+//          │ postSolo (eventfd wakeup) │ queue_.push
+//   ┌──────┴───────────────────────────▼───────────┐
+//   │ worker pool: prologue (arg unmarshal) and    │
+//   │ compute + epilogue (result marshal into      │
+//   │ owned wire buffers), both stateless          │
+//   └──────────────────────────────────────────────┘
+//
+// The reactor thread is the only thread that touches connection state
+// (fds, reassembly buffers, write queues); workers communicate with it
+// exclusively through postSolo().  One thread serves every connection,
+// so an idle connection costs one epoll registration — no reader
+// thread, no writer thread — and server thread count is O(workers),
+// not O(connections).
+//
+// Backpressure: when the number of staged calls in flight reaches the
+// admission budget, the reactor stops reading from connections (their
+// EPOLLIN interest is dropped) until completions drain — the kernel
+// socket buffers and the peer's congestion window absorb the excess.
+//
+// v1 clients are served through the same reactor with a per-connection
+// serialization fallback: a v1 frame that enters the staged pipeline
+// marks the connection busy and no further frames are parsed until its
+// reply is queued, preserving lock-step reply order.
+//
+// Only available on Linux (epoll); Reactor::supported() reports this
+// and NinfServer::start() falls back to thread-per-connection when the
+// reactor is unavailable or the listener has no pollable handle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+#include "protocol/message.h"
+#include "transport/transport.h"
+
+namespace ninf::server {
+
+class NinfServer;
+
+class Reactor {
+ public:
+  struct Options {
+    /// Staged calls in flight (dispatched, reply not yet queued) before
+    /// the reactor stops reading from connections.
+    std::size_t max_inflight = 256;
+    /// Pause on fd exhaustion before accepting again.
+    double accept_backoff_seconds = 0.05;
+  };
+
+  /// True when this platform has epoll (Linux).
+  static bool supported();
+
+  /// Spawns the reactor thread.  `listener` must expose a native
+  /// handle.  The reactor serves connections by calling back into
+  /// `server` (frame dispatch, staged pipeline) on the reactor thread.
+  Reactor(NinfServer& server, std::shared_ptr<transport::Listener> listener,
+          Options options);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Close every connection, unblock and join the loop thread; further
+  /// postSolo() calls are dropped.  Idempotent.
+  void stop();
+
+  /// Hand a task to the solo stage: `fn` runs on the reactor thread in
+  /// post order.  Thread-safe; the wakeup is coalesced (one eventfd
+  /// write per burst).  Dropped silently after stop() — a worker
+  /// finishing during shutdown has nowhere to send its reply anyway.
+  void postSolo(std::function<void()> fn);
+
+  // ---- reactor-thread-only API (solo tasks, frame handlers) ---------
+
+  /// Append one marshalled frame to `conn_id`'s write queue and flush
+  /// as much as the socket accepts.  Unknown ids (connection died) are
+  /// dropped.  Not part of staged-call bookkeeping.
+  void queueReply(std::uint64_t conn_id, std::vector<std::uint8_t> frame);
+
+  /// Complete one staged call on `conn_id`: queue `reply` (empty = no
+  /// reply, the call was aborted), release its admission slot, lift the
+  /// v1 lock-step hold, and resume paused reads if the budget allows.
+  void finishStagedCall(std::uint64_t conn_id,
+                        std::vector<std::uint8_t> reply);
+
+  /// True while `conn_id` can still receive replies (known and not
+  /// write-dead).  Lets an admission task skip compute for a vanished
+  /// client.
+  bool connAlive(std::uint64_t conn_id) const;
+
+ private:
+  struct OutBuf {
+    std::vector<std::uint8_t> bytes;
+    std::size_t off = 0;
+  };
+
+  /// Per-connection state; touched only by the reactor thread.
+  struct Conn {
+    std::uint64_t id = 0;
+    std::unique_ptr<transport::Stream> stream;
+    int fd = -1;
+    protocol::FrameAssembler assembler;
+    protocol::WireMode mode = protocol::WireMode::V1;
+    std::deque<OutBuf> writeq;
+    /// Staged calls dispatched but not yet replied.
+    std::size_t staged_inflight = 0;
+    /// v1 lock-step serialization: a staged v1 call is in flight, stop
+    /// parsing frames until its reply is queued.
+    bool v1_busy = false;
+    /// EPOLLIN interest dropped for admission backpressure.
+    bool paused = false;
+    bool want_write = false;  // EPOLLOUT armed
+    bool read_open = true;    // peer's send side still delivering
+    bool dead = false;        // write side failed: drop everything
+  };
+
+  void loop();
+  void handleAccept();
+  void handleConnEvent(Conn& conn, std::uint32_t events);
+  void readReadable(Conn& conn);
+  void processFrames(Conn& conn);
+  void dispatchFrame(Conn& conn, protocol::Frame frame);
+  void handleHello(Conn& conn, const protocol::Frame& frame);
+  void flushConn(Conn& conn);
+  void updateEpoll(Conn& conn);
+  void pauseReading(Conn& conn);
+  void resumeReads();
+  /// Destroy now or mark for destruction once in-flight work drains.
+  void maybeDestroy(std::uint64_t conn_id);
+  void destroyConn(std::uint64_t conn_id);
+  void killConn(Conn& conn);  // write/read failure: close + drop queues
+  void drainSolo();
+  void updateFdGauge() const;
+
+  NinfServer& server_;
+  std::shared_ptr<transport::Listener> listener_;
+  const Options options_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  bool accept_registered_ = false;
+  /// stop() asked the loop to exit (reactor-thread flag, set via a solo
+  /// task so it is observed at a frame boundary).
+  bool exit_requested_ = false;
+  /// Monotonic-clock second when accepting resumes after fd exhaustion
+  /// (0 = not backing off).
+  double accept_resume_at_ = 0.0;
+
+  std::map<std::uint64_t, Conn> conns_;
+  std::uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wakeup
+  /// Total staged calls in flight across live connections (admission).
+  std::size_t staged_total_ = 0;
+  /// Marshalled reply buffers queued but not fully written (epilogue
+  /// backlog, mirrored in server.reactor.stage_depth.epilogue).
+  std::size_t epilogue_depth_ = 0;
+
+  /// Hand-off queue from workers to the solo stage.  Leaf lock: nothing
+  /// else is ever acquired while holding it.
+  mutable Mutex solo_mutex_{"server.reactor.solo"};
+  std::deque<std::function<void()>> solo_queue_ NINF_GUARDED_BY(solo_mutex_);
+  bool stopped_ NINF_GUARDED_BY(solo_mutex_) = false;
+
+  std::thread thread_;
+};
+
+}  // namespace ninf::server

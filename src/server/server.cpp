@@ -8,6 +8,7 @@
 #include "common/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/reactor.h"
 #include "xdr/xdr.h"
 
 namespace ninf::server {
@@ -180,6 +181,16 @@ void NinfServer::start(std::shared_ptr<transport::Listener> listener) {
   NINF_REQUIRE(listener != nullptr, "null listener");
   NINF_REQUIRE(!listener_, "server already started");
   listener_ = std::move(listener);
+  if (options_.use_reactor && Reactor::supported() &&
+      listener_->nativeHandle() >= 0) {
+    Reactor::Options ropts;
+    ropts.max_inflight =
+        options_.max_inflight_calls > 0
+            ? options_.max_inflight_calls
+            : std::max<std::size_t>(64, options_.workers * 16);
+    reactor_ = std::make_unique<Reactor>(*this, listener_, ropts);
+    return;
+  }
   accept_thread_ = std::thread([this] {
     while (!stopping_.load()) {
       std::unique_ptr<transport::Stream> stream;
@@ -295,6 +306,11 @@ void NinfServer::stop() {
   }
   if (listener_) listener_->close();
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Quiesce the reactor before closing the job queue: the loop exits,
+  // connections drop, and posts from jobs still running in workers turn
+  // into no-ops.  The Reactor object itself stays alive until the
+  // server is destroyed so those jobs always have a valid target.
+  if (reactor_) reactor_->stop();
   // Swap the connection table out under the lock, then close and join
   // outside it: joining while holding conn_mutex_ would deadlock against
   // any connection-side path that ever takes the lock, and stalls every
@@ -670,6 +686,154 @@ std::uint64_t NinfServer::submitCall(protocol::BodyReader& body) {
   };
   queue_.push(std::move(job));
   return id;
+}
+
+// ----------------------------------------------------------------- reactor
+// Staged pipeline behind the epoll reactor (see reactor.h).  A complete
+// call frame flows:
+//
+//   dispatch (reactor)  -> reactorStageCall: queue a prologue job
+//   prologue (worker)   -> reactorPrologue: unmarshal args, stateless
+//   solo     (reactor)  -> admission: job-queue entry, pending table,
+//                          SubmitAck emission — all the shared state
+//   compute  (worker)   -> runPreparedCall, then the epilogue marshals
+//                          the reply into one self-contained buffer
+//   solo     (reactor)  -> finishStagedCall: write queue + flush
+//
+// The solo hops serialize every touch of connection and admission state
+// on the reactor thread, so the stages themselves need no locks beyond
+// the ones the legacy path already takes (queue, pending table).
+
+void NinfServer::reactorStageCall(std::uint64_t conn_id,
+                                  protocol::WireMode mode,
+                                  protocol::Frame frame) {
+  Job job;
+  job.id = next_job_id_.fetch_add(1);
+  // Decode cost is negligible next to compute; zero flops lets SJF run
+  // prologues ahead of queued compute so admission stays responsive.
+  job.estimated_flops = 0.0;
+  job.enqueue_time = metrics_.now();
+  job.run = [this, conn_id, mode, f = std::move(frame)]() mutable {
+    reactorPrologue(conn_id, mode, std::move(f));
+  };
+  queue_.push(std::move(job));
+}
+
+void NinfServer::reactorPrologue(std::uint64_t conn_id,
+                                 protocol::WireMode mode,
+                                 protocol::Frame frame) {
+  const protocol::FrameHeader header = frame.header;
+  const bool is_submit = header.type == MessageType::SubmitRequest;
+  // Adopt the client's propagated context so the unmarshal span (and the
+  // later queue-wait/compute spans) join its trace.
+  obs::ScopedTraceContext adopt(
+      obs::TraceContext{header.trace.trace_id, header.trace.parent_span});
+  auto call = std::make_shared<PreparedCall>();
+  std::string error;
+  {
+    obs::Span span(obs::phase::kServerUnmarshalArgs,
+                   static_cast<std::int64_t>(frame.body.size()));
+    span.setCallId(header.call_id);
+    xdr::Decoder src(frame.body);
+    try {
+      *call = prepare(registry_, src);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+  }
+
+  // Solo stage: admission runs on the reactor thread, where connection
+  // liveness and the in-flight budget are plain fields.
+  reactor_->postSolo([this, conn_id, mode, header, is_submit, call,
+                      error = std::move(error)]() mutable {
+    static obs::Gauge& prologue_depth =
+        obs::gauge("server.reactor.stage_depth.prologue");
+    prologue_depth.set(std::max(0.0, prologue_depth.value() - 1.0));
+
+    if (is_submit) {
+      // Two-phase: the job detaches from the connection exactly as in
+      // submitCall() — it runs (or records its decode error) under a
+      // fresh id even if the client is already gone, and the SubmitAck
+      // is this staged call's reply.
+      const std::uint64_t id = next_job_id_.fetch_add(1);
+      std::size_t depth = 0;
+      {
+        LockGuard lock(pending_mutex_);
+        pending_.emplace(id, PendingResult{});
+        depth = pending_.size();
+      }
+      updatePendingGauge(depth);
+      if (!error.empty()) {
+        LockGuard lock(pending_mutex_);
+        pending_[id] = {true, metrics_.now(), errorReply(error)};
+      } else {
+        metrics_.jobQueued();
+        Job job;
+        job.id = id;
+        job.estimated_flops = call->estimated_flops;
+        job.enqueue_time = metrics_.now();
+        job.run = [this, id, call, enqueue = job.enqueue_time]() mutable {
+          ReplyPayload reply = runPreparedCall(metrics_, *call, enqueue);
+          reply.keepalive = call;
+          {
+            LockGuard lock(pending_mutex_);
+            pending_[id] = {true, metrics_.now(), std::move(reply)};
+          }
+          pending_cv_.notify_all();
+        };
+        queue_.push(std::move(job));
+      }
+      xdr::Encoder ack;
+      ack.putU64(id);
+      reactor_->finishStagedCall(
+          conn_id, protocol::flattenFrame(mode, MessageType::SubmitAck,
+                                          header.call_id, header.trace, ack));
+      return;
+    }
+
+    if (!error.empty()) {
+      reactor_->finishStagedCall(
+          conn_id,
+          protocol::flattenFrame(mode, MessageType::CallReply, header.call_id,
+                                 header.trace, errorReply(error).body));
+      return;
+    }
+    if (!reactor_->connAlive(conn_id)) {
+      // The client vanished while the frame sat in prologue: skip the
+      // compute entirely (finishStagedCall on a dead id is a no-op; the
+      // admission slot was released when the connection was destroyed).
+      return;
+    }
+    metrics_.jobQueued();
+    Job job;
+    job.id = next_job_id_.fetch_add(1);
+    job.estimated_flops = call->estimated_flops;
+    job.enqueue_time = metrics_.now();
+    job.run = [this, conn_id, mode, header, call,
+               enqueue = job.enqueue_time]() mutable {
+      obs::ScopedTraceContext adopt(
+          obs::TraceContext{header.trace.trace_id, header.trace.parent_span});
+      ReplyPayload reply =
+          runPreparedCall(metrics_, *call, enqueue, header.call_id);
+      // Epilogue, still on this worker: marshal the reply into one
+      // self-contained wire buffer (borrowed OUT arrays are byteswapped
+      // into the copy), so nothing of the prepared call needs to
+      // survive the hop back to the reactor.
+      std::vector<std::uint8_t> wire;
+      {
+        obs::Span span(obs::phase::kServerMarshalResult);
+        span.setCallId(header.call_id);
+        wire = protocol::flattenFrame(mode, MessageType::CallReply,
+                                      header.call_id, header.trace,
+                                      reply.body);
+        span.setBytes(static_cast<std::int64_t>(wire.size()));
+      }
+      reactor_->postSolo([this, conn_id, wire = std::move(wire)]() mutable {
+        reactor_->finishStagedCall(conn_id, std::move(wire));
+      });
+    };
+    queue_.push(std::move(job));
+  });
 }
 
 }  // namespace ninf::server

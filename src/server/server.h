@@ -4,12 +4,16 @@
 //  computing requests of remote clients by managing the communication and
 //  activation of the services requested via Ninf RPC." (section 2.1)
 //
-// Threading model: one connection-handler thread per client connection
-// (started by start()/serveStream()), plus a fixed pool of `workers`
-// execution threads draining the job queue.  workers == 1 is the paper's
-// data-parallel configuration (calls run one at a time, each free to use
-// every PE internally); workers == P is the task-parallel configuration
-// (up to P calls run concurrently, one PE each).
+// Threading model: start() on a pollable listener serves every
+// connection from ONE epoll reactor thread (see reactor.h) feeding a
+// staged prologue/solo/epilogue pipeline over the fixed pool of
+// `workers` execution threads — total thread count is O(workers), not
+// O(connections).  Listeners without a native handle (in-process pairs,
+// fault-injection wrappers) and direct serveStream() calls use the
+// historical thread-per-connection loop below.  workers == 1 is the
+// paper's data-parallel configuration (calls run one at a time, each
+// free to use every PE internally); workers == P is the task-parallel
+// configuration (up to P calls run concurrently, one PE each).
 //
 // Connections speak protocol v1 (lock-step) by default.  A client that
 // opens with Hello is upgraded to v2: the connection loop then only
@@ -41,6 +45,8 @@
 
 namespace ninf::server {
 
+class Reactor;
+
 struct ServerOptions {
   /// Execution threads draining the job queue (see header comment).
   std::size_t workers = 1;
@@ -52,6 +58,14 @@ struct ServerOptions {
   /// seconds after completing (<= 0 keeps them forever — the historical
   /// leak, retained only for experiments).
   double pending_ttl_seconds = 300.0;
+  /// Serve start()ed listeners through the epoll reactor (one thread for
+  /// every connection) when the platform and listener support it; false
+  /// forces the historical thread-per-connection accept loop.
+  bool use_reactor = true;
+  /// Reactor admission budget: staged calls in flight (admitted, reply
+  /// not yet queued) before the reactor stops reading from connections.
+  /// 0 picks max(64, workers * 16).
+  std::size_t max_inflight_calls = 0;
 };
 
 class NinfServer {
@@ -95,9 +109,22 @@ class NinfServer {
 
  private:
   class ConnWriter;
+  friend class Reactor;
 
   void workerLoop();
   void sweeperLoop();
+
+  /// Reactor staged pipeline, stage 1 of 3 (reactor thread): hand a
+  /// complete CallRequest/SubmitRequest frame from `conn_id` to the
+  /// worker pool for stateless argument unmarshalling (prologue).
+  void reactorStageCall(std::uint64_t conn_id, protocol::WireMode mode,
+                        protocol::Frame frame);
+  /// Stage 2 runs back on the reactor thread via postSolo (admission:
+  /// job-queue entry, pending-result bookkeeping); stage 3 (compute +
+  /// reply marshalling, the epilogue) fans out across the workers again.
+  /// Both are lambdas inside reactorPrologue.
+  void reactorPrologue(std::uint64_t conn_id, protocol::WireMode mode,
+                       protocol::Frame frame);
 
   /// Dispatch one v1 frame.  Call bodies (CallRequest/SubmitRequest) are
   /// consumed incrementally off the stream; other message types are small
@@ -141,6 +168,10 @@ class NinfServer {
   JobQueue queue_;
   std::vector<std::thread> workers_;  // created in ctor, joined in stop()
   std::shared_ptr<transport::Listener> listener_;
+  /// Event-driven connection core (start() on a pollable listener).
+  /// stop() quiesces it, but the object lives until destruction so job
+  /// lambdas still in workers can safely post (their posts are dropped).
+  std::unique_ptr<Reactor> reactor_;
   std::thread accept_thread_;
   std::thread sweeper_;
   Mutex conn_mutex_{"server.conn"};

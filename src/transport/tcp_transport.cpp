@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstring>
 #include <limits>
+#include <thread>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -22,6 +23,24 @@
 #include "obs/trace.h"
 
 namespace ninf::transport {
+
+// Base-class defaults for the readiness API: transports that do not
+// override nativeHandle() advertise -1 and a reactor never calls these.
+std::size_t Stream::recvNowait(std::span<std::uint8_t> buffer) {
+  (void)buffer;
+  throw TransportError("transport does not support non-blocking receive");
+}
+
+std::size_t Stream::sendvNowait(
+    std::span<const std::span<const std::uint8_t>> buffers) {
+  (void)buffers;
+  throw TransportError("transport does not support non-blocking send");
+}
+
+std::unique_ptr<Stream> Listener::tryAccept(AcceptStatus& status) {
+  status = AcceptStatus::Closed;
+  throw TransportError("listener does not support non-blocking accept");
+}
 
 namespace {
 
@@ -184,6 +203,69 @@ class TcpStream : public Stream {
     }
   }
 
+  int nativeHandle() const override { return fd_.load(); }
+
+  bool setNonBlocking(bool on) override {
+    const int fd = fd_.load();
+    if (fd < 0) return false;
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0) return false;
+    const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    return flags == want || ::fcntl(fd, F_SETFL, want) >= 0;
+  }
+
+  std::size_t recvNowait(std::span<std::uint8_t> buffer) override {
+    const int fd = fd_.load();
+    if (fd < 0) throw TransportError("recv on closed stream");
+    if (buffer.empty()) return 0;
+    for (;;) {
+      const ssize_t n =
+          ::recv(fd, buffer.data(), buffer.size(), MSG_DONTWAIT);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+        throwErrno("recv from " + peer_);
+      }
+      if (n == 0) {
+        throw TransportError("connection closed by " + peer_);
+      }
+      static obs::Counter& rx = obs::counter("transport.tcp.bytes_received");
+      rx.add(static_cast<std::uint64_t>(n));
+      return static_cast<std::size_t>(n);
+    }
+  }
+
+  std::size_t sendvNowait(
+      std::span<const std::span<const std::uint8_t>> buffers) override {
+    const int fd = fd_.load();
+    if (fd < 0) throw TransportError("send on closed stream");
+    constexpr std::size_t kMaxIov = 64;
+    struct iovec iov[kMaxIov];
+    std::size_t n_iov = 0;
+    for (const auto& b : buffers) {
+      if (b.empty()) continue;
+      if (n_iov == kMaxIov) break;
+      iov[n_iov].iov_base = const_cast<std::uint8_t*>(b.data());
+      iov[n_iov].iov_len = b.size();
+      ++n_iov;
+    }
+    if (n_iov == 0) return 0;
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = n_iov;
+    for (;;) {
+      const ssize_t sent = ::sendmsg(fd, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (sent < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+        throwErrno("send to " + peer_);
+      }
+      static obs::Counter& tx = obs::counter("transport.tcp.bytes_sent");
+      tx.add(static_cast<std::uint64_t>(sent));
+      return static_cast<std::size_t>(sent);
+    }
+  }
+
   void setDeadline(std::chrono::steady_clock::time_point deadline) override {
     deadline_us_.store(
         deadline == kNoDeadline
@@ -327,7 +409,7 @@ std::unique_ptr<Stream> tcpConnect(const std::string& host,
   return std::make_unique<TcpStream>(fd, describe(addr));
 }
 
-TcpListener::TcpListener(std::uint16_t port) {
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throwErrno("socket");
   fd_.store(fd);
@@ -341,7 +423,12 @@ TcpListener::TcpListener(std::uint16_t port) {
       0) {
     throwErrno("bind port " + std::to_string(port));
   }
-  if (::listen(fd, 64) < 0) throwErrno("listen");
+  // A flash crowd fills a short backlog long before the server is the
+  // bottleneck, and the kernel then drops SYNs; default to the system
+  // maximum rather than the historical 64.
+  if (::listen(fd, backlog > 0 ? backlog : SOMAXCONN) < 0) {
+    throwErrno("listen");
+  }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
@@ -352,6 +439,18 @@ TcpListener::TcpListener(std::uint16_t port) {
 }
 
 TcpListener::~TcpListener() { close(); }
+
+namespace {
+
+/// Count one refused accept and say why (rate-limited).
+void noteAcceptError(const char* what) {
+  static obs::Counter& errors = obs::counter("server.accept_errors");
+  errors.add();
+  NINF_LOG_EVERY_N(Warn, 100)
+      << "accept failed (" << what << "); backing off";
+}
+
+}  // namespace
 
 std::unique_ptr<Stream> TcpListener::accept() {
   // Loop (not recurse) on EINTR: a signal storm must not grow the stack.
@@ -365,9 +464,68 @@ std::unique_ptr<Stream> TcpListener::accept() {
     if (fd < 0) {
       if (errno == EBADF || errno == EINVAL) return nullptr;  // closed
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // The socket was switched to non-blocking by a tryAccept()
+        // caller; park on readiness and retry.
+        pollfd pfd{listen_fd, POLLIN, 0};
+        ::poll(&pfd, 1, 1000);
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Out of descriptors/buffers: dropping the accept loop here
+        // would kill the server for good.  Count it, let the pressure
+        // drain, retry — the pending connection stays in the backlog.
+        noteAcceptError(std::strerror(errno));
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
       throwErrno("accept");
     }
     return std::make_unique<TcpStream>(fd, describe(peer));
+  }
+}
+
+int TcpListener::nativeHandle() const { return fd_.load(); }
+
+std::unique_ptr<Stream> TcpListener::tryAccept(AcceptStatus& status) {
+  const int listen_fd = fd_.load();
+  if (listen_fd < 0) {
+    status = AcceptStatus::Closed;
+    return nullptr;
+  }
+  // First use switches the listening socket to non-blocking; harmless
+  // for a subsequent blocking accept() (it handles EAGAIN via poll-free
+  // retry only in the reactor, which never mixes the two).
+  if (!nonblocking_.exchange(true)) {
+    const int flags = ::fcntl(listen_fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(listen_fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int fd =
+        ::accept(listen_fd, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd >= 0) {
+      status = AcceptStatus::Accepted;
+      return std::make_unique<TcpStream>(fd, describe(peer));
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      status = AcceptStatus::WouldBlock;
+      return nullptr;
+    }
+    if (errno == EBADF || errno == EINVAL) {
+      status = AcceptStatus::Closed;
+      return nullptr;
+    }
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      noteAcceptError(std::strerror(errno));
+      status = AcceptStatus::Exhausted;
+      return nullptr;
+    }
+    throwErrno("accept");
   }
 }
 

@@ -22,7 +22,10 @@ std::unique_ptr<Stream> tcpConnect(const std::string& host,
 class TcpListener : public Listener {
  public:
   /// Bind to the given port; port 0 picks an ephemeral port.
-  explicit TcpListener(std::uint16_t port);
+  /// `backlog` bounds the kernel's pending-connection queue; <= 0 means
+  /// SOMAXCONN (the historical hardcoded 64 dropped SYNs during
+  /// flash-crowd arrival).
+  explicit TcpListener(std::uint16_t port, int backlog = 0);
   ~TcpListener() override;
 
   /// The actually bound port (useful with port 0).
@@ -31,10 +34,15 @@ class TcpListener : public Listener {
   std::unique_ptr<Stream> accept() override;
   void close() override;
 
+  int nativeHandle() const override;
+  std::unique_ptr<Stream> tryAccept(AcceptStatus& status) override;
+
  private:
   // Atomic: close() is called from another thread to unblock accept().
   std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
+  /// tryAccept() switched the socket to O_NONBLOCK.
+  std::atomic<bool> nonblocking_{false};
 };
 
 }  // namespace ninf::transport

@@ -80,6 +80,46 @@ class Stream {
 
   /// Diagnostic peer description ("127.0.0.1:4096", "inproc").
   virtual std::string peerName() const = 0;
+
+  // ---- readiness integration (event-driven servers) -----------------
+  //
+  // A reactor owning many streams needs (a) a pollable fd to register
+  // with epoll and (b) operations that never block the event loop.
+  // Transports that cannot provide them (in-process pipes, fault
+  // decorators) return -1 / false and servers fall back to a
+  // thread-per-connection path for those connections.
+
+  /// Pollable OS handle, or -1 when this transport has none.
+  virtual int nativeHandle() const { return -1; }
+
+  /// Switch the stream to non-blocking mode (recvNowait/sendvNowait
+  /// become usable).  Returns false when unsupported.
+  virtual bool setNonBlocking(bool on) {
+    (void)on;
+    return false;
+  }
+
+  /// Non-blocking read: up to buffer.size() bytes, returning the count
+  /// actually read, or 0 when the operation would block.  Throws
+  /// ninf::TransportError on EOF or failure.  Valid only after
+  /// setNonBlocking(true) succeeded.
+  virtual std::size_t recvNowait(std::span<std::uint8_t> buffer);
+
+  /// Non-blocking scatter-gather write: accepts as many bytes as the
+  /// transport can take right now (possibly spanning several buffers),
+  /// returning the count, or 0 when the operation would block.  Throws
+  /// ninf::TransportError on failure.  Valid only after
+  /// setNonBlocking(true) succeeded.
+  virtual std::size_t sendvNowait(
+      std::span<const std::span<const std::uint8_t>> buffers);
+};
+
+/// Outcome of a non-blocking accept attempt (Listener::tryAccept).
+enum class AcceptStatus {
+  Accepted,    // a new stream was returned
+  WouldBlock,  // no pending connection right now
+  Closed,      // the listener was closed
+  Exhausted,   // fd exhaustion (EMFILE/ENFILE): back off and retry
 };
 
 /// Accepts inbound connections.
@@ -92,6 +132,17 @@ class Listener {
 
   /// Unblock pending and future accept() calls.
   virtual void close() = 0;
+
+  /// Pollable OS handle for readiness-driven accepting, or -1 when this
+  /// listener cannot expose one (in-process, fault decorators).  A
+  /// server only calls tryAccept() on listeners with a real handle.
+  virtual int nativeHandle() const { return -1; }
+
+  /// Non-blocking accept: returns the new stream (status Accepted) or
+  /// nullptr with `status` explaining why.  Unlike accept(), never
+  /// throws on fd exhaustion — that is reported as Exhausted so the
+  /// caller can back off without tearing down the accept path.
+  virtual std::unique_ptr<Stream> tryAccept(AcceptStatus& status);
 };
 
 }  // namespace ninf::transport
