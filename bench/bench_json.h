@@ -1,0 +1,207 @@
+// Shared machine-readable benchmark output: every bench that takes
+// --json <path> writes one BENCH_*.json in this schema ("ninf-bench-1"),
+// so the repo accumulates a perf trajectory that later PRs can diff
+// instead of re-measuring by hand.
+//
+//   {
+//     "schema": "ninf-bench-1",
+//     "bench": "swarm",
+//     "config": {"payload": 1024, ...},            // global knobs
+//     "steps": [                                   // one per measured point
+//       {"label": "workers=256",
+//        "values": {"workers": 256, ...},          // step knobs + extras
+//        "duration_s": 2.01, "calls": 51234, "errors": 0,
+//        "throughput_cps": 25489.3,
+//        "latency_ms": {"mean": 9.8, "p50": 8.1, "p95": 21.0,
+//                       "p99": 34.2, "max": 58.9}}
+//     ]
+//   }
+//
+// Header-only on purpose: benches are standalone binaries and the writer
+// and validator must not drift apart.  validateBenchJson* is what the CI
+// bench-smoke job runs against emitted files.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace ninf::bench {
+
+inline constexpr const char* kBenchSchema = "ninf-bench-1";
+
+struct LatencyStats {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct BenchStep {
+  std::string label;
+  std::map<std::string, double> values;  // step knobs and derived extras
+  double duration_s = 0.0;
+  std::uint64_t calls = 0;
+  std::uint64_t errors = 0;
+  double throughput_cps = 0.0;  // aggregate calls per second
+  LatencyStats latency;         // per-call latency across the step
+};
+
+struct BenchReport {
+  std::string bench;                     // short name, e.g. "swarm"
+  std::map<std::string, double> config;  // run-wide knobs
+  std::vector<BenchStep> steps;
+};
+
+namespace detail {
+
+inline std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline void writeNumberMap(std::ostringstream& os,
+                           const std::map<std::string, double>& m) {
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << escape(k) << "\": " << v;
+  }
+  os << "}";
+}
+
+}  // namespace detail
+
+inline std::string toJson(const BenchReport& report) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n  \"schema\": \"" << kBenchSchema << "\",\n";
+  os << "  \"bench\": \"" << detail::escape(report.bench) << "\",\n";
+  os << "  \"config\": ";
+  detail::writeNumberMap(os, report.config);
+  os << ",\n  \"steps\": [";
+  bool first = true;
+  for (const BenchStep& s : report.steps) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"label\": \"" << detail::escape(s.label) << "\", ";
+    os << "\"values\": ";
+    detail::writeNumberMap(os, s.values);
+    os << ", \"duration_s\": " << s.duration_s << ", \"calls\": " << s.calls
+       << ", \"errors\": " << s.errors
+       << ", \"throughput_cps\": " << s.throughput_cps << ", \"latency_ms\": {"
+       << "\"mean\": " << s.latency.mean_ms << ", \"p50\": " << s.latency.p50_ms
+       << ", \"p95\": " << s.latency.p95_ms << ", \"p99\": " << s.latency.p99_ms
+       << ", \"max\": " << s.latency.max_ms << "}}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+inline bool writeBenchJson(const BenchReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << toJson(report);
+  return static_cast<bool>(out);
+}
+
+/// Validate a document against the schema above.  Returns an empty
+/// string when valid, otherwise a description of the first problem.
+inline std::string validateBenchJsonText(std::string_view text) {
+  obs::json::Value root;
+  try {
+    root = obs::json::parse(text);
+  } catch (const std::exception& e) {
+    return std::string("not JSON: ") + e.what();
+  }
+  using Type = obs::json::Value::Type;
+  if (root.type != Type::Object) return "top level is not an object";
+  const auto* schema = root.find("schema");
+  if (schema == nullptr || schema->type != Type::String) {
+    return "missing \"schema\" string";
+  }
+  if (schema->string != kBenchSchema) {
+    return "unknown schema \"" + schema->string + "\" (want " +
+           std::string(kBenchSchema) + ")";
+  }
+  const auto* bench = root.find("bench");
+  if (bench == nullptr || bench->type != Type::String ||
+      bench->string.empty()) {
+    return "missing \"bench\" name";
+  }
+  const auto* config = root.find("config");
+  if (config == nullptr || config->type != Type::Object) {
+    return "missing \"config\" object";
+  }
+  const auto* steps = root.find("steps");
+  if (steps == nullptr || steps->type != Type::Array) {
+    return "missing \"steps\" array";
+  }
+  if (steps->array.empty()) return "\"steps\" is empty";
+  for (std::size_t i = 0; i < steps->array.size(); ++i) {
+    const obs::json::Value& step = steps->array[i];
+    const std::string at = "steps[" + std::to_string(i) + "]";
+    if (step.type != Type::Object) return at + " is not an object";
+    const auto* label = step.find("label");
+    if (label == nullptr || label->type != Type::String) {
+      return at + " missing \"label\"";
+    }
+    for (const char* key : {"duration_s", "calls", "errors",
+                            "throughput_cps"}) {
+      const auto* v = step.find(key);
+      if (v == nullptr || v->type != Type::Number) {
+        return at + " missing number \"" + key + "\"";
+      }
+    }
+    const auto* lat = step.find("latency_ms");
+    if (lat == nullptr || lat->type != Type::Object) {
+      return at + " missing \"latency_ms\" object";
+    }
+    for (const char* key : {"mean", "p50", "p95", "p99", "max"}) {
+      const auto* v = lat->find(key);
+      if (v == nullptr || v->type != Type::Number) {
+        return at + ".latency_ms missing number \"" + key + "\"";
+      }
+    }
+  }
+  return {};
+}
+
+/// File variant; returns an empty string when valid.
+inline std::string validateBenchJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "cannot open '" + path + "'";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return validateBenchJsonText(buf.str());
+}
+
+}  // namespace ninf::bench

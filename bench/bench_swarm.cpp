@@ -13,7 +13,13 @@
 //   bench_swarm --workers 256 --window 4 --json BENCH_swarm.json
 //   bench_swarm --sweep 32,64,128,256 --payload 4096
 //   bench_swarm --idle-conns 5000 --sweep 8,16,32   # epoll reactor scale
+//   bench_swarm --dmmul 64 --workers 32         # repeated-args cache load
 //   bench_swarm --validate BENCH_swarm.json     # schema check, exit code
+//
+// --dmmul N replaces the ping workload with dmmul calls whose arguments
+// are the SAME two seeded N x N matrices from every caller — after the
+// first compute, the server's idempotent result cache should serve the
+// rest (cache_hit_rate is recorded per step).
 //
 // --idle-conns parks N negotiated-v2 connections on the server for the
 // whole run (connected, Hello'd, then silent) — the reactor-scale
@@ -41,6 +47,8 @@
 #include "client/client.h"
 #include "common/error.h"
 #include "common/table.h"
+#include "numlib/matrix.h"
+#include "obs/metrics.h"
 #include "obs/trace_session.h"
 #include "protocol/message.h"
 #include "server/registry.h"
@@ -60,6 +68,7 @@ struct Config {
   std::size_t channels = 8;        // shared multiplexed v2 connections
   std::size_t server_workers = 8;  // server execution threads
   std::size_t idle_conns = 0;      // parked v2 connections for the run
+  std::size_t dmmul_n = 0;         // >0: repeated-args dmmul, not ping
   std::string json_path;           // --json output (empty = none)
 };
 
@@ -88,6 +97,9 @@ struct StepResult {
   std::uint64_t calls = 0;
   std::uint64_t errors = 0;
   double cluster_cps = 0.0;     // sum of per-worker throughput
+  double cache_hits = 0.0;      // server.cache.* deltas (dmmul mode)
+  double cache_misses = 0.0;
+  double cache_merges = 0.0;
   double worker_cps_p50 = 0.0;  // per-worker throughput distribution
   double worker_cps_p95 = 0.0;
   double worker_cps_p99 = 0.0;
@@ -106,6 +118,18 @@ StepResult runStep(const Config& cfg, std::size_t workers,
   std::vector<std::uint64_t> errors(threads_total, 0);
   std::atomic<bool> stop{false};
 
+  // Repeated-args mode: every caller sends the SAME seeded matrices, so
+  // every request after the first is a byte-identical digest — the
+  // server's idempotent result cache should serve nearly all of them.
+  const std::size_t n = cfg.dmmul_n;
+  const numlib::Matrix ma =
+      n > 0 ? numlib::randomMatrix(n, 11) : numlib::Matrix();
+  const numlib::Matrix mb =
+      n > 0 ? numlib::randomMatrix(n, 12) : numlib::Matrix();
+  const double hits0 = obs::counter("server.cache.hits").value();
+  const double misses0 = obs::counter("server.cache.misses").value();
+  const double merges0 = obs::counter("server.cache.inflight_merges").value();
+
   std::vector<std::thread> threads;
   threads.reserve(threads_total);
   const auto start = std::chrono::steady_clock::now();
@@ -114,10 +138,20 @@ StepResult runStep(const Config& cfg, std::size_t workers,
       client::NinfClient& cl = *clients[t % clients.size()];
       auto& lat = latencies[t];
       lat.reserve(4096);
+      std::vector<double> out(n * n);
       while (!stop.load(std::memory_order_relaxed)) {
         const auto t0 = std::chrono::steady_clock::now();
         try {
-          cl.ping(cfg.payload);
+          if (n > 0) {
+            std::vector<protocol::ArgValue> args = {
+                protocol::ArgValue::inInt(static_cast<std::int64_t>(n)),
+                protocol::ArgValue::inArray(ma.flat()),
+                protocol::ArgValue::inArray(mb.flat()),
+                protocol::ArgValue::outArray(out)};
+            cl.call("dmmul", args);
+          } else {
+            cl.ping(cfg.payload);
+          }
           lat.push_back(std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - t0)
                             .count());
@@ -138,6 +172,10 @@ StepResult runStep(const Config& cfg, std::size_t workers,
   StepResult r;
   r.workers = workers;
   r.duration_s = wall;
+  r.cache_hits = obs::counter("server.cache.hits").value() - hits0;
+  r.cache_misses = obs::counter("server.cache.misses").value() - misses0;
+  r.cache_merges =
+      obs::counter("server.cache.inflight_merges").value() - merges0;
   // Per-worker throughput: a worker's calls are the sum over its window
   // threads.
   std::vector<double> worker_cps(workers, 0.0);
@@ -192,8 +230,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--workers N | --sweep N1,N2,...] [--window W]\n"
       "          [--payload BYTES] [--duration SECONDS] [--channels C]\n"
-      "          [--server-workers W] [--idle-conns N] [--json PATH]\n"
-      "          [--trace PATH]\n"
+      "          [--server-workers W] [--idle-conns N] [--dmmul N]\n"
+      "          [--json PATH] [--trace PATH]\n"
       "       %s --validate BENCH.json\n",
       argv0, argv0);
   return 2;
@@ -243,6 +281,8 @@ int main(int argc, char** argv) {
       cfg.server_workers = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--idle-conns") {
       cfg.idle_conns = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--dmmul") {
+      cfg.dmmul_n = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--json") {
       cfg.json_path = value();
     } else {
@@ -303,6 +343,7 @@ int main(int argc, char** argv) {
       {"channels", static_cast<double>(cfg.channels)},
       {"server_workers", static_cast<double>(cfg.server_workers)},
       {"idle_conns", static_cast<double>(cfg.idle_conns)},
+      {"dmmul_n", static_cast<double>(cfg.dmmul_n)},
       {"threads_before_idle", static_cast<double>(threads_before_idle)},
       {"threads_after_idle", static_cast<double>(threads_after_idle)},
   };
@@ -340,6 +381,19 @@ int main(int argc, char** argv) {
         {"worker_cps_p99", r.worker_cps_p99},
         {"worker_cps_max", r.worker_cps_max},
     };
+    if (cfg.dmmul_n > 0) {
+      const double served = r.cache_hits + r.cache_misses + r.cache_merges;
+      step.values["cache_hits"] = r.cache_hits;
+      step.values["cache_misses"] = r.cache_misses;
+      step.values["inflight_merges"] = r.cache_merges;
+      step.values["cache_hit_rate"] =
+          served > 0 ? (r.cache_hits + r.cache_merges) / served : 0.0;
+      std::printf(
+          "workers=%zu cache: %.0f hits + %.0f merges / %.0f lookups "
+          "(hit rate %.3f)\n",
+          workers, r.cache_hits, r.cache_merges, served,
+          served > 0 ? (r.cache_hits + r.cache_merges) / served : 0.0);
+    }
     step.duration_s = r.duration_s;
     step.calls = r.calls;
     step.errors = r.errors;

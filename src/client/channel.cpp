@@ -1,8 +1,11 @@
 #include "client/channel.h"
 
 #include <algorithm>
+#include <array>
 #include <utility>
+#include <vector>
 
+#include "common/batch.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "obs/metrics.h"
@@ -22,6 +25,11 @@ void bumpInflight(long delta) {
   static obs::Gauge& gauge = obs::gauge("channel.inflight");
   gauge.set(static_cast<double>(g_inflight.fetch_add(delta) + delta));
 }
+
+/// Frames at or below this flattened size ride the group-commit batch
+/// path; larger bodies (bulk array arguments) keep the direct
+/// scatter-gather send, which already amortizes its syscall.
+constexpr std::size_t kBatchableFrameBytes = 16 * 1024;
 
 }  // namespace
 
@@ -289,10 +297,6 @@ Channel::Reply Channel::transactV2(
   // span rather than under "send".
   const obs::TraceContext trace_ctx = obs::currentContext();
   try {
-    LockGuard g(send_mutex_);
-    if (broken_.load(std::memory_order_acquire) || wire_ == nullptr) {
-      throw TransportError("channel broken");
-    }
     obs::Span send(obs::phase::kSend, static_cast<std::int64_t>(body.size()));
     {
       // Provisional send-start stamp.  The reply cannot arrive before the
@@ -301,14 +305,28 @@ Channel::Reply Channel::transactV2(
       LockGuard p(pending_mutex_);
       call->sent_us = obs::Tracer::nowMicros();
     }
-    if (trace_wire_.load(std::memory_order_acquire)) {
-      protocol::sendMessageV2Traced(
-          *wire_, type, id,
-          protocol::WireTraceContext{trace_ctx.trace_id,
-                                     trace_ctx.parent_span},
-          body);
+    const bool traced = trace_wire_.load(std::memory_order_acquire);
+    const protocol::WireTraceContext wctx{trace_ctx.trace_id,
+                                          trace_ctx.parent_span};
+    const protocol::WireMode wire_mode =
+        traced ? protocol::WireMode::V2Traced : protocol::WireMode::V2;
+    if (protocol::headerBytes(wire_mode) + body.size() <=
+        kBatchableFrameBytes) {
+      // Small call: flatten once and group-commit with its concurrent
+      // siblings — under high in-flight counts many frames share one
+      // writev instead of contending for send_mutex_ one syscall each.
+      sendV2Batched(
+          protocol::flattenFramePooled(wire_mode, type, id, wctx, body));
     } else {
-      protocol::sendMessageV2(*wire_, type, id, body);
+      LockGuard g(send_mutex_);
+      if (broken_.load(std::memory_order_acquire) || wire_ == nullptr) {
+        throw TransportError("channel broken");
+      }
+      if (traced) {
+        protocol::sendMessageV2Traced(*wire_, type, id, wctx, body);
+      } else {
+        protocol::sendMessageV2(*wire_, type, id, body);
+      }
     }
     {
       LockGuard p(pending_mutex_);
@@ -380,6 +398,81 @@ Channel::Reply Channel::transactV2(
     throw TimeoutError("reply stalled mid-body past deadline (call " +
                        std::to_string(id) + ")");
   }
+}
+
+void Channel::sendV2Batched(common::PooledBuffer frame) {
+  static obs::Counter& flushes = obs::counter("channel.batch.flushes");
+  static obs::Counter& batched = obs::counter("channel.batch.frames");
+  static obs::Histogram& per_writev =
+      obs::histogram("channel.batch.frames_per_writev");
+
+  auto item = std::make_shared<BatchItem>();
+  item->frame = std::move(frame);
+  UniqueLock b(batch_mutex_);
+  if (broken_.load(std::memory_order_acquire)) {
+    throw TransportError("channel broken");
+  }
+  batch_queue_.push_back(item);
+  if (batch_flusher_active_) {
+    // A flusher is on the wire; it owns this frame now.  It marks the
+    // item done (success or error) before it retires, so this wait
+    // cannot be missed.
+    batch_cv_.wait(b, [&] { return item->done; });
+    if (item->error) std::rethrow_exception(item->error);
+    return;
+  }
+
+  batch_flusher_active_ = true;
+  while (!batch_queue_.empty()) {
+    // Collect one writev's worth under the lock...
+    const common::BatchLimits limits = common::batchLimits();
+    std::vector<std::shared_ptr<BatchItem>> wave;
+    std::size_t wave_bytes = 0;
+    while (!batch_queue_.empty() && wave.size() < limits.max_iov &&
+           (wave.empty() || wave_bytes < limits.max_bytes)) {
+      wave_bytes += batch_queue_.front()->frame.size();
+      wave.push_back(std::move(batch_queue_.front()));
+      batch_queue_.pop_front();
+    }
+    b.unlock();
+    // ...then send it outside, so late arrivals queue behind us instead
+    // of blocking — they are the next wave.
+    std::exception_ptr err;
+    try {
+      LockGuard g(send_mutex_);
+      if (broken_.load(std::memory_order_acquire) || wire_ == nullptr) {
+        throw TransportError("channel broken");
+      }
+      std::array<std::span<const std::uint8_t>, 64> iov;
+      const std::size_t count = std::min(wave.size(), iov.size());
+      for (std::size_t i = 0; i < count; ++i) iov[i] = wave[i]->frame.span();
+      wire_->sendv({iov.data(), count});
+      flushes.add();
+      batched.add(count);
+      per_writev.observe(static_cast<double>(count));
+    } catch (...) {
+      err = std::current_exception();
+    }
+    b.lock();
+    for (auto& w : wave) {
+      w->done = true;
+      w->error = err;
+    }
+    if (err) {
+      // A partial writev poisons the wire for everything queued behind
+      // it too — the callers re-surface this via their own cleanup.
+      for (auto& q : batch_queue_) {
+        q->done = true;
+        q->error = err;
+      }
+      batch_queue_.clear();
+    }
+    batch_cv_.notify_all();
+    if (err) break;
+  }
+  batch_flusher_active_ = false;
+  b.unlock();
+  if (item->error) std::rethrow_exception(item->error);
 }
 
 void Channel::erasePending(std::uint64_t id) {

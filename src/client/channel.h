@@ -28,12 +28,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <thread>
 
+#include "common/buffer_pool.h"
 #include "common/sync.h"
 #include "protocol/message.h"
 #include "transport/transport.h"
@@ -160,6 +162,15 @@ class Channel {
   /// Remove one pending entry (if still present) and update the gauge.
   void erasePending(std::uint64_t id);
 
+  /// Group-commit send of one small pre-flattened v2 frame: the frame
+  /// joins the batch queue, and the first enqueuer becomes the flusher —
+  /// it collects every frame queued by concurrent callers (bounded by
+  /// common::batchLimits()) and writes them with ONE sendv while later
+  /// arrivals keep queueing, then wakes the owners.  Returns once this
+  /// frame is on the wire; throws TransportError (exactly like a direct
+  /// send) if its flush failed.
+  void sendV2Batched(common::PooledBuffer frame);
+
   /// Serializes connection setup / negotiation / teardown, and the whole
   /// exchange in v1 mode.  Lock order: setup -> send -> pending.
   mutable Mutex setup_mutex_{"channel.setup"};
@@ -178,6 +189,22 @@ class Channel {
   /// send), so v2 senders reach the wire without the setup lock.
   Mutex send_mutex_ NINF_ACQUIRED_AFTER(setup_mutex_){"channel.send"};
   transport::Stream* wire_ NINF_GUARDED_BY(send_mutex_) = nullptr;
+
+  /// Send-side batching state.  "channel.batch" orders BEFORE
+  /// "channel.send" in the canonical hierarchy, but the flusher never
+  /// holds both: it collects a wave under batch_mutex_, releases it,
+  /// and performs the sendv under send_mutex_ alone — so enqueuers are
+  /// never parked behind wire I/O (that is the group commit).
+  struct BatchItem {
+    common::PooledBuffer frame;
+    bool done = false;  // guarded by the owning channel's batch_mutex_
+    std::exception_ptr error;
+  };
+  Mutex batch_mutex_{"channel.batch"};
+  CondVar batch_cv_;
+  std::deque<std::shared_ptr<BatchItem>> batch_queue_
+      NINF_GUARDED_BY(batch_mutex_);
+  bool batch_flusher_active_ NINF_GUARDED_BY(batch_mutex_) = false;
   Mutex pending_mutex_ NINF_ACQUIRED_AFTER(send_mutex_){"channel.pending"};
   std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending_
       NINF_GUARDED_BY(pending_mutex_);

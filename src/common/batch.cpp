@@ -1,0 +1,56 @@
+#include "common/batch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace ninf::common {
+
+namespace {
+
+constexpr std::size_t kMinIov = 1;
+constexpr std::size_t kMaxIov = 64;
+constexpr std::size_t kMinBytes = 4 * 1024;
+constexpr std::size_t kMaxBytes = 16u * 1024 * 1024;
+
+std::size_t clamp(std::size_t v, std::size_t lo, std::size_t hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+std::size_t envOr(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+std::atomic<std::size_t>& maxIov() {
+  static std::atomic<std::size_t> v{
+      clamp(envOr("NINF_BATCH_MAX_IOV", BatchLimits{}.max_iov), kMinIov,
+            kMaxIov)};
+  return v;
+}
+
+std::atomic<std::size_t>& maxBytes() {
+  static std::atomic<std::size_t> v{
+      clamp(envOr("NINF_BATCH_MAX_BYTES", BatchLimits{}.max_bytes), kMinBytes,
+            kMaxBytes)};
+  return v;
+}
+
+}  // namespace
+
+BatchLimits batchLimits() {
+  return BatchLimits{maxIov().load(std::memory_order_relaxed),
+                     maxBytes().load(std::memory_order_relaxed)};
+}
+
+void setBatchLimits(const BatchLimits& limits) {
+  maxIov().store(clamp(limits.max_iov, kMinIov, kMaxIov),
+                 std::memory_order_relaxed);
+  maxBytes().store(clamp(limits.max_bytes, kMinBytes, kMaxBytes),
+                   std::memory_order_relaxed);
+}
+
+}  // namespace ninf::common

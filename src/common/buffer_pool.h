@@ -1,0 +1,111 @@
+// Slab/pool allocator for hot-path wire buffers.
+//
+// The steady state of a loaded server is millions of short-lived byte
+// buffers per second — reassembled frame bodies, flattened replies,
+// batched send frames — all clustered in a handful of sizes.  Paying a
+// heap round-trip for each is the single largest per-call cost once
+// syscalls are amortized (ROADMAP item 4b), so this pool recycles them:
+//
+//   * size-classed slabs (256 B .. 1 MiB, x4 steps; larger requests fall
+//     through to the heap and are counted as misses),
+//   * a per-thread cache of a few free slabs per class (no lock on the
+//     hit path),
+//   * a bounded global overflow list per class under one leaf mutex
+//     ("pool.buffers") that threads spill into / refill from.
+//
+// PooledBuffer is the RAII handle: move-only, returns its slab on
+// destruction.  Ownership rule: whoever holds the PooledBuffer owns the
+// bytes; handing a buffer across threads (worker -> reactor) transfers
+// ownership with the move — the pool itself is thread-safe either way.
+//
+// Metrics: pool.buffers.hits / pool.buffers.misses counters and the
+// pool.buffers.resident_bytes gauge (bytes parked in free lists).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ninf::common {
+
+class BufferPool;
+
+/// Move-only byte buffer backed by BufferPool.  size() is the valid
+/// prefix; capacity() is the slab size.  resize() never reallocates —
+/// it is bounded by capacity() — so a filled buffer costs zero heap
+/// traffic on the hot path.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  ~PooledBuffer();
+
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : data_(other.data_), size_(other.size_), cap_(other.cap_) {
+    other.data_ = nullptr;
+    other.size_ = other.cap_ = 0;
+  }
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept;
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  std::uint8_t* data() { return data_; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+  bool empty() const { return size_ == 0; }
+
+  std::span<const std::uint8_t> span() const { return {data_, size_}; }
+  std::span<std::uint8_t> writableSpan() { return {data_, size_}; }
+
+  /// Set the valid size; must not exceed capacity() (throws ninf::Error).
+  void resize(std::size_t n);
+  void clear() { size_ = 0; }
+  /// Append bytes; total must fit in capacity() (throws ninf::Error).
+  void append(std::span<const std::uint8_t> bytes);
+
+ private:
+  friend class BufferPool;
+  PooledBuffer(std::uint8_t* data, std::size_t cap)
+      : data_(data), size_(0), cap_(cap) {}
+
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+class BufferPool {
+ public:
+  /// Size classes: kMinClassBytes << (2*i) for i in [0, kClasses).
+  static constexpr std::size_t kClasses = 7;           // 256B..1MiB
+  static constexpr std::size_t kMinClassBytes = 256;
+  static constexpr std::size_t kMaxClassBytes = 1u << 20;
+  /// Free slabs cached per class per thread (lock-free hit path).
+  static constexpr std::size_t kThreadCacheSlots = 8;
+  /// Free slabs parked per class in the shared overflow list.
+  static constexpr std::size_t kGlobalSlots = 64;
+
+  static BufferPool& instance();
+
+  /// Buffer with capacity() >= min_capacity and size() == 0.  Requests
+  /// above kMaxClassBytes are plain heap allocations (counted as
+  /// misses) and are freed, not pooled, on release.
+  PooledBuffer acquire(std::size_t min_capacity);
+
+  /// Flush this thread's cache into the global lists (tests; also runs
+  /// automatically at thread exit).
+  void trimThreadCache();
+
+  /// Free everything parked in the global lists (tests measuring
+  /// resident bytes from a clean slate).
+  void drainGlobal();
+
+ private:
+  friend class PooledBuffer;
+  BufferPool() = default;
+  void release(std::uint8_t* data, std::size_t cap);
+};
+
+/// Convenience: BufferPool::instance().acquire(n).
+PooledBuffer acquireBuffer(std::size_t min_capacity);
+
+}  // namespace ninf::common

@@ -190,6 +190,21 @@ void declareCanonicalHierarchy() {
   // Leaf instruments.
   declareOrder({"server.metrics", "obs.registry"});
   declareOrder({"obs.trace.registry", "obs.trace.buffer"});
+  // Hot-path pooling/batching/caching (PR 8).  The buffer-pool global
+  // list is a strict leaf: PooledBuffers can be destroyed while the
+  // reactor drains its solo queue, while a channel drains its batch
+  // queue, or under the result cache's eviction path, so every one of
+  // those locks must sit above it.
+  declareOrder({"server.reactor.solo", "pool.buffers"});
+  declareOrder({"channel.batch", "pool.buffers"});
+  declareOrder({"server.cache", "pool.buffers"});
+  // The channel's group-commit flusher collects frames under the batch
+  // lock, releases it, then sends under the send lock — it never holds
+  // both, but enqueuers run under transactV2 which may later take the
+  // send lock, so the canonical order is batch above send.
+  declareOrder({"channel.batch", "channel.send"});
+  declareOrder({"channel.batch", "obs.registry"});
+  declareOrder({"server.cache", "obs.registry"});
 }
 
 std::once_flag g_hierarchy_once;

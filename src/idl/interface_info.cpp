@@ -126,6 +126,9 @@ void InterfaceInfo::encode(xdr::Encoder& enc) const {
   enc.putString(call_target);
   enc.putU32(static_cast<std::uint32_t>(call_arg_order.size()));
   for (auto idx : call_arg_order) enc.putU32(idx);
+  // Trailing extension word (Idempotent flag).  Decoders treat it as
+  // optional, so blobs from older encoders still decode.
+  enc.putBool(idempotent);
 }
 
 InterfaceInfo InterfaceInfo::decode(xdr::Decoder& dec) {
@@ -167,6 +170,8 @@ InterfaceInfo InterfaceInfo::decode(xdr::Decoder& dec) {
   for (std::uint32_t i = 0; i < norder; ++i) {
     info.call_arg_order.push_back(dec.getU32());
   }
+  // Optional trailing Idempotent flag; absent in pre-extension blobs.
+  info.idempotent = dec.remaining() >= 4 && dec.getBool();
   if (!info.validate()) throw ProtocolError("interface info fails validation");
   return info;
 }

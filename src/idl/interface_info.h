@@ -55,6 +55,11 @@ struct InterfaceInfo {
   /// operation count as a function of the scalar inputs.  Used by the
   /// Shortest-Job-First server policy and the metaserver (section 5.1-5.2).
   ExprProgram calc_order;
+  /// 'Idempotent,' clause: the entry is a pure function of its IN
+  /// arguments (no hidden state, no side effects), so a server may
+  /// satisfy repeated calls with identical arguments from a result
+  /// cache.  The numerical kernels the paper benchmarks all qualify.
+  bool idempotent = false;
   std::string call_language;      // Calls "C" ...
   std::string call_target;        // local routine name
   std::vector<std::uint32_t> call_arg_order;  // call position -> param index

@@ -104,6 +104,9 @@ class Parser {
       } else if (acceptIdent("CalcOrder")) {
         calc_ast = expr();
         accept(TokenKind::Comma);
+      } else if (acceptIdent("Idempotent")) {
+        info.idempotent = true;
+        accept(TokenKind::Comma);
       } else {
         break;
       }
@@ -343,6 +346,7 @@ std::string formatInterface(const InterfaceInfo& info) {
   if (!info.calc_order.empty()) {
     os << "\nCalcOrder " << info.calc_order.toString(names) << ",";
   }
+  if (info.idempotent) os << "\nIdempotent,";
   os << "\nCalls \"" << info.call_language << "\" " << info.call_target << "(";
   for (std::size_t i = 0; i < info.call_arg_order.size(); ++i) {
     if (i) os << ",";

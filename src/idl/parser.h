@@ -6,7 +6,8 @@
 //   define     := 'Define' IDENT '(' [param {',' param}] ')'
 //                 [STRING [',']]                      -- description
 //                 { 'Required' STRING [',']
-//                 | 'CalcOrder' expr [','] }
+//                 | 'CalcOrder' expr [',']
+//                 | 'Idempotent' [','] }              -- pure function, cacheable
 //                 'Calls' STRING IDENT '(' [IDENT {',' IDENT}] ')' ';'
 //   param      := {modifier} IDENT {'[' expr ']'}
 //   modifier   := 'mode_in' | 'mode_out' | 'mode_inout' | 'IN' | 'OUT'

@@ -54,24 +54,50 @@ void encodeHeaderV2Traced(MessageType type, std::size_t length,
 /// Sink gathering spans for one vectored send.  Spans stay valid until
 /// flush() per the xdr::Sink contract, so the frame header, the encoder's
 /// owned section, and the current byteswap scratch chunk leave in a
-/// single sendv (writev on TCP).
+/// single sendv (writev on TCP).  The segment array is inline — a frame
+/// emits a handful of spans per flush boundary — so assembling one send
+/// costs no heap traffic; in the (never seen in practice) case of more
+/// spans than slots, the sink flushes early, which just splits the
+/// sequential byte stream across two sendv calls.
 class StreamSink : public xdr::Sink {
  public:
   explicit StreamSink(transport::Stream& stream) : stream_(stream) {}
 
   void write(std::span<const std::uint8_t> bytes) override {
-    if (!bytes.empty()) iov_.push_back(bytes);
+    if (bytes.empty()) return;
+    if (count_ == kInlineIov) flush();
+    iov_[count_++] = bytes;
   }
 
   void flush() override {
-    if (iov_.empty()) return;
-    stream_.sendv(iov_);
-    iov_.clear();
+    if (count_ == 0) return;
+    stream_.sendv({iov_.data(), count_});
+    count_ = 0;
   }
 
  private:
+  static constexpr std::size_t kInlineIov = 16;
+
   transport::Stream& stream_;
-  std::vector<std::span<const std::uint8_t>> iov_;
+  std::array<std::span<const std::uint8_t>, kInlineIov> iov_;
+  std::size_t count_ = 0;
+};
+
+/// Sink appending into a pool slab (flattenFramePooled).  Copies
+/// immediately, so the no-dangling-until-flush contract is trivially
+/// met.
+class BufferSink : public xdr::Sink {
+ public:
+  explicit BufferSink(common::PooledBuffer& out) : out_(out) {}
+
+  void write(std::span<const std::uint8_t> bytes) override {
+    out_.append(bytes);
+  }
+
+  void flush() override {}
+
+ private:
+  common::PooledBuffer& out_;
 };
 
 }  // namespace
@@ -223,10 +249,21 @@ void FrameAssembler::feed(std::span<const std::uint8_t> bytes) {
 }
 
 void FrameAssembler::compact() {
-  // Reclaim the consumed prefix once it dominates the buffer, so a
-  // long-lived connection does not grow its buffer without bound while
-  // staying O(1) amortized per byte.
+  // Fully consumed: reset both cursors — no bytes move at all.  This is
+  // the common case under batched small frames (one read drains into N
+  // frames, all popped before the next read).
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+    return;
+  }
+  // Otherwise reclaim the consumed prefix only once it dominates the
+  // buffer, so a long-lived connection does not grow its buffer without
+  // bound while staying O(1) amortized per byte: each retained byte is
+  // moved at most once per halving, bounding movedBytes() linearly in
+  // bytes fed.
   if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    moved_bytes_ += buf_.size() - pos_;
     buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
     pos_ = 0;
   }
@@ -246,37 +283,78 @@ std::optional<Frame> FrameAssembler::next() {
   }
   Frame frame;
   frame.header = header_;
-  frame.body.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                    buf_.begin() + static_cast<std::ptrdiff_t>(pos_) +
-                        static_cast<std::ptrdiff_t>(header_.length));
+  frame.body = common::acquireBuffer(header_.length);
+  frame.body.append({buf_.data() + pos_, header_.length});
   pos_ += header_.length;
   have_header_ = false;
   compact();
   return frame;
 }
 
+namespace {
+
+/// Encode the mode's header layout into `out`; returns its length.
+std::size_t encodeModeHeader(WireMode mode, MessageType type,
+                             std::size_t length, std::uint64_t call_id,
+                             const WireTraceContext& ctx,
+                             std::uint8_t out[kHeaderBytesV2Traced]) {
+  switch (mode) {
+    case WireMode::V1:
+      encodeHeader(type, length, out);
+      break;
+    case WireMode::V2:
+      encodeHeaderV2(type, length, call_id, out);
+      break;
+    case WireMode::V2Traced:
+      encodeHeaderV2Traced(type, length, call_id, ctx, out);
+      break;
+  }
+  return headerBytes(mode);
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> flattenFrame(WireMode mode, MessageType type,
                                        std::uint64_t call_id,
                                        const WireTraceContext& ctx,
                                        const xdr::Encoder& body) {
   NINF_REQUIRE(body.size() <= kMaxPayload, "payload too large");
-  const std::size_t header_len = headerBytes(mode);
+  std::uint8_t header[kHeaderBytesV2Traced];
+  const std::size_t header_len =
+      encodeModeHeader(mode, type, body.size(), call_id, ctx, header);
   std::vector<std::uint8_t> out;
   out.reserve(header_len + body.size());
-  std::uint8_t header[kHeaderBytesV2Traced];
-  switch (mode) {
-    case WireMode::V1:
-      encodeHeader(type, body.size(), header);
-      break;
-    case WireMode::V2:
-      encodeHeaderV2(type, body.size(), call_id, header);
-      break;
-    case WireMode::V2Traced:
-      encodeHeaderV2Traced(type, body.size(), call_id, ctx, header);
-      break;
-  }
   out.insert(out.end(), header, header + header_len);
   body.appendTo(out);  // copies borrowed segments, byteswapped
+  return out;
+}
+
+common::PooledBuffer flattenFramePooled(WireMode mode, MessageType type,
+                                        std::uint64_t call_id,
+                                        const WireTraceContext& ctx,
+                                        const xdr::Encoder& body) {
+  NINF_REQUIRE(body.size() <= kMaxPayload, "payload too large");
+  std::uint8_t header[kHeaderBytesV2Traced];
+  const std::size_t header_len =
+      encodeModeHeader(mode, type, body.size(), call_id, ctx, header);
+  common::PooledBuffer out = common::acquireBuffer(header_len + body.size());
+  out.append({header, header_len});
+  BufferSink sink(out);
+  body.emitTo(sink);  // copies borrowed segments, byteswapped
+  return out;
+}
+
+common::PooledBuffer frameFromPayload(WireMode mode, MessageType type,
+                                      std::uint64_t call_id,
+                                      const WireTraceContext& ctx,
+                                      std::span<const std::uint8_t> payload) {
+  NINF_REQUIRE(payload.size() <= kMaxPayload, "payload too large");
+  std::uint8_t header[kHeaderBytesV2Traced];
+  const std::size_t header_len =
+      encodeModeHeader(mode, type, payload.size(), call_id, ctx, header);
+  common::PooledBuffer out = common::acquireBuffer(header_len + payload.size());
+  out.append({header, header_len});
+  out.append(payload);
   return out;
 }
 

@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "transport/transport.h"
 #include "xdr/xdr.h"
 
@@ -200,10 +201,13 @@ constexpr std::size_t headerBytes(WireMode mode) {
 }
 
 /// One complete frame popped off a FrameAssembler: the validated header
-/// plus the materialized body.
+/// plus the materialized body.  The body lives in a pool slab so the
+/// per-frame steady state costs no heap traffic; moving the Frame moves
+/// ownership of the slab with it (worker threads routinely consume
+/// frames popped on the reactor thread).
 struct Frame {
   FrameHeader header;
-  std::vector<std::uint8_t> body;
+  common::PooledBuffer body;
 };
 
 /// Incremental frame reassembly for event-driven servers: raw bytes read
@@ -238,6 +242,14 @@ class FrameAssembler {
   /// True when a frame header was parsed but its body is incomplete.
   bool midFrame() const { return have_header_; }
 
+  /// Total bytes physically moved by buffer compaction since
+  /// construction.  Regression hook: consumption is tracked by offset
+  /// and compaction is deferred until the consumed prefix dominates the
+  /// buffer, so this grows at most linearly in bytes fed — a quadratic
+  /// memcpy-shift regime (shift on every pop) would blow well past
+  /// that bound under thousands of tiny batched frames.
+  std::uint64_t movedBytes() const { return moved_bytes_; }
+
  private:
   void compact();
 
@@ -245,6 +257,7 @@ class FrameAssembler {
   WireMode mode_ = WireMode::V1;
   std::vector<std::uint8_t> buf_;
   std::size_t pos_ = 0;  // consumed prefix of buf_
+  std::uint64_t moved_bytes_ = 0;
   bool have_header_ = false;
   FrameHeader header_{};  // valid while have_header_
 };
@@ -259,6 +272,23 @@ std::vector<std::uint8_t> flattenFrame(WireMode mode, MessageType type,
                                        std::uint64_t call_id,
                                        const WireTraceContext& ctx,
                                        const xdr::Encoder& body);
+
+/// flattenFrame into a pool slab instead of a fresh vector — the
+/// steady-state reply path of the reactor pipeline, where the epilogue
+/// flattens on a worker and the slab travels to the reactor's write
+/// queue and back to the pool after the writev.
+common::PooledBuffer flattenFramePooled(WireMode mode, MessageType type,
+                                        std::uint64_t call_id,
+                                        const WireTraceContext& ctx,
+                                        const xdr::Encoder& body);
+
+/// Materialize a frame around an already-flattened payload (result-cache
+/// hits replaying a stored reply body under a new call ID / trace
+/// context).  Pool-backed like flattenFramePooled.
+common::PooledBuffer frameFromPayload(WireMode mode, MessageType type,
+                                      std::uint64_t call_id,
+                                      const WireTraceContext& ctx,
+                                      std::span<const std::uint8_t> payload);
 
 /// Record a materialized wire-buffer size in the
 /// "wire.peak_buffer_bytes" gauge (monotonic max since last metrics

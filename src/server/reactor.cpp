@@ -7,6 +7,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/batch.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "obs/metrics.h"
@@ -168,6 +169,10 @@ void Reactor::loop() {
     // Replies posted by workers while this thread was busy dispatching
     // would otherwise wait a full epoll round behind their own wakeup.
     drainSolo();
+    // Every reply queued during this iteration — frame dispatch, solo
+    // drains, resumed reads — leaves now in one coalesced writev per
+    // connection, before the loop blocks again.
+    flushPending();
   }
 }
 
@@ -306,14 +311,15 @@ void Reactor::dispatchFrame(Conn& conn, Frame frame) {
         // reactor thread (registry/pending lookups, no compute).
         protocol::Message msg;
         msg.type = frame.header.type;
-        msg.payload = std::move(frame.body);
+        msg.payload.assign(frame.body.data(),
+                           frame.body.data() + frame.body.size());
         protocol::noteWireBuffer(msg.payload.size());
         NinfServer::ReplyEnvelope env = server_.controlReply(msg);
         queueReply(conn.id,
-                   protocol::flattenFrame(conn.mode, env.type,
-                                          frame.header.call_id,
-                                          frame.header.trace,
-                                          env.payload.body));
+                   protocol::flattenFramePooled(conn.mode, env.type,
+                                                frame.header.call_id,
+                                                frame.header.trace,
+                                                env.payload.body));
         return;
       }
     }
@@ -326,7 +332,7 @@ void Reactor::dispatchFrame(Conn& conn, Frame frame) {
 
 void Reactor::handleHello(Conn& conn, const Frame& frame) {
   static obs::Counter& upgrades = obs::counter("server.v2_connections");
-  xdr::Decoder dec(frame.body);
+  xdr::Decoder dec(frame.body.span());
   const std::uint32_t client_max = dec.getU32();
   const bool client_sent_features = dec.remaining() >= 4;
   const std::uint32_t client_features =
@@ -338,9 +344,10 @@ void Reactor::handleHello(Conn& conn, const Frame& frame) {
   if (client_sent_features) ack.putU32(features);
   // The ack itself travels in the pre-upgrade framing; the new mode
   // applies from the next frame in both directions.
-  queueReply(conn.id, protocol::flattenFrame(conn.mode, MessageType::HelloAck,
-                                             frame.header.call_id,
-                                             frame.header.trace, ack));
+  queueReply(conn.id,
+             protocol::flattenFramePooled(conn.mode, MessageType::HelloAck,
+                                          frame.header.call_id,
+                                          frame.header.trace, ack));
   if (agreed >= protocol::kVersion2) {
     upgrades.add();
     conn.mode = (features & protocol::kFeatureTraceContext)
@@ -350,19 +357,20 @@ void Reactor::handleHello(Conn& conn, const Frame& frame) {
   }
 }
 
-void Reactor::queueReply(std::uint64_t conn_id,
-                         std::vector<std::uint8_t> frame) {
+void Reactor::queueReply(std::uint64_t conn_id, common::PooledBuffer frame) {
   auto it = conns_.find(conn_id);
   if (it == conns_.end() || it->second.dead) return;
   it->second.writeq.push_back(OutBuf{std::move(frame), 0});
   ++epilogue_depth_;
   obs::gauge("server.reactor.stage_depth.epilogue")
       .set(static_cast<double>(epilogue_depth_));
-  flushConn(it->second);
+  // No immediate flush: frames queued in the same wakeup burst coalesce
+  // into one writev at the end of the loop iteration (flushPending).
+  markFlush(it->second);
 }
 
 void Reactor::finishStagedCall(std::uint64_t conn_id,
-                               std::vector<std::uint8_t> reply) {
+                               common::PooledBuffer reply) {
   auto it = conns_.find(conn_id);
   if (it == conns_.end()) {
     // The connection died mid-call; its staged budget was released by
@@ -390,15 +398,45 @@ bool Reactor::connAlive(std::uint64_t conn_id) const {
   return it != conns_.end() && !it->second.dead;
 }
 
+void Reactor::markFlush(Conn& conn) {
+  if (conn.flush_queued) return;
+  conn.flush_queued = true;
+  flush_pending_.push_back(conn.id);
+}
+
+void Reactor::flushPending() {
+  // Index loop: flushConn -> maybeDestroy -> resumeReads can queue more
+  // replies, which append to flush_pending_ mid-iteration.
+  for (std::size_t i = 0; i < flush_pending_.size(); ++i) {
+    auto it = conns_.find(flush_pending_[i]);
+    if (it == conns_.end()) continue;
+    it->second.flush_queued = false;
+    flushConn(it->second);
+    maybeDestroy(it->first);
+  }
+  flush_pending_.clear();
+}
+
 void Reactor::flushConn(Conn& conn) {
   if (conn.dead) return;
+  static obs::Counter& flushes = obs::counter("server.reactor.batch.flushes");
+  static obs::Counter& frames = obs::counter("server.reactor.batch.frames");
+  static obs::Histogram& per_writev =
+      obs::histogram("server.reactor.batch.frames_per_writev");
+  const common::BatchLimits limits = common::batchLimits();
   while (!conn.writeq.empty()) {
-    std::array<std::span<const std::uint8_t>, 8> iov;
+    // Coalesce up to max_iov queued frames (bounded by the byte budget,
+    // always at least one) into a single vectored send.
+    std::array<std::span<const std::uint8_t>, 64> iov;
+    const std::size_t iov_limit = std::min(iov.size(), limits.max_iov);
     std::size_t count = 0;
+    std::size_t bytes = 0;
     for (const OutBuf& buf : conn.writeq) {
-      if (count == iov.size()) break;
+      if (count == iov_limit) break;
+      if (count > 0 && bytes >= limits.max_bytes) break;
       iov[count++] = std::span<const std::uint8_t>(
           buf.bytes.data() + buf.off, buf.bytes.size() - buf.off);
+      bytes += buf.bytes.size() - buf.off;
     }
     std::size_t sent = 0;
     try {
@@ -409,6 +447,9 @@ void Reactor::flushConn(Conn& conn) {
       killConn(conn);
       return;
     }
+    flushes.add();
+    frames.add(count);
+    per_writev.observe(static_cast<double>(count));
     if (sent == 0) break;  // kernel buffer full
     while (sent > 0 && !conn.writeq.empty()) {
       OutBuf& front = conn.writeq.front();
@@ -418,6 +459,8 @@ void Reactor::flushConn(Conn& conn) {
         conn.writeq.pop_front();
         --epilogue_depth_;
       } else {
+        // Short write: advance the per-buffer offset so the retry
+        // resumes mid-frame — never re-sends flushed bytes.
         front.off += sent;
         sent = 0;
       }
@@ -530,8 +573,8 @@ Reactor::Reactor(NinfServer& server,
 Reactor::~Reactor() = default;
 void Reactor::stop() {}
 void Reactor::postSolo(std::function<void()>) {}
-void Reactor::queueReply(std::uint64_t, std::vector<std::uint8_t>) {}
-void Reactor::finishStagedCall(std::uint64_t, std::vector<std::uint8_t>) {}
+void Reactor::queueReply(std::uint64_t, common::PooledBuffer) {}
+void Reactor::finishStagedCall(std::uint64_t, common::PooledBuffer) {}
 bool Reactor::connAlive(std::uint64_t) const { return false; }
 
 #endif  // __linux__

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/sync.h"
 #include "protocol/message.h"
 #include "transport/transport.h"
@@ -87,16 +88,18 @@ class Reactor {
 
   // ---- reactor-thread-only API (solo tasks, frame handlers) ---------
 
-  /// Append one marshalled frame to `conn_id`'s write queue and flush
-  /// as much as the socket accepts.  Unknown ids (connection died) are
-  /// dropped.  Not part of staged-call bookkeeping.
-  void queueReply(std::uint64_t conn_id, std::vector<std::uint8_t> frame);
+  /// Append one marshalled frame to `conn_id`'s write queue.  The
+  /// actual writev is deferred to the end of the current loop iteration
+  /// so every frame queued in one wakeup burst leaves in a single
+  /// coalesced sendvNowait (bounded by common::batchLimits()).  Unknown
+  /// ids (connection died) are dropped.  Not part of staged-call
+  /// bookkeeping.
+  void queueReply(std::uint64_t conn_id, common::PooledBuffer frame);
 
   /// Complete one staged call on `conn_id`: queue `reply` (empty = no
   /// reply, the call was aborted), release its admission slot, lift the
   /// v1 lock-step hold, and resume paused reads if the budget allows.
-  void finishStagedCall(std::uint64_t conn_id,
-                        std::vector<std::uint8_t> reply);
+  void finishStagedCall(std::uint64_t conn_id, common::PooledBuffer reply);
 
   /// True while `conn_id` can still receive replies (known and not
   /// write-dead).  Lets an admission task skip compute for a vanished
@@ -104,8 +107,12 @@ class Reactor {
   bool connAlive(std::uint64_t conn_id) const;
 
  private:
+  /// One queued reply frame.  `off` is the flushed prefix: a short
+  /// sendvNowait advances it in place, so a retry resumes exactly where
+  /// the kernel stopped — a slow reader sees each byte once even when a
+  /// flush concatenates many frames.
   struct OutBuf {
-    std::vector<std::uint8_t> bytes;
+    common::PooledBuffer bytes;
     std::size_t off = 0;
   };
 
@@ -127,6 +134,8 @@ class Reactor {
     bool want_write = false;  // EPOLLOUT armed
     bool read_open = true;    // peer's send side still delivering
     bool dead = false;        // write side failed: drop everything
+    /// Queued replies await the end-of-iteration coalesced flush.
+    bool flush_queued = false;
   };
 
   void loop();
@@ -137,6 +146,10 @@ class Reactor {
   void dispatchFrame(Conn& conn, protocol::Frame frame);
   void handleHello(Conn& conn, const protocol::Frame& frame);
   void flushConn(Conn& conn);
+  void markFlush(Conn& conn);
+  /// Flush every connection marked by queueReply this iteration (runs
+  /// after the final drainSolo, before the next epoll_wait).
+  void flushPending();
   void updateEpoll(Conn& conn);
   void pauseReading(Conn& conn);
   void resumeReads();
@@ -162,6 +175,8 @@ class Reactor {
   double accept_resume_at_ = 0.0;
 
   std::map<std::uint64_t, Conn> conns_;
+  /// Connections with replies queued since the last flushPending().
+  std::vector<std::uint64_t> flush_pending_;
   std::uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wakeup
   /// Total staged calls in flight across live connections (admission).
   std::size_t staged_total_ = 0;

@@ -111,6 +111,12 @@ std::size_t Registry::size() const {
   return map_.size();
 }
 
+bool Registry::isIdempotent(std::string_view name) const {
+  LockGuard lock(mutex_);
+  auto it = map_.find(name);
+  return it != map_.end() && it->second->info.idempotent;
+}
+
 void registerStandardExecutables(Registry& registry, std::size_t workers) {
   // dmmul: the paper's running example (section 2.3), including its IDL.
   registry.add(
@@ -120,6 +126,7 @@ void registerStandardExecutables(Registry& registry, std::size_t workers) {
                       mode_out double C[n][n])
          "dmmul is double precision matrix multiply",
          CalcOrder 2*n^3,
+         Idempotent,
          Calls "C" mmul(n, A, B, C);)IDL",
       [](CallContext& ctx) {
         const auto n = static_cast<std::size_t>(ctx.intArg("n"));
@@ -140,6 +147,7 @@ void registerStandardExecutables(Registry& registry, std::size_t workers) {
          "LU decomposition (dgefa) and backward substitution (dgesl)",
          Required "libsci.a",
          CalcOrder 2*n^3/3 + 2*n^2,
+         Idempotent,
          Calls "C" linpack_solve(n, opt, A, b, x);)IDL",
       [workers](CallContext& ctx) {
         const auto n = static_cast<std::size_t>(ctx.intArg("n"));
@@ -168,6 +176,7 @@ void registerStandardExecutables(Registry& registry, std::size_t workers) {
                    mode_out double hist[bins])
          "Density-Of-States histogram of random Hamiltonians",
          CalcOrder 9*n^3*count,
+         Idempotent,
          Calls "C" dos_kernel(n, first, count, bins, hist);)IDL",
       [](CallContext& ctx) {
         const auto result = numlib::runDos(
@@ -189,6 +198,7 @@ void registerStandardExecutables(Registry& registry, std::size_t workers) {
                    mode_out double q[10])
          "NAS Parallel Benchmarks EP kernel (Gaussian pair tallies)",
          CalcOrder 2*count,
+         Idempotent,
          Calls "C" ep_kernel(first, count, sums, q);)IDL",
       [](CallContext& ctx) {
         const auto result =

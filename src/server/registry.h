@@ -74,10 +74,15 @@ class Registry {
   std::vector<std::string> names() const;
   std::size_t size() const;
 
+  /// True when `name` is registered with the IDL Idempotent clause.
+  /// Takes a string_view (transparent map lookup) so the server's
+  /// cache-eligibility peek costs no allocation per call.
+  bool isIdempotent(std::string_view name) const;
+
  private:
   mutable Mutex mutex_{"registry"};
-  std::map<std::string, std::shared_ptr<const NinfExecutable>> map_
-      NINF_GUARDED_BY(mutex_);
+  std::map<std::string, std::shared_ptr<const NinfExecutable>, std::less<>>
+      map_ NINF_GUARDED_BY(mutex_);
 };
 
 /// Register the benchmark executables the paper uses on its servers:

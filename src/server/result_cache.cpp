@@ -1,0 +1,187 @@
+#include "server/result_cache.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace ninf::server {
+
+namespace {
+
+struct Metrics {
+  obs::Counter& hits = obs::counter("server.cache.hits");
+  obs::Counter& misses = obs::counter("server.cache.misses");
+  obs::Counter& merges = obs::counter("server.cache.inflight_merges");
+  obs::Gauge& bytes = obs::gauge("server.cache.bytes");
+};
+
+Metrics& metrics() {
+  static Metrics m;
+  return m;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(Options options) : options_(options) {}
+
+ResultCache::~ResultCache() {
+  // Collect parked waiters under the lock, fail them outside it.
+  std::vector<ReadyFn> orphans;
+  {
+    LockGuard lock(mutex_);
+    for (auto& [digest, entry] : map_) {
+      for (auto& w : entry.waiters) {
+        if (w) orphans.push_back(std::move(w));
+      }
+      entry.waiters.clear();
+    }
+    map_.clear();
+    lru_.clear();
+    bytes_ = 0;
+  }
+  for (auto& w : orphans) w(nullptr);
+}
+
+ResultCache::Digest ResultCache::digestOf(std::span<const std::uint8_t> body) {
+  // Two FNV-1a lanes with distinct offset bases; lane b also folds in the
+  // byte position so transpositions diverge across lanes.
+  std::uint64_t a = 0xcbf29ce484222325ull;
+  std::uint64_t b = 0x84222325cbf29ce4ull;
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t pos = 0;
+  for (std::uint8_t byte : body) {
+    a = (a ^ byte) * kPrime;
+    b = (b ^ (byte + (++pos & 0xff))) * kPrime;
+  }
+  // Fold the length in so a request and its zero-padded extension differ.
+  a = (a ^ body.size()) * kPrime;
+  b = (b ^ (body.size() >> 3)) * kPrime;
+  return Digest{a, b};
+}
+
+ResultCache::Payload ResultCache::eraseCompletedLocked(Map::iterator it) {
+  Payload doomed = std::move(it->second.payload);
+  if (doomed) bytes_ -= doomed->size();
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+  return doomed;
+}
+
+ResultCache::Lookup ResultCache::lookupOrJoin(const Digest& digest,
+                                              ReadyFn on_ready) {
+  auto& m = metrics();
+  const auto now = std::chrono::steady_clock::now();
+  Payload expired;  // destroyed outside the lock
+  Lookup result;
+  bool merged = false;
+  {
+    LockGuard lock(mutex_);
+    auto it = map_.find(digest);
+    if (it != map_.end() && !it->second.inflight && options_.ttl_seconds > 0) {
+      const std::chrono::duration<double> age = now - it->second.ready_at;
+      if (age.count() > options_.ttl_seconds) {
+        expired = eraseCompletedLocked(it);
+        it = map_.end();
+      }
+    }
+    if (it == map_.end()) {
+      Entry entry;
+      entry.inflight = true;
+      map_.emplace(digest, std::move(entry));
+      result.role = Role::Owner;
+    } else if (it->second.inflight) {
+      NINF_REQUIRE(on_ready != nullptr, "inflight join needs a callback");
+      it->second.waiters.push_back(std::move(on_ready));
+      result.role = Role::Waiter;
+      merged = true;
+    } else {
+      // Completed entry: refresh LRU position and serve.
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      result.role = Role::Hit;
+      result.payload = it->second.payload;
+    }
+  }
+  if (result.role == Role::Hit) {
+    m.hits.add();
+  } else if (merged) {
+    m.merges.add();
+  } else {
+    m.misses.add();
+  }
+  return result;
+}
+
+void ResultCache::fulfill(const Digest& digest, Payload payload,
+                          bool cacheable) {
+  std::vector<ReadyFn> waiters;
+  std::vector<Payload> evicted;  // destroyed outside the lock
+  std::size_t resident = 0;
+  {
+    LockGuard lock(mutex_);
+    auto it = map_.find(digest);
+    if (it == map_.end()) return;  // entry raced away (shutdown)
+    waiters = std::move(it->second.waiters);
+    it->second.waiters.clear();
+    const bool retain = cacheable && payload && options_.max_bytes > 0 &&
+                        payload->size() <= options_.max_bytes;
+    if (!retain) {
+      map_.erase(it);
+    } else {
+      it->second.inflight = false;
+      it->second.payload = payload;
+      it->second.ready_at = std::chrono::steady_clock::now();
+      lru_.push_front(digest);
+      it->second.lru_it = lru_.begin();
+      bytes_ += payload->size();
+      while (bytes_ > options_.max_bytes && !lru_.empty()) {
+        auto victim = map_.find(lru_.back());
+        if (victim == map_.end()) {  // defensive; lru_ and map_ move together
+          lru_.pop_back();
+          continue;
+        }
+        if (victim == it) break;  // never evict the entry just inserted
+        evicted.push_back(eraseCompletedLocked(victim));
+      }
+    }
+    resident = bytes_;
+  }
+  metrics().bytes.set(static_cast<double>(resident));
+  for (auto& w : waiters) {
+    if (w) w(payload);
+  }
+}
+
+void ResultCache::sweep() {
+  if (options_.ttl_seconds <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<Payload> expired;
+  std::size_t resident = 0;
+  {
+    LockGuard lock(mutex_);
+    // Oldest completions cluster at the LRU tail only if access order
+    // tracks completion order, which it need not -- walk the whole map.
+    for (auto it = map_.begin(); it != map_.end();) {
+      auto cur = it++;
+      if (cur->second.inflight) continue;
+      const std::chrono::duration<double> age = now - cur->second.ready_at;
+      if (age.count() > options_.ttl_seconds) {
+        expired.push_back(eraseCompletedLocked(cur));
+      }
+    }
+    resident = bytes_;
+  }
+  metrics().bytes.set(static_cast<double>(resident));
+}
+
+std::size_t ResultCache::bytes() const {
+  LockGuard lock(mutex_);
+  return bytes_;
+}
+
+std::size_t ResultCache::entries() const {
+  LockGuard lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace ninf::server

@@ -4,6 +4,7 @@
 #include <deque>
 #include <future>
 
+#include "common/buffer_pool.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "obs/metrics.h"
@@ -166,6 +167,10 @@ NinfServer::NinfServer(Registry& registry, ServerOptions options)
       options_(options),
       queue_(options.policy, options.name) {
   NINF_REQUIRE(options_.workers >= 1, "server needs at least one worker");
+  if (options_.cache_max_bytes > 0) {
+    cache_ = std::make_unique<ResultCache>(ResultCache::Options{
+        options_.cache_max_bytes, options_.cache_ttl_seconds});
+  }
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { workerLoop(); });
@@ -385,6 +390,7 @@ void NinfServer::sweepPending() {
                     << " unfetched two-phase results";
   }
   updatePendingGauge(count);
+  if (cache_) cache_->sweep();
 }
 
 void NinfServer::updatePendingGauge(std::size_t count) {
@@ -518,6 +524,42 @@ NinfServer::ReplyPayload errorReply(const std::string& message) {
   xdr::Encoder enc;
   enc.putU32(1);  // status: error
   enc.putString(message);
+  return {std::move(enc), nullptr, /*ok=*/false};
+}
+
+/// Largest call body the lock-step / thread-per-connection loops will
+/// materialize for idempotent-cache eligibility; bigger calls keep the
+/// historical streamed decode and bypass the cache.  (The reactor path
+/// has the whole body in a frame slab already, so no limit applies.)
+constexpr std::size_t kCacheBodyLimit = 8 * 1024 * 1024;
+
+/// Alloc-free peek at the entry name leading a CallRequest body (XDR
+/// string: big-endian u32 length, then the bytes).  Empty on malformed
+/// input — the streamed decoder produces the real error in that case.
+std::string_view peekCallName(std::span<const std::uint8_t> body) {
+  if (body.size() < 4) return {};
+  const std::uint32_t len = (std::uint32_t{body[0]} << 24) |
+                            (std::uint32_t{body[1]} << 16) |
+                            (std::uint32_t{body[2]} << 8) |
+                            std::uint32_t{body[3]};
+  if (len > body.size() - 4) return {};
+  return {reinterpret_cast<const char*>(body.data()) + 4, len};
+}
+
+/// Materialize a reply body (owned + borrowed OUT segments) into the
+/// shared immutable unit the result cache retains and replays.
+ResultCache::Payload materializeReply(const NinfServer::ReplyPayload& reply) {
+  auto bytes = std::make_shared<std::vector<std::uint8_t>>();
+  bytes->reserve(reply.body.size());
+  reply.body.appendTo(*bytes);
+  return bytes;
+}
+
+/// Wrap a cached payload as a fresh ReplyPayload (copies into an owned
+/// encoder buffer; the cache keeps its shared copy).
+NinfServer::ReplyPayload replayPayload(const ResultCache::Payload& payload) {
+  xdr::Encoder enc;
+  enc.putRaw({payload->data(), payload->size()});
   return {std::move(enc), nullptr};
 }
 
@@ -585,14 +627,53 @@ NinfServer::ReplyPayload runPreparedCall(ServerMetrics& metrics,
 }  // namespace
 
 NinfServer::ReplyPayload NinfServer::executeCall(protocol::BodyReader& body) {
+  // Idempotent-cache participation: the lock-step loop streams the body,
+  // so eligibility requires materializing it first.  A hit replays the
+  // cached payload; a concurrent identical call parks on the owner's
+  // completion (safe to block here — stop() joins connection threads
+  // before it closes the job queue, so the owner's job always runs).
+  common::PooledBuffer buffered;
+  ResultCache::Digest digest{};
+  bool cache_owner = false;
+  if (cache_ && body.remaining() <= kCacheBodyLimit) {
+    buffered = common::acquireBuffer(body.remaining());
+    buffered.resize(body.remaining());
+    body.getRaw(buffered.writableSpan());
+    const std::string_view name = peekCallName(buffered.span());
+    if (!name.empty() && registry_.isIdempotent(name)) {
+      digest = ResultCache::digestOf(buffered.span());
+      auto parked = std::make_shared<std::promise<ResultCache::Payload>>();
+      const ResultCache::Lookup lookup = cache_->lookupOrJoin(
+          digest, [parked](ResultCache::Payload p) {
+            parked->set_value(std::move(p));
+          });
+      if (lookup.role == ResultCache::Role::Hit) {
+        return replayPayload(lookup.payload);
+      }
+      if (lookup.role == ResultCache::Role::Waiter) {
+        ResultCache::Payload payload = parked->get_future().get();
+        if (payload) return replayPayload(payload);
+        return errorReply("idempotent call aborted before completion");
+      }
+      cache_owner = true;  // compute below and fulfill on every path
+    }
+  }
+
   PreparedCall call;
   try {
-    call = prepare(registry_, body);
+    if (!buffered.empty()) {
+      xdr::Decoder src(buffered.span());
+      call = prepare(registry_, src);
+    } else {
+      call = prepare(registry_, body);
+    }
   } catch (const std::exception& e) {
     // Keep the connection framing aligned: the rest of the body must be
     // consumed before the error reply goes out.
     body.drain();
-    return errorReply(e.what());
+    ReplyPayload err = errorReply(e.what());
+    if (cache_owner) cache_->fulfill(digest, materializeReply(err), false);
+    return err;
   }
 
   auto call_sp = std::make_shared<PreparedCall>(std::move(call));
@@ -609,6 +690,9 @@ NinfServer::ReplyPayload NinfServer::executeCall(protocol::BodyReader& body) {
   queue_.push(std::move(job));
   ReplyPayload reply = fut.get();
   reply.keepalive = std::move(call_sp);  // reply body borrows the OUT arrays
+  if (cache_owner) {
+    cache_->fulfill(digest, materializeReply(reply), reply.ok);
+  }
   return reply;
 }
 
@@ -616,13 +700,54 @@ void NinfServer::executeCallAsync(protocol::BodyReader& body,
                                   std::uint64_t call_id,
                                   const protocol::WireTraceContext& trace_ctx,
                                   const std::shared_ptr<ConnWriter>& writer) {
+  // Idempotent-cache participation, mirroring executeCall().  The writer
+  // is told to expect a reply up front so finish() waits for a parked
+  // waiter's callback exactly as it waits for a job.
+  common::PooledBuffer buffered;
+  ResultCache::Digest digest{};
+  bool cache_owner = false;
+  if (cache_ && body.remaining() <= kCacheBodyLimit) {
+    buffered = common::acquireBuffer(body.remaining());
+    buffered.resize(body.remaining());
+    body.getRaw(buffered.writableSpan());
+    const std::string_view name = peekCallName(buffered.span());
+    if (!name.empty() && registry_.isIdempotent(name)) {
+      digest = ResultCache::digestOf(buffered.span());
+      writer->expect();
+      const ResultCache::Lookup lookup = cache_->lookupOrJoin(
+          digest, [call_id, trace_ctx, writer](ResultCache::Payload p) {
+            ReplyPayload reply =
+                p ? replayPayload(p)
+                  : errorReply("idempotent call aborted before completion");
+            writer->post(call_id, MessageType::CallReply, std::move(reply),
+                         true, trace_ctx);
+          });
+      if (lookup.role == ResultCache::Role::Hit) {
+        writer->post(call_id, MessageType::CallReply,
+                     replayPayload(lookup.payload), true, trace_ctx);
+        return;
+      }
+      if (lookup.role == ResultCache::Role::Waiter) {
+        return;  // the parked callback posts the reply
+      }
+      cache_owner = true;  // the expect() above is balanced below
+    }
+  }
+
   PreparedCall call;
   try {
-    call = prepare(registry_, body);
+    if (!buffered.empty()) {
+      xdr::Decoder src(buffered.span());
+      call = prepare(registry_, src);
+    } else {
+      call = prepare(registry_, body);
+    }
   } catch (const std::exception& e) {
     body.drain();
-    writer->post(call_id, MessageType::CallReply, errorReply(e.what()),
-                 false, trace_ctx);
+    ReplyPayload err = errorReply(e.what());
+    if (cache_owner) cache_->fulfill(digest, materializeReply(err), false);
+    writer->post(call_id, MessageType::CallReply, std::move(err),
+                 /*from_job=*/cache_owner, trace_ctx);
     return;
   }
 
@@ -632,8 +757,8 @@ void NinfServer::executeCallAsync(protocol::BodyReader& body,
   job.id = next_job_id_.fetch_add(1);
   job.estimated_flops = call_sp->estimated_flops;
   job.enqueue_time = metrics_.now();
-  writer->expect();
-  job.run = [this, call_sp, call_id, trace_ctx, writer,
+  if (!cache_owner) writer->expect();
+  job.run = [this, call_sp, call_id, trace_ctx, writer, cache_owner, digest,
              enqueue = job.enqueue_time]() mutable {
     // Adopt the client's propagated context for the duration of the job,
     // so queue-wait/compute spans become children of its call span.
@@ -642,6 +767,9 @@ void NinfServer::executeCallAsync(protocol::BodyReader& body,
     ReplyPayload reply =
         runPreparedCall(metrics_, *call_sp, enqueue, call_id);
     reply.keepalive = call_sp;  // reply body borrows the OUT arrays
+    if (cache_owner) {
+      cache_->fulfill(digest, materializeReply(reply), reply.ok);
+    }
     writer->post(call_id, MessageType::CallReply, std::move(reply), true,
                  trace_ctx);
   };
@@ -713,8 +841,11 @@ void NinfServer::reactorStageCall(std::uint64_t conn_id,
   // prologues ahead of queued compute so admission stays responsive.
   job.estimated_flops = 0.0;
   job.enqueue_time = metrics_.now();
-  job.run = [this, conn_id, mode, f = std::move(frame)]() mutable {
-    reactorPrologue(conn_id, mode, std::move(f));
+  // Job::run is a copyable std::function; the frame's slab is move-only,
+  // so it rides across in a shared_ptr.
+  job.run = [this, conn_id, mode,
+             f = std::make_shared<protocol::Frame>(std::move(frame))]() {
+    reactorPrologue(conn_id, mode, std::move(*f));
   };
   queue_.push(std::move(job));
 }
@@ -728,13 +859,46 @@ void NinfServer::reactorPrologue(std::uint64_t conn_id,
   // later queue-wait/compute spans) join its trace.
   obs::ScopedTraceContext adopt(
       obs::TraceContext{header.trace.trace_id, header.trace.parent_span});
+
+  // Idempotent-cache fast path, decided before unmarshalling: a hit or
+  // an in-flight join skips the prologue decode, the queue, and the
+  // compute entirely — the admission slot is released when the cached
+  // reply reaches finishStagedCall (for a waiter, when the owner
+  // fulfills; the call genuinely is in flight until then).
+  ResultCache::Digest digest{};
+  bool cache_owner = false;
+  if (!is_submit && cache_) {
+    const std::string_view name = peekCallName(frame.body.span());
+    if (!name.empty() && registry_.isIdempotent(name)) {
+      digest = ResultCache::digestOf(frame.body.span());
+      const ResultCache::Lookup lookup = cache_->lookupOrJoin(
+          digest, [this, conn_id, mode, header](ResultCache::Payload p) {
+            sendCachedReply(conn_id, mode, header, std::move(p));
+          });
+      if (lookup.role != ResultCache::Role::Owner) {
+        // Prologue over for this frame; rebalance the stage gauge on its
+        // owning thread.
+        reactor_->postSolo([] {
+          static obs::Gauge& prologue_depth =
+              obs::gauge("server.reactor.stage_depth.prologue");
+          prologue_depth.set(std::max(0.0, prologue_depth.value() - 1.0));
+        });
+        if (lookup.role == ResultCache::Role::Hit) {
+          sendCachedReply(conn_id, mode, header, std::move(lookup.payload));
+        }
+        return;
+      }
+      cache_owner = true;
+    }
+  }
+
   auto call = std::make_shared<PreparedCall>();
   std::string error;
   {
     obs::Span span(obs::phase::kServerUnmarshalArgs,
                    static_cast<std::int64_t>(frame.body.size()));
     span.setCallId(header.call_id);
-    xdr::Decoder src(frame.body);
+    xdr::Decoder src(frame.body.span());
     try {
       *call = prepare(registry_, src);
     } catch (const std::exception& e) {
@@ -745,6 +909,7 @@ void NinfServer::reactorPrologue(std::uint64_t conn_id,
   // Solo stage: admission runs on the reactor thread, where connection
   // liveness and the in-flight budget are plain fields.
   reactor_->postSolo([this, conn_id, mode, header, is_submit, call,
+                      cache_owner, digest,
                       error = std::move(error)]() mutable {
     static obs::Gauge& prologue_depth =
         obs::gauge("server.reactor.stage_depth.prologue");
@@ -786,22 +951,28 @@ void NinfServer::reactorPrologue(std::uint64_t conn_id,
       xdr::Encoder ack;
       ack.putU64(id);
       reactor_->finishStagedCall(
-          conn_id, protocol::flattenFrame(mode, MessageType::SubmitAck,
-                                          header.call_id, header.trace, ack));
+          conn_id, protocol::flattenFramePooled(mode, MessageType::SubmitAck,
+                                                header.call_id, header.trace,
+                                                ack));
       return;
     }
 
     if (!error.empty()) {
+      ReplyPayload err = errorReply(error);
+      if (cache_owner) cache_->fulfill(digest, materializeReply(err), false);
       reactor_->finishStagedCall(
           conn_id,
-          protocol::flattenFrame(mode, MessageType::CallReply, header.call_id,
-                                 header.trace, errorReply(error).body));
+          protocol::flattenFramePooled(mode, MessageType::CallReply,
+                                       header.call_id, header.trace,
+                                       err.body));
       return;
     }
-    if (!reactor_->connAlive(conn_id)) {
+    if (!cache_owner && !reactor_->connAlive(conn_id)) {
       // The client vanished while the frame sat in prologue: skip the
       // compute entirely (finishStagedCall on a dead id is a no-op; the
       // admission slot was released when the connection was destroyed).
+      // A cache owner never skips: waiters on other connections may be
+      // parked on this digest, and fulfill() must happen exactly once.
       return;
     }
     metrics_.jobQueued();
@@ -809,7 +980,7 @@ void NinfServer::reactorPrologue(std::uint64_t conn_id,
     job.id = next_job_id_.fetch_add(1);
     job.estimated_flops = call->estimated_flops;
     job.enqueue_time = metrics_.now();
-    job.run = [this, conn_id, mode, header, call,
+    job.run = [this, conn_id, mode, header, call, cache_owner, digest,
                enqueue = job.enqueue_time]() mutable {
       obs::ScopedTraceContext adopt(
           obs::TraceContext{header.trace.trace_id, header.trace.parent_span});
@@ -819,20 +990,56 @@ void NinfServer::reactorPrologue(std::uint64_t conn_id,
       // self-contained wire buffer (borrowed OUT arrays are byteswapped
       // into the copy), so nothing of the prepared call needs to
       // survive the hop back to the reactor.
-      std::vector<std::uint8_t> wire;
+      common::PooledBuffer wire;
       {
         obs::Span span(obs::phase::kServerMarshalResult);
         span.setCallId(header.call_id);
-        wire = protocol::flattenFrame(mode, MessageType::CallReply,
-                                      header.call_id, header.trace,
-                                      reply.body);
+        if (cache_owner) {
+          // Materialize once: the cache retains the shared payload and
+          // every waiter (and this caller) frames the same bytes.
+          ResultCache::Payload payload = materializeReply(reply);
+          cache_->fulfill(digest, payload, reply.ok);
+          wire = protocol::frameFromPayload(mode, MessageType::CallReply,
+                                            header.call_id, header.trace,
+                                            {payload->data(),
+                                             payload->size()});
+        } else {
+          wire = protocol::flattenFramePooled(mode, MessageType::CallReply,
+                                              header.call_id, header.trace,
+                                              reply.body);
+        }
         span.setBytes(static_cast<std::int64_t>(wire.size()));
       }
-      reactor_->postSolo([this, conn_id, wire = std::move(wire)]() mutable {
-        reactor_->finishStagedCall(conn_id, std::move(wire));
+      // postSolo takes a copyable std::function; hand the move-only
+      // slab across via shared_ptr.
+      auto w = std::make_shared<common::PooledBuffer>(std::move(wire));
+      reactor_->postSolo([this, conn_id, w]() {
+        reactor_->finishStagedCall(conn_id, std::move(*w));
       });
     };
     queue_.push(std::move(job));
+  });
+}
+
+void NinfServer::sendCachedReply(std::uint64_t conn_id,
+                                 protocol::WireMode mode,
+                                 const protocol::FrameHeader& header,
+                                 ResultCache::Payload payload) {
+  common::PooledBuffer wire;
+  if (payload) {
+    wire = protocol::frameFromPayload(mode, MessageType::CallReply,
+                                      header.call_id, header.trace,
+                                      {payload->data(), payload->size()});
+  } else {
+    // Owner aborted (server shutdown): fail the call explicitly rather
+    // than leaving the client to time out.
+    wire = protocol::flattenFramePooled(
+        mode, MessageType::CallReply, header.call_id, header.trace,
+        errorReply("idempotent call aborted before completion").body);
+  }
+  auto w = std::make_shared<common::PooledBuffer>(std::move(wire));
+  reactor_->postSolo([this, conn_id, w]() {
+    reactor_->finishStagedCall(conn_id, std::move(*w));
   });
 }
 

@@ -41,6 +41,7 @@
 #include "server/job_queue.h"
 #include "server/metrics.h"
 #include "server/registry.h"
+#include "server/result_cache.h"
 #include "transport/transport.h"
 
 namespace ninf::server {
@@ -66,6 +67,13 @@ struct ServerOptions {
   /// not yet queued) before the reactor stops reading from connections.
   /// 0 picks max(64, workers * 16).
   std::size_t max_inflight_calls = 0;
+  /// Idempotent result cache: total flattened-reply bytes retained for
+  /// entries registered with the IDL `Idempotent` clause.  0 disables
+  /// retention AND single-flight coalescing entirely.
+  std::size_t cache_max_bytes = 64 * 1024 * 1024;
+  /// Cached idempotent replies older than this are discarded (<= 0 keeps
+  /// them until evicted by cache_max_bytes pressure).
+  double cache_ttl_seconds = 300.0;
 };
 
 class NinfServer {
@@ -98,6 +106,10 @@ class NinfServer {
   struct ReplyPayload {
     xdr::Encoder body;
     std::shared_ptr<void> keepalive;
+    /// False when `body` is an error reply (status != 0); error replies
+    /// are delivered to in-flight waiters but never retained in the
+    /// idempotent result cache.
+    bool ok = true;
   };
 
   /// A typed reply ready to send on whichever framing the connection
@@ -152,6 +164,14 @@ class NinfServer {
                         const std::shared_ptr<ConnWriter>& writer);
   std::uint64_t submitCall(protocol::BodyReader& body);
 
+  /// Emit a cached (or owner-aborted) idempotent reply for a
+  /// reactor-staged call: wraps the shared payload in this caller's own
+  /// frame header and hands it to the reactor thread.  Callable from any
+  /// thread (cache-fulfill callbacks run on the owner's worker).
+  void sendCachedReply(std::uint64_t conn_id, protocol::WireMode mode,
+                       const protocol::FrameHeader& header,
+                       ResultCache::Payload payload);
+
   /// Drop ready-but-unfetched results older than the TTL.
   void sweepPending();
   void updatePendingGauge(std::size_t count);
@@ -165,6 +185,9 @@ class NinfServer {
   Registry& registry_;
   ServerOptions options_;
   ServerMetrics metrics_;
+  /// Idempotent result cache (null when cache_max_bytes == 0).  Shared by
+  /// the reactor pipeline and both legacy connection loops.
+  std::unique_ptr<ResultCache> cache_;
   JobQueue queue_;
   std::vector<std::thread> workers_;  // created in ctor, joined in stop()
   std::shared_ptr<transport::Listener> listener_;

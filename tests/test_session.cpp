@@ -423,6 +423,85 @@ TEST(ConnectionPoolHealth, StalledPeerHealthCheckIsBoundedAndEvicted) {
   EXPECT_GE(obs::counter("pool.dead_evictions").value() - dead_before, 1.0);
 }
 
+/// Inproc stream that proves it is being destroyed OUTSIDE the pool
+/// lock: the destructor queries the pool (self-deadlock under a
+/// non-recursive mutex if the lock were held — the lock-order checker
+/// flags it first) and then dawdles, so a regression also shows up as
+/// acquire() latency on unrelated endpoints.
+class EvictionCanaryStream : public transport::Stream {
+ public:
+  EvictionCanaryStream(std::unique_ptr<transport::Stream> inner,
+                       ConnectionPool* pool, std::atomic<int>* probes)
+      : inner_(std::move(inner)), pool_(pool), probes_(probes) {}
+
+  ~EvictionCanaryStream() override {
+    (void)pool_->idleCount();  // deadlocks if destroyed under the pool lock
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    probes_->fetch_add(1);
+  }
+
+  void sendAll(std::span<const std::uint8_t> data) override {
+    inner_->sendAll(data);
+  }
+  void recvAll(std::span<std::uint8_t> buffer) override {
+    inner_->recvAll(buffer);
+  }
+  void setDeadline(std::chrono::steady_clock::time_point d) override {
+    inner_->setDeadline(d);
+  }
+  void shutdownSend() override { inner_->shutdownSend(); }
+  void close() override { inner_->close(); }
+  std::string peerName() const override { return inner_->peerName(); }
+
+ private:
+  std::unique_ptr<transport::Stream> inner_;
+  ConnectionPool* pool_;
+  std::atomic<int>* probes_;
+};
+
+TEST(ConnectionPoolEviction, TtlEvictionDestroysConnectionsOutsideTheLock) {
+  PoolOptions options;
+  options.idle_ttl_seconds = 0.03;
+  options.health_check_after_seconds = 1e9;  // never ping (peers are mute)
+  ConnectionPool pool(options);
+
+  Mutex peers_mutex{"test.peers"};
+  std::vector<std::unique_ptr<transport::Stream>> peers;  // keep ends open
+  std::atomic<int> canary_probes{0};
+  ConnectionPool::Factory factory = [&] {
+    auto [near_end, far_end] = transport::inprocPair();
+    {
+      LockGuard lock(peers_mutex);
+      peers.push_back(std::move(far_end));
+    }
+    return std::make_unique<NinfClient>(
+        std::make_unique<EvictionCanaryStream>(std::move(near_end), &pool,
+                                               &canary_probes),
+        /*force_v1=*/true);
+  };
+
+  {
+    auto first = pool.acquire("srv", factory);
+    auto second = pool.acquire("srv", factory);
+  }
+  EXPECT_EQ(pool.idleCount(), 2u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));  // pass the TTL
+
+  // This acquire sheds both stale entries; their canary destructors (2 x
+  // 80 ms + a pool query each) must run with the pool unlocked.
+  std::thread evictor([&] { auto lease = pool.acquire("srv", factory); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));  // mid-eviction
+
+  // Meanwhile the pool stays responsive for everyone else.
+  const auto start = std::chrono::steady_clock::now();
+  { auto lease = pool.acquire("other", factory); }
+  EXPECT_LT(secondsSince(start), 0.05)
+      << "slow eviction destructors must not serialize unrelated acquires";
+
+  evictor.join();
+  EXPECT_GE(canary_probes.load(), 2);  // both stale canaries fully destroyed
+}
+
 TEST_F(PoolFixture, DeadPeerFailsHealthCheckAndIsReplaced) {
   PoolOptions options;
   options.health_check_after_seconds = 0.0;  // ping on every reuse

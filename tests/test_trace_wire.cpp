@@ -81,10 +81,15 @@ class TraceWire : public ::testing::Test {
   }
 
   /// dmmul n=6 through `client`, result checked against local compute.
-  void checkedCall(NinfClient& client, const CallOptions& opts = {}) {
+  /// `salt` varies the inputs: dmmul is Idempotent, so byte-identical
+  /// repeats are served from the server's result cache without a compute
+  /// (or queue-wait) span — callers that need a fresh compute per call
+  /// must perturb the arguments.
+  void checkedCall(NinfClient& client, const CallOptions& opts = {},
+                   int salt = 0) {
     const std::size_t n = 6;
-    const numlib::Matrix a = numlib::randomMatrix(n, 7);
-    const numlib::Matrix b = numlib::randomMatrix(n, 8);
+    const numlib::Matrix a = numlib::randomMatrix(n, 7 + 2 * salt);
+    const numlib::Matrix b = numlib::randomMatrix(n, 8 + 2 * salt);
     const numlib::Matrix expected = numlib::dmmul(a, b);
     std::vector<double> c(n * n, -1.0);
     std::vector<ArgValue> args = {
@@ -232,7 +237,11 @@ TEST_F(TraceWire, ChaosNeverAttachesWrongTrace) {
   opts.backoff_seconds = 0.002;
   for (int round = 0; round < 20; ++round) {
     try {
-      checkedCall(client, opts);
+      // Distinct inputs per round keep server-side computes flowing
+      // (identical rounds would all be idempotent-cache hits after the
+      // first); retries *within* a round stay byte-identical, so the
+      // cache still sees the chaos-driven resends.
+      checkedCall(client, opts, round);
     } catch (const Error&) {
       // Faults may kill a call; the invariant below still holds.
     }
