@@ -14,6 +14,7 @@
 //   bench_swarm --sweep 32,64,128,256 --payload 4096
 //   bench_swarm --idle-conns 5000 --sweep 8,16,32   # epoll reactor scale
 //   bench_swarm --dmmul 64 --workers 32         # repeated-args cache load
+//   bench_swarm --metaservers 1,2,4             # shard-scaling + failover
 //   bench_swarm --validate BENCH_swarm.json     # schema check, exit code
 //
 // --dmmul N replaces the ping workload with dmmul calls whose arguments
@@ -46,7 +47,11 @@
 #include "bench_json.h"
 #include "client/client.h"
 #include "common/error.h"
+#include "common/rng.h"
 #include "common/table.h"
+#include "metaserver/node.h"
+#include "metaserver/ring.h"
+#include "metaserver/sharded.h"
 #include "numlib/matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace_session.h"
@@ -70,6 +75,9 @@ struct Config {
   std::size_t idle_conns = 0;      // parked v2 connections for the run
   std::size_t dmmul_n = 0;         // >0: repeated-args dmmul, not ping
   std::string json_path;           // --json output (empty = none)
+  /// Shard-scaling mode: sweep the metaserver shard count instead of
+  /// the client count (see runShardSweep below).
+  std::vector<std::size_t> metaserver_steps;
 };
 
 /// Threads of this process, from /proc/self/status (-1 elsewhere).
@@ -208,6 +216,304 @@ StepResult runStep(const Config& cfg, std::size_t workers,
   return r;
 }
 
+// ---- shard-scaling mode (--metaservers) ---------------------------------
+//
+// Measures aggregate scheduling-dispatch throughput of the sharded
+// metaserver control plane as the shard count grows.  A fixed fleet of
+// computing servers exports 64 synthetic service names, partitioned over
+// the shards by the consistent-hash ring; client threads resolve random
+// names through ShardedMetaserver::route() as fast as they can.  The
+// nodes poll server status on every decision (status_freshness 0, the
+// NetSolve-style model), so a shard's per-decision cost scales with its
+// slice of the server table — sharding shrinks the slice AND spreads
+// queries over independent primaries.
+//
+// With shards >= 2 a final forced-failover step re-runs the storm and
+// kills shard 0's primary a third of the way in: the step's p99 and
+// error count show what a promotion costs the clients, and the measured
+// promotion latency is recorded alongside.
+
+std::string shardEndpointOf(std::uint16_t port) {
+  return "127.0.0.1:" + std::to_string(port);
+}
+
+std::unique_ptr<client::NinfClient> shardDial(const std::string& endpoint) {
+  const auto colon = endpoint.rfind(':');
+  return client::NinfClient::connectTcp(
+      endpoint.substr(0, colon),
+      static_cast<std::uint16_t>(std::stoi(endpoint.substr(colon + 1))),
+      2.0);
+}
+
+int runShardSweep(const Config& cfg) {
+  constexpr std::size_t kComputeServers = 8;
+  constexpr std::size_t kEntries = 64;
+  constexpr std::size_t kClientThreads = 8;
+  constexpr double kHeartbeat = 0.02;
+  constexpr std::size_t kMissBudget = 3;
+  constexpr double kRouteDeadline = 2.0;
+
+  // One fleet of real computing servers for the whole sweep; each step
+  // re-registers it with a freshly built cluster.
+  std::vector<std::unique_ptr<server::Registry>> registries;
+  std::vector<std::unique_ptr<server::NinfServer>> servers;
+  std::vector<std::string> server_eps;
+  for (std::size_t i = 0; i < kComputeServers; ++i) {
+    registries.push_back(std::make_unique<server::Registry>());
+    server::registerStandardExecutables(*registries.back());
+    servers.push_back(std::make_unique<server::NinfServer>(
+        *registries.back(), server::ServerOptions{.workers = 2}));
+    auto listener = std::make_shared<transport::TcpListener>(0);
+    server_eps.push_back(shardEndpointOf(listener->port()));
+    servers.back()->start(listener);
+  }
+  std::vector<std::string> entries;
+  for (std::size_t k = 0; k < kEntries; ++k) {
+    entries.push_back("svc-" + std::to_string(k));
+  }
+
+  TextTable table({"shards", "mode", "calls", "err", "routes/s",
+                   "lat mean[ms]", "p50", "p95", "p99", "max"});
+  bench::BenchReport report;
+  report.bench = "shard";
+  report.config = {
+      {"compute_servers", static_cast<double>(kComputeServers)},
+      {"entries", static_cast<double>(kEntries)},
+      {"client_threads", static_cast<double>(kClientThreads)},
+      {"duration_s", cfg.duration_s},
+      {"heartbeat_s", kHeartbeat},
+      {"heartbeat_miss_budget", static_cast<double>(kMissBudget)},
+  };
+
+  auto runShardStep = [&](std::size_t nshards,
+                          bool failover) -> bench::BenchStep {
+    // Cluster: a primary + backup node per shard, all sharing one ring.
+    std::vector<std::shared_ptr<transport::TcpListener>> plisten, blisten;
+    protocol::RingDescriptor ring;
+    for (std::size_t s = 0; s < nshards; ++s) {
+      plisten.push_back(std::make_shared<transport::TcpListener>(0));
+      blisten.push_back(std::make_shared<transport::TcpListener>(0));
+      protocol::ShardInfo info;
+      info.id = static_cast<std::uint32_t>(s);
+      info.epoch = 1;
+      info.primary_endpoint = shardEndpointOf(plisten.back()->port());
+      info.backup_endpoint = shardEndpointOf(blisten.back()->port());
+      ring.shards.push_back(info);
+    }
+    const metaserver::HashRing owners(ring);
+    const metaserver::FactoryResolver resolver =
+        [](const std::string& endpoint) {
+          return client::ConnectionFactory(
+              [endpoint] { return shardDial(endpoint); });
+        };
+    std::vector<std::unique_ptr<metaserver::MetaserverNode>> primaries;
+    std::vector<std::unique_ptr<metaserver::MetaserverNode>> backups;
+    for (std::size_t s = 0; s < nshards; ++s) {
+      metaserver::NodeOptions popts;
+      popts.shard_id = static_cast<std::uint32_t>(s);
+      popts.primary = true;
+      popts.heartbeat_interval_s = kHeartbeat;
+      popts.heartbeat_miss_budget = kMissBudget;
+      popts.resolver = resolver;
+      const std::string bep = ring.shards[s].backup_endpoint;
+      popts.backup_factory = [bep] { return shardDial(bep); };
+      popts.self_endpoint = ring.shards[s].primary_endpoint;
+      popts.ring = ring;
+      primaries.push_back(
+          std::make_unique<metaserver::MetaserverNode>(std::move(popts)));
+      primaries.back()->serve(plisten[s]);
+
+      metaserver::NodeOptions bopts;
+      bopts.shard_id = static_cast<std::uint32_t>(s);
+      bopts.primary = false;
+      bopts.heartbeat_interval_s = kHeartbeat;
+      bopts.heartbeat_miss_budget = kMissBudget;
+      bopts.resolver = resolver;
+      bopts.self_endpoint = ring.shards[s].backup_endpoint;
+      bopts.ring = ring;
+      backups.push_back(
+          std::make_unique<metaserver::MetaserverNode>(std::move(bopts)));
+      backups.back()->serve(blisten[s]);
+    }
+
+    metaserver::ShardedOptions sopts;
+    for (const auto& s : ring.shards) {
+      sopts.seeds.push_back(s.primary_endpoint);
+      sopts.seeds.push_back(s.backup_endpoint);
+    }
+    sopts.node_dialer = shardDial;
+    sopts.server_dialer = shardDial;
+    sopts.retry_backoff = 0.005;
+    metaserver::ShardedMetaserver shard_client(std::move(sopts));
+
+    // Each computing server is attached to one shard and exports that
+    // shard's slice of the namespace, so a shard's directory holds
+    // kComputeServers/nshards candidates.
+    for (std::size_t i = 0; i < kComputeServers; ++i) {
+      protocol::WireServerDesc desc;
+      desc.name = "server-" + std::to_string(i);
+      desc.endpoint = server_eps[i];
+      for (const auto& entry : entries) {
+        if (owners.ownerOf(entry) == i % nshards) {
+          desc.entries.push_back(entry);
+        }
+      }
+      if (desc.entries.empty()) continue;
+      shard_client.registerServer(desc, 1, 10.0);
+    }
+
+    const std::uint64_t queries0 =
+        obs::counter("metaserver.shard.queries").value();
+    const std::uint64_t redirects0 =
+        obs::counter("metaserver.shard.redirects").value();
+
+    std::vector<std::vector<double>> lats(kClientThreads);
+    std::vector<std::uint64_t> counts(kClientThreads, 0);
+    std::vector<std::uint64_t> errs(kClientThreads, 0);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> storm;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t t = 0; t < kClientThreads; ++t) {
+      storm.emplace_back([&, t] {
+        SplitMix64 rng(77 + t);
+        lats[t].reserve(4096);
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::string& entry = entries[rng.nextBelow(kEntries)];
+          const auto t0 = std::chrono::steady_clock::now();
+          try {
+            (void)shard_client.route(
+                entry, {},
+                t0 + std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(kRouteDeadline)));
+            lats[t].push_back(std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count());
+            ++counts[t];
+          } catch (const Error&) {
+            ++errs[t];
+          }
+        }
+      });
+    }
+
+    double promotion_s = 0.0;
+    std::thread killer;
+    if (failover) {
+      killer = std::thread([&] {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(cfg.duration_s / 3.0));
+        const auto killed = std::chrono::steady_clock::now();
+        primaries[0]->stop();
+        while (!backups[0]->isPrimary() &&
+               std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             killed)
+                       .count() < 5.0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        promotion_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - killed)
+                          .count();
+      });
+    }
+
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(cfg.duration_s));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& th : storm) th.join();
+    if (killer.joinable()) killer.join();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+
+    bench::BenchStep step;
+    step.label = (failover ? "failover-shards=" : "shards=") +
+                 std::to_string(nshards);
+    std::vector<double> all;
+    for (std::size_t t = 0; t < kClientThreads; ++t) {
+      step.calls += counts[t];
+      step.errors += errs[t];
+      all.insert(all.end(), lats[t].begin(), lats[t].end());
+    }
+    std::sort(all.begin(), all.end());
+    step.duration_s = wall;
+    step.throughput_cps = static_cast<double>(step.calls) / wall;
+    if (!all.empty()) {
+      step.latency.mean_ms = std::accumulate(all.begin(), all.end(), 0.0) /
+                             static_cast<double>(all.size());
+      step.latency.p50_ms = percentileSorted(all, 50);
+      step.latency.p95_ms = percentileSorted(all, 95);
+      step.latency.p99_ms = percentileSorted(all, 99);
+      step.latency.max_ms = all.back();
+    }
+    step.values = {
+        {"shards", static_cast<double>(nshards)},
+        {"dispatch_cps", step.throughput_cps},
+        {"shard_queries",
+         static_cast<double>(obs::counter("metaserver.shard.queries").value() -
+                             queries0)},
+        {"shard_redirects", static_cast<double>(
+                                obs::counter("metaserver.shard.redirects")
+                                    .value() -
+                                redirects0)},
+    };
+    if (failover) step.values["promotion_s"] = promotion_s;
+
+    table.row()
+        .cell(nshards)
+        .cell(failover ? "failover" : "steady")
+        .cell(static_cast<long long>(step.calls))
+        .cell(static_cast<long long>(step.errors))
+        .cell(step.throughput_cps, 1)
+        .cell(step.latency.mean_ms, 2)
+        .cell(step.latency.p50_ms, 2)
+        .cell(step.latency.p95_ms, 2)
+        .cell(step.latency.p99_ms, 2)
+        .cell(step.latency.max_ms, 2);
+
+    for (auto& n : primaries) n->stop();
+    for (auto& n : backups) n->stop();
+    return step;
+  };
+
+  std::printf(
+      "Sharded metaserver dispatch: %zu computing servers, %zu entries, "
+      "%zu client threads, %.1fs per step\n\n",
+      kComputeServers, kEntries, kClientThreads, cfg.duration_s);
+  for (const std::size_t nshards : cfg.metaserver_steps) {
+    if (nshards == 0) continue;
+    report.steps.push_back(runShardStep(nshards, false));
+  }
+  const std::size_t maxn = *std::max_element(cfg.metaserver_steps.begin(),
+                                             cfg.metaserver_steps.end());
+  if (maxn >= 2) {
+    report.steps.push_back(runShardStep(maxn, true));
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "routes/s is aggregate scheduling throughput; each decision polls\n"
+      "the shard's slice of the server table (freshness 0), so shards\n"
+      "shrink the per-decision cost and parallelize the primaries.\n");
+
+  if (!cfg.json_path.empty()) {
+    if (!bench::writeBenchJson(report, cfg.json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", cfg.json_path.c_str());
+      return 1;
+    }
+    const std::string err = bench::validateBenchJsonFile(cfg.json_path);
+    if (!err.empty()) {
+      std::fprintf(stderr, "emitted JSON failed self-validation: %s\n",
+                   err.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%s)\n", cfg.json_path.c_str(),
+                bench::kBenchSchema);
+  }
+  for (auto& s : servers) s->stop();
+  return 0;
+}
+
 std::vector<std::size_t> parseSweep(const std::string& list) {
   std::vector<std::size_t> out;
   std::size_t pos = 0;
@@ -231,7 +537,7 @@ int usage(const char* argv0) {
       "usage: %s [--workers N | --sweep N1,N2,...] [--window W]\n"
       "          [--payload BYTES] [--duration SECONDS] [--channels C]\n"
       "          [--server-workers W] [--idle-conns N] [--dmmul N]\n"
-      "          [--json PATH] [--trace PATH]\n"
+      "          [--metaservers N1,N2,...] [--json PATH] [--trace PATH]\n"
       "       %s --validate BENCH.json\n",
       argv0, argv0);
   return 2;
@@ -285,10 +591,13 @@ int main(int argc, char** argv) {
       cfg.dmmul_n = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--json") {
       cfg.json_path = value();
+    } else if (arg == "--metaservers") {
+      cfg.metaserver_steps = parseSweep(value());
     } else {
       return usage(argv[0]);
     }
   }
+  if (!cfg.metaserver_steps.empty()) return runShardSweep(cfg);
   if (cfg.worker_steps.empty() || cfg.window == 0) return usage(argv[0]);
 
   server::Registry registry;

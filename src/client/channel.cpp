@@ -92,6 +92,7 @@ void Channel::teardownLocked() {
   if (stream_) stream_->close();
   if (reader_.joinable()) reader_.join();
   trace_wire_.store(false, std::memory_order_release);
+  negotiated_features_.store(0, std::memory_order_release);
   failAllPending(std::make_exception_ptr(
       TransportError("channel torn down with calls in flight")));
   {
@@ -144,11 +145,15 @@ void Channel::negotiateLocked(std::chrono::steady_clock::time_point deadline) {
     stream_->setDeadline(deadline);
     xdr::Encoder hello;
     hello.putU32(protocol::kMaxVersion);
-    // Advertise the trace-context extension only when it would be used:
-    // an untraced run keeps the compact 24-byte v2 framing, and peers
-    // that predate the feature word see a byte-identical Hello.
+    // Advertise extensions only when one would be used: trace context
+    // follows the tracer, extra bits (sharding) follow requestFeatures().
+    // A client wanting neither keeps the byte-identical pre-extension
+    // Hello, so peers that predate the feature word see no change.
     const bool want_trace = obs::Tracer::instance().enabled();
-    if (want_trace) hello.putU32(protocol::kKnownFeatures);
+    std::uint32_t want = requested_features_.load(std::memory_order_relaxed) &
+                         protocol::kKnownFeatures;
+    if (want_trace) want |= protocol::kFeatureTraceContext;
+    if (want != 0) hello.putU32(want);
     protocol::sendMessage(*stream_, MessageType::Hello, hello.bytes());
     protocol::Message ack = protocol::recvMessage(*stream_);
     stream_->clearDeadline();
@@ -159,9 +164,12 @@ void Channel::negotiateLocked(std::chrono::steady_clock::time_point deadline) {
     xdr::Decoder dec(ack.payload);
     const std::uint32_t agreed = dec.getU32();
     // A feature-aware server echoes its accepted bitmask; a pre-extension
-    // server's HelloAck ends after the version word.
+    // server's HelloAck ends after the version word.  A peer can never
+    // grant a bit we did not ask for.
     std::uint32_t features = 0;
-    if (want_trace && dec.remaining() >= 4) features = dec.getU32();
+    if (want != 0 && dec.remaining() >= 4) features = dec.getU32();
+    features &= want;
+    negotiated_features_.store(features, std::memory_order_release);
     if (agreed >= protocol::kVersion2) {
       mode_ = Mode::V2;
       const bool traced =

@@ -108,6 +108,21 @@ class Channel {
     return trace_wire_.load(std::memory_order_acquire);
   }
 
+  /// Advertise extra feature bits (protocol::kFeature*) in the next
+  /// Hello, beyond the trace-context bit (which follows the tracer).
+  /// Set before the first exchange; bits the peer does not echo are
+  /// simply off.
+  void requestFeatures(std::uint32_t bits) {
+    requested_features_.fetch_or(bits, std::memory_order_relaxed);
+  }
+
+  /// Feature bitmask the peer echoed in HelloAck — always a subset of
+  /// what we advertised.  0 before the first exchange, on a
+  /// pre-extension peer, and on forced-v1 connections.
+  std::uint32_t negotiatedFeatures() const {
+    return negotiated_features_.load(std::memory_order_acquire);
+  }
+
   /// Diagnostic peer description of the current connection.
   std::string peerName() const;
 
@@ -179,6 +194,8 @@ class Channel {
   Mode mode_ NINF_GUARDED_BY(setup_mutex_) = Mode::Undecided;
   bool force_v1_ = false;  // immutable after construction
   std::atomic<std::uint32_t> negotiated_version_{0};
+  std::atomic<std::uint32_t> requested_features_{0};
+  std::atomic<std::uint32_t> negotiated_features_{0};
   std::atomic<bool> trace_wire_{false};
   std::atomic<bool> broken_{false};
   std::atomic<double> mid_reply_grace_s_{0.25};

@@ -362,6 +362,149 @@ double NinfClient::ping(std::size_t payload_bytes, double timeout_seconds) {
   return nowSeconds() - start;
 }
 
+namespace {
+
+/// One control-plane exchange whose reply may be the expected type or a
+/// WrongShard redirect.  Decodes either; a redirect becomes a typed
+/// WrongShardError after the body is fully consumed (keeping framing
+/// aligned either way).
+template <typename Reply>
+Reply controlExchange(Channel& channel, MessageType type,
+                      const xdr::Encoder& body, MessageType expected,
+                      Reply (*decode)(xdr::Source&),
+                      std::chrono::steady_clock::time_point deadline) {
+  std::optional<Reply> reply;
+  std::optional<protocol::RedirectInfo> redirect;
+  channel.transact(
+      type, body,
+      [&](const Channel::Reply& r, xdr::Source& src) {
+        if (r.type == MessageType::WrongShard) {
+          redirect = protocol::RedirectInfo::decode(src);
+          return;
+        }
+        requireType(r.type, expected);
+        reply = decode(src);
+      },
+      deadline);
+  if (redirect) {
+    throw WrongShardError(
+        "'" + redirect->entry + "' belongs to shard " +
+            std::to_string(redirect->owner_shard) + " (ring epoch " +
+            std::to_string(redirect->ring_epoch) + ")",
+        redirect->owner_shard, redirect->ring_epoch,
+        redirect->reason == protocol::RedirectReason::NotPrimary);
+  }
+  return std::move(*reply);
+}
+
+}  // namespace
+
+protocol::RingDescriptor NinfClient::ringInfo(std::uint64_t known_epoch,
+                                              double timeout_seconds) {
+  xdr::Encoder enc;
+  enc.putU64(known_epoch);
+  protocol::RingDescriptor ring;
+  channel_->transact(
+      MessageType::RingQuery, enc,
+      [&ring](const Channel::Reply& r, xdr::Source& src) {
+        requireType(r.type, MessageType::RingInfo);
+        ring = protocol::RingDescriptor::decode(src);
+      },
+      deadlineIn(timeout_seconds));
+  return ring;
+}
+
+protocol::ScheduleChoice NinfClient::scheduleQuery(
+    const std::string& entry, const std::vector<std::string>& excluded,
+    double timeout_seconds) {
+  protocol::ScheduleRequest req;
+  req.entry = entry;
+  req.excluded = excluded;
+  xdr::Encoder enc;
+  req.encode(enc);
+  auto choice = controlExchange(*channel_, MessageType::ScheduleQuery, enc,
+                                MessageType::ScheduleReply,
+                                &protocol::ScheduleChoice::decode,
+                                deadlineIn(timeout_seconds));
+  // An empty name is the node saying "no reachable candidate" — the
+  // typed not-found its in-process pickAmong would have thrown.
+  if (choice.server_name.empty()) {
+    throw NotFoundError("no reachable server for '" + entry + "' on " +
+                        channel_->peerName());
+  }
+  return choice;
+}
+
+protocol::RegisterResult NinfClient::registerServer(
+    const protocol::WireServerDesc& desc, std::uint64_t reg_epoch,
+    double timeout_seconds) {
+  protocol::RegistryOp op;
+  op.kind = protocol::RegistryOp::Kind::Register;
+  op.desc = desc;
+  op.reg_epoch = reg_epoch;
+  xdr::Encoder enc;
+  op.encode(enc);
+  auto result = controlExchange(*channel_, MessageType::RegisterServer, enc,
+                                MessageType::RegisterAck,
+                                &protocol::RegisterResult::decode,
+                                deadlineIn(timeout_seconds));
+  if (result.status == protocol::RegisterResult::Status::Fenced) {
+    throw FencedError("registration of " + desc.endpoint + " rejected by " +
+                      channel_->peerName());
+  }
+  return result;
+}
+
+protocol::RegisterResult NinfClient::deregisterServer(
+    const std::string& endpoint, std::uint64_t reg_epoch,
+    double timeout_seconds) {
+  protocol::RegistryOp op;
+  op.kind = protocol::RegistryOp::Kind::Deregister;
+  op.desc.endpoint = endpoint;
+  op.reg_epoch = reg_epoch;
+  xdr::Encoder enc;
+  op.encode(enc);
+  auto result = controlExchange(*channel_, MessageType::DeregisterServer, enc,
+                                MessageType::RegisterAck,
+                                &protocol::RegisterResult::decode,
+                                deadlineIn(timeout_seconds));
+  if (result.status == protocol::RegisterResult::Status::Fenced) {
+    throw FencedError("deregistration of " + endpoint + " rejected by " +
+                      channel_->peerName());
+  }
+  return result;
+}
+
+protocol::ReplAckMsg NinfClient::replAppend(const protocol::ReplAppendMsg& msg,
+                                            double timeout_seconds) {
+  xdr::Encoder enc;
+  msg.encode(enc);
+  protocol::ReplAckMsg ack;
+  channel_->transact(
+      MessageType::ReplAppend, enc,
+      [&ack](const Channel::Reply& r, xdr::Source& src) {
+        requireType(r.type, MessageType::ReplAck);
+        ack = protocol::ReplAckMsg::decode(src);
+      },
+      deadlineIn(timeout_seconds));
+  return ack;
+}
+
+protocol::ReplAckMsg NinfClient::replHeartbeat(
+    const protocol::ReplHeartbeatMsg& msg, double timeout_seconds) {
+  xdr::Encoder enc;
+  msg.encode(enc);
+  protocol::ReplAckMsg ack;
+  channel_->transact(
+      MessageType::ReplHeartbeat, enc,
+      [&ack](const Channel::Reply& r, xdr::Source& src) {
+        requireType(r.type, MessageType::ReplAck);
+        ack = protocol::ReplAckMsg::decode(src);
+      },
+      deadlineIn(timeout_seconds));
+  return ack;
+}
+
 void NinfClient::close() { channel_->close(); }
 
 }  // namespace ninf::client

@@ -30,6 +30,7 @@
 #include "idl/interface_info.h"
 #include "protocol/call_marshal.h"
 #include "protocol/message.h"
+#include "protocol/meta_wire.h"
 #include "transport/transport.h"
 
 namespace ninf::client {
@@ -151,6 +152,42 @@ class NinfClient {
   /// — the connection pool's pre-reuse health check relies on this so a
   /// stalled-but-open pooled peer cannot wedge acquire().
   double ping(std::size_t payload_bytes = 0, double timeout_seconds = 0.0);
+
+  // ---- sharded-metaserver control plane (node peers only) ----
+  // These speak the kFeatureSharding message types; call them against a
+  // metaserver node (the peer answers anything else with a dropped
+  // connection).  Every method takes an optional round-trip bound.
+
+  /// Fetch the node's current ring view.  `known_epoch` is the ring
+  /// epoch the caller already holds (0 for none).
+  protocol::RingDescriptor ringInfo(std::uint64_t known_epoch = 0,
+                                    double timeout_seconds = 0.0);
+
+  /// Ask the owning shard primary to pick a computing server for
+  /// `entry`; `excluded` names servers that already failed this call.
+  /// Throws WrongShardError when the node does not own the entry or is
+  /// not the shard's primary, NotFoundError when no candidate remains.
+  protocol::ScheduleChoice scheduleQuery(
+      const std::string& entry, const std::vector<std::string>& excluded = {},
+      double timeout_seconds = 0.0);
+
+  /// Ship one registry op to the shard owning it.  Registration is
+  /// idempotent on (desc.endpoint, reg_epoch): a retried op answers
+  /// Duplicate.  Throws WrongShardError on a misrouted op and
+  /// FencedError when the receiving node lost its primaryship.
+  protocol::RegisterResult registerServer(const protocol::WireServerDesc& desc,
+                                          std::uint64_t reg_epoch,
+                                          double timeout_seconds = 0.0);
+  protocol::RegisterResult deregisterServer(const std::string& endpoint,
+                                            std::uint64_t reg_epoch,
+                                            double timeout_seconds = 0.0);
+
+  /// Replication link (node-to-node; exposed here so the primary's log
+  /// shipper reuses the ordinary client machinery).
+  protocol::ReplAckMsg replAppend(const protocol::ReplAppendMsg& msg,
+                                  double timeout_seconds = 0.0);
+  protocol::ReplAckMsg replHeartbeat(const protocol::ReplHeartbeatMsg& msg,
+                                     double timeout_seconds = 0.0);
 
   void close();
 

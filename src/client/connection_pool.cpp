@@ -38,10 +38,11 @@ void bumpInUse(long delta) {
 ConnectionPool::Lease& ConnectionPool::Lease::operator=(
     Lease&& other) noexcept {
   if (this != &other) {
-    if (pool_) pool_->release(endpoint_, std::move(client_));
+    if (pool_) pool_->release(endpoint_, std::move(client_), generation_);
     pool_ = other.pool_;
     endpoint_ = std::move(other.endpoint_);
     client_ = std::move(other.client_);
+    generation_ = other.generation_;
     other.pool_ = nullptr;
     other.client_.reset();
   }
@@ -49,7 +50,7 @@ ConnectionPool::Lease& ConnectionPool::Lease::operator=(
 }
 
 ConnectionPool::Lease::~Lease() {
-  if (pool_) pool_->release(endpoint_, std::move(client_));
+  if (pool_) pool_->release(endpoint_, std::move(client_), generation_);
 }
 
 void ConnectionPool::Lease::discard() { client_.reset(); }
@@ -59,16 +60,20 @@ ConnectionPool::ConnectionPool(PoolOptions options) : options_(options) {}
 ConnectionPool::~ConnectionPool() { clear(); }
 
 ConnectionPool::Lease ConnectionPool::acquire(const std::string& endpoint,
-                                              const Factory& factory) {
+                                              const Factory& factory,
+                                              std::uint64_t generation) {
   static obs::Counter& hits = obs::counter("pool.hits");
   static obs::Counter& misses = obs::counter("pool.misses");
   static obs::Counter& ttl_evictions = obs::counter("pool.ttl_evictions");
   static obs::Counter& dead_evictions = obs::counter("pool.dead_evictions");
+  static obs::Counter& generation_flushes =
+      obs::counter("pool.generation_flushes");
 
   for (;;) {
     std::unique_ptr<NinfClient> candidate;
     double idle_since = 0.0;
     std::vector<IdleEntry> expired;  // closed outside the lock
+    std::size_t flushed = 0;
     const double now = nowSeconds();
     long reclaimed = 0;
     {
@@ -83,6 +88,17 @@ ConnectionPool::Lease ConnectionPool::acquire(const std::string& endpoint,
           expired.push_back(std::move(entries.front()));
           entries.erase(entries.begin());
         }
+        // Entries pooled under a different generation are stale routes
+        // (the topology changed under the endpoint): flush them all.
+        for (auto entry = entries.begin(); entry != entries.end();) {
+          if (entry->generation != generation) {
+            expired.push_back(std::move(*entry));
+            entry = entries.erase(entry);
+            ++flushed;
+          } else {
+            ++entry;
+          }
+        }
         if (!entries.empty()) {
           candidate = std::move(entries.back().client);
           idle_since = entries.back().idle_since;
@@ -94,7 +110,8 @@ ConnectionPool::Lease ConnectionPool::acquire(const std::string& endpoint,
     // Gauge updates lock the obs registry on first touch; keep that out
     // of the pool critical section.
     if (reclaimed > 0) bumpIdle(-reclaimed);
-    if (!expired.empty()) ttl_evictions.add(expired.size());
+    if (flushed > 0) generation_flushes.add(flushed);
+    if (expired.size() > flushed) ttl_evictions.add(expired.size() - flushed);
     expired.clear();
 
     if (!candidate) break;  // pool dry for this endpoint
@@ -120,7 +137,7 @@ ConnectionPool::Lease ConnectionPool::acquire(const std::string& endpoint,
       ++in_use_;
     }
     bumpInUse(+1);
-    return Lease(this, endpoint, std::move(candidate));
+    return Lease(this, endpoint, std::move(candidate), generation);
   }
 
   misses.add();
@@ -131,11 +148,12 @@ ConnectionPool::Lease ConnectionPool::acquire(const std::string& endpoint,
     ++in_use_;
   }
   bumpInUse(+1);
-  return Lease(this, endpoint, std::move(fresh));
+  return Lease(this, endpoint, std::move(fresh), generation);
 }
 
 void ConnectionPool::release(const std::string& endpoint,
-                             std::unique_ptr<NinfClient> client) {
+                             std::unique_ptr<NinfClient> client,
+                             std::uint64_t generation) {
   std::unique_ptr<NinfClient> doomed;  // closed outside the lock
   {
     LockGuard lock(mutex_);
@@ -152,7 +170,7 @@ void ConnectionPool::release(const std::string& endpoint,
   {
     LockGuard lock(mutex_);
     auto& entries = idle_[endpoint];
-    entries.push_back({std::move(client), nowSeconds()});
+    entries.push_back({std::move(client), nowSeconds(), generation});
     if (entries.size() > options_.max_idle_per_endpoint) {
       doomed = std::move(entries.front().client);
       entries.erase(entries.begin());

@@ -13,8 +13,18 @@
 // and silently replaced if the peer is gone or unresponsive; a returned
 // connection whose channel is broken is dropped, never pooled.
 //
-// Observability: pool.hits / pool.misses counters and pool.idle /
-// pool.in_use gauges (process-wide totals across pools).
+// Generations: acquire() optionally carries a caller-defined generation
+// number (the sharded metaserver passes its ring epoch).  An idle entry
+// only satisfies an acquire of the same generation; entries from any
+// other generation found under the endpoint are flushed on the spot.
+// This closes the stale-routing hole of endpoint-only keying: when the
+// ring changes (a backup was promoted), connections negotiated against
+// the old topology stop being handed out even though the endpoint
+// string is unchanged.
+//
+// Observability: pool.hits / pool.misses / pool.generation_flushes
+// counters and pool.idle / pool.in_use gauges (process-wide totals
+// across pools).
 #pragma once
 
 #include <cstdint>
@@ -74,13 +84,14 @@ class ConnectionPool {
    private:
     friend class ConnectionPool;
     Lease(ConnectionPool* pool, std::string endpoint,
-          std::unique_ptr<NinfClient> client)
+          std::unique_ptr<NinfClient> client, std::uint64_t generation)
         : pool_(pool), endpoint_(std::move(endpoint)),
-          client_(std::move(client)) {}
+          client_(std::move(client)), generation_(generation) {}
 
     ConnectionPool* pool_ = nullptr;
     std::string endpoint_;
     std::unique_ptr<NinfClient> client_;
+    std::uint64_t generation_ = 0;
   };
 
   explicit ConnectionPool(PoolOptions options = {});
@@ -91,8 +102,11 @@ class ConnectionPool {
 
   /// Borrow a connection to `endpoint`, reusing an idle one when
   /// possible and creating through `factory` otherwise.  The factory
-  /// runs outside the pool lock (it does network I/O).
-  Lease acquire(const std::string& endpoint, const Factory& factory);
+  /// runs outside the pool lock (it does network I/O).  `generation`
+  /// scopes reuse: only idle entries pooled under the same generation
+  /// qualify, and mismatched ones under the endpoint are flushed.
+  Lease acquire(const std::string& endpoint, const Factory& factory,
+                std::uint64_t generation = 0);
 
   /// Idle connections across all endpoints / leases currently out.
   std::size_t idleCount() const;
@@ -105,10 +119,11 @@ class ConnectionPool {
   struct IdleEntry {
     std::unique_ptr<NinfClient> client;
     double idle_since = 0.0;  // steady-clock seconds
+    std::uint64_t generation = 0;
   };
 
   void release(const std::string& endpoint,
-               std::unique_ptr<NinfClient> client);
+               std::unique_ptr<NinfClient> client, std::uint64_t generation);
 
   mutable Mutex mutex_{"pool.mutex"};
   std::map<std::string, std::vector<IdleEntry>> idle_ NINF_GUARDED_BY(mutex_);

@@ -6,6 +6,7 @@
 // throws std::logic_error so tests can assert on misuse.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -56,6 +57,37 @@ class RemoteError : public Error {
 class IdlError : public Error {
  public:
   explicit IdlError(const std::string& what) : Error("idl: " + what) {}
+};
+
+/// A sharded-metaserver node bounced a request that belongs to a
+/// different shard (or to the shard's current primary).  Carries the
+/// sender's routing hint so the caller can refresh its cached ring and
+/// re-route instead of blindly retrying the same node.
+class WrongShardError : public Error {
+ public:
+  WrongShardError(const std::string& what, std::uint32_t owner_shard,
+                  std::uint64_t ring_epoch, bool not_primary)
+      : Error("wrong shard: " + what), owner_shard_(owner_shard),
+        ring_epoch_(ring_epoch), not_primary_(not_primary) {}
+
+  std::uint32_t ownerShard() const { return owner_shard_; }
+  std::uint64_t ringEpoch() const { return ring_epoch_; }
+  /// True when the node owns the namespace slice but is a backup or a
+  /// fenced ex-primary (right shard, wrong role).
+  bool notPrimary() const { return not_primary_; }
+
+ private:
+  std::uint32_t owner_shard_;
+  std::uint64_t ring_epoch_;
+  bool not_primary_;
+};
+
+/// A write (registration) was rejected because the receiving metaserver
+/// node has been fenced: a newer epoch exists, so accepting the op could
+/// split the registry across two primaries.
+class FencedError : public Error {
+ public:
+  explicit FencedError(const std::string& what) : Error("fenced: " + what) {}
 };
 
 #define NINF_REQUIRE(cond, msg)                                      \

@@ -1,7 +1,6 @@
 #include "metaserver/metaserver.h"
 
 #include <algorithm>
-#include <limits>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -10,278 +9,12 @@
 
 namespace ninf::metaserver {
 
-namespace {
-
-double nowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
-
-const char* schedulingPolicyName(SchedulingPolicy p) {
-  switch (p) {
-    case SchedulingPolicy::RoundRobin: return "round-robin";
-    case SchedulingPolicy::LeastLoad: return "least-load";
-    case SchedulingPolicy::BandwidthAware: return "bandwidth-aware";
-  }
-  return "?";
-}
-
-double estimateCompletion(double bytes, double flops, double bandwidth_bps,
-                          double perf_flops, double queue_depth) {
-  NINF_REQUIRE(bandwidth_bps > 0 && perf_flops > 0,
-               "server capacities must be positive");
-  const double comm = bytes / bandwidth_bps;
-  const double comp = flops / perf_flops;
-  // Jobs already queued or running delay ours by roughly one compute time
-  // each (they contend for the PEs, not for our network path).
-  return comm + comp * (1.0 + queue_depth);
-}
-
-void Metaserver::addServer(ServerEntry entry) {
-  NINF_REQUIRE(entry.factory != nullptr, "server entry needs a factory");
-  NINF_REQUIRE(!entry.name.empty(), "server entry needs a name");
-  LockGuard lock(mutex_);
-  for (const auto& s : servers_) {
-    NINF_REQUIRE(s->entry.name != entry.name, "duplicate server name");
-  }
-  auto state = std::make_unique<ServerState>();
-  state->entry = std::move(entry);
-  servers_.push_back(std::move(state));
-}
-
-std::size_t Metaserver::serverCount() const {
-  LockGuard lock(mutex_);
-  return servers_.size();
-}
-
-client::NinfClient& Metaserver::monitorOf(ServerState& state) {
-  if (!state.monitor) state.monitor = state.entry.factory();
-  return *state.monitor;
-}
-
-protocol::ServerStatusInfo Metaserver::poll(const std::string& server_name) {
-  ServerState* state = nullptr;
-  {
-    LockGuard lock(mutex_);
-    for (auto& s : servers_) {
-      if (s->entry.name == server_name) {
-        state = s.get();
-        break;
-      }
-    }
-  }
-  if (!state) throw NotFoundError("server '" + server_name + "'");
-
-  // Wire I/O under the per-server poll mutex only, bounded by the poll
-  // timeout: a dead or slow server must not hold up the scheduling table.
-  protocol::ServerStatusInfo status;
-  try {
-    LockGuard poll_lock(state->poll_mutex);
-    try {
-      status = monitorOf(*state).serverStatus(poll_timeout_);
-    } catch (const Error&) {
-      state->monitor.reset();  // reconnect on the next poll
-      throw;
-    }
-  } catch (const Error&) {
-    LockGuard cache(state->mutex);
-    state->reachable = false;
-    throw;
-  }
-  {
-    LockGuard cache(state->mutex);
-    state->last_status = status;
-    state->last_status_time = nowSeconds();
-    state->reachable = true;
-  }
-  return status;
-}
-
-std::vector<Metaserver::Candidate> Metaserver::refreshCandidates(
-    const std::string& entry_name, std::span<const protocol::ArgValue> args,
-    const std::vector<std::size_t>& excluded) {
-  // RoundRobin is oblivious: no polling at all.
-  if (policy_ == SchedulingPolicy::RoundRobin) return {};
-
-  std::vector<ServerState*> states;
-  {
-    LockGuard lock(mutex_);
-    states.reserve(servers_.size());
-    for (auto& s : servers_) states.push_back(s.get());
-  }
-  const bool want_iface = policy_ == SchedulingPolicy::BandwidthAware;
-
-  std::vector<Candidate> out;
-  out.reserve(states.size());
-  for (std::size_t i = 0; i < states.size(); ++i) {
-    Candidate c;
-    c.idx = i;
-    if (std::find(excluded.begin(), excluded.end(), i) != excluded.end()) {
-      out.push_back(c);  // excluded: never picked, don't poll it either
-      continue;
-    }
-    ServerState* st = states[i];
-
-    // Reuse a fresh-enough cached status instead of another round-trip.
-    bool have_status = false;
-    {
-      LockGuard cache(st->mutex);
-      if (status_freshness_ > 0 && st->reachable &&
-          st->last_status_time > 0 &&
-          nowSeconds() - st->last_status_time <= status_freshness_) {
-        c.status = st->last_status;
-        have_status = true;
-      }
-    }
-
-    if (have_status && !want_iface) {
-      c.reachable = true;
-      out.push_back(c);
-      continue;
-    }
-
-    {
-      // Bounded wire I/O: each monitor round-trip gets at most the poll
-      // timeout, so one stalled server delays a dispatch (and any other
-      // dispatcher queued on this poll mutex) by a bounded amount, and
-      // a timed-out server is simply unreachable for this round.
-      LockGuard poll_lock(st->poll_mutex);
-      try {
-        auto& mon = monitorOf(*st);
-        if (!have_status) c.status = mon.serverStatus(poll_timeout_);
-        c.reachable = true;
-        if (want_iface) {
-          // The interface query rides the same monitor connection; the
-          // client caches it, so repeat decisions cost no extra I/O.
-          const auto& info = mon.queryInterface(entry_name, poll_timeout_);
-          const auto scalars = protocol::scalarArgs(info, args);
-          c.bytes = static_cast<double>(info.bytesTotal(scalars));
-          c.flops = static_cast<double>(info.flopsEstimate(scalars));
-        }
-      } catch (const NotFoundError&) {
-        c.exports = false;  // reachable, but no such entry there
-      } catch (const Error&) {
-        st->monitor.reset();  // status channel died; reconnect next time
-        c.reachable = false;
-      }
-    }
-
-    {
-      LockGuard cache(st->mutex);
-      st->reachable = c.reachable;
-      if (c.reachable && !have_status) {
-        st->last_status = c.status;
-        st->last_status_time = nowSeconds();
-      }
-    }
-    out.push_back(c);
-  }
-  return out;
-}
-
-std::size_t Metaserver::pickIndex(const std::string& entry_name,
-                                  const std::vector<Candidate>& candidates,
-                                  const std::vector<std::size_t>& excluded) {
-  // A server inside its post-failure cooldown window is shunned like an
-  // excluded one — but only while some other candidate remains, so a
-  // fully-cooling pool degrades to "try anyway" instead of failing.
-  const auto now = std::chrono::steady_clock::now();
-  std::vector<std::size_t> shunned = excluded;
-  bool any_cooling = false;
-  for (std::size_t i = 0; i < servers_.size(); ++i) {
-    bool cooling = false;
-    {
-      LockGuard cache(servers_[i]->mutex);
-      cooling = servers_[i]->cooldown_until > now;
-    }
-    if (cooling &&
-        std::find(excluded.begin(), excluded.end(), i) == excluded.end()) {
-      shunned.push_back(i);
-      any_cooling = true;
-    }
-  }
-  if (any_cooling && shunned.size() < servers_.size()) {
-    try {
-      const std::size_t idx = pickAmong(entry_name, candidates, shunned);
-      static obs::Counter& cooldown_skips =
-          obs::counter("metaserver.cooldown_skips");
-      cooldown_skips.add();
-      return idx;
-    } catch (const NotFoundError&) {
-      // Every non-cooling candidate was unreachable or lacks the entry;
-      // fall through and consider the cooling servers after all.
-    }
-  }
-  return pickAmong(entry_name, candidates, excluded);
-}
-
-std::size_t Metaserver::pickAmong(const std::string& entry_name,
-                                  const std::vector<Candidate>& candidates,
-                                  const std::vector<std::size_t>& excluded) {
-  NINF_REQUIRE(!servers_.empty(), "metaserver has no servers");
-  auto isExcluded = [&](std::size_t i) {
-    return std::find(excluded.begin(), excluded.end(), i) != excluded.end();
-  };
-  switch (policy_) {
-    case SchedulingPolicy::RoundRobin: {
-      for (std::size_t step = 0; step < servers_.size(); ++step) {
-        const std::size_t idx = rr_next_ % servers_.size();
-        rr_next_ = (rr_next_ + 1) % servers_.size();
-        if (!isExcluded(idx)) return idx;
-      }
-      throw NotFoundError("every server excluded for '" + entry_name + "'");
-    }
-    case SchedulingPolicy::LeastLoad: {
-      std::size_t best = servers_.size();
-      double best_load = std::numeric_limits<double>::infinity();
-      for (const auto& c : candidates) {
-        if (isExcluded(c.idx) || !c.reachable) continue;
-        // Include calls we have routed but whose status poll may not yet
-        // reflect, so bursts spread instead of piling on one server.
-        const double load =
-            c.status.load_average + c.status.running + c.status.queued;
-        if (load < best_load) {
-          best_load = load;
-          best = c.idx;
-        }
-      }
-      if (best == servers_.size()) {
-        throw NotFoundError("no reachable server for '" + entry_name + "'");
-      }
-      return best;
-    }
-    case SchedulingPolicy::BandwidthAware: {
-      std::size_t best = servers_.size();
-      double best_eta = std::numeric_limits<double>::infinity();
-      for (const auto& c : candidates) {
-        if (isExcluded(c.idx) || !c.reachable || !c.exports) continue;
-        const auto& entry = servers_[c.idx]->entry;
-        const double eta = estimateCompletion(
-            c.bytes, c.flops, entry.bandwidth_bps, entry.perf_flops,
-            static_cast<double>(c.status.running + c.status.queued));
-        if (eta < best_eta) {
-          best_eta = eta;
-          best = c.idx;
-        }
-      }
-      if (best == servers_.size()) {
-        throw NotFoundError("no server exports '" + entry_name + "'");
-      }
-      return best;
-    }
-  }
-  throw Error("unreachable policy");
-}
-
 std::string Metaserver::chooseServer(
     const std::string& entry_name,
     std::span<const protocol::ArgValue> args) {
-  const auto candidates = refreshCandidates(entry_name, args, {});
-  LockGuard lock(mutex_);
-  return servers_[pickIndex(entry_name, candidates, {})]->entry.name;
+  const auto candidates = dir_.snapshot(entry_name, args, {});
+  const std::size_t idx = dir_.pick(entry_name, candidates, {});
+  return dir_.serverNames().at(idx);
 }
 
 client::CallResult Metaserver::dispatch(
@@ -313,36 +46,21 @@ client::CallResult Metaserver::dispatch(const std::string& name,
   std::vector<std::string> failed_names;
   std::string last_error;
   for (std::size_t attempt = 0;; ++attempt) {
-    client::ConnectionFactory factory;
-    std::string chosen;
+    Directory::Target target;
     std::size_t idx;
     try {
       // The decision itself is the interesting latency: least-load and
       // bandwidth-aware policies poll candidate servers (outside the
       // table lock, cached within the freshness window).
       obs::Span schedule("schedule");
-      const auto candidates = refreshCandidates(name, args, failed);
-      ServerState* picked = nullptr;
-      {
-        LockGuard lock(mutex_);
-        idx = pickIndex(name, candidates, failed);
-        picked = servers_[idx].get();
-      }
-      // entry is immutable after addServer and the state address is
-      // stable (unique_ptr), so the rest needs no global lock.
-      factory = picked->entry.factory;
-      chosen = picked->entry.name;
-      double observed = 0.0;
-      {
-        LockGuard cache(picked->mutex);
-        ++picked->dispatched;
-        observed = picked->last_status.load_average;
-      }
-      schedule.setDetail(std::string(schedulingPolicyName(policy_)) + " -> " +
-                         chosen);
+      const auto candidates = dir_.snapshot(name, args, failed);
+      idx = dir_.pick(name, candidates, failed);
+      target = dir_.acquireTarget(idx);
+      schedule.setDetail(std::string(schedulingPolicyName(dir_.policy())) +
+                         " -> " + target.name);
       static obs::Histogram& observed_load =
           obs::histogram("metaserver.observed_load");
-      observed_load.observe(observed);
+      observed_load.observe(target.observed_load);
     } catch (const NotFoundError&) {
       // Candidates ran out mid-failover.  The root cause is the transport
       // failures that excluded them — rethrow that, not a masking
@@ -361,7 +79,7 @@ client::CallResult Metaserver::dispatch(const std::string& name,
     }
     static obs::Counter& dispatched = obs::counter("metaserver.dispatched");
     dispatched.add();
-    NINF_LOG(Debug) << "dispatching " << name << " to " << chosen;
+    NINF_LOG(Debug) << "dispatching " << name << " to " << target.name;
     // Execute outside the lock: a call occupies its connection for its
     // whole duration and other dispatches must proceed concurrently.
     try {
@@ -374,7 +92,7 @@ client::CallResult Metaserver::dispatch(const std::string& name,
         }
         attempt_opts.deadline_seconds = remaining;
       }
-      auto lease = pool_.acquire(chosen, factory);
+      auto lease = pool_.acquire(target.name, target.factory);
       try {
         return lease->call(name, args, attempt_opts);
       } catch (const TransportError&) {
@@ -387,25 +105,12 @@ client::CallResult Metaserver::dispatch(const std::string& name,
       // not immediately re-picked once the exclusion list resets.
       static obs::Counter& failovers = obs::counter("metaserver.failovers");
       failovers.add();
-      if (cooldown_seconds_ > 0) {
-        ServerState* failed_state = nullptr;
-        {
-          LockGuard lock(mutex_);
-          if (idx < servers_.size()) failed_state = servers_[idx].get();
-        }
-        if (failed_state) {
-          LockGuard cache(failed_state->mutex);
-          failed_state->cooldown_until =
-              clock::now() + std::chrono::duration_cast<clock::duration>(
-                                 std::chrono::duration<double>(
-                                     cooldown_seconds_));
-        }
-      }
+      dir_.noteFailure(idx, cooldown_seconds_);
       if (attempt >= budget) throw;
       last_error = e.what();
       failed.push_back(idx);
-      failed_names.push_back(chosen);
-      NINF_LOG(Warn) << "failover from " << chosen << ": " << e.what();
+      failed_names.push_back(target.name);
+      NINF_LOG(Warn) << "failover from " << target.name << ": " << e.what();
       if (backoff > 0) {
         double sleep_s = std::min(backoff, 1.0);
         if (bounded) {
@@ -431,14 +136,9 @@ void Metaserver::startMonitoring(std::chrono::milliseconds interval) {
   monitor_thread_ = std::thread([this, interval] {
     for (;;) {
       // Poll every known server, tolerating failures.
-      std::vector<std::string> names;
-      {
-        LockGuard lock(mutex_);
-        for (const auto& s : servers_) names.push_back(s->entry.name);
-      }
-      for (const auto& name : names) {
+      for (const auto& name : dir_.serverNames()) {
         try {
-          poll(name);
+          dir_.poll(name);
         } catch (const Error& e) {
           NINF_LOG(Debug) << "monitor: " << name << ": " << e.what();
         }
@@ -459,18 +159,6 @@ void Metaserver::stopMonitoring() {
   }
   monitor_cv_.notify_all();
   if (monitor_thread_.joinable()) monitor_thread_.join();
-}
-
-protocol::ServerStatusInfo Metaserver::lastStatus(
-    const std::string& server_name) const {
-  LockGuard lock(mutex_);
-  for (const auto& s : servers_) {
-    if (s->entry.name == server_name) {
-      LockGuard cache(s->mutex);
-      return s->last_status;
-    }
-  }
-  throw NotFoundError("server '" + server_name + "'");
 }
 
 std::vector<client::CallResult> Metaserver::runTransaction(

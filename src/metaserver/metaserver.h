@@ -15,15 +15,13 @@
 //                      bandwidth, and the polled load, then pick the
 //                      minimum.
 //
-// Concurrency: status polls and interface queries are network I/O and
-// run under a per-server poll mutex, never under the global table lock,
-// and every monitor round-trip is bounded by setPollTimeout() — a slow
-// or dead server costs a scheduling decision at most that budget (it is
-// treated as unreachable for the round) instead of stalling dispatches
-// indefinitely.  Polled statuses are cached with a freshness window so
-// bursts of dispatches share one poll round.  Dispatch borrows server
-// connections from a shared ConnectionPool instead of opening a fresh
-// one per call.
+// This class is the in-process dispatch orchestrator: the fault-tolerant
+// retry loop, the monitoring thread, and the transaction runner.  All
+// server state — the registry table, the liveness cache, and the policy
+// switch itself — lives in the LocalDirectory it owns (directory.h); the
+// dispatch loop only sees the abstract Directory interface.  The sharded
+// control plane (ring.h, replication.h, node.h) reuses the same
+// directory layer behind wire RPCs.
 #pragma once
 
 #include <chrono>
@@ -37,35 +35,15 @@
 #include "common/sync.h"
 #include "client/dispatcher.h"
 #include "client/transaction.h"
+#include "metaserver/directory.h"
 #include "protocol/message.h"
 
 namespace ninf::metaserver {
 
-enum class SchedulingPolicy { RoundRobin, LeastLoad, BandwidthAware };
-
-const char* schedulingPolicyName(SchedulingPolicy p);
-
-/// Static description of one computing server known to the metaserver.
-struct ServerEntry {
-  std::string name;
-  client::ConnectionFactory factory;
-  /// Declared client->server throughput, bytes/second (from Table 2-style
-  /// measurements or the registry).
-  double bandwidth_bps = 1e6;
-  /// Declared peak compute rate, flops (P_calc in section 3.1).
-  double perf_flops = 1e8;
-};
-
-/// Pure scoring helper, exposed for unit tests: expected completion time
-/// of a job of `bytes` transfer and `flops` compute on a server with
-/// `queue_depth` jobs ahead of it.
-double estimateCompletion(double bytes, double flops, double bandwidth_bps,
-                          double perf_flops, double queue_depth);
-
 class Metaserver : public client::CallDispatcher {
  public:
   explicit Metaserver(SchedulingPolicy policy = SchedulingPolicy::LeastLoad)
-      : policy_(policy) {}
+      : dir_(policy) {}
 
   ~Metaserver() override { stopMonitoring(); }
 
@@ -92,23 +70,25 @@ class Metaserver : public client::CallDispatcher {
   /// Scheduling reuses a polled server status younger than this instead
   /// of polling again (0 polls on every decision).  Explicit poll() and
   /// the monitoring loop always hit the wire and refill the cache.
-  void setStatusFreshness(double seconds) { status_freshness_ = seconds; }
-  double statusFreshness() const { return status_freshness_; }
+  void setStatusFreshness(double seconds) { dir_.setStatusFreshness(seconds); }
+  double statusFreshness() const { return dir_.statusFreshness(); }
 
   /// Wall-clock bound on each monitor-channel round-trip (status poll,
   /// interface query).  A server that cannot answer within the budget
   /// is treated as unreachable for the round rather than stalling the
   /// dispatch that polled it.  <= 0 removes the bound (not advised).
-  void setPollTimeout(double seconds) { poll_timeout_ = seconds; }
-  double pollTimeout() const { return poll_timeout_; }
+  void setPollTimeout(double seconds) { dir_.setPollTimeout(seconds); }
+  double pollTimeout() const { return dir_.pollTimeout(); }
 
-  void addServer(ServerEntry entry);
-  std::size_t serverCount() const;
-  SchedulingPolicy policy() const { return policy_; }
+  void addServer(ServerEntry entry) { dir_.addServer(std::move(entry)); }
+  std::size_t serverCount() const { return dir_.serverCount(); }
+  SchedulingPolicy policy() const { return dir_.policy(); }
 
   /// Poll a server's status (monitoring loop body).  Always does the
   /// wire round-trip; the result refreshes the scheduling cache.
-  protocol::ServerStatusInfo poll(const std::string& server_name);
+  protocol::ServerStatusInfo poll(const std::string& server_name) {
+    return dir_.poll(server_name);
+  }
 
   /// Background monitoring (section 2.4: the metaserver "monitors
   /// multiple Ninf computing servers"): poll every server's status each
@@ -117,7 +97,9 @@ class Metaserver : public client::CallDispatcher {
   void startMonitoring(std::chrono::milliseconds interval);
   void stopMonitoring();
   /// Last polled status of a server (all-zero before the first poll).
-  protocol::ServerStatusInfo lastStatus(const std::string& server_name) const;
+  protocol::ServerStatusInfo lastStatus(const std::string& server_name) const {
+    return dir_.lastStatus(server_name);
+  }
 
   /// Pick a server for the given call per the active policy and execute.
   client::CallResult dispatch(
@@ -145,78 +127,18 @@ class Metaserver : public client::CallDispatcher {
   /// The dispatch connection pool (exposed for tests/ops inspection).
   client::ConnectionPool& pool() { return pool_; }
 
+  /// The underlying directory (exposed for the sharded node layer and
+  /// for tests that exercise the registry path directly).
+  LocalDirectory& directory() { return dir_; }
+  const LocalDirectory& directory() const { return dir_; }
+
  private:
-  struct ServerState {
-    ServerEntry entry;  // immutable after addServer()
-    /// Serializes network I/O on `monitor`.  Never nested inside any
-    /// other metaserver lock.
-    Mutex poll_mutex{"metaserver.poll"};
-    /// Lazy status channel, touched only while polling.
-    std::unique_ptr<client::NinfClient> monitor NINF_GUARDED_BY(poll_mutex);
-    /// Cached poll results live under a per-state mutex (not the global
-    /// table lock), so reading one server's cache never serializes
-    /// against dispatches scanning the table.  Lock order: the global
-    /// mutex_ may be held while taking this one, never the reverse.
-    mutable Mutex mutex{"metaserver.server"};
-    protocol::ServerStatusInfo last_status NINF_GUARDED_BY(mutex);
-    /// Steady seconds; 0 = never polled.
-    double last_status_time NINF_GUARDED_BY(mutex) = 0.0;
-    bool reachable NINF_GUARDED_BY(mutex) = false;
-    /// Calls routed here by the metaserver.
-    std::uint64_t dispatched NINF_GUARDED_BY(mutex) = 0;
-    /// Until this instant the server is shunned after a failed dispatch.
-    std::chrono::steady_clock::time_point cooldown_until
-        NINF_GUARDED_BY(mutex){};
-  };
-
-  /// One scheduling-round snapshot of a server, produced by
-  /// refreshCandidates() with no global lock held during I/O.
-  struct Candidate {
-    std::size_t idx = 0;
-    bool reachable = false;
-    bool exports = true;  // entry known to this server (BandwidthAware)
-    double bytes = 0.0;   // wire bytes of this call (BandwidthAware)
-    double flops = 0.0;   // flop estimate of this call (BandwidthAware)
-    protocol::ServerStatusInfo status;
-  };
-
-  /// Poll every non-excluded server (honoring the freshness window) and
-  /// return the snapshot the policies decide over.  All network I/O
-  /// happens here, under per-server poll mutexes.
-  std::vector<Candidate> refreshCandidates(
-      const std::string& entry_name, std::span<const protocol::ArgValue> args,
-      const std::vector<std::size_t>& excluded);
-
-  /// Policy selection with cooling servers shunned while any other
-  /// candidate remains (falls back to them rather than failing).
-  /// Pure decision over the snapshot.
-  std::size_t pickIndex(const std::string& entry_name,
-                        const std::vector<Candidate>& candidates,
-                        const std::vector<std::size_t>& excluded)
-      NINF_REQUIRES(mutex_);
-  /// The raw policy switch, honoring only the explicit exclusions.
-  std::size_t pickAmong(const std::string& entry_name,
-                        const std::vector<Candidate>& candidates,
-                        const std::vector<std::size_t>& excluded)
-      NINF_REQUIRES(mutex_);
-  client::NinfClient& monitorOf(ServerState& state)
-      NINF_REQUIRES(state.poll_mutex);
-
-  SchedulingPolicy policy_;
   // Tuning knobs: set before concurrent dispatch begins.
   std::size_t max_failovers_ = 2;
   double failover_backoff_ = 0.02;
   double cooldown_seconds_ = 2.0;
-  double status_freshness_ = 0.25;
-  double poll_timeout_ = 1.0;
-  /// Guards the server table itself and the round-robin cursor; cached
-  /// per-server state lives under each ServerState's own mutex.
-  mutable Mutex mutex_{"metaserver.global"};
-  /// unique_ptr for stable addresses: per-state mutexes are held while
-  /// the vector may grow under addServer.
-  std::vector<std::unique_ptr<ServerState>> servers_
-      NINF_GUARDED_BY(mutex_);
-  std::size_t rr_next_ NINF_GUARDED_BY(mutex_) = 0;
+
+  LocalDirectory dir_;
   client::ConnectionPool pool_;
 
   std::thread monitor_thread_;

@@ -1,0 +1,387 @@
+#include "metaserver/node.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "protocol/message.h"
+#include "xdr/xdr.h"
+
+namespace ninf::metaserver {
+
+using protocol::MessageType;
+
+namespace {
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+MetaserverNode::MetaserverNode(NodeOptions opts)
+    : opts_(std::move(opts)), dir_(opts_.policy), ownership_(opts_.ring),
+      primary_(opts_.primary), epoch_(1) {
+  NINF_REQUIRE(opts_.policy != SchedulingPolicy::BandwidthAware,
+               "bandwidth-aware scheduling is in-process only");
+  NINF_REQUIRE(!ownership_.empty(), "node needs a ring descriptor");
+  NINF_REQUIRE(ownership_.shard(opts_.shard_id) != nullptr,
+               "node's shard id missing from the ring");
+  dir_.setStatusFreshness(opts_.status_freshness);
+  dir_.setPollTimeout(opts_.poll_timeout);
+  if (opts_.resolver) dir_.setResolver(opts_.resolver);
+  epoch_.store(ownership_.shard(opts_.shard_id)->epoch,
+               std::memory_order_release);
+}
+
+MetaserverNode::~MetaserverNode() { stop(); }
+
+void MetaserverNode::serve(std::shared_ptr<transport::Listener> listener) {
+  NINF_REQUIRE(listener != nullptr, "null listener");
+  NINF_REQUIRE(!listener_, "node already serving");
+  listener_ = std::move(listener);
+
+  if (primary_.load(std::memory_order_acquire) && opts_.backup_factory) {
+    ReplicationOptions ropts;
+    ropts.heartbeat_interval_s = opts_.heartbeat_interval_s;
+    repl_ = std::make_unique<ReplicationLink>(opts_.backup_factory, ropts);
+    repl_->start(
+        epoch_.load(std::memory_order_acquire),
+        [this] { return dir_.livenessDigest(); },
+        [this](std::uint64_t observed) {
+          seen_epoch_.store(observed, std::memory_order_release);
+          fenced_.store(true, std::memory_order_release);
+          NINF_LOG(Warn) << "shard " << opts_.shard_id
+                         << " primary fenced at epoch " << observed;
+        });
+  }
+  if (!primary_.load(std::memory_order_acquire)) {
+    last_heartbeat_.store(nowSeconds(), std::memory_order_release);
+    watchdog_ = std::thread([this] { watchdogLoop(); });
+  }
+
+  accept_thread_ = std::thread([this] {
+    while (!stopping_.load()) {
+      std::unique_ptr<transport::Stream> stream;
+      try {
+        stream = listener_->accept();
+      } catch (const Error& e) {
+        if (!stopping_.load()) {
+          NINF_LOG(Warn) << "node accept failed: " << e.what();
+        }
+        break;
+      }
+      if (!stream) break;  // listener closed
+      auto shared = std::shared_ptr<transport::Stream>(std::move(stream));
+      LockGuard lock(conn_mutex_);
+      conn_streams_.push_back(shared);
+      conn_threads_.emplace_back(
+          [this, s = std::move(shared)] { serveConnection(*s); });
+    }
+  });
+}
+
+void MetaserverNode::stop() {
+  if (stopping_.exchange(true)) return;
+  if (listener_) listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (watchdog_.joinable()) watchdog_.join();
+  if (repl_) repl_->stop();
+  std::vector<std::thread> conns;
+  std::vector<std::weak_ptr<transport::Stream>> streams;
+  {
+    LockGuard lock(conn_mutex_);
+    conns.swap(conn_threads_);
+    streams.swap(conn_streams_);
+  }
+  for (auto& weak : streams) {
+    if (auto s = weak.lock()) s->close();
+  }
+  for (auto& t : conns) {
+    if (t.joinable()) t.join();
+  }
+}
+
+protocol::RingDescriptor MetaserverNode::ringView() const {
+  protocol::RingDescriptor view = opts_.ring;
+  for (auto& s : view.shards) {
+    if (s.id != opts_.shard_id) continue;
+    s.epoch = epoch_.load(std::memory_order_acquire);
+    // A promoted backup claims the primary slot; a fenced ex-primary
+    // keeps its (stale, lower-epoch) claim, which loses every merge.
+    if (primary_.load(std::memory_order_acquire) &&
+        !fenced_.load(std::memory_order_acquire) &&
+        !opts_.self_endpoint.empty()) {
+      s.primary_endpoint = opts_.self_endpoint;
+    }
+  }
+  view.ring_epoch = HashRing::epochOf(view);
+  return view;
+}
+
+void MetaserverNode::watchdogLoop() {
+  const double budget =
+      static_cast<double>(opts_.heartbeat_miss_budget) *
+      opts_.heartbeat_interval_s;
+  const auto tick =
+      std::chrono::duration<double>(opts_.heartbeat_interval_s / 4.0);
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(tick);
+    if (stopping_.load()) return;
+    if (primary_.load(std::memory_order_acquire)) return;  // already serving
+    const double silence =
+        nowSeconds() - last_heartbeat_.load(std::memory_order_acquire);
+    if (silence > budget) {
+      promote();
+      return;
+    }
+  }
+}
+
+void MetaserverNode::promote() {
+  const std::uint64_t base =
+      std::max(seen_epoch_.load(std::memory_order_acquire),
+               epoch_.load(std::memory_order_acquire));
+  epoch_.store(base + 1, std::memory_order_release);
+  primary_.store(true, std::memory_order_release);
+  static obs::Counter& promotions =
+      obs::counter("metaserver.replication.promotions");
+  promotions.add();
+  NINF_LOG(Info) << "shard " << opts_.shard_id
+                 << " backup promoted to primary at epoch " << base + 1;
+}
+
+void MetaserverNode::sendWrongShard(transport::Stream& stream,
+                                    const std::string& entry,
+                                    std::uint32_t owner,
+                                    protocol::RedirectReason reason) {
+  static obs::Counter& redirects = obs::counter("metaserver.shard.redirects");
+  redirects.add();
+  protocol::RedirectInfo info;
+  info.entry = entry;
+  info.owner_shard = owner;
+  info.ring_epoch = HashRing::epochOf(ringView());
+  info.reason = reason;
+  xdr::Encoder enc;
+  info.encode(enc);
+  protocol::sendMessage(stream, MessageType::WrongShard, enc.bytes());
+}
+
+void MetaserverNode::serveConnection(transport::Stream& stream) {
+  try {
+    for (;;) {
+      const protocol::Message msg = protocol::recvMessage(stream);
+      switch (msg.type) {
+        case MessageType::Hello: {
+          xdr::Decoder dec(msg.payload);
+          dec.getU32();  // client's max version; nodes always speak v1
+          const bool sent_features = dec.remaining() >= 4;
+          const std::uint32_t client_features =
+              sent_features ? dec.getU32() : 0;
+          xdr::Encoder ack;
+          ack.putU32(protocol::kVersion);
+          // The control plane implements sharding only; trace context
+          // would change the framing this v1 loop expects.
+          if (sent_features) {
+            ack.putU32(client_features & protocol::kFeatureSharding);
+          }
+          protocol::sendMessage(stream, MessageType::HelloAck, ack.bytes());
+          break;
+        }
+        case MessageType::Ping:
+          protocol::sendMessage(stream, MessageType::Pong, msg.payload);
+          break;
+        case MessageType::RingQuery: {
+          const protocol::RingDescriptor view = ringView();
+          xdr::Encoder enc;
+          view.encode(enc);
+          protocol::sendMessage(stream, MessageType::RingInfo, enc.bytes());
+          break;
+        }
+        case MessageType::ScheduleQuery:
+          handleScheduleQuery(stream, msg.payload);
+          break;
+        case MessageType::RegisterServer:
+        case MessageType::DeregisterServer:
+          handleRegistryOp(stream, msg.payload);
+          break;
+        case MessageType::ReplAppend:
+          handleReplAppend(stream, msg.payload);
+          break;
+        case MessageType::ReplHeartbeat:
+          handleReplHeartbeat(stream, msg.payload);
+          break;
+        default:
+          throw ProtocolError(
+              "metaserver node got message type " +
+              std::to_string(static_cast<std::uint32_t>(msg.type)));
+      }
+    }
+  } catch (const TransportError&) {
+    // Normal disconnect path.
+  } catch (const std::exception& e) {
+    NINF_LOG(Warn) << "node connection from " << stream.peerName()
+                   << " aborted: " << e.what();
+  }
+}
+
+void MetaserverNode::handleScheduleQuery(
+    transport::Stream& stream, std::span<const std::uint8_t> payload) {
+  xdr::Decoder dec(payload);
+  const protocol::ScheduleRequest req = protocol::ScheduleRequest::decode(dec);
+  const std::uint32_t owner = ownership_.ownerOf(req.entry);
+  if (owner != opts_.shard_id) {
+    sendWrongShard(stream, req.entry, owner,
+                   protocol::RedirectReason::NotOwner);
+    return;
+  }
+  if (!writable()) {
+    sendWrongShard(stream, req.entry, opts_.shard_id,
+                   protocol::RedirectReason::NotPrimary);
+    return;
+  }
+  static obs::Counter& queries = obs::counter("metaserver.shard.queries");
+  queries.add();
+
+  // Failed servers reported by the client start their cooldown here, so
+  // the knowledge outlives this one query and shields other clients.
+  const auto excluded = dir_.indicesOf(req.excluded);
+  for (const std::size_t idx : excluded) {
+    dir_.noteFailure(idx, opts_.cooldown_seconds);
+  }
+
+  protocol::ScheduleChoice choice;
+  choice.shard_epoch = epoch_.load(std::memory_order_acquire);
+  // An empty registry falls through to the empty choice too: over the
+  // wire "no servers yet" and "no reachable candidate" look alike.
+  if (dir_.serverCount() > 0) {
+    try {
+      const auto candidates = dir_.snapshot(req.entry, {}, excluded);
+      const std::size_t idx = dir_.pick(req.entry, candidates, excluded);
+      const Directory::Target target = dir_.acquireTarget(idx);
+      choice.server_name = target.name;
+      choice.endpoint = target.endpoint;
+    } catch (const NotFoundError&) {
+      // Empty server_name = "no reachable candidate"; the client raises
+      // the typed NotFoundError on its side.
+    }
+  }
+  xdr::Encoder enc;
+  choice.encode(enc);
+  protocol::sendMessage(stream, MessageType::ScheduleReply, enc.bytes());
+}
+
+void MetaserverNode::handleRegistryOp(transport::Stream& stream,
+                                      std::span<const std::uint8_t> payload) {
+  xdr::Decoder dec(payload);
+  protocol::RegistryOp op = protocol::RegistryOp::decode(dec);
+  // Every entry the server exports must belong to this shard; an empty
+  // list (exports everything) is acceptable on any shard.
+  for (const auto& entry : op.desc.entries) {
+    const std::uint32_t owner = ownership_.ownerOf(entry);
+    if (owner != opts_.shard_id) {
+      sendWrongShard(stream, entry, owner,
+                     protocol::RedirectReason::NotOwner);
+      return;
+    }
+  }
+  protocol::RegisterResult result;
+  result.shard_epoch = epoch_.load(std::memory_order_acquire);
+  if (!writable()) {
+    if (fenced_.load(std::memory_order_acquire)) {
+      static obs::Counter& fenced_writes =
+          obs::counter("metaserver.replication.fenced_writes");
+      fenced_writes.add();
+      result.status = protocol::RegisterResult::Status::Fenced;
+      xdr::Encoder enc;
+      result.encode(enc);
+      protocol::sendMessage(stream, MessageType::RegisterAck, enc.bytes());
+    } else {
+      // A live backup: the shard is fine, the client just picked the
+      // wrong role.
+      sendWrongShard(stream,
+                     op.desc.entries.empty() ? op.desc.name
+                                             : op.desc.entries.front(),
+                     opts_.shard_id, protocol::RedirectReason::NotPrimary);
+    }
+    return;
+  }
+  try {
+    op.seq = repl_ ? repl_->append(op)
+                   : local_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    result.status = dir_.apply(op);
+    result.seq = op.seq;
+  } catch (const FencedError&) {
+    static obs::Counter& fenced_writes =
+        obs::counter("metaserver.replication.fenced_writes");
+    fenced_writes.add();
+    result.status = protocol::RegisterResult::Status::Fenced;
+  }
+  xdr::Encoder enc;
+  result.encode(enc);
+  protocol::sendMessage(stream, MessageType::RegisterAck, enc.bytes());
+}
+
+void MetaserverNode::handleReplAppend(transport::Stream& stream,
+                                      std::span<const std::uint8_t> payload) {
+  xdr::Decoder dec(payload);
+  const protocol::ReplAppendMsg msg = protocol::ReplAppendMsg::decode(dec);
+  protocol::ReplAckMsg ack;
+  const std::uint64_t mine = epoch_.load(std::memory_order_acquire);
+  const bool primary = primary_.load(std::memory_order_acquire);
+  if (msg.shard_epoch < mine || (primary && msg.shard_epoch <= mine)) {
+    // The sender is a deposed primary: refuse, and tell it our epoch so
+    // it fences itself.
+    ack.status = protocol::ReplAckMsg::Status::StaleEpoch;
+    ack.shard_epoch = mine;
+  } else {
+    epoch_.store(msg.shard_epoch, std::memory_order_release);
+    seen_epoch_.store(msg.shard_epoch, std::memory_order_release);
+    last_heartbeat_.store(nowSeconds(), std::memory_order_release);
+    try {
+      dir_.apply(msg.op);
+    } catch (const std::exception& e) {
+      // Replay divergence (e.g. no resolver): log loudly but keep the
+      // stream alive — dropping it would only re-deliver the same op.
+      NINF_LOG(Warn) << "replicated op " << msg.op.seq
+                     << " failed to apply: " << e.what();
+    }
+    ack.status = protocol::ReplAckMsg::Status::Ok;
+    ack.seq = msg.op.seq;
+    ack.shard_epoch = msg.shard_epoch;
+  }
+  xdr::Encoder enc;
+  ack.encode(enc);
+  protocol::sendMessage(stream, MessageType::ReplAck, enc.bytes());
+}
+
+void MetaserverNode::handleReplHeartbeat(
+    transport::Stream& stream, std::span<const std::uint8_t> payload) {
+  xdr::Decoder dec(payload);
+  const protocol::ReplHeartbeatMsg msg =
+      protocol::ReplHeartbeatMsg::decode(dec);
+  protocol::ReplAckMsg ack;
+  const std::uint64_t mine = epoch_.load(std::memory_order_acquire);
+  const bool primary = primary_.load(std::memory_order_acquire);
+  if (msg.shard_epoch < mine || (primary && msg.shard_epoch <= mine)) {
+    ack.status = protocol::ReplAckMsg::Status::StaleEpoch;
+    ack.shard_epoch = mine;
+  } else {
+    epoch_.store(msg.shard_epoch, std::memory_order_release);
+    seen_epoch_.store(msg.shard_epoch, std::memory_order_release);
+    last_heartbeat_.store(nowSeconds(), std::memory_order_release);
+    dir_.adoptLiveness(msg.liveness);
+    ack.status = protocol::ReplAckMsg::Status::Ok;
+    ack.seq = msg.last_seq;
+    ack.shard_epoch = msg.shard_epoch;
+  }
+  xdr::Encoder enc;
+  ack.encode(enc);
+  protocol::sendMessage(stream, MessageType::ReplAck, enc.bytes());
+}
+
+}  // namespace ninf::metaserver

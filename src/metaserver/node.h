@@ -1,0 +1,157 @@
+// One metaserver node: a wire service wrapping a LocalDirectory with the
+// sharded control plane.
+//
+// A deployment runs N shards, each a primary node plus (optionally) a
+// backup.  The namespace is partitioned by the consistent-hash ring
+// (ring.h): a node answers ScheduleQuery/RegisterServer only for entries
+// its shard owns and redirects everything else with WrongShard, carrying
+// its current ring view's epoch so the client knows whether its cached
+// ring is stale.
+//
+// Protocol: nodes speak v1 lock-step framing and negotiate only the
+// kFeatureSharding bit — HelloAck answers agreed version 1 and echoes
+// the sharding bit to feature-aware clients, so the session layer stays
+// byte-identical for everyone else and no v2 demux machinery is needed
+// on the control plane.
+//
+// Roles and fencing:
+//  * primary  — serves schedules and registrations, ships every registry
+//               op and a periodic liveness heartbeat to its backup
+//               (replication.h).
+//  * backup   — applies the replicated stream, answers ScheduleQuery /
+//               registrations with redirects, and watches the heartbeat:
+//               after heartbeat_miss_budget missed intervals it promotes
+//               itself — role flips to primary, the shard epoch bumps —
+//               and starts serving from the adopted registry + liveness.
+//  * fenced   — a deposed primary: its replication link drew a
+//               StaleEpoch ack (the promoted backup's epoch outranks
+//               its own).  It refuses registrations (Fenced) and
+//               redirects schedules (NotPrimary) so no write can land on
+//               the losing side of the split.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "metaserver/directory.h"
+#include "metaserver/replication.h"
+#include "metaserver/ring.h"
+#include "transport/transport.h"
+
+namespace ninf::metaserver {
+
+struct NodeOptions {
+  std::uint32_t shard_id = 0;
+  /// Starting role.
+  bool primary = true;
+  /// Node-side scheduling policy.  BandwidthAware needs the call's
+  /// argument values, which ScheduleQuery does not carry — only the
+  /// oblivious and load-based policies are servable over the wire.
+  SchedulingPolicy policy = SchedulingPolicy::LeastLoad;
+  /// Directory tuning (see LocalDirectory).  freshness 0 polls every
+  /// decision — the NetSolve-style model the paper measures.
+  double status_freshness = 0.0;
+  double poll_timeout = 1.0;
+  double cooldown_seconds = 2.0;
+  /// Replication cadence and the backup's patience: a backup promotes
+  /// after heartbeat_miss_budget * heartbeat_interval_s of silence.
+  double heartbeat_interval_s = 0.05;
+  std::size_t heartbeat_miss_budget = 4;
+  /// Reconstructs compute-server connection factories from replicated
+  /// endpoints (required for the registration path).
+  FactoryResolver resolver;
+  /// Connects to this shard's backup node (null = unreplicated shard).
+  client::ConnectionFactory backup_factory;
+  /// This node's own advertised endpoint (what its ring view reports).
+  std::string self_endpoint;
+  /// Static shard membership (ids + configured endpoints).  Ownership
+  /// derives from the id set alone, so every node may hold the same
+  /// descriptor; per-shard epochs are patched in dynamically.
+  protocol::RingDescriptor ring;
+};
+
+class MetaserverNode {
+ public:
+  explicit MetaserverNode(NodeOptions opts);
+  ~MetaserverNode();
+
+  MetaserverNode(const MetaserverNode&) = delete;
+  MetaserverNode& operator=(const MetaserverNode&) = delete;
+
+  /// Serve connections accepted from `listener` on background threads
+  /// until stop().  Also starts replication (primary with a backup
+  /// factory) or the promotion watchdog (backup).
+  void serve(std::shared_ptr<transport::Listener> listener);
+
+  /// Stop accepting, drop connections, join threads.  Idempotent.
+  /// A stopped node is indistinguishable from a crashed one to clients
+  /// — the failover tests kill primaries exactly this way.
+  void stop();
+
+  LocalDirectory& directory() { return dir_; }
+  bool isPrimary() const { return primary_.load(std::memory_order_acquire); }
+  bool isFenced() const { return fenced_.load(std::memory_order_acquire); }
+  std::uint64_t shardEpoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  std::uint32_t shardId() const { return opts_.shard_id; }
+
+  /// Current ring view: the configured membership with this node's own
+  /// shard patched to its live epoch and role.
+  protocol::RingDescriptor ringView() const;
+
+  /// The replication link (nullptr on unreplicated shards and backups);
+  /// exposed so chaos tests can pause it to simulate a partition.
+  ReplicationLink* replication() { return repl_.get(); }
+
+ private:
+  void serveConnection(transport::Stream& stream);
+  void handleScheduleQuery(transport::Stream& stream,
+                           std::span<const std::uint8_t> payload);
+  void handleRegistryOp(transport::Stream& stream,
+                        std::span<const std::uint8_t> payload);
+  void handleReplAppend(transport::Stream& stream,
+                        std::span<const std::uint8_t> payload);
+  void handleReplHeartbeat(transport::Stream& stream,
+                           std::span<const std::uint8_t> payload);
+  void sendWrongShard(transport::Stream& stream, const std::string& entry,
+                      std::uint32_t owner, protocol::RedirectReason reason);
+  /// True when this node may apply writes right now.
+  bool writable() const {
+    return primary_.load(std::memory_order_acquire) &&
+           !fenced_.load(std::memory_order_acquire);
+  }
+  void watchdogLoop();
+  void promote();
+
+  NodeOptions opts_;
+  LocalDirectory dir_;
+  HashRing ownership_;  // built once from opts_.ring; ids never change
+
+  std::atomic<bool> primary_;
+  std::atomic<bool> fenced_{false};
+  std::atomic<std::uint64_t> epoch_;
+  /// Highest primary epoch seen on the replicated stream (backup side).
+  std::atomic<std::uint64_t> seen_epoch_{0};
+  /// Last heartbeat arrival, steady seconds (backup side).
+  std::atomic<double> last_heartbeat_{0.0};
+  /// Local op log cursor on unreplicated shards (the link owns it
+  /// otherwise).
+  std::atomic<std::uint64_t> local_seq_{0};
+
+  std::unique_ptr<ReplicationLink> repl_;
+
+  std::shared_ptr<transport::Listener> listener_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::thread watchdog_;
+  Mutex conn_mutex_{"node.conns"};
+  std::vector<std::thread> conn_threads_ NINF_GUARDED_BY(conn_mutex_);
+  std::vector<std::weak_ptr<transport::Stream>> conn_streams_
+      NINF_GUARDED_BY(conn_mutex_);
+};
+
+}  // namespace ninf::metaserver

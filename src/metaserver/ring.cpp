@@ -1,0 +1,83 @@
+#include "metaserver/ring.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ninf::metaserver {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+HashRing::HashRing(protocol::RingDescriptor desc) : desc_(std::move(desc)) {
+  desc_.ring_epoch = epochOf(desc_);
+  rebuild();
+}
+
+std::uint64_t HashRing::epochOf(const protocol::RingDescriptor& desc) {
+  std::uint64_t sum = 0;
+  for (const auto& s : desc.shards) sum += s.epoch;
+  return sum;
+}
+
+void HashRing::rebuild() {
+  points_.clear();
+  points_.reserve(desc_.shards.size() * kVnodesPerShard);
+  for (const auto& s : desc_.shards) {
+    const std::string base = "shard-" + std::to_string(s.id) + "#";
+    for (std::size_t v = 0; v < kVnodesPerShard; ++v) {
+      points_.emplace_back(fnv1a64(base + std::to_string(v)), s.id);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::uint32_t HashRing::ownerOf(std::string_view entry_name) const {
+  NINF_REQUIRE(!points_.empty(), "ownerOf on an empty ring");
+  const std::uint64_t h = fnv1a64(entry_name);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const auto& point, std::uint64_t hash) { return point.first < hash; });
+  if (it == points_.end()) it = points_.begin();  // wrap around the circle
+  return it->second;
+}
+
+const protocol::ShardInfo* HashRing::shard(std::uint32_t id) const {
+  for (const auto& s : desc_.shards) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+bool HashRing::merge(const protocol::RingDescriptor& other) {
+  bool changed = false;
+  bool membership_changed = false;
+  for (const auto& theirs : other.shards) {
+    bool known = false;
+    for (auto& ours : desc_.shards) {
+      if (ours.id != theirs.id) continue;
+      known = true;
+      if (theirs.epoch > ours.epoch) {
+        ours = theirs;
+        changed = true;
+      }
+      break;
+    }
+    if (!known) {
+      desc_.shards.push_back(theirs);
+      changed = true;
+      membership_changed = true;
+    }
+  }
+  if (changed) desc_.ring_epoch = epochOf(desc_);
+  if (membership_changed) rebuild();
+  return changed;
+}
+
+}  // namespace ninf::metaserver

@@ -197,7 +197,7 @@ FrameHeader checkHeaderWords(xdr::Source& header, std::uint32_t want_version,
   }
   const std::uint32_t type = header.getU32();
   if (type < static_cast<std::uint32_t>(MessageType::QueryInterface) ||
-      type > static_cast<std::uint32_t>(MessageType::HelloAck)) {
+      type > kMaxMessageType) {
     throw ProtocolError("unknown message type " + std::to_string(type));
   }
   const std::uint32_t length = header.getU32();

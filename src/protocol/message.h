@@ -68,8 +68,17 @@ inline constexpr std::size_t kHeaderBytesV2 = 24;
 inline constexpr std::size_t kHeaderBytesV2Traced = 40;
 /// Feature bits carried in the optional Hello/HelloAck bitmask word.
 inline constexpr std::uint32_t kFeatureTraceContext = 1u << 0;
+/// Peer serves the sharded-metaserver control plane (RingQuery/RingInfo,
+/// ScheduleQuery, registration, replication).  Unlike kFeatureTraceContext
+/// it never changes framing — it only licenses the new message types — so
+/// peers that do not negotiate it see byte-identical connections.
+inline constexpr std::uint32_t kFeatureSharding = 1u << 1;
 /// Bits this build understands; unknown bits from a peer are ignored.
-inline constexpr std::uint32_t kKnownFeatures = kFeatureTraceContext;
+/// Individual services echo only the subset they implement (a compute
+/// server accepts trace context but not sharding; a metaserver node the
+/// reverse).
+inline constexpr std::uint32_t kKnownFeatures =
+    kFeatureTraceContext | kFeatureSharding;
 /// Guard against hostile/corrupt length fields (256 MiB).
 inline constexpr std::uint32_t kMaxPayload = 256u << 20;
 
@@ -90,7 +99,24 @@ enum class MessageType : std::uint32_t {
   Pong = 14,            // payload: opaque echo data
   Hello = 15,           // payload: u32 highest version the client speaks
   HelloAck = 16,        // payload: u32 agreed version
+  // Sharded-metaserver control plane (gated by kFeatureSharding; see
+  // protocol/meta_wire.h for the payload codecs).
+  RingQuery = 17,        // payload: u64 ring epoch the client already has
+  RingInfo = 18,         // payload: ring epoch + per-shard membership
+  WrongShard = 19,       // payload: entry, owner shard, epoch, reason
+  ScheduleQuery = 20,    // payload: entry name + excluded server names
+  ScheduleReply = 21,    // payload: chosen server name/endpoint + epoch
+  RegisterServer = 22,   // payload: server descriptor + (endpoint, epoch) key
+  RegisterAck = 23,      // payload: status, log seq, shard epoch
+  DeregisterServer = 24, // payload: endpoint + registration epoch
+  ReplAppend = 25,       // payload: shard epoch + seq-numbered registry op
+  ReplAck = 26,          // payload: status, acked seq, replica's epoch
+  ReplHeartbeat = 27,    // payload: shard epoch, last seq, liveness digest
 };
+
+/// Highest wire-valid message type (header validation bound).
+inline constexpr std::uint32_t kMaxMessageType =
+    static_cast<std::uint32_t>(MessageType::ReplHeartbeat);
 
 struct Message {
   MessageType type;

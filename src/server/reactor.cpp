@@ -338,7 +338,10 @@ void Reactor::handleHello(Conn& conn, const Frame& frame) {
   const std::uint32_t client_features =
       client_sent_features ? dec.getU32() : 0;
   const std::uint32_t agreed = std::min(client_max, protocol::kMaxVersion);
-  const std::uint32_t features = client_features & protocol::kKnownFeatures;
+  // The compute server implements the trace extension only; the sharding
+  // control plane lives on metaserver nodes.
+  const std::uint32_t features =
+      client_features & protocol::kFeatureTraceContext;
   xdr::Encoder ack;
   ack.putU32(agreed);
   if (client_sent_features) ack.putU32(features);

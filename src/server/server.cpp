@@ -234,7 +234,7 @@ void NinfServer::serveStream(transport::Stream& stream) {
         const std::uint32_t agreed =
             std::min(client_max, protocol::kMaxVersion);
         const std::uint32_t features =
-            client_features & protocol::kKnownFeatures;
+            client_features & protocol::kFeatureTraceContext;
         xdr::Encoder ack;
         ack.putU32(agreed);
         // Echo the accepted bitmask only to feature-aware peers, so a
