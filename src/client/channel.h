@@ -96,7 +96,7 @@ class Channel {
   Reply transact(protocol::MessageType type, const xdr::Encoder& body,
                  Consumer consumer,
                  std::chrono::steady_clock::time_point deadline =
-                     transport::Stream::kNoDeadline);
+                     transport::Stream::kNoDeadline) NINF_BLOCKING;
 
   /// Protocol version in force: 0 before the first exchange, then 1 or 2.
   std::uint32_t negotiatedVersion() const;

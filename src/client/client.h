@@ -123,7 +123,7 @@ class NinfClient {
   /// leave OUT arrays partially written; a successful one never does.
   CallResult call(const std::string& name,
                   std::span<const protocol::ArgValue> args,
-                  const CallOptions& opts = {});
+                  const CallOptions& opts = {}) NINF_BLOCKING;
 
   /// Two-phase: ship arguments now, compute detached from the connection.
   /// Retrying a submit whose ack was lost may enqueue the job twice; the
@@ -145,13 +145,15 @@ class NinfClient {
   /// bounds the round-trip (TimeoutError on expiry) — the metaserver's
   /// scheduling polls rely on this so one stalled server cannot wedge
   /// dispatch decisions.
-  protocol::ServerStatusInfo serverStatus(double timeout_seconds = 0.0);
+  protocol::ServerStatusInfo serverStatus(double timeout_seconds = 0.0)
+      NINF_BLOCKING;
 
   /// Round-trip an opaque payload; returns elapsed seconds.
   /// timeout_seconds > 0 bounds the round-trip (TimeoutError on expiry)
   /// — the connection pool's pre-reuse health check relies on this so a
   /// stalled-but-open pooled peer cannot wedge acquire().
-  double ping(std::size_t payload_bytes = 0, double timeout_seconds = 0.0);
+  double ping(std::size_t payload_bytes = 0, double timeout_seconds = 0.0)
+      NINF_BLOCKING;
 
   // ---- sharded-metaserver control plane (node peers only) ----
   // These speak the kFeatureSharding message types; call them against a

@@ -92,6 +92,25 @@
 #define NINF_NO_THREAD_SAFETY_ANALYSIS \
   NINF_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+// ---------------------------------------------------------- ninf-tidy
+// Markers consumed by tools/ninf_tidy (see docs/ANALYSIS.md).  They
+// compile to nothing; the checker reads them off the token stream.
+
+/// The function runs on the reactor thread: it is an entry point of
+/// the event loop or a solo-stage callback.  Everything reachable from
+/// it must be non-blocking — no connects, joins, condvar waits, or
+/// non-leaf lock acquisitions (ninf-tidy's reactor-blocking check
+/// walks the call graph from these roots).
+#define NINF_REACTOR_CONTEXT
+/// The function may block the calling thread (network I/O, waits,
+/// joins).  Reactor-context code must never reach it.
+#define NINF_BLOCKING
+/// Audited waiver for one ninf-tidy diagnostic on the statement below.
+/// `check` names the suppressed check; `reason` must be a real
+/// justification sentence — CI rejects empty or trivial ones.
+#define NINF_TIDY_SUPPRESS(check, reason) \
+  static_assert(sizeof(check) > 0 && sizeof(reason) > 1, "audited waiver")
+
 namespace ninf {
 
 class Mutex;
@@ -295,7 +314,7 @@ class CondVar {
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }
 
-  void wait(UniqueLock& lk) {
+  void wait(UniqueLock& lk) NINF_BLOCKING {
     lockdep::noteCondVarRelease(*lk.m_);
     cv_.wait(lk.lk_);
     lockdep::noteCondVarReacquire(*lk.m_);

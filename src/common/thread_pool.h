@@ -31,7 +31,7 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   /// Block until every task submitted so far has finished.
-  void drain();
+  void drain() NINF_BLOCKING;
 
  private:
   void workerLoop();

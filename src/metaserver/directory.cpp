@@ -64,7 +64,32 @@ protocol::RegisterResult::Status LocalDirectory::apply(
   using Status = protocol::RegisterResult::Status;
   NINF_REQUIRE(!op.desc.endpoint.empty(), "registry op needs an endpoint");
 
-  LockGuard lock(mutex_);
+  Status st;
+  {
+    LockGuard lock(mutex_);
+    st = applyLocked(op);
+  }
+  // Shard counters are bumped after the directory lock drops: apply()
+  // sits on the replication fan-in path and the obs registry must not
+  // serialize it.
+  if (st == Status::Applied) {
+    if (op.kind == Kind::Deregister) {
+      static obs::Counter& deregs =
+          obs::counter("metaserver.shard.deregistrations");
+      deregs.add();
+    } else {
+      static obs::Counter& regs =
+          obs::counter("metaserver.shard.registrations");
+      regs.add();
+    }
+  }
+  return st;
+}
+
+protocol::RegisterResult::Status LocalDirectory::applyLocked(
+    const protocol::RegistryOp& op) {
+  using Kind = protocol::RegistryOp::Kind;
+  using Status = protocol::RegisterResult::Status;
   // Idempotency: the identical key applied before answers Duplicate
   // without touching the table.  A register retried after a newer op on
   // the same endpoint (re-register or dereg with a higher epoch) is a
@@ -86,9 +111,6 @@ protocol::RegisterResult::Status LocalDirectory::apply(
       if (rr_next_ > existing) --rr_next_;
     }
     applied_[op.desc.endpoint] = {op.reg_epoch, op.kind};
-    static obs::Counter& deregs =
-        obs::counter("metaserver.shard.deregistrations");
-    deregs.add();
     return Status::Applied;
   }
 
@@ -122,8 +144,6 @@ protocol::RegisterResult::Status LocalDirectory::apply(
     servers_.push_back(std::move(state));
   }
   applied_[op.desc.endpoint] = {op.reg_epoch, op.kind};
-  static obs::Counter& regs = obs::counter("metaserver.shard.registrations");
-  regs.add();
   return Status::Applied;
 }
 
@@ -335,38 +355,47 @@ std::vector<Candidate> LocalDirectory::snapshot(
 std::size_t LocalDirectory::pick(const std::string& entry_name,
                                  const std::vector<Candidate>& candidates,
                                  const std::vector<std::size_t>& excluded) {
-  LockGuard lock(mutex_);
-  // A server inside its post-failure cooldown window is shunned like an
-  // excluded one — but only while some other candidate remains, so a
-  // fully-cooling pool degrades to "try anyway" instead of failing.
-  const auto now = std::chrono::steady_clock::now();
-  std::vector<std::size_t> shunned = excluded;
-  bool any_cooling = false;
-  for (std::size_t i = 0; i < servers_.size(); ++i) {
-    bool cooling = false;
-    {
-      LockGuard cache(servers_[i]->mutex);
-      cooling = servers_[i]->cooldown_until > now;
+  bool skipped_cooling = false;
+  std::size_t picked = 0;
+  {
+    LockGuard lock(mutex_);
+    // A server inside its post-failure cooldown window is shunned like
+    // an excluded one — but only while some other candidate remains, so
+    // a fully-cooling pool degrades to "try anyway" instead of failing.
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::size_t> shunned = excluded;
+    bool any_cooling = false;
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      bool cooling = false;
+      {
+        LockGuard cache(servers_[i]->mutex);
+        cooling = servers_[i]->cooldown_until > now;
+      }
+      if (cooling &&
+          std::find(excluded.begin(), excluded.end(), i) == excluded.end()) {
+        shunned.push_back(i);
+        any_cooling = true;
+      }
     }
-    if (cooling &&
-        std::find(excluded.begin(), excluded.end(), i) == excluded.end()) {
-      shunned.push_back(i);
-      any_cooling = true;
+    if (any_cooling && shunned.size() < servers_.size()) {
+      try {
+        picked = pickAmong(entry_name, candidates, shunned);
+        skipped_cooling = true;
+      } catch (const NotFoundError&) {
+        // Every non-cooling candidate was unreachable or lacks the
+        // entry; fall through and consider the cooling servers too.
+      }
+    }
+    if (!skipped_cooling) {
+      picked = pickAmong(entry_name, candidates, excluded);
     }
   }
-  if (any_cooling && shunned.size() < servers_.size()) {
-    try {
-      const std::size_t idx = pickAmong(entry_name, candidates, shunned);
-      static obs::Counter& cooldown_skips =
-          obs::counter("metaserver.cooldown_skips");
-      cooldown_skips.add();
-      return idx;
-    } catch (const NotFoundError&) {
-      // Every non-cooling candidate was unreachable or lacks the entry;
-      // fall through and consider the cooling servers after all.
-    }
+  if (skipped_cooling) {
+    static obs::Counter& cooldown_skips =
+        obs::counter("metaserver.cooldown_skips");
+    cooldown_skips.add();
   }
-  return pickAmong(entry_name, candidates, excluded);
+  return picked;
 }
 
 std::size_t LocalDirectory::pickAmong(

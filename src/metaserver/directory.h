@@ -221,6 +221,10 @@ class LocalDirectory : public Directory {
                         const std::vector<Candidate>& candidates,
                         const std::vector<std::size_t>& excluded)
       NINF_REQUIRES(mutex_);
+  /// Table mutation for apply(); counters are bumped by the caller
+  /// after the lock drops.
+  protocol::RegisterResult::Status applyLocked(
+      const protocol::RegistryOp& op) NINF_REQUIRES(mutex_);
   client::NinfClient& monitorOf(ServerState& state)
       NINF_REQUIRES(state.poll_mutex);
   ServerState* findByName(const std::string& name) const;

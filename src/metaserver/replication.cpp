@@ -55,6 +55,7 @@ void ReplicationLink::stop() {
 
 std::uint64_t ReplicationLink::append(protocol::RegistryOp op) {
   std::uint64_t seq;
+  std::uint64_t lag;
   {
     LockGuard lock(mutex_);
     if (fenced_) {
@@ -63,8 +64,9 @@ std::uint64_t ReplicationLink::append(protocol::RegistryOp op) {
     seq = ++next_seq_;
     op.seq = seq;
     queue_.push_back(std::move(op));
-    lagGauge().set(static_cast<double>(next_seq_ - last_acked_));
+    lag = next_seq_ - last_acked_;
   }
+  lagGauge().set(static_cast<double>(lag));
   cv_.notify_all();
   return seq;
 }
@@ -107,9 +109,13 @@ bool ReplicationLink::handleAck(const protocol::ReplAckMsg& ack) {
     if (notify) notify(ack.shard_epoch);
     return false;
   }
-  LockGuard lock(mutex_);
-  if (ack.seq > last_acked_) last_acked_ = ack.seq;
-  lagGauge().set(static_cast<double>(next_seq_ - last_acked_));
+  std::uint64_t lag;
+  {
+    LockGuard lock(mutex_);
+    if (ack.seq > last_acked_) last_acked_ = ack.seq;
+    lag = next_seq_ - last_acked_;
+  }
+  lagGauge().set(static_cast<double>(lag));
   return true;
 }
 

@@ -30,12 +30,14 @@ const char* queuePolicyName(QueuePolicy p) {
 }
 
 void JobQueue::push(Job job) {
+  std::size_t depth = 0;
   {
     LockGuard lock(mutex_);
     NINF_REQUIRE(!closed_, "push to closed job queue");
     jobs_.push_back(std::move(job));
-    depth_gauge_.set(static_cast<double>(jobs_.size()));
+    depth = jobs_.size();
   }
+  depth_gauge_.set(static_cast<double>(depth));
   cv_.notify_one();
 }
 
@@ -67,7 +69,9 @@ std::optional<Job> JobQueue::pop() {
   const std::size_t idx = pickIndex();
   Job job = std::move(jobs_[idx]);
   jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(idx));
-  depth_gauge_.set(static_cast<double>(jobs_.size()));
+  const std::size_t depth = jobs_.size();
+  lock.unlock();
+  depth_gauge_.set(static_cast<double>(depth));
   return job;
 }
 

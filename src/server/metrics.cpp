@@ -45,45 +45,66 @@ double ServerMetrics::busySecondsLocked(double t) const {
   return busy;
 }
 
-void ServerMetrics::publishLocked(double t) const {
+ServerMetrics::Published ServerMetrics::publishedLocked(double t) const {
+  Published v;
+  v.running = running_;
+  v.queued = queued_;
+  v.completed = static_cast<double>(completed_);
+  v.load = decayedLoadLocked(t);
+  return v;
+}
+
+void ServerMetrics::publish(const Published& values) {
   static obs::Gauge& g_running = obs::gauge("server.running");
   static obs::Gauge& g_queued = obs::gauge("server.queued");
   static obs::Gauge& g_completed = obs::gauge("server.completed");
   static obs::Gauge& g_load = obs::gauge("server.load_average");
-  g_running.set(running_);
-  g_queued.set(queued_);
-  g_completed.set(static_cast<double>(completed_));
-  g_load.set(decayedLoadLocked(t));
+  g_running.set(values.running);
+  g_queued.set(values.queued);
+  g_completed.set(values.completed);
+  g_load.set(values.load);
 }
 
 void ServerMetrics::jobQueued() {
-  LockGuard lock(mutex_);
-  const double t = now();
-  foldLoadLocked(t);
-  ++queued_;
-  publishLocked(t);
+  Published v;
+  {
+    LockGuard lock(mutex_);
+    const double t = now();
+    foldLoadLocked(t);
+    ++queued_;
+    v = publishedLocked(t);
+  }
+  publish(v);
 }
 
 void ServerMetrics::jobStarted() {
-  LockGuard lock(mutex_);
-  const double t = now();
-  foldLoadLocked(t);
-  if (queued_ > 0) --queued_;
-  if (running_ == 0) busy_since_ = t;
-  ++running_;
-  publishLocked(t);
+  Published v;
+  {
+    LockGuard lock(mutex_);
+    const double t = now();
+    foldLoadLocked(t);
+    if (queued_ > 0) --queued_;
+    if (running_ == 0) busy_since_ = t;
+    ++running_;
+    v = publishedLocked(t);
+  }
+  publish(v);
 }
 
 void ServerMetrics::jobFinished() {
-  LockGuard lock(mutex_);
-  const double t = now();
-  foldLoadLocked(t);
-  if (running_ > 0) {
-    --running_;
-    if (running_ == 0) busy_accum_ += t - busy_since_;
+  Published v;
+  {
+    LockGuard lock(mutex_);
+    const double t = now();
+    foldLoadLocked(t);
+    if (running_ > 0) {
+      --running_;
+      if (running_ == 0) busy_accum_ += t - busy_since_;
+    }
+    ++completed_;
+    v = publishedLocked(t);
   }
-  ++completed_;
-  publishLocked(t);
+  publish(v);
 }
 
 std::uint32_t ServerMetrics::running() const {

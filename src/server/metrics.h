@@ -64,8 +64,19 @@ class ServerMetrics {
   /// Fold the decay into (load_, load_time_); writers only.
   void foldLoadLocked(double t) NINF_REQUIRES(mutex_);
   double busySecondsLocked(double t) const NINF_REQUIRES(mutex_);
-  /// Mirror counts into the global metrics registry; writers only.
-  void publishLocked(double t) const NINF_REQUIRES(mutex_);
+
+  /// The instantaneous values mirrored to the metrics registry.
+  struct Published {
+    double running = 0.0;
+    double queued = 0.0;
+    double completed = 0.0;
+    double load = 0.0;
+  };
+  Published publishedLocked(double t) const NINF_REQUIRES(mutex_);
+  /// Mirror a snapshot into the global metrics registry.  Called by
+  /// writers *after* mutex_ drops: the registry's own lock must never
+  /// nest inside the server-metrics critical section.
+  static void publish(const Published& values);
 
   std::chrono::steady_clock::time_point start_;
   mutable Mutex mutex_{"server.metrics"};

@@ -98,17 +98,23 @@ void Reactor::stop() {
 
 void Reactor::postSolo(std::function<void()> fn) {
   static obs::Counter& wakeups = obs::counter("server.reactor.wakeups");
-  LockGuard g(solo_mutex_);
-  if (stopped_) return;
-  const bool need_wake = solo_queue_.empty();
-  solo_queue_.push_back(std::move(fn));
-  if (need_wake) {
-    // Coalesced: the loop drains the whole queue per wakeup, so only the
-    // empty -> non-empty transition needs an eventfd write.
-    const std::uint64_t one = 1;
-    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
-    wakeups.add();
+  bool woke = false;
+  {
+    LockGuard g(solo_mutex_);
+    if (stopped_) return;
+    const bool need_wake = solo_queue_.empty();
+    solo_queue_.push_back(std::move(fn));
+    if (need_wake) {
+      // Coalesced: the loop drains the whole queue per wakeup, so only
+      // the empty -> non-empty transition needs an eventfd write.
+      const std::uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+      woke = true;
+    }
   }
+  // The counter nests the obs registry lock on first touch; keep that
+  // (and the atomic add) off the solo queue's critical section.
+  if (woke) wakeups.add();
 }
 
 void Reactor::drainSolo() {

@@ -47,6 +47,7 @@
 #include "common/buffer_pool.h"
 #include "common/sync.h"
 #include "protocol/message.h"
+#include "transport/net_tuning.h"
 #include "transport/transport.h"
 
 namespace ninf::server {
@@ -59,8 +60,9 @@ class Reactor {
     /// Staged calls in flight (dispatched, reply not yet queued) before
     /// the reactor stops reading from connections.
     std::size_t max_inflight = 256;
-    /// Pause on fd exhaustion before accepting again.
-    double accept_backoff_seconds = 0.05;
+    /// Pause on fd exhaustion before accepting again; shared with the
+    /// threaded accept loop so both paths shed load at the same rate.
+    double accept_backoff_seconds = transport::kAcceptBackoffSeconds;
   };
 
   /// True when this platform has epoll (Linux).
@@ -138,18 +140,24 @@ class Reactor {
     bool flush_queued = false;
   };
 
-  void loop();
-  void handleAccept();
-  void handleConnEvent(Conn& conn, std::uint32_t events);
+  // The event loop and everything it calls run on the reactor thread;
+  // NINF_REACTOR_CONTEXT marks the roots ninf-tidy walks the call
+  // graph from (lambdas posted through postSolo are picked up
+  // automatically).
+  void loop() NINF_REACTOR_CONTEXT;
+  void handleAccept() NINF_REACTOR_CONTEXT;
+  void handleConnEvent(Conn& conn, std::uint32_t events)
+      NINF_REACTOR_CONTEXT;
   void readReadable(Conn& conn);
   void processFrames(Conn& conn);
-  void dispatchFrame(Conn& conn, protocol::Frame frame);
+  void dispatchFrame(Conn& conn, protocol::Frame frame)
+      NINF_REACTOR_CONTEXT;
   void handleHello(Conn& conn, const protocol::Frame& frame);
   void flushConn(Conn& conn);
   void markFlush(Conn& conn);
   /// Flush every connection marked by queueReply this iteration (runs
   /// after the final drainSolo, before the next epoll_wait).
-  void flushPending();
+  void flushPending() NINF_REACTOR_CONTEXT;
   void updateEpoll(Conn& conn);
   void pauseReading(Conn& conn);
   void resumeReads();
@@ -157,7 +165,7 @@ class Reactor {
   void maybeDestroy(std::uint64_t conn_id);
   void destroyConn(std::uint64_t conn_id);
   void killConn(Conn& conn);  // write/read failure: close + drop queues
-  void drainSolo();
+  void drainSolo() NINF_REACTOR_CONTEXT;
   void updateFdGauge() const;
 
   NinfServer& server_;

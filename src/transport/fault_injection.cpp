@@ -25,15 +25,19 @@ std::int64_t steadyNowUs() {
 }  // namespace
 
 bool FaultPlan::onConnect() {
-  LockGuard lock(mutex_);
   bool refuse = false;
-  if (refusals_left_ > 0) {
-    --refusals_left_;
-    refuse = true;
-  } else if (spec_.connect_refusal > 0 &&
-             rng_.nextBool(spec_.connect_refusal)) {
-    refuse = true;
+  {
+    LockGuard lock(mutex_);
+    if (refusals_left_ > 0) {
+      --refusals_left_;
+      refuse = true;
+    } else if (spec_.connect_refusal > 0 &&
+               rng_.nextBool(spec_.connect_refusal)) {
+      refuse = true;
+    }
   }
+  // Counter bumps stay outside the plan lock: FaultyStream wraps hot
+  // send/recv paths, and the obs registry must not nest under it.
   if (refuse) {
     static obs::Counter& refused =
         obs::counter("transport.fault.connect_refusals");
@@ -45,20 +49,24 @@ bool FaultPlan::onConnect() {
 
 FaultPlan::OpFault FaultPlan::onSend(std::size_t bytes) {
   OpFault f;
-  LockGuard lock(mutex_);
-  if (resets_left_ > 0) {
-    --resets_left_;
-    f.reset = true;
-  } else if (spec_.reset > 0 && rng_.nextBool(spec_.reset)) {
-    f.reset = true;
-  } else if (spec_.truncate > 0 && bytes > 0 &&
-             rng_.nextBool(spec_.truncate)) {
-    f.truncate_at = static_cast<std::size_t>(rng_.nextBelow(bytes));
+  {
+    LockGuard lock(mutex_);
+    if (resets_left_ > 0) {
+      --resets_left_;
+      f.reset = true;
+    } else if (spec_.reset > 0 && rng_.nextBool(spec_.reset)) {
+      f.reset = true;
+    } else if (spec_.truncate > 0 && bytes > 0 &&
+               rng_.nextBool(spec_.truncate)) {
+      f.truncate_at = static_cast<std::size_t>(rng_.nextBelow(bytes));
+    }
+    if (spec_.delay > 0 && rng_.nextBool(spec_.delay)) {
+      f.delay_ms =
+          spec_.delay_min_ms +
+          (spec_.delay_max_ms - spec_.delay_min_ms) * rng_.nextDouble();
+    }
   }
-  if (spec_.delay > 0 && rng_.nextBool(spec_.delay)) {
-    f.delay_ms = spec_.delay_min_ms +
-                 (spec_.delay_max_ms - spec_.delay_min_ms) * rng_.nextDouble();
-  }
+  // Accounting happens on the decided fault after the lock drops.
   if (f.reset) {
     static obs::Counter& resets = obs::counter("transport.fault.resets");
     resets.add();
@@ -80,18 +88,23 @@ FaultPlan::OpFault FaultPlan::onSend(std::size_t bytes) {
 
 FaultPlan::OpFault FaultPlan::onRecv(std::size_t bytes) {
   OpFault f;
-  LockGuard lock(mutex_);
-  if (spec_.reset > 0 && rng_.nextBool(spec_.reset)) {
-    f.reset = true;
-  } else if (spec_.stutter > 0 && bytes > 1 && rng_.nextBool(spec_.stutter)) {
-    f.chunk = 1 + static_cast<std::size_t>(
-                      rng_.nextBelow(std::max<std::size_t>(
-                          1, spec_.stutter_bytes)));
+  {
+    LockGuard lock(mutex_);
+    if (spec_.reset > 0 && rng_.nextBool(spec_.reset)) {
+      f.reset = true;
+    } else if (spec_.stutter > 0 && bytes > 1 &&
+               rng_.nextBool(spec_.stutter)) {
+      f.chunk = 1 + static_cast<std::size_t>(
+                        rng_.nextBelow(std::max<std::size_t>(
+                            1, spec_.stutter_bytes)));
+    }
+    if (spec_.delay > 0 && rng_.nextBool(spec_.delay)) {
+      f.delay_ms =
+          spec_.delay_min_ms +
+          (spec_.delay_max_ms - spec_.delay_min_ms) * rng_.nextDouble();
+    }
   }
-  if (spec_.delay > 0 && rng_.nextBool(spec_.delay)) {
-    f.delay_ms = spec_.delay_min_ms +
-                 (spec_.delay_max_ms - spec_.delay_min_ms) * rng_.nextDouble();
-  }
+  // Accounting happens on the decided fault after the lock drops.
   if (f.reset) {
     static obs::Counter& resets = obs::counter("transport.fault.resets");
     resets.add();

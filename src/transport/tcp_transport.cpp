@@ -19,6 +19,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "transport/net_tuning.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -423,10 +424,7 @@ TcpListener::TcpListener(std::uint16_t port, int backlog) {
       0) {
     throwErrno("bind port " + std::to_string(port));
   }
-  // A flash crowd fills a short backlog long before the server is the
-  // bottleneck, and the kernel then drops SYNs; default to the system
-  // maximum rather than the historical 64.
-  if (::listen(fd, backlog > 0 ? backlog : SOMAXCONN) < 0) {
+  if (::listen(fd, backlog > 0 ? backlog : kListenBacklogDefault) < 0) {
     throwErrno("listen");
   }
   sockaddr_in bound{};
@@ -468,7 +466,7 @@ std::unique_ptr<Stream> TcpListener::accept() {
         // The socket was switched to non-blocking by a tryAccept()
         // caller; park on readiness and retry.
         pollfd pfd{listen_fd, POLLIN, 0};
-        ::poll(&pfd, 1, 1000);
+        ::poll(&pfd, 1, kAcceptPollMs);
         continue;
       }
       if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
@@ -477,7 +475,8 @@ std::unique_ptr<Stream> TcpListener::accept() {
         // would kill the server for good.  Count it, let the pressure
         // drain, retry — the pending connection stays in the backlog.
         noteAcceptError(std::strerror(errno));
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(kAcceptBackoffSeconds));
         continue;
       }
       throwErrno("accept");

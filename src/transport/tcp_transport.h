@@ -16,15 +16,16 @@ namespace ninf::transport {
 /// <= 0 blocks until the OS gives up.
 std::unique_ptr<Stream> tcpConnect(const std::string& host,
                                    std::uint16_t port,
-                                   double timeout_seconds = 0.0);
+                                   double timeout_seconds = 0.0)
+    NINF_BLOCKING;
 
 /// Listening TCP socket bound to 127.0.0.1.
 class TcpListener : public Listener {
  public:
   /// Bind to the given port; port 0 picks an ephemeral port.
   /// `backlog` bounds the kernel's pending-connection queue; <= 0 means
-  /// SOMAXCONN (the historical hardcoded 64 dropped SYNs during
-  /// flash-crowd arrival).
+  /// net_tuning.h's kListenBacklogDefault (SOMAXCONN — the historical
+  /// hardcoded 64 dropped SYNs during flash-crowd arrival).
   explicit TcpListener(std::uint16_t port, int backlog = 0);
   ~TcpListener() override;
 

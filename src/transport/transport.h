@@ -11,6 +11,8 @@
 #include <span>
 #include <string>
 
+#include "common/sync.h"
+
 namespace ninf::transport {
 
 /// Reliable bidirectional byte stream.  Thread-compatible: one thread may
@@ -21,14 +23,15 @@ class Stream {
   virtual ~Stream() = default;
 
   /// Send every byte; throws ninf::TransportError on failure.
-  virtual void sendAll(std::span<const std::uint8_t> data) = 0;
+  virtual void sendAll(std::span<const std::uint8_t> data) NINF_BLOCKING = 0;
 
   /// Scatter-gather send: every byte of every buffer, in order, as if by
   /// one sendAll over the concatenation.  The TCP implementation uses
   /// writev/sendmsg so a frame header, scalar section, and array chunk go
   /// out in a single syscall; the default falls back to per-buffer
   /// sendAll.
-  virtual void sendv(std::span<const std::span<const std::uint8_t>> buffers) {
+  virtual void sendv(std::span<const std::span<const std::uint8_t>> buffers)
+      NINF_BLOCKING {
     for (const auto& b : buffers) {
       if (!b.empty()) sendAll(b);
     }
@@ -36,14 +39,15 @@ class Stream {
 
   /// Receive exactly buffer.size() bytes; throws ninf::TransportError on
   /// EOF or failure.
-  virtual void recvAll(std::span<std::uint8_t> buffer) = 0;
+  virtual void recvAll(std::span<std::uint8_t> buffer) NINF_BLOCKING = 0;
 
   /// Bounded partial read: block until at least one byte is available,
   /// then return up to buffer.size() bytes (the count actually read).
   /// Throws ninf::TransportError on EOF or failure.  The default simply
   /// fills the whole buffer, which is correct only when the caller knows
   /// that many bytes are in flight (as the framed body reader does).
-  virtual std::size_t recvSome(std::span<std::uint8_t> buffer) {
+  virtual std::size_t recvSome(std::span<std::uint8_t> buffer)
+      NINF_BLOCKING {
     recvAll(buffer);
     return buffer.size();
   }
@@ -128,7 +132,7 @@ class Listener {
   virtual ~Listener() = default;
 
   /// Block until a connection arrives; returns nullptr once closed.
-  virtual std::unique_ptr<Stream> accept() = 0;
+  virtual std::unique_ptr<Stream> accept() NINF_BLOCKING = 0;
 
   /// Unblock pending and future accept() calls.
   virtual void close() = 0;

@@ -20,21 +20,29 @@ class AsyncFixture : public ::testing::Test {
     server_.emplace(registry_, server::ServerOptions{.workers = 4});
     auto listener = std::make_shared<transport::TcpListener>(0);
     port_ = listener->port();
-    server_->start(listener);
+    server().start(listener);
     dispatcher_.emplace(
         [this] { return NinfClient::connectTcp("127.0.0.1", port_); });
   }
 
-  void TearDown() override { server_->stop(); }
+  void TearDown() override { server().stop(); }
 
   server::Registry registry_;
+  // Engaged in SetUp() for the whole test lifetime; the accessor
+  // keeps the one unchecked dereference in a single audited place.
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
+  server::NinfServer& server() { return *server_; }
   std::optional<server::NinfServer> server_;
   std::uint16_t port_ = 0;
+  // Engaged in SetUp() for the whole test lifetime; the accessor
+  // keeps the one unchecked dereference in a single audited place.
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
+  DirectDispatcher& dispatcher() { return *dispatcher_; }
   std::optional<DirectDispatcher> dispatcher_;
 };
 
 TEST_F(AsyncFixture, SingleAsyncCallDeliversResult) {
-  AsyncCaller async(*dispatcher_);
+  AsyncCaller async(dispatcher());
   std::vector<double> sums(2), q(10);
   auto fut = async.callAsync(
       "ep", {ArgValue::inInt(0), ArgValue::inInt(512),
@@ -45,7 +53,7 @@ TEST_F(AsyncFixture, SingleAsyncCallDeliversResult) {
 }
 
 TEST_F(AsyncFixture, ManyInFlightCallsAllComplete) {
-  AsyncCaller async(*dispatcher_);
+  AsyncCaller async(dispatcher());
   constexpr int kCalls = 12;
   std::vector<std::vector<double>> sums(kCalls, std::vector<double>(2));
   std::vector<std::vector<double>> qs(kCalls, std::vector<double>(10));
@@ -62,7 +70,7 @@ TEST_F(AsyncFixture, ManyInFlightCallsAllComplete) {
 }
 
 TEST_F(AsyncFixture, WaitAllBlocksUntilDone) {
-  AsyncCaller async(*dispatcher_);
+  AsyncCaller async(dispatcher());
   std::vector<double> sums(2), q(10);
   auto fut = async.callAsync(
       "ep", {ArgValue::inInt(0), ArgValue::inInt(4096),
@@ -74,7 +82,7 @@ TEST_F(AsyncFixture, WaitAllBlocksUntilDone) {
 }
 
 TEST_F(AsyncFixture, ErrorsSurfaceThroughFuture) {
-  AsyncCaller async(*dispatcher_);
+  AsyncCaller async(dispatcher());
   std::vector<double> a(4, 0.0), b(2, 1.0), x(2);  // singular system
   auto fut = async.callAsync(
       "linpack", {ArgValue::inInt(2), ArgValue::inInt(0),
@@ -86,7 +94,7 @@ TEST_F(AsyncFixture, ErrorsSurfaceThroughFuture) {
 TEST_F(AsyncFixture, DestructorJoinsOutstandingCalls) {
   std::vector<double> sums(2), q(10);
   {
-    AsyncCaller async(*dispatcher_);
+    AsyncCaller async(dispatcher());
     async.callAsync("ep", {ArgValue::inInt(0), ArgValue::inInt(2048),
                            ArgValue::outArray(sums), ArgValue::outArray(q)});
     // Let ~AsyncCaller wait; sums must be fully written afterwards.

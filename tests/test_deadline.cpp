@@ -132,10 +132,10 @@ class RetryFixture : public ::testing::Test {
     server_.emplace(registry_, server::ServerOptions{.workers = 2});
     listener_ = std::make_shared<transport::TcpListener>(0);
     port_ = listener_->port();
-    server_->start(listener_);
+    server().start(listener_);
   }
 
-  void TearDown() override { server_->stop(); }
+  void TearDown() override { server().stop(); }
 
   std::unique_ptr<NinfClient> faultyClient(
       std::shared_ptr<transport::FaultPlan> plan) {
@@ -150,6 +150,10 @@ class RetryFixture : public ::testing::Test {
   }
 
   server::Registry registry_;
+  // Engaged in SetUp() for the whole test lifetime; the accessor
+  // keeps the one unchecked dereference in a single audited place.
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
+  server::NinfServer& server() { return *server_; }
   std::optional<server::NinfServer> server_;
   std::shared_ptr<transport::TcpListener> listener_;
   std::uint16_t port_ = 0;
@@ -235,10 +239,10 @@ class CooldownFixture : public ::testing::Test {
     server_.emplace(registry_, server::ServerOptions{.workers = 2});
     listener_ = std::make_shared<transport::TcpListener>(0);
     port_ = listener_->port();
-    server_->start(listener_);
+    server().start(listener_);
   }
 
-  void TearDown() override { server_->stop(); }
+  void TearDown() override { server().stop(); }
 
   client::ConnectionFactory goodFactory() {
     const auto port = port_;
@@ -246,6 +250,10 @@ class CooldownFixture : public ::testing::Test {
   }
 
   server::Registry registry_;
+  // Engaged in SetUp() for the whole test lifetime; the accessor
+  // keeps the one unchecked dereference in a single audited place.
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
+  server::NinfServer& server() { return *server_; }
   std::optional<server::NinfServer> server_;
   std::shared_ptr<transport::TcpListener> listener_;
   std::uint16_t port_ = 0;

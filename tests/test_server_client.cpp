@@ -34,14 +34,21 @@ class InprocRpc : public ::testing::Test {
     client_.emplace(std::move(client_end));
     server_stream_ = std::move(server_end);
     server_thread_ = std::thread(
-        [this] { server_->serveStream(*server_stream_); });
+        [this] { server().serveStream(*server_stream_); });
   }
 
   void TearDown() override {
-    client_->close();
+    client().close();
     server_thread_.join();
-    server_->stop();
+    server().stop();
   }
+
+  // Engaged in SetUp() for the whole test lifetime; the accessors keep
+  // the one unchecked dereference in a single audited place.
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
+  NinfServer& server() { return *server_; }
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
+  NinfClient& client() { return *client_; }
 
   Registry registry_;
   std::optional<NinfServer> server_;
@@ -51,15 +58,15 @@ class InprocRpc : public ::testing::Test {
 };
 
 TEST_F(InprocRpc, QueryInterfaceReturnsCompiledIdl) {
-  const auto& info = client_->queryInterface("dmmul");
+  const auto& info = client().queryInterface("dmmul");
   EXPECT_EQ(info.name, "dmmul");
   EXPECT_EQ(info.params.size(), 4u);
   // Cached: second query must not hit the wire (same object back).
-  EXPECT_EQ(&client_->queryInterface("dmmul"), &info);
+  EXPECT_EQ(&client().queryInterface("dmmul"), &info);
 }
 
 TEST_F(InprocRpc, UnknownExecutableThrowsNotFound) {
-  EXPECT_THROW(client_->queryInterface("nonexistent"), NotFoundError);
+  EXPECT_THROW(client().queryInterface("nonexistent"), NotFoundError);
 }
 
 TEST_F(InprocRpc, DmmulOverRpc) {
@@ -71,7 +78,7 @@ TEST_F(InprocRpc, DmmulOverRpc) {
       ArgValue::inInt(static_cast<std::int64_t>(n)),
       ArgValue::inArray(a.flat()), ArgValue::inArray(b.flat()),
       ArgValue::outArray(c)};
-  const auto result = client_->call("dmmul", args);
+  const auto result = client().call("dmmul", args);
   const numlib::Matrix expected = numlib::dmmul(a, b);
   for (std::size_t i = 0; i < c.size(); ++i) {
     EXPECT_NEAR(c[i], expected.flat()[i], 1e-12);
@@ -87,7 +94,7 @@ TEST_F(InprocRpc, NinfCallSugarMatchesPaperExample) {
   std::vector<double> b(16);
   for (std::size_t i = 0; i < 16; ++i) b[i] = static_cast<double>(i);
   std::vector<double> c(16);
-  ninfCall(*client_, "dmmul", n, a, b, c);
+  ninfCall(client(), "dmmul", n, a, b, c);
   for (std::size_t i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(c[i], 2.0 * b[i]);
 }
 
@@ -96,7 +103,7 @@ TEST_F(InprocRpc, LinpackOverRpcSolves) {
   numlib::Matrix a = numlib::randomMatrix(n, 9);
   std::vector<double> b = numlib::onesRhs(a);
   std::vector<double> x(n);
-  ninfCall(*client_, "linpack", static_cast<std::int64_t>(n),
+  ninfCall(client(), "linpack", static_cast<std::int64_t>(n),
            std::int64_t{1}, a.flat(), b, x);
   for (double xi : x) EXPECT_NEAR(xi, 1.0, 1e-6);
 }
@@ -106,44 +113,44 @@ TEST_F(InprocRpc, ServerSideErrorSurfacesAsRemoteError) {
   std::vector<double> a(n * n, 0.0);  // singular
   std::vector<double> b(n, 1.0);
   std::vector<double> x(n);
-  EXPECT_THROW(ninfCall(*client_, "linpack", static_cast<std::int64_t>(n),
+  EXPECT_THROW(ninfCall(client(), "linpack", static_cast<std::int64_t>(n),
                         std::int64_t{0}, a, b, x),
                RemoteError);
   // The connection must survive the failed call.
-  EXPECT_NO_THROW(client_->ping());
+  EXPECT_NO_THROW(client().ping());
 }
 
 TEST_F(InprocRpc, WrongArityReportedBeforeWire) {
-  EXPECT_THROW(ninfCall(*client_, "dmmul", std::int64_t{4}), ProtocolError);
+  EXPECT_THROW(ninfCall(client(), "dmmul", std::int64_t{4}), ProtocolError);
 }
 
 TEST_F(InprocRpc, ListExecutables) {
-  const auto names = client_->listExecutables();
+  const auto names = client().listExecutables();
   EXPECT_EQ(names.size(), 4u);
 }
 
 TEST_F(InprocRpc, ServerStatusCountsCompletions) {
   std::vector<double> sums(2), q(10);
-  ninfCall(*client_, "ep", std::int64_t{0}, std::int64_t{256}, sums, q);
-  ninfCall(*client_, "ep", std::int64_t{256}, std::int64_t{256}, sums, q);
-  const auto status = client_->serverStatus();
+  ninfCall(client(), "ep", std::int64_t{0}, std::int64_t{256}, sums, q);
+  ninfCall(client(), "ep", std::int64_t{256}, std::int64_t{256}, sums, q);
+  const auto status = client().serverStatus();
   EXPECT_EQ(status.completed, 2u);
   EXPECT_EQ(status.running, 0u);
 }
 
-TEST_F(InprocRpc, PingEchoes) { EXPECT_GE(client_->ping(1024), 0.0); }
+TEST_F(InprocRpc, PingEchoes) { EXPECT_GE(client().ping(1024), 0.0); }
 
 TEST_F(InprocRpc, TwoPhaseSubmitFetch) {
   std::vector<double> sums(2), q(10);
   std::vector<ArgValue> args = {ArgValue::inInt(0), ArgValue::inInt(2048),
                                 ArgValue::outArray(sums),
                                 ArgValue::outArray(q)};
-  const auto handle = client_->submit("ep", args);
+  const auto handle = client().submit("ep", args);
   EXPECT_GT(handle.id, 0u);
   // Poll until ready.
   std::optional<client::CallResult> result;
   for (int attempt = 0; attempt < 200 && !result; ++attempt) {
-    result = client_->fetch(handle, args);
+    result = client().fetch(handle, args);
     if (!result) std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   ASSERT_TRUE(result.has_value());
@@ -156,8 +163,8 @@ TEST_F(InprocRpc, FetchUnknownJobIsRemoteError) {
   std::vector<ArgValue> args = {ArgValue::inInt(0), ArgValue::inInt(16),
                                 ArgValue::outArray(sums),
                                 ArgValue::outArray(q)};
-  client_->queryInterface("ep");
-  EXPECT_THROW(client_->fetch({999999, "ep"}, args), RemoteError);
+  client().queryInterface("ep");
+  EXPECT_THROW(client().fetch({999999, "ep"}, args), RemoteError);
 }
 
 TEST(TcpRpc, FullStackOverRealSockets) {

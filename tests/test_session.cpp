@@ -57,10 +57,10 @@ class SessionFixture : public ::testing::Test {
     server_.emplace(registry_, server::ServerOptions{.workers = 4});
     listener_ = std::make_shared<transport::TcpListener>(0);
     port_ = listener_->port();
-    server_->start(listener_);
+    server().start(listener_);
   }
 
-  void TearDown() override { server_->stop(); }
+  void TearDown() override { server().stop(); }
 
   double nap(NinfClient& client, std::int64_t ms,
              const CallOptions& opts = {}) {
@@ -72,6 +72,10 @@ class SessionFixture : public ::testing::Test {
   }
 
   server::Registry registry_;
+  // Engaged in SetUp() for the whole test lifetime; the accessor
+  // keeps the one unchecked dereference in a single audited place.
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
+  server::NinfServer& server() { return *server_; }
   std::optional<server::NinfServer> server_;
   std::shared_ptr<transport::TcpListener> listener_;
   std::uint16_t port_ = 0;
@@ -155,7 +159,7 @@ TEST_F(SessionFixture, ServerStopFailsEveryInflightCallTyped) {
     });
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(150));
-  server_->stop();
+  server().stop();
   for (auto& t : threads) t.join();
   EXPECT_EQ(typed.load(), kCalls);
   EXPECT_EQ(wrong.load(), 0);
@@ -507,7 +511,7 @@ TEST_F(PoolFixture, DeadPeerFailsHealthCheckAndIsReplaced) {
   options.health_check_after_seconds = 0.0;  // ping on every reuse
   ConnectionPool pool(options);
   { auto lease = pool.acquire("srv", countingFactory()); }
-  server_->stop();  // the pooled connection's peer is now gone
+  server().stop();  // the pooled connection's peer is now gone
   const double dead_before = obs::counter("pool.dead_evictions").value();
   EXPECT_THROW(
       { auto lease = pool.acquire("srv", countingFactory()); },

@@ -33,17 +33,25 @@ class WirePipeline : public ::testing::Test {
     client_.emplace(std::move(client_end));
     server_stream_ = std::move(server_end);
     server_thread_ =
-        std::thread([this] { server_->serveStream(*server_stream_); });
+        std::thread([this] { server().serveStream(*server_stream_); });
   }
 
   void TearDown() override {
-    client_->close();
+    client().close();
     server_thread_.join();
-    server_->stop();
+    server().stop();
   }
 
   Registry registry_;
+  // Engaged in SetUp() for the whole test lifetime; the accessor
+  // keeps the one unchecked dereference in a single audited place.
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
+  NinfServer& server() { return *server_; }
   std::optional<NinfServer> server_;
+  // Engaged in SetUp() for the whole test lifetime; the accessor
+  // keeps the one unchecked dereference in a single audited place.
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
+  NinfClient& client() { return *client_; }
   std::optional<NinfClient> client_;
   std::unique_ptr<transport::Stream> server_stream_;
   std::thread server_thread_;
@@ -65,10 +73,10 @@ TEST_F(WirePipeline, LargeCallNeverMaterializesArrayPayload) {
       ArgValue::inArray(a.flat()), ArgValue::inArray(b.flat()),
       ArgValue::outArray(c)};
   // Warm the interface cache, then measure only the data path.
-  client_->queryInterface("dmmul");
+  client().queryInterface("dmmul");
   obs::MetricsRegistry::instance().reset();
 
-  const auto result = client_->call("dmmul", args);
+  const auto result = client().call("dmmul", args);
 
   const double array_bytes = static_cast<double>(n * n * sizeof(double));
   const double peak = obs::gauge("wire.peak_buffer_bytes").value();
@@ -96,13 +104,13 @@ TEST_F(WirePipeline, TwoPhaseLargeArraysStayStreamed) {
       ArgValue::inInt(static_cast<std::int64_t>(n)),
       ArgValue::inArray(a.flat()), ArgValue::inArray(b.flat()),
       ArgValue::outArray(c)};
-  client_->queryInterface("dmmul");
+  client().queryInterface("dmmul");
   obs::MetricsRegistry::instance().reset();
 
-  const auto handle = client_->submit("dmmul", args);
+  const auto handle = client().submit("dmmul", args);
   std::optional<client::CallResult> result;
   for (int attempt = 0; attempt < 2000 && !result; ++attempt) {
-    result = client_->fetch(handle, args);
+    result = client().fetch(handle, args);
     if (!result) std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   ASSERT_TRUE(result.has_value());
@@ -128,7 +136,7 @@ TEST_F(WirePipeline, SmallCallsStillInlineBelowThreshold) {
       ArgValue::inInt(static_cast<std::int64_t>(n)),
       ArgValue::inArray(a.flat()), ArgValue::inArray(b.flat()),
       ArgValue::outArray(c)};
-  client_->call("dmmul", args);
+  client().call("dmmul", args);
   const numlib::Matrix expected = numlib::dmmul(a, b);
   for (std::size_t i = 0; i < c.size(); ++i) {
     EXPECT_NEAR(c[i], expected.flat()[i], 1e-12);

@@ -1,0 +1,155 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace ninf_tidy {
+
+namespace {
+
+bool identStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool identCont(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto push = [&](TokKind k, std::string text) {
+    out.push_back(Token{k, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honoring backslash
+    // continuations.  (Macro *definitions* are invisible to the tool;
+    // annotation macros are recognised by their use sites.)
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = src.find(closer, j);
+      std::string body;
+      if (end == std::string::npos) {
+        end = n;
+        body = src.substr(j + 1);
+      } else {
+        body = src.substr(j + 1, end - j - 1);
+      }
+      for (char b : body) {
+        if (b == '\n') ++line;
+      }
+      push(TokKind::String, body);
+      i = (end == n) ? n : end + closer.size();
+      continue;
+    }
+    // Identifier / keyword.
+    if (identStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && identCont(src[j])) ++j;
+      push(TokKind::Ident, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Number (loose: enough to skip over digit groups, 0x..., 1.5e-3).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && (identCont(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+        ++j;
+      }
+      push(TokKind::Number, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\\' && j + 1 < n) {
+          text += src[j + 1];
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // ill-formed, but keep lines honest
+        text += src[j++];
+      }
+      push(TokKind::String, text);
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Character literal.
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '\'') {
+        if (src[j] == '\\') ++j;
+        ++j;
+      }
+      push(TokKind::CharLit, src.substr(i + 1, (j > i + 1) ? j - i - 1 : 0));
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Fused punctuation the parser cares about.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      push(TokKind::Punct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      push(TokKind::Punct, "->");
+      i += 2;
+      continue;
+    }
+    push(TokKind::Punct, std::string(1, c));
+    ++i;
+  }
+  push(TokKind::End, "");
+  return out;
+}
+
+}  // namespace ninf_tidy

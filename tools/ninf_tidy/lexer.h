@@ -1,0 +1,38 @@
+// Token stream for ninf-tidy's lightweight C++ frontend.
+//
+// ninf-tidy analyses the project's own sources, which follow the
+// repo's style guide; the lexer therefore only needs to be exact about
+// the constructs the checks consume (identifiers, punctuation,
+// literals) and can discard comments and preprocessor directives.
+// Tokens keep their 1-based source line so diagnostics are clickable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ninf_tidy {
+
+enum class TokKind {
+  Ident,
+  Number,
+  String,   // text holds the literal's contents, quotes stripped
+  CharLit,
+  Punct,    // text is the punctuation spelling ("::" and "->" fused)
+  End,
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  int line = 0;
+
+  bool is(const char* s) const { return text == s; }
+  bool isIdent() const { return kind == TokKind::Ident; }
+};
+
+/// Lex a whole translation-unit's text.  Comments and preprocessor
+/// lines (including continuations) are skipped; raw strings are
+/// handled.  Always ends with one TokKind::End sentinel.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace ninf_tidy

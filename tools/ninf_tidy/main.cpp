@@ -1,0 +1,157 @@
+// ninf-tidy: project-specific static checks for the ninf codebase.
+//
+//   ninf_tidy --root src                      # scan a source tree
+//   ninf_tidy -p build-tidy/compile_commands.json --root src
+//   ninf_tidy --check reactor-blocking file.cpp ...
+//   ninf_tidy --check-suppressions --root src # audit suppressions only
+//
+// Findings are errors: any diagnostic makes the exit status 1, so the
+// CI job and the ctest gate are warnings-as-errors by construction.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.h"
+#include "model.h"
+
+namespace fs = std::filesystem;
+using namespace ninf_tidy;
+
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Minimal extraction of "file" entries from a compile_commands.json.
+std::vector<std::string> filesFromCompileCommands(const std::string& path) {
+  std::vector<std::string> out;
+  const std::string text = readFile(path);
+  const std::string key = "\"file\"";
+  std::size_t pos = 0;
+  while ((pos = text.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    pos = text.find('"', pos);
+    if (pos == std::string::npos) break;
+    const std::size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    out.push_back(text.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  return out;
+}
+
+bool sourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".h" || ext == ".hpp";
+}
+
+int usage() {
+  std::cerr <<
+      "usage: ninf_tidy [options] [files...]\n"
+      "  --root DIR            scan every .h/.cpp under DIR (repeatable)\n"
+      "  -p COMPILE_COMMANDS   add the files of a compile database\n"
+      "  --check NAME          run only NAME (repeatable; default: all)\n"
+      "  --list-checks         print check names and exit\n"
+      "  --check-suppressions  audit NINF_TIDY_SUPPRESS justifications only\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::vector<std::string> files;
+  CheckOptions options;
+  bool suppressions_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      roots.push_back(argv[++i]);
+    } else if (arg == "-p" && i + 1 < argc) {
+      std::string db = argv[++i];
+      if (fs::is_directory(db)) db += "/compile_commands.json";
+      if (fs::exists(db)) {
+        for (auto& f : filesFromCompileCommands(db)) files.push_back(f);
+      } else {
+        std::cerr << "ninf-tidy: no compile database at " << db << "\n";
+        return 2;
+      }
+    } else if (arg == "--check" && i + 1 < argc) {
+      options.checks.emplace_back(argv[++i]);
+    } else if (arg == "--list-checks") {
+      for (const auto& name : allCheckNames()) std::cout << name << "\n";
+      return 0;
+    } else if (arg == "--check-suppressions") {
+      suppressions_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ninf-tidy: unknown option " << arg << "\n";
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  for (const auto& name : options.checks) {
+    const auto& all = allCheckNames();
+    if (std::find(all.begin(), all.end(), name) == all.end()) {
+      std::cerr << "ninf-tidy: unknown check '" << name << "'\n";
+      return 2;
+    }
+  }
+  for (const auto& root : roots) {
+    if (!fs::is_directory(root)) {
+      std::cerr << "ninf-tidy: --root " << root << " is not a directory\n";
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_regular_file() && sourceFile(entry.path())) {
+        files.push_back(entry.path().string());
+      }
+    }
+  }
+  if (files.empty()) return usage();
+
+  // Dedup while keeping a deterministic order.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<FileModel> models;
+  models.reserve(files.size());
+  for (const auto& f : files) {
+    if (!fs::exists(f)) {
+      std::cerr << "ninf-tidy: missing file " << f << "\n";
+      return 2;
+    }
+    models.push_back(parseFile(f, readFile(f)));
+  }
+  const Project project = buildProject(std::move(models));
+
+  std::vector<Diagnostic> diags = validateSuppressions(project);
+  if (!suppressions_only) {
+    auto check_diags = runChecks(project, options);
+    diags.insert(diags.end(), check_diags.begin(), check_diags.end());
+  }
+  for (const auto& d : diags) {
+    std::cerr << d.file << ":" << d.line << ": error: [" << d.check << "] "
+              << d.message << "\n";
+  }
+  if (!diags.empty()) {
+    std::cerr << "ninf-tidy: " << diags.size() << " finding(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cout << "ninf-tidy: clean (" << files.size() << " files, "
+            << project.all_functions.size() << " functions)\n";
+  return 0;
+}

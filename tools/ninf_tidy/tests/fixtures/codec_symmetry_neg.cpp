@@ -1,0 +1,57 @@
+// Fixture: symmetric codecs — scalar fields, a count-prefixed list of
+// nested codecs, and a nested single codec.  Must be clean.
+struct Encoder {
+  void putU32(unsigned v);
+  void putDouble(double v);
+  void putString(const char* s);
+};
+struct Source {
+  unsigned getU32();
+  double getDouble();
+  const char* getString();
+};
+unsigned checkedCount(Source& src, unsigned max);
+
+template <typename T>
+struct Vec {
+  T* begin() const;
+  T* end() const;
+  unsigned size() const;
+  void push_back(const T& v);
+};
+
+struct Item {
+  unsigned key = 0;
+  void encode(Encoder& enc) const { enc.putU32(key); }
+  static Item decode(Source& src) {
+    Item it;
+    it.key = src.getU32();
+    return it;
+  }
+};
+
+struct Bag {
+  Item head;
+  Vec<Item> items;
+  double weight = 0.0;
+
+  void encode(Encoder& enc) const {
+    head.encode(enc);
+    enc.putU32(items.size());
+    for (const auto& it : items) {
+      it.encode(enc);
+    }
+    enc.putDouble(weight);
+  }
+
+  static Bag decode(Source& src) {
+    Bag bag;
+    bag.head = Item::decode(src);
+    const unsigned n = checkedCount(src, 4096);
+    for (unsigned i = 0; i < n; ++i) {
+      bag.items.push_back(Item::decode(src));
+    }
+    bag.weight = src.getDouble();
+    return bag;
+  }
+};

@@ -1,0 +1,30 @@
+// Fixture: encode writes a field the decoder never reads — the classic
+// silent-frame-corruption bug the codec-symmetry check exists for.
+struct Encoder {
+  void putU32(unsigned v);
+  void putU64(unsigned long long v);
+  void putString(const char* s);
+};
+struct Source {
+  unsigned getU32();
+  const char* getString();
+};
+
+struct Lopsided {
+  unsigned id = 0;
+  const char* name = "";
+  unsigned long long epoch = 0;
+
+  void encode(Encoder& enc) const {
+    enc.putU32(id);
+    enc.putString(name);
+    enc.putU64(epoch);  // added on encode, forgotten on decode
+  }
+
+  static Lopsided decode(Source& src) {
+    Lopsided out;
+    out.id = src.getU32();
+    out.name = src.getString();
+    return out;
+  }
+};

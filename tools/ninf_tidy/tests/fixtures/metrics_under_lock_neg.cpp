@@ -1,0 +1,45 @@
+// Fixture: metrics hoisted out of critical sections — must be clean.
+namespace obs {
+struct Counter {
+  void add(long n);
+};
+struct Gauge {
+  void set(double v);
+};
+Counter& counter(const char* name);
+Gauge& gauge(const char* name);
+}  // namespace obs
+
+struct Mutex {
+  explicit Mutex(const char*) {}
+};
+struct LockGuard {
+  explicit LockGuard(Mutex&) {}
+};
+struct UniqueLock {
+  explicit UniqueLock(Mutex&) {}
+  void unlock();
+};
+
+struct Queue {
+  Mutex fixture_q_mutex_{"fixture.queue"};
+  obs::Gauge& depth_ = obs::gauge("fixture.queue.depth");
+  long jobs_ = 0;
+
+  void pushHoisted() {
+    long depth = 0;
+    {
+      LockGuard lock(fixture_q_mutex_);
+      depth = ++jobs_;
+    }
+    // Snapshot taken under the lock, gauge updated outside it.
+    depth_.set(static_cast<double>(depth));
+  }
+
+  void pushEarlyUnlock() {
+    UniqueLock lock(fixture_q_mutex_);
+    const long depth = ++jobs_;
+    lock.unlock();
+    depth_.set(static_cast<double>(depth));
+  }
+};

@@ -1,0 +1,47 @@
+// Fixture: obs metric touches inside critical sections — all flagged.
+namespace obs {
+struct Counter {
+  void add(long n);
+};
+struct Gauge {
+  void set(double v);
+};
+Counter& counter(const char* name);
+Gauge& gauge(const char* name);
+}  // namespace obs
+
+struct Mutex {
+  explicit Mutex(const char*) {}
+};
+struct LockGuard {
+  explicit LockGuard(Mutex&) {}
+};
+
+void bumpDepth();
+
+struct Queue {
+  Mutex fixture_q_mutex_{"fixture.queue"};
+  obs::Gauge& depth_ = obs::gauge("fixture.queue.depth");
+  long jobs_ = 0;
+
+  void push() {
+    LockGuard lock(fixture_q_mutex_);
+    ++jobs_;
+    depth_.set(static_cast<double>(jobs_));  // typed update under lock
+  }
+
+  void touchRegistry() {
+    LockGuard lock(fixture_q_mutex_);
+    obs::counter("fixture.queue.pushes").add(1);  // registry under lock
+  }
+
+  void indirect() {
+    LockGuard lock(fixture_q_mutex_);
+    bumpDepth();  // callee touches metrics: same hazard, one hop away
+  }
+};
+
+void bumpDepth() {
+  static obs::Counter& bumps = obs::counter("fixture.bumps");
+  bumps.add(1);
+}

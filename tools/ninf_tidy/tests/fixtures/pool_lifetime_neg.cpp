@@ -1,0 +1,32 @@
+// Fixture: disciplined pooled-buffer usage — must be clean.
+namespace std {
+template <typename T>
+T&& move(T& v);
+}
+
+struct PooledBuffer {
+  const char* data() const;
+  unsigned size() const;
+};
+PooledBuffer acquireBuffer(unsigned bytes);
+void use(const char* p);
+void sendv(const char* p, unsigned n);
+
+void movesAndImmediateUse() {
+  PooledBuffer a = acquireBuffer(64);
+  PooledBuffer b = std::move(a);  // ownership transfer, not a copy
+  // Immediate use inside a call argument never outlives the buffer.
+  use(b.data());
+  sendv(b.data(), b.size());
+}
+
+struct Holder {
+  // A member buffer is fine: the pool is process-lifetime; only static
+  // storage and escaped views are hazards.
+  PooledBuffer bytes;
+};
+
+PooledBuffer returnsByMove() {
+  PooledBuffer buf = acquireBuffer(64);
+  return buf;  // NRVO/move of the buffer itself, not a view
+}

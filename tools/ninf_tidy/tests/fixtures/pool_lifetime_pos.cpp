@@ -1,0 +1,27 @@
+// Fixture: every pooled-buffer lifetime mistake the check knows about.
+struct PooledBuffer {
+  const char* data() const;
+  unsigned size() const;
+};
+PooledBuffer acquireBuffer(unsigned bytes);
+void use(const char* p);
+
+// Static storage outlives the pool's thread caches.
+static PooledBuffer g_stash;
+
+void copiesInsteadOfMoves() {
+  PooledBuffer a;
+  PooledBuffer b = a;  // pooled buffers are move-only by contract
+  use(b.data());
+}
+
+const char* returnsDanglingView() {
+  PooledBuffer buf = acquireBuffer(64);
+  return buf.data();  // view outlives the buffer's release
+}
+
+void bindsEscapingPointer() {
+  auto buf = acquireBuffer(64);
+  const char* held = buf.data();  // named pointer survives a later move
+  use(held);
+}

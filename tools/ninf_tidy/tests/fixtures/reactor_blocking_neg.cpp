@@ -1,0 +1,45 @@
+// Fixture: disciplined reactor-context code — the reactor-blocking
+// check must stay silent.
+#define NINF_REACTOR_CONTEXT
+#define NINF_BLOCKING
+
+struct Mutex {
+  explicit Mutex(const char*) {}
+};
+struct LockGuard {
+  explicit LockGuard(Mutex&) {}
+};
+
+int sendvNowait(const void* iov, int n);
+int recvNowait(void* buf, int n);
+void blockingSend() NINF_BLOCKING;
+
+struct Fixture {
+  Mutex solo_ok_mutex_{"server.reactor.solo"};
+
+  void helperLeafLockOnly() {
+    // Leaf lock class with a bounded hold: allowed in reactor context.
+    LockGuard g(solo_ok_mutex_);
+  }
+
+  NINF_REACTOR_CONTEXT void loop() {
+    helperLeafLockOnly();
+    char buf[16];
+    recvNowait(buf, sizeof(buf));  // non-blocking I/O is fine
+    sendvNowait(buf, 1);
+  }
+
+  // Not reactor context: blocking calls are fine on worker threads.
+  void workerSide() { blockingSend(); }
+};
+
+void postSolo(int conn, void (*fn)());
+
+void worker() {
+  postSolo(1, [] {
+    // The solo task hands the heavy part onward: the *inner* lambda
+    // runs on a worker, so its blocking call must not be flagged.
+    auto heavy = [] { blockingSend(); };
+    (void)heavy;
+  });
+}

@@ -1,0 +1,15 @@
+// Fixture: a reactor-context blocking call carrying an audited
+// suppression — the check must honor it.
+#define NINF_REACTOR_CONTEXT
+#define NINF_BLOCKING
+#define NINF_TIDY_SUPPRESS(check, reason)
+
+void blockingHandshake() NINF_BLOCKING;
+
+struct Fixture {
+  NINF_REACTOR_CONTEXT void loop() {
+    NINF_TIDY_SUPPRESS("reactor-blocking",
+                       "startup-only path: runs before the reactor accepts");
+    blockingHandshake();
+  }
+};
